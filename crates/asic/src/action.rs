@@ -1,0 +1,372 @@
+//! Compound actions: the VLIW instruction set of a match-action stage.
+//!
+//! A table hit (or the default action) executes a sequence of
+//! [`PrimitiveOp`]s against the PHV.  The set mirrors the P4-14 primitive
+//! actions HyperTester relies on (§1 lists them: reconfigurable
+//! match-action tables, `recirculate`, registers, time stamping and
+//! multicasting) plus the target-limited `modify_field_rng_uniform`
+//! (§6.1: the bound must be a power of two, compensated with an offset —
+//! reproduced verbatim by [`PrimitiveOp::RngUniform`]).
+
+use crate::digest::{DigestId, DigestRecord};
+use crate::hash::{hash_words, HashAlgo};
+use crate::phv::{fields, FieldId, FieldTable, Phv};
+use crate::register::{RegId, RegisterFile, SaluProgram};
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Where a register or hash index comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSource {
+    /// A fixed slot.
+    Const(u64),
+    /// The value of a PHV field.
+    Field(FieldId),
+    /// A hash over PHV fields, masked to `mask_bits`.
+    Hash {
+        /// Hash algorithm to use.
+        algo: HashAlgo,
+        /// Fields forming the hash key.
+        fields: Vec<FieldId>,
+        /// Number of low bits kept.
+        mask_bits: u32,
+    },
+}
+
+impl IndexSource {
+    /// Evaluates the index for the current PHV.
+    pub fn eval(&self, phv: &Phv) -> u64 {
+        match self {
+            IndexSource::Const(c) => *c,
+            IndexSource::Field(f) => phv.get(*f),
+            IndexSource::Hash { algo, fields, mask_bits } => {
+                let words: Vec<u64> = fields.iter().map(|f| phv.get(*f)).collect();
+                hash_words(*algo, &words) & crate::phv::mask_for(*mask_bits)
+            }
+        }
+    }
+}
+
+/// One VLIW slot of a compound action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimitiveOp {
+    /// `dst = value`.
+    SetConst {
+        /// Destination field.
+        dst: FieldId,
+        /// Immediate value (masked to the field width).
+        value: u64,
+    },
+    /// `dst = src`.
+    CopyField {
+        /// Destination field.
+        dst: FieldId,
+        /// Source field.
+        src: FieldId,
+    },
+    /// `dst = dst + value` (wrapping at the field width).
+    AddConst {
+        /// Destination field.
+        dst: FieldId,
+        /// Immediate addend.
+        value: u64,
+    },
+    /// `dst = dst + src` (wrapping at the field width).
+    AddField {
+        /// Destination field.
+        dst: FieldId,
+        /// Source field.
+        src: FieldId,
+    },
+    /// `dst = dst − src` (wrapping at the field width).
+    SubField {
+        /// Destination field.
+        dst: FieldId,
+        /// Source field.
+        src: FieldId,
+    },
+    /// `dst = dst & value`.
+    AndConst {
+        /// Destination field.
+        dst: FieldId,
+        /// Mask.
+        value: u64,
+    },
+    /// `dst = dst | value`.
+    OrConst {
+        /// Destination field.
+        dst: FieldId,
+        /// Bits to set.
+        value: u64,
+    },
+    /// `dst = dst >> bits`.
+    ShiftRight {
+        /// Destination field.
+        dst: FieldId,
+        /// Shift amount.
+        bits: u32,
+    },
+    /// `dst = hash(fields) & (2^mask_bits − 1)`.
+    Hash {
+        /// Destination field.
+        dst: FieldId,
+        /// Hash algorithm.
+        algo: HashAlgo,
+        /// Fields forming the key.
+        fields: Vec<FieldId>,
+        /// Number of low bits kept.
+        mask_bits: u32,
+    },
+    /// `dst = uniform[0, 2^bits) + offset` — `modify_field_rng_uniform`
+    /// with the power-of-two parameter limitation of real targets (§6.1).
+    RngUniform {
+        /// Destination field.
+        dst: FieldId,
+        /// Range is `2^bits` values.
+        bits: u32,
+        /// Offset added after drawing.
+        offset: u64,
+    },
+    /// One SALU read-modify-write against a register array.
+    Salu {
+        /// Target register array.
+        reg: RegId,
+        /// Slot selection.
+        index: IndexSource,
+        /// The SALU program to run.
+        program: SaluProgram,
+    },
+    /// Select the unicast egress port.
+    SetEgressPort(
+        /// Port number.
+        u16,
+    ),
+    /// Select a multicast group (0 disables).
+    SetMcastGroup(
+        /// Group id.
+        u16,
+    ),
+    /// Mark the packet for recirculation after egress.
+    Recirculate,
+    /// Drop the packet.
+    Drop,
+    /// Emit a digest with the given fields to the switch CPU.
+    Digest {
+        /// Digest stream id.
+        id: DigestId,
+        /// Fields to include.
+        fields: Vec<FieldId>,
+    },
+    /// Do nothing (explicit no-op keeps VLIW accounting honest).
+    NoOp,
+}
+
+/// A named sequence of primitive ops — what a table entry or default action
+/// executes on a hit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActionSet {
+    /// Action name, for diagnostics and generated-P4 reporting.
+    pub name: String,
+    /// The VLIW slots.
+    pub ops: Vec<PrimitiveOp>,
+}
+
+impl ActionSet {
+    /// Creates a named action from ops.
+    pub fn new(name: &str, ops: Vec<PrimitiveOp>) -> Self {
+        ActionSet { name: name.to_string(), ops }
+    }
+
+    /// The canonical no-op action.
+    pub fn nop() -> Self {
+        ActionSet { name: "NoAction".into(), ops: Vec::new() }
+    }
+}
+
+/// Mutable execution context threaded through a pipeline pass.
+pub struct ExecCtx<'a> {
+    /// Field registry of the program.
+    pub table: &'a FieldTable,
+    /// Register state of this pipeline.
+    pub regs: &'a mut RegisterFile,
+    /// Seeded RNG backing `RngUniform` (hardware LFSR stand-in).
+    pub rng: &'a mut StdRng,
+    /// Digest queue to the switch CPU.
+    pub digests: &'a mut Vec<DigestRecord>,
+    /// Current pipeline time.
+    pub now: SimTime,
+}
+
+/// Executes every op of `action` against `phv`.
+pub fn execute(action: &ActionSet, phv: &mut Phv, ctx: &mut ExecCtx<'_>) {
+    for op in &action.ops {
+        execute_op(op, phv, ctx);
+    }
+}
+
+fn execute_op(op: &PrimitiveOp, phv: &mut Phv, ctx: &mut ExecCtx<'_>) {
+    let t = ctx.table;
+    match op {
+        PrimitiveOp::SetConst { dst, value } => phv.set(t, *dst, *value),
+        PrimitiveOp::CopyField { dst, src } => phv.set(t, *dst, phv.get(*src)),
+        PrimitiveOp::AddConst { dst, value } => {
+            phv.set(t, *dst, phv.get(*dst).wrapping_add(*value))
+        }
+        PrimitiveOp::AddField { dst, src } => {
+            phv.set(t, *dst, phv.get(*dst).wrapping_add(phv.get(*src)))
+        }
+        PrimitiveOp::SubField { dst, src } => {
+            phv.set(t, *dst, phv.get(*dst).wrapping_sub(phv.get(*src)))
+        }
+        PrimitiveOp::AndConst { dst, value } => phv.set(t, *dst, phv.get(*dst) & *value),
+        PrimitiveOp::OrConst { dst, value } => phv.set(t, *dst, phv.get(*dst) | *value),
+        PrimitiveOp::ShiftRight { dst, bits } => {
+            let v = if *bits >= 64 { 0 } else { phv.get(*dst) >> bits };
+            phv.set(t, *dst, v)
+        }
+        PrimitiveOp::Hash { dst, algo, fields, mask_bits } => {
+            let words: Vec<u64> = fields.iter().map(|f| phv.get(*f)).collect();
+            phv.set(t, *dst, hash_words(*algo, &words) & crate::phv::mask_for(*mask_bits));
+        }
+        PrimitiveOp::RngUniform { dst, bits, offset } => {
+            let range = 1u64 << (*bits).min(63);
+            let v = ctx.rng.gen_range(0..range).wrapping_add(*offset);
+            phv.set(t, *dst, v);
+        }
+        PrimitiveOp::Salu { reg, index, program } => {
+            let idx = index.eval(phv);
+            ctx.regs.execute(*reg, idx, program, phv, t);
+        }
+        PrimitiveOp::SetEgressPort(p) => phv.set(t, fields::EG_PORT, u64::from(*p)),
+        PrimitiveOp::SetMcastGroup(g) => phv.set(t, fields::MCAST_GRP, u64::from(*g)),
+        PrimitiveOp::Recirculate => phv.set(t, fields::RECIRC_FLAG, 1),
+        PrimitiveOp::Drop => phv.set(t, fields::DROP_FLAG, 1),
+        PrimitiveOp::Digest { id, fields } => {
+            let values: Vec<u64> = fields.iter().map(|f| phv.get(*f)).collect();
+            ctx.digests.push(DigestRecord { id: *id, values, at: ctx.now });
+        }
+        PrimitiveOp::NoOp => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_parts() -> (FieldTable, RegisterFile, StdRng, Vec<DigestRecord>) {
+        (FieldTable::new(), RegisterFile::new(), StdRng::seed_from_u64(7), Vec::new())
+    }
+
+    fn run(action: &ActionSet, phv: &mut Phv, t: &FieldTable, rf: &mut RegisterFile,
+           rng: &mut StdRng, dg: &mut Vec<DigestRecord>) {
+        let mut ctx = ExecCtx { table: t, regs: rf, rng, digests: dg, now: 42 };
+        execute(action, phv, &mut ctx);
+    }
+
+    #[test]
+    fn arithmetic_ops_mask_to_field_width() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        phv.set(&t, fields::TCP_SPORT, 0xffff);
+        let a = ActionSet::new("wrap", vec![PrimitiveOp::AddConst { dst: fields::TCP_SPORT, value: 1 }]);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        assert_eq!(phv.get(fields::TCP_SPORT), 0); // wrapped at 16 bits
+    }
+
+    #[test]
+    fn copy_add_sub_between_fields() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        phv.set(&t, fields::TCP_SEQ, 100);
+        phv.set(&t, fields::TCP_ACK, 30);
+        let a = ActionSet::new("mix", vec![
+            PrimitiveOp::CopyField { dst: fields::TCP_WINDOW, src: fields::TCP_ACK },
+            PrimitiveOp::AddField { dst: fields::TCP_SEQ, src: fields::TCP_ACK },
+            PrimitiveOp::SubField { dst: fields::TCP_ACK, src: fields::TCP_WINDOW },
+        ]);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        assert_eq!(phv.get(fields::TCP_WINDOW), 30);
+        assert_eq!(phv.get(fields::TCP_SEQ), 130);
+        assert_eq!(phv.get(fields::TCP_ACK), 0);
+    }
+
+    #[test]
+    fn rng_uniform_respects_power_of_two_bound_and_offset() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        let a = ActionSet::new("rng", vec![PrimitiveOp::RngUniform {
+            dst: fields::TCP_DPORT, bits: 4, offset: 1000,
+        }]);
+        for _ in 0..200 {
+            run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+            let v = phv.get(fields::TCP_DPORT);
+            assert!((1000..1016).contains(&v), "value {v} outside [1000, 1016)");
+        }
+    }
+
+    #[test]
+    fn metadata_ops_set_intrinsic_fields() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        let a = ActionSet::new("meta", vec![
+            PrimitiveOp::SetEgressPort(7),
+            PrimitiveOp::SetMcastGroup(3),
+            PrimitiveOp::Recirculate,
+        ]);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        assert_eq!(phv.get(fields::EG_PORT), 7);
+        assert_eq!(phv.get(fields::MCAST_GRP), 3);
+        assert_eq!(phv.get(fields::RECIRC_FLAG), 1);
+        assert_eq!(phv.get(fields::DROP_FLAG), 0);
+    }
+
+    #[test]
+    fn digest_captures_selected_fields_and_time() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        phv.set(&t, fields::IPV4_SRC, 0x0a000001);
+        phv.set(&t, fields::TCP_SPORT, 99);
+        let a = ActionSet::new("dig", vec![PrimitiveOp::Digest {
+            id: DigestId(2),
+            fields: vec![fields::IPV4_SRC, fields::TCP_SPORT],
+        }]);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        assert_eq!(dg.len(), 1);
+        assert_eq!(dg[0].id, DigestId(2));
+        assert_eq!(dg[0].values, vec![0x0a000001, 99]);
+        assert_eq!(dg[0].at, 42);
+    }
+
+    #[test]
+    fn hash_op_is_deterministic_and_masked() {
+        let (t, mut rf, mut rng, mut dg) = ctx_parts();
+        let mut phv = t.new_phv();
+        phv.set(&t, fields::IPV4_SRC, 1234);
+        let a = ActionSet::new("h", vec![PrimitiveOp::Hash {
+            dst: fields::TCP_SPORT, algo: HashAlgo::Crc32,
+            fields: vec![fields::IPV4_SRC], mask_bits: 8,
+        }]);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        let v1 = phv.get(fields::TCP_SPORT);
+        assert!(v1 < 256);
+        run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
+        assert_eq!(phv.get(fields::TCP_SPORT), v1);
+    }
+
+    #[test]
+    fn index_source_hash_eval_masks() {
+        let t = FieldTable::new();
+        let mut phv = t.new_phv();
+        phv.set(&t, fields::IPV4_DST, 42);
+        let idx = IndexSource::Hash {
+            algo: HashAlgo::Crc32c,
+            fields: vec![fields::IPV4_DST],
+            mask_bits: 10,
+        };
+        assert!(idx.eval(&phv) < 1024);
+        assert_eq!(IndexSource::Const(5).eval(&phv), 5);
+        assert_eq!(IndexSource::Field(fields::IPV4_DST).eval(&phv), 42);
+    }
+}

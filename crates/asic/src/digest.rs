@@ -1,0 +1,25 @@
+//! Digest records — the `generate_digest` path from the data plane to the
+//! switch CPU.
+//!
+//! The paper uses digests for the *push mode* of test-statistic collection
+//! (§5.2) and for reporting evicted key-value pairs of the cuckoo query
+//! engine.  The ASIC side simply appends records to a queue; the timing of
+//! draining them (goodput as a function of message size, Fig. 16a) is
+//! modeled by the switch-CPU crate.
+
+use crate::time::SimTime;
+
+/// Identifies a digest stream configured by the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DigestId(pub u16);
+
+/// One digest message emitted by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestRecord {
+    /// Which digest stream this belongs to.
+    pub id: DigestId,
+    /// The field values the program selected, in declaration order.
+    pub values: Vec<u64>,
+    /// Pipeline time at which the digest was generated.
+    pub at: SimTime,
+}

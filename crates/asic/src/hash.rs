@@ -1,0 +1,182 @@
+//! Hash units.
+//!
+//! Tofino's match units and stateful components compute CRC-family hashes
+//! over selected PHV fields.  The reproduction provides CRC-32 (two
+//! polynomial variants, so cuckoo hashing gets two independent functions)
+//! and CRC-16, computed bit-serially over the big-endian bytes of the field
+//! values — slow-ish but obviously correct, and the simulator only hashes
+//! once per packet per unit.
+
+/// The hash algorithms the pipeline can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlgo {
+    /// CRC-32 (IEEE 802.3 polynomial, reflected).
+    Crc32,
+    /// CRC-32C (Castagnoli polynomial, reflected) — the customary "second
+    /// hash" for cuckoo/dual-hash schemes on Tofino.
+    Crc32c,
+    /// CRC-16 (IBM polynomial, reflected) — used for 16-bit digests.
+    Crc16,
+    /// Identity over the low 64 bits of the key — handy in tests.
+    Identity,
+}
+
+/// Computes `algo` over a key given as a sequence of `u64` words (each
+/// contributed as 8 big-endian bytes).
+pub fn hash_words(algo: HashAlgo, words: &[u64]) -> u64 {
+    match algo {
+        HashAlgo::Crc32 => {
+            let mut c = Crc32::new(0xedb8_8320);
+            for w in words {
+                c.update(&w.to_be_bytes());
+            }
+            u64::from(c.finish())
+        }
+        HashAlgo::Crc32c => {
+            let mut c = Crc32::new(0x82f6_3b78);
+            for w in words {
+                c.update(&w.to_be_bytes());
+            }
+            u64::from(c.finish())
+        }
+        HashAlgo::Crc16 => {
+            let mut c = Crc16::new();
+            for w in words {
+                c.update(&w.to_be_bytes());
+            }
+            u64::from(c.finish())
+        }
+        HashAlgo::Identity => words.last().copied().unwrap_or(0),
+    }
+}
+
+/// Builds the 256-entry lookup table for a reflected CRC-32 polynomial at
+/// compile time, so hashing runs one table lookup per byte (the precompute
+/// of Fig. 17 hashes millions of keys).
+const fn crc32_table(poly: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            c = if c & 1 != 0 { (c >> 1) ^ poly } else { c >> 1 };
+            b += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_IEEE: [u32; 256] = crc32_table(0xedb8_8320);
+static CRC32_CASTAGNOLI: [u32; 256] = crc32_table(0x82f6_3b78);
+
+struct Crc32 {
+    table: &'static [u32; 256],
+    state: u32,
+}
+
+impl Crc32 {
+    fn new(poly: u32) -> Self {
+        let table = match poly {
+            0xedb8_8320 => &CRC32_IEEE,
+            0x82f6_3b78 => &CRC32_CASTAGNOLI,
+            _ => unreachable!("unsupported CRC-32 polynomial"),
+        };
+        Crc32 { table, state: 0xffff_ffff }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ u32::from(b)) & 0xff;
+            self.state = (self.state >> 8) ^ self.table[idx as usize];
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+struct Crc16 {
+    state: u16,
+}
+
+impl Crc16 {
+    fn new() -> Self {
+        Crc16 { state: 0 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u16::from(b);
+            for _ in 0..8 {
+                let lsb = self.state & 1;
+                self.state >>= 1;
+                if lsb != 0 {
+                    self.state ^= 0xa001; // reflected 0x8005
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> u16 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xcbf43926; feed as padded words to check
+        // the byte pipeline, then verify via a direct byte-wise computation.
+        let mut c = Crc32::new(0xedb8_8320);
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        let mut c = Crc32::new(0x82f6_3b78);
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xe306_9283);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/ARC("123456789") = 0xbb3d.
+        let mut c = Crc16::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xbb3d);
+    }
+
+    #[test]
+    fn algorithms_disagree() {
+        let words = [0xdead_beef_u64, 42];
+        let h1 = hash_words(HashAlgo::Crc32, &words);
+        let h2 = hash_words(HashAlgo::Crc32c, &words);
+        let h3 = hash_words(HashAlgo::Crc16, &words);
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        assert!(h3 <= u64::from(u16::MAX));
+    }
+
+    #[test]
+    fn identity_returns_last_word() {
+        assert_eq!(hash_words(HashAlgo::Identity, &[1, 2, 3]), 3);
+        assert_eq!(hash_words(HashAlgo::Identity, &[]), 0);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_input_sensitive() {
+        let a = hash_words(HashAlgo::Crc32, &[1, 2]);
+        let b = hash_words(HashAlgo::Crc32, &[1, 2]);
+        let c = hash_words(HashAlgo::Crc32, &[2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

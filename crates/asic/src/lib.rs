@@ -1,0 +1,53 @@
+//! A discrete-event RMT (reconfigurable match-action table) switching-ASIC
+//! simulator — the substrate replacing the Tofino hardware the HyperTester
+//! paper runs on.
+//!
+//! The simulator provides exactly the capabilities the paper builds on
+//! (§1): reconfigurable match-action tables, the `recirculate` primitive,
+//! registers with stateful ALUs, data-plane timestamps, and multicasting —
+//! plus the `modify_field_rng_uniform` primitive with its real-world
+//! power-of-two parameter limitation (§6.1) and `generate_digest`.
+//!
+//! Module map:
+//! * [`time`] — picosecond simulation time.
+//! * [`timing`] — Tofino-calibrated latency/bandwidth constants.
+//! * [`phv`] — field registry and packet header vectors.
+//! * [`packet`] — the simulated packet ([`packet::SimPacket`]).
+//! * [`parser`] — bytes ↔ PHV (checksum-correcting deparser).
+//! * [`hash`] — CRC hash units.
+//! * [`register`] — register arrays and SALU programs.
+//! * [`action`] — primitive ops / compound actions.
+//! * [`table`] — exact/ternary/range/index match tables with gateways.
+//! * [`pipeline`] — stages, pipelines, and the [`pipeline::Extern`] hook.
+//! * [`tm`] — multicast group table.
+//! * [`mac`] — port MACs with line-rate serialization.
+//! * [`switch`] — the switch device.
+//! * [`sim`] — event queue, world, links with fault injection.
+//! * [`resources`] — the seven-class resource model of the paper's Table 7.
+//! * [`digest`] — `generate_digest` records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod digest;
+pub mod hash;
+pub mod mac;
+pub mod packet;
+pub mod parser;
+pub mod phv;
+pub mod pipeline;
+pub mod register;
+pub mod resources;
+pub mod sim;
+pub mod switch;
+pub mod table;
+pub mod time;
+pub mod timing;
+pub mod tm;
+
+pub use packet::SimPacket;
+pub use phv::{fields, FieldId, FieldTable, Phv};
+pub use sim::{Device, DeviceId, Outbox, World};
+pub use switch::Switch;
+pub use time::SimTime;

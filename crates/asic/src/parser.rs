@@ -1,0 +1,225 @@
+//! Parser and deparser between frame bytes and the PHV.
+//!
+//! The parse graph is the standard Ethernet → IPv4 → {TCP, UDP} chain —
+//! the headers HyperTester's applications use.  (The paper's NTAPI can in
+//! principle carry any P4 parser; the reproduction fixes the graph and lets
+//! tasks add *metadata* fields instead, which is what every evaluated
+//! application needs.)
+//!
+//! The deparser is checksum-correcting: after pipeline edits it rewrites the
+//! byte buffer from the PHV and refreshes the IPv4/TCP/UDP checksums, the
+//! job of the hardware deparser's checksum engines.
+
+use crate::phv::{fields, FieldTable, Phv};
+use ht_packet::ethernet::{EtherType, Frame};
+use ht_packet::ipv4::Protocol;
+use ht_packet::tcp::TcpFlags;
+use ht_packet::{ethernet, ipv4, tcp, udp, EthernetAddress, Ipv4Address, ParseError};
+
+/// Parses frame bytes into a fresh PHV.
+///
+/// `frame_len` is the on-wire length recorded in `meta.pkt_len`; it may
+/// exceed `bytes.len()` only by convention (it never does for buffers built
+/// by `ht-packet`, whose padding is materialized).  Unknown EtherTypes and
+/// L4 protocols simply leave the corresponding valid bits clear — foreign
+/// packets still traverse the pipeline, as on hardware.
+pub fn parse(table: &FieldTable, bytes: &[u8]) -> Result<Phv, ParseError> {
+    let mut phv = table.new_phv();
+    phv.set(table, fields::PKT_LEN, bytes.len() as u64);
+
+    let eth = Frame::new_checked(bytes)?;
+    phv.set(table, fields::ETH_DST, eth.dst().to_u64());
+    phv.set(table, fields::ETH_SRC, eth.src().to_u64());
+    phv.set(table, fields::ETH_TYPE, u64::from(u16::from(eth.ethertype())));
+
+    if eth.ethertype() != EtherType::Ipv4 {
+        return Ok(phv);
+    }
+    let ip = match ipv4::Packet::new_checked(eth.payload()) {
+        Ok(ip) => ip,
+        // A non-IPv4 body behind an IPv4 EtherType: deliver with the valid
+        // bit clear rather than failing the whole packet.
+        Err(_) => return Ok(phv),
+    };
+    phv.set(table, fields::IPV4_VALID, 1);
+    phv.set(table, fields::IPV4_TOTAL_LEN, u64::from(ip.total_len()));
+    phv.set(table, fields::IPV4_IDENT, u64::from(ip.ident()));
+    phv.set(table, fields::IPV4_TTL, u64::from(ip.ttl()));
+    phv.set(table, fields::IPV4_PROTO, u64::from(u8::from(ip.protocol())));
+    phv.set(table, fields::IPV4_SRC, u64::from(ip.src().to_u32()));
+    phv.set(table, fields::IPV4_DST, u64::from(ip.dst().to_u32()));
+
+    match ip.protocol() {
+        Protocol::Tcp => {
+            if let Ok(t) = tcp::Packet::new_checked(ip.payload()) {
+                phv.set(table, fields::TCP_VALID, 1);
+                phv.set(table, fields::TCP_SPORT, u64::from(t.src_port()));
+                phv.set(table, fields::TCP_DPORT, u64::from(t.dst_port()));
+                phv.set(table, fields::TCP_SEQ, u64::from(t.seq_no()));
+                phv.set(table, fields::TCP_ACK, u64::from(t.ack_no()));
+                phv.set(table, fields::TCP_FLAGS, u64::from(t.flags().0));
+                phv.set(table, fields::TCP_WINDOW, u64::from(t.window()));
+            }
+        }
+        Protocol::Udp => {
+            if let Ok(u) = udp::Packet::new_checked(ip.payload()) {
+                phv.set(table, fields::UDP_VALID, 1);
+                phv.set(table, fields::UDP_SPORT, u64::from(u.src_port()));
+                phv.set(table, fields::UDP_DPORT, u64::from(u.dst_port()));
+            }
+        }
+        Protocol::Other(_) => {}
+    }
+    Ok(phv)
+}
+
+/// Rewrites `bytes` (a buffer the packet was parsed from, or a clone of its
+/// template) so its headers match the PHV, refreshing all checksums.
+///
+/// Only fields the pipeline can touch are written back; payload bytes are
+/// preserved.  The buffer length is not changed — HyperTester cannot change
+/// packet lengths in the pipeline either (§5.3: "Due to the limited packet
+/// header vector size, HyperTester falls short of changing the packet
+/// length").
+pub fn deparse(_table: &FieldTable, phv: &Phv, bytes: &mut [u8]) {
+    let mut eth = match Frame::new_checked(&mut bytes[..]) {
+        Ok(f) => f,
+        Err(_) => return,
+    };
+    eth.set_dst(EthernetAddress::from_u64(phv.get(fields::ETH_DST)));
+    eth.set_src(EthernetAddress::from_u64(phv.get(fields::ETH_SRC)));
+    eth.set_ethertype(EtherType::from(phv.get(fields::ETH_TYPE) as u16));
+
+    if phv.get(fields::IPV4_VALID) == 0 {
+        return;
+    }
+    let ip_start = ethernet::HEADER_LEN;
+    if bytes.len() < ip_start + ipv4::HEADER_LEN {
+        return;
+    }
+    let (src, dst);
+    {
+        let mut ip = ipv4::Packet::new_unchecked(&mut bytes[ip_start..]);
+        ip.set_version_ihl();
+        ip.set_total_len(phv.get(fields::IPV4_TOTAL_LEN) as u16);
+        ip.set_ident(phv.get(fields::IPV4_IDENT) as u16);
+        ip.set_ttl(phv.get(fields::IPV4_TTL) as u8);
+        ip.set_protocol(Protocol::from(phv.get(fields::IPV4_PROTO) as u8));
+        src = Ipv4Address::from_u32(phv.get(fields::IPV4_SRC) as u32);
+        dst = Ipv4Address::from_u32(phv.get(fields::IPV4_DST) as u32);
+        ip.set_src(src);
+        ip.set_dst(dst);
+        ip.fill_checksum();
+    }
+
+    let l4_start = ip_start + ipv4::HEADER_LEN;
+    let l4_end = (ip_start + phv.get(fields::IPV4_TOTAL_LEN) as usize).min(bytes.len());
+    if phv.get(fields::TCP_VALID) != 0 && l4_end >= l4_start + tcp::HEADER_LEN {
+        let mut t = tcp::Packet::new_unchecked(&mut bytes[l4_start..l4_end]);
+        t.set_src_port(phv.get(fields::TCP_SPORT) as u16);
+        t.set_dst_port(phv.get(fields::TCP_DPORT) as u16);
+        t.set_seq_no(phv.get(fields::TCP_SEQ) as u32);
+        t.set_ack_no(phv.get(fields::TCP_ACK) as u32);
+        t.set_offset_and_flags(TcpFlags(phv.get(fields::TCP_FLAGS) as u8));
+        t.set_window(phv.get(fields::TCP_WINDOW) as u16);
+        t.fill_checksum(src.0, dst.0);
+    } else if phv.get(fields::UDP_VALID) != 0 && l4_end >= l4_start + udp::HEADER_LEN {
+        let mut u = udp::Packet::new_unchecked(&mut bytes[l4_start..l4_end]);
+        u.set_src_port(phv.get(fields::UDP_SPORT) as u16);
+        u.set_dst_port(phv.get(fields::UDP_DPORT) as u16);
+        u.set_len_field((l4_end - l4_start) as u16);
+        u.fill_checksum(src.0, dst.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_packet::PacketBuilder;
+
+    fn table() -> FieldTable {
+        FieldTable::new()
+    }
+
+    fn udp_frame() -> Vec<u8> {
+        PacketBuilder::new()
+            .eth(EthernetAddress([2, 0, 0, 0, 0, 1]), EthernetAddress([2, 0, 0, 0, 0, 2]))
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(5000, 80)
+            .frame_len(64)
+            .build()
+    }
+
+    #[test]
+    fn parse_udp_extracts_fields() {
+        let t = table();
+        let phv = parse(&t, &udp_frame()).unwrap();
+        assert_eq!(phv.get(fields::PKT_LEN), 64);
+        assert_eq!(phv.get(fields::IPV4_VALID), 1);
+        assert_eq!(phv.get(fields::UDP_VALID), 1);
+        assert_eq!(phv.get(fields::TCP_VALID), 0);
+        assert_eq!(phv.get(fields::UDP_SPORT), 5000);
+        assert_eq!(phv.get(fields::UDP_DPORT), 80);
+        assert_eq!(phv.get(fields::IPV4_SRC), u64::from(Ipv4Address::new(10, 0, 0, 1).to_u32()));
+    }
+
+    #[test]
+    fn parse_tcp_extracts_fields() {
+        let t = table();
+        let frame = PacketBuilder::new()
+            .ipv4(Ipv4Address::new(1, 1, 0, 1), Ipv4Address::new(2, 2, 0, 2))
+            .tcp(1024, 443, 7, 9, TcpFlags::SYN_ACK)
+            .build();
+        let phv = parse(&t, &frame).unwrap();
+        assert_eq!(phv.get(fields::TCP_VALID), 1);
+        assert_eq!(phv.get(fields::TCP_SEQ), 7);
+        assert_eq!(phv.get(fields::TCP_ACK), 9);
+        assert_eq!(phv.get(fields::TCP_FLAGS), u64::from(TcpFlags::SYN_ACK.0));
+    }
+
+    #[test]
+    fn parse_non_ip_leaves_valid_bits_clear() {
+        let t = table();
+        let frame = PacketBuilder::new().frame_len(64).build();
+        let phv = parse(&t, &frame).unwrap();
+        assert_eq!(phv.get(fields::IPV4_VALID), 0);
+        assert_eq!(phv.get(fields::UDP_VALID), 0);
+    }
+
+    #[test]
+    fn parse_rejects_sub_header_frames() {
+        let t = table();
+        assert!(parse(&t, &[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn deparse_round_trips_edits_with_valid_checksums() {
+        let t = table();
+        let mut bytes = udp_frame();
+        let mut phv = parse(&t, &bytes).unwrap();
+        // Pipeline-style edits: rewrite addresses and ports.
+        phv.set(&t, fields::IPV4_SRC, u64::from(Ipv4Address::new(99, 1, 2, 3).to_u32()));
+        phv.set(&t, fields::UDP_DPORT, 8080);
+        phv.set(&t, fields::IPV4_TTL, 7);
+        deparse(&t, &phv, &mut bytes);
+
+        let eth = Frame::new_checked(&bytes[..]).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.src(), Ipv4Address::new(99, 1, 2, 3));
+        assert_eq!(ip.ttl(), 7);
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.dst_port(), 8080);
+        assert!(u.verify_checksum(ip.src().0, ip.dst().0));
+    }
+
+    #[test]
+    fn parse_deparse_identity_when_untouched() {
+        let t = table();
+        let orig = udp_frame();
+        let mut bytes = orig.clone();
+        let phv = parse(&t, &bytes).unwrap();
+        deparse(&t, &phv, &mut bytes);
+        assert_eq!(orig, bytes);
+    }
+}

@@ -1,0 +1,332 @@
+//! The packet header vector (PHV) and field registry.
+//!
+//! The RMT parser decodes headers into a flat vector of field values that
+//! the match-action pipeline operates on; the deparser writes the vector
+//! back into bytes.  Fields are interned into a per-program [`FieldTable`]:
+//! the standard Ethernet/IPv4/TCP/UDP fields and the intrinsic metadata are
+//! pre-interned at fixed indices (module [`fields`]); programs may add their
+//! own scratch metadata fields on top, mirroring P4 user metadata.
+//!
+//! Field values are stored as `u64` and masked to the field's declared bit
+//! width on every write, so arithmetic wraps exactly like the hardware's
+//! fixed-width ALUs.
+
+use std::collections::HashMap;
+
+/// Identifies a field within a program's [`FieldTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u16);
+
+/// Definition of one PHV field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Dotted name, e.g. `ipv4.dst` or `meta.pkt_id`.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+}
+
+/// Pre-interned standard fields.  The constants' indices must match the
+/// order [`FieldTable::new`] inserts them in.
+pub mod fields {
+    use super::FieldId;
+
+    /// Ethernet destination MAC (48 bits).
+    pub const ETH_DST: FieldId = FieldId(0);
+    /// Ethernet source MAC (48 bits).
+    pub const ETH_SRC: FieldId = FieldId(1);
+    /// EtherType (16 bits).
+    pub const ETH_TYPE: FieldId = FieldId(2);
+    /// IPv4 header valid bit.
+    pub const IPV4_VALID: FieldId = FieldId(3);
+    /// IPv4 total length (16 bits).
+    pub const IPV4_TOTAL_LEN: FieldId = FieldId(4);
+    /// IPv4 identification (16 bits).
+    pub const IPV4_IDENT: FieldId = FieldId(5);
+    /// IPv4 time-to-live (8 bits).
+    pub const IPV4_TTL: FieldId = FieldId(6);
+    /// IPv4 protocol (8 bits).
+    pub const IPV4_PROTO: FieldId = FieldId(7);
+    /// IPv4 source address (32 bits).
+    pub const IPV4_SRC: FieldId = FieldId(8);
+    /// IPv4 destination address (32 bits).
+    pub const IPV4_DST: FieldId = FieldId(9);
+    /// TCP header valid bit.
+    pub const TCP_VALID: FieldId = FieldId(10);
+    /// TCP source port (16 bits).
+    pub const TCP_SPORT: FieldId = FieldId(11);
+    /// TCP destination port (16 bits).
+    pub const TCP_DPORT: FieldId = FieldId(12);
+    /// TCP sequence number (32 bits).
+    pub const TCP_SEQ: FieldId = FieldId(13);
+    /// TCP acknowledgment number (32 bits).
+    pub const TCP_ACK: FieldId = FieldId(14);
+    /// TCP flags (8 bits).
+    pub const TCP_FLAGS: FieldId = FieldId(15);
+    /// TCP window (16 bits).
+    pub const TCP_WINDOW: FieldId = FieldId(16);
+    /// UDP header valid bit.
+    pub const UDP_VALID: FieldId = FieldId(17);
+    /// UDP source port (16 bits).
+    pub const UDP_SPORT: FieldId = FieldId(18);
+    /// UDP destination port (16 bits).
+    pub const UDP_DPORT: FieldId = FieldId(19);
+
+    // ---- intrinsic metadata ------------------------------------------------
+
+    /// Frame length in bytes, including the virtual FCS (16 bits).
+    pub const PKT_LEN: FieldId = FieldId(20);
+    /// Ingress port number (16 bits).
+    pub const IG_PORT: FieldId = FieldId(21);
+    /// Ingress MAC timestamp, picoseconds (64 bits — the hardware's 48-bit
+    /// nanosecond stamp scaled; see `timing`).
+    pub const IG_TS: FieldId = FieldId(22);
+    /// Egress (departure) timestamp, picoseconds (64 bits).
+    pub const EG_TS: FieldId = FieldId(23);
+    /// Unicast egress port selected by the ingress pipeline (16 bits).
+    pub const EG_PORT: FieldId = FieldId(24);
+    /// Multicast group selected by the ingress pipeline; 0 = none (16 bits).
+    pub const MCAST_GRP: FieldId = FieldId(25);
+    /// Replication id assigned by the multicast engine (16 bits).
+    pub const RID: FieldId = FieldId(26);
+    /// 1 when the packet should be recirculated after egress (1 bit).
+    pub const RECIRC_FLAG: FieldId = FieldId(27);
+    /// 1 when the packet is dropped (1 bit).
+    pub const DROP_FLAG: FieldId = FieldId(28);
+    /// Template id for template packets injected by the switch CPU; 0 for
+    /// foreign packets (16 bits).
+    pub const TEMPLATE_ID: FieldId = FieldId(29);
+
+    /// Number of pre-interned fields.
+    pub const STANDARD_COUNT: u16 = 30;
+}
+
+/// Per-program registry of PHV fields.
+#[derive(Debug, Clone)]
+pub struct FieldTable {
+    defs: Vec<FieldDef>,
+    by_name: HashMap<String, FieldId>,
+}
+
+impl Default for FieldTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FieldTable {
+    /// Creates a table pre-populated with the standard fields of
+    /// [`fields`], in the exact index order the constants assume.
+    pub fn new() -> Self {
+        let mut t = FieldTable { defs: Vec::new(), by_name: HashMap::new() };
+        let std_fields: &[(&str, u32)] = &[
+            ("eth.dst", 48),
+            ("eth.src", 48),
+            ("eth.type", 16),
+            ("ipv4.valid", 1),
+            ("ipv4.total_len", 16),
+            ("ipv4.ident", 16),
+            ("ipv4.ttl", 8),
+            ("ipv4.proto", 8),
+            ("ipv4.src", 32),
+            ("ipv4.dst", 32),
+            ("tcp.valid", 1),
+            ("tcp.sport", 16),
+            ("tcp.dport", 16),
+            ("tcp.seq_no", 32),
+            ("tcp.ack_no", 32),
+            ("tcp.flags", 8),
+            ("tcp.window", 16),
+            ("udp.valid", 1),
+            ("udp.sport", 16),
+            ("udp.dport", 16),
+            ("meta.pkt_len", 16),
+            ("meta.ig_port", 16),
+            ("meta.ig_ts", 64),
+            ("meta.eg_ts", 64),
+            ("meta.eg_port", 16),
+            ("meta.mcast_grp", 16),
+            ("meta.rid", 16),
+            ("meta.recirc", 1),
+            ("meta.drop", 1),
+            ("meta.template_id", 16),
+        ];
+        for (name, width) in std_fields {
+            t.intern(name, *width);
+        }
+        debug_assert_eq!(t.defs.len() as u16, fields::STANDARD_COUNT);
+        t
+    }
+
+    /// Interns a field, returning its id.  Re-interning an existing name
+    /// returns the existing id (the width must match).
+    pub fn intern(&mut self, name: &str, width: u32) -> FieldId {
+        assert!((1..=64).contains(&width), "field width out of range: {width}");
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.defs[id.0 as usize].width, width,
+                "field {name} re-interned with a different width"
+            );
+            return id;
+        }
+        let id = FieldId(u16::try_from(self.defs.len()).expect("too many fields"));
+        self.defs.push(FieldDef { name: name.to_string(), width });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a field up by name.
+    pub fn lookup(&self, name: &str) -> Option<FieldId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition of a field.
+    pub fn def(&self, id: FieldId) -> &FieldDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Bit width of a field.
+    pub fn width(&self, id: FieldId) -> u32 {
+        self.defs[id.0 as usize].width
+    }
+
+    /// The value mask of a field (`2^width − 1`).
+    pub fn mask(&self, id: FieldId) -> u64 {
+        mask_for(self.defs[id.0 as usize].width)
+    }
+
+    /// Number of interned fields.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the table is empty (never: standard fields are always there).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Allocates a fresh PHV for this table, all fields zero.
+    pub fn new_phv(&self) -> Phv {
+        Phv { values: vec![0; self.defs.len()].into_boxed_slice() }
+    }
+}
+
+/// The value mask for a bit width.
+pub fn mask_for(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A packet header vector: one `u64` slot per interned field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phv {
+    values: Box<[u64]>,
+}
+
+impl Phv {
+    /// Reads a field.
+    #[inline]
+    pub fn get(&self, id: FieldId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Writes a field, masking the value to `width` bits.  The width comes
+    /// from the caller (usually via [`FieldTable::width`]) so the hot path
+    /// avoids a second indirection.
+    #[inline]
+    pub fn set_masked(&mut self, id: FieldId, value: u64, width: u32) {
+        self.values[id.0 as usize] = value & mask_for(width);
+    }
+
+    /// Writes a field using the table to mask to the declared width.
+    #[inline]
+    pub fn set(&mut self, table: &FieldTable, id: FieldId, value: u64) {
+        self.set_masked(id, value, table.width(id));
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the PHV to at least `len` slots (new slots zero).  Used when a
+    /// packet parsed by one device (with fewer user-metadata fields) enters
+    /// a switch whose program interned more — metadata is per-program, so
+    /// the extra slots simply start cleared.
+    pub fn grow_to(&mut self, len: usize) {
+        if self.values.len() < len {
+            let mut v = std::mem::take(&mut self.values).into_vec();
+            v.resize(len, 0);
+            self.values = v.into_boxed_slice();
+        }
+    }
+
+    /// Whether the PHV has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_constants_match_interned_names() {
+        let t = FieldTable::new();
+        assert_eq!(t.lookup("ipv4.dst"), Some(fields::IPV4_DST));
+        assert_eq!(t.lookup("tcp.flags"), Some(fields::TCP_FLAGS));
+        assert_eq!(t.lookup("meta.template_id"), Some(fields::TEMPLATE_ID));
+        assert_eq!(t.len(), fields::STANDARD_COUNT as usize);
+        assert_eq!(t.width(fields::ETH_DST), 48);
+        assert_eq!(t.width(fields::IPV4_TTL), 8);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = FieldTable::new();
+        let a = t.intern("meta.scratch", 32);
+        let b = t.intern("meta.scratch", 32);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), fields::STANDARD_COUNT as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different width")]
+    fn intern_width_conflict_panics() {
+        let mut t = FieldTable::new();
+        t.intern("meta.scratch", 32);
+        t.intern("meta.scratch", 16);
+    }
+
+    #[test]
+    fn phv_set_masks_to_width() {
+        let t = FieldTable::new();
+        let mut p = t.new_phv();
+        p.set(&t, fields::IPV4_TTL, 0x1ff); // 8-bit field
+        assert_eq!(p.get(fields::IPV4_TTL), 0xff);
+        p.set(&t, fields::TCP_SPORT, 0x12345);
+        assert_eq!(p.get(fields::TCP_SPORT), 0x2345);
+        p.set(&t, fields::IG_TS, u64::MAX);
+        assert_eq!(p.get(fields::IG_TS), u64::MAX);
+    }
+
+    #[test]
+    fn mask_for_widths() {
+        assert_eq!(mask_for(1), 1);
+        assert_eq!(mask_for(16), 0xffff);
+        assert_eq!(mask_for(48), 0xffff_ffff_ffff);
+        assert_eq!(mask_for(64), u64::MAX);
+    }
+
+    #[test]
+    fn fresh_phv_is_zeroed() {
+        let t = FieldTable::new();
+        let p = t.new_phv();
+        assert_eq!(p.len(), t.len());
+        assert!((0..p.len()).all(|i| p.get(FieldId(i as u16)) == 0));
+    }
+}

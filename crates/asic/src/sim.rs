@@ -1,0 +1,442 @@
+//! The discrete-event simulation world: devices, links and the event queue.
+//!
+//! A [`World`] owns a set of [`Device`]s (switches, servers, sinks) wired
+//! together by point-to-point [`Link`]s.  Devices communicate only through
+//! the event queue: a handler returns emissions/wake requests in an
+//! [`Outbox`], and the world turns emissions into future `Deliver` events on
+//! the link peer.  Two events at the same instant are ordered by insertion
+//! sequence, making every run fully deterministic for a given seed.
+//!
+//! Links support smoltcp-style fault injection (random drop and corruption)
+//! for the failure-handling tests.
+
+use crate::packet::SimPacket;
+use crate::phv::{FieldId, fields};
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a device within its world.
+pub type DeviceId = usize;
+
+/// Emissions and wake requests produced by one device handler invocation.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Packets leaving the device: `(source port, packet, departure time)`.
+    pub emits: Vec<(u16, SimPacket, SimTime)>,
+    /// Timer requests: `(opaque token, fire time)`.
+    pub wakes: Vec<(u64, SimTime)>,
+}
+
+impl Outbox {
+    /// Queues a packet emission out of `port` at time `at`.
+    pub fn emit(&mut self, port: u16, pkt: SimPacket, at: SimTime) {
+        self.emits.push((port, pkt, at));
+    }
+
+    /// Requests a wake callback with `token` at time `at`.
+    pub fn wake_at(&mut self, token: u64, at: SimTime) {
+        self.wakes.push((token, at));
+    }
+}
+
+/// A network element participating in the simulation.
+pub trait Device: Any {
+    /// Device name, for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Handles a packet arriving on `port` at time `now`.
+    fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox);
+
+    /// Handles a timer previously requested via [`Outbox::wake_at`].
+    fn wake(&mut self, _token: u64, _now: SimTime, _out: &mut Outbox) {}
+
+    /// Upcast for typed post-run access ([`World::device`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// One direction of a link out of a `(device, port)` endpoint.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Receiving endpoint.
+    pub peer: (DeviceId, u16),
+    /// Propagation delay added to every delivery.
+    pub delay: SimTime,
+    /// Probability a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability one header field gets a bit flipped.
+    pub corrupt_chance: f64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { device: DeviceId, port: u16, pkt: SimPacket },
+    Wake { device: DeviceId, token: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Statistics of a world run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Events processed.
+    pub events: u64,
+    /// Packets dropped by link fault injection.
+    pub link_drops: u64,
+    /// Header fields corrupted by link fault injection.
+    pub link_corruptions: u64,
+    /// Emissions out of ports with no link attached.
+    pub dangling_emits: u64,
+}
+
+/// The simulation world.
+pub struct World {
+    devices: Vec<Box<dyn Device>>,
+    links: HashMap<(DeviceId, u16), Link>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    /// Run statistics.
+    pub stats: WorldStats,
+}
+
+impl World {
+    /// Creates an empty world with a fault-injection RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            devices: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Adds a device, returning its id.
+    pub fn add_device(&mut self, dev: Box<dyn Device>) -> DeviceId {
+        self.devices.push(dev);
+        self.devices.len() - 1
+    }
+
+    /// Connects two endpoints bidirectionally with a propagation delay and
+    /// no faults.
+    pub fn connect(&mut self, a: (DeviceId, u16), b: (DeviceId, u16), delay: SimTime) {
+        self.connect_faulty(a, b, delay, 0.0, 0.0);
+    }
+
+    /// Connects two endpoints bidirectionally with fault injection.
+    pub fn connect_faulty(
+        &mut self,
+        a: (DeviceId, u16),
+        b: (DeviceId, u16),
+        delay: SimTime,
+        drop_chance: f64,
+        corrupt_chance: f64,
+    ) {
+        assert!((0.0..=1.0).contains(&drop_chance));
+        assert!((0.0..=1.0).contains(&corrupt_chance));
+        self.links.insert(a, Link { peer: b, delay, drop_chance, corrupt_chance });
+        self.links.insert(b, Link { peer: a, delay, drop_chance, corrupt_chance });
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a packet delivery straight into a device port (external
+    /// traffic injection, e.g. templates from a test driver).
+    pub fn schedule_rx(&mut self, device: DeviceId, port: u16, pkt: SimPacket, at: SimTime) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Deliver { device, port, pkt } }));
+    }
+
+    /// Schedules a wake for a device (external timer injection).
+    pub fn schedule_wake(&mut self, device: DeviceId, token: u64, at: SimTime) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Wake { device, token } }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Processes a single event.  Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.stats.events += 1;
+
+        let mut out = Outbox::default();
+        let device = match ev.kind {
+            EventKind::Deliver { device, port, pkt } => {
+                self.devices[device].rx(port, pkt, self.now, &mut out);
+                device
+            }
+            EventKind::Wake { device, token } => {
+                self.devices[device].wake(token, self.now, &mut out);
+                device
+            }
+        };
+        self.flush_outbox(device, out);
+        true
+    }
+
+    fn flush_outbox(&mut self, device: DeviceId, out: Outbox) {
+        for (token, at) in out.wakes {
+            let seq = self.next_seq();
+            self.queue.push(Reverse(Event {
+                at: at.max(self.now),
+                seq,
+                kind: EventKind::Wake { device, token },
+            }));
+        }
+        for (port, mut pkt, at) in out.emits {
+            let Some(link) = self.links.get(&(device, port)).cloned() else {
+                self.stats.dangling_emits += 1;
+                continue;
+            };
+            if link.drop_chance > 0.0 && self.rng.gen_bool(link.drop_chance) {
+                self.stats.link_drops += 1;
+                continue;
+            }
+            if link.corrupt_chance > 0.0 && self.rng.gen_bool(link.corrupt_chance) {
+                // Flip one random bit in a random standard header field —
+                // the PHV-level analogue of a byte corruption on the wire.
+                let f = FieldId(self.rng.gen_range(0..fields::STANDARD_COUNT));
+                let bit = self.rng.gen_range(0..16u32);
+                let v = pkt.phv.get(f) ^ (1 << bit);
+                pkt.phv.set_masked(f, v, 64);
+                self.stats.link_corruptions += 1;
+            }
+            let seq = self.next_seq();
+            self.queue.push(Reverse(Event {
+                at: at.max(self.now) + link.delay,
+                seq,
+                kind: EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
+            }));
+        }
+    }
+
+    /// Runs until the queue drains or simulated time exceeds `t_end`
+    /// (events beyond `t_end` stay queued).  Returns the number of events
+    /// processed.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > t_end {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(t_end);
+        n
+    }
+
+    /// Runs until the queue is empty or `max_events` is hit (a runaway
+    /// guard for tests).
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Typed access to a device after (or during) a run.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range or the type does not match.
+    pub fn device<T: 'static>(&self, id: DeviceId) -> &T {
+        self.devices[id].as_any().downcast_ref::<T>().expect("device type mismatch")
+    }
+
+    /// Typed mutable access to a device.
+    pub fn device_mut<T: 'static>(&mut self, id: DeviceId) -> &mut T {
+        self.devices[id].as_any_mut().downcast_mut::<T>().expect("device type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::FieldTable;
+
+    /// Echoes every packet back out the port it arrived on after 10 ns.
+    struct Echo {
+        rx_times: Vec<SimTime>,
+    }
+
+    impl Device for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+
+        fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox) {
+            self.rx_times.push(now);
+            out.emit(port, pkt, now + 10_000);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts received packets.
+    struct Counter {
+        count: u64,
+        woken: Vec<u64>,
+    }
+
+    impl Device for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn rx(&mut self, _port: u16, _pkt: SimPacket, _now: SimTime, _out: &mut Outbox) {
+            self.count += 1;
+        }
+
+        fn wake(&mut self, token: u64, _now: SimTime, _out: &mut Outbox) {
+            self.woken.push(token);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn blank_packet() -> SimPacket {
+        let t = FieldTable::new();
+        SimPacket { phv: t.new_phv(), body: None, uid: 0 }
+    }
+
+    #[test]
+    fn delivery_respects_link_delay() {
+        let mut w = World::new(1);
+        let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.connect((e, 0), (c, 0), 5_000);
+        w.schedule_rx(e, 0, blank_packet(), 100);
+        w.run_to_idle(100);
+        // Echo got it at t=100, re-emitted at 110 ns, counter at 115 ns.
+        assert_eq!(w.device::<Echo>(e).rx_times, vec![100]);
+        assert_eq!(w.device::<Counter>(c).count, 1);
+        assert_eq!(w.now(), 100 + 10_000 + 5_000);
+    }
+
+    #[test]
+    fn wakes_fire_in_time_order() {
+        let mut w = World::new(1);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.schedule_wake(c, 2, 200);
+        w.schedule_wake(c, 1, 100);
+        w.schedule_wake(c, 3, 300);
+        w.run_to_idle(10);
+        assert_eq!(w.device::<Counter>(c).woken, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_preserve_insertion_order() {
+        let mut w = World::new(1);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        for token in 0..10 {
+            w.schedule_wake(c, token, 500);
+        }
+        w.run_to_idle(100);
+        assert_eq!(w.device::<Counter>(c).woken, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut w = World::new(1);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.schedule_wake(c, 1, 100);
+        w.schedule_wake(c, 2, 1_000);
+        let n = w.run_until(500);
+        assert_eq!(n, 1);
+        assert_eq!(w.now(), 500);
+        w.run_to_idle(10);
+        assert_eq!(w.device::<Counter>(c).woken, vec![1, 2]);
+    }
+
+    #[test]
+    fn dangling_emission_is_counted_not_fatal() {
+        let mut w = World::new(1);
+        let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+        w.schedule_rx(e, 7, blank_packet(), 0); // port 7 has no link
+        w.run_to_idle(10);
+        assert_eq!(w.stats.dangling_emits, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_the_configured_fraction() {
+        let mut w = World::new(42);
+        let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.connect_faulty((e, 0), (c, 0), 0, 0.3, 0.0);
+        for i in 0..1000 {
+            w.schedule_rx(e, 0, blank_packet(), i * 100);
+        }
+        w.run_to_idle(10_000);
+        let delivered = w.device::<Counter>(c).count;
+        assert_eq!(delivered + w.stats.link_drops, 1000);
+        assert!((500..900).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn corrupting_link_flips_fields() {
+        let mut w = World::new(7);
+        let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.connect_faulty((e, 0), (c, 0), 0, 0.0, 1.0);
+        w.schedule_rx(e, 0, blank_packet(), 0);
+        w.run_to_idle(10);
+        assert_eq!(w.stats.link_corruptions, 1);
+        assert_eq!(w.device::<Counter>(c).count, 1, "corrupted packets still deliver");
+    }
+}

@@ -1,0 +1,493 @@
+//! Match-action tables.
+//!
+//! Four match kinds cover everything HyperTester compiles:
+//!
+//! * **Exact** — SRAM hash tables (exact key matching, forwarding, the
+//!   false-positive resolution table of §5.2);
+//! * **Ternary** — TCAM value/mask entries (the inverse-transform CDF range
+//!   tables of §5.1 are lowered to ternary on Tofino);
+//! * **Range** — priority-ordered range entries (a convenience the compiler
+//!   expands to ternary for resource accounting);
+//! * **Index** — direct-indexed action memory (the editor's value-list
+//!   tables, indexed by packet id).
+//!
+//! A table can carry a *gateway*: the per-stage predicate unit that decides
+//! whether the table applies (used to compile NTAPI `filter`).
+
+use crate::action::ActionSet;
+use crate::phv::{FieldId, Phv};
+use std::collections::HashMap;
+
+/// How a table matches its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact match on every key field.
+    Exact,
+    /// Value/mask match, highest priority wins.
+    Ternary,
+    /// Inclusive range per key field, highest priority wins.
+    Range,
+    /// Direct index by the (single) key field.
+    Index,
+}
+
+/// A gateway predicate: `field cmp value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gateway {
+    /// Field inspected.
+    pub field: FieldId,
+    /// Comparison.
+    pub cmp: crate::register::Cmp,
+    /// Constant right-hand side.
+    pub value: u64,
+}
+
+impl Gateway {
+    /// Evaluates the predicate against a PHV.
+    pub fn eval(&self, phv: &Phv) -> bool {
+        let lhs = phv.get(self.field);
+        match self.cmp {
+            crate::register::Cmp::Eq => lhs == self.value,
+            crate::register::Cmp::Ne => lhs != self.value,
+            crate::register::Cmp::Lt => lhs < self.value,
+            crate::register::Cmp::Le => lhs <= self.value,
+            crate::register::Cmp::Gt => lhs > self.value,
+            crate::register::Cmp::Ge => lhs >= self.value,
+        }
+    }
+}
+
+/// Key of one table entry, shaped by the table's [`MatchKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchKey {
+    /// One value per key field.
+    Exact(Vec<u64>),
+    /// One `(value, mask)` per key field.
+    Ternary(Vec<(u64, u64)>),
+    /// One inclusive `(lo, hi)` per key field.
+    Range(Vec<(u64, u64)>),
+    /// Direct index.
+    Index(u64),
+}
+
+/// Errors from table configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The entry's key shape does not match the table's kind or key arity.
+    KeyShape,
+    /// The table is at capacity.
+    Full,
+    /// An `Index` entry is outside the table's size.
+    IndexOutOfRange,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::KeyShape => write!(f, "entry key does not match table kind/arity"),
+            TableError::Full => write!(f, "table is full"),
+            TableError::IndexOutOfRange => write!(f, "index entry outside table size"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[derive(Debug, Clone)]
+struct TernaryEntry {
+    key: Vec<(u64, u64)>,
+    priority: i32,
+    action: ActionSet,
+}
+
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    key: Vec<(u64, u64)>,
+    priority: i32,
+    action: ActionSet,
+}
+
+/// A match-action table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    kind: MatchKind,
+    key_fields: Vec<FieldId>,
+    capacity: usize,
+    default_action: ActionSet,
+    gateways: Vec<Gateway>,
+    exact: HashMap<Vec<u64>, ActionSet>,
+    ternary: Vec<TernaryEntry>,
+    range: Vec<RangeEntry>,
+    /// True while the range entries are single-key, equal-priority,
+    /// non-overlapping and sorted by lower bound — the shape the compiler's
+    /// inverse-CDF tables have, enabling binary-search lookup.
+    range_sorted: bool,
+    indexed: Vec<Option<ActionSet>>,
+    /// Lookup counter, for tests and diagnostics.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// `capacity` bounds the number of entries (SRAM/TCAM allocation); for
+    /// `Index` tables it is the directly addressable size.
+    pub fn new(
+        name: &str,
+        kind: MatchKind,
+        key_fields: Vec<FieldId>,
+        capacity: usize,
+        default_action: ActionSet,
+    ) -> Self {
+        assert!(capacity > 0, "table capacity must be positive");
+        if kind == MatchKind::Index {
+            assert_eq!(key_fields.len(), 1, "index tables take exactly one key field");
+        }
+        let indexed = if kind == MatchKind::Index { vec![None; capacity] } else { Vec::new() };
+        Table {
+            name: name.to_string(),
+            kind,
+            key_fields,
+            capacity,
+            default_action,
+            gateways: Vec::new(),
+            exact: HashMap::new(),
+            ternary: Vec::new(),
+            range: Vec::new(),
+            range_sorted: true,
+            indexed,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Attaches a gateway predicate; the table only applies when **all**
+    /// attached predicates hold (each consumes one gateway unit).
+    pub fn with_gateway(mut self, gw: Gateway) -> Self {
+        self.gateways.push(gw);
+        self
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Match kind.
+    pub fn kind(&self) -> MatchKind {
+        self.kind
+    }
+
+    /// Key fields.
+    pub fn key_fields(&self) -> &[FieldId] {
+        &self.key_fields
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The gateway predicates.
+    pub fn gateways(&self) -> &[Gateway] {
+        &self.gateways
+    }
+
+    /// Default action reference.
+    pub fn default_action(&self) -> &ActionSet {
+        &self.default_action
+    }
+
+    /// Number of installed entries.
+    pub fn entry_count(&self) -> usize {
+        match self.kind {
+            MatchKind::Exact => self.exact.len(),
+            MatchKind::Ternary => self.ternary.len(),
+            MatchKind::Range => self.range.len(),
+            MatchKind::Index => self.indexed.iter().filter(|e| e.is_some()).count(),
+        }
+    }
+
+    /// Largest VLIW op count across the default action and all entries —
+    /// what the stage's instruction memory must provision.
+    pub fn max_ops(&self) -> usize {
+        let entries: Box<dyn Iterator<Item = &ActionSet>> = match self.kind {
+            MatchKind::Exact => Box::new(self.exact.values()),
+            MatchKind::Ternary => Box::new(self.ternary.iter().map(|e| &e.action)),
+            MatchKind::Range => Box::new(self.range.iter().map(|e| &e.action)),
+            MatchKind::Index => Box::new(self.indexed.iter().flatten()),
+        };
+        entries.map(|a| a.ops.len()).chain(std::iter::once(self.default_action.ops.len())).max().unwrap_or(0)
+    }
+
+    /// Installs an entry.  `priority` orders ternary/range entries (higher
+    /// wins); it is ignored for exact and index tables.
+    pub fn insert(&mut self, key: MatchKey, action: ActionSet, priority: i32) -> Result<(), TableError> {
+        if self.entry_count() >= self.capacity && self.kind != MatchKind::Index {
+            return Err(TableError::Full);
+        }
+        match (self.kind, key) {
+            (MatchKind::Exact, MatchKey::Exact(k)) => {
+                if k.len() != self.key_fields.len() {
+                    return Err(TableError::KeyShape);
+                }
+                self.exact.insert(k, action);
+                Ok(())
+            }
+            (MatchKind::Ternary, MatchKey::Ternary(k)) => {
+                if k.len() != self.key_fields.len() {
+                    return Err(TableError::KeyShape);
+                }
+                self.ternary.push(TernaryEntry { key: k, priority, action });
+                self.ternary.sort_by_key(|e| std::cmp::Reverse(e.priority));
+                Ok(())
+            }
+            (MatchKind::Range, MatchKey::Range(k)) => {
+                if k.len() != self.key_fields.len() {
+                    return Err(TableError::KeyShape);
+                }
+                // Track whether the fast-path shape is preserved: one key
+                // field, uniform priority, appended in ascending order.
+                if self.key_fields.len() != 1
+                    || priority != 0
+                    || self.range.last().is_some_and(|prev| k[0].0 <= prev.key[0].1)
+                {
+                    self.range_sorted = false;
+                }
+                self.range.push(RangeEntry { key: k, priority, action });
+                if !self.range_sorted {
+                    self.range.sort_by_key(|e| std::cmp::Reverse(e.priority));
+                }
+                Ok(())
+            }
+            (MatchKind::Index, MatchKey::Index(i)) => {
+                let slot = usize::try_from(i).map_err(|_| TableError::IndexOutOfRange)?;
+                if slot >= self.capacity {
+                    return Err(TableError::IndexOutOfRange);
+                }
+                self.indexed[slot] = Some(action);
+                Ok(())
+            }
+            _ => Err(TableError::KeyShape),
+        }
+    }
+
+    /// Looks up the action for a PHV.  Returns the default action on a miss
+    /// and `None` when the gateway fails (table skipped entirely).
+    pub fn lookup(&mut self, phv: &Phv) -> Option<&ActionSet> {
+        if !self.gateways.iter().all(|gw| gw.eval(phv)) {
+            return None;
+        }
+        // Up to 8 key fields on the stack; HyperTester's widest key is the
+        // 5-tuple.
+        let mut key_buf = [0u64; 8];
+        let n = self.key_fields.len().min(8);
+        for (slot, f) in key_buf.iter_mut().zip(&self.key_fields) {
+            *slot = phv.get(*f);
+        }
+        let key = &key_buf[..n];
+
+        let hit = match self.kind {
+            MatchKind::Exact => self.exact.get(key),
+            MatchKind::Ternary => self
+                .ternary
+                .iter()
+                .find(|e| e.key.iter().zip(key).all(|(&(v, m), &k)| k & m == v & m))
+                .map(|e| &e.action),
+            MatchKind::Range if self.range_sorted => {
+                // Sorted non-overlapping single-key ranges: binary search
+                // for the last entry with lo ≤ key, then check hi.
+                let k = key[0];
+                let idx = self.range.partition_point(|e| e.key[0].0 <= k);
+                idx.checked_sub(1)
+                    .map(|i| &self.range[i])
+                    .filter(|e| k <= e.key[0].1)
+                    .map(|e| &e.action)
+            }
+            MatchKind::Range => self
+                .range
+                .iter()
+                .find(|e| e.key.iter().zip(key).all(|(&(lo, hi), &k)| lo <= k && k <= hi))
+                .map(|e| &e.action),
+            MatchKind::Index => self
+                .indexed
+                .get(key[0] as usize % self.capacity)
+                .and_then(|e| e.as_ref()),
+        };
+        match hit {
+            Some(a) => {
+                self.hits += 1;
+                Some(a)
+            }
+            None => {
+                self.misses += 1;
+                Some(&self.default_action)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::PrimitiveOp;
+    use crate::phv::{fields, FieldTable};
+    use crate::register::Cmp;
+
+    fn mark(value: u64) -> ActionSet {
+        ActionSet::new("mark", vec![PrimitiveOp::SetConst { dst: fields::TCP_WINDOW, value }])
+    }
+
+    fn phv_with(t: &FieldTable, f: FieldId, v: u64) -> Phv {
+        let mut p = t.new_phv();
+        p.set(t, f, v);
+        p
+    }
+
+    #[test]
+    fn exact_match_hits_and_misses() {
+        let t = FieldTable::new();
+        let mut tbl = Table::new("fwd", MatchKind::Exact, vec![fields::IPV4_DST], 16, ActionSet::nop());
+        tbl.insert(MatchKey::Exact(vec![42]), mark(1), 0).unwrap();
+
+        let hit = phv_with(&t, fields::IPV4_DST, 42);
+        assert_eq!(tbl.lookup(&hit).unwrap().name, "mark");
+        let miss = phv_with(&t, fields::IPV4_DST, 43);
+        assert_eq!(tbl.lookup(&miss).unwrap().name, "NoAction");
+        assert_eq!(tbl.hits, 1);
+        assert_eq!(tbl.misses, 1);
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let t = FieldTable::new();
+        let mut tbl = Table::new("tern", MatchKind::Ternary, vec![fields::TCP_DPORT], 16, ActionSet::nop());
+        // Low-priority catch-all and a high-priority specific entry.
+        tbl.insert(MatchKey::Ternary(vec![(0, 0)]), mark(1), 1).unwrap();
+        tbl.insert(MatchKey::Ternary(vec![(80, 0xffff)]), mark(2), 10).unwrap();
+
+        let http = phv_with(&t, fields::TCP_DPORT, 80);
+        let a = tbl.lookup(&http).unwrap();
+        assert_eq!(a.ops, mark(2).ops);
+        let other = phv_with(&t, fields::TCP_DPORT, 22);
+        assert_eq!(tbl.lookup(&other).unwrap().ops, mark(1).ops);
+    }
+
+    #[test]
+    fn range_match_inclusive_bounds() {
+        let t = FieldTable::new();
+        let mut tbl = Table::new("rng", MatchKind::Range, vec![fields::TCP_SPORT], 4, ActionSet::nop());
+        tbl.insert(MatchKey::Range(vec![(100, 200)]), mark(1), 0).unwrap();
+        for (v, hits) in [(99, false), (100, true), (200, true), (201, false)] {
+            let p = phv_with(&t, fields::TCP_SPORT, v);
+            let a = tbl.lookup(&p).unwrap();
+            assert_eq!(a.name == "mark", hits, "value {v}");
+        }
+    }
+
+    #[test]
+    fn index_table_direct_addressing() {
+        let t = FieldTable::new();
+        let mut tbl = Table::new("idx", MatchKind::Index, vec![fields::RID], 4, ActionSet::nop());
+        tbl.insert(MatchKey::Index(2), mark(9), 0).unwrap();
+        let p = phv_with(&t, fields::RID, 2);
+        assert_eq!(tbl.lookup(&p).unwrap().name, "mark");
+        // Unfilled slot falls back to the default action.
+        let p0 = phv_with(&t, fields::RID, 0);
+        assert_eq!(tbl.lookup(&p0).unwrap().name, "NoAction");
+        // Out-of-range insert is rejected.
+        assert_eq!(tbl.insert(MatchKey::Index(4), mark(1), 0).unwrap_err(), TableError::IndexOutOfRange);
+    }
+
+    #[test]
+    fn gateway_skips_table() {
+        let t = FieldTable::new();
+        let mut tbl = Table::new("gated", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+            .with_gateway(Gateway { field: fields::TCP_FLAGS, cmp: Cmp::Eq, value: 0x02 });
+        let mut p = phv_with(&t, fields::TCP_FLAGS, 0x10); // ACK, not SYN
+        assert!(tbl.lookup(&p).is_none());
+        p.set(&t, fields::TCP_FLAGS, 0x02);
+        assert!(tbl.lookup(&p).is_some());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut tbl = Table::new("tiny", MatchKind::Exact, vec![fields::IPV4_DST], 1, ActionSet::nop());
+        tbl.insert(MatchKey::Exact(vec![1]), mark(1), 0).unwrap();
+        assert_eq!(tbl.insert(MatchKey::Exact(vec![2]), mark(2), 0).unwrap_err(), TableError::Full);
+    }
+
+    #[test]
+    fn key_shape_mismatch_rejected() {
+        let mut tbl = Table::new("shape", MatchKind::Exact, vec![fields::IPV4_DST, fields::IPV4_SRC], 4, ActionSet::nop());
+        assert_eq!(tbl.insert(MatchKey::Exact(vec![1]), mark(1), 0).unwrap_err(), TableError::KeyShape);
+        assert_eq!(tbl.insert(MatchKey::Ternary(vec![(1, 1), (2, 2)]), mark(1), 0).unwrap_err(), TableError::KeyShape);
+    }
+
+    #[test]
+    fn max_ops_counts_widest_action() {
+        let mut tbl = Table::new("ops", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop());
+        let wide = ActionSet::new("w", vec![
+            PrimitiveOp::NoOp,
+            PrimitiveOp::NoOp,
+            PrimitiveOp::SetConst { dst: fields::TCP_WINDOW, value: 1 },
+        ]);
+        tbl.insert(MatchKey::Exact(vec![1]), wide, 0).unwrap();
+        tbl.insert(MatchKey::Exact(vec![2]), mark(1), 0).unwrap();
+        assert_eq!(tbl.max_ops(), 3);
+    }
+}
+
+#[cfg(test)]
+mod range_fast_path_tests {
+    use super::*;
+    use crate::action::{ActionSet, PrimitiveOp};
+    use crate::phv::{fields, FieldTable};
+
+    fn mark(v: u64) -> ActionSet {
+        ActionSet::new("m", vec![PrimitiveOp::SetConst { dst: fields::TCP_WINDOW, value: v }])
+    }
+
+    /// Sorted single-key ranges (the CDF-table shape) take the
+    /// binary-search path and agree with linear-scan semantics everywhere.
+    #[test]
+    fn sorted_ranges_binary_search_agrees_with_linear() {
+        let ft = FieldTable::new();
+        let mut fast = Table::new("fast", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
+        let mut slow = Table::new("slow", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
+        // fast: appended ascending (stays sorted); slow: forced off the
+        // fast path via a non-zero priority.
+        for (i, (lo, hi)) in [(10u64, 19u64), (20, 20), (25, 40), (50, 99)].iter().enumerate() {
+            fast.insert(MatchKey::Range(vec![(*lo, *hi)]), mark(i as u64), 0).unwrap();
+            slow.insert(MatchKey::Range(vec![(*lo, *hi)]), mark(i as u64), 1).unwrap();
+        }
+        assert!(fast.range_sorted);
+        assert!(!slow.range_sorted);
+        for probe in 0..120u64 {
+            let mut phv = ft.new_phv();
+            phv.set(&ft, fields::TCP_SPORT, probe);
+            let a = fast.lookup(&phv).unwrap().ops.clone();
+            let b = slow.lookup(&phv).unwrap().ops.clone();
+            assert_eq!(a, b, "probe {probe}");
+        }
+    }
+
+    /// Out-of-order insertion falls back to the linear path and still
+    /// matches correctly.
+    #[test]
+    fn unsorted_insert_falls_back() {
+        let ft = FieldTable::new();
+        let mut t = Table::new("t", MatchKind::Range, vec![fields::TCP_SPORT], 8, ActionSet::nop());
+        t.insert(MatchKey::Range(vec![(50, 99)]), mark(2), 0).unwrap();
+        t.insert(MatchKey::Range(vec![(10, 19)]), mark(1), 0).unwrap(); // lo goes backwards
+        assert!(!t.range_sorted);
+        let mut phv = ft.new_phv();
+        phv.set(&ft, fields::TCP_SPORT, 15);
+        assert_eq!(t.lookup(&phv).unwrap().ops, mark(1).ops);
+        phv.set(&ft, fields::TCP_SPORT, 60);
+        assert_eq!(t.lookup(&phv).unwrap().ops, mark(2).ops);
+    }
+}

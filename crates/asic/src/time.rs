@@ -1,0 +1,71 @@
+//! Simulation time.
+//!
+//! The discrete-event simulator measures time in integer **picoseconds**.
+//! The paper's calibration constants need sub-nanosecond resolution (one bit
+//! at 100 Gbps is 10 ps; the minimal template inter-arrival is 6.4 ns), and
+//! integer picoseconds keep all arithmetic exact: `u64` picoseconds cover
+//! ~213 days of simulated time, far beyond any experiment here.
+
+/// A point in simulated time, in picoseconds since simulation start.
+pub type SimTime = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// Converts nanoseconds to picoseconds.
+pub const fn ns(v: u64) -> SimTime {
+    v * PS_PER_NS
+}
+
+/// Converts microseconds to picoseconds.
+pub const fn us(v: u64) -> SimTime {
+    v * PS_PER_US
+}
+
+/// Converts milliseconds to picoseconds.
+pub const fn ms(v: u64) -> SimTime {
+    v * PS_PER_MS
+}
+
+/// Converts seconds to picoseconds.
+pub const fn secs(v: u64) -> SimTime {
+    v * PS_PER_SEC
+}
+
+/// Converts picoseconds to (fractional) nanoseconds, for reporting.
+pub fn to_ns_f64(t: SimTime) -> f64 {
+    t as f64 / PS_PER_NS as f64
+}
+
+/// Converts picoseconds to (fractional) seconds, for reporting.
+pub fn to_secs_f64(t: SimTime) -> f64 {
+    t as f64 / PS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ns(1), 1_000);
+        assert_eq!(us(1), 1_000 * ns(1));
+        assert_eq!(ms(1), 1_000 * us(1));
+        assert_eq!(secs(1), 1_000 * ms(1));
+        assert_eq!(to_ns_f64(ns(570)), 570.0);
+        assert_eq!(to_secs_f64(secs(2)), 2.0);
+    }
+
+    #[test]
+    fn sub_ns_resolution() {
+        // 6.4 ns — the paper's minimal template inter-arrival — is exact.
+        assert_eq!(ns(64) / 10, 6_400);
+        assert_eq!(to_ns_f64(6_400), 6.4);
+    }
+}

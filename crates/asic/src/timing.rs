@@ -1,0 +1,136 @@
+//! Tofino-calibrated timing model.
+//!
+//! Every constant here is calibrated to a number reported in the HyperTester
+//! paper (§7.2–§7.3) so that the microbenchmarks reproduce the paper's
+//! figures.  The decomposition into parser/pipeline/TM components follows
+//! the RMT architecture; the *sums* are what the paper measures.
+
+use crate::time::SimTime;
+
+/// Fixed parser latency per pipeline pass.
+pub const PARSER_LATENCY: SimTime = 40_000; // 40 ns
+/// Fixed match-action pipeline latency (ingress or egress pass).
+pub const PIPELINE_LATENCY: SimTime = 170_000; // 170 ns
+/// Fixed deparser latency per pipeline pass.
+pub const DEPARSER_LATENCY: SimTime = 40_000; // 40 ns
+/// Traffic-manager transit latency for unicast packets.
+pub const TM_UNICAST_LATENCY: SimTime = 30_000; // 30 ns
+
+/// Multicast-engine base delay for 64-byte packets.
+///
+/// Fig. 15(a): "64-byte packets have about 389 ns multicast delay".
+pub const MCAST_BASE_DELAY: SimTime = 389_000;
+/// Multicast-engine delay growth per byte beyond 64.
+///
+/// Fig. 15(a): "the delay increases by about 65 ns when the packet size
+/// rises to 1280 bytes" → 65 ns / 1216 B ≈ 53.5 ps/B.
+pub const MCAST_DELAY_PER_BYTE_PS: u64 = 53;
+
+/// Per-byte overhead of the recirculation path (on top of the 20-byte
+/// external overhead a MAC would add, the recirc loop skips preamble
+/// regeneration): calibrated so a 64-byte template re-arrives every 6.4 ns
+/// at the 100 Gbps recirculation bandwidth (§5.1: "the rate control
+/// precision … is around 6.4 ns on Tofino for 64-byte packets").
+pub const RECIRC_OVERHEAD_BYTES: u64 = 16;
+
+/// Recirculation-loop wire+MAC fixed latency, calibrated together with the
+/// pipeline constants so a 64-byte template completes one accelerator loop
+/// in 570 ns (Fig. 14a) — see [`recirc_rtt`].
+pub const RECIRC_LOOP_FIXED: SimTime = 119_168;
+
+/// Additional per-byte latency of a recirculation loop (cut-through, so only
+/// a sliver of the serialization shows up in latency): calibrated so the RTT
+/// stays below 590 ns at 1500 bytes (§7 result overview).
+pub const RECIRC_LOOP_PER_BYTE_PS: u64 = 13;
+
+/// Default bandwidth of the internal recirculation path.
+///
+/// §5.1: "Tofino could recirculate packets at a speed of no less than
+/// 100 Gbps".
+pub const RECIRC_BANDWIDTH_BPS: u64 = 100_000_000_000;
+
+/// Jitter amplitude (half-width of a uniform distribution, in ps) on the
+/// multicast engine delay.  Fig. 15(a) reports an RMSE below 4.5 ns on
+/// inter-arrival times; a ±4 ns grant-granularity jitter lands there.
+pub const MCAST_JITTER_PS: u64 = 4_000;
+
+/// Jitter amplitude (half-width, ps) on a recirculation loop.  Fig. 14(a)
+/// reports RTT RMSE under 5 ns for 10^6 loops.
+pub const RECIRC_JITTER_PS: u64 = 4_000;
+
+/// Time one packet occupies the recirculation path, i.e. the minimal
+/// inter-arrival of consecutive template packets.
+///
+/// 64 B → (64 + 16) × 8 bit / 100 Gbps = 6.4 ns, the paper's rate-control
+/// precision quantum.
+pub fn recirc_occupancy(frame_len: usize) -> SimTime {
+    let bits = (frame_len as u64 + RECIRC_OVERHEAD_BYTES) * 8;
+    bits * crate::time::PS_PER_SEC / RECIRC_BANDWIDTH_BPS
+}
+
+/// Mean round-trip time of one accelerator loop (parser → ingress → TM →
+/// egress → deparser → recirculation wire → back to parser) for a frame of
+/// `frame_len` bytes.
+///
+/// Calibrated: 64 B → 570 ns (Fig. 14a), 1500 B → ~588.7 ns (< 590 ns).
+pub fn recirc_rtt(frame_len: usize) -> SimTime {
+    PARSER_LATENCY
+        + PIPELINE_LATENCY
+        + TM_UNICAST_LATENCY
+        + PIPELINE_LATENCY
+        + DEPARSER_LATENCY
+        + RECIRC_LOOP_FIXED
+        + frame_len as u64 * RECIRC_LOOP_PER_BYTE_PS
+}
+
+/// Mean multicast-engine delay for a frame of `frame_len` bytes.
+pub fn mcast_delay(frame_len: usize) -> SimTime {
+    MCAST_BASE_DELAY + frame_len.saturating_sub(64) as u64 * MCAST_DELAY_PER_BYTE_PS
+}
+
+/// Accelerator capacity: how many templates of `frame_len` bytes one
+/// recirculation loop sustains, `⌊RTT / occupancy⌋`.
+///
+/// 64 B → ⌊570 / 6.4⌋ = 89 (Fig. 14b).
+pub fn accelerator_capacity(frame_len: usize) -> usize {
+    (recirc_rtt(frame_len) / recirc_occupancy(frame_len)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::to_ns_f64;
+
+    #[test]
+    fn recirc_occupancy_is_6_4ns_at_64b() {
+        assert_eq!(recirc_occupancy(64), 6_400);
+    }
+
+    #[test]
+    fn rtt_calibration_matches_paper() {
+        // Fig. 14a: 64-byte loop completes within 570 ns.
+        let rtt64 = to_ns_f64(recirc_rtt(64));
+        assert!((rtt64 - 570.0).abs() < 1.0, "RTT(64) = {rtt64} ns");
+        // §7 overview: RTT below 590 ns up to 1500 bytes, growing with size.
+        let rtt1500 = to_ns_f64(recirc_rtt(1500));
+        assert!(rtt1500 < 590.0, "RTT(1500) = {rtt1500} ns");
+        assert!(rtt1500 > rtt64);
+    }
+
+    #[test]
+    fn capacity_matches_paper() {
+        // Fig. 14b: 89 templates of 64 bytes.
+        assert_eq!(accelerator_capacity(64), 89);
+        // Capacity shrinks with packet size.
+        assert!(accelerator_capacity(1500) < accelerator_capacity(256));
+        assert!(accelerator_capacity(1500) >= 4);
+    }
+
+    #[test]
+    fn mcast_delay_matches_paper() {
+        // Fig. 15a: 389 ns at 64 B, +~65 ns at 1280 B.
+        assert_eq!(mcast_delay(64), 389_000);
+        let growth = to_ns_f64(mcast_delay(1280)) - to_ns_f64(mcast_delay(64));
+        assert!((growth - 65.0).abs() < 2.0, "growth {growth} ns");
+    }
+}

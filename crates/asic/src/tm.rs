@@ -1,0 +1,89 @@
+//! Traffic-manager configuration: multicast groups.
+//!
+//! The mcast engine is "a general primitive widely supported by commodity
+//! switches" (§5.1) that HyperTester's replicator uses to turn one template
+//! packet into per-port test packets.  A group maps to a list of
+//! `(egress port, replication id)` members; the engine clones the packet
+//! once per member, stamping the member's RID so the egress editor can
+//! differentiate replicas.
+
+use std::collections::HashMap;
+
+/// One member of a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McastMember {
+    /// Egress port the replica is sent to.
+    pub port: u16,
+    /// Replication id stamped into `meta.rid`.
+    pub rid: u16,
+}
+
+/// The multicast group table, populated by the control plane.
+#[derive(Debug, Clone, Default)]
+pub struct McastTable {
+    groups: HashMap<u16, Vec<McastMember>>,
+}
+
+impl McastTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a group.  Group id 0 is reserved as "no
+    /// multicast" in the PHV and cannot be configured.
+    pub fn set_group(&mut self, group: u16, members: Vec<McastMember>) {
+        assert!(group != 0, "multicast group 0 is reserved");
+        self.groups.insert(group, members);
+    }
+
+    /// Members of a group (empty for unknown groups — the hardware drops
+    /// replicas of unconfigured groups).
+    pub fn members(&self, group: u16) -> &[McastMember] {
+        self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of configured groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups are configured.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_store_members_in_order() {
+        let mut t = McastTable::new();
+        t.set_group(1, vec![McastMember { port: 0, rid: 1 }, McastMember { port: 1, rid: 2 }]);
+        assert_eq!(t.members(1).len(), 2);
+        assert_eq!(t.members(1)[1].port, 1);
+    }
+
+    #[test]
+    fn unknown_group_is_empty() {
+        let t = McastTable::new();
+        assert!(t.members(9).is_empty());
+    }
+
+    #[test]
+    fn replacing_a_group_overwrites() {
+        let mut t = McastTable::new();
+        t.set_group(1, vec![McastMember { port: 0, rid: 1 }]);
+        t.set_group(1, vec![]);
+        assert!(t.members(1).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "group 0 is reserved")]
+    fn group_zero_rejected() {
+        McastTable::new().set_group(0, vec![]);
+    }
+}

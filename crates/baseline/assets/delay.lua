@@ -1,0 +1,69 @@
+-- MoonGen delay-testing script (Table 5 baseline): software and hardware
+-- timestamping of a device under test.
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local ts     = require "timestamping"
+local hist   = require "histogram"
+local timer  = require "timer"
+local stats  = require "stats"
+
+local PKT_SIZE = 124
+local RATE_PPS = 1000
+
+function configure(parser)
+    parser:argument("txDev", "Transmit device."):convert(tonumber)
+    parser:argument("rxDev", "Receive device."):convert(tonumber)
+    parser:option("-m --mode", "hw or sw timestamps."):default("hw")
+    parser:option("-n --num", "Number of probes."):default(100000):convert(tonumber)
+    return parser:parse()
+end
+
+function master(args)
+    local txDev = device.config{port = args.txDev, txQueues = 2}
+    local rxDev = device.config{port = args.rxDev, rxQueues = 2}
+    device.waitForLinks()
+    if args.mode == "hw" then
+        mg.startTask("hwTimestamper", txDev:getTxQueue(1), rxDev:getRxQueue(1), args.num)
+    else
+        mg.startTask("swTimestamper", txDev:getTxQueue(1), rxDev:getRxQueue(1), args.num)
+    end
+    mg.waitForTasks()
+end
+
+function hwTimestamper(txQueue, rxQueue, num)
+    local timestamper = ts:newTimestamper(txQueue, rxQueue)
+    local h = hist:new()
+    local rateLimit = timer:new(1 / RATE_PPS)
+    for i = 1, num do
+        if not mg.running() then break end
+        h:update(timestamper:measureLatency(PKT_SIZE))
+        rateLimit:wait()
+        rateLimit:reset()
+    end
+    h:print()
+    h:save("latency-hw.csv")
+end
+
+function swTimestamper(txQueue, rxQueue, num)
+    local mempool = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill{pktLength = PKT_SIZE}
+    end)
+    local bufs = mempool:bufArray(1)
+    local rxBufs = memory.bufArray(128)
+    local h = hist:new()
+    for i = 1, num do
+        if not mg.running() then break end
+        bufs:alloc(PKT_SIZE)
+        local txTime = mg.getTime()
+        txQueue:send(bufs)
+        local rx = rxQueue:tryRecv(rxBufs, 1000)
+        if rx > 0 then
+            local rxTime = mg.getTime()
+            h:update((rxTime - txTime) * 10^9)
+            rxBufs:freeAll()
+        end
+    end
+    h:print()
+    h:save("latency-sw.csv")
+end

@@ -1,0 +1,61 @@
+-- MoonGen IP-scanning script (Table 5 baseline): sweep destination
+-- addresses and record responders.
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+
+local PKT_SIZE  = 64
+local BASE_IP   = parseIPAddress("10.1.0.0")
+local NUM_ADDRS = 65536
+
+function configure(parser)
+    parser:argument("txDev", "Transmit device."):convert(tonumber)
+    parser:argument("rxDev", "Receive device."):convert(tonumber)
+    return parser:parse()
+end
+
+function master(args)
+    local txDev = device.config{port = args.txDev, txQueues = 1}
+    local rxDev = device.config{port = args.rxDev, rxQueues = 1}
+    device.waitForLinks()
+    mg.startTask("scanSlave", txDev:getTxQueue(0))
+    mg.startTask("captureSlave", rxDev:getRxQueue(0))
+    mg.waitForTasks()
+end
+
+function scanSlave(queue)
+    local mempool = memory.createMemPool(function(buf)
+        buf:getTcpPacket():fill{
+            ip4Src = "10.0.0.1", tcpDst = 80, tcpSyn = 1,
+            pktLength = PKT_SIZE
+        }
+    end)
+    local bufs = mempool:bufArray()
+    local counter = 0
+    while mg.running() do
+        bufs:alloc(PKT_SIZE)
+        for i, buf in ipairs(bufs) do
+            local pkt = buf:getTcpPacket()
+            pkt.ip4.dst:set(BASE_IP + (counter % NUM_ADDRS))
+            counter = counter + 1
+        end
+        bufs:offloadTcpChecksums()
+        queue:send(bufs)
+    end
+end
+
+function captureSlave(queue)
+    local bufs = memory.bufArray()
+    local seen = {}
+    while mg.running() do
+        local rx = queue:recv(bufs)
+        for i = 1, rx do
+            local pkt = bufs[i]:getTcpPacket()
+            if pkt.tcp:getSyn() == 1 and pkt.tcp:getAck() == 1 then
+                seen[pkt.ip4.src:getString()] = true
+            end
+        end
+        bufs:free(rx)
+    end
+end

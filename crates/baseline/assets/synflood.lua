@@ -1,0 +1,52 @@
+-- MoonGen SYN-flood emulation script (Table 5 baseline).
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+
+local PKT_SIZE = 64
+
+function configure(parser)
+    parser:argument("dev", "Devices to transmit from."):args("+"):convert(tonumber)
+    parser:option("-t --target", "Target IP."):default("10.0.0.80")
+    parser:option("-a --agents", "Emulated agent count."):default(65536):convert(tonumber)
+    return parser:parse()
+end
+
+function master(args)
+    for i, port in ipairs(args.dev) do
+        local dev = device.config{port = port, txQueues = 1}
+        device.waitForLinks()
+        mg.startTask("floodSlave", dev:getTxQueue(0), args.target, args.agents)
+    end
+    mg.waitForTasks()
+end
+
+function floodSlave(queue, target, agents)
+    local mempool = memory.createMemPool(function(buf)
+        buf:getTcpPacket():fill{
+            ethSrc = queue, ethDst = "02:00:00:00:00:02",
+            ip4Dst = target, tcpDst = 80,
+            tcpSyn = 1, tcpSeqNumber = 1, tcpWindow = 8192,
+            pktLength = PKT_SIZE
+        }
+    end)
+    local bufs = mempool:bufArray()
+    local baseIP = parseIPAddress("1.0.0.1")
+    local basePort = 1024
+    local counter = 0
+    local txCtr = stats:newDevTxCounter(queue.dev, "plain")
+    while mg.running() do
+        bufs:alloc(PKT_SIZE)
+        for i, buf in ipairs(bufs) do
+            local pkt = buf:getTcpPacket()
+            pkt.ip4.src:set(baseIP + (counter % agents))
+            pkt.tcp:setSrcPort(basePort + (counter % 64511))
+            counter = counter + 1
+        end
+        bufs:offloadTcpChecksums()
+        queue:send(bufs)
+        txCtr:update()
+    end
+    txCtr:finalize()
+end

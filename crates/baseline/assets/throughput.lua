@@ -1,0 +1,55 @@
+-- MoonGen throughput-testing script (Table 5 baseline).
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+
+local PKT_SIZE = 64
+
+function configure(parser)
+    parser:argument("txDev", "Device to transmit from."):convert(tonumber)
+    parser:argument("rxDev", "Device to receive on."):convert(tonumber)
+    parser:option("-r --rate", "Transmit rate in Mbit/s."):default(10000):convert(tonumber)
+    return parser:parse()
+end
+
+function master(args)
+    local txDev = device.config{port = args.txDev, txQueues = 1}
+    local rxDev = device.config{port = args.rxDev, rxQueues = 1}
+    device.waitForLinks()
+    txDev:getTxQueue(0):setRate(args.rate)
+    mg.startTask("txSlave", txDev:getTxQueue(0))
+    mg.startTask("rxSlave", rxDev:getRxQueue(0))
+    mg.waitForTasks()
+end
+
+function txSlave(queue)
+    local mempool = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill{
+            ethSrc = queue, ethDst = "02:00:00:00:00:02",
+            ip4Src = "10.0.0.1", ip4Dst = "10.0.0.2",
+            udpSrc = 1, udpDst = 1,
+            pktLength = PKT_SIZE
+        }
+    end)
+    local bufs = mempool:bufArray()
+    local txCtr = stats:newDevTxCounter(queue.dev, "plain")
+    while mg.running() do
+        bufs:alloc(PKT_SIZE)
+        bufs:offloadUdpChecksums()
+        queue:send(bufs)
+        txCtr:update()
+    end
+    txCtr:finalize()
+end
+
+function rxSlave(queue)
+    local bufs = memory.bufArray()
+    local rxCtr = stats:newDevRxCounter(queue.dev, "plain")
+    while mg.running() do
+        local rx = queue:recv(bufs)
+        rxCtr:update()
+        bufs:free(rx)
+    end
+    rxCtr:finalize()
+end

@@ -1,0 +1,99 @@
+//! Equipment and power cost model (Table 6).
+//!
+//! §7.4: "According to \[30\], a programmable switch costs about \$3600 and
+//! 150 Watts per Tbps, while an 8-core CPU server costs about \$3500 and
+//! 750 W under full load.  Based on Figure 10(b), an 8-core CPU server
+//! could generate 80 Gbps traffic."  Normalizing the server by its measured
+//! throughput yields the per-Tbps comparison; the saving is the difference.
+//! (The paper's own table rounds the server figures to \$42000/7200 W —
+//! slightly below the raw division; EXPERIMENTS.md reports both.)
+
+/// Cost model inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Programmable-switch equipment cost per Tbps, USD.
+    pub switch_cost_per_tbps: f64,
+    /// Programmable-switch power per Tbps, watts.
+    pub switch_power_per_tbps: f64,
+    /// One 8-core server's cost, USD.
+    pub server_cost: f64,
+    /// One 8-core server's power under full load, watts.
+    pub server_power: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            switch_cost_per_tbps: 3_600.0,
+            switch_power_per_tbps: 150.0,
+            server_cost: 3_500.0,
+            server_power: 750.0,
+        }
+    }
+}
+
+/// The Table 6 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// MoonGen equipment cost per Tbps, USD.
+    pub moongen_cost_per_tbps: f64,
+    /// MoonGen power per Tbps, watts.
+    pub moongen_power_per_tbps: f64,
+    /// HyperTester equipment cost per Tbps, USD.
+    pub hypertester_cost_per_tbps: f64,
+    /// HyperTester power per Tbps, watts.
+    pub hypertester_power_per_tbps: f64,
+    /// Equipment saving per Tbps, USD.
+    pub cost_saving: f64,
+    /// Power saving per Tbps, watts.
+    pub power_saving: f64,
+    /// Servers one 6.5 Tbps switch replaces.
+    pub servers_replaced: f64,
+}
+
+impl CostModel {
+    /// Computes the comparison given the server's measured generation
+    /// throughput in Gbps (80 in Fig. 10b).
+    pub fn compare(&self, server_gbps: f64) -> CostReport {
+        assert!(server_gbps > 0.0);
+        let per_tbps = 1000.0 / server_gbps;
+        let mg_cost = self.server_cost * per_tbps;
+        let mg_power = self.server_power * per_tbps;
+        CostReport {
+            moongen_cost_per_tbps: mg_cost,
+            moongen_power_per_tbps: mg_power,
+            hypertester_cost_per_tbps: self.switch_cost_per_tbps,
+            hypertester_power_per_tbps: self.switch_power_per_tbps,
+            cost_saving: mg_cost - self.switch_cost_per_tbps,
+            power_saving: mg_power - self.switch_power_per_tbps,
+            servers_replaced: 6.5 * 1000.0 / server_gbps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_shape_holds_at_80gbps() {
+        let r = CostModel::default().compare(80.0);
+        // Raw division gives 43750 / 9375 per Tbps; the paper's table
+        // rounds to 42000 / 7200 — same order, >10× above the switch.
+        assert!((r.moongen_cost_per_tbps - 43_750.0).abs() < 1.0);
+        assert!((r.moongen_power_per_tbps - 9_375.0).abs() < 1.0);
+        assert!(r.moongen_cost_per_tbps / r.hypertester_cost_per_tbps > 10.0);
+        assert!(r.moongen_power_per_tbps / r.hypertester_power_per_tbps > 10.0);
+        // Savings in the \$38k+/7k+W region the paper reports.
+        assert!(r.cost_saving > 38_000.0);
+        assert!(r.power_saving > 7_000.0);
+        // "replace 81 8-core CPU servers" for a 6.5 Tbps switch.
+        assert!((r.servers_replaced - 81.25).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_throughput_rejected() {
+        CostModel::default().compare(0.0);
+    }
+}

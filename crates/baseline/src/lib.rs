@@ -1,0 +1,32 @@
+//! The software-tester baseline: a MoonGen-like DPDK packet generator
+//! model.
+//!
+//! The paper compares HyperTester against MoonGen on commodity servers
+//! (§7; the authors note the comparison is with software because the
+//! commercial hardware testers were not accessible — same here, squared:
+//! this reproduction models MoonGen's *behavioural shape* rather than
+//! running DPDK):
+//!
+//! * [`tester`] — per-core packet-generation throughput (≈10 Gbps of
+//!   64-byte frames per core; 8 cores ≈ 80 Gbps, Fig. 10b) and a
+//!   [`tester::MoonGen`] device usable in simulated testbeds.
+//! * [`ratectl`] — the NIC hardware / CPU software rate-control error
+//!   models behind Fig. 11's >10× accuracy gap, and the timestamping error
+//!   models behind the Fig. 18 delay case study.
+//! * [`sketch`] — Count-Min/Bloom baselines (the Sonata approach §5.2
+//!   replaces), for the accuracy ablation.
+//! * [`cost`] — the equipment/power cost model of Table 6.
+//! * [`lua`] — the MoonGen Lua reference scripts counted in Table 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod lua;
+pub mod ratectl;
+pub mod sketch;
+pub mod tester;
+
+pub use cost::{CostModel, CostReport};
+pub use ratectl::{RateControlMode, TimestampMode};
+pub use tester::{MoonGen, MoonGenConfig};

@@ -1,0 +1,187 @@
+//! Sketch-based query structures — the Sonata approach HyperTester's §5.2
+//! replaces.
+//!
+//! "Sonata implements `distinct` with Bloom Filter and `reduce` with
+//! Count-Min Sketch, which compromises accuracy inevitably."  These
+//! reference implementations quantify that compromise: the ablation bench
+//! runs the same workload through HyperTester's counter-based engine
+//! (exact by construction) and through these sketches, and reports the
+//! error the paper's design removes.
+
+use ht_asic::hash::{hash_words, HashAlgo};
+
+/// A Count-Min Sketch with `d` rows of `2^width_bits` counters.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width_mask: u64,
+    rows: Vec<Vec<u64>>,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth` rows of `2^width_bits` counters.
+    pub fn new(depth: usize, width_bits: u32) -> Self {
+        assert!(depth > 0 && depth <= 8, "depth out of range");
+        assert!((1..=24).contains(&width_bits));
+        CountMinSketch {
+            width_mask: (1 << width_bits) - 1,
+            rows: vec![vec![0; 1 << width_bits]; depth],
+        }
+    }
+
+    fn index(&self, row: usize, key: &[u64]) -> usize {
+        // Row-seeded hash: prepend the row id so rows are independent.
+        let mut seeded = Vec::with_capacity(key.len() + 1);
+        seeded.push(row as u64 + 1);
+        seeded.extend_from_slice(key);
+        (hash_words(HashAlgo::Crc32, &seeded) & self.width_mask) as usize
+    }
+
+    /// Adds `value` for `key`.
+    pub fn add(&mut self, key: &[u64], value: u64) {
+        for row in 0..self.rows.len() {
+            let idx = self.index(row, key);
+            self.rows[row][idx] = self.rows[row][idx].saturating_add(value);
+        }
+    }
+
+    /// The count estimate for `key` (never an underestimate).
+    pub fn estimate(&self, key: &[u64]) -> u64 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.index(row, key)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    /// Total memory in counters (for like-for-like comparisons).
+    pub fn counters(&self) -> usize {
+        self.rows.len() * self.rows[0].len()
+    }
+}
+
+/// A Bloom filter with `k` hash functions over `2^width_bits` bits.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    width_mask: u64,
+    k: usize,
+    bits: Vec<bool>,
+    /// Distinct insertions counted by the filter's membership test (the
+    /// way a data-plane `distinct` uses it): incremented when the key was
+    /// not already present.
+    pub distinct_estimate: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `2^width_bits` bits and `k` hash functions.
+    pub fn new(width_bits: u32, k: usize) -> Self {
+        assert!((1..=28).contains(&width_bits));
+        assert!(k > 0 && k <= 8);
+        BloomFilter {
+            width_mask: (1 << width_bits) - 1,
+            k,
+            bits: vec![false; 1 << width_bits],
+            distinct_estimate: 0,
+        }
+    }
+
+    fn positions(&self, key: &[u64]) -> impl Iterator<Item = usize> + '_ {
+        let h1 = hash_words(HashAlgo::Crc32, key);
+        let h2 = hash_words(HashAlgo::Crc32c, key) | 1;
+        let mask = self.width_mask;
+        (0..self.k).map(move |i| ((h1.wrapping_add(h2.wrapping_mul(i as u64))) & mask) as usize)
+    }
+
+    /// True when the key *may* have been inserted (false positives
+    /// possible, false negatives not).
+    pub fn contains(&self, key: &[u64]) -> bool {
+        self.positions(key).all(|p| self.bits[p])
+    }
+
+    /// Inserts a key; bumps the distinct estimate when it looked new.
+    pub fn insert(&mut self, key: &[u64]) {
+        if !self.contains(key) {
+            self.distinct_estimate += 1;
+        }
+        let positions: Vec<usize> = self.positions(key).collect();
+        for p in positions {
+            self.bits[p] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn cms_never_underestimates() {
+        let mut cms = CountMinSketch::new(3, 10);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for i in 0..5_000u64 {
+            let key = i % 700;
+            cms.add(&[key], 1);
+            *oracle.entry(key).or_insert(0) += 1;
+        }
+        for (k, &truth) in &oracle {
+            assert!(cms.estimate(&[*k]) >= truth, "underestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn cms_overestimates_under_pressure() {
+        // 50k keys into 3×1024 counters must collide heavily.
+        let mut cms = CountMinSketch::new(3, 10);
+        for i in 0..50_000u64 {
+            cms.add(&[i], 1);
+        }
+        let overestimated = (0..1_000u64).filter(|&k| cms.estimate(&[k]) > 1).count();
+        assert!(overestimated > 500, "only {overestimated} overestimates");
+    }
+
+    #[test]
+    fn cms_is_exact_when_oversized() {
+        let mut cms = CountMinSketch::new(4, 16);
+        for i in 0..100u64 {
+            cms.add(&[i], i + 1);
+        }
+        for i in 0..100u64 {
+            assert_eq!(cms.estimate(&[i]), i + 1);
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bf = BloomFilter::new(14, 4);
+        for i in 0..2_000u64 {
+            bf.insert(&[i]);
+        }
+        for i in 0..2_000u64 {
+            assert!(bf.contains(&[i]), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn bloom_undercounts_distinct_under_pressure() {
+        // 60k distinct keys into 2^14 bits: the filter saturates and the
+        // distinct estimate falls short of the truth.
+        let mut bf = BloomFilter::new(14, 4);
+        for i in 0..60_000u64 {
+            bf.insert(&[i]);
+        }
+        assert!(
+            bf.distinct_estimate < 55_000,
+            "estimate {} too close to truth",
+            bf.distinct_estimate
+        );
+    }
+
+    #[test]
+    fn bloom_is_near_exact_when_oversized() {
+        let mut bf = BloomFilter::new(20, 4);
+        for i in 0..1_000u64 {
+            bf.insert(&[i]);
+            bf.insert(&[i]); // duplicates do not inflate the estimate
+        }
+        assert_eq!(bf.distinct_estimate, 1_000);
+    }
+}

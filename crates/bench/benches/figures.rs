@@ -1,0 +1,102 @@
+//! Criterion benches, one per table/figure of the paper: each runs a
+//! scaled-down version of the corresponding experiment, so `cargo bench`
+//! exercises every regeneration path and tracks its cost over time.
+//! The full-scale, self-checking regenerators are the `src/bin/*`
+//! binaries (`run_experiments` drives them all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ht_baseline::ratectl::RateControlMode;
+use ht_bench::experiments::*;
+use ht_bench::resources::table7_rows;
+use ht_packet::wire::gbps;
+
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5_loc", |b| b.iter(table5_loc));
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_throughput_single_64b", |b| {
+        b.iter(|| fig9_ht_single_port(gbps(100), &[64]))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_throughput_two_ports", |b| b.iter(|| fig10_ht_multi_port(2)));
+    c.bench_function("fig10_mg_cores", |b| b.iter(fig10_mg_multi_core));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_ht_rate_control_1mpps", |b| {
+        b.iter(|| ht_rate_control(1_000_000, 64, gbps(40)))
+    });
+    c.bench_function("fig11_mg_rate_control_1mpps", |b| {
+        b.iter(|| mg_rate_control(1_000_000, 64, gbps(40), RateControlMode::Hardware))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_ht_rate_control_100g", |b| {
+        b.iter(|| ht_rate_control(10_000_000, 64, gbps(100)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_random_normal", |b| {
+        b.iter(|| {
+            fig13_random(
+                "random(normal, 30000, 2000, 10)",
+                ht_stats::Distribution::Normal { mean: 30000.0, std_dev: 2000.0 },
+            )
+        })
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_accelerator_2k_loops", |b| {
+        b.iter(|| fig14_accelerator(&[64], 2_000))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_replicator_64b", |b| {
+        b.iter(|| fig15_replicator(&[64], 1, 1_000_000))
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16_digest_goodput", |b| b.iter(|| fig16_digest_goodput(&[16, 256])));
+    c.bench_function("fig16_counter_pull", |b| b.iter(|| fig16_counter_pull(&[65536])));
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    c.bench_function("fig17_exact_match_100k", |b| {
+        b.iter(|| fig17_exact_match(&[100_000], 16, 16, 1))
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    c.bench_function("table6_cost", |b| {
+        b.iter(|| ht_baseline::cost::CostModel::default().compare(80.0))
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    c.bench_function("table7_resources", |b| b.iter(table7_rows));
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    c.bench_function("fig18_delay_200_probes", |b| b.iter(|| fig18_delay(600_000, 200)));
+}
+
+fn bench_table8(c: &mut Criterion) {
+    c.bench_function("table8_synflood", |b| b.iter(table8_synflood));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table5, bench_fig09, bench_fig10, bench_fig11, bench_fig12,
+              bench_fig13, bench_fig14, bench_fig15, bench_fig16, bench_fig17,
+              bench_table6, bench_table7, bench_fig18, bench_table8
+}
+criterion_main!(figures);

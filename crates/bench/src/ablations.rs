@@ -1,0 +1,364 @@
+//! Ablations of HyperTester's design choices (beyond the paper's own
+//! evaluation): what each mechanism buys, measured by removing it.
+//!
+//! * [`accuracy_ablation`] — §5.2's counter-based engine with exact key
+//!   matching vs the Sonata-style sketches it replaces, on an identical
+//!   workload with identical memory.
+//! * [`cuckoo_occupancy`] — cuckoo hashing vs plain single-hash arrays
+//!   (what existing counter-based data-plane algorithms use): achievable
+//!   residency before keys spill to the CPU.
+//! * (the precision ↔ capacity tradeoff lives in
+//!   [`crate::experiments::ht_rate_control_with_copies`])
+
+use crate::harness::TablePrinter;
+use ht_asic::action::ExecCtx;
+use ht_asic::digest::{DigestId, DigestRecord};
+use ht_asic::phv::{fields, FieldTable};
+use ht_asic::pipeline::Extern;
+use ht_asic::register::RegisterFile;
+use ht_baseline::sketch::{BloomFilter, CountMinSketch};
+use ht_core::fifo::RegFifo;
+use ht_core::htpr::{CuckooEngine, CuckooExtern, CuckooStats};
+use ht_ntapi::ast::ReduceFunc;
+use ht_ntapi::fp::{compute_fp_entries, HashConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A keyed-counting test rig around a [`CuckooEngine`] (same shape as the
+/// property-test harness, reusable by ablation binaries).
+pub struct EngineRig {
+    ft: FieldTable,
+    regs: RegisterFile,
+    rng: StdRng,
+    digests: Vec<DigestRecord>,
+    ext: CuckooExtern,
+    match_flag: ht_asic::FieldId,
+    exact_miss: ht_asic::FieldId,
+    exact_keys: Vec<Vec<u64>>,
+    exact_counts: HashMap<Vec<u64>, u64>,
+}
+
+impl EngineRig {
+    /// Builds a rig with `2 × 2^array_bits` slots and the precomputed
+    /// exact-match entries for `space`.
+    pub fn new(array_bits: u32, digest_bits: u32, space: &[Vec<u64>]) -> Self {
+        let cfg = HashConfig { array_bits, digest_bits };
+        let exact_keys = compute_fp_entries(space, &cfg);
+        let mut ft = FieldTable::new();
+        let mut regs = RegisterFile::new();
+        let match_flag = ft.intern("meta.match", 1);
+        let exact_miss = ft.intern("meta.exmiss", 1);
+        let count_out = ft.intern("meta.count", 64);
+        let arr_key = [
+            regs.alloc("a1k", 64, 1 << array_bits),
+            regs.alloc("a2k", 64, 1 << array_bits),
+        ];
+        let arr_cnt = [
+            regs.alloc("a1c", 64, 1 << array_bits),
+            regs.alloc("a2c", 64, 1 << array_bits),
+        ];
+        let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, 4096);
+        let engine = Rc::new(RefCell::new(CuckooEngine {
+            cfg,
+            key_fields: vec![fields::TCP_SPORT, fields::TCP_DPORT],
+            func: ReduceFunc::Count,
+            value_field: None,
+            match_flag,
+            exact_miss_flag: exact_miss,
+            count_out,
+            arr_key,
+            arr_cnt,
+            fifo,
+            evict_digest: DigestId(1),
+            stats: CuckooStats::default(),
+        }));
+        EngineRig {
+            ft,
+            regs,
+            rng: StdRng::seed_from_u64(5),
+            digests: Vec::new(),
+            ext: CuckooExtern::new("cuckoo", engine),
+            match_flag,
+            exact_miss,
+            exact_keys,
+            exact_counts: HashMap::new(),
+        }
+    }
+
+    /// Number of exact-match entries installed.
+    pub fn exact_entries(&self) -> usize {
+        self.exact_keys.len()
+    }
+
+    /// Offers one packet with key `(a, b)` to the engine.
+    pub fn packet(&mut self, a: u64, b: u64) {
+        let key = vec![a, b];
+        if self.exact_keys.contains(&key) {
+            *self.exact_counts.entry(key).or_insert(0) += 1;
+            return;
+        }
+        let mut phv = self.ft.new_phv();
+        phv.set(&self.ft, fields::TCP_SPORT, a);
+        phv.set(&self.ft, fields::TCP_DPORT, b);
+        phv.set(&self.ft, self.match_flag, 1);
+        phv.set(&self.ft, self.exact_miss, 1);
+        let mut ctx = ExecCtx {
+            table: &self.ft,
+            regs: &mut self.regs,
+            rng: &mut self.rng,
+            digests: &mut self.digests,
+            now: 0,
+        };
+        self.ext.execute(&mut phv, &mut ctx);
+    }
+
+    /// One recirculating-template pass (drains one FIFO record).
+    pub fn template_pass(&mut self) {
+        let mut phv = self.ft.new_phv();
+        phv.set(&self.ft, fields::TEMPLATE_ID, 1);
+        let mut ctx = ExecCtx {
+            table: &self.ft,
+            regs: &mut self.regs,
+            rng: &mut self.rng,
+            digests: &mut self.digests,
+            now: 0,
+        };
+        self.ext.execute(&mut phv, &mut ctx);
+    }
+
+    /// Merged per-key counts (arrays + FIFO + CPU evictions + exact).
+    pub fn results(&self, space: &[Vec<u64>]) -> HashMap<Vec<u64>, u64> {
+        let eng = self.ext.engine.borrow();
+        let mut by_canon = eng.resident_counts(&self.regs);
+        for d in self.digests.iter().filter(|d| d.id == DigestId(1)) {
+            let (b, dg, c) = (d.values[0], d.values[1], d.values[2]);
+            let alt = eng.cfg.alt_bucket(b, dg);
+            *by_canon.entry((b.min(alt), dg)).or_insert(0) += c;
+        }
+        let mut out = self.exact_counts.clone();
+        for key in space {
+            if out.contains_key(key) {
+                continue;
+            }
+            if let Some(&v) = by_canon.get(&eng.canonical_of_key(key)) {
+                out.insert(key.clone(), v);
+            }
+        }
+        out
+    }
+
+    /// Keys evicted/reported to the CPU (count of digest records).
+    pub fn cpu_reports(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> CuckooStats {
+        self.ext.engine.borrow().stats
+    }
+}
+
+/// One row of the accuracy ablation.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Structure label.
+    pub structure: &'static str,
+    /// Keys with an exactly-correct count.
+    pub exact_keys: usize,
+    /// Total keys in the workload.
+    pub total_keys: usize,
+    /// Mean relative count error over all keys.
+    pub mean_rel_error: f64,
+    /// Distinct-count estimate (truth = `total_keys`).
+    pub distinct_estimate: u64,
+}
+
+/// Runs the accuracy ablation: `n_keys` flows with Zipf-ish repetition,
+/// counted by (a) HyperTester's engine, (b) a Count-Min sketch of the same
+/// counter budget, (c) a Bloom filter for distinct.
+pub fn accuracy_ablation(n_keys: usize, array_bits: u32) -> Vec<AccuracyRow> {
+    // Workload: key i appears 1 + (i % 13) times (deterministic skew).
+    let space: Vec<Vec<u64>> = (0..n_keys as u64).map(|i| vec![i, i % 7]).collect();
+    let mut truth: HashMap<Vec<u64>, u64> = HashMap::new();
+    let mut packets: Vec<(u64, u64)> = Vec::new();
+    for (i, key) in space.iter().enumerate() {
+        let reps = 1 + (i as u64 % 13);
+        *truth.entry(key.clone()).or_insert(0) += reps;
+        for _ in 0..reps {
+            packets.push((key[0], key[1]));
+        }
+    }
+    // Shuffle deterministically so flows interleave.
+    let mut rng = StdRng::seed_from_u64(9);
+    for i in (1..packets.len()).rev() {
+        packets.swap(i, rng.gen_range(0..=i));
+    }
+
+    // (a) HyperTester's engine: 2 × 2^array_bits (tag + counter) slots.
+    let mut rig = EngineRig::new(array_bits, 16, &space);
+    for (i, &(a, b)) in packets.iter().enumerate() {
+        rig.packet(a, b);
+        if i % 2 == 0 {
+            rig.template_pass();
+        }
+    }
+    for _ in 0..8192 {
+        rig.template_pass();
+    }
+    let measured = rig.results(&space);
+    let ht_row = {
+        let mut exact = 0usize;
+        let mut rel_err = 0.0;
+        for (key, &t) in &truth {
+            let m = measured.get(key).copied().unwrap_or(0);
+            if m == t {
+                exact += 1;
+            }
+            rel_err += (m as f64 - t as f64).abs() / t as f64;
+        }
+        AccuracyRow {
+            structure: "HT counter-based + exact match",
+            exact_keys: exact,
+            total_keys: n_keys,
+            mean_rel_error: rel_err / n_keys as f64,
+            distinct_estimate: measured.len() as u64,
+        }
+    };
+
+    // (b) Count-Min with the same total counter budget: the engine holds
+    // 2 × 2^bits counters (plus tags); give CMS 4 rows × 2^(bits−1).
+    let mut cms = CountMinSketch::new(4, array_bits.saturating_sub(1).max(1));
+    for &(a, b) in &packets {
+        cms.add(&[a, b], 1);
+    }
+    let cms_row = {
+        let mut exact = 0usize;
+        let mut rel_err = 0.0;
+        for (key, &t) in &truth {
+            let m = cms.estimate(key);
+            if m == t {
+                exact += 1;
+            }
+            rel_err += (m as f64 - t as f64).abs() / t as f64;
+        }
+        AccuracyRow {
+            structure: "Count-Min sketch (Sonata reduce)",
+            exact_keys: exact,
+            total_keys: n_keys,
+            mean_rel_error: rel_err / n_keys as f64,
+            distinct_estimate: 0,
+        }
+    };
+
+    // (c) Bloom filter for distinct, same bit budget as one key array.
+    let mut bf = BloomFilter::new(array_bits + 4, 4);
+    for &(a, b) in &packets {
+        bf.insert(&[a, b]);
+    }
+    let bloom_row = AccuracyRow {
+        structure: "Bloom filter (Sonata distinct)",
+        exact_keys: 0,
+        total_keys: n_keys,
+        mean_rel_error: f64::NAN,
+        distinct_estimate: bf.distinct_estimate,
+    };
+
+    vec![ht_row, cms_row, bloom_row]
+}
+
+/// One row of the cuckoo-occupancy ablation.
+#[derive(Debug, Clone)]
+pub struct OccupancyRow {
+    /// Offered load factor (keys / total slots).
+    pub load: f64,
+    /// Fraction of keys resident on the data plane with cuckoo hashing.
+    pub cuckoo_resident: f64,
+    /// Fraction resident with a plain single-hash array of the same size.
+    pub single_resident: f64,
+}
+
+/// Measures data-plane residency (keys *not* spilled to the CPU) for the
+/// cuckoo engine vs a single-hash array of identical total size — the
+/// memory-efficiency argument of §5.2.
+pub fn cuckoo_occupancy(array_bits: u32, loads: &[f64]) -> Vec<OccupancyRow> {
+    let slots = 2 * (1usize << array_bits);
+    let mut keyrng = StdRng::seed_from_u64(31);
+    loads
+        .iter()
+        .map(|&load| {
+            let n = (slots as f64 * load) as usize;
+            // Random keys: CRC hashes are linear maps, so *sequential* keys
+            // produce systematically too-few or too-many collisions.
+            let mut seen = std::collections::HashSet::new();
+            let mut space: Vec<Vec<u64>> = Vec::with_capacity(n);
+            while space.len() < n {
+                let k = keyrng.gen::<u64>();
+                if seen.insert(k) {
+                    space.push(vec![k, 1]);
+                }
+            }
+
+            // Cuckoo engine.
+            let mut rig = EngineRig::new(array_bits, 16, &space);
+            for key in &space {
+                rig.packet(key[0], key[1]);
+                rig.template_pass();
+            }
+            for _ in 0..8192 {
+                rig.template_pass();
+            }
+            let resident = rig.results(&space).len() - rig.exact_entries().min(n);
+            let spilled = rig.cpu_reports();
+            let cuckoo_resident = (n - spilled) as f64 / n as f64;
+            let _ = resident;
+
+            // Single-hash baseline: one array of `slots` entries, evict on
+            // digest mismatch (what HashPipe-style structures degrade to
+            // without recirculation-driven displacement).
+            let cfg = HashConfig { array_bits: array_bits + 1, digest_bits: 16 };
+            let mut arr: Vec<u64> = vec![0; slots];
+            let mut spilled_single = 0usize;
+            for key in &space {
+                let idx = (cfg.h1(key) as usize) % slots;
+                let tag = cfg.digest(key) + 1;
+                if arr[idx] == 0 || arr[idx] == tag {
+                    arr[idx] = tag;
+                } else {
+                    spilled_single += 1;
+                }
+            }
+            OccupancyRow {
+                load,
+                cuckoo_resident,
+                single_resident: (n - spilled_single) as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Pretty-prints the accuracy ablation.
+pub fn print_accuracy(rows: &[AccuracyRow]) {
+    let t = TablePrinter::new(
+        &["structure", "exact keys", "mean rel err", "distinct est"],
+        &[32, 12, 13, 13],
+    );
+    for r in rows {
+        t.row(&[
+            r.structure.to_string(),
+            format!("{}/{}", r.exact_keys, r.total_keys),
+            if r.mean_rel_error.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.4}", r.mean_rel_error)
+            },
+            if r.distinct_estimate == 0 {
+                "-".into()
+            } else {
+                r.distinct_estimate.to_string()
+            },
+        ]);
+    }
+}

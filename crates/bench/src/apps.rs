@@ -1,0 +1,65 @@
+//! The four NTAPI applications of the paper's expressibility comparison
+//! (Table 5), shared by several experiments.
+//!
+//! Sources follow the paper's code style (Tables 3 and 4): one `set` /
+//! query operator chain element per line, which is what Table 5's NTAPI
+//! line counts reflect.
+
+/// Throughput testing (Table 3).
+pub const THROUGHPUT: &str = r#"
+T1 = trigger()
+    .set([dip, sip, proto], [10.0.0.2, 10.0.0.1, udp])
+    .set([dport, sport], [1, 1])
+    .set([loop, pkt_len], [0, 64])
+Q1 = query(T1)
+    .map(p -> (pkt_len))
+    .reduce(func=sum)
+Q2 = query()
+    .map(p -> (pkt_len))
+    .reduce(func=sum)
+"#;
+
+/// Delay testing (the Fig. 18 case study): timestamped probes at a fixed
+/// rate, counted in both directions.
+pub const DELAY: &str = r#"
+T1 = trigger()
+    .set([dip, sip, proto], [10.9.0.2, 10.9.0.1, udp])
+    .set([dport, sport], [7, 7])
+    .set(pkt_len, 128)
+    .set(interval, 10us)
+Q1 = query(T1)
+    .reduce(func=count)
+Q2 = query()
+    .reduce(func=count)
+"#;
+
+/// IP scanning: one SYN per address in a /20, responders collected.
+pub const IP_SCAN: &str = r#"
+T1 = trigger()
+    .set([sip, dport, proto], [10.0.0.1, 80, tcp])
+    .set([flag, seq_no], [SYN, 1])
+    .set(dip, range(10.1.0.1, 10.1.15.254, 1))
+    .set([loop, interval], [1, 1us])
+Q1 = query()
+    .filter(tcp_flag == SYN+ACK)
+    .distinct(keys=[sip])
+"#;
+
+/// SYN-flood emulation (Table 8): randomized sources on four ports.
+pub const SYN_FLOOD: &str = r#"
+T1 = trigger()
+    .set([dip, dport, proto, flag], [10.0.0.80, 80, tcp, SYN])
+    .set(sip, random(uniform, 16777216, 33554432, 24))
+    .set(sport, range(1024, 65535, 1))
+    .set(port, [0, 1, 2, 3])
+"#;
+
+/// `(name, ntapi source, moongen lua source)` for the Table 5 rows.
+pub fn table5_apps() -> [(&'static str, &'static str, &'static str); 4] {
+    [
+        ("Throughput Testing", THROUGHPUT, ht_baseline::lua::THROUGHPUT),
+        ("Delay Testing", DELAY, ht_baseline::lua::DELAY),
+        ("IP Scanning", IP_SCAN, ht_baseline::lua::IP_SCAN),
+        ("SYN Flood Attack", SYN_FLOOD, ht_baseline::lua::SYN_FLOOD),
+    ]
+}

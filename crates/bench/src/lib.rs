@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating every table and figure of the
+//! HyperTester paper's evaluation (§7).
+//!
+//! * [`harness`] — shared testbed runner and table printing.
+//! * [`apps`] — the four NTAPI applications of Table 5.
+//! * [`experiments`] — one function per table/figure.
+//! * [`resources`] — the Table 7 resource accounting.
+//!
+//! Regenerators live in `src/bin/` (`cargo run --release -p ht-bench --bin
+//! fig09_throughput_single` etc.); `run_experiments` runs them all.
+//! Criterion benches in `benches/` measure the underlying kernels.
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod apps;
+pub mod experiments;
+pub mod harness;
+pub mod resources;

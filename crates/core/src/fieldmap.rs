@@ -1,0 +1,61 @@
+//! Mapping NTAPI header fields onto PHV fields.
+
+use ht_asic::phv::{fields, FieldId};
+use ht_ntapi::ast::HeaderField;
+use ht_ntapi::compile::L4Proto;
+
+/// Resolves an NTAPI header field to the PHV field it touches, given the
+/// template's L4 protocol (NTAPI's `sport`/`dport` are protocol-generic).
+pub fn resolve(h: HeaderField, proto: L4Proto) -> FieldId {
+    match h {
+        HeaderField::EthSrc => fields::ETH_SRC,
+        HeaderField::EthDst => fields::ETH_DST,
+        HeaderField::Sip => fields::IPV4_SRC,
+        HeaderField::Dip => fields::IPV4_DST,
+        HeaderField::Proto => fields::IPV4_PROTO,
+        HeaderField::Ttl => fields::IPV4_TTL,
+        HeaderField::Ident => fields::IPV4_IDENT,
+        HeaderField::Sport => match proto {
+            L4Proto::Udp => fields::UDP_SPORT,
+            _ => fields::TCP_SPORT,
+        },
+        HeaderField::Dport => match proto {
+            L4Proto::Udp => fields::UDP_DPORT,
+            _ => fields::TCP_DPORT,
+        },
+        HeaderField::TcpFlags => fields::TCP_FLAGS,
+        HeaderField::SeqNo => fields::TCP_SEQ,
+        HeaderField::AckNo => fields::TCP_ACK,
+        HeaderField::Window => fields::TCP_WINDOW,
+    }
+}
+
+/// The protocol hint for a set of compiled templates: TCP when any template
+/// is TCP (queries on received traffic then interpret `sport`/`dport` as
+/// TCP ports), otherwise UDP.
+pub fn proto_hint(templates: &[ht_ntapi::compile::TemplateSpec]) -> L4Proto {
+    if templates.iter().any(|t| t.protocol == L4Proto::Tcp) {
+        L4Proto::Tcp
+    } else {
+        L4Proto::Udp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_resolve_by_protocol() {
+        assert_eq!(resolve(HeaderField::Sport, L4Proto::Udp), fields::UDP_SPORT);
+        assert_eq!(resolve(HeaderField::Sport, L4Proto::Tcp), fields::TCP_SPORT);
+        assert_eq!(resolve(HeaderField::Dport, L4Proto::Udp), fields::UDP_DPORT);
+        assert_eq!(resolve(HeaderField::Dport, L4Proto::Tcp), fields::TCP_DPORT);
+    }
+
+    #[test]
+    fn tcp_fields_are_protocol_independent() {
+        assert_eq!(resolve(HeaderField::SeqNo, L4Proto::Udp), fields::TCP_SEQ);
+        assert_eq!(resolve(HeaderField::Dip, L4Proto::Tcp), fields::IPV4_DST);
+    }
+}

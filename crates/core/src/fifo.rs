@@ -1,0 +1,277 @@
+//! The register-based FIFO of §6.1 (Fig. 7).
+//!
+//! "Each FIFO is composed of two parts.  The first part is the 32-bit
+//! counters for queue front and queue rear. … `update` of the rear counter
+//! depends on the value of the front counter to prevent queue underflows."
+//!
+//! HyperTester uses this FIFO twice: as the KV FIFO buffering cuckoo
+//! insertions (§5.2, Fig. 5) and as the *trigger FIFO* carrying captured
+//! packet records from HTPR to HTPS for stateless connections (§5.3,
+//! Fig. 6).  Both live entirely in register arrays and are driven by the
+//! SALU read-modify-write discipline: every operation touches each counter
+//! register exactly once.
+//!
+//! The paper admits its FIFO "cannot guarantee freedom of queue overflows";
+//! the reproduction counts overflows (and §7 of DESIGN.md documents the
+//! optional guard as the implemented future-work item: enqueue drops and
+//! reports instead of overwriting).
+
+use ht_asic::phv::{FieldId, FieldTable, Phv};
+use ht_asic::register::{
+    Cmp, CondExpr, RegId, RegisterFile, SaluCond, SaluOperand, SaluOutput, SaluOutputSrc,
+    SaluProgram, SaluUpdate,
+};
+
+/// A FIFO with `width`-word records laid across parallel register arrays.
+#[derive(Debug, Clone)]
+pub struct RegFifo {
+    front: RegId,
+    rear: RegId,
+    data: Vec<RegId>,
+    capacity: usize,
+    // Scratch PHV fields used by the SALU programs.
+    f_front: FieldId,
+    f_rear: FieldId,
+    f_flag: FieldId,
+    /// Enqueue attempts dropped because the queue was full.
+    pub overflows: u64,
+}
+
+impl RegFifo {
+    /// Allocates the FIFO's registers and scratch fields.
+    ///
+    /// `record_words` is the number of 64-bit words per record; `capacity`
+    /// the number of records.
+    pub fn new(
+        name: &str,
+        regs: &mut RegisterFile,
+        fields: &mut FieldTable,
+        record_words: usize,
+        capacity: usize,
+    ) -> Self {
+        assert!(capacity.is_power_of_two(), "FIFO capacity must be a power of two");
+        assert!(record_words > 0);
+        let front = regs.alloc(&format!("{name}_front"), 32, 1);
+        let rear = regs.alloc(&format!("{name}_rear"), 32, 1);
+        let data = (0..record_words)
+            .map(|i| regs.alloc(&format!("{name}_data{i}"), 64, capacity))
+            .collect();
+        RegFifo {
+            front,
+            rear,
+            data,
+            capacity,
+            f_front: fields.intern(&format!("meta.{name}_front"), 32),
+            f_rear: fields.intern(&format!("meta.{name}_rear"), 32),
+            f_flag: fields.intern(&format!("meta.{name}_flag"), 1),
+            overflows: 0,
+        }
+    }
+
+    /// Number of records currently queued (control-plane view).
+    pub fn len(&self, regs: &RegisterFile) -> u64 {
+        let front = regs.array(self.front).cp_read(0);
+        let rear = regs.array(self.rear).cp_read(0);
+        rear.wrapping_sub(front) & 0xffff_ffff
+    }
+
+    /// True when no records are queued.
+    pub fn is_empty(&self, regs: &RegisterFile) -> bool {
+        self.len(regs) == 0
+    }
+
+    /// Record width in words.
+    pub fn record_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Control-plane view of all queued records, front to rear, without
+    /// mutating any state (the switch CPU reads registers over PCIe).
+    pub fn peek_all(&self, regs: &RegisterFile) -> Vec<Vec<u64>> {
+        let front = regs.array(self.front).cp_read(0);
+        let rear = regs.array(self.rear).cp_read(0);
+        (front..rear)
+            .map(|i| {
+                let slot = (i as usize) % self.capacity;
+                self.data.iter().map(|&r| regs.array(r).cp_read(slot)).collect()
+            })
+            .collect()
+    }
+
+    /// Data-plane enqueue: one access to each counter and data register.
+    ///
+    /// Returns `false` (and counts an overflow) when the queue is full —
+    /// the optional overflow guard; the paper's unguarded variant would
+    /// overwrite instead.
+    pub fn enqueue(
+        &mut self,
+        regs: &mut RegisterFile,
+        ft: &FieldTable,
+        phv: &mut Phv,
+        record: &[u64],
+    ) -> bool {
+        assert_eq!(record.len(), self.data.len(), "record width mismatch");
+        // Stage A: read front into the PHV.
+        regs.execute(self.front, 0, &SaluProgram::read(self.f_front), phv, ft);
+        // Stage B: increment rear only while rear − front < capacity,
+        // exporting the pre-increment value (the slot) and the condition.
+        let prog = SaluProgram {
+            condition: Some(SaluCond {
+                expr: CondExpr::RegMinusOperand(SaluOperand::Field(self.f_front)),
+                cmp: Cmp::Lt,
+                rhs: SaluOperand::Const(self.capacity as u64),
+            }),
+            on_true: SaluUpdate::Add(SaluOperand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: Some(SaluOutput { dst: self.f_rear, src: SaluOutputSrc::OldValue }),
+        };
+        let slot_or_keep = regs.execute(self.rear, 0, &prog, phv, ft);
+        // Re-derive the condition: when rear did not move, the queue was
+        // full.  (The SALU exports one value; hardware pairs lo/hi outputs —
+        // we reconstruct from the front value we already hold.)
+        let front = phv.get(self.f_front);
+        if slot_or_keep.wrapping_sub(front) & 0xffff_ffff >= self.capacity as u64 {
+            self.overflows += 1;
+            phv.set(ft, self.f_flag, 0);
+            return false;
+        }
+        let slot = (slot_or_keep as usize) % self.capacity;
+        // Stage C: write the record words.
+        for (&reg, &w) in self.data.iter().zip(record) {
+            regs.execute(reg, slot as u64, &SaluProgram::write(SaluOperand::Const(w)), phv, ft);
+        }
+        phv.set(ft, self.f_flag, 1);
+        true
+    }
+
+    /// Data-plane dequeue: returns the record, or `None` when empty.
+    ///
+    /// "`update` of the \[front\] counter depends on the value of the \[rear\]
+    /// counter to prevent queue underflows."
+    pub fn dequeue(
+        &mut self,
+        regs: &mut RegisterFile,
+        ft: &FieldTable,
+        phv: &mut Phv,
+    ) -> Option<Vec<u64>> {
+        // Stage A: read rear.
+        regs.execute(self.rear, 0, &SaluProgram::read(self.f_rear), phv, ft);
+        // Stage B: increment front only while front < rear; export the old
+        // front (the slot) and the condition flag.
+        let prog = SaluProgram {
+            condition: Some(SaluCond {
+                expr: CondExpr::Reg,
+                cmp: Cmp::Lt,
+                rhs: SaluOperand::Field(self.f_rear),
+            }),
+            on_true: SaluUpdate::Add(SaluOperand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: Some(SaluOutput { dst: self.f_front, src: SaluOutputSrc::OldValue }),
+        };
+        let old_front = regs.execute(self.front, 0, &prog, phv, ft);
+        let rear = phv.get(self.f_rear);
+        if old_front >= rear {
+            phv.set(ft, self.f_flag, 0);
+            return None;
+        }
+        phv.set(ft, self.f_flag, 1);
+        let slot = (old_front as usize) % self.capacity;
+        // Stage C: read the record words.
+        let rec = self
+            .data
+            .iter()
+            .map(|&reg| {
+                regs.execute(reg, slot as u64, &SaluProgram::read(self.f_rear), phv, ft)
+            })
+            .collect();
+        // Restore f_rear (the data reads reused it as scratch output).
+        phv.set(ft, self.f_rear, rear);
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(words: usize, cap: usize) -> (FieldTable, RegisterFile, RegFifo, Phv) {
+        let mut ft = FieldTable::new();
+        let mut regs = RegisterFile::new();
+        let fifo = RegFifo::new("t", &mut regs, &mut ft, words, cap);
+        let phv = ft.new_phv();
+        (ft, regs, fifo, phv)
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let (ft, mut regs, mut fifo, mut phv) = setup(2, 8);
+        for i in 0..5u64 {
+            assert!(fifo.enqueue(&mut regs, &ft, &mut phv, &[i, i * 10]));
+        }
+        for i in 0..5u64 {
+            assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), Some(vec![i, i * 10]));
+        }
+        assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), None);
+        assert_eq!(fifo.overflows, 0);
+    }
+
+    #[test]
+    fn dequeue_on_empty_never_underflows() {
+        let (ft, mut regs, mut fifo, mut phv) = setup(1, 4);
+        for _ in 0..10 {
+            assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), None);
+        }
+        // Front must not have moved past rear.
+        assert!(fifo.is_empty(&regs));
+        assert!(fifo.enqueue(&mut regs, &ft, &mut phv, &[42]));
+        assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), Some(vec![42]));
+    }
+
+    #[test]
+    fn overflow_is_detected_and_counted() {
+        let (ft, mut regs, mut fifo, mut phv) = setup(1, 4);
+        for i in 0..4u64 {
+            assert!(fifo.enqueue(&mut regs, &ft, &mut phv, &[i]));
+        }
+        assert!(!fifo.enqueue(&mut regs, &ft, &mut phv, &[99]));
+        assert_eq!(fifo.overflows, 1);
+        // The queued records survive intact.
+        for i in 0..4u64 {
+            assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), Some(vec![i]));
+        }
+    }
+
+    #[test]
+    fn wrap_around_across_capacity_boundary() {
+        let (ft, mut regs, mut fifo, mut phv) = setup(1, 4);
+        for round in 0..10u64 {
+            assert!(fifo.enqueue(&mut regs, &ft, &mut phv, &[round]));
+            assert_eq!(fifo.dequeue(&mut regs, &ft, &mut phv), Some(vec![round]));
+        }
+        assert!(fifo.is_empty(&regs));
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (ft, mut regs, mut fifo, mut phv) = setup(1, 8);
+        assert_eq!(fifo.len(&regs), 0);
+        fifo.enqueue(&mut regs, &ft, &mut phv, &[1]);
+        fifo.enqueue(&mut regs, &ft, &mut phv, &[2]);
+        assert_eq!(fifo.len(&regs), 2);
+        fifo.dequeue(&mut regs, &ft, &mut phv);
+        assert_eq!(fifo.len(&regs), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_rejected() {
+        let mut ft = FieldTable::new();
+        let mut regs = RegisterFile::new();
+        RegFifo::new("bad", &mut regs, &mut ft, 1, 3);
+    }
+}

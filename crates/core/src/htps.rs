@@ -1,0 +1,577 @@
+//! HyperTester Packet Sender (HTPS, §5.1): accelerator → replicator →
+//! editor.
+//!
+//! * **Accelerator** — an ingress table recirculates every template packet,
+//!   keeping a stable packet source looping at the recirculation bandwidth.
+//! * **Replicator** — a register-based rate-control timer (`if now − last ≥
+//!   interval { last = now; fire }`) gates a multicast-group assignment;
+//!   the mcast engine then clones the template to the configured ports.
+//! * **Editor** — egress tables apply the four modification types to each
+//!   replica: constant values (already baked into the template by the
+//!   CPU), value lists indexed by a per-template packet id, arithmetic
+//!   progressions in registers, and random values (uniform RNG primitive /
+//!   two-table inverse transform).
+//!
+//! Query-based triggers (stateless connections, §5.3) replace the timer
+//! with a [`StatelessExtern`] that pops one captured record per template
+//! loop from the trigger FIFO and fires only when a record was available.
+
+use crate::fieldmap::resolve;
+use crate::fifo::RegFifo;
+use crate::htpr::{record_index, RECORD_FIELDS};
+use ht_asic::action::{ActionSet, ExecCtx, PrimitiveOp};
+use ht_asic::phv::{fields, FieldId, Phv};
+use ht_asic::pipeline::Extern;
+use ht_asic::register::{
+    Cmp, CondExpr, SaluCond, SaluOperand, SaluOutput, SaluOutputSrc, SaluProgram, SaluUpdate,
+};
+use ht_asic::resources::ResourceUsage;
+use ht_asic::switch::Switch;
+use ht_asic::table::{Gateway, MatchKey, MatchKind, Table};
+use ht_ntapi::compile::{EditSpec, TemplateSpec};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Fires a query-based trigger: pops one trigger record per template loop,
+/// loading the captured fields into `meta.rec_*` and setting the fire flag.
+#[derive(Debug)]
+pub struct StatelessExtern {
+    name: String,
+    /// The template this extern drives.
+    pub template_id: u16,
+    /// The trigger FIFO filled by the capturing query.
+    pub fifo: Rc<RefCell<RegFifo>>,
+    /// Fire flag (consumed by the replicate table's gateway).
+    pub fire_field: FieldId,
+    /// `meta.rec_*` fields, parallel to [`RECORD_FIELDS`].
+    pub rec_fields: Vec<FieldId>,
+}
+
+impl Extern for StatelessExtern {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, phv: &mut Phv, ctx: &mut ExecCtx<'_>) {
+        if phv.get(fields::TEMPLATE_ID) != u64::from(self.template_id) {
+            return;
+        }
+        match self.fifo.borrow_mut().dequeue(ctx.regs, ctx.table, phv) {
+            Some(rec) => {
+                for (f, v) in self.rec_fields.iter().zip(&rec) {
+                    phv.set(ctx.table, *f, *v);
+                }
+                phv.set(ctx.table, self.fire_field, 1);
+            }
+            None => phv.set(ctx.table, self.fire_field, 0),
+        }
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        ResourceUsage {
+            vliw_slots: RECORD_FIELDS.len() as u64 + 1,
+            gateways: 1,
+            ..Default::default()
+        }
+    }
+}
+
+impl StatelessExtern {
+    /// Creates the extern, interning its `meta.rec_*` fields.
+    pub fn new(
+        sw: &mut Switch,
+        template_id: u16,
+        fifo: Rc<RefCell<RegFifo>>,
+        fire_field: FieldId,
+    ) -> Self {
+        let rec_fields = (0..RECORD_FIELDS.len())
+            .map(|i| sw.fields.intern(&format!("meta.rec{i}"), 64))
+            .collect();
+        StatelessExtern {
+            name: format!("stateless_t{template_id}"),
+            template_id,
+            fifo,
+            fire_field,
+            rec_fields,
+        }
+    }
+
+    /// The `meta.rec_*` field carrying a given captured PHV field.
+    pub fn rec_field_for(&self, src: FieldId) -> Option<FieldId> {
+        record_index(src).map(|i| self.rec_fields[i])
+    }
+}
+
+/// Handles to the sender's per-template state, for tests and result
+/// readback.
+#[derive(Debug, Clone)]
+pub struct TemplateHandles {
+    /// Template id.
+    pub id: u16,
+    /// The fire-flag field.
+    pub fire_field: FieldId,
+    /// The rate timer register (interval-based templates).
+    pub timer_reg: Option<ht_asic::register::RegId>,
+    /// The loop-guard register (templates with a finite loop count).
+    pub loop_reg: Option<ht_asic::register::RegId>,
+    /// The `meta.rec_*` fields (query-based templates), parallel to
+    /// [`RECORD_FIELDS`].
+    pub rec_fields: Vec<FieldId>,
+}
+
+/// Builds the HTPS ingress components for one template: timer or stateless
+/// pop, optional loop guard, replication and recirculation entries.
+///
+/// The caller supplies `timer_table`, `replicate_table` and
+/// `recirc_table` locations (shared across templates) plus the per-template
+/// trigger FIFO for query-based triggers.
+#[allow(clippy::too_many_arguments)]
+pub fn build_template_ingress(
+    sw: &mut Switch,
+    tpl: &TemplateSpec,
+    fire_field: FieldId,
+    timer_table: (usize, usize),
+    guard_table: (usize, usize),
+    replicate_table: (usize, usize),
+    recirc_table: (usize, usize),
+    trigger_fifo: Option<Rc<RefCell<RegFifo>>>,
+) -> TemplateHandles {
+    let mut handles = TemplateHandles {
+        id: tpl.id,
+        fire_field,
+        timer_reg: None,
+        loop_reg: None,
+        rec_fields: Vec::new(),
+    };
+
+    // Fire source: timer (start-time trigger) or trigger FIFO pop.
+    if let Some(fifo) = trigger_fifo {
+        let ext = StatelessExtern::new(sw, tpl.id, fifo, fire_field);
+        handles.rec_fields = ext.rec_fields.clone();
+        // Stateless pops run in their own stage before the replicate table.
+        sw.ingress.stages[timer_table.0].externs.push(Box::new(ext));
+    } else if let Some(dist) = &tpl.interval_dist {
+        // Random inter-departure time (§3.1): each fire arms a *deadline*
+        // register with `now + draw`.  The draw happens in a stage before
+        // the timer, the deadline SALU consumes it exactly once per fire —
+        // so the inter-departure distribution is the drawn one, unbiased
+        // by the template arrival rate.
+        let rand_field = sw.fields.intern(&format!("meta.t{}_ival", tpl.id), 64);
+        let deadline_field = sw.fields.intern(&format!("meta.t{}_deadline", tpl.id), 64);
+        build_interval_draw(sw, tpl, dist, rand_field, deadline_field, timer_table.0 - 1);
+
+        let reg = sw.regs.alloc(&format!("t{}_deadline", tpl.id), 64, 1);
+        handles.timer_reg = Some(reg);
+        sw.ingress
+            .table_mut(timer_table)
+            .insert(
+                MatchKey::Exact(vec![u64::from(tpl.id)]),
+                ActionSet::new(
+                    &format!("t{}_fire_rand", tpl.id),
+                    vec![PrimitiveOp::Salu {
+                        reg,
+                        index: ht_asic::action::IndexSource::Const(0),
+                        program: SaluProgram {
+                            condition: Some(SaluCond {
+                                expr: CondExpr::Reg,
+                                cmp: Cmp::Le,
+                                rhs: SaluOperand::Field(fields::IG_TS),
+                            }),
+                            on_true: SaluUpdate::Set(SaluOperand::Field(deadline_field)),
+                            on_false: SaluUpdate::Keep,
+                            output: Some(SaluOutput {
+                                dst: fire_field,
+                                src: SaluOutputSrc::CondFlag,
+                            }),
+                        },
+                    }],
+                ),
+                0,
+            )
+            .expect("random timer entry");
+    } else {
+        let ops = match tpl.interval {
+            Some(interval) => {
+                let reg = sw.regs.alloc(&format!("t{}_timer", tpl.id), 64, 1);
+                handles.timer_reg = Some(reg);
+                vec![PrimitiveOp::Salu {
+                    reg,
+                    index: ht_asic::action::IndexSource::Const(0),
+                    program: SaluProgram {
+                        condition: Some(SaluCond {
+                            expr: CondExpr::OperandMinusReg(SaluOperand::Field(fields::IG_TS)),
+                            cmp: Cmp::Ge,
+                            rhs: SaluOperand::Const(interval),
+                        }),
+                        on_true: SaluUpdate::Set(SaluOperand::Field(fields::IG_TS)),
+                        on_false: SaluUpdate::Keep,
+                        output: Some(SaluOutput { dst: fire_field, src: SaluOutputSrc::CondFlag }),
+                    },
+                }]
+            }
+            // No interval: fire on every template arrival (line rate).
+            None => vec![PrimitiveOp::SetConst { dst: fire_field, value: 1 }],
+        };
+        sw.ingress
+            .table_mut(timer_table)
+            .insert(
+                MatchKey::Exact(vec![u64::from(tpl.id)]),
+                ActionSet::new(&format!("t{}_fire", tpl.id), ops),
+                0,
+            )
+            .expect("timer entry");
+    }
+
+    // Loop guard: cap total fires at loop_count × cycle length.
+    if tpl.loop_count > 0 {
+        let cycle = tpl
+            .edits
+            .iter()
+            .map(|e| match e {
+                EditSpec::ValueList { values, .. } => values.len() as u64,
+                EditSpec::Progression { start, end, step, .. } => (end - start) / step + 1,
+                _ => 1,
+            })
+            .max()
+            .unwrap_or(1);
+        let bound = tpl.loop_count * cycle;
+        let reg = sw.regs.alloc(&format!("t{}_loopguard", tpl.id), 64, 1);
+        handles.loop_reg = Some(reg);
+        sw.ingress
+            .table_mut(guard_table)
+            .insert(
+                MatchKey::Exact(vec![u64::from(tpl.id)]),
+                ActionSet::new(
+                    &format!("t{}_guard", tpl.id),
+                    vec![PrimitiveOp::Salu {
+                        reg,
+                        index: ht_asic::action::IndexSource::Const(0),
+                        program: SaluProgram {
+                            condition: Some(SaluCond {
+                                expr: CondExpr::Reg,
+                                cmp: Cmp::Lt,
+                                rhs: SaluOperand::Const(bound),
+                            }),
+                            on_true: SaluUpdate::Add(SaluOperand::Const(1)),
+                            on_false: SaluUpdate::Keep,
+                            output: Some(SaluOutput {
+                                dst: fire_field,
+                                src: SaluOutputSrc::CondFlag,
+                            }),
+                        },
+                    }],
+                ),
+                0,
+            )
+            .expect("loop guard entry");
+    }
+
+    // Replication: on fire, hand the template to the mcast engine.
+    sw.ingress
+        .table_mut(replicate_table)
+        .insert(
+            MatchKey::Exact(vec![u64::from(tpl.id)]),
+            ActionSet::new(
+                &format!("t{}_replicate", tpl.id),
+                vec![PrimitiveOp::SetMcastGroup(tpl.id)],
+            ),
+            0,
+        )
+        .expect("replicate entry");
+    sw.mcast.set_group(
+        tpl.id,
+        tpl.ports
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ht_asic::tm::McastMember { port: p, rid: (i + 1) as u16 })
+            .collect(),
+    );
+
+    // Accelerator: recirculate the template regardless of fire.
+    sw.ingress
+        .table_mut(recirc_table)
+        .insert(
+            MatchKey::Exact(vec![u64::from(tpl.id)]),
+            ActionSet::new(&format!("t{}_recirc", tpl.id), vec![PrimitiveOp::Recirculate]),
+            0,
+        )
+        .expect("recirc entry");
+
+    handles
+}
+
+/// Builds the egress editor for one template: one stage per edit plus the
+/// stateless respond stage, each gated on `(template_id == id, rid > 0)`.
+pub fn build_template_editor(
+    sw: &mut Switch,
+    tpl: &TemplateSpec,
+    handles: &TemplateHandles,
+) {
+    let gate = |t: Table, id: u16| -> Table {
+        t.with_gateway(Gateway { field: fields::TEMPLATE_ID, cmp: Cmp::Eq, value: u64::from(id) })
+            .with_gateway(Gateway { field: fields::RID, cmp: Cmp::Gt, value: 0 })
+    };
+
+    // Per-template packet id, when any value-list edit needs it.
+    let needs_pkt_id = tpl.edits.iter().any(|e| matches!(e, EditSpec::ValueList { .. }));
+    let pkt_id_field = sw.fields.intern(&format!("meta.t{}_pkt_id", tpl.id), 32);
+    if needs_pkt_id {
+        let reg = sw.regs.alloc(&format!("t{}_pkt_id", tpl.id), 32, 1);
+        let t = gate(
+            Table::new(
+                &format!("t{}_pktid", tpl.id),
+                MatchKind::Exact,
+                vec![fields::TEMPLATE_ID],
+                2,
+                ActionSet::new(
+                    &format!("t{}_pktid_inc", tpl.id),
+                    vec![PrimitiveOp::Salu {
+                        reg,
+                        index: ht_asic::action::IndexSource::Const(0),
+                        program: SaluProgram::fetch_add(pkt_id_field),
+                    }],
+                ),
+            ),
+            tpl.id,
+        );
+        sw.egress.push_table(t);
+    }
+
+    for (i, edit) in tpl.edits.iter().enumerate() {
+        build_edit(sw, tpl, i, edit, pkt_id_field, &gate);
+    }
+
+    // Stateless respond stage: copy captured fields into the headers.
+    if !tpl.response_copies.is_empty() {
+        let mut ops = Vec::new();
+        for rc in &tpl.response_copies {
+            let src_phv = resolve(rc.src, tpl.protocol);
+            let rec = record_index(src_phv).expect("record field");
+            let rec_field = handles.rec_fields[rec];
+            let dst = resolve(rc.dst, tpl.protocol);
+            ops.push(PrimitiveOp::CopyField { dst, src: rec_field });
+            if rc.offset != 0 {
+                ops.push(PrimitiveOp::AddConst { dst, value: rc.offset as u64 });
+            }
+        }
+        let t = gate(
+            Table::new(
+                &format!("t{}_respond", tpl.id),
+                MatchKind::Exact,
+                vec![fields::TEMPLATE_ID],
+                2,
+                ActionSet::new(&format!("t{}_respond_act", tpl.id), ops),
+            ),
+            tpl.id,
+        );
+        sw.egress.push_table(t);
+    }
+}
+
+/// Builds the threshold-draw tables of a random inter-departure interval
+/// into the reserved pre-timer stage: draw a value from the distribution
+/// into `rand_field`, then compute `deadline_field = now + draw`.
+fn build_interval_draw(
+    sw: &mut Switch,
+    tpl: &TemplateSpec,
+    dist: &EditSpec,
+    rand_field: FieldId,
+    deadline_field: FieldId,
+    draw_stage: usize,
+) {
+    let tpl_gate =
+        Gateway { field: fields::TEMPLATE_ID, cmp: Cmp::Eq, value: u64::from(tpl.id) };
+    let arm_ops = vec![
+        PrimitiveOp::CopyField { dst: deadline_field, src: fields::IG_TS },
+        PrimitiveOp::AddField { dst: deadline_field, src: rand_field },
+    ];
+    match dist {
+        EditSpec::RandomUniform { bits, offset, .. } => {
+            let mut ops =
+                vec![PrimitiveOp::RngUniform { dst: rand_field, bits: *bits, offset: *offset }];
+            ops.extend(arm_ops);
+            let t = Table::new(
+                &format!("t{}_ival_draw", tpl.id),
+                MatchKind::Exact,
+                vec![fields::TEMPLATE_ID],
+                2,
+                ActionSet::new("ival_draw", ops),
+            )
+            .with_gateway(tpl_gate);
+            sw.ingress.stages[draw_stage].tables.push(t);
+        }
+        EditSpec::RandomTable { values, bits, .. } => {
+            // Two tables: uniform draw, then the inverse-CDF range lookup,
+            // then arm the deadline.
+            let draw = Table::new(
+                &format!("t{}_ival_rng", tpl.id),
+                MatchKind::Exact,
+                vec![fields::TEMPLATE_ID],
+                2,
+                ActionSet::new(
+                    "ival_rng",
+                    vec![PrimitiveOp::RngUniform { dst: rand_field, bits: *bits, offset: 0 }],
+                ),
+            )
+            .with_gateway(tpl_gate);
+            sw.ingress.stages[draw_stage].tables.push(draw);
+
+            let mut ranges: Vec<(u64, u64, u64)> = Vec::new();
+            for (i, &v) in values.iter().enumerate() {
+                match ranges.last_mut() {
+                    Some((_, hi, val)) if *val == v && *hi + 1 == i as u64 => *hi += 1,
+                    _ => ranges.push((i as u64, i as u64, v)),
+                }
+            }
+            let mut lookup = Table::new(
+                &format!("t{}_ival_cdf", tpl.id),
+                MatchKind::Range,
+                vec![rand_field],
+                ranges.len().max(1),
+                ActionSet::nop(),
+            )
+            .with_gateway(tpl_gate);
+            for (lo, hi, v) in ranges {
+                let mut ops = vec![PrimitiveOp::SetConst { dst: rand_field, value: v }];
+                ops.extend(arm_ops.clone());
+                lookup
+                    .insert(MatchKey::Range(vec![(lo, hi)]), ActionSet::new("", ops), 0)
+                    .expect("ival cdf entry");
+            }
+            sw.ingress.stages[draw_stage].tables.push(lookup);
+        }
+        other => unreachable!("interval_dist is always a random edit, got {other:?}"),
+    }
+}
+
+fn build_edit(
+    sw: &mut Switch,
+    tpl: &TemplateSpec,
+    idx: usize,
+    edit: &EditSpec,
+    pkt_id_field: FieldId,
+    gate: &dyn Fn(Table, u16) -> Table,
+) {
+    match edit {
+        EditSpec::ValueList { field, values } => {
+            let dst = resolve(*field, tpl.protocol);
+            let mut t = Table::new(
+                &format!("t{}_edit{idx}_list", tpl.id),
+                MatchKind::Index,
+                vec![pkt_id_field],
+                values.len(),
+                ActionSet::nop(),
+            );
+            for (i, &v) in values.iter().enumerate() {
+                t.insert(
+                    MatchKey::Index(i as u64),
+                    ActionSet::new("", vec![PrimitiveOp::SetConst { dst, value: v }]),
+                    0,
+                )
+                .expect("value list entry");
+            }
+            sw.egress.push_table(gate(t, tpl.id));
+        }
+        EditSpec::Progression { field, start, end, step } => {
+            let dst = resolve(*field, tpl.protocol);
+            let reg = sw.regs.alloc(&format!("t{}_edit{idx}_prog", tpl.id), 64, 1);
+            sw.regs.array_mut(reg).cp_write(0, *start);
+            // Wrap: while reg ≤ end − step advance, else reset to start;
+            // the pre-update value goes to the field.
+            let threshold = end.saturating_sub(*step);
+            let t = gate(
+                Table::new(
+                    &format!("t{}_edit{idx}_prog", tpl.id),
+                    MatchKind::Exact,
+                    vec![fields::TEMPLATE_ID],
+                    2,
+                    ActionSet::new(
+                        "progression",
+                        vec![PrimitiveOp::Salu {
+                            reg,
+                            index: ht_asic::action::IndexSource::Const(0),
+                            program: SaluProgram {
+                                condition: Some(SaluCond {
+                                    expr: CondExpr::Reg,
+                                    cmp: Cmp::Gt,
+                                    rhs: SaluOperand::Const(threshold),
+                                }),
+                                on_true: SaluUpdate::Set(SaluOperand::Const(*start)),
+                                on_false: SaluUpdate::Add(SaluOperand::Const(*step)),
+                                output: Some(SaluOutput { dst, src: SaluOutputSrc::OldValue }),
+                            },
+                        }],
+                    ),
+                ),
+                tpl.id,
+            );
+            sw.egress.push_table(t);
+        }
+        EditSpec::RandomUniform { field, bits, offset } => {
+            let dst = resolve(*field, tpl.protocol);
+            let t = gate(
+                Table::new(
+                    &format!("t{}_edit{idx}_rng", tpl.id),
+                    MatchKind::Exact,
+                    vec![fields::TEMPLATE_ID],
+                    2,
+                    ActionSet::new(
+                        "rng_uniform",
+                        vec![PrimitiveOp::RngUniform { dst, bits: *bits, offset: *offset }],
+                    ),
+                ),
+                tpl.id,
+            );
+            sw.egress.push_table(t);
+        }
+        EditSpec::RandomTable { field, values, bits } => {
+            // Two tables (§5.1): draw a uniform value, then map it through
+            // the inverse-CDF table.  Consecutive uniform values sharing a
+            // quantile are merged into one range entry (lowered to TCAM on
+            // real targets), so the table holds one entry per distinct
+            // quantile value rather than 2^bits entries.
+            let dst = resolve(*field, tpl.protocol);
+            let rand_field = sw.fields.intern(&format!("meta.t{}_rand{idx}", tpl.id), 32);
+            let draw = gate(
+                Table::new(
+                    &format!("t{}_edit{idx}_draw", tpl.id),
+                    MatchKind::Exact,
+                    vec![fields::TEMPLATE_ID],
+                    2,
+                    ActionSet::new(
+                        "rng_draw",
+                        vec![PrimitiveOp::RngUniform { dst: rand_field, bits: *bits, offset: 0 }],
+                    ),
+                ),
+                tpl.id,
+            );
+            sw.egress.push_table(draw);
+
+            // Merge equal-quantile runs into ranges.
+            let mut ranges: Vec<(u64, u64, u64)> = Vec::new(); // (lo, hi, value)
+            for (i, &v) in values.iter().enumerate() {
+                match ranges.last_mut() {
+                    Some((_, hi, val)) if *val == v && *hi + 1 == i as u64 => *hi += 1,
+                    _ => ranges.push((i as u64, i as u64, v)),
+                }
+            }
+            let mut lookup = Table::new(
+                &format!("t{}_edit{idx}_cdf", tpl.id),
+                MatchKind::Range,
+                vec![rand_field],
+                ranges.len().max(1),
+                ActionSet::nop(),
+            );
+            for (lo, hi, v) in ranges {
+                lookup
+                    .insert(
+                        MatchKey::Range(vec![(lo, hi)]),
+                        ActionSet::new("", vec![PrimitiveOp::SetConst { dst, value: v }]),
+                        0,
+                    )
+                    .expect("cdf range entry");
+            }
+            sw.egress.push_table(gate(lookup, tpl.id));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Query result readback — the switch-CPU side of statistic collection.
+//!
+//! After (or during) a run, the CPU merges four sources per keyed query:
+//! the two cuckoo arrays, records still pending in the KV FIFO, the evicted
+//! pairs reported through `generate_digest`, and the exact-key-matching
+//! counters.  Because the header space is enumerable, digests can be mapped
+//! back to the concrete keys (the same argument that made the false-positive
+//! precompute possible).
+
+use crate::tester::QueryHandle;
+use ht_asic::Switch;
+use std::collections::HashMap;
+
+/// The merged result of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// A global reduce: one value.
+    Global(u64),
+    /// A keyed reduce resolved to concrete keys.
+    Keyed(HashMap<Vec<u64>, u64>),
+    /// A distinct count.
+    Distinct(u64),
+}
+
+/// Reads a global reduce counter.
+pub fn global_value(sw: &Switch, h: &QueryHandle) -> u64 {
+    h.global_reg.map(|r| sw.regs.array(r).cp_read(0)).unwrap_or(0)
+}
+
+/// Merges a keyed query's state into `(canonical bucket, digest) → count`,
+/// excluding exact-match traffic (which is keyed exactly, not by digest).
+pub fn keyed_by_digest(sw: &Switch, h: &QueryHandle) -> HashMap<(u64, u64), u64> {
+    let Some(engine) = &h.engine else {
+        return HashMap::new();
+    };
+    let eng = engine.borrow();
+    let mut map = eng.resident_counts(&sw.regs);
+    // Evicted / overflow-reported pairs from the digest stream.
+    if let Some(id) = h.evict_digest {
+        for d in sw.digests.iter().filter(|d| d.id == id) {
+            let (bucket, digest, count) = (d.values[0], d.values[1], d.values[2]);
+            let alt = eng.cfg.alt_bucket(bucket, digest);
+            *map.entry((bucket.min(alt), digest)).or_insert(0) += count;
+        }
+    }
+    map
+}
+
+/// Resolves a keyed query to concrete keys over an enumerated key space.
+///
+/// Keys in the space that never appeared simply do not show up in the map.
+pub fn keyed_results(sw: &Switch, h: &QueryHandle, space: &[Vec<u64>]) -> HashMap<Vec<u64>, u64> {
+    let mut out = HashMap::new();
+    // Exact-match entries first: they are keyed exactly.
+    if let Some((reg, keys)) = &h.exact {
+        let arr = sw.regs.array(*reg);
+        for (i, key) in keys.iter().enumerate() {
+            let v = arr.cp_read(i);
+            if v != 0 {
+                out.insert(key.clone(), v);
+            }
+        }
+    }
+    let digest_map = keyed_by_digest(sw, h);
+    if let Some(engine) = &h.engine {
+        let eng = engine.borrow();
+        for key in space {
+            if out.contains_key(key) {
+                continue; // resolved exactly
+            }
+            let canon = eng.canonical_of_key(key);
+            if let Some(&v) = digest_map.get(&canon) {
+                out.insert(key.clone(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Distinct count: distinct canonical pairs plus exact entries that saw
+/// traffic.  False-positive-free by construction — the precompute diverted
+/// every digest-ambiguous key to the exact table.
+pub fn distinct_count(sw: &Switch, h: &QueryHandle) -> u64 {
+    let mut n = keyed_by_digest(sw, h).len() as u64;
+    if let Some((reg, keys)) = &h.exact {
+        let arr = sw.regs.array(*reg);
+        n += (0..keys.len()).filter(|&i| arr.cp_read(i) != 0).count() as u64;
+    }
+    n
+}
+
+/// Convenience: the result of a query given its kind.
+pub fn query_result(sw: &Switch, h: &QueryHandle, space: Option<&[Vec<u64>]>) -> QueryResult {
+    use ht_ntapi::compile::QueryKind;
+    match &h.query.kind {
+        QueryKind::PassThrough | QueryKind::ReduceGlobal { .. } => {
+            QueryResult::Global(global_value(sw, h))
+        }
+        QueryKind::ReduceKeyed { .. } => match space {
+            Some(s) => QueryResult::Keyed(keyed_results(sw, h, s)),
+            None => QueryResult::Distinct(distinct_count(sw, h)),
+        },
+        QueryKind::Distinct { .. } => QueryResult::Distinct(distinct_count(sw, h)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tester::{build, TesterConfig};
+    use ht_ntapi::{compile, parse};
+    use ht_packet::wire::gbps;
+
+    /// A keyed task whose handle we can poke registers through.
+    fn keyed_setup() -> (crate::tester::BuiltTester, Vec<Vec<u64>>) {
+        let src = r#"
+T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(sport, range(100, 104, 1))
+Q1 = query().reduce(keys=[sport], func=count)
+"#;
+        let task = compile(&parse(src).unwrap()).unwrap();
+        let bt = build(&task, &TesterConfig::with_ports(1, gbps(100))).unwrap();
+        let space: Vec<Vec<u64>> = (100..=104u64).map(|v| vec![v]).collect();
+        (bt, space)
+    }
+
+    #[test]
+    fn empty_engine_yields_empty_results() {
+        let (bt, space) = keyed_setup();
+        let h = &bt.handles.queries["Q1"];
+        assert!(keyed_results(&bt.switch, h, &space).is_empty());
+        assert_eq!(distinct_count(&bt.switch, h), 0);
+        assert_eq!(global_value(&bt.switch, h), 0, "no global reg → 0");
+    }
+
+    #[test]
+    fn resident_and_evicted_counts_merge() {
+        let (mut bt, space) = keyed_setup();
+        let h = bt.handles.queries["Q1"].clone();
+        let engine = h.engine.as_ref().unwrap();
+        // Plant key 100 in array 1 with count 7.
+        let (b1, digest, tag) = {
+            let eng = engine.borrow();
+            let key = vec![100u64];
+            (eng.cfg.h1(&key), eng.cfg.digest(&key), eng.cfg.digest(&key) + 1)
+        };
+        {
+            let eng = engine.borrow();
+            bt.switch.regs.array_mut(eng.arr_key[0]).cp_write(b1 as usize, tag);
+            bt.switch.regs.array_mut(eng.arr_cnt[0]).cp_write(b1 as usize, 7);
+        }
+        // And an eviction record for the same key with count 5, reported
+        // from its *alternate* bucket (the CPU must canonicalize).
+        let alt = engine.borrow().cfg.alt_bucket(b1, digest);
+        bt.switch.digests.push(ht_asic::digest::DigestRecord {
+            id: h.evict_digest.unwrap(),
+            values: vec![alt, digest, 5],
+            at: 0,
+        });
+        let out = keyed_results(&bt.switch, &h, &space);
+        assert_eq!(out.get(&vec![100u64]).copied(), Some(12), "7 resident + 5 evicted");
+        assert_eq!(distinct_count(&bt.switch, &h), 1);
+    }
+
+    #[test]
+    fn exact_entries_take_precedence_and_add_to_distinct() {
+        let (mut bt, space) = keyed_setup();
+        let mut h = bt.handles.queries["Q1"].clone();
+        // Pretend key 103 was diverted to the exact table at index 0.
+        if let Some((reg, keys)) = &mut h.exact {
+            keys.clear();
+            keys.push(vec![103u64]);
+            bt.switch.regs.array_mut(*reg).cp_write(0, 42);
+        }
+        let out = keyed_results(&bt.switch, &h, &space);
+        assert_eq!(out.get(&vec![103u64]).copied(), Some(42));
+        assert_eq!(distinct_count(&bt.switch, &h), 1);
+    }
+
+    #[test]
+    fn query_result_dispatches_by_kind() {
+        let (bt, space) = keyed_setup();
+        let h = &bt.handles.queries["Q1"];
+        match query_result(&bt.switch, h, Some(&space)) {
+            QueryResult::Keyed(m) => assert!(m.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match query_result(&bt.switch, h, None) {
+            QueryResult::Distinct(0) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

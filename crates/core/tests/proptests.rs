@@ -1,0 +1,228 @@
+//! Property-based tests for HyperTester's counter-based query engine:
+//! against a HashMap oracle, the merged readout (arrays + FIFO + evictions
+//! + exact table) must be **exactly** right for any workload — the paper's
+//! headline accuracy claim for `reduce`/`distinct`.
+
+use ht_core::fifo::RegFifo;
+use ht_core::htpr::{CuckooEngine, CuckooExtern, CuckooStats};
+use ht_asic::action::ExecCtx;
+use ht_asic::digest::{DigestId, DigestRecord};
+use ht_asic::phv::{fields, FieldTable};
+use ht_asic::pipeline::Extern;
+use ht_asic::register::RegisterFile;
+use ht_ntapi::ast::ReduceFunc;
+use ht_ntapi::fp::{compute_fp_entries, HashConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A miniature harness driving a cuckoo engine directly: packets are PHVs
+/// with (sport, dport) keys; template "pops" are interleaved.
+struct Harness {
+    ft: FieldTable,
+    regs: RegisterFile,
+    rng: StdRng,
+    digests: Vec<DigestRecord>,
+    ext: CuckooExtern,
+    match_flag: ht_asic::FieldId,
+    exact_miss: ht_asic::FieldId,
+}
+
+impl Harness {
+    fn new(array_bits: u32, digest_bits: u32, fifo_cap: usize, func: ReduceFunc) -> Self {
+        let mut ft = FieldTable::new();
+        let mut regs = RegisterFile::new();
+        let match_flag = ft.intern("meta.match", 1);
+        let exact_miss = ft.intern("meta.exmiss", 1);
+        let count_out = ft.intern("meta.count", 64);
+        let cfg = HashConfig { array_bits, digest_bits };
+        let arr_key = [
+            regs.alloc("a1k", 64, 1 << array_bits),
+            regs.alloc("a2k", 64, 1 << array_bits),
+        ];
+        let arr_cnt = [
+            regs.alloc("a1c", 64, 1 << array_bits),
+            regs.alloc("a2c", 64, 1 << array_bits),
+        ];
+        let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, fifo_cap);
+        let engine = Rc::new(RefCell::new(CuckooEngine {
+            cfg,
+            key_fields: vec![fields::TCP_SPORT, fields::TCP_DPORT],
+            func,
+            value_field: None,
+            match_flag,
+            exact_miss_flag: exact_miss,
+            count_out,
+            arr_key,
+            arr_cnt,
+            fifo,
+            evict_digest: DigestId(1),
+            stats: CuckooStats::default(),
+        }));
+        Harness {
+            ft,
+            regs,
+            rng: StdRng::seed_from_u64(5),
+            digests: Vec::new(),
+            ext: CuckooExtern::new("cuckoo", engine),
+            match_flag,
+            exact_miss,
+        }
+    }
+
+    fn packet(&mut self, sport: u64, dport: u64, exact_keys: &[Vec<u64>]) {
+        let mut phv = self.ft.new_phv();
+        phv.set(&self.ft, fields::TCP_SPORT, sport);
+        phv.set(&self.ft, fields::TCP_DPORT, dport);
+        phv.set(&self.ft, self.match_flag, 1);
+        // Model the exact table: diverted keys never reach the engine.
+        let diverted = exact_keys.iter().any(|k| k[0] == sport && k[1] == dport);
+        phv.set(&self.ft, self.exact_miss, u64::from(!diverted));
+        let mut ctx = ExecCtx {
+            table: &self.ft,
+            regs: &mut self.regs,
+            rng: &mut self.rng,
+            digests: &mut self.digests,
+            now: 0,
+        };
+        self.ext.execute(&mut phv, &mut ctx);
+    }
+
+    /// One recirculating-template pass (drives a FIFO pop).
+    fn template_pass(&mut self) {
+        let mut phv = self.ft.new_phv();
+        phv.set(&self.ft, fields::TEMPLATE_ID, 1);
+        let mut ctx = ExecCtx {
+            table: &self.ft,
+            regs: &mut self.regs,
+            rng: &mut self.rng,
+            digests: &mut self.digests,
+            now: 0,
+        };
+        self.ext.execute(&mut phv, &mut ctx);
+    }
+
+    /// Merged digest-level readout including CPU-side evictions.
+    fn merged(&self) -> HashMap<(u64, u64), u64> {
+        let eng = self.ext.engine.borrow();
+        let mut map = eng.resident_counts(&self.regs);
+        for d in self.digests.iter().filter(|d| d.id == DigestId(1)) {
+            let (b, dg, c) = (d.values[0], d.values[1], d.values[2]);
+            let alt = eng.cfg.alt_bucket(b, dg);
+            *map.entry((b.min(alt), dg)).or_insert(0) += c;
+        }
+        map
+    }
+}
+
+fn keys_of(pkts: &[(u16, u16)]) -> Vec<Vec<u64>> {
+    let mut v: Vec<Vec<u64>> = pkts.iter().map(|&(s, d)| vec![u64::from(s), u64::from(d)]).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With the fp precompute diverting ambiguous keys, the engine's merged
+    /// counts equal a HashMap oracle exactly, for any packet sequence and
+    /// (small, collision-heavy) hash configuration.
+    #[test]
+    fn keyed_count_matches_oracle(
+        pkts in prop::collection::vec((0u16..64, 0u16..8), 1..400),
+        array_bits in 2u32..8,
+        pops_every in 1usize..5,
+    ) {
+        let space = keys_of(&pkts);
+        let cfg = HashConfig { array_bits, digest_bits: 8 };
+        let exact = compute_fp_entries(&space, &cfg);
+        let mut h = Harness::new(array_bits, 8, 64, ReduceFunc::Count);
+
+        let mut oracle: HashMap<(u64, u64), u64> = HashMap::new();
+        for (i, &(s, d)) in pkts.iter().enumerate() {
+            let (s, d) = (u64::from(s), u64::from(d));
+            let diverted = exact.iter().any(|k| k[0] == s && k[1] == d);
+            h.packet(s, d, &exact);
+            if !diverted {
+                *oracle.entry((s, d)).or_insert(0) += 1;
+            }
+            if i % pops_every == 0 {
+                h.template_pass();
+            }
+        }
+        // Drain the FIFO completely.
+        for _ in 0..200 {
+            h.template_pass();
+        }
+
+        // Oracle keyed by canonical (bucket, digest); by construction the
+        // kept keys are unambiguous, so this mapping is injective.
+        let eng = h.ext.engine.borrow();
+        let mut oracle_canon: HashMap<(u64, u64), u64> = HashMap::new();
+        for ((s, d), n) in &oracle {
+            let canon = eng.canonical_of_key(&[*s, *d]);
+            let prev = oracle_canon.insert(canon, *n);
+            prop_assert!(prev.is_none(), "fp precompute left ambiguous keys");
+        }
+        drop(eng);
+        prop_assert_eq!(h.merged(), oracle_canon);
+    }
+
+    /// Distinct counting: merged map size equals the number of distinct
+    /// non-diverted keys.
+    #[test]
+    fn distinct_matches_oracle(
+        pkts in prop::collection::vec((0u16..128, 0u16..4), 1..300),
+        array_bits in 3u32..8,
+    ) {
+        let space = keys_of(&pkts);
+        let cfg = HashConfig { array_bits, digest_bits: 8 };
+        let exact = compute_fp_entries(&space, &cfg);
+        let mut h = Harness::new(array_bits, 8, 128, ReduceFunc::Count);
+        for &(s, d) in &pkts {
+            h.packet(u64::from(s), u64::from(d), &exact);
+            h.template_pass();
+        }
+        for _ in 0..300 {
+            h.template_pass();
+        }
+        let expected = space
+            .iter()
+            .filter(|k| !exact.contains(k))
+            .count();
+        prop_assert_eq!(h.merged().len(), expected);
+    }
+
+    /// The FIFO preserves order and never loses records for arbitrary
+    /// enqueue/dequeue interleavings (bounded by capacity).
+    #[test]
+    fn fifo_is_a_fifo(ops in prop::collection::vec(any::<bool>(), 1..400)) {
+        let mut ft = FieldTable::new();
+        let mut regs = RegisterFile::new();
+        let mut fifo = RegFifo::new("f", &mut regs, &mut ft, 1, 32);
+        let mut phv = ft.new_phv();
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for op in ops {
+            if op {
+                let ok = fifo.enqueue(&mut regs, &ft, &mut phv, &[next]);
+                if model.len() < 32 {
+                    prop_assert!(ok);
+                    model.push_back(next);
+                } else {
+                    prop_assert!(!ok, "model full but enqueue succeeded");
+                }
+                next += 1;
+            } else {
+                let got = fifo.dequeue(&mut regs, &ft, &mut phv);
+                let want = model.pop_front().map(|v| vec![v]);
+                prop_assert_eq!(got, want);
+            }
+        }
+        prop_assert_eq!(fifo.len(&regs) as usize, model.len());
+    }
+}

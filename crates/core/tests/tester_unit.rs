@@ -1,0 +1,74 @@
+//! Unit tests for the tester builder's sizing helpers and rejection paths.
+
+use ht_core::{build, BuildError, TesterConfig};
+use ht_ntapi::{compile, parse};
+use ht_packet::wire::gbps;
+
+fn built(src: &str) -> ht_core::BuiltTester {
+    let task = compile(&parse(src).unwrap()).unwrap();
+    build(&task, &TesterConfig::with_ports(1, gbps(100))).unwrap()
+}
+
+#[test]
+fn line_rate_copies_scale_with_frame_size() {
+    let small = built("T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)");
+    let big = built("T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 1500)");
+    let c_small = small.copies_for_line_rate(0, gbps(100));
+    let c_big = big.copies_for_line_rate(0, gbps(100));
+    // 64 B needs ~86 copies, 1500 B a handful; both bounded by capacity+2.
+    assert!(c_small > 80 && c_small <= 91, "{c_small}");
+    assert!(c_big <= 6, "{c_big}");
+    // Lower port speed needs fewer copies.
+    assert!(small.copies_for_line_rate(0, gbps(10)) < c_small);
+}
+
+#[test]
+fn interval_copies_shrink_with_slower_rates() {
+    let fast = built(
+        "T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64).set(interval, 200ns)",
+    );
+    let slow = built(
+        "T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64).set(interval, 10us)",
+    );
+    let c_fast = fast.copies_for_interval(0, gbps(100));
+    let c_slow = slow.copies_for_interval(0, gbps(100));
+    assert!(c_fast > c_slow, "fast {c_fast} slow {c_slow}");
+    assert_eq!(c_slow, 1, "a 10 µs interval needs a single circulating copy");
+    // 2 × 570 ns / 200 ns = 6 copies.
+    assert_eq!(c_fast, 6);
+}
+
+#[test]
+fn no_interval_falls_back_to_line_rate_count() {
+    let t = built("T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)");
+    assert_eq!(
+        t.copies_for_interval(0, gbps(100)),
+        t.copies_for_line_rate(0, gbps(100))
+    );
+}
+
+#[test]
+fn oversized_random_table_is_a_build_error() {
+    // bits 18 passes NTAPI validation (≤20) but exceeds the editor's 2^16
+    // table capacity.
+    let task = compile(
+        &parse("T1 = trigger().set(dport, random(normal, 30000, 2000, 18))").unwrap(),
+    )
+    .unwrap();
+    match build(&task, &TesterConfig::with_ports(1, gbps(100))) {
+        Err(BuildError::RandomTableTooLarge { bits: 18 }) => {}
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn template_copies_have_unique_uids_and_same_template_id() {
+    let mut t = built("T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)");
+    let copies = t.template_copies(0, 5);
+    let mut uids: Vec<u64> = copies.iter().map(|p| p.uid).collect();
+    uids.sort_unstable();
+    uids.dedup();
+    assert_eq!(uids.len(), 5, "uids must be unique");
+    assert!(copies.iter().all(|p| p.template_id() == 1));
+    assert!(copies.iter().all(|p| p.len() == 64));
+}

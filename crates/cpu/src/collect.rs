@@ -1,0 +1,268 @@
+//! Test-statistic collection: the push and pull modes of §5.2.
+//!
+//! * **Push** — the data plane reports records via `generate_digest`; the
+//!   CPU pays a fixed per-message cost plus a per-byte cost, which yields
+//!   the goodput-vs-message-size curve of Fig. 16(a) (≈4.5 Mbps at 256-byte
+//!   messages on the testbed's Pentium).
+//! * **Pull** — the CPU reads data-plane counters through the control-plane
+//!   API, either one at a time (an RPC per counter) or as a DMA batch;
+//!   Fig. 16(b) shows the batch reading 65536 counters in ≈0.2 s while
+//!   one-by-one reading is an order of magnitude slower.
+
+use crate::CpuTimingModel;
+use ht_asic::digest::DigestRecord;
+use ht_asic::register::RegId;
+use ht_asic::time::SimTime;
+use ht_asic::Switch;
+
+/// Result of draining the digest queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestDrain {
+    /// The collected records.
+    pub records: Vec<DigestRecord>,
+    /// Total bytes of digest payload processed (8 bytes per field value).
+    pub bytes: u64,
+    /// Modeled CPU time spent processing the queue.
+    pub elapsed: SimTime,
+    /// Achieved goodput in bits per second (0 when nothing was drained).
+    pub goodput_bps: f64,
+}
+
+/// Drains a digest record list through the CPU's processing model.
+pub fn drain_digests(model: &CpuTimingModel, records: Vec<DigestRecord>) -> DigestDrain {
+    let mut bytes = 0u64;
+    let mut elapsed = 0u64;
+    for r in &records {
+        let size = r.values.len() as u64 * 8;
+        bytes += size;
+        elapsed += model.digest_per_msg + size * model.digest_per_byte;
+    }
+    let goodput_bps = if elapsed == 0 {
+        0.0
+    } else {
+        bytes as f64 * 8.0 / ht_asic::time::to_secs_f64(elapsed)
+    };
+    DigestDrain { records, bytes, elapsed, goodput_bps }
+}
+
+/// Result of replaying a digest stream against the CPU's service rate —
+/// the push mode under load, where the data plane can outrun the CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestTimeline {
+    /// Records that fit the buffer, with their modeled completion times.
+    pub completions: Vec<SimTime>,
+    /// Records dropped because the buffer was full when they arrived.
+    pub dropped: usize,
+    /// Largest queue depth observed.
+    pub max_backlog: usize,
+    /// Time the CPU finished the last accepted record.
+    pub done_at: SimTime,
+}
+
+/// Replays digest `records` (must be sorted by arrival time) through a
+/// single-server queue: the CPU serves one message at a time at the model's
+/// per-message + per-byte cost, buffering at most `buffer` records.
+///
+/// This exposes what Fig. 16(a)'s goodput ceiling means operationally:
+/// when the data plane generates digests faster than the CPU drains them,
+/// the buffer fills and records are lost — which is why the paper's cuckoo
+/// engine reports only *evictions* (rare) rather than per-packet digests.
+pub fn drain_timeline(
+    model: &CpuTimingModel,
+    records: &[DigestRecord],
+    buffer: usize,
+) -> DigestTimeline {
+    assert!(buffer > 0, "buffer must hold at least one record");
+    debug_assert!(records.windows(2).all(|w| w[0].at <= w[1].at), "records must be time-sorted");
+    let mut completions = Vec::with_capacity(records.len());
+    // Completion times of queued-or-in-service records, oldest first.
+    let mut in_flight: std::collections::VecDeque<SimTime> = Default::default();
+    let mut dropped = 0usize;
+    let mut max_backlog = 0usize;
+    let mut busy_until: SimTime = 0;
+    for r in records {
+        while let Some(&front) = in_flight.front() {
+            if front <= r.at {
+                in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        if in_flight.len() >= buffer {
+            dropped += 1;
+            continue;
+        }
+        let service = model.digest_per_msg + r.values.len() as u64 * 8 * model.digest_per_byte;
+        busy_until = busy_until.max(r.at) + service;
+        in_flight.push_back(busy_until);
+        completions.push(busy_until);
+        max_backlog = max_backlog.max(in_flight.len());
+    }
+    let done_at = completions.last().copied().unwrap_or(0);
+    DigestTimeline { completions, dropped, max_backlog, done_at }
+}
+
+/// How counters are pulled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullMode {
+    /// One control-plane RPC per counter (the paper's "w/o O").
+    OneByOne,
+    /// A single DMA batch (the paper's "w/ O").
+    Batch,
+}
+
+/// Result of a counter pull.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PullResult {
+    /// The counter values, in index order.
+    pub values: Vec<u64>,
+    /// Modeled elapsed control-plane time.
+    pub elapsed: SimTime,
+}
+
+/// Reads the first `count` slots of register array `reg`.
+pub fn pull_counters(
+    model: &CpuTimingModel,
+    switch: &Switch,
+    reg: RegId,
+    count: usize,
+    mode: PullMode,
+) -> PullResult {
+    let arr = switch.regs.array(reg);
+    let count = count.min(arr.depth());
+    let values: Vec<u64> = (0..count).map(|i| arr.cp_read(i)).collect();
+    let elapsed = match mode {
+        PullMode::OneByOne => model.counter_read_single * count as u64,
+        PullMode::Batch => {
+            model.counter_batch_setup + model.counter_batch_per_counter * count as u64
+        }
+    };
+    PullResult { values, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_asic::digest::DigestId;
+    use ht_asic::time::{secs, to_secs_f64};
+
+    fn records(n: usize, fields: usize) -> Vec<DigestRecord> {
+        (0..n)
+            .map(|i| DigestRecord { id: DigestId(0), values: vec![i as u64; fields], at: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn digest_goodput_grows_with_message_size() {
+        let model = CpuTimingModel::default();
+        // 16-byte messages (2 fields) vs 256-byte messages (32 fields).
+        let small = drain_digests(&model, records(1000, 2));
+        let large = drain_digests(&model, records(1000, 32));
+        assert!(large.goodput_bps > small.goodput_bps * 5.0,
+                "small {} large {}", small.goodput_bps, large.goodput_bps);
+        // Fig. 16a: ≈4.5 Mbps at 256-byte messages.
+        assert!((large.goodput_bps / 1e6 - 4.5).abs() < 0.3,
+                "goodput {} Mbps", large.goodput_bps / 1e6);
+    }
+
+    #[test]
+    fn empty_drain_is_zero() {
+        let d = drain_digests(&CpuTimingModel::default(), Vec::new());
+        assert_eq!(d.elapsed, 0);
+        assert_eq!(d.goodput_bps, 0.0);
+        assert!(d.records.is_empty());
+    }
+
+    #[test]
+    fn batch_pull_of_64k_counters_takes_point_two_seconds() {
+        let model = CpuTimingModel::default();
+        let mut sw = Switch::new("sw", 1);
+        let reg = sw.regs.alloc("ctrs", 32, 65536);
+        for i in 0..65536 {
+            sw.regs.array_mut(reg).cp_write(i, i as u64);
+        }
+        let batch = pull_counters(&model, &sw, reg, 65536, PullMode::Batch);
+        let single = pull_counters(&model, &sw, reg, 65536, PullMode::OneByOne);
+        // Fig. 16b: 65536 counters within ~0.2 s batched.
+        let batch_s = to_secs_f64(batch.elapsed);
+        assert!((batch_s - 0.2).abs() < 0.02, "batch took {batch_s} s");
+        // One-by-one is an order of magnitude slower.
+        assert!(single.elapsed > batch.elapsed * 8);
+        // Values are faithful.
+        assert_eq!(batch.values.len(), 65536);
+        assert_eq!(batch.values[1234], 1234);
+    }
+
+    #[test]
+    fn pull_clamps_to_register_depth() {
+        let model = CpuTimingModel::default();
+        let mut sw = Switch::new("sw", 1);
+        let reg = sw.regs.alloc("small", 32, 8);
+        let r = pull_counters(&model, &sw, reg, 100, PullMode::Batch);
+        assert_eq!(r.values.len(), 8);
+        assert!(r.elapsed < secs(1));
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use ht_asic::digest::DigestId;
+    use ht_asic::time::{ms, us};
+
+    fn records(n: usize, spacing: SimTime, fields: usize) -> Vec<DigestRecord> {
+        (0..n)
+            .map(|i| DigestRecord {
+                id: DigestId(0),
+                values: vec![0; fields],
+                at: i as u64 * spacing,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slow_arrivals_complete_without_queueing() {
+        let model = CpuTimingModel::default();
+        // Service of a 2-field record ≈ 400 µs + 16 B · 215 ns ≈ 403 µs;
+        // arrivals every 1 ms never queue.
+        let t = drain_timeline(&model, &records(10, ms(1), 2), 16);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.max_backlog, 1);
+        for (i, &c) in t.completions.iter().enumerate() {
+            let service = model.digest_per_msg + 16 * model.digest_per_byte;
+            assert_eq!(c, i as u64 * ms(1) + service);
+        }
+    }
+
+    #[test]
+    fn overload_fills_buffer_and_drops() {
+        let model = CpuTimingModel::default();
+        // Arrivals every 10 µs against a ~403 µs service time: the 8-slot
+        // buffer fills almost immediately and most records are lost.
+        let t = drain_timeline(&model, &records(1_000, us(10), 2), 8);
+        assert!(t.dropped > 900, "dropped {}", t.dropped);
+        assert_eq!(t.max_backlog, 8);
+        // Accepted records complete back-to-back at the service rate.
+        let service = model.digest_per_msg + 16 * model.digest_per_byte;
+        for w in t.completions.windows(2) {
+            assert_eq!(w[1] - w[0], service);
+        }
+    }
+
+    #[test]
+    fn burst_then_idle_drains_fully() {
+        let model = CpuTimingModel::default();
+        // A burst of 5 at t=0 fits an 8-slot buffer and drains serially.
+        let t = drain_timeline(&model, &records(5, 0, 2), 8);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.max_backlog, 5);
+        let service = model.digest_per_msg + 16 * model.digest_per_byte;
+        assert_eq!(t.done_at, 5 * service);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must hold")]
+    fn zero_buffer_rejected() {
+        drain_timeline(&CpuTimingModel::default(), &[], 0);
+    }
+}

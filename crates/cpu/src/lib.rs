@@ -1,0 +1,120 @@
+//! The switch CPU: HyperTester's control plane.
+//!
+//! P4 switches pair the high-throughput/low-programmability ASIC with a
+//! low-throughput/high-programmability CPU connected over PCIe (§2.1).  The
+//! paper's key idea is to *co-design* the two: the CPU crafts template
+//! packets and handles whatever the ASIC cannot (payloads, header
+//! initialization, slow-path analysis), while the ASIC amplifies.
+//!
+//! This crate models the CPU side:
+//!
+//! * [`SwitchCpu::inject_templates`] — template injection over PCIe.
+//! * [`SwitchCpu::drain_digests`] — the *push mode* of test-statistic
+//!   collection (`generate_digest`), with the goodput model of Fig. 16(a).
+//! * [`SwitchCpu::pull_counters`] — the *pull mode*, one-by-one or batched,
+//!   with the latency model of Fig. 16(b).
+//!
+//! Timing constants are calibrated to the paper's measurements on the
+//! testbed's Intel Pentium 4-core 1.60 GHz switch CPU; see each constant's
+//! doc comment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod inject;
+
+pub use collect::{drain_timeline, DigestDrain, DigestTimeline, PullMode, PullResult};
+pub use inject::InjectionPlan;
+
+use ht_asic::digest::DigestRecord;
+use ht_asic::register::RegId;
+use ht_asic::time::SimTime;
+use ht_asic::{DeviceId, SimPacket, Switch, World};
+
+/// Timing model of the switch CPU's control-plane paths.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuTimingModel {
+    /// Fixed driver/interrupt cost per digest message.
+    ///
+    /// Calibrated with [`Self::digest_per_byte`] so the digest goodput
+    /// reaches ≈4.5 Mbps at 256-byte messages and grows with message size
+    /// (Fig. 16a).
+    pub digest_per_msg: SimTime,
+    /// Per-byte processing cost of a digest message.
+    pub digest_per_byte: SimTime,
+    /// Latency of one non-batched register read over the control-plane API.
+    pub counter_read_single: SimTime,
+    /// Fixed setup cost of a batched (DMA) counter read.
+    pub counter_batch_setup: SimTime,
+    /// Per-counter cost within a batch.
+    ///
+    /// Calibrated so 65536 counters pull in ≈0.2 s (Fig. 16b).
+    pub counter_batch_per_counter: SimTime,
+    /// Per-packet cost of injecting a template over PCIe.
+    pub inject_per_packet: SimTime,
+}
+
+impl Default for CpuTimingModel {
+    fn default() -> Self {
+        CpuTimingModel {
+            digest_per_msg: ht_asic::time::us(400),
+            digest_per_byte: 215_000, // 215 ns/B
+            counter_read_single: ht_asic::time::us(30),
+            counter_batch_setup: ht_asic::time::us(200),
+            counter_batch_per_counter: 3_050_000, // 3.05 µs
+            inject_per_packet: ht_asic::time::us(10),
+        }
+    }
+}
+
+/// The switch CPU.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchCpu {
+    /// Timing model used for all control-plane operations.
+    pub model: CpuTimingModel,
+}
+
+impl SwitchCpu {
+    /// A CPU with the default (paper-calibrated) timing model.
+    pub fn new() -> Self {
+        SwitchCpu { model: CpuTimingModel::default() }
+    }
+
+    /// Schedules template packets into a switch's PCIe port, spaced by the
+    /// injection cost, starting at `start`.  Returns the injection plan
+    /// (per-packet times and the completion time).
+    pub fn inject_templates(
+        &self,
+        world: &mut World,
+        switch: DeviceId,
+        templates: Vec<SimPacket>,
+        start: SimTime,
+    ) -> InjectionPlan {
+        inject::inject_templates(&self.model, world, switch, templates, start)
+    }
+
+    /// Drains all queued digests from a switch, modeling the per-message
+    /// processing time (Fig. 16a).
+    pub fn drain_digests(&self, switch: &mut Switch) -> DigestDrain {
+        collect::drain_digests(&self.model, std::mem::take(&mut switch.digests))
+    }
+
+    /// Models draining an explicit record list (for unit benchmarks that
+    /// synthesize digests without a switch).
+    pub fn drain_records(&self, records: Vec<DigestRecord>) -> DigestDrain {
+        collect::drain_digests(&self.model, records)
+    }
+
+    /// Reads `count` counters from a register array, returning the values
+    /// and the modeled elapsed control-plane time (Fig. 16b).
+    pub fn pull_counters(
+        &self,
+        switch: &Switch,
+        reg: RegId,
+        count: usize,
+        mode: PullMode,
+    ) -> PullResult {
+        collect::pull_counters(&self.model, switch, reg, count, mode)
+    }
+}

@@ -1,0 +1,26 @@
+//! Devices under test and measurement sinks for HyperTester experiments.
+//!
+//! The paper's testbed (Fig. 8) wires the tester switch to devices under
+//! test and measurement endpoints.  This crate provides the simulated
+//! counterparts:
+//!
+//! * [`sink::Sink`] — a measurement endpoint recording arrival timestamps,
+//!   byte counts and selected header fields (the role of the capture side
+//!   of a tester port).
+//! * [`forwarder::Forwarder`] — a store-and-forward device with a
+//!   configurable pipeline delay and per-port serialization (the generic
+//!   DUT of the throughput and delay experiments).
+//! * [`responder::TcpResponder`] — a stateless TCP/HTTP server emulating
+//!   the web-testing peer of §5.4: SYN → SYN+ACK, request → data packets,
+//!   FIN → FIN+ACK.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forwarder;
+pub mod responder;
+pub mod sink;
+
+pub use forwarder::Forwarder;
+pub use responder::TcpResponder;
+pub use sink::Sink;

@@ -1,0 +1,348 @@
+//! The NTAPI abstract syntax: the types behind Table 1 (fields) and
+//! Table 2 (syntax) of the paper.
+//!
+//! A network testing task (a [`Program`]) is a set of named *packet stream
+//! triggers* (packet generation) and *packet stream queries* (statistic
+//! collection / stateless-connection capture).  Programs are built either
+//! with the fluent builder ([`crate::builder`]) or parsed from the textual
+//! DSL ([`mod@crate::parse`]); both produce this AST, which the compiler
+//! ([`mod@crate::compile`]) validates and lowers.
+
+use ht_asic::time::SimTime;
+
+/// Header fields addressable by NTAPI (`hdr_name.field_name` rows of
+/// Table 1).  `Sport`/`Dport` are protocol-generic: the compiler resolves
+/// them to TCP or UDP ports from the trigger's `proto` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeaderField {
+    /// Ethernet source address (48 bits).
+    EthSrc,
+    /// Ethernet destination address (48 bits).
+    EthDst,
+    /// IPv4 source address.
+    Sip,
+    /// IPv4 destination address.
+    Dip,
+    /// IPv4 protocol.
+    Proto,
+    /// IPv4 TTL.
+    Ttl,
+    /// IPv4 identification.
+    Ident,
+    /// L4 source port (TCP or UDP, per the trigger's protocol).
+    Sport,
+    /// L4 destination port.
+    Dport,
+    /// TCP flag byte.
+    TcpFlags,
+    /// TCP sequence number.
+    SeqNo,
+    /// TCP acknowledgment number.
+    AckNo,
+    /// TCP window.
+    Window,
+}
+
+impl HeaderField {
+    /// Bit width of the field (used by validation).
+    pub fn width(&self) -> u32 {
+        match self {
+            HeaderField::EthSrc | HeaderField::EthDst => 48,
+            HeaderField::Sip | HeaderField::Dip => 32,
+            HeaderField::Proto | HeaderField::Ttl | HeaderField::TcpFlags => 8,
+            HeaderField::Ident | HeaderField::Sport | HeaderField::Dport | HeaderField::Window => 16,
+            HeaderField::SeqNo | HeaderField::AckNo => 32,
+        }
+    }
+
+    /// Canonical NTAPI spelling, used in diagnostics and generated P4.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeaderField::EthSrc => "eth.src",
+            HeaderField::EthDst => "eth.dst",
+            HeaderField::Sip => "sip",
+            HeaderField::Dip => "dip",
+            HeaderField::Proto => "proto",
+            HeaderField::Ttl => "ttl",
+            HeaderField::Ident => "ident",
+            HeaderField::Sport => "sport",
+            HeaderField::Dport => "dport",
+            HeaderField::TcpFlags => "tcp_flag",
+            HeaderField::SeqNo => "seq_no",
+            HeaderField::AckNo => "ack_no",
+            HeaderField::Window => "window",
+        }
+    }
+}
+
+/// Any field settable or readable by NTAPI: header fields plus the payload
+/// and the packet-generation control fields (Table 1's "Control" category).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NtField {
+    /// A parsed header field.
+    Header(HeaderField),
+    /// The packet payload (CPU-customized, constant bytes).
+    Payload,
+    /// Frame length in bytes.
+    PktLen,
+    /// Inter-departure interval (rate control).
+    Interval,
+    /// Injection port(s).
+    Port,
+    /// Number of times the value lists are replayed; 0 = loop forever.
+    Loop,
+}
+
+/// Random distribution specifications for `random(ALG, …)` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistSpec {
+    /// Uniform on `[lo, hi)` — maps to the hardware RNG primitive.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Exclusive upper bound.
+        hi: u64,
+    },
+    /// Normal distribution — realized via the two-table inverse transform.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Exponential distribution — realized via the inverse transform.
+    Exponential {
+        /// Mean (1/λ).
+        mean: f64,
+    },
+}
+
+/// A value expression on the right-hand side of `set` (Table 2's V).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A constant, set identically in every packet.
+    Const(u64),
+    /// Constant byte string (payload only).
+    Bytes(Vec<u8>),
+    /// A pre-defined value list, walked per generated packet.
+    List(Vec<u64>),
+    /// Arithmetic progression `range(start, end, step)` (end inclusive).
+    Range {
+        /// First value.
+        start: u64,
+        /// Last value (inclusive).
+        end: u64,
+        /// Step between consecutive values (> 0).
+        step: u64,
+    },
+    /// Random values drawn from a distribution, using a `2^bits`-entry
+    /// inverse-CDF table for non-uniform shapes.
+    Random {
+        /// The distribution.
+        dist: DistSpec,
+        /// Table size exponent for the inverse transform (or the RNG width
+        /// for uniform draws).
+        bits: u32,
+    },
+    /// A field copied from the query record that triggered this packet
+    /// (stateless connections), plus a constant offset:
+    /// `Q.seq_no + 1` is `QueryField { field: SeqNo, offset: 1, .. }`.
+    QueryField {
+        /// Name of the source query.
+        query: String,
+        /// Field of the captured packet.
+        field: HeaderField,
+        /// Constant added to the captured value.
+        offset: i64,
+    },
+}
+
+/// One `set` statement: fields and their values, positionally paired when
+/// several fields are set at once (`set([dip, sip], [X, Y])`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetStmt {
+    /// Target fields.
+    pub fields: Vec<NtField>,
+    /// Values, one per field.
+    pub values: Vec<Value>,
+}
+
+/// A packet stream trigger (Table 2's `trigger ::= T{.S}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDef {
+    /// Name, e.g. `T1`.
+    pub name: String,
+    /// For query-based triggers (stateless connections): the query whose
+    /// captured packets fire this trigger.  `None` = start-time trigger.
+    pub source_query: Option<String>,
+    /// The `set` chain.
+    pub sets: Vec<SetStmt>,
+}
+
+/// What traffic a query monitors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySource {
+    /// Sent traffic generated by the named trigger (deployed at egress).
+    Trigger(String),
+    /// Received traffic (deployed at ingress); `None` = all ports.
+    Received(Option<u16>),
+}
+
+/// Comparison operators usable in query filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A filter predicate over a header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Field inspected.
+    pub field: HeaderField,
+    /// Operator.
+    pub cmp: CmpOp,
+    /// Constant.
+    pub value: u64,
+}
+
+/// Reduce functions (the Sonata set the paper supports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceFunc {
+    /// Sum of the mapped value.
+    Sum,
+    /// Count of records.
+    Count,
+    /// Maximum of the mapped value.
+    Max,
+}
+
+/// One query operator (Table 2's q, "refer to Sonata").
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOp {
+    /// Keep only packets matching the predicate.
+    Filter(Predicate),
+    /// Project to the listed fields (`map(p -> (pkt_len))`).
+    Map(Vec<NtField>),
+    /// Count distinct key tuples.
+    Distinct {
+        /// Key fields.
+        keys: Vec<HeaderField>,
+    },
+    /// Aggregate per key tuple.
+    Reduce {
+        /// Key fields; empty = one global aggregate.
+        keys: Vec<HeaderField>,
+        /// Aggregation function.
+        func: ReduceFunc,
+    },
+    /// Filter on the running reduce result (`.filter(count < 5)`), used by
+    /// the web-testing application to gate triggers on progress.
+    FilterResult {
+        /// Operator.
+        cmp: CmpOp,
+        /// Constant threshold.
+        value: u64,
+    },
+}
+
+/// A packet stream query (Table 2's `query ::= Q{.(q | D)}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDef {
+    /// Name, e.g. `Q1`.
+    pub name: String,
+    /// Monitored traffic.
+    pub source: QuerySource,
+    /// Operator chain.
+    pub ops: Vec<QueryOp>,
+}
+
+/// A complete network testing task.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Triggers, in declaration order.
+    pub triggers: Vec<TriggerDef>,
+    /// Queries, in declaration order.
+    pub queries: Vec<QueryDef>,
+    /// NTAPI source text, when the program came from the DSL (for LoC
+    /// accounting à la Table 5).
+    pub source: Option<String>,
+}
+
+impl Program {
+    /// Looks up a trigger by name.
+    pub fn trigger(&self, name: &str) -> Option<&TriggerDef> {
+        self.triggers.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a query by name.
+    pub fn query(&self, name: &str) -> Option<&QueryDef> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Lines of NTAPI code, counted the way Table 5 counts: non-empty,
+    /// non-comment source lines.  Returns `None` when the program was built
+    /// programmatically (no source text).
+    pub fn loc(&self) -> Option<usize> {
+        self.source.as_ref().map(|s| crate::loc::count_loc(s))
+    }
+}
+
+/// An interval literal with the unit conversions the DSL accepts.
+pub fn interval_ps(value: u64, unit: &str) -> Option<SimTime> {
+    match unit {
+        "ps" => Some(value),
+        "ns" => Some(value * 1_000),
+        "us" => Some(value * 1_000_000),
+        "ms" => Some(value * 1_000_000_000),
+        "s" => Some(value * 1_000_000_000_000),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_field_widths() {
+        assert_eq!(HeaderField::Sip.width(), 32);
+        assert_eq!(HeaderField::Sport.width(), 16);
+        assert_eq!(HeaderField::TcpFlags.width(), 8);
+        assert_eq!(HeaderField::EthDst.width(), 48);
+    }
+
+    #[test]
+    fn program_lookup_by_name() {
+        let p = Program {
+            triggers: vec![TriggerDef { name: "T1".into(), source_query: None, sets: vec![] }],
+            queries: vec![QueryDef {
+                name: "Q1".into(),
+                source: QuerySource::Received(None),
+                ops: vec![],
+            }],
+            source: None,
+        };
+        assert!(p.trigger("T1").is_some());
+        assert!(p.trigger("T2").is_none());
+        assert!(p.query("Q1").is_some());
+        assert_eq!(p.loc(), None);
+    }
+
+    #[test]
+    fn interval_unit_conversion() {
+        assert_eq!(interval_ps(10, "us"), Some(10_000_000));
+        assert_eq!(interval_ps(640, "ns"), Some(640_000));
+        assert_eq!(interval_ps(1, "weeks"), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! Fluent builders — the embedded-Rust face of NTAPI.
+//!
+//! The paper's Table 3 throughput-testing task looks like this with the
+//! builder:
+//!
+//! ```
+//! use ht_ntapi::builder::{trigger, query};
+//! use ht_ntapi::ast::{NtField, ReduceFunc};
+//!
+//! let t1 = trigger("T1")
+//!     .dip("10.0.0.2").sip("10.0.0.1").proto_udp().dport(1).sport(1)
+//!     .loops(0).frame_len(64)
+//!     .build();
+//! let q1 = query("Q1").on_trigger("T1").map([NtField::PktLen]).reduce_all(ReduceFunc::Sum).build();
+//! let q2 = query("Q2").received().map([NtField::PktLen]).reduce_all(ReduceFunc::Sum).build();
+//! let program = ht_ntapi::builder::program([t1], [q1, q2]);
+//! assert_eq!(program.triggers.len(), 1);
+//! ```
+
+use crate::ast::{
+    CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryDef, QueryOp, QuerySource,
+    ReduceFunc, SetStmt, TriggerDef, Value,
+};
+use ht_packet::tcp::TcpFlags;
+use ht_packet::Ipv4Address;
+
+/// Starts a trigger builder.
+pub fn trigger(name: &str) -> TriggerBuilder {
+    TriggerBuilder { def: TriggerDef { name: name.into(), source_query: None, sets: Vec::new() } }
+}
+
+/// Starts a query builder (source must be chosen via `received`/`on_trigger`).
+pub fn query(name: &str) -> QueryBuilder {
+    QueryBuilder {
+        def: QueryDef { name: name.into(), source: QuerySource::Received(None), ops: Vec::new() },
+    }
+}
+
+/// Assembles a program from built triggers and queries.
+pub fn program(
+    triggers: impl IntoIterator<Item = TriggerDef>,
+    queries: impl IntoIterator<Item = QueryDef>,
+) -> Program {
+    Program {
+        triggers: triggers.into_iter().collect(),
+        queries: queries.into_iter().collect(),
+        source: None,
+    }
+}
+
+/// Fluent construction of a [`TriggerDef`].
+#[derive(Debug, Clone)]
+pub struct TriggerBuilder {
+    def: TriggerDef,
+}
+
+impl TriggerBuilder {
+    /// Makes this a query-based trigger (stateless connection): it fires
+    /// once per packet captured by `query_name`.
+    pub fn from_query(mut self, query_name: &str) -> Self {
+        self.def.source_query = Some(query_name.into());
+        self
+    }
+
+    /// Generic `set`: one field, one value.
+    pub fn set(mut self, field: NtField, value: Value) -> Self {
+        self.def.sets.push(SetStmt { fields: vec![field], values: vec![value] });
+        self
+    }
+
+    /// Generic `set` over several positionally paired fields/values.
+    pub fn set_many(mut self, fields: Vec<NtField>, values: Vec<Value>) -> Self {
+        self.def.sets.push(SetStmt { fields, values });
+        self
+    }
+
+    /// Copies a field from the triggering query's captured packet, plus an
+    /// offset: `.set_from_query(SeqNo, "Q1", AckNo, 0)` sets
+    /// `seq_no = Q1.ack_no`.
+    pub fn set_from_query(
+        self,
+        field: HeaderField,
+        query: &str,
+        src: HeaderField,
+        offset: i64,
+    ) -> Self {
+        self.set(
+            NtField::Header(field),
+            Value::QueryField { query: query.into(), field: src, offset },
+        )
+    }
+
+    fn set_header(self, f: HeaderField, v: u64) -> Self {
+        self.set(NtField::Header(f), Value::Const(v))
+    }
+
+    /// Sets the destination IPv4 address (dotted quad).
+    pub fn dip(self, addr: &str) -> Self {
+        let a: Ipv4Address = addr.parse().expect("bad IPv4 literal");
+        self.set_header(HeaderField::Dip, u64::from(a.to_u32()))
+    }
+
+    /// Sets the source IPv4 address (dotted quad).
+    pub fn sip(self, addr: &str) -> Self {
+        let a: Ipv4Address = addr.parse().expect("bad IPv4 literal");
+        self.set_header(HeaderField::Sip, u64::from(a.to_u32()))
+    }
+
+    /// Sets a range of source IPv4 addresses.
+    pub fn sip_range(self, start: &str, end: &str) -> Self {
+        let s: Ipv4Address = start.parse().expect("bad IPv4 literal");
+        let e: Ipv4Address = end.parse().expect("bad IPv4 literal");
+        self.set(
+            NtField::Header(HeaderField::Sip),
+            Value::Range { start: u64::from(s.to_u32()), end: u64::from(e.to_u32()), step: 1 },
+        )
+    }
+
+    /// Sets a range of destination IPv4 addresses (IP-scanning tasks).
+    pub fn dip_range(self, start: &str, end: &str) -> Self {
+        let s: Ipv4Address = start.parse().expect("bad IPv4 literal");
+        let e: Ipv4Address = end.parse().expect("bad IPv4 literal");
+        self.set(
+            NtField::Header(HeaderField::Dip),
+            Value::Range { start: u64::from(s.to_u32()), end: u64::from(e.to_u32()), step: 1 },
+        )
+    }
+
+    /// Protocol = UDP.
+    pub fn proto_udp(self) -> Self {
+        self.set_header(HeaderField::Proto, 17)
+    }
+
+    /// Protocol = TCP.
+    pub fn proto_tcp(self) -> Self {
+        self.set_header(HeaderField::Proto, 6)
+    }
+
+    /// Destination port.
+    pub fn dport(self, p: u64) -> Self {
+        self.set_header(HeaderField::Dport, p)
+    }
+
+    /// Source port.
+    pub fn sport(self, p: u64) -> Self {
+        self.set_header(HeaderField::Sport, p)
+    }
+
+    /// Source-port range.
+    pub fn sport_range(self, start: u64, end: u64, step: u64) -> Self {
+        self.set(NtField::Header(HeaderField::Sport), Value::Range { start, end, step })
+    }
+
+    /// TCP flags.
+    pub fn tcp_flags(self, flags: TcpFlags) -> Self {
+        self.set_header(HeaderField::TcpFlags, u64::from(flags.0))
+    }
+
+    /// TCP sequence number.
+    pub fn seq_no(self, v: u64) -> Self {
+        self.set_header(HeaderField::SeqNo, v)
+    }
+
+    /// Frame length (`pkt_len` control field).
+    pub fn frame_len(self, len: u64) -> Self {
+        self.set(NtField::PktLen, Value::Const(len))
+    }
+
+    /// Inter-departure interval in nanoseconds.
+    pub fn interval_ns(self, ns: u64) -> Self {
+        self.set(NtField::Interval, Value::Const(ns * 1_000))
+    }
+
+    /// Inter-departure interval in microseconds.
+    pub fn interval_us(self, us: u64) -> Self {
+        self.set(NtField::Interval, Value::Const(us * 1_000_000))
+    }
+
+    /// Injection port.
+    pub fn port(self, p: u64) -> Self {
+        self.set(NtField::Port, Value::Const(p))
+    }
+
+    /// Several injection ports (replicated by the mcast engine).  A
+    /// single-element list is normalized to the constant form, matching
+    /// what the DSL parser produces for `set(port, [p])`.
+    pub fn ports(self, ps: &[u64]) -> Self {
+        match ps {
+            [p] => self.set(NtField::Port, Value::Const(*p)),
+            _ => self.set(NtField::Port, Value::List(ps.to_vec())),
+        }
+    }
+
+    /// Loop count for the value lists (0 = forever).
+    pub fn loops(self, n: u64) -> Self {
+        self.set(NtField::Loop, Value::Const(n))
+    }
+
+    /// Constant payload bytes.
+    pub fn payload(self, bytes: &[u8]) -> Self {
+        self.set(NtField::Payload, Value::Bytes(bytes.to_vec()))
+    }
+
+    /// Random values for a header field.
+    pub fn random(self, field: HeaderField, dist: DistSpec, bits: u32) -> Self {
+        self.set(NtField::Header(field), Value::Random { dist, bits })
+    }
+
+    /// Finishes the trigger.
+    pub fn build(self) -> TriggerDef {
+        self.def
+    }
+}
+
+/// Fluent construction of a [`QueryDef`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    def: QueryDef,
+}
+
+impl QueryBuilder {
+    /// Monitor received traffic on all ports.
+    pub fn received(mut self) -> Self {
+        self.def.source = QuerySource::Received(None);
+        self
+    }
+
+    /// Monitor received traffic on one port.
+    pub fn received_port(mut self, port: u16) -> Self {
+        self.def.source = QuerySource::Received(Some(port));
+        self
+    }
+
+    /// Monitor sent traffic generated by a trigger.
+    pub fn on_trigger(mut self, name: &str) -> Self {
+        self.def.source = QuerySource::Trigger(name.into());
+        self
+    }
+
+    /// Adds a filter predicate.
+    pub fn filter(mut self, field: HeaderField, cmp: CmpOp, value: u64) -> Self {
+        self.def.ops.push(QueryOp::Filter(Predicate { field, cmp, value }));
+        self
+    }
+
+    /// Filter on an exact TCP flag byte (`filter(tcp_flag == SYN+ACK)`).
+    pub fn filter_flags(self, flags: TcpFlags) -> Self {
+        self.filter(HeaderField::TcpFlags, CmpOp::Eq, u64::from(flags.0))
+    }
+
+    /// Projection.
+    pub fn map(mut self, fields: impl IntoIterator<Item = NtField>) -> Self {
+        self.def.ops.push(QueryOp::Map(fields.into_iter().collect()));
+        self
+    }
+
+    /// Distinct over key fields.
+    pub fn distinct(mut self, keys: impl IntoIterator<Item = HeaderField>) -> Self {
+        self.def.ops.push(QueryOp::Distinct { keys: keys.into_iter().collect() });
+        self
+    }
+
+    /// Reduce over key fields.
+    pub fn reduce(
+        mut self,
+        keys: impl IntoIterator<Item = HeaderField>,
+        func: ReduceFunc,
+    ) -> Self {
+        self.def.ops.push(QueryOp::Reduce { keys: keys.into_iter().collect(), func });
+        self
+    }
+
+    /// Global reduce (no keys).
+    pub fn reduce_all(self, func: ReduceFunc) -> Self {
+        self.reduce(Vec::new(), func)
+    }
+
+    /// Filter on the running reduce result.
+    pub fn filter_result(mut self, cmp: CmpOp, value: u64) -> Self {
+        self.def.ops.push(QueryOp::FilterResult { cmp, value });
+        self
+    }
+
+    /// Finishes the query.
+    pub fn build(self) -> QueryDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_task_shape_matches_table3() {
+        let t1 = trigger("T1")
+            .dip("10.0.0.2")
+            .sip("10.0.0.1")
+            .proto_udp()
+            .dport(1)
+            .sport(1)
+            .loops(0)
+            .frame_len(64)
+            .build();
+        assert_eq!(t1.sets.len(), 7);
+        assert!(t1.source_query.is_none());
+
+        let q = query("Q1")
+            .on_trigger("T1")
+            .map([NtField::PktLen])
+            .reduce_all(ReduceFunc::Sum)
+            .build();
+        assert_eq!(q.source, QuerySource::Trigger("T1".into()));
+        assert_eq!(q.ops.len(), 2);
+    }
+
+    #[test]
+    fn stateless_connection_trigger_shape() {
+        let t2 = trigger("T2")
+            .from_query("Q1")
+            .set_from_query(HeaderField::Dip, "Q1", HeaderField::Sip, 0)
+            .set_from_query(HeaderField::AckNo, "Q1", HeaderField::SeqNo, 1)
+            .tcp_flags(TcpFlags::ACK)
+            .build();
+        assert_eq!(t2.source_query.as_deref(), Some("Q1"));
+        match &t2.sets[1].values[0] {
+            Value::QueryField { query, field, offset } => {
+                assert_eq!(query, "Q1");
+                assert_eq!(*field, HeaderField::SeqNo);
+                assert_eq!(*offset, 1);
+            }
+            other => panic!("unexpected value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ip_literals_parse_to_u32() {
+        let t = trigger("T").dip("1.2.3.4").build();
+        assert_eq!(t.sets[0].values[0], Value::Const(0x01020304));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad IPv4 literal")]
+    fn bad_ip_literal_panics() {
+        trigger("T").dip("not-an-ip");
+    }
+}

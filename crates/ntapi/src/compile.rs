@@ -1,0 +1,853 @@
+//! NTAPI compilation: validation and lowering to the intermediate
+//! representation the HyperTester runtime (`ht-core`) programs the switch
+//! from.
+//!
+//! Compilation follows §5.1/§5.2 of the paper:
+//!
+//! * each trigger becomes a **template packet spec** — the constant header
+//!   values and payload the switch CPU bakes into the template, the mcast
+//!   port set, the replicator's rate-control interval, and the **editor
+//!   edits** (value lists, arithmetic progressions, uniform RNG with
+//!   power-of-two scope limiting, inverse-transform tables);
+//! * each query becomes a **compiled query** — filter predicates, the
+//!   aggregation kind, and (for `distinct`/keyed `reduce`) the hash
+//!   configuration plus the precomputed exact-key-matching entries;
+//! * invalid tasks are **rejected** (§6.1: out-of-range field values,
+//!   malformed ranges, dangling references, and tasks exceeding the
+//!   accelerator or stage budget).
+
+use crate::ast::{
+    CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryOp, QuerySource, ReduceFunc,
+    Value,
+};
+use crate::fp::{compute_fp_entries, HashConfig};
+use crate::headerspace::{global_space, SpaceError};
+use ht_asic::time::SimTime;
+use ht_asic::timing;
+
+/// Errors rejecting a testing task (§6.1: "HyperTester will reject the
+/// mistaken testing tasks").
+#[derive(Debug, Clone, PartialEq)]
+pub enum NtapiError {
+    /// A value does not fit the target field (e.g. a TCP port > 65535).
+    ValueOutOfRange {
+        /// Offending field name.
+        field: String,
+        /// Offending value.
+        value: u64,
+        /// Field width in bits.
+        width: u32,
+    },
+    /// A `range` with `step == 0` or `end < start`.
+    BadRange {
+        /// Offending field name.
+        field: String,
+    },
+    /// The value type is not applicable to the field (e.g. a list for
+    /// `pkt_len` — the pipeline cannot change packet lengths, §5.3).
+    BadValueType {
+        /// Offending field name.
+        field: String,
+        /// What was found.
+        found: String,
+    },
+    /// A trigger or value references an undefined query.
+    UnknownQuery(
+        /// The dangling name.
+        String,
+    ),
+    /// A query monitors an undefined trigger.
+    UnknownTrigger(
+        /// The dangling name.
+        String,
+    ),
+    /// The requested frame length cannot hold the headers and payload.
+    FrameTooShort {
+        /// Requested length.
+        requested: usize,
+        /// Minimum needed.
+        needed: usize,
+    },
+    /// More templates than the accelerator (plus configured loopback loops)
+    /// can recirculate.
+    AcceleratorOverflow {
+        /// Templates requested.
+        templates: usize,
+        /// Capacity available.
+        capacity: usize,
+    },
+    /// The task needs more match-action stages than the ASIC has.
+    StageOverflow {
+        /// Stages the task would need.
+        needed: usize,
+        /// Stages available.
+        available: usize,
+    },
+    /// A query's key space cannot be enumerated (too large).
+    HeaderSpace(SpaceError),
+    /// An RNG table exponent outside `1..=20`.
+    BadRandomBits(
+        /// The offending exponent.
+        u32,
+    ),
+}
+
+impl std::fmt::Display for NtapiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NtapiError::ValueOutOfRange { field, value, width } => {
+                write!(f, "value {value} does not fit {width}-bit field {field}")
+            }
+            NtapiError::BadRange { field } => write!(f, "malformed range for field {field}"),
+            NtapiError::BadValueType { field, found } => {
+                write!(f, "field {field} cannot take a {found} value")
+            }
+            NtapiError::UnknownQuery(q) => write!(f, "reference to undefined query {q}"),
+            NtapiError::UnknownTrigger(t) => write!(f, "query monitors undefined trigger {t}"),
+            NtapiError::FrameTooShort { requested, needed } => {
+                write!(f, "frame length {requested} cannot hold headers+payload ({needed} needed)")
+            }
+            NtapiError::AcceleratorOverflow { templates, capacity } => {
+                write!(f, "{templates} templates exceed accelerator capacity {capacity}")
+            }
+            NtapiError::StageOverflow { needed, available } => {
+                write!(f, "task needs {needed} logical stages, ASIC has {available}")
+            }
+            NtapiError::HeaderSpace(e) => write!(f, "{e}"),
+            NtapiError::BadRandomBits(b) => write!(f, "random table exponent {b} out of 1..=20"),
+        }
+    }
+}
+
+impl std::error::Error for NtapiError {}
+
+impl From<SpaceError> for NtapiError {
+    fn from(e: SpaceError) -> Self {
+        NtapiError::HeaderSpace(e)
+    }
+}
+
+/// Compile-time options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Hash configuration for counter-based queries.
+    pub hash: HashConfig,
+    /// Recirculation loops available: 1 (the internal path) plus any ports
+    /// configured in loopback mode (§6.1's capacity extension).
+    pub recirc_loops: usize,
+    /// Logical stage budget for rejection (ingress + egress).
+    pub stage_budget: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { hash: HashConfig::default(), recirc_loops: 1, stage_budget: 24 }
+    }
+}
+
+/// L4 protocol of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Proto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// No L4 header.
+    None,
+}
+
+/// One editor modification (§5.1 "Editor": the four modification types).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditSpec {
+    /// Set the field from a value list indexed by the per-template packet
+    /// id (modification type 2).
+    ValueList {
+        /// Target field.
+        field: HeaderField,
+        /// The values, walked in order and wrapped.
+        values: Vec<u64>,
+    },
+    /// Arithmetic progression via a register (modification type 3).
+    Progression {
+        /// Target field.
+        field: HeaderField,
+        /// First value.
+        start: u64,
+        /// Last value (inclusive); wraps back to `start`.
+        end: u64,
+        /// Step.
+        step: u64,
+    },
+    /// Uniform random draw `[offset, offset + 2^bits)` — the hardware RNG
+    /// primitive with its power-of-two scope limitation (§6.1).
+    RandomUniform {
+        /// Target field.
+        field: HeaderField,
+        /// Range exponent.
+        bits: u32,
+        /// Offset compensating the zero lower bound.
+        offset: u64,
+    },
+    /// Inverse-transform table for arbitrary distributions (modification
+    /// type 4, "implemented with two tables").
+    RandomTable {
+        /// Target field.
+        field: HeaderField,
+        /// `2^bits` quantile values (the second table); the first table is
+        /// the uniform RNG.
+        values: Vec<u64>,
+        /// Table exponent.
+        bits: u32,
+    },
+}
+
+impl EditSpec {
+    /// The edited field.
+    pub fn field(&self) -> HeaderField {
+        match self {
+            EditSpec::ValueList { field, .. }
+            | EditSpec::Progression { field, .. }
+            | EditSpec::RandomUniform { field, .. }
+            | EditSpec::RandomTable { field, .. } => *field,
+        }
+    }
+}
+
+/// A field copied from a captured packet into a triggered response
+/// (stateless connections, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseCopy {
+    /// Field of the generated packet.
+    pub dst: HeaderField,
+    /// Field of the captured packet.
+    pub src: HeaderField,
+    /// Constant offset (e.g. `ack_no = seq_no + 1`).
+    pub offset: i64,
+}
+
+/// A compiled template packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSpec {
+    /// Template id (1-based; 0 means "not a template" in the PHV).
+    pub id: u16,
+    /// Source trigger name.
+    pub trigger_name: String,
+    /// Frame length in bytes.
+    pub frame_len: usize,
+    /// Constant payload bytes.
+    pub payload: Vec<u8>,
+    /// L4 protocol.
+    pub protocol: L4Proto,
+    /// Constant header initializations (done by the switch CPU).
+    pub base: Vec<(HeaderField, u64)>,
+    /// Rate-control interval; `None` = replicate at every template arrival
+    /// (line rate).
+    pub interval: Option<SimTime>,
+    /// Random inter-departure time, when the interval is drawn from a
+    /// distribution instead of constant (§3.1).
+    pub interval_dist: Option<EditSpec>,
+    /// Egress ports the mcast engine replicates to.
+    pub ports: Vec<u16>,
+    /// How many times the value lists are replayed (0 = forever).
+    pub loop_count: u64,
+    /// Editor modifications.
+    pub edits: Vec<EditSpec>,
+    /// For query-based triggers: the capturing query.
+    pub source_query: Option<String>,
+    /// Field copies from the captured packet.
+    pub response_copies: Vec<ResponseCopy>,
+}
+
+/// Aggregation kind of a compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// No aggregation: the query only captures packets (stateless
+    /// connections) or counts all packets.
+    PassThrough,
+    /// One global aggregate (e.g. total bytes for throughput).
+    ReduceGlobal {
+        /// The function.
+        func: ReduceFunc,
+    },
+    /// Per-key aggregation via the counter-based engine.
+    ReduceKeyed {
+        /// Key fields.
+        keys: Vec<HeaderField>,
+        /// The function.
+        func: ReduceFunc,
+    },
+    /// Distinct key counting via the counter-based engine.
+    Distinct {
+        /// Key fields.
+        keys: Vec<HeaderField>,
+    },
+}
+
+/// Per-query false-positive configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpConfig {
+    /// Hash configuration.
+    pub hash: HashConfig,
+    /// Precomputed exact-key-matching entries.
+    pub entries: Vec<Vec<u64>>,
+    /// Size of the enumerated key space (diagnostic).
+    pub space_size: usize,
+}
+
+/// A compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    /// Query name.
+    pub name: String,
+    /// Monitored traffic.
+    pub source: QuerySource,
+    /// Conjunction of filter predicates.
+    pub filters: Vec<Predicate>,
+    /// Projection (determines the reduce value; `pkt_len` for throughput).
+    pub map: Vec<NtField>,
+    /// Aggregation kind.
+    pub kind: QueryKind,
+    /// Filter over the running reduce result (web testing's
+    /// `.filter(count < 5)`).
+    pub result_filter: Option<(CmpOp, u64)>,
+    /// Triggers fired by packets this query captures.
+    pub capture_for: Vec<String>,
+    /// Exact-key-matching configuration for keyed queries.
+    pub fp: Option<FpConfig>,
+}
+
+/// A fully compiled testing task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTask {
+    /// Template packet specs, one per trigger.
+    pub templates: Vec<TemplateSpec>,
+    /// Compiled queries.
+    pub queries: Vec<CompiledQuery>,
+    /// The source program.
+    pub program: Program,
+    /// Options used.
+    pub options: CompileOptions,
+}
+
+impl PartialEq for CompileOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && self.recirc_loops == other.recirc_loops
+            && self.stage_budget == other.stage_budget
+    }
+}
+
+/// Compiles a program with default options.
+pub fn compile(program: &Program) -> Result<CompiledTask, NtapiError> {
+    compile_with(program, CompileOptions::default())
+}
+
+/// Compiles a program.
+pub fn compile_with(program: &Program, options: CompileOptions) -> Result<CompiledTask, NtapiError> {
+    let mut templates = Vec::new();
+    for (i, trig) in program.triggers.iter().enumerate() {
+        templates.push(compile_trigger(program, trig, (i + 1) as u16)?);
+    }
+
+    // Accelerator capacity check (§6.1): only start-time triggers occupy
+    // the recirculation loop permanently; query-based triggers borrow
+    // capacity transiently.
+    let resident = templates.iter().filter(|t| t.source_query.is_none()).count();
+    let capacity =
+        timing::accelerator_capacity(templates.iter().map(|t| t.frame_len).min().unwrap_or(64))
+            * options.recirc_loops;
+    if resident > capacity {
+        return Err(NtapiError::AcceleratorOverflow { templates: resident, capacity });
+    }
+
+    let mut queries = Vec::new();
+    for q in &program.queries {
+        queries.push(compile_query(program, &templates, q, &options)?);
+    }
+
+    // Stage budget: accelerator + replicator, one timer/editor chain per
+    // template, and one or four logical stages per query (global counters
+    // vs the exact→cuckoo→cuckoo→FIFO chain).
+    let needed: usize = 2
+        + templates
+            .iter()
+            .map(|t| 1 + t.edits.len() + usize::from(!t.response_copies.is_empty()))
+            .sum::<usize>()
+        + queries
+            .iter()
+            .map(|q| match q.kind {
+                QueryKind::PassThrough | QueryKind::ReduceGlobal { .. } => 1,
+                QueryKind::ReduceKeyed { .. } | QueryKind::Distinct { .. } => 4,
+            })
+            .sum::<usize>();
+    if needed > options.stage_budget {
+        return Err(NtapiError::StageOverflow { needed, available: options.stage_budget });
+    }
+
+    Ok(CompiledTask { templates, queries, program: program.clone(), options })
+}
+
+fn check_width(field: HeaderField, value: u64) -> Result<(), NtapiError> {
+    let width = field.width();
+    if width < 64 && value >= (1u64 << width) {
+        return Err(NtapiError::ValueOutOfRange { field: field.name().into(), value, width });
+    }
+    Ok(())
+}
+
+fn compile_trigger(
+    program: &Program,
+    trig: &crate::ast::TriggerDef,
+    id: u16,
+) -> Result<TemplateSpec, NtapiError> {
+    if let Some(q) = &trig.source_query {
+        if program.query(q).is_none() {
+            return Err(NtapiError::UnknownQuery(q.clone()));
+        }
+    }
+
+    let mut tpl = TemplateSpec {
+        id,
+        trigger_name: trig.name.clone(),
+        frame_len: 64,
+        payload: Vec::new(),
+        protocol: L4Proto::Udp,
+        base: Vec::new(),
+        interval: None,
+        interval_dist: None,
+        ports: vec![0],
+        loop_count: 0,
+        edits: Vec::new(),
+        source_query: trig.source_query.clone(),
+        response_copies: Vec::new(),
+    };
+    let mut explicit_len: Option<usize> = None;
+
+    for set in &trig.sets {
+        for (field, value) in set.fields.iter().zip(&set.values) {
+            match field {
+                NtField::Payload => match value {
+                    Value::Bytes(b) => tpl.payload = b.clone(),
+                    other => {
+                        return Err(NtapiError::BadValueType {
+                            field: "payload".into(),
+                            found: format!("{other:?}"),
+                        })
+                    }
+                },
+                NtField::PktLen => match value {
+                    Value::Const(v) => explicit_len = Some(*v as usize),
+                    other => {
+                        // §5.3: the pipeline cannot change packet lengths,
+                        // so pkt_len only takes a constant.
+                        return Err(NtapiError::BadValueType {
+                            field: "pkt_len".into(),
+                            found: format!("{other:?}"),
+                        });
+                    }
+                },
+                NtField::Interval => match value {
+                    Value::Const(v) => tpl.interval = if *v == 0 { None } else { Some(*v) },
+                    Value::Random { dist, bits } => {
+                        tpl.interval_dist =
+                            Some(random_edit(HeaderField::Ident, dist, *bits, true)?);
+                    }
+                    other => {
+                        return Err(NtapiError::BadValueType {
+                            field: "interval".into(),
+                            found: format!("{other:?}"),
+                        })
+                    }
+                },
+                NtField::Port => match value {
+                    Value::Const(v) => tpl.ports = vec![*v as u16],
+                    Value::List(vs) => tpl.ports = vs.iter().map(|&v| v as u16).collect(),
+                    other => {
+                        return Err(NtapiError::BadValueType {
+                            field: "port".into(),
+                            found: format!("{other:?}"),
+                        })
+                    }
+                },
+                NtField::Loop => match value {
+                    Value::Const(v) => tpl.loop_count = *v,
+                    other => {
+                        return Err(NtapiError::BadValueType {
+                            field: "loop".into(),
+                            found: format!("{other:?}"),
+                        })
+                    }
+                },
+                NtField::Header(h) => {
+                    compile_header_set(program, trig, &mut tpl, *h, value)?;
+                }
+            }
+        }
+    }
+
+    // Resolve the protocol from the base proto value; when the trigger
+    // never sets `proto` (the paper's Table 4 omits it on response
+    // triggers), infer TCP from any TCP-specific field reference.
+    let uses_tcp_fields = |f: HeaderField| {
+        matches!(
+            f,
+            HeaderField::TcpFlags | HeaderField::SeqNo | HeaderField::AckNo | HeaderField::Window
+        )
+    };
+    let touches_tcp = tpl.base.iter().any(|&(f, _)| uses_tcp_fields(f))
+        || tpl.edits.iter().any(|e| uses_tcp_fields(e.field()))
+        || tpl.response_copies.iter().any(|rc| uses_tcp_fields(rc.dst) || uses_tcp_fields(rc.src));
+    tpl.protocol = match tpl.base.iter().find(|(f, _)| *f == HeaderField::Proto) {
+        Some((_, 6)) => L4Proto::Tcp,
+        Some((_, 17)) => L4Proto::Udp,
+        None if touches_tcp => L4Proto::Tcp,
+        None => L4Proto::Udp,
+        Some((_, _)) => L4Proto::None,
+    };
+
+    // Frame length: explicit or natural, floored at 64.
+    let l4 = match tpl.protocol {
+        L4Proto::Tcp => 20,
+        L4Proto::Udp => 8,
+        L4Proto::None => 0,
+    };
+    let needed = (14 + 20 + l4 + tpl.payload.len() + 4).max(64);
+    match explicit_len {
+        Some(len) if len < needed => {
+            return Err(NtapiError::FrameTooShort { requested: len, needed })
+        }
+        Some(len) => tpl.frame_len = len,
+        None => tpl.frame_len = needed,
+    }
+    Ok(tpl)
+}
+
+fn compile_header_set(
+    program: &Program,
+    trig: &crate::ast::TriggerDef,
+    tpl: &mut TemplateSpec,
+    field: HeaderField,
+    value: &Value,
+) -> Result<(), NtapiError> {
+    match value {
+        Value::Const(v) => {
+            check_width(field, *v)?;
+            tpl.base.retain(|(f, _)| *f != field);
+            tpl.base.push((field, *v));
+        }
+        Value::List(vs) => {
+            for &v in vs {
+                check_width(field, v)?;
+            }
+            if vs.is_empty() {
+                return Err(NtapiError::BadRange { field: field.name().into() });
+            }
+            tpl.edits.push(EditSpec::ValueList { field, values: vs.clone() });
+        }
+        Value::Range { start, end, step } => {
+            if *step == 0 || end < start {
+                return Err(NtapiError::BadRange { field: field.name().into() });
+            }
+            check_width(field, *end)?;
+            tpl.edits.push(EditSpec::Progression { field, start: *start, end: *end, step: *step });
+        }
+        Value::Random { dist, bits } => {
+            tpl.edits.push(random_edit(field, dist, *bits, false)?);
+        }
+        Value::QueryField { query, field: src, offset } => {
+            let q = trig.source_query.as_deref();
+            if q != Some(query.as_str()) || program.query(query).is_none() {
+                return Err(NtapiError::UnknownQuery(query.clone()));
+            }
+            tpl.response_copies.push(ResponseCopy { dst: field, src: *src, offset: *offset });
+        }
+        Value::Bytes(_) => {
+            return Err(NtapiError::BadValueType {
+                field: field.name().into(),
+                found: "byte string".into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Lowers a `random(…)` value to an edit.  Uniform draws use the hardware
+/// primitive with the paper's power-of-two scope limitation; other shapes
+/// build the two-table inverse transform.
+fn random_edit(
+    field: HeaderField,
+    dist: &DistSpec,
+    bits: u32,
+    for_interval: bool,
+) -> Result<EditSpec, NtapiError> {
+    match dist {
+        // The table exponent only matters for tabulated distributions; a
+        // uniform draw uses the RNG primitive directly and derives its own
+        // power-of-two span.
+        DistSpec::Normal { .. } | DistSpec::Exponential { .. } if !(1..=20).contains(&bits) => {
+            Err(NtapiError::BadRandomBits(bits))
+        }
+        DistSpec::Uniform { lo, hi } => {
+            if hi <= lo {
+                return Err(NtapiError::BadRange { field: field.name().into() });
+            }
+            // §6.1: "HyperTester limits the scope of generated values to the
+            // power of two and further increments the generated value with a
+            // specific offset."
+            let span = hi - lo;
+            let pow_bits = 63 - span.next_power_of_two().leading_zeros();
+            if !for_interval {
+                check_width(field, hi - 1)?;
+            }
+            Ok(EditSpec::RandomUniform { field, bits: pow_bits.max(1), offset: *lo })
+        }
+        DistSpec::Normal { mean, std_dev } => {
+            let d = ht_stats::Distribution::Normal { mean: *mean, std_dev: *std_dev };
+            Ok(EditSpec::RandomTable { field, values: quantile_table(&d, bits), bits })
+        }
+        DistSpec::Exponential { mean } => {
+            let d = ht_stats::Distribution::Exponential { rate: 1.0 / mean };
+            Ok(EditSpec::RandomTable { field, values: quantile_table(&d, bits), bits })
+        }
+    }
+}
+
+fn quantile_table(d: &ht_stats::Distribution, bits: u32) -> Vec<u64> {
+    ht_stats::CdfTable::from_distribution(d, bits)
+        .values()
+        .iter()
+        .map(|&v| v.max(0.0).round() as u64)
+        .collect()
+}
+
+fn compile_query(
+    program: &Program,
+    templates: &[TemplateSpec],
+    q: &crate::ast::QueryDef,
+    options: &CompileOptions,
+) -> Result<CompiledQuery, NtapiError> {
+    if let QuerySource::Trigger(t) = &q.source {
+        if program.trigger(t).is_none() {
+            return Err(NtapiError::UnknownTrigger(t.clone()));
+        }
+    }
+
+    let mut out = CompiledQuery {
+        name: q.name.clone(),
+        source: q.source.clone(),
+        filters: Vec::new(),
+        map: Vec::new(),
+        kind: QueryKind::PassThrough,
+        result_filter: None,
+        capture_for: program
+            .triggers
+            .iter()
+            .filter(|t| t.source_query.as_deref() == Some(q.name.as_str()))
+            .map(|t| t.name.clone())
+            .collect(),
+        fp: None,
+    };
+
+    for op in &q.ops {
+        match op {
+            QueryOp::Filter(p) => {
+                check_width(p.field, p.value)?;
+                out.filters.push(*p);
+            }
+            QueryOp::Map(fields) => out.map = fields.clone(),
+            QueryOp::Reduce { keys, func } => {
+                out.kind = if keys.is_empty() {
+                    QueryKind::ReduceGlobal { func: *func }
+                } else {
+                    QueryKind::ReduceKeyed { keys: keys.clone(), func: *func }
+                };
+            }
+            QueryOp::Distinct { keys } => {
+                out.kind = QueryKind::Distinct { keys: keys.clone() };
+            }
+            QueryOp::FilterResult { cmp, value } => out.result_filter = Some((*cmp, *value)),
+        }
+    }
+
+    // Keyed queries get the false-positive precompute.
+    let keys = match &out.kind {
+        QueryKind::ReduceKeyed { keys, .. } | QueryKind::Distinct { keys } => Some(keys.clone()),
+        _ => None,
+    };
+    if let Some(keys) = keys {
+        let relevant: Vec<TemplateSpec> = match &out.source {
+            QuerySource::Trigger(t) => {
+                templates.iter().filter(|tpl| &tpl.trigger_name == t).cloned().collect()
+            }
+            QuerySource::Received(_) => templates.to_vec(),
+        };
+        let mirror = matches!(out.source, QuerySource::Received(_));
+        let space = global_space(&relevant, &keys, mirror)?;
+        let entries = compute_fp_entries(&space, &options.hash);
+        out.fp = Some(FpConfig { hash: options.hash, entries, space_size: space.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn throughput_src() -> &'static str {
+        r#"
+T1 = trigger()
+    .set([dip, sip, proto, dport, sport], [10.0.0.2, 10.0.0.1, udp, 1, 1])
+    .set([loop, pkt_len], [0, 64])
+Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
+Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
+"#
+    }
+
+    #[test]
+    fn compiles_throughput_task() {
+        let prog = parse(throughput_src()).unwrap();
+        let task = compile(&prog).unwrap();
+        assert_eq!(task.templates.len(), 1);
+        let t = &task.templates[0];
+        assert_eq!(t.frame_len, 64);
+        assert_eq!(t.protocol, L4Proto::Udp);
+        assert_eq!(t.interval, None, "no interval → line rate");
+        assert!(t.edits.is_empty());
+        assert_eq!(task.queries.len(), 2);
+        assert!(matches!(task.queries[0].kind, QueryKind::ReduceGlobal { func: ReduceFunc::Sum }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_port() {
+        // §6.1: "users might specify the TCP port with a value that is
+        // larger than 65536".
+        let prog = parse("T1 = trigger().set(dport, 70000)").unwrap();
+        match compile(&prog) {
+            Err(NtapiError::ValueOutOfRange { field, value, width }) => {
+                assert_eq!(field, "dport");
+                assert_eq!(value, 70000);
+                assert_eq!(width, 16);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_step_range_and_dangling_refs() {
+        let prog = parse("T1 = trigger().set(sport, range(1, 10, 0))").unwrap();
+        assert!(matches!(compile(&prog), Err(NtapiError::BadRange { .. })));
+
+        let prog = parse("T1 = trigger(Q9).set(dport, 80)").unwrap();
+        assert!(matches!(compile(&prog), Err(NtapiError::UnknownQuery(_))));
+
+        let prog = parse("Q1 = query(T9).reduce(func=sum)").unwrap();
+        assert!(matches!(compile(&prog), Err(NtapiError::UnknownTrigger(_))));
+    }
+
+    #[test]
+    fn rejects_variable_pkt_len() {
+        // §5.3: the pipeline cannot change packet lengths.
+        let prog = parse("T1 = trigger().set(pkt_len, range(64, 1500, 1))").unwrap();
+        assert!(matches!(compile(&prog), Err(NtapiError::BadValueType { .. })));
+    }
+
+    #[test]
+    fn rejects_frame_too_short_for_payload() {
+        let prog = parse(r#"T1 = trigger().set(payload, "0123456789012345678901234567890123456789").set(pkt_len, 64)"#).unwrap();
+        match compile(&prog) {
+            Err(NtapiError::FrameTooShort { requested: 64, needed }) => assert!(needed > 64),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_accelerator_overflow_and_loopback_extends() {
+        let mut prog = Program::default();
+        for i in 0..95 {
+            prog.triggers.push(crate::ast::TriggerDef {
+                name: format!("T{i}"),
+                source_query: None,
+                sets: vec![],
+            });
+        }
+        // 95 64-byte templates > capacity 89.
+        assert!(matches!(compile(&prog), Err(NtapiError::AcceleratorOverflow { capacity: 89, .. })));
+        // With one loopback port the capacity doubles.
+        let opts = CompileOptions { recirc_loops: 2, stage_budget: 400, ..Default::default() };
+        assert!(compile_with(&prog, opts).is_ok());
+    }
+
+    #[test]
+    fn uniform_random_is_power_of_two_limited() {
+        let mut prog = Program::default();
+        prog.triggers.push(
+            crate::builder::trigger("T1")
+                .random(HeaderField::Dport, DistSpec::Uniform { lo: 1000, hi: 1600 }, 12)
+                .build(),
+        );
+        let task = compile(&prog).unwrap();
+        match &task.templates[0].edits[0] {
+            EditSpec::RandomUniform { bits, offset, .. } => {
+                // span 600 → next power of two 1024 → 10 bits, offset 1000.
+                assert_eq!(*bits, 10);
+                assert_eq!(*offset, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn normal_random_builds_monotone_inverse_table() {
+        let prog = parse("T1 = trigger().set(dport, random(normal, 5000, 100, 10))").unwrap();
+        let task = compile(&prog).unwrap();
+        match &task.templates[0].edits[0] {
+            EditSpec::RandomTable { values, bits, .. } => {
+                assert_eq!(*bits, 10);
+                assert_eq!(values.len(), 1024);
+                assert!(values.windows(2).all(|w| w[0] <= w[1]));
+                let mid = values[512];
+                assert!((4990..=5010).contains(&mid), "median {mid}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stateless_connection_compiles_to_response_copies() {
+        let src = r#"
+Q1 = query().filter(tcp_flag == SYN+ACK)
+T2 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip]).set(ack_no, Q1.seq_no + 1).set(flag, ACK)
+"#;
+        let task = compile(&parse(src).unwrap()).unwrap();
+        let t2 = &task.templates[0];
+        assert_eq!(t2.source_query.as_deref(), Some("Q1"));
+        assert_eq!(t2.response_copies.len(), 3);
+        assert_eq!(
+            t2.response_copies[2],
+            ResponseCopy { dst: HeaderField::AckNo, src: HeaderField::SeqNo, offset: 1 }
+        );
+        assert_eq!(task.queries[0].capture_for, vec!["T2".to_string()]);
+    }
+
+    #[test]
+    fn keyed_query_gets_fp_precompute() {
+        let src = r#"
+T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(sport, range(1, 5000, 1))
+Q1 = query().reduce(keys=[sport], func=sum)
+"#;
+        let task = compile(&parse(src).unwrap()).unwrap();
+        let fp = task.queries[0].fp.as_ref().unwrap();
+        // 5000 sent values + mirror orientation (dport side all zero → one
+        // extra tuple).
+        assert!(fp.space_size >= 5000, "space {}", fp.space_size);
+        // With 2^16 buckets and 16-bit digests, 5k keys collide ~never.
+        assert!(fp.entries.len() < 5, "entries {}", fp.entries.len());
+    }
+
+    #[test]
+    fn global_reduce_needs_no_fp() {
+        let task = compile(&parse("Q1 = query().reduce(func=sum)").unwrap()).unwrap();
+        assert!(task.queries[0].fp.is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! False-positive precompute for the counter-based query engine (§5.2,
+//! Fig. 4 and Fig. 17).
+//!
+//! The data-plane `distinct`/`reduce` store a hashed *digest* of the key in
+//! a cuckoo slot instead of the full key.  Two distinct keys collide — a
+//! false positive — when they share a digest **and** at least one candidate
+//! bucket, so a packet of one key could match the stored digest of the
+//! other.  Because the tester's header space is enumerable, every such pair
+//! is found before the task starts; one key of each colliding pair is
+//! diverted to the *exact key matching* table, making the engine
+//! false-positive-free.
+//!
+//! [`compute_fp_entries`] implements the precompute; the Fig. 17 experiment
+//! measures `entries.len()` against the flow count, array size and digest
+//! width.
+
+use ht_asic::hash::{hash_words, HashAlgo};
+use std::collections::HashMap;
+
+/// Hash configuration of one compiled query's cuckoo engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashConfig {
+    /// Each of the two cuckoo arrays has `2^array_bits` slots.
+    pub array_bits: u32,
+    /// Stored digest width in bits (16 or 32 in the paper's Fig. 17).
+    pub digest_bits: u32,
+}
+
+impl Default for HashConfig {
+    fn default() -> Self {
+        HashConfig { array_bits: 16, digest_bits: 16 }
+    }
+}
+
+impl HashConfig {
+    /// First cuckoo bucket of a key.
+    pub fn h1(&self, key: &[u64]) -> u64 {
+        hash_words(HashAlgo::Crc32, key) & ((1 << self.array_bits) - 1)
+    }
+
+    /// Second cuckoo bucket of a key: partial-key cuckoo hashing,
+    /// `h2 = h1 XOR H(digest)` (Cuckoo Filter, the paper's reference \[70\]).  Storing
+    /// only the digest still lets an eviction compute the alternate bucket,
+    /// which full-key cuckoo hashing could not do on the data plane.
+    pub fn h2(&self, key: &[u64]) -> u64 {
+        self.alt_bucket(self.h1(key), self.digest(key))
+    }
+
+    /// The alternate bucket of a stored `(bucket, digest)` pair — usable
+    /// during eviction without knowing the full key.
+    pub fn alt_bucket(&self, bucket: u64, digest: u64) -> u64 {
+        let mask = (1u64 << self.array_bits) - 1;
+        let off = hash_words(HashAlgo::Crc32c, &[digest]) & mask;
+        // A zero offset would make h2 == h1 (one candidate bucket); force a
+        // non-zero offset the way cuckoo-filter implementations do.
+        (bucket ^ off.max(1)) & mask
+    }
+
+    /// Stored digest of a key.
+    ///
+    /// Must be *independent* of the bucket hashes: CRCs over the same data
+    /// are linear maps, so deriving the digest from the same polynomial
+    /// (even with a different seed or prefix) makes every same-digest pair
+    /// also share a bucket, defeating the scheme.  Real deployments use a
+    /// CRC with a custom polynomial; the reproduction stands in FNV-1a,
+    /// which is non-linear in the key bytes.
+    pub fn digest(&self, key: &[u64]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in key {
+            for b in w.to_be_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h & ((1u64 << self.digest_bits) - 1)
+    }
+
+    /// Memory of one exact-match entry in bits: full key + action.
+    pub fn exact_entry_bits(&self, key_fields: usize) -> u64 {
+        key_fields as u64 * 32 + 16
+    }
+}
+
+/// Computes the exact-key-matching entries for a key space: for every pair
+/// of distinct keys with equal digests and overlapping candidate buckets,
+/// one key is diverted to the exact table.
+///
+/// Runs in `O(n)` expected time by grouping keys per digest (false-positive
+/// pairs are rare by construction, so groups are tiny).
+pub fn compute_fp_entries(space: &[Vec<u64>], cfg: &HashConfig) -> Vec<Vec<u64>> {
+    // digest → list of (key index, h1, h2)
+    let mut by_digest: HashMap<u64, Vec<(usize, u64, u64)>> = HashMap::new();
+    for (i, key) in space.iter().enumerate() {
+        let d = cfg.digest(key);
+        by_digest.entry(d).or_default().push((i, cfg.h1(key), cfg.h2(key)));
+    }
+
+    let mut diverted: Vec<usize> = Vec::new();
+    for group in by_digest.values() {
+        if group.len() < 2 {
+            continue;
+        }
+        // Within a digest group, a pair is dangerous when their candidate
+        // bucket sets intersect.  Greedily divert the later key of each
+        // dangerous pair (the paper: "puts either tcp.dp=80 or tcp.dp=81
+        // in the exact key matching table").
+        let mut kept: Vec<(usize, u64, u64)> = Vec::with_capacity(group.len());
+        for &(i, h1, h2) in group {
+            let collides = kept
+                .iter()
+                .any(|&(_, k1, k2)| h1 == k1 || h1 == k2 || h2 == k1 || h2 == k2);
+            if collides {
+                diverted.push(i);
+            } else {
+                kept.push((i, h1, h2));
+            }
+        }
+    }
+    diverted.sort_unstable();
+    diverted.into_iter().map(|i| space[i].clone()).collect()
+}
+
+/// True when `key` would be ambiguous against `other` under `cfg` — the
+/// property the precompute guarantees never survives into the cuckoo path.
+pub fn is_false_positive_pair(a: &[u64], b: &[u64], cfg: &HashConfig) -> bool {
+    a != b
+        && cfg.digest(a) == cfg.digest(b)
+        && (cfg.h1(a) == cfg.h1(b)
+            || cfg.h1(a) == cfg.h2(b)
+            || cfg.h2(a) == cfg.h1(b)
+            || cfg.h2(a) == cfg.h2(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: u64) -> Vec<Vec<u64>> {
+        (0..n).map(|i| vec![i, 80]).collect()
+    }
+
+    #[test]
+    fn small_spaces_have_no_false_positives() {
+        let cfg = HashConfig { array_bits: 16, digest_bits: 16 };
+        // 1000 keys over a 2^16 × 2^16 (bucket × digest) space: collision
+        // probability per pair ≈ 4/2^28 — effectively zero.
+        let entries = compute_fp_entries(&space(1_000), &cfg);
+        assert!(entries.is_empty(), "unexpected fp entries: {}", entries.len());
+    }
+
+    #[test]
+    fn large_spaces_yield_few_entries() {
+        let cfg = HashConfig { array_bits: 16, digest_bits: 16 };
+        let n = 200_000;
+        let entries = compute_fp_entries(&space(n), &cfg);
+        // Expected pairs ≈ C(n,2) · 4 / (2^16 · 2^16) ≈ 18.6 for n = 200k.
+        assert!(!entries.is_empty(), "expected a handful of collisions");
+        assert!(entries.len() < 200, "too many entries: {}", entries.len());
+    }
+
+    #[test]
+    fn wider_digest_reduces_entries() {
+        let n = 300_000;
+        let narrow = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 16 });
+        let wide = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 32 });
+        assert!(wide.len() < narrow.len().max(1),
+                "wide {} narrow {}", wide.len(), narrow.len());
+    }
+
+    #[test]
+    fn diverted_keys_really_collide_with_a_kept_key() {
+        let cfg = HashConfig { array_bits: 10, digest_bits: 8 }; // tiny → lots of collisions
+        let s = space(2_000);
+        let entries = compute_fp_entries(&s, &cfg);
+        assert!(!entries.is_empty());
+        for e in entries.iter().take(20) {
+            let collides = s.iter().any(|k| is_false_positive_pair(e, k, &cfg));
+            assert!(collides, "diverted key {e:?} collides with nothing");
+        }
+    }
+
+    #[test]
+    fn after_diversion_no_fp_pair_survives() {
+        let cfg = HashConfig { array_bits: 10, digest_bits: 8 };
+        let s = space(2_000);
+        let entries = compute_fp_entries(&s, &cfg);
+        let diverted: std::collections::HashSet<&Vec<u64>> = entries.iter().collect();
+        let kept: Vec<&Vec<u64>> = s.iter().filter(|k| !diverted.contains(k)).collect();
+        // Group kept keys by digest and verify pairwise within groups.
+        let mut by_digest: HashMap<u64, Vec<&Vec<u64>>> = HashMap::new();
+        for k in kept {
+            by_digest.entry(cfg.digest(k)).or_default().push(k);
+        }
+        for group in by_digest.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    assert!(
+                        !is_false_positive_pair(a, b, &cfg),
+                        "surviving fp pair {a:?} / {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_independent_of_buckets() {
+        let cfg = HashConfig::default();
+        let k = vec![1234u64, 80];
+        assert_ne!(cfg.digest(&k), cfg.h1(&k));
+        assert!(cfg.digest(&k) < 1 << 16);
+        assert!(cfg.h1(&k) < 1 << 16);
+        assert_ne!(cfg.h1(&k), cfg.h2(&k));
+    }
+}

@@ -1,0 +1,30 @@
+//! Lines-of-code counting, matching Table 5's methodology: "the counted
+//! lines of generated P4 code only include control flow, tables, and
+//! actions" — i.e. non-empty, non-comment code lines.
+
+/// Counts non-empty, non-comment lines.  Both `#`- and `//`-style comments
+/// are recognized (NTAPI uses `#`, generated P4 uses `//`).
+pub fn count_loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("//"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_code_lines_only() {
+        let src = "\n# comment\nT1 = trigger()\n   \n  .set(dip, 1)\n// p4 comment\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn empty_source_is_zero() {
+        assert_eq!(count_loc(""), 0);
+        assert_eq!(count_loc("\n\n# only comments\n"), 0);
+    }
+}

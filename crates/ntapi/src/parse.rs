@@ -1,0 +1,909 @@
+//! The textual NTAPI DSL, following the paper's surface syntax (Tables 2–4):
+//!
+//! ```text
+//! # throughput testing (Table 3)
+//! T1 = trigger()
+//!     .set([dip, sip, proto, dport, sport], [10.0.0.2, 10.0.0.1, udp, 1, 1])
+//!     .set([loop, pkt_len], [0, 64])
+//! Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
+//! Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
+//! ```
+//!
+//! Supported value forms: integers (decimal/hex), IPv4 literals, protocol
+//! names (`udp`, `tcp`), TCP flag names and sums (`SYN+ACK`), time literals
+//! for `interval` (`10us`, `640ns`), strings for `payload`,
+//! `range(start, end, step)`, `random(normal|exp|uniform, …)`, and
+//! query-field references with offsets (`Q1.seq_no + 1`) inside query-based
+//! triggers.
+
+use crate::ast::{
+    interval_ps, CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryDef, QueryOp,
+    QuerySource, ReduceFunc, SetStmt, TriggerDef, Value,
+};
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the offending token starts on.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NTAPI parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Ip(u32),
+    Time(u64, String),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Arrow,
+    Cmp(CmpOp),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let bytes = src.as_bytes();
+    let mut line = 1;
+
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, line });
+                chars.next();
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, line });
+                chars.next();
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, line });
+                chars.next();
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, line });
+                chars.next();
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                chars.next();
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, line });
+                chars.next();
+            }
+            '+' => {
+                out.push(Spanned { tok: Tok::Plus, line });
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek().map(|&(_, c2)| c2) == Some('>') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Arrow, line });
+                } else {
+                    out.push(Spanned { tok: Tok::Minus, line });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Eq), line });
+                } else {
+                    out.push(Spanned { tok: Tok::Assign, line });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Ne), line });
+                } else {
+                    return Err(ParseError { line, msg: "stray '!'".into() });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Le), line });
+                } else {
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Lt), line });
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Ge), line });
+                } else {
+                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Gt), line });
+                }
+            }
+            '"' => {
+                chars.next();
+                let start = i + 1;
+                let mut end = start;
+                let mut closed = false;
+                for (j, c2) in chars.by_ref() {
+                    if c2 == '"' {
+                        end = j;
+                        closed = true;
+                        break;
+                    }
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                }
+                if !closed {
+                    return Err(ParseError { line, msg: "unterminated string".into() });
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(String::from_utf8_lossy(&bytes[start..end]).into_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Number: integer, hex, IPv4 literal, or time literal.
+                let start = i;
+                let mut end = i;
+                let mut dots = 0;
+                let hex = src[i..].starts_with("0x") || src[i..].starts_with("0X");
+                if hex {
+                    chars.next();
+                    chars.next();
+                    end = i + 2;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_hexdigit() {
+                            end = j + c2.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let v = u64::from_str_radix(&src[start + 2..end], 16)
+                        .map_err(|e| ParseError { line, msg: format!("bad hex literal: {e}") })?;
+                    out.push(Spanned { tok: Tok::Int(v), line });
+                    continue;
+                }
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() || c2 == '.' {
+                        // A dot only belongs to the number when followed by
+                        // a digit (so `1.set(...)` would not mislex — NTAPI
+                        // names cannot start with digits anyway).
+                        if c2 == '.' {
+                            let next_is_digit = src[j + 1..]
+                                .chars()
+                                .next()
+                                .map(|c3| c3.is_ascii_digit())
+                                .unwrap_or(false);
+                            if !next_is_digit {
+                                break;
+                            }
+                            dots += 1;
+                        }
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..end];
+                // Unit suffix → time literal.
+                let mut unit = String::new();
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_alphabetic() {
+                        unit.push(c2);
+                        let _ = j;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match (dots, unit.is_empty()) {
+                    (0, true) => {
+                        let v = text
+                            .parse::<u64>()
+                            .map_err(|e| ParseError { line, msg: format!("bad integer: {e}") })?;
+                        out.push(Spanned { tok: Tok::Int(v), line });
+                    }
+                    (0, false) => {
+                        let v = text
+                            .parse::<u64>()
+                            .map_err(|e| ParseError { line, msg: format!("bad integer: {e}") })?;
+                        out.push(Spanned { tok: Tok::Time(v, unit), line });
+                    }
+                    (3, true) => {
+                        let ip: ht_packet::Ipv4Address = text
+                            .parse()
+                            .map_err(|_| ParseError { line, msg: format!("bad IPv4 literal {text}") })?;
+                        out.push(Spanned { tok: Tok::Ip(ip.to_u32()), line });
+                    }
+                    _ => {
+                        return Err(ParseError { line, msg: format!("bad numeric literal {text}{unit}") });
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(src[start..end].to_string()), line });
+            }
+            other => {
+                return Err(ParseError { line, msg: format!("unexpected character {other:?}") });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn header_field(name: &str) -> Option<HeaderField> {
+    Some(match name {
+        "dip" => HeaderField::Dip,
+        "sip" => HeaderField::Sip,
+        "proto" => HeaderField::Proto,
+        "dport" | "dp" => HeaderField::Dport,
+        "sport" | "sp" => HeaderField::Sport,
+        "tcp_flag" | "flag" | "flags" => HeaderField::TcpFlags,
+        "seq_no" | "seq" => HeaderField::SeqNo,
+        "ack_no" | "ack" => HeaderField::AckNo,
+        "ttl" => HeaderField::Ttl,
+        "ident" => HeaderField::Ident,
+        "window" => HeaderField::Window,
+        "eth_src" => HeaderField::EthSrc,
+        "eth_dst" => HeaderField::EthDst,
+        _ => return None,
+    })
+}
+
+fn nt_field(name: &str) -> Option<NtField> {
+    Some(match name {
+        "payload" => NtField::Payload,
+        "pkt_len" | "length" | "len" => NtField::PktLen,
+        "interval" => NtField::Interval,
+        "port" => NtField::Port,
+        "loop" => NtField::Loop,
+        other => NtField::Header(header_field(other)?),
+    })
+}
+
+fn flag_value(name: &str) -> Option<u64> {
+    Some(match name {
+        "SYN" => 0x02,
+        "ACK" => 0x10,
+        "FIN" => 0x01,
+        "RST" => 0x04,
+        "PSH" => 0x08,
+        "URG" => 0x20,
+        "udp" | "UDP" => 17,
+        "tcp" | "TCP" => 6,
+        _ => return None,
+    })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|s| s.line).unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), msg: msg.into() })
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected {want:?}, found {other:?}"))
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            let name = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let kind = self.ident()?;
+            match kind.as_str() {
+                "trigger" => {
+                    let t = self.parse_trigger(name)?;
+                    prog.triggers.push(t);
+                }
+                "query" => {
+                    let q = self.parse_query(name)?;
+                    prog.queries.push(q);
+                }
+                other => return self.err(format!("expected trigger/query, found {other}")),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn parse_trigger(&mut self, name: String) -> Result<TriggerDef, ParseError> {
+        self.expect(Tok::LParen)?;
+        let source_query = match self.peek() {
+            Some(Tok::RParen) => None,
+            Some(Tok::Ident(_)) => Some(self.ident()?),
+            other => return self.err(format!("expected query name or ')', found {other:?}")),
+        };
+        self.expect(Tok::RParen)?;
+
+        let mut sets = Vec::new();
+        while self.peek() == Some(&Tok::Dot) {
+            self.next();
+            let method = self.ident()?;
+            if method != "set" {
+                return self.err(format!("triggers only support .set, found .{method}"));
+            }
+            self.expect(Tok::LParen)?;
+            let fields = self.parse_field_list()?;
+            self.expect(Tok::Comma)?;
+            let mut values = self.parse_value_list(fields.len())?;
+            self.expect(Tok::RParen)?;
+            // `set(port, [0, 1, 2, 3])`: one field with a bracketed *array
+            // value* (Table 2's value list), as opposed to the positional
+            // form `set([f1, f2], [v1, v2])`.
+            if fields.len() == 1 && values.len() > 1 {
+                let mut list = Vec::with_capacity(values.len());
+                for v in &values {
+                    match v {
+                        Value::Const(c) => list.push(*c),
+                        other => {
+                            return self.err(format!(
+                                "array values must be constants, found {other:?}"
+                            ))
+                        }
+                    }
+                }
+                values = vec![Value::List(list)];
+            }
+            if fields.len() != values.len() {
+                return self.err(format!(
+                    "set pairs {} fields with {} values",
+                    fields.len(),
+                    values.len()
+                ));
+            }
+            sets.push(SetStmt { fields, values });
+        }
+        Ok(TriggerDef { name, source_query, sets })
+    }
+
+    fn parse_field_list(&mut self) -> Result<Vec<NtField>, ParseError> {
+        let mut fields = Vec::new();
+        if self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            loop {
+                fields.push(self.parse_field()?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBracket) => break,
+                    other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        } else {
+            fields.push(self.parse_field()?);
+        }
+        Ok(fields)
+    }
+
+    fn parse_field(&mut self) -> Result<NtField, ParseError> {
+        let name = self.ident()?;
+        match nt_field(&name) {
+            Some(f) => Ok(f),
+            None => self.err(format!("unknown NTAPI field {name}")),
+        }
+    }
+
+    fn parse_value_list(&mut self, _hint: usize) -> Result<Vec<Value>, ParseError> {
+        let mut values = Vec::new();
+        if self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            loop {
+                values.push(self.parse_value()?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBracket) => break,
+                    other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        } else {
+            values.push(self.parse_value()?);
+        }
+        Ok(values)
+    }
+
+    /// Parses one value expression: primary (+ primary)*.
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        let mut v = self.parse_value_primary()?;
+        loop {
+            let sign = match self.peek() {
+                Some(Tok::Plus) => 1i64,
+                Some(Tok::Minus) => -1i64,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_value_primary()?;
+            v = match (v, rhs) {
+                (Value::Const(a), Value::Const(b)) => {
+                    if sign > 0 {
+                        Value::Const(a + b)
+                    } else {
+                        Value::Const(a.wrapping_sub(b))
+                    }
+                }
+                (Value::QueryField { query, field, offset }, Value::Const(b)) => {
+                    Value::QueryField { query, field, offset: offset + sign * b as i64 }
+                }
+                (a, b) => {
+                    return self.err(format!("cannot combine {a:?} and {b:?} with +/-"));
+                }
+            };
+        }
+        Ok(v)
+    }
+
+    fn parse_value_primary(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Value::Const(v)),
+            Some(Tok::Ip(v)) => Ok(Value::Const(u64::from(v))),
+            Some(Tok::Time(v, unit)) => match interval_ps(v, &unit) {
+                Some(ps) => Ok(Value::Const(ps)),
+                None => self.err(format!("unknown time unit {unit}")),
+            },
+            Some(Tok::Str(s)) => Ok(Value::Bytes(s.into_bytes())),
+            Some(Tok::Ident(id)) => {
+                // range(...) / random(...) / flags / qualified query ref.
+                match id.as_str() {
+                    "range" => {
+                        self.expect(Tok::LParen)?;
+                        let start = self.parse_scalar()?;
+                        self.expect(Tok::Comma)?;
+                        let end = self.parse_scalar()?;
+                        self.expect(Tok::Comma)?;
+                        let step = self.parse_scalar()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(Value::Range { start, end, step })
+                    }
+                    "random" => {
+                        self.expect(Tok::LParen)?;
+                        let alg = self.ident()?;
+                        self.expect(Tok::Comma)?;
+                        let v = match alg.as_str() {
+                            "normal" | "N" => {
+                                let mean = self.parse_scalar()? as f64;
+                                self.expect(Tok::Comma)?;
+                                let std_dev = self.parse_scalar()? as f64;
+                                self.expect(Tok::Comma)?;
+                                let bits = self.parse_scalar()? as u32;
+                                Value::Random { dist: DistSpec::Normal { mean, std_dev }, bits }
+                            }
+                            "exp" | "E" | "exponential" => {
+                                let mean = self.parse_scalar()? as f64;
+                                self.expect(Tok::Comma)?;
+                                let bits = self.parse_scalar()? as u32;
+                                Value::Random { dist: DistSpec::Exponential { mean }, bits }
+                            }
+                            "uniform" | "U" => {
+                                let lo = self.parse_scalar()?;
+                                self.expect(Tok::Comma)?;
+                                let hi = self.parse_scalar()?;
+                                self.expect(Tok::Comma)?;
+                                let bits = self.parse_scalar()? as u32;
+                                Value::Random { dist: DistSpec::Uniform { lo, hi }, bits }
+                            }
+                            other => return self.err(format!("unknown distribution {other}")),
+                        };
+                        self.expect(Tok::RParen)?;
+                        Ok(v)
+                    }
+                    _ => {
+                        if let Some(f) = flag_value(&id) {
+                            return Ok(Value::Const(f));
+                        }
+                        // Qualified query-field reference: `Q1.seq_no`.
+                        if self.peek() == Some(&Tok::Dot) {
+                            self.next();
+                            let fname = self.ident()?;
+                            match header_field(&fname) {
+                                Some(field) => {
+                                    Ok(Value::QueryField { query: id, field, offset: 0 })
+                                }
+                                None => self.err(format!("unknown header field {fname}")),
+                            }
+                        } else {
+                            self.err(format!("unknown value identifier {id}"))
+                        }
+                    }
+                }
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected a value, found {other:?}"))
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            Some(Tok::Ip(v)) => Ok(u64::from(v)),
+            // Time literals are handy inside random(...) interval specs:
+            // `random(exp, 10us, 12)` → mean in picoseconds.
+            Some(Tok::Time(v, unit)) => match interval_ps(v, &unit) {
+                Some(ps) => Ok(ps),
+                None => self.err(format!("unknown time unit {unit}")),
+            },
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected a number, found {other:?}"))
+            }
+        }
+    }
+
+    fn parse_query(&mut self, name: String) -> Result<QueryDef, ParseError> {
+        self.expect(Tok::LParen)?;
+        let source = match self.peek().cloned() {
+            Some(Tok::RParen) => QuerySource::Received(None),
+            Some(Tok::Ident(id)) if id == "port" => {
+                self.next();
+                self.expect(Tok::Assign)?;
+                let p = self.parse_scalar()?;
+                QuerySource::Received(Some(p as u16))
+            }
+            Some(Tok::Ident(_)) => QuerySource::Trigger(self.ident()?),
+            other => return self.err(format!("expected trigger name, port=, or ')', found {other:?}")),
+        };
+        self.expect(Tok::RParen)?;
+
+        let mut ops = Vec::new();
+        while self.peek() == Some(&Tok::Dot) {
+            self.next();
+            let method = self.ident()?;
+            self.expect(Tok::LParen)?;
+            match method.as_str() {
+                "filter" => ops.push(self.parse_filter()?),
+                "map" => ops.push(self.parse_map()?),
+                "reduce" => ops.push(self.parse_reduce()?),
+                "distinct" => ops.push(self.parse_distinct()?),
+                other => return self.err(format!("unknown query method .{other}")),
+            }
+            self.expect(Tok::RParen)?;
+        }
+        Ok(QueryDef { name, source, ops })
+    }
+
+    fn parse_filter(&mut self) -> Result<QueryOp, ParseError> {
+        let field_name = self.ident()?;
+        let cmp = match self.next() {
+            Some(Tok::Cmp(c)) => c,
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err(format!("expected a comparison, found {other:?}"));
+            }
+        };
+        let value = match self.parse_value()? {
+            Value::Const(v) => v,
+            other => return self.err(format!("filter needs a constant, found {other:?}")),
+        };
+        if field_name == "count" || field_name == "result" {
+            return Ok(QueryOp::FilterResult { cmp, value });
+        }
+        match header_field(&field_name) {
+            Some(field) => Ok(QueryOp::Filter(Predicate { field, cmp, value })),
+            None => self.err(format!("unknown filter field {field_name}")),
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<QueryOp, ParseError> {
+        // Accept `map(p -> (f1, f2))`, `map((f1, f2))`, and `map(f1, f2)`.
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "p" {
+                self.next();
+                self.expect(Tok::Arrow)?;
+            }
+        }
+        let parens = self.peek() == Some(&Tok::LParen);
+        if parens {
+            self.next();
+        }
+        let mut fields = vec![self.parse_field()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            fields.push(self.parse_field()?);
+        }
+        if parens {
+            self.expect(Tok::RParen)?;
+        }
+        Ok(QueryOp::Map(fields))
+    }
+
+    fn parse_reduce(&mut self) -> Result<QueryOp, ParseError> {
+        let mut keys = Vec::new();
+        let mut func = None;
+        loop {
+            let kw = self.ident()?;
+            self.expect(Tok::Assign)?;
+            match kw.as_str() {
+                "keys" => keys = self.parse_key_list()?,
+                "func" => {
+                    let f = self.ident()?;
+                    func = Some(match f.as_str() {
+                        "sum" => ReduceFunc::Sum,
+                        "count" => ReduceFunc::Count,
+                        "max" => ReduceFunc::Max,
+                        other => return self.err(format!("unknown reduce func {other}")),
+                    });
+                }
+                other => return self.err(format!("unknown reduce argument {other}")),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        match func {
+            Some(func) => Ok(QueryOp::Reduce { keys, func }),
+            None => self.err("reduce requires func="),
+        }
+    }
+
+    fn parse_distinct(&mut self) -> Result<QueryOp, ParseError> {
+        let kw = self.ident()?;
+        if kw != "keys" {
+            return self.err("distinct requires keys=[...]");
+        }
+        self.expect(Tok::Assign)?;
+        let keys = self.parse_key_list()?;
+        Ok(QueryOp::Distinct { keys })
+    }
+
+    fn parse_key_list(&mut self) -> Result<Vec<HeaderField>, ParseError> {
+        self.expect(Tok::LBracket)?;
+        let mut keys = Vec::new();
+        loop {
+            let name = self.ident()?;
+            match header_field(&name) {
+                Some(f) => keys.push(f),
+                None => return self.err(format!("unknown key field {name}")),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBracket) => break,
+                other => return self.err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+        Ok(keys)
+    }
+}
+
+/// Parses NTAPI DSL source into a [`Program`] (with the source retained for
+/// LoC accounting).
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut prog = p.parse_program()?;
+    prog.source = Some(src.to_string());
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table3_throughput_task() {
+        let src = r#"
+# Table 3: throughput testing
+T1 = trigger()
+    .set([dip, sip, proto, dport, sport], [10.0.0.2, 10.0.0.1, udp, 1, 1])
+    .set([loop, pkt_len], [0, 64])
+Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
+Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.triggers.len(), 1);
+        assert_eq!(prog.queries.len(), 2);
+        let t1 = &prog.triggers[0];
+        assert_eq!(t1.sets.len(), 2);
+        assert_eq!(t1.sets[0].fields.len(), 5);
+        assert_eq!(t1.sets[0].values[0], Value::Const(0x0a000002));
+        assert_eq!(t1.sets[0].values[2], Value::Const(17));
+        assert_eq!(prog.queries[0].source, QuerySource::Trigger("T1".into()));
+        assert_eq!(prog.queries[1].source, QuerySource::Received(None));
+        assert_eq!(prog.loc(), Some(5));
+    }
+
+    #[test]
+    fn parses_flags_ranges_and_intervals() {
+        let src = r#"
+T1 = trigger().set([dip, dport, proto, flag, seq_no], [1.1.1.1, 80, tcp, SYN, 1])
+    .set(sip, range(1.1.0.1, 1.1.1.0, 1)).set(sport, range(1024, 65535, 1))
+    .set(interval, 10us)
+"#;
+        let prog = parse(src).unwrap();
+        let t = &prog.triggers[0];
+        assert_eq!(t.sets[0].values[3], Value::Const(0x02)); // SYN
+        match &t.sets[1].values[0] {
+            Value::Range { start, end, step } => {
+                assert_eq!(*start, u64::from(0x01010001u32));
+                assert_eq!(*end, u64::from(0x01010100u32));
+                assert_eq!(*step, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.sets[3].values[0], Value::Const(10_000_000)); // 10 µs in ps
+    }
+
+    #[test]
+    fn parses_stateless_connection_chain() {
+        let src = r#"
+Q1 = query().filter(tcp_flag == SYN+ACK)
+T2 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip])
+    .set(seq_no, Q1.ack_no).set(ack_no, Q1.seq_no + 1)
+    .set(flag, ACK)
+"#;
+        let prog = parse(src).unwrap();
+        match &prog.queries[0].ops[0] {
+            QueryOp::Filter(p) => {
+                assert_eq!(p.field, HeaderField::TcpFlags);
+                assert_eq!(p.value, 0x12);
+            }
+            other => panic!("{other:?}"),
+        }
+        let t2 = &prog.triggers[0];
+        assert_eq!(t2.source_query.as_deref(), Some("Q1"));
+        assert_eq!(
+            t2.sets[2].values[0],
+            Value::QueryField { query: "Q1".into(), field: HeaderField::SeqNo, offset: 1 }
+        );
+    }
+
+    #[test]
+    fn parses_filter_count_and_keyed_reduce() {
+        let src = r#"
+Q2 = query().filter(tcp_flag == ACK).reduce(func=sum).filter(count < 5)
+Q3 = query().reduce(keys=[dip], func=sum)
+Q4 = query().distinct(keys=[sip, dip, proto, sport, dport])
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.queries[0].ops[2], QueryOp::FilterResult { cmp: CmpOp::Lt, value: 5 });
+        assert_eq!(
+            prog.queries[1].ops[0],
+            QueryOp::Reduce { keys: vec![HeaderField::Dip], func: ReduceFunc::Sum }
+        );
+        match &prog.queries[2].ops[0] {
+            QueryOp::Distinct { keys } => assert_eq!(keys.len(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_random_and_payload() {
+        let src = r#"
+T1 = trigger().set(dport, random(normal, 5000, 200, 12))
+    .set(payload, "GET index.html").set(port, [0, 1, 2, 3])
+T2 = trigger().set(sport, random(E, 128, 10))
+"#;
+        let prog = parse(src).unwrap();
+        match &prog.triggers[0].sets[0].values[0] {
+            Value::Random { dist: DistSpec::Normal { mean, std_dev }, bits } => {
+                assert_eq!(*mean, 5000.0);
+                assert_eq!(*std_dev, 200.0);
+                assert_eq!(*bits, 12);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(prog.triggers[0].sets[1].values[0], Value::Bytes(b"GET index.html".to_vec()));
+        assert_eq!(prog.triggers[0].sets[2].values[0], Value::List(vec![0, 1, 2, 3]));
+        match &prog.triggers[1].sets[0].values[0] {
+            Value::Random { dist: DistSpec::Exponential { mean }, bits } => {
+                assert_eq!(*mean, 128.0);
+                assert_eq!(*bits, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let err = parse("T1 = trigger().set(bogus_field, 1)").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("bogus_field"));
+
+        let err = parse("\n\nT1 = widget()").unwrap_err();
+        assert_eq!(err.line, 3);
+
+        assert!(parse("T1 = trigger().set([dip, sip], [1])").is_err());
+        assert!(parse("Q = query().filter(tcp_flag ~ 2)").is_err());
+    }
+
+    #[test]
+    fn port_scoped_query_source() {
+        let prog = parse("Q1 = query(port=2).reduce(func=count)").unwrap();
+        assert_eq!(prog.queries[0].source, QuerySource::Received(Some(2)));
+    }
+
+    #[test]
+    fn hex_literals() {
+        let prog = parse("T1 = trigger().set(flag, 0x12)").unwrap();
+        assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(0x12));
+    }
+}

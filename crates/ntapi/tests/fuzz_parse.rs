@@ -1,0 +1,57 @@
+//! Robustness: the DSL parser must return errors, never panic, on
+//! arbitrary input — including adversarial near-miss programs.
+
+use ht_ntapi::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII soup never panics the parser.
+    #[test]
+    fn arbitrary_ascii_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary token-shaped soup (identifiers, numbers, punctuation that
+    /// the lexer accepts) never panics either.
+    #[test]
+    fn token_soup_never_panics(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "trigger", "query", "set", "filter", "map", "reduce", "distinct",
+            "T1", "Q1", "=", "(", ")", "[", "]", ",", ".", "dip", "sip",
+            "10.0.0.1", "80", "0x1f", "10us", "range", "random", "==", "<",
+            "SYN", "+", "->", "p", "func", "sum", "keys", "\"str\"",
+        ]),
+        0..40,
+    )) {
+        let src = parts.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Mutating one byte of a valid program never panics (it parses or
+    /// errors cleanly).
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..160, byte in 32u8..127) {
+        let good = "T1 = trigger().set([dip, sport], [10.0.0.2, 80]).set(interval, 10us)\n\
+                    Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)";
+        let mut bytes = good.as_bytes().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = parse(&s);
+        }
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_program_never_panic() {
+    let good = "T1 = trigger().set([dip, sport], [10.0.0.2, 80]).set(sip, range(1.1.1.1, 1.1.2.1, 1))\n\
+                Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys=[sip, dip])";
+    for end in 0..=good.len() {
+        if good.is_char_boundary(end) {
+            let _ = parse(&good[..end]);
+        }
+    }
+}

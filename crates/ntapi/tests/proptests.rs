@@ -1,0 +1,158 @@
+//! Property-based tests for the NTAPI compiler pipeline.
+
+use ht_ntapi::ast::{DistSpec, HeaderField, NtField, Value};
+use ht_ntapi::builder::trigger;
+use ht_ntapi::compile::{compile, EditSpec, NtapiError};
+use ht_ntapi::fp::{compute_fp_entries, is_false_positive_pair, HashConfig};
+use ht_ntapi::headerspace::template_space;
+use ht_ntapi::{parse, Program};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Constants within the field width always compile; constants beyond it
+    /// are always rejected with `ValueOutOfRange`.
+    #[test]
+    fn width_validation_is_exact(value in 0u64..1_000_000) {
+        let mut prog = Program::default();
+        prog.triggers.push(
+            trigger("T1").set(NtField::Header(HeaderField::Dport), Value::Const(value)).build(),
+        );
+        match compile(&prog) {
+            Ok(task) => prop_assert!(value < 65_536, "accepted {value}"),
+            Err(NtapiError::ValueOutOfRange { .. }) => prop_assert!(value >= 65_536),
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+        let _ = value;
+    }
+
+    /// Range edits enumerate exactly the arithmetic progression.
+    #[test]
+    fn header_space_of_range(start in 0u64..1000, steps in 1u64..50, step in 1u64..7) {
+        let end = start + steps * step;
+        let mut prog = Program::default();
+        prog.triggers.push(
+            trigger("T1")
+                .set(NtField::Header(HeaderField::Sport),
+                     Value::Range { start, end, step })
+                .build(),
+        );
+        let task = compile(&prog).unwrap();
+        let space = template_space(&task.templates[0], &[HeaderField::Sport], false).unwrap();
+        let expected: Vec<Vec<u64>> = (0..=steps).map(|i| vec![start + i * step]).collect();
+        prop_assert_eq!(space, expected);
+    }
+
+    /// The fp precompute is sound: after diverting its entries, no two
+    /// surviving keys form a false-positive pair — for any key set and any
+    /// (tiny, collision-rich) hash configuration.
+    #[test]
+    fn fp_precompute_soundness(
+        keys in prop::collection::hash_set((0u64..5000, 0u64..4), 1..300),
+        array_bits in 2u32..8,
+        digest_bits in 2u32..8,
+    ) {
+        let cfg = HashConfig { array_bits, digest_bits };
+        let space: Vec<Vec<u64>> = keys.iter().map(|&(a, b)| vec![a, b]).collect();
+        let entries = compute_fp_entries(&space, &cfg);
+        let diverted: std::collections::HashSet<&Vec<u64>> = entries.iter().collect();
+        let kept: Vec<&Vec<u64>> = space.iter().filter(|k| !diverted.contains(*k)).collect();
+        let mut groups: HashMap<u64, Vec<&Vec<u64>>> = HashMap::new();
+        for k in kept {
+            groups.entry(cfg.digest(k)).or_default().push(k);
+        }
+        for g in groups.values() {
+            for (i, a) in g.iter().enumerate() {
+                for b in &g[i + 1..] {
+                    prop_assert!(!is_false_positive_pair(a, b, &cfg),
+                                 "surviving pair {a:?}/{b:?}");
+                }
+            }
+        }
+    }
+
+    /// `alt_bucket` is an involution: alt(alt(b)) == b for every bucket and
+    /// digest — the property that lets evictions find their way back.
+    #[test]
+    fn alt_bucket_is_involution(bucket in 0u64..65536, digest in 0u64..65536, bits in 4u32..17) {
+        let cfg = HashConfig { array_bits: bits, digest_bits: 16 };
+        let b = bucket & ((1 << bits) - 1);
+        let alt = cfg.alt_bucket(b, digest);
+        prop_assert!(alt < (1 << bits));
+        prop_assert_ne!(alt, b, "candidate buckets must differ");
+        prop_assert_eq!(cfg.alt_bucket(alt, digest), b);
+    }
+
+    /// Uniform random edits always produce a power-of-two span covering the
+    /// requested range, with the offset compensating the lower bound.
+    #[test]
+    fn uniform_random_scope_limiting(lo in 0u64..30_000, span in 1u64..30_000) {
+        let hi = lo + span;
+        prop_assume!(hi < 65_536);
+        let mut prog = Program::default();
+        prog.triggers.push(
+            trigger("T1")
+                .random(HeaderField::Dport, DistSpec::Uniform { lo, hi }, 12)
+                .build(),
+        );
+        let task = compile(&prog).unwrap();
+        match &task.templates[0].edits[0] {
+            EditSpec::RandomUniform { bits, offset, .. } => {
+                prop_assert_eq!(*offset, lo);
+                prop_assert!(1u64 << bits >= span, "2^{bits} < span {span}");
+                prop_assert!(*bits == 1 || (1u64 << (bits - 1)) < span,
+                             "2^{bits} not minimal for span {span}");
+            }
+            other => prop_assert!(false, "unexpected edit {other:?}"),
+        }
+    }
+
+    /// DSL integer/IP/flag literals survive a parse round-trip as the
+    /// expected constants.
+    #[test]
+    fn dsl_integer_literals(port in 0u64..65536, a in 0u8..=255, b in 0u8..=255) {
+        let src = format!(
+            "T1 = trigger().set(dport, {port}).set(dip, {a}.{b}.0.1)"
+        );
+        let prog = parse(&src).unwrap();
+        assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(port));
+        let expected = u64::from(u32::from_be_bytes([a, b, 0, 1]));
+        assert_eq!(prog.triggers[0].sets[1].values[0], Value::Const(expected));
+    }
+}
+
+proptest! {
+    /// print → parse round-trips arbitrary builder-generated programs.
+    #[test]
+    fn printer_round_trip(
+        dport in 0u64..65536,
+        lo in 0u64..10_000,
+        span_bits in 1u32..12,
+        step in 1u64..9,
+        steps in 1u64..40,
+        interval_us in 1u64..1000,
+        ports in prop::collection::vec(0u64..16, 1..4),
+    ) {
+        let start = lo;
+        let end = lo + steps * step;
+        let t = trigger("T1")
+            .set(NtField::Header(HeaderField::Dport), Value::Const(dport))
+            .set(NtField::Header(HeaderField::Sport), Value::Range { start, end, step })
+            .random(HeaderField::SeqNo,
+                    DistSpec::Uniform { lo, hi: lo + (1 << span_bits) }, 12)
+            .interval_us(interval_us)
+            .ports(&ports)
+            .build();
+        let q = ht_ntapi::builder::query("Q1")
+            .on_trigger("T1")
+            .filter(HeaderField::TcpFlags, ht_ntapi::ast::CmpOp::Eq, 0x12)
+            .reduce([HeaderField::Dip], ht_ntapi::ast::ReduceFunc::Sum)
+            .filter_result(ht_ntapi::ast::CmpOp::Lt, 5)
+            .build();
+        let p1 = ht_ntapi::builder::program([t], [q]);
+        let printed = ht_ntapi::printer::print_program(&p1);
+        let mut p2 = parse(&printed).unwrap();
+        p2.source = None;
+        prop_assert_eq!(p1, p2, "printed:\n{}", printed);
+    }
+}

@@ -1,0 +1,303 @@
+//! Whole-frame construction — the switch-CPU side of template-based packet
+//! generation.
+//!
+//! [`PacketBuilder`] assembles an Ethernet/IPv4/{TCP,UDP} frame with a
+//! payload, fills every length and checksum field, and pads the buffer to a
+//! requested frame length.  This is exactly the work §5.1 of the paper
+//! assigns to the switch CPU: "switch CPU generates template packets and
+//! performs the operations, which are hard for switching ASIC, on template
+//! packets" — payload customization and header initialization.
+
+use crate::ethernet::{self, EtherType, EthernetAddress};
+use crate::ipv4::{self, Ipv4Address, Protocol};
+use crate::tcp::TcpFlags;
+use crate::wire::MIN_FRAME_LEN;
+use crate::{tcp, udp};
+
+/// Transport-layer selection for the builder.
+#[derive(Debug, Clone)]
+enum L4 {
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+    },
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        seq_no: u32,
+        ack_no: u32,
+        flags: TcpFlags,
+        window: u16,
+    },
+    None,
+}
+
+/// Builder for complete test frames.
+///
+/// ```
+/// use ht_packet::{PacketBuilder, EthernetAddress, Ipv4Address};
+///
+/// let frame = PacketBuilder::new()
+///     .eth(EthernetAddress([2, 0, 0, 0, 0, 1]), EthernetAddress([2, 0, 0, 0, 0, 2]))
+///     .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+///     .udp(1, 1)
+///     .frame_len(64)
+///     .build();
+/// assert_eq!(frame.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    eth_src: EthernetAddress,
+    eth_dst: EthernetAddress,
+    ip: Option<(Ipv4Address, Ipv4Address)>,
+    ttl: u8,
+    ident: u16,
+    l4: L4,
+    payload: Vec<u8>,
+    frame_len: Option<usize>,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    /// Starts an empty builder (broadcast-to-zero Ethernet, no IP layer).
+    pub fn new() -> Self {
+        PacketBuilder {
+            eth_src: EthernetAddress::default(),
+            eth_dst: EthernetAddress::default(),
+            ip: None,
+            ttl: 64,
+            ident: 0,
+            l4: L4::None,
+            payload: Vec::new(),
+            frame_len: None,
+        }
+    }
+
+    /// Sets the Ethernet source and destination addresses.
+    pub fn eth(mut self, src: EthernetAddress, dst: EthernetAddress) -> Self {
+        self.eth_src = src;
+        self.eth_dst = dst;
+        self
+    }
+
+    /// Adds an IPv4 layer with the given source and destination addresses.
+    pub fn ipv4(mut self, src: Ipv4Address, dst: Ipv4Address) -> Self {
+        self.ip = Some((src, dst));
+        self
+    }
+
+    /// Overrides the IPv4 TTL (default 64).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Overrides the IPv4 identification field (default 0).
+    pub fn ident(mut self, id: u16) -> Self {
+        self.ident = id;
+        self
+    }
+
+    /// Adds a UDP layer.
+    pub fn udp(mut self, src_port: u16, dst_port: u16) -> Self {
+        self.l4 = L4::Udp { src_port, dst_port };
+        self
+    }
+
+    /// Adds a TCP layer.
+    pub fn tcp(mut self, src_port: u16, dst_port: u16, seq_no: u32, ack_no: u32, flags: TcpFlags) -> Self {
+        self.l4 = L4::Tcp { src_port, dst_port, seq_no, ack_no, flags, window: 65535 };
+        self
+    }
+
+    /// Sets the L4 payload bytes (the paper's `payload` field).
+    pub fn payload(mut self, bytes: &[u8]) -> Self {
+        self.payload = bytes.to_vec();
+        self
+    }
+
+    /// Pads the finished frame to `len` bytes total (including the virtual
+    /// 4-byte FCS region; see [`crate::wire`]).  The effective length is at
+    /// least large enough for the headers, the payload and the FCS, and at
+    /// least [`MIN_FRAME_LEN`] — requests below that are rounded up, mirroring
+    /// what a real MAC does.
+    pub fn frame_len(mut self, len: usize) -> Self {
+        self.frame_len = Some(len);
+        self
+    }
+
+    /// Minimal frame length that can carry the configured headers + payload:
+    /// headers + payload + 4-byte FCS, floored at [`MIN_FRAME_LEN`].
+    pub fn natural_len(&self) -> usize {
+        let mut len = ethernet::HEADER_LEN;
+        if self.ip.is_some() {
+            len += ipv4::HEADER_LEN;
+        }
+        len += match self.l4 {
+            L4::Udp { .. } => udp::HEADER_LEN,
+            L4::Tcp { .. } => tcp::HEADER_LEN,
+            L4::None => 0,
+        };
+        (len + self.payload.len() + 4).max(MIN_FRAME_LEN)
+    }
+
+    /// Assembles the frame: writes headers, payload, length fields and
+    /// checksums, then zero-pads to the requested frame length.
+    pub fn build(&self) -> Vec<u8> {
+        let frame_len = self.frame_len.unwrap_or(0).max(self.natural_len());
+        let mut buf = vec![0u8; frame_len];
+
+        let mut eth = ethernet::Frame::new_checked(&mut buf[..]).expect("frame_len >= header");
+        eth.set_src(self.eth_src);
+        eth.set_dst(self.eth_dst);
+
+        let Some((src_ip, dst_ip)) = self.ip else {
+            eth.set_ethertype(EtherType::Other(0x88b5)); // local experimental
+            return buf;
+        };
+        eth.set_ethertype(EtherType::Ipv4);
+
+        let l4_len = match self.l4 {
+            L4::Udp { .. } => udp::HEADER_LEN,
+            L4::Tcp { .. } => tcp::HEADER_LEN,
+            L4::None => 0,
+        } + self.payload.len();
+        let ip_total = ipv4::HEADER_LEN + l4_len;
+
+        let ip_start = ethernet::HEADER_LEN;
+        let ip_buf = &mut buf[ip_start..ip_start + ip_total];
+        // Write IP header fields directly; the view requires a valid
+        // version/IHL byte first.
+        ip_buf[0] = 0x45;
+        {
+            let mut ip = ipv4::Packet::new_unchecked(ip_buf);
+            ip.set_total_len(ip_total as u16);
+            ip.set_ident(self.ident);
+            ip.set_ttl(self.ttl);
+            ip.set_src(src_ip);
+            ip.set_dst(dst_ip);
+            match self.l4 {
+                L4::Udp { .. } => ip.set_protocol(Protocol::Udp),
+                L4::Tcp { .. } => ip.set_protocol(Protocol::Tcp),
+                L4::None => ip.set_protocol(Protocol::Other(0xfd)),
+            }
+            ip.fill_checksum();
+        }
+
+        let l4_start = ip_start + ipv4::HEADER_LEN;
+        match self.l4 {
+            L4::Udp { src_port, dst_port } => {
+                let seg = &mut buf[l4_start..l4_start + l4_len];
+                seg[udp::HEADER_LEN..].copy_from_slice(&self.payload);
+                let mut u = udp::Packet::new_unchecked(seg);
+                u.set_src_port(src_port);
+                u.set_dst_port(dst_port);
+                u.set_len_field(l4_len as u16);
+                u.fill_checksum(src_ip.0, dst_ip.0);
+            }
+            L4::Tcp { src_port, dst_port, seq_no, ack_no, flags, window } => {
+                let seg = &mut buf[l4_start..l4_start + l4_len];
+                seg[tcp::HEADER_LEN..].copy_from_slice(&self.payload);
+                let mut t = tcp::Packet::new_unchecked(seg);
+                t.set_src_port(src_port);
+                t.set_dst_port(dst_port);
+                t.set_seq_no(seq_no);
+                t.set_ack_no(ack_no);
+                t.set_offset_and_flags(flags);
+                t.set_window(window);
+                t.fill_checksum(src_ip.0, dst_ip.0);
+            }
+            L4::None => {
+                buf[l4_start..l4_start + self.payload.len()].copy_from_slice(&self.payload);
+            }
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::Frame;
+
+    #[test]
+    fn udp_frame_is_valid_and_padded() {
+        let frame = PacketBuilder::new()
+            .eth(EthernetAddress([2, 0, 0, 0, 0, 1]), EthernetAddress([2, 0, 0, 0, 0, 2]))
+            .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+            .udp(1234, 80)
+            .payload(b"hello")
+            .frame_len(128)
+            .build();
+        assert_eq!(frame.len(), 128);
+        let eth = Frame::new_checked(&frame[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.protocol(), Protocol::Udp);
+        assert_eq!(ip.total_len() as usize, ipv4::HEADER_LEN + udp::HEADER_LEN + 5);
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.src_port(), 1234);
+        assert_eq!(u.dst_port(), 80);
+        assert_eq!(u.payload(), b"hello");
+        assert!(u.verify_checksum(ip.src().0, ip.dst().0));
+    }
+
+    #[test]
+    fn tcp_syn_frame_is_valid() {
+        let frame = PacketBuilder::new()
+            .ipv4(Ipv4Address::new(1, 1, 0, 1), Ipv4Address::new(8, 8, 8, 8))
+            .tcp(1024, 80, 1, 0, TcpFlags::SYN)
+            .build();
+        assert_eq!(frame.len(), MIN_FRAME_LEN);
+        let eth = Frame::new_checked(&frame[..]).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let t = tcp::Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.flags(), TcpFlags::SYN);
+        assert_eq!(t.seq_no(), 1);
+        assert!(t.verify_checksum(ip.src().0, ip.dst().0));
+    }
+
+    #[test]
+    fn short_frame_request_is_rounded_up() {
+        let b = PacketBuilder::new()
+            .ipv4(Ipv4Address::new(1, 0, 0, 1), Ipv4Address::new(1, 0, 0, 2))
+            .udp(1, 1)
+            .frame_len(10);
+        assert_eq!(b.build().len(), MIN_FRAME_LEN);
+    }
+
+    #[test]
+    fn payload_forces_growth_beyond_requested_len() {
+        let b = PacketBuilder::new()
+            .ipv4(Ipv4Address::new(1, 0, 0, 1), Ipv4Address::new(1, 0, 0, 2))
+            .udp(1, 1)
+            .payload(&[0xaa; 200])
+            .frame_len(64);
+        // 14 + 20 + 8 + 200 + 4 = 246 > 64.
+        assert_eq!(b.build().len(), 246);
+    }
+
+    #[test]
+    fn no_ip_layer_yields_experimental_ethertype() {
+        let frame = PacketBuilder::new().frame_len(64).build();
+        let eth = Frame::new_checked(&frame[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Other(0x88b5));
+    }
+
+    #[test]
+    fn natural_len_accounts_for_all_layers() {
+        let b = PacketBuilder::new()
+            .ipv4(Ipv4Address::new(1, 0, 0, 1), Ipv4Address::new(1, 0, 0, 2))
+            .tcp(1, 2, 0, 0, TcpFlags::ACK)
+            .payload(&[0u8; 100]);
+        // 14 + 20 + 20 + 100 + 4 = 158.
+        assert_eq!(b.natural_len(), 158);
+    }
+}

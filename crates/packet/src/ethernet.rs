@@ -1,0 +1,204 @@
+//! Ethernet II frames.
+
+use crate::ParseError;
+
+/// Minimum Ethernet frame size on the wire, excluding the 4-byte FCS
+/// (64-byte frames in the paper's figures include the FCS; payload-visible
+/// length is 60).
+pub const HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True when the group bit (LSB of the first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// The address as a u64 (upper 16 bits zero) — the representation used
+    /// in the simulator's packet header vector.
+    pub fn to_u64(&self) -> u64 {
+        let mut v = [0u8; 8];
+        v[2..].copy_from_slice(&self.0);
+        u64::from_be_bytes(v)
+    }
+
+    /// Reconstructs an address from the lower 48 bits of a u64.
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        EthernetAddress([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl std::fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+    }
+}
+
+/// EtherType values the reproduction parses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Other(o) => o,
+        }
+    }
+}
+
+/// A view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer, checking it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> EthernetAddress {
+        let b = self.buffer.as_ref();
+        EthernetAddress([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> EthernetAddress {
+        let b = self.buffer.as_ref();
+        EthernetAddress([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// The bytes after the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(ty).to_be_bytes());
+    }
+
+    /// Mutable access to the bytes after the Ethernet header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut f = vec![0u8; 18];
+        f[0..6].copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        f[6..12].copy_from_slice(&[7, 8, 9, 10, 11, 12]);
+        f[12..14].copy_from_slice(&[0x08, 0x00]);
+        f[14..].copy_from_slice(b"test");
+        f
+    }
+
+    #[test]
+    fn parses_fields() {
+        let f = Frame::new_checked(sample()).unwrap();
+        assert_eq!(f.dst(), EthernetAddress([1, 2, 3, 4, 5, 6]));
+        assert_eq!(f.src(), EthernetAddress([7, 8, 9, 10, 11, 12]));
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload(), b"test");
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(Frame::new_checked([0u8; 13]).unwrap_err(), ParseError::Truncated);
+    }
+
+    #[test]
+    fn setters_round_trip() {
+        let mut f = Frame::new_checked(sample()).unwrap();
+        let a = EthernetAddress([0xaa; 6]);
+        f.set_dst(a);
+        f.set_src(a);
+        f.set_ethertype(EtherType::Other(0x86dd));
+        f.payload_mut().copy_from_slice(b"abcd");
+        assert_eq!(f.dst(), a);
+        assert_eq!(f.src(), a);
+        assert_eq!(f.ethertype(), EtherType::Other(0x86dd));
+        assert_eq!(f.payload(), b"abcd");
+    }
+
+    #[test]
+    fn address_u64_round_trip() {
+        let a = EthernetAddress([0x02, 0x00, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(EthernetAddress::from_u64(a.to_u64()), a);
+        assert_eq!(a.to_u64() >> 48, 0);
+    }
+
+    #[test]
+    fn multicast_and_broadcast_flags() {
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_multicast());
+        assert!(EthernetAddress([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!EthernetAddress([0x02, 0, 0, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn address_display() {
+        let a = EthernetAddress([0x02, 0x00, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(a.to_string(), "02:00:de:ad:be:ef");
+    }
+}

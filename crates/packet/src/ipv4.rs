@@ -1,0 +1,308 @@
+//! IPv4 headers (20-byte fixed header; options are rejected, matching what
+//! HyperTester's template packets use).
+
+use crate::{checksum, ParseError};
+
+/// Length of the option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// Builds an address from four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Address([a, b, c, d])
+    }
+
+    /// The address as a host-order u32 (the PHV representation).
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Reconstructs an address from a host-order u32.
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4Address(v.to_be_bytes())
+    }
+}
+
+impl std::fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl std::str::FromStr for Ipv4Address {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for o in octets.iter_mut() {
+            *o = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or(ParseError::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Ipv4Address(octets))
+    }
+}
+
+/// IP protocol numbers the reproduction parses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, carried verbatim.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(v: Protocol) -> u8 {
+        match v {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(o) => o,
+        }
+    }
+}
+
+/// A view over an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer, checking the version, IHL and total length.
+    ///
+    /// Headers with options (IHL > 5) are reported as [`ParseError::Malformed`]
+    /// — the tester never generates them and the pipeline model has no PHV
+    /// slots for them.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if b[0] >> 4 != 4 {
+            return Err(ParseError::Malformed);
+        }
+        if b[0] & 0x0f != 5 {
+            return Err(ParseError::Malformed);
+        }
+        let total = usize::from(u16::from_be_bytes([b[2], b[3]]));
+        if total < HEADER_LEN || total > b.len() {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Packet { buffer })
+    }
+
+    /// Wraps a buffer without validation.  For writers (e.g. the frame
+    /// builder) that are about to initialize every field; the caller must
+    /// guarantee the buffer is at least [`HEADER_LEN`] bytes.
+    pub fn new_unchecked(buffer: T) -> Self {
+        debug_assert!(buffer.as_ref().len() >= HEADER_LEN);
+        Packet { buffer }
+    }
+
+    /// Total length field.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Time-to-live field.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Protocol field.
+    pub fn protocol(&self) -> Protocol {
+        self.buffer.as_ref()[9].into()
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Address {
+        let b = self.buffer.as_ref();
+        Ipv4Address([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Address {
+        let b = self.buffer.as_ref();
+        Ipv4Address([b[16], b[17], b[18], b[19]])
+    }
+
+    /// True when the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::checksum(&self.buffer.as_ref()[..HEADER_LEN]) == 0
+    }
+
+    /// The L4 payload (bytes between the header and `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let total = usize::from(self.total_len());
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes the version (4) and IHL (5) byte; used when building from
+    /// scratch.
+    pub fn set_version_ihl(&mut self) {
+        self.buffer.as_mut()[0] = 0x45;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Sets the time-to-live field.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the protocol field.
+    pub fn set_protocol(&mut self, p: Protocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, a: Ipv4Address) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.0);
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Address) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.0);
+    }
+
+    /// Recomputes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[10..12].copy_from_slice(&[0, 0]);
+        let c = checksum::checksum(&self.buffer.as_ref()[..HEADER_LEN]);
+        self.buffer.as_mut()[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable access to the L4 payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let total = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[HEADER_LEN..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 28];
+        {
+            let mut p = Packet { buffer: &mut b[..] };
+            p.set_version_ihl();
+            p.set_total_len(28);
+            p.set_ident(0x1234);
+            p.set_ttl(64);
+            p.set_protocol(Protocol::Udp);
+            p.set_src(Ipv4Address::new(10, 0, 0, 1));
+            p.set_dst(Ipv4Address::new(10, 0, 0, 2));
+            p.fill_checksum();
+        }
+        b
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let b = sample();
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert_eq!(p.total_len(), 28);
+        assert_eq!(p.ident(), 0x1234);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), Protocol::Udp);
+        assert_eq!(p.src(), Ipv4Address::new(10, 0, 0, 1));
+        assert_eq!(p.dst(), Ipv4Address::new(10, 0, 0, 2));
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), 8);
+    }
+
+    #[test]
+    fn corrupting_a_byte_breaks_checksum() {
+        let mut b = sample();
+        b[8] ^= 0xff; // flip the TTL
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_options() {
+        let mut b = sample();
+        b[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Malformed);
+        b[0] = 0x46; // IHL 6 → options present
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn rejects_truncated_total_len() {
+        let mut b = sample();
+        b[2..4].copy_from_slice(&100u16.to_be_bytes()); // longer than buffer
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Truncated);
+        b[2..4].copy_from_slice(&10u16.to_be_bytes()); // shorter than header
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Truncated);
+    }
+
+    #[test]
+    fn address_parsing_and_display() {
+        let a: Ipv4Address = "192.168.1.200".parse().unwrap();
+        assert_eq!(a, Ipv4Address::new(192, 168, 1, 200));
+        assert_eq!(a.to_string(), "192.168.1.200");
+        assert!("1.2.3".parse::<Ipv4Address>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4Address>().is_err());
+        assert!("1.2.3.256".parse::<Ipv4Address>().is_err());
+    }
+
+    #[test]
+    fn address_u32_round_trip() {
+        let a = Ipv4Address::new(10, 1, 2, 3);
+        assert_eq!(a.to_u32(), 0x0a010203);
+        assert_eq!(Ipv4Address::from_u32(a.to_u32()), a);
+    }
+}

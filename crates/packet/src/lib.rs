@@ -1,0 +1,53 @@
+//! Wire formats for the HyperTester reproduction.
+//!
+//! Typed, allocation-free views over byte buffers in the style of
+//! `smoltcp`: a `Packet<T: AsRef<[u8]>>` wraps a buffer and exposes getters;
+//! with `T: AsMut<[u8]>` it also exposes setters.  On top of the views,
+//! [`builder::PacketBuilder`] assembles complete test frames
+//! (Ethernet/IPv4/{TCP,UDP}/payload) with correct lengths and checksums —
+//! the job the switch CPU performs when it crafts *template packets*.
+//!
+//! Modules:
+//! * [`ethernet`] — Ethernet II frames and [`EthernetAddress`].
+//! * [`ipv4`] — IPv4 headers (no options) and [`Ipv4Address`].
+//! * [`tcp`] — TCP headers and [`tcp::TcpFlags`].
+//! * [`udp`] — UDP headers.
+//! * [`checksum`] — the Internet one's-complement checksum.
+//! * [`builder`] — whole-frame construction.
+//! * [`wire`] — line-rate arithmetic (frame overhead, wire times, pps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+pub mod wire;
+
+pub use builder::PacketBuilder;
+pub use ethernet::EthernetAddress;
+pub use ipv4::Ipv4Address;
+
+/// Errors produced when interpreting bytes as a protocol header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header (or the length a header
+    /// field claims).
+    Truncated,
+    /// A version/IHL/length field holds a value the parser does not support.
+    Malformed,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer too short for header"),
+            ParseError::Malformed => write!(f, "malformed header field"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,235 @@
+//! TCP headers (20-byte fixed header; the tester's stateless connections
+//! never emit options).
+
+use crate::{checksum, ParseError};
+
+/// Length of the option-less TCP header.
+pub const HEADER_LEN: usize = 20;
+
+/// The TCP flag bits, in their wire positions within the low byte of the
+/// flags/offset word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// SYN+ACK, the server handshake reply the paper's queries filter on.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    /// PSH+ACK, used for request payloads in the web-testing application.
+    pub const PSH_ACK: TcpFlags = TcpFlags(0x18);
+    /// FIN+ACK, the connection-release reply.
+    pub const FIN_ACK: TcpFlags = TcpFlags(0x11);
+
+    /// True when every bit of `other` is set in `self`.
+    pub fn contains(&self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+/// A view over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer, checking the fixed header fits and the data offset is
+    /// exactly 5 words (no options).
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if b[12] >> 4 != 5 {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Packet { buffer })
+    }
+
+    /// Wraps a buffer without validation.  For writers that are about to
+    /// initialize every field; the caller must guarantee the buffer is at
+    /// least [`HEADER_LEN`] bytes.
+    pub fn new_unchecked(buffer: T) -> Self {
+        debug_assert!(buffer.as_ref().len() >= HEADER_LEN);
+        Packet { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_no(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_no(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13] & 0x3f)
+    }
+
+    /// Window field.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// The segment payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Verifies the checksum given the pseudo-header addresses.  The whole
+    /// buffer is taken as the segment.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        let b = self.buffer.as_ref();
+        let acc = checksum::pseudo_header(src, dst, 6, b.len() as u16);
+        checksum::finish(checksum::sum_words(acc, b)) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq_no(&mut self, v: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn set_ack_no(&mut self, v: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes the data offset (5 words) and flag bits.
+    pub fn set_offset_and_flags(&mut self, flags: TcpFlags) {
+        self.buffer.as_mut()[12] = 5 << 4;
+        self.buffer.as_mut()[13] = flags.0;
+    }
+
+    /// Sets the window field.
+    pub fn set_window(&mut self, w: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum given the pseudo-header addresses.
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        let b = self.buffer.as_ref();
+        let acc = checksum::pseudo_header(src, dst, 6, b.len() as u16);
+        let c = checksum::finish(checksum::sum_words(acc, b));
+        self.buffer.as_mut()[16..18].copy_from_slice(&c.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [10, 0, 0, 1];
+    const DST: [u8; 4] = [10, 0, 0, 2];
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 24];
+        {
+            let mut p = Packet { buffer: &mut b[..] };
+            p.set_src_port(1024);
+            p.set_dst_port(80);
+            p.set_seq_no(0xdeadbeef);
+            p.set_ack_no(0x01020304);
+            p.set_offset_and_flags(TcpFlags::SYN);
+            p.set_window(65535);
+            p.fill_checksum(SRC, DST);
+        }
+        b
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let b = sample();
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert_eq!(p.src_port(), 1024);
+        assert_eq!(p.dst_port(), 80);
+        assert_eq!(p.seq_no(), 0xdeadbeef);
+        assert_eq!(p.ack_no(), 0x01020304);
+        assert_eq!(p.flags(), TcpFlags::SYN);
+        assert_eq!(p.window(), 65535);
+        assert!(p.verify_checksum(SRC, DST));
+        assert_eq!(p.payload().len(), 4);
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let b = sample();
+        let p = Packet::new_checked(&b[..]).unwrap();
+        // Same bytes but different claimed source address must fail.
+        assert!(!p.verify_checksum([10, 0, 0, 9], DST));
+    }
+
+    #[test]
+    fn flag_composition() {
+        assert_eq!(TcpFlags::SYN | TcpFlags::ACK, TcpFlags::SYN_ACK);
+        assert_eq!(TcpFlags::PSH | TcpFlags::ACK, TcpFlags::PSH_ACK);
+        assert_eq!(TcpFlags::FIN | TcpFlags::ACK, TcpFlags::FIN_ACK);
+        assert!(TcpFlags::SYN_ACK.contains(TcpFlags::SYN));
+        assert!(TcpFlags::SYN_ACK.contains(TcpFlags::ACK));
+        assert!(!TcpFlags::SYN.contains(TcpFlags::ACK));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut b = sample();
+        b[12] = 6 << 4;
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(Packet::new_checked([0u8; 19]).unwrap_err(), ParseError::Truncated);
+    }
+}

@@ -1,0 +1,165 @@
+//! UDP headers.
+
+use crate::{checksum, ParseError};
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A view over a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer, checking the header fits and the length field is
+    /// consistent with the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let len = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        if len < HEADER_LEN || len > b.len() {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Packet { buffer })
+    }
+
+    /// Wraps a buffer without validation.  For writers that are about to
+    /// initialize every field; the caller must guarantee the buffer is at
+    /// least [`HEADER_LEN`] bytes.
+    pub fn new_unchecked(buffer: T) -> Self {
+        debug_assert!(buffer.as_ref().len() >= HEADER_LEN);
+        Packet { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// The datagram payload.
+    pub fn payload(&self) -> &[u8] {
+        let len = usize::from(self.len_field());
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verifies the checksum given the pseudo-header addresses.  A zero
+    /// checksum field means "not computed" and verifies trivially, per
+    /// RFC 768.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = usize::from(self.len_field());
+        let b = &self.buffer.as_ref()[..len];
+        let acc = checksum::pseudo_header(src, dst, 17, len as u16);
+        checksum::finish(checksum::sum_words(acc, b)) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum given the pseudo-header addresses.
+    /// A computed value of zero is transmitted as `0xffff`, per RFC 768.
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&[0, 0]);
+        let len = usize::from(self.len_field());
+        let b = &self.buffer.as_ref()[..len];
+        let acc = checksum::pseudo_header(src, dst, 17, len as u16);
+        let c = checksum::finish(checksum::sum_words(acc, b));
+        let c = if c == 0 { 0xffff } else { c };
+        self.buffer.as_mut()[6..8].copy_from_slice(&c.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [192, 168, 0, 1];
+    const DST: [u8; 4] = [192, 168, 0, 2];
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 12];
+        b[8..].copy_from_slice(b"ping");
+        {
+            let mut p = Packet { buffer: &mut b[..] };
+            p.set_src_port(5000);
+            p.set_dst_port(53);
+            p.set_len_field(12);
+            p.fill_checksum(SRC, DST);
+        }
+        b
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let b = sample();
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert_eq!(p.src_port(), 5000);
+        assert_eq!(p.dst_port(), 53);
+        assert_eq!(p.len_field(), 12);
+        assert_eq!(p.payload(), b"ping");
+        assert!(p.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_verifies_trivially() {
+        let mut b = sample();
+        b[6..8].copy_from_slice(&[0, 0]);
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert!(p.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_fails_verification() {
+        let mut b = sample();
+        b[9] ^= 0x01;
+        let p = Packet::new_checked(&b[..]).unwrap();
+        assert!(!p.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut b = sample();
+        b[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Truncated);
+        b[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(Packet::new_checked(&b[..]).unwrap_err(), ParseError::Truncated);
+    }
+}

@@ -1,0 +1,108 @@
+//! Line-rate arithmetic shared by the switch model and the baselines.
+//!
+//! Conventions used throughout the reproduction:
+//!
+//! * **Frame length** includes the Ethernet header and the 4-byte FCS — a
+//!   "64-byte packet" in the paper's figures is a minimum-size Ethernet
+//!   frame.  Buffers built by [`crate::PacketBuilder`] are padded to this
+//!   length (the FCS region is zeros; nothing parses it).
+//! * **Per-frame wire occupancy** adds the 8-byte preamble/SFD and the
+//!   12-byte inter-frame gap: `frame_len + 20` bytes.  This yields the
+//!   canonical 148.8 Mpps for 64-byte frames at 100 Gbps — and therefore the
+//!   595 Mpps over four ports reported in the paper's Table 8.
+//! * Time is measured in integer **picoseconds**, the base unit of the
+//!   discrete-event simulator (one bit at 100 Gbps is exactly 10 ps).
+
+/// Preamble/SFD (8 B) plus minimum inter-frame gap (12 B).
+pub const FRAME_OVERHEAD_BYTES: u64 = 20;
+
+/// Minimum Ethernet frame length (including FCS).
+pub const MIN_FRAME_LEN: usize = 64;
+
+/// Maximum standard Ethernet frame length (including FCS).
+pub const MAX_FRAME_LEN: usize = 1518;
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// Time one frame occupies the wire, in picoseconds, at `rate_bps`.
+///
+/// # Panics
+/// Panics when `rate_bps` is zero.
+pub fn wire_time_ps(frame_len: usize, rate_bps: u64) -> u64 {
+    assert!(rate_bps > 0, "link rate must be positive");
+    let bits = (frame_len as u64 + FRAME_OVERHEAD_BYTES) * 8;
+    ((bits as u128 * PS_PER_SEC as u128) / rate_bps as u128) as u64
+}
+
+/// Line-rate packet throughput for back-to-back frames of `frame_len`.
+pub fn line_rate_pps(frame_len: usize, rate_bps: u64) -> f64 {
+    rate_bps as f64 / (((frame_len as u64 + FRAME_OVERHEAD_BYTES) * 8) as f64)
+}
+
+/// Layer-2 throughput in bits/s for a packet rate: counts the frame bytes
+/// (what the paper's throughput figures report).
+pub fn l2_rate_bps(frame_len: usize, pps: f64) -> f64 {
+    pps * (frame_len * 8) as f64
+}
+
+/// Layer-1 throughput in bits/s for a packet rate: counts frame bytes plus
+/// preamble and inter-frame gap (what saturates the physical link).
+pub fn l1_rate_bps(frame_len: usize, pps: f64) -> f64 {
+    pps * ((frame_len as u64 + FRAME_OVERHEAD_BYTES) * 8) as f64
+}
+
+/// Convenience: gigabits per second → bits per second.
+pub const fn gbps(g: u64) -> u64 {
+    g * 1_000_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_frame_at_100g_takes_6720_ps() {
+        assert_eq!(wire_time_ps(64, gbps(100)), 6720);
+    }
+
+    #[test]
+    fn full_frame_at_10g_takes_1230400_ps() {
+        // (1518 + 20) * 8 bits at 10 Gbps = 1230.4 ns.
+        assert_eq!(wire_time_ps(1518, gbps(10)), 1_230_400);
+    }
+
+    #[test]
+    fn canonical_line_rates() {
+        // 14.88 Mpps at 10 GbE, 148.8 Mpps at 100 GbE for 64-byte frames.
+        assert!((line_rate_pps(64, gbps(10)) - 14_880_952.38).abs() < 1.0);
+        assert!((line_rate_pps(64, gbps(100)) - 148_809_523.8).abs() < 10.0);
+        // Four 100G ports of 64-byte frames ≈ 595 Mpps (paper Table 8).
+        let four_ports = 4.0 * line_rate_pps(64, gbps(100));
+        assert!((four_ports / 1e6 - 595.2).abs() < 0.1, "{four_ports}");
+    }
+
+    #[test]
+    fn l1_rate_saturates_link_at_line_rate() {
+        for len in [64usize, 128, 512, 1518] {
+            let pps = line_rate_pps(len, gbps(40));
+            assert!((l1_rate_bps(len, pps) - 40e9).abs() < 1.0);
+            assert!(l2_rate_bps(len, pps) < 40e9);
+        }
+    }
+
+    #[test]
+    fn wire_time_matches_line_rate() {
+        for len in [64usize, 100, 747, 1518] {
+            let t = wire_time_ps(len, gbps(100)) as f64 / PS_PER_SEC as f64;
+            let pps = line_rate_pps(len, gbps(100));
+            assert!((t * pps - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_panics() {
+        wire_time_ps(64, 0);
+    }
+}

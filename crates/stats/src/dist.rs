@@ -1,0 +1,287 @@
+//! Analytic and tabulated probability distributions.
+//!
+//! Two consumers in the reproduction:
+//!
+//! 1. The paper's *inverse-transform* random generation (§5.1 "Editor"):
+//!    the switch draws a uniform value with `modify_field_rng_uniform` and
+//!    maps it through a two-table CDF lookup.  [`CdfTable`] builds that
+//!    lookup from any [`Distribution`]'s inverse CDF, exactly as the NTAPI
+//!    compiler would install it.
+//! 2. The Q-Q validation of Fig. 13 needs theoretical quantiles of the
+//!    normal and exponential distributions, provided by [`Distribution`].
+
+/// A continuous distribution with an analytic CDF and inverse CDF.
+///
+/// Only the distributions the paper evaluates (normal, exponential) plus
+/// uniform (the primitive the hardware offers) are included; adding more is a
+/// matter of adding a variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Normal distribution with the given mean and standard deviation.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation (must be > 0).
+        std_dev: f64,
+    },
+    /// Exponential distribution with the given rate parameter λ.
+    Exponential {
+        /// Rate parameter λ (must be > 0); mean is 1/λ.
+        rate: f64,
+    },
+    /// Continuous uniform distribution on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound (must be > `lo`).
+        hi: f64,
+    },
+}
+
+impl Distribution {
+    /// Cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            Distribution::Normal { mean, std_dev } => {
+                let z = (x - mean) / (std_dev * std::f64::consts::SQRT_2);
+                0.5 * (1.0 + erf(z))
+            }
+            Distribution::Exponential { rate } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-rate * x).exp()
+                }
+            }
+            Distribution::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `p` in `(0, 1)`.
+    ///
+    /// `p` is clamped into `[1e-12, 1 − 1e-12]` so that boundary inputs do
+    /// not produce infinities — the same guard the compiled CDF tables use.
+    pub fn inverse_cdf(&self, p: f64) -> f64 {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        match *self {
+            Distribution::Normal { mean, std_dev } => mean + std_dev * norm_inv(p),
+            Distribution::Exponential { rate } => -(1.0 - p).ln() / rate,
+            Distribution::Uniform { lo, hi } => lo + p * (hi - lo),
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Normal { mean, .. } => mean,
+            Distribution::Exponential { rate } => 1.0 / rate,
+            Distribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+        }
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26), max absolute
+/// error ≈ 1.5e-7 — ample for Q-Q comparison and CDF table construction.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9 over the full open unit interval).
+pub fn norm_inv(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A tabulated inverse CDF with `2^k` equi-probable entries — the data the
+/// NTAPI compiler installs into the editor's two-table inverse-transform
+/// pipeline (§5.1).
+///
+/// Entry `i` holds `F⁻¹((i + 0.5) / 2^k)` (midpoint rule), so feeding the
+/// hardware's uniform value `u ∈ [0, 2^k)` through `lookup(u)` draws from the
+/// target distribution with quantization limited by the table size.
+#[derive(Debug, Clone)]
+pub struct CdfTable {
+    values: Vec<f64>,
+    bits: u32,
+}
+
+impl CdfTable {
+    /// Builds a table with `2^bits` entries from a distribution's inverse
+    /// CDF.  `bits` must be in `1..=24` (the hardware RNG primitive yields a
+    /// power-of-two range; 2^24 is already far beyond one stage's SRAM).
+    pub fn from_distribution(dist: &Distribution, bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "table bits out of range: {bits}");
+        let n = 1usize << bits;
+        let values = (0..n)
+            .map(|i| dist.inverse_cdf((i as f64 + 0.5) / n as f64))
+            .collect();
+        CdfTable { values, bits }
+    }
+
+    /// Number of index bits (the uniform input is `bits` wide).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of entries (`2^bits`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the table has no entries (cannot happen by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Maps a uniform value `u ∈ [0, 2^bits)` to a sample of the target
+    /// distribution.  Out-of-range inputs are masked to the table width, the
+    /// same wrap-around a hardware table index would exhibit.
+    pub fn lookup(&self, u: u64) -> f64 {
+        self.values[(u & ((1u64 << self.bits) - 1)) as usize]
+    }
+
+    /// The raw quantile values (ascending).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_points() {
+        let n = Distribution::Normal { mean: 0.0, std_dev: 1.0 };
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((n.cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((n.cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn norm_inv_round_trips_cdf() {
+        let n = Distribution::Normal { mean: 0.0, std_dev: 1.0 };
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = n.inverse_cdf(p);
+            assert!((n.cdf(x) - p).abs() < 1e-6, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn exponential_inverse_is_exact() {
+        let e = Distribution::Exponential { rate: 2.0 };
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = e.inverse_cdf(p);
+            assert!((e.cdf(x) - p).abs() < 1e-12);
+        }
+        assert!((e.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_cdf_clamps() {
+        let u = Distribution::Uniform { lo: 10.0, hi: 20.0 };
+        assert_eq!(u.cdf(5.0), 0.0);
+        assert_eq!(u.cdf(25.0), 1.0);
+        assert!((u.cdf(15.0) - 0.5).abs() < 1e-12);
+        assert!((u.inverse_cdf(0.25) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_table_values_are_monotone() {
+        for dist in [
+            Distribution::Normal { mean: 100.0, std_dev: 15.0 },
+            Distribution::Exponential { rate: 0.1 },
+        ] {
+            let t = CdfTable::from_distribution(&dist, 10);
+            assert_eq!(t.len(), 1024);
+            for w in t.values().windows(2) {
+                assert!(w[0] <= w[1], "CDF table not monotone: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_table_sample_mean_matches_distribution() {
+        let dist = Distribution::Normal { mean: 500.0, std_dev: 20.0 };
+        let t = CdfTable::from_distribution(&dist, 12);
+        let mean: f64 = (0..t.len() as u64).map(|u| t.lookup(u)).sum::<f64>() / t.len() as f64;
+        assert!((mean - 500.0).abs() < 0.5, "tabulated mean {mean}");
+    }
+
+    #[test]
+    fn cdf_table_masks_out_of_range_index() {
+        let t = CdfTable::from_distribution(&Distribution::Uniform { lo: 0.0, hi: 1.0 }, 4);
+        assert_eq!(t.lookup(16), t.lookup(0));
+        assert_eq!(t.lookup(31), t.lookup(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "table bits out of range")]
+    fn cdf_table_rejects_zero_bits() {
+        CdfTable::from_distribution(&Distribution::Exponential { rate: 1.0 }, 0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+}

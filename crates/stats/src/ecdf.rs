@@ -1,0 +1,113 @@
+//! Empirical cumulative distribution functions and the Kolmogorov–Smirnov
+//! statistic.
+//!
+//! Fig. 13 of the paper argues visually (Q-Q plots) that the switch's
+//! inverse-transform generator matches the target distribution.  For the
+//! automated test suite we additionally need a scalar goodness-of-fit
+//! measure; the one-sample KS statistic against the analytic CDF serves that
+//! purpose.
+
+use crate::dist::Distribution;
+
+/// An empirical CDF over a sample set.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF.  Returns `None` for an empty sample set.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Some(Ecdf { sorted })
+    }
+
+    /// Evaluates the ECDF at `x`: the fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples ≤ x on the sorted data.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples are held (cannot happen by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// One-sample Kolmogorov–Smirnov statistic against an analytic
+    /// distribution: `sup_x |F_n(x) − F(x)|`.
+    ///
+    /// The supremum over a right-continuous step function is attained at the
+    /// sample points, checking both the pre- and post-jump values.
+    pub fn ks_statistic(&self, dist: &Distribution) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = dist.cdf(x);
+            let lo = i as f64 / n; // ECDF just before the jump at x
+            let hi = (i as f64 + 1.0) / n; // ECDF just after
+            d = d.max((f - lo).abs()).max((hi - f).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Ecdf::new(&[]).is_none());
+    }
+
+    #[test]
+    fn step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn duplicates_jump_together() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn ks_of_exact_quantiles_is_small() {
+        // Samples placed at the exact (i+0.5)/n quantiles of the target give
+        // KS = 0.5/n, the theoretical floor for n points.
+        let dist = Distribution::Uniform { lo: 0.0, hi: 1.0 };
+        let n = 1000;
+        let samples: Vec<f64> =
+            (0..n).map(|i| dist.inverse_cdf((i as f64 + 0.5) / n as f64)).collect();
+        let ks = Ecdf::new(&samples).unwrap().ks_statistic(&dist);
+        assert!((ks - 0.5 / n as f64).abs() < 1e-9, "ks = {ks}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_distribution() {
+        // Uniform samples tested against a normal CDF should show a large D.
+        let n = 1000;
+        let samples: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let wrong = Distribution::Normal { mean: 10.0, std_dev: 1.0 };
+        let ks = Ecdf::new(&samples).unwrap().ks_statistic(&wrong);
+        assert!(ks > 0.9, "ks = {ks}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Error metrics used in the paper's rate-control evaluation (§7.2).
+//!
+//! The paper compares HyperTester with MoonGen using three metrics computed
+//! over packet *inter-departure times* against the configured target
+//! interval: mean absolute error (MAE), mean absolute difference (MAD) and
+//! root mean squared error (RMSE).  Following common usage (and the paper's
+//! plots, where MAD tracks dispersion rather than bias):
+//!
+//! * **MAE**  = `mean(|x_i − target|)` — average deviation from the target.
+//! * **MAD**  = `mean(|x_i − mean(x)|)` — mean absolute deviation around the
+//!   sample mean, i.e. dispersion with any constant bias removed.
+//! * **RMSE** = `sqrt(mean((x_i − target)^2))` — quadratic deviation from the
+//!   target; penalizes outliers (bursts) more than MAE.
+
+/// The three rate-control error metrics of the paper, plus supporting values.
+///
+/// Construct with [`ErrorMetrics::against_target`].  All values carry the
+/// unit of the input samples (the benches use nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorMetrics {
+    /// Mean absolute error against the target value.
+    pub mae: f64,
+    /// Mean absolute deviation around the sample mean.
+    pub mad: f64,
+    /// Root mean squared error against the target value.
+    pub rmse: f64,
+    /// Sample mean (useful to read off constant bias: `mean − target`).
+    pub mean: f64,
+    /// Largest single absolute error against the target.
+    pub max_abs: f64,
+    /// Number of samples the metrics were computed over.
+    pub n: usize,
+}
+
+impl ErrorMetrics {
+    /// Computes the metrics of `samples` against a `target` value.
+    ///
+    /// Returns `None` when `samples` is empty — every metric would be
+    /// undefined, and silently returning zeros would fake a perfect result.
+    pub fn against_target(samples: &[f64], target: f64) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        let mut dev_sum = 0.0;
+        let mut max_abs: f64 = 0.0;
+        for &x in samples {
+            let e = x - target;
+            abs_sum += e.abs();
+            sq_sum += e * e;
+            dev_sum += (x - mean).abs();
+            max_abs = max_abs.max(e.abs());
+        }
+        Some(ErrorMetrics {
+            mae: abs_sum / n,
+            mad: dev_sum / n,
+            rmse: (sq_sum / n).sqrt(),
+            mean,
+            max_abs,
+            n: samples.len(),
+        })
+    }
+
+    /// Constant bias of the samples: `mean − target` (signed).
+    pub fn bias(&self, target: f64) -> f64 {
+        self.mean - target
+    }
+}
+
+/// Root mean squared deviation of `samples` around their own mean.
+///
+/// The paper reports "RMSE" for accelerator round-trip times and multicast
+/// delays (Figs. 14a, 15a) where no external target exists; there the metric
+/// is jitter around the mean, which this helper computes.
+pub fn rmse_around_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let sq = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(sq.sqrt())
+}
+
+/// Turns a monotonically increasing series of departure timestamps into
+/// inter-departure deltas — the quantity the paper's error metrics are
+/// computed over.
+///
+/// Non-monotone inputs yield negative deltas rather than panicking; callers
+/// validating simulator output assert monotonicity separately.
+pub fn inter_departure(timestamps: &[f64]) -> Vec<f64> {
+    timestamps.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(ErrorMetrics::against_target(&[], 1.0).is_none());
+        assert!(rmse_around_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn perfect_samples_have_zero_errors() {
+        let m = ErrorMetrics::against_target(&[5.0; 10], 5.0).unwrap();
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.mad, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.max_abs, 0.0);
+        assert_eq!(m.n, 10);
+    }
+
+    #[test]
+    fn constant_bias_shows_in_mae_not_mad() {
+        // Every sample exactly 2.0 above target: MAE = RMSE = 2, MAD = 0.
+        let m = ErrorMetrics::against_target(&[7.0; 100], 5.0).unwrap();
+        assert!((m.mae - 2.0).abs() < 1e-12);
+        assert!((m.rmse - 2.0).abs() < 1e-12);
+        assert_eq!(m.mad, 0.0);
+        assert!((m.bias(5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_jitter_known_values() {
+        // Samples alternating target ± 1: MAE = 1, RMSE = 1, MAD = 1.
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 4.0 } else { 6.0 }).collect();
+        let m = ErrorMetrics::against_target(&s, 5.0).unwrap();
+        assert!((m.mae - 1.0).abs() < 1e-12);
+        assert!((m.rmse - 1.0).abs() < 1e-12);
+        assert!((m.mad - 1.0).abs() < 1e-12);
+        assert!((m.max_abs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominates_mae_with_outliers() {
+        let mut s = vec![5.0; 99];
+        s.push(105.0); // one 100-off outlier
+        let m = ErrorMetrics::against_target(&s, 5.0).unwrap();
+        assert!(m.rmse > m.mae * 5.0, "rmse {} mae {}", m.rmse, m.mae);
+        assert_eq!(m.max_abs, 100.0);
+    }
+
+    #[test]
+    fn rmse_around_mean_is_population_stddev() {
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Known population stddev of this classic sample is 2.0.
+        assert!((rmse_around_mean(&s).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_departure_deltas() {
+        assert_eq!(inter_departure(&[1.0, 3.0, 6.0, 10.0]), vec![2.0, 3.0, 4.0]);
+        assert!(inter_departure(&[42.0]).is_empty());
+        assert!(inter_departure(&[]).is_empty());
+    }
+}

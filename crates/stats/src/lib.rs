@@ -1,0 +1,36 @@
+//! Statistics substrate for the HyperTester reproduction.
+//!
+//! The HyperTester paper (CoNEXT '19) quantifies rate-control accuracy with
+//! three error metrics computed over packet inter-departure times — mean
+//! absolute error (MAE), mean absolute difference (MAD) and root mean squared
+//! error (RMSE) — and validates on-ASIC random number generation with Q-Q
+//! plots against normal and exponential distributions (§7.2).  This crate
+//! provides those metrics plus the supporting numerical machinery:
+//!
+//! * [`error`] — MAE / MAD / RMSE and friends ([`ErrorMetrics`]).
+//! * [`summary`] — running summary statistics and quantiles ([`Summary`]).
+//! * [`ecdf`] — empirical CDFs and the Kolmogorov–Smirnov statistic.
+//! * [`qq`] — quantile–quantile series against a theoretical distribution.
+//! * [`dist`] — analytic CDFs / inverse CDFs (normal, exponential, uniform)
+//!   and tabulated CDFs used by the paper's inverse-transform method.
+//! * [`hist`] — fixed-bin histograms.
+//!
+//! Everything is plain `f64` math with no external dependencies, so the
+//! simulator crates can depend on it freely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod ecdf;
+pub mod error;
+pub mod hist;
+pub mod qq;
+pub mod summary;
+
+pub use dist::{CdfTable, Distribution};
+pub use ecdf::Ecdf;
+pub use error::ErrorMetrics;
+pub use hist::Histogram;
+pub use qq::{max_diagonal_deviation, qq_points, QqPoint};
+pub use summary::Summary;

@@ -1,0 +1,100 @@
+//! Quantile–quantile series, as plotted in Fig. 13 of the paper.
+//!
+//! A Q-Q plot places the sorted samples (empirical quantiles) against the
+//! theoretical quantiles of the target distribution; samples drawn faithfully
+//! from the target fall on the `y = x` diagonal.  [`qq_points`] produces the
+//! series; [`max_diagonal_deviation`] summarizes it for automated checks.
+
+use crate::dist::Distribution;
+
+/// One point of a Q-Q series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QqPoint {
+    /// Theoretical quantile of the target distribution.
+    pub theoretical: f64,
+    /// Empirical quantile (the corresponding order statistic).
+    pub empirical: f64,
+}
+
+/// Computes the Q-Q series of `samples` against `dist`.
+///
+/// Uses the Hazen plotting positions `(i + 0.5) / n`.  Returns an empty
+/// vector for empty input.
+pub fn qq_points(samples: &[f64], dist: &Distribution) -> Vec<QqPoint> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &empirical)| QqPoint {
+            theoretical: dist.inverse_cdf((i as f64 + 0.5) / n),
+            empirical,
+        })
+        .collect()
+}
+
+/// Largest absolute deviation of the Q-Q series from the diagonal,
+/// normalized by the distribution's interquartile range so the number is
+/// scale-free.  Ignores the extreme 1 % tails, where order statistics are
+/// intrinsically noisy (and where Fig. 13's plots also fan out).
+pub fn max_diagonal_deviation(points: &[QqPoint], dist: &Distribution) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let iqr = dist.inverse_cdf(0.75) - dist.inverse_cdf(0.25);
+    debug_assert!(iqr > 0.0);
+    let n = points.len();
+    let lo = n / 100;
+    let hi = n - n / 100;
+    points[lo..hi]
+        .iter()
+        .map(|p| (p.empirical - p.theoretical).abs() / iqr)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_empty_series() {
+        let d = Distribution::Uniform { lo: 0.0, hi: 1.0 };
+        assert!(qq_points(&[], &d).is_empty());
+        assert_eq!(max_diagonal_deviation(&[], &d), 0.0);
+    }
+
+    #[test]
+    fn perfect_samples_sit_on_diagonal() {
+        let d = Distribution::Exponential { rate: 0.5 };
+        let n = 2000;
+        let samples: Vec<f64> =
+            (0..n).map(|i| d.inverse_cdf((i as f64 + 0.5) / n as f64)).collect();
+        let pts = qq_points(&samples, &d);
+        assert_eq!(pts.len(), n);
+        let dev = max_diagonal_deviation(&pts, &d);
+        assert!(dev < 1e-9, "deviation {dev}");
+    }
+
+    #[test]
+    fn shifted_samples_deviate() {
+        let d = Distribution::Normal { mean: 0.0, std_dev: 1.0 };
+        let n = 1000;
+        let samples: Vec<f64> =
+            (0..n).map(|i| 2.0 + d.inverse_cdf((i as f64 + 0.5) / n as f64)).collect();
+        let dev = max_diagonal_deviation(&qq_points(&samples, &d), &d);
+        // Shift of 2 against an IQR of ~1.349 → deviation ≈ 1.48.
+        assert!(dev > 1.0, "deviation {dev}");
+    }
+
+    #[test]
+    fn series_is_sorted_in_both_coordinates() {
+        let d = Distribution::Uniform { lo: 0.0, hi: 10.0 };
+        let samples = [3.0, 9.0, 1.0, 7.0, 5.0];
+        let pts = qq_points(&samples, &d);
+        for w in pts.windows(2) {
+            assert!(w[0].theoretical <= w[1].theoretical);
+            assert!(w[0].empirical <= w[1].empirical);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Summary statistics and quantiles.
+
+/// Summary statistics over a sample set, computed in one pass plus a sort
+/// for quantiles.
+///
+/// Used throughout the benches to report mean/stddev/min/max alongside the
+/// paper's error metrics, and by the delay-testing case study (Fig. 18) to
+/// report measured forwarding-delay distributions.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    var: f64,
+}
+
+impl Summary {
+    /// Builds a summary from samples.  Returns `None` for an empty input.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Some(Summary { sorted, mean, var })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the summary holds no samples (never — construction rejects
+    /// empty input — but provided for API completeness alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Linearly interpolated quantile, `q` in `[0, 1]`.
+    ///
+    /// Uses the common "type 7" (R default) definition: the quantile of the
+    /// order statistics at rank `q · (n − 1)` with linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The sorted samples (ascending).
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::new(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::new(&[3.5]).unwrap();
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::new(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let s = Summary::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        // Rank 0.25·3 = 0.75 → between 1.0 and 2.0 at 75 %.
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let s = Summary::new(&[1.0, 2.0]).unwrap();
+        assert_eq!(s.quantile(-3.0), 1.0);
+        assert_eq!(s.quantile(7.0), 2.0);
+    }
+
+    #[test]
+    fn sorted_is_ascending() {
+        let s = Summary::new(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.sorted(), &[1.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the statistics substrate.
+
+use ht_stats::dist::norm_inv;
+use ht_stats::{CdfTable, Distribution, Ecdf, ErrorMetrics, Summary};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..200)
+}
+
+proptest! {
+    /// MAE ≤ RMSE ≤ max_abs for any sample set and target (Jensen / sup).
+    #[test]
+    fn error_metric_ordering(samples in finite_samples(), target in -1e6f64..1e6f64) {
+        let m = ErrorMetrics::against_target(&samples, target).unwrap();
+        prop_assert!(m.mae <= m.rmse + 1e-9, "mae {} > rmse {}", m.mae, m.rmse);
+        prop_assert!(m.rmse <= m.max_abs + 1e-9, "rmse {} > max {}", m.rmse, m.max_abs);
+    }
+
+    /// MAD is invariant to constant shifts of both samples and target.
+    #[test]
+    fn mad_shift_invariant(samples in finite_samples(), shift in -1e5f64..1e5f64) {
+        let m1 = ErrorMetrics::against_target(&samples, 0.0).unwrap();
+        let shifted: Vec<f64> = samples.iter().map(|x| x + shift).collect();
+        let m2 = ErrorMetrics::against_target(&shifted, shift).unwrap();
+        let scale = 1.0 + m1.mad.abs();
+        prop_assert!((m1.mad - m2.mad).abs() / scale < 1e-6);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(samples in finite_samples(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let s = Summary::new(&samples).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi) + 1e-12);
+        prop_assert!(s.quantile(lo) >= s.min() - 1e-12);
+        prop_assert!(s.quantile(hi) <= s.max() + 1e-12);
+    }
+
+    /// The ECDF is a valid CDF: monotone, 0 below min, 1 at and above max.
+    #[test]
+    fn ecdf_is_monotone(samples in finite_samples(), probes in prop::collection::vec(-1e6f64..1e6f64, 2..50)) {
+        let e = Ecdf::new(&samples).unwrap();
+        let mut probes = probes;
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &p in &probes {
+            let v = e.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.eval(min - 1.0), 0.0);
+        prop_assert_eq!(e.eval(max), 1.0);
+    }
+
+    /// inverse_cdf and cdf are mutual inverses for all three distributions.
+    #[test]
+    fn cdf_inverse_round_trip(p in 0.001f64..0.999, mean in -100.0f64..100.0,
+                              sd in 0.1f64..50.0, rate in 0.01f64..10.0) {
+        for dist in [
+            Distribution::Normal { mean, std_dev: sd },
+            Distribution::Exponential { rate },
+            Distribution::Uniform { lo: mean, hi: mean + sd },
+        ] {
+            let x = dist.inverse_cdf(p);
+            prop_assert!((dist.cdf(x) - p).abs() < 1e-5, "{dist:?} p={p} x={x}");
+        }
+    }
+
+    /// norm_inv is strictly monotone.
+    #[test]
+    fn norm_inv_monotone(p1 in 0.0001f64..0.9999, p2 in 0.0001f64..0.9999) {
+        prop_assume!((p1 - p2).abs() > 1e-9);
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(norm_inv(lo) < norm_inv(hi));
+    }
+
+    /// CDF tables are monotone and bounded by the distribution's extreme
+    /// tabulated quantiles for any distribution and size.
+    #[test]
+    fn cdf_table_monotone(bits in 1u32..12, rate in 0.01f64..10.0) {
+        let dist = Distribution::Exponential { rate };
+        let t = CdfTable::from_distribution(&dist, bits);
+        for w in t.values().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(t.lookup(0) >= 0.0);
+    }
+}

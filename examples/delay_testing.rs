@@ -1,0 +1,95 @@
+//! Delay testing (§7.5, Fig. 18): measure a device's forwarding delay with
+//! different timestamping paths and compare their accuracy.
+//!
+//! The DUT has a *known* forwarding delay, so we can quantify each
+//! method's measurement error directly:
+//! * hardware timestamps (MAC/NIC) — the reference;
+//! * HyperTester's P4-pipeline timestamps — a small constant off;
+//! * MoonGen's CPU timestamps — microseconds off ("deviates … by over 3×").
+//!
+//! Run with: `cargo run --release --example delay_testing`
+
+use hypertester::asic::time::{ms, to_ns_f64};
+use hypertester::asic::{Switch, World};
+use hypertester::baseline::ratectl::{timestamp_error, TimestampMode};
+use hypertester::core::{build, TesterConfig};
+use hypertester::cpu::SwitchCpu;
+use hypertester::dut::{Forwarder, Sink};
+use hypertester::ntapi::{compile, parse};
+use ht_packet::wire::gbps;
+use ht_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The DUT forwards port 0 → port 1 with a 600 ns pipeline delay.
+    const DUT_DELAY_NS: f64 = 600.0;
+
+    let src = r#"
+T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7, 7])
+    .set([pkt_len, interval], [128, 10us])
+"#;
+    let task = compile(&parse(src).expect("parse")).expect("compile");
+    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).expect("build");
+    tester.switch.trace.tx = true; // record hardware departure stamps
+    let templates = tester.template_copies(0, 8);
+
+    let mut world = World::new(1);
+    let sw = world.add_device(Box::new(tester.switch));
+    let dut = world.add_device(Box::new(
+        Forwarder::new("dut", 600_000).route(0, 1, gbps(100)),
+    ));
+    let sink = world.add_device(Box::new(Sink::new("probe-rx").logging_arrivals()));
+    world.connect((sw, 0), (dut, 0), 0);
+    world.connect((dut, 1), (sink, 0), 0);
+    SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
+    world.run_until(ms(10));
+
+    // Pair up departures (tester MAC) with arrivals (after the DUT).
+    let sw_ref: &Switch = world.device(sw);
+    let tx: Vec<u64> = sw_ref.log.tx.iter().map(|r| r.at).collect();
+    let rx = &world.device::<Sink>(sink).arrivals[&0];
+    let n = tx.len().min(rx.len());
+    assert!(n > 500, "need probes, got {n}");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut series: Vec<(&str, TimestampMode, Vec<f64>)> = vec![
+        ("HW timestamps (HT-HW / MG-HW)", TimestampMode::Hardware, vec![]),
+        ("HyperTester-SW (P4 pipeline)", TimestampMode::HyperTesterPipeline, vec![]),
+        ("MoonGen-SW (CPU)", TimestampMode::MoonGenCpu, vec![]),
+    ];
+    for i in 0..n {
+        // True one-way delay from the MAC to the far side of the DUT; each
+        // method perturbs both endpoints with its timestamping error.
+        let truth = rx[i].saturating_sub(tx[i]);
+        for (_, mode, out) in series.iter_mut() {
+            let d = truth + timestamp_error(*mode, &mut rng) + timestamp_error(*mode, &mut rng);
+            out.push(to_ns_f64(d));
+        }
+    }
+
+    // The wire-level truth includes the DUT's serialization of the 128-byte
+    // frame, so the reference is a bit above the configured pipeline delay.
+    let truth_ns = Summary::new(
+        &(0..n).map(|i| to_ns_f64(rx[i] - tx[i])).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    println!("true forwarding delay: mean {:.0} ns (DUT pipeline {DUT_DELAY_NS} ns + wire)", truth_ns.mean());
+    println!();
+    println!("{:<32} {:>10} {:>10} {:>10}", "method", "mean ns", "p50 ns", "stddev");
+    let mut means = Vec::new();
+    for (label, _, samples) in &series {
+        let s = Summary::new(samples).unwrap();
+        println!("{label:<32} {:>10.0} {:>10.0} {:>10.1}", s.mean(), s.median(), s.stddev());
+        means.push(s.mean());
+    }
+
+    let hw_excess = means[0] - truth_ns.mean();
+    let mg_excess = means[2] - truth_ns.mean();
+    println!();
+    println!("measurement inflation: HW +{hw_excess:.0} ns, MoonGen-SW +{mg_excess:.0} ns");
+    assert!(means[0] < means[1] && means[1] < means[2], "Fig. 18 ordering violated");
+    assert!(mg_excess > 3.0 * (hw_excess + (means[1] - truth_ns.mean())),
+            "MoonGen-SW must deviate by over 3x (Fig. 18)");
+    println!("OK: smaller measured delay = better accuracy; MoonGen-SW off by >3x");
+}

@@ -1,0 +1,58 @@
+//! Packet-loss measurement — one of the paper's motivating operator tasks
+//! (§1: "network operators can use network testers for measurement of
+//! latency or packet loss").
+//!
+//! The task counts on both sides of a lossy device: a sent-traffic query at
+//! egress and a received-traffic query at ingress.  Their difference *is*
+//! the loss — no sampling, no estimation — and it must match the fault
+//! injector's ground truth exactly (up to in-flight packets).
+//!
+//! Run with: `cargo run --release --example loss_measurement`
+
+use hypertester::asic::time::ms;
+use hypertester::asic::{Switch, World};
+use hypertester::core::{build, global_value, TesterConfig};
+use hypertester::cpu::SwitchCpu;
+use hypertester::dut::Forwarder;
+use hypertester::ntapi::{compile, parse};
+use ht_packet::wire::gbps;
+
+fn main() {
+    let src = r#"
+T1 = trigger().set([dip, sip, proto, dport, sport], [10.3.0.2, 10.3.0.1, udp, 5, 5])
+    .set([pkt_len, interval], [128, 2us])
+Q1 = query(T1).reduce(func=count)
+Q2 = query().reduce(func=count)
+"#;
+    let task = compile(&parse(src).expect("parse")).expect("compile");
+    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).expect("build");
+    let templates = tester.template_copies(0, 8);
+
+    // Tester → (lossy link, 2% drops) → DUT → (clean link) → tester.
+    let mut world = World::new(2024);
+    let sw = world.add_device(Box::new(tester.switch));
+    let dut = world.add_device(Box::new(Forwarder::new("dut", 500_000).route(0, 1, gbps(100))));
+    world.connect_faulty((sw, 0), (dut, 0), 0, 0.02, 0.0);
+    world.connect((dut, 1), (sw, 1), 0);
+    SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
+    world.run_until(ms(100));
+
+    let sw_ref: &Switch = world.device(sw);
+    let sent = global_value(sw_ref, &tester.handles.queries["Q1"]);
+    let received = global_value(sw_ref, &tester.handles.queries["Q2"]);
+    let measured_loss = sent - received;
+    let true_drops = world.stats.link_drops;
+
+    println!("sent (Q1)          : {sent}");
+    println!("received (Q2)      : {received}");
+    println!("measured loss      : {measured_loss} ({:.3}%)", 100.0 * measured_loss as f64 / sent as f64);
+    println!("injected drops     : {true_drops}");
+
+    assert!(sent > 40_000, "sent {sent}");
+    // Exact up to packets in flight at the cutoff.
+    let in_flight = measured_loss.abs_diff(true_drops);
+    assert!(in_flight <= 3, "loss {measured_loss} vs drops {true_drops}");
+    let rate = measured_loss as f64 / sent as f64;
+    assert!((rate - 0.02).abs() < 0.005, "loss rate {rate}");
+    println!("OK: measured loss equals injected drops (±in-flight)");
+}

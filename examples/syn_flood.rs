@@ -1,0 +1,78 @@
+//! SYN-flood attack emulation (§2.3, §7.5, Table 8): generate 64-byte SYN
+//! packets with randomized sources across four 100 Gbps ports and estimate
+//! how many distributed attack agents the tester impersonates.
+//!
+//! Run with: `cargo run --release --example syn_flood`
+
+use hypertester::asic::time::ms;
+use hypertester::asic::World;
+use hypertester::core::{build, TesterConfig};
+use hypertester::cpu::SwitchCpu;
+use hypertester::dut::Sink;
+use hypertester::ntapi::{compile, parse};
+use ht_packet::wire::gbps;
+
+/// One distributed agent is assumed to source 1 Mbps of SYN traffic
+/// (the paper's assumption, from A10's DDoS testing white paper).
+const AGENT_BPS: f64 = 1e6;
+
+fn main() {
+    let src = r#"
+T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 8192])
+    .set(pkt_len, 64)
+    .set(sip, random(uniform, 16777216, 33554432, 24))
+    .set(sport, range(1024, 65535, 1))
+    .set(port, [0, 1, 2, 3])
+"#;
+    let task = compile(&parse(src).expect("parse")).expect("compile");
+    let mut tester = build(&task, &TesterConfig::with_ports(4, gbps(100))).expect("build");
+    let copies = tester.copies_for_line_rate(0, gbps(100));
+    let templates = tester.template_copies(0, copies);
+
+    let mut world = World::new(1);
+    let sw = world.add_device(Box::new(tester.switch));
+    let victim = world.add_device(Box::new(
+        Sink::new("victim").capturing(vec![
+            hypertester::asic::fields::IPV4_SRC,
+            hypertester::asic::fields::TCP_FLAGS,
+        ]),
+    ));
+    for p in 0..4 {
+        world.connect((sw, p), (victim, p), 0);
+    }
+    SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
+
+    // Warm-up (injection ramp), then a 1 ms measurement window.
+    world.run_until(ms(1));
+    world.device_mut::<Sink>(victim).reset();
+    world.run_until(ms(2));
+
+    let v: &Sink = world.device(victim);
+    let total_pps: f64 = (0..4).map(|p| v.ports[&p].pps()).sum();
+    let total_gbps: f64 =
+        (0..4).map(|p| v.ports[&p].l2_bps()).sum::<f64>() / 1e9;
+    let l1_gbps = total_pps * (64.0 + 20.0) * 8.0 / 1e9;
+    let agents = l1_gbps * 1e9 / AGENT_BPS;
+
+    // Every packet is a SYN; sources are spread by the randomizer.
+    let all_syn = v.captured.iter().all(|(_, _, f)| f[1] == 0x02);
+    let distinct_sources: std::collections::HashSet<u64> =
+        v.captured.iter().map(|(_, _, f)| f[0]).collect();
+
+    println!("SYN flood over 4 × 100 Gbps (1 ms window):");
+    println!("  SYN rate            : {:.0} Mpps ({total_gbps:.0} Gbps L2, {l1_gbps:.0} Gbps L1)", total_pps / 1e6);
+    println!("  emulated agents     : {:.2e} (at 1 Mbps per agent)", agents);
+    println!("  all packets are SYN : {all_syn}");
+    println!("  distinct source IPs : {}", distinct_sources.len());
+    println!();
+    println!("Table 8 extrapolation to a 6.5 Tbps switch at 80% load:");
+    let est_tbps = 6.5 * 0.8;
+    let est_pps = est_tbps * 1e12 / ((64.0 + 20.0) * 8.0);
+    println!("  throughput: {est_tbps:.1} Tbps, SYN packets: {:.0} Mpps, agents: {:.1e}",
+             est_pps / 1e6, est_tbps * 1e12 / AGENT_BPS);
+
+    assert!(total_pps > 590e6, "expected ≈595 Mpps, got {total_pps}");
+    assert!(all_syn);
+    assert!(distinct_sources.len() > 1000);
+    println!("OK: 4-port line-rate SYN flood with randomized sources");
+}

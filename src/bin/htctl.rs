@@ -1,0 +1,201 @@
+//! `htctl` — the HyperTester command line.
+//!
+//! ```text
+//! htctl compile <task.nt>                 validate a task; print the summary
+//! htctl p4 <task.nt>                      emit the generated P4 program
+//! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
+//! htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]
+//!                                         run against a sink testbed and
+//!                                         print throughput + query results
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace keeps its dependency set
+//! to the simulation essentials).
+
+use hypertester::asic::time::ms;
+use hypertester::asic::{Switch, World};
+use hypertester::core::{build, query_result, QueryResult, TesterConfig};
+use hypertester::cpu::SwitchCpu;
+use hypertester::dut::Sink;
+use hypertester::ntapi::{codegen, compile, loc, parse, CompiledTask};
+use ht_packet::wire::gbps;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  htctl compile <task.nt>\n  htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
+         htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<(String, CompiledTask), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let task = compile(&prog).map_err(|e| format!("task rejected: {e}"))?;
+    Ok((src, task))
+}
+
+fn cmd_compile(path: &str) -> Result<(), String> {
+    let (_, task) = load(path)?;
+    println!("task OK: {} trigger(s), {} quer(ies)", task.templates.len(), task.queries.len());
+    for t in &task.templates {
+        let kind = match (&t.source_query, t.interval, &t.interval_dist) {
+            (Some(q), _, _) => format!("stateless (fires on {q})"),
+            (None, Some(iv), _) => format!("interval {} ns", iv / 1000),
+            (None, None, Some(_)) => "random interval".into(),
+            (None, None, None) => "line rate".into(),
+        };
+        println!(
+            "  template {:>2} {:<4} {:>5} B, ports {:?}, {} edit(s), {kind}",
+            t.id,
+            t.trigger_name,
+            t.frame_len,
+            t.ports,
+            t.edits.len()
+        );
+    }
+    for q in &task.queries {
+        let fp = q
+            .fp
+            .as_ref()
+            .map(|f| format!(", {} exact-match entries over {} keys", f.entries.len(), f.space_size))
+            .unwrap_or_default();
+        println!("  query {:<4} {:?}{fp}", q.name, q.kind);
+    }
+    Ok(())
+}
+
+fn cmd_p4(path: &str) -> Result<(), String> {
+    let (_, task) = load(path)?;
+    print!("{}", codegen::generate_p4(&task));
+    Ok(())
+}
+
+fn cmd_loc(path: &str) -> Result<(), String> {
+    let (src, task) = load(path)?;
+    let p4 = codegen::generate_p4(&task);
+    println!("NTAPI: {} LoC", loc::count_loc(&src));
+    println!("P4   : {} LoC (generated)", loc::count_loc(&p4));
+    Ok(())
+}
+
+struct RunOpts {
+    ports: u16,
+    speed_gbps: u64,
+    duration_ms: u64,
+    copies: Option<usize>,
+}
+
+fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
+    let (_, task) = load(path)?;
+    let mut tester = build(&task, &TesterConfig::with_ports(opts.ports, gbps(opts.speed_gbps)))
+        .map_err(|e| e.to_string())?;
+    let mut templates = Vec::new();
+    for i in 0..tester.templates.len() {
+        let copies = opts
+            .copies
+            .unwrap_or_else(|| tester.copies_for_line_rate(i, gbps(opts.speed_gbps)));
+        templates.extend(tester.template_copies(i, copies));
+    }
+    println!(
+        "running {} template packet(s) on {} × {} G for {} ms…",
+        templates.len(),
+        opts.ports,
+        opts.speed_gbps,
+        opts.duration_ms
+    );
+
+    let mut world = World::new(1);
+    let sw = world.add_device(Box::new(tester.switch));
+    let sink = world.add_device(Box::new(Sink::new("sink")));
+    for p in 0..opts.ports {
+        world.connect((sw, p), (sink, p), 0);
+    }
+    SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
+    world.run_until(ms(opts.duration_ms));
+
+    let s: &Sink = world.device(sink);
+    println!("\nper-port throughput:");
+    for p in 0..opts.ports {
+        if let Some(st) = s.ports.get(&p) {
+            println!(
+                "  port {p}: {:>10} frames, {:>8.2} Mpps, {:>7.2} Gbps L2",
+                st.frames,
+                st.pps() / 1e6,
+                st.l2_bps() / 1e9
+            );
+        } else {
+            println!("  port {p}: idle");
+        }
+    }
+
+    let sw_ref: &Switch = world.device(sw);
+    if !tester.handles.queries.is_empty() {
+        println!("\nquery results:");
+        let mut names: Vec<&String> = tester.handles.queries.keys().collect();
+        names.sort();
+        for name in names {
+            let h = &tester.handles.queries[name];
+            match query_result(sw_ref, h, None) {
+                QueryResult::Global(v) => println!("  {name}: {v}"),
+                QueryResult::Distinct(d) => println!("  {name}: {d} distinct keys"),
+                QueryResult::Keyed(m) => println!("  {name}: {} keys", m.len()),
+            }
+        }
+    }
+    println!(
+        "\nswitch counters: rx {} tx {} recirc {} drops {}/{}",
+        sw_ref.counters.rx_frames,
+        sw_ref.counters.tx_frames,
+        sw_ref.counters.recirculations,
+        sw_ref.counters.ingress_drops,
+        sw_ref.counters.egress_drops
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+
+    let result = match cmd {
+        "compile" => cmd_compile(path),
+        "p4" => cmd_p4(path),
+        "loc" => cmd_loc(path),
+        "run" => {
+            let mut opts =
+                RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None };
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                let val = it.next().map(String::as_str);
+                let parsed: Option<u64> = val.and_then(|v| v.parse().ok());
+                match (flag.as_str(), parsed) {
+                    ("--ports", Some(v)) => opts.ports = v as u16,
+                    ("--speed", Some(v)) => opts.speed_gbps = v,
+                    ("--duration", Some(v)) => opts.duration_ms = v,
+                    ("--copies", Some(v)) => opts.copies = Some(v as usize),
+                    _ => {
+                        eprintln!("bad flag/value: {flag} {val:?}");
+                        return usage();
+                    }
+                }
+            }
+            cmd_run(path, opts)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # HyperTester — high-performance network testing on a simulated
+//! # programmable switch
+//!
+//! This is the facade crate of the workspace: it re-exports every subsystem
+//! of the HyperTester reproduction (CoNEXT '19) and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use ht_asic as asic;
+pub use ht_baseline as baseline;
+pub use ht_core as core;
+pub use ht_cpu as cpu;
+pub use ht_dut as dut;
+pub use ht_ntapi as ntapi;
+pub use ht_packet as packet;
+pub use ht_stats as stats;
+
+/// Convenience prelude bringing the most common types of the public API into
+/// scope: `use hypertester::prelude::*;`.
+pub mod prelude {
+    pub use ht_core::prelude::*;
+    pub use ht_ntapi::prelude::*;
+}

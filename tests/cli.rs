@@ -1,0 +1,87 @@
+//! Smoke tests for the `htctl` command line.
+
+use std::process::Command;
+
+fn htctl(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_htctl"))
+        .args(args)
+        .output()
+        .expect("spawn htctl");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn task_path(name: &str) -> String {
+    format!("{}/tasks/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn compile_reports_task_structure() {
+    let (stdout, _, ok) = htctl(&["compile", &task_path("syn_flood.nt")]);
+    assert!(ok);
+    assert!(stdout.contains("task OK: 1 trigger(s), 0 quer(ies)"), "{stdout}");
+    assert!(stdout.contains("ports [0, 1, 2, 3]"));
+    assert!(stdout.contains("2 edit(s)"));
+}
+
+#[test]
+fn compile_scan_shows_fp_precompute() {
+    let (stdout, _, ok) = htctl(&["compile", &task_path("scan.nt")]);
+    assert!(ok);
+    assert!(stdout.contains("exact-match entries"), "{stdout}");
+}
+
+#[test]
+fn p4_emits_a_program() {
+    let (stdout, _, ok) = htctl(&["p4", &task_path("throughput.nt")]);
+    assert!(ok);
+    assert!(stdout.contains("control ingress"));
+    assert!(stdout.contains("table accelerator"));
+}
+
+#[test]
+fn loc_counts_both_sides() {
+    let (stdout, _, ok) = htctl(&["loc", &task_path("throughput.nt")]);
+    assert!(ok);
+    assert!(stdout.contains("NTAPI:"));
+    assert!(stdout.contains("P4   :"));
+}
+
+#[test]
+fn run_prints_throughput_and_queries() {
+    let (stdout, _, ok) =
+        htctl(&["run", &task_path("throughput.nt"), "--duration", "1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("per-port throughput"));
+    assert!(stdout.contains("query results"));
+    assert!(stdout.contains("Q1:"));
+}
+
+#[test]
+fn rejected_task_exits_nonzero_with_message() {
+    let dir = std::env::temp_dir().join("htctl-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.nt");
+    std::fs::write(&bad, "T1 = trigger().set(dport, 99999)").unwrap();
+    let (_, stderr, ok) = htctl(&["compile", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("task rejected"), "{stderr}");
+    assert!(stderr.contains("99999"));
+}
+
+#[test]
+fn missing_args_show_usage() {
+    let (_, stderr, ok) = htctl(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn unreadable_file_is_an_error() {
+    let (_, stderr, ok) = htctl(&["compile", "/nonexistent/task.nt"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+}
