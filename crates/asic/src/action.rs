@@ -259,8 +259,14 @@ mod tests {
         (FieldTable::new(), RegisterFile::new(), StdRng::seed_from_u64(7), Vec::new())
     }
 
-    fn run(action: &ActionSet, phv: &mut Phv, t: &FieldTable, rf: &mut RegisterFile,
-           rng: &mut StdRng, dg: &mut Vec<DigestRecord>) {
+    fn run(
+        action: &ActionSet,
+        phv: &mut Phv,
+        t: &FieldTable,
+        rf: &mut RegisterFile,
+        rng: &mut StdRng,
+        dg: &mut Vec<DigestRecord>,
+    ) {
         let mut ctx = ExecCtx { table: t, regs: rf, rng, digests: dg, now: 42 };
         execute(action, phv, &mut ctx);
     }
@@ -270,7 +276,10 @@ mod tests {
         let (t, mut rf, mut rng, mut dg) = ctx_parts();
         let mut phv = t.new_phv();
         phv.set(&t, fields::TCP_SPORT, 0xffff);
-        let a = ActionSet::new("wrap", vec![PrimitiveOp::AddConst { dst: fields::TCP_SPORT, value: 1 }]);
+        let a = ActionSet::new(
+            "wrap",
+            vec![PrimitiveOp::AddConst { dst: fields::TCP_SPORT, value: 1 }],
+        );
         run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
         assert_eq!(phv.get(fields::TCP_SPORT), 0); // wrapped at 16 bits
     }
@@ -281,11 +290,14 @@ mod tests {
         let mut phv = t.new_phv();
         phv.set(&t, fields::TCP_SEQ, 100);
         phv.set(&t, fields::TCP_ACK, 30);
-        let a = ActionSet::new("mix", vec![
-            PrimitiveOp::CopyField { dst: fields::TCP_WINDOW, src: fields::TCP_ACK },
-            PrimitiveOp::AddField { dst: fields::TCP_SEQ, src: fields::TCP_ACK },
-            PrimitiveOp::SubField { dst: fields::TCP_ACK, src: fields::TCP_WINDOW },
-        ]);
+        let a = ActionSet::new(
+            "mix",
+            vec![
+                PrimitiveOp::CopyField { dst: fields::TCP_WINDOW, src: fields::TCP_ACK },
+                PrimitiveOp::AddField { dst: fields::TCP_SEQ, src: fields::TCP_ACK },
+                PrimitiveOp::SubField { dst: fields::TCP_ACK, src: fields::TCP_WINDOW },
+            ],
+        );
         run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
         assert_eq!(phv.get(fields::TCP_WINDOW), 30);
         assert_eq!(phv.get(fields::TCP_SEQ), 130);
@@ -296,9 +308,10 @@ mod tests {
     fn rng_uniform_respects_power_of_two_bound_and_offset() {
         let (t, mut rf, mut rng, mut dg) = ctx_parts();
         let mut phv = t.new_phv();
-        let a = ActionSet::new("rng", vec![PrimitiveOp::RngUniform {
-            dst: fields::TCP_DPORT, bits: 4, offset: 1000,
-        }]);
+        let a = ActionSet::new(
+            "rng",
+            vec![PrimitiveOp::RngUniform { dst: fields::TCP_DPORT, bits: 4, offset: 1000 }],
+        );
         for _ in 0..200 {
             run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
             let v = phv.get(fields::TCP_DPORT);
@@ -310,11 +323,14 @@ mod tests {
     fn metadata_ops_set_intrinsic_fields() {
         let (t, mut rf, mut rng, mut dg) = ctx_parts();
         let mut phv = t.new_phv();
-        let a = ActionSet::new("meta", vec![
-            PrimitiveOp::SetEgressPort(7),
-            PrimitiveOp::SetMcastGroup(3),
-            PrimitiveOp::Recirculate,
-        ]);
+        let a = ActionSet::new(
+            "meta",
+            vec![
+                PrimitiveOp::SetEgressPort(7),
+                PrimitiveOp::SetMcastGroup(3),
+                PrimitiveOp::Recirculate,
+            ],
+        );
         run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
         assert_eq!(phv.get(fields::EG_PORT), 7);
         assert_eq!(phv.get(fields::MCAST_GRP), 3);
@@ -328,10 +344,13 @@ mod tests {
         let mut phv = t.new_phv();
         phv.set(&t, fields::IPV4_SRC, 0x0a000001);
         phv.set(&t, fields::TCP_SPORT, 99);
-        let a = ActionSet::new("dig", vec![PrimitiveOp::Digest {
-            id: DigestId(2),
-            fields: vec![fields::IPV4_SRC, fields::TCP_SPORT],
-        }]);
+        let a = ActionSet::new(
+            "dig",
+            vec![PrimitiveOp::Digest {
+                id: DigestId(2),
+                fields: vec![fields::IPV4_SRC, fields::TCP_SPORT],
+            }],
+        );
         run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
         assert_eq!(dg.len(), 1);
         assert_eq!(dg[0].id, DigestId(2));
@@ -344,10 +363,15 @@ mod tests {
         let (t, mut rf, mut rng, mut dg) = ctx_parts();
         let mut phv = t.new_phv();
         phv.set(&t, fields::IPV4_SRC, 1234);
-        let a = ActionSet::new("h", vec![PrimitiveOp::Hash {
-            dst: fields::TCP_SPORT, algo: HashAlgo::Crc32,
-            fields: vec![fields::IPV4_SRC], mask_bits: 8,
-        }]);
+        let a = ActionSet::new(
+            "h",
+            vec![PrimitiveOp::Hash {
+                dst: fields::TCP_SPORT,
+                algo: HashAlgo::Crc32,
+                fields: vec![fields::IPV4_SRC],
+                mask_bits: 8,
+            }],
+        );
         run(&a, &mut phv, &t, &mut rf, &mut rng, &mut dg);
         let v1 = phv.get(fields::TCP_SPORT);
         assert!(v1 < 256);

@@ -10,7 +10,7 @@
 //! byte buffer from the PHV and refreshes the IPv4/TCP/UDP checksums, the
 //! job of the hardware deparser's checksum engines.
 
-use crate::phv::{fields, FieldTable, Phv};
+use crate::phv::{fields, FieldId, FieldTable, Phv};
 use ht_packet::ethernet::{EtherType, Frame};
 use ht_packet::ipv4::Protocol;
 use ht_packet::tcp::TcpFlags;
@@ -132,6 +132,114 @@ pub fn deparse(_table: &FieldTable, phv: &Phv, bytes: &mut [u8]) {
     }
 }
 
+/// Maximum parse-graph depth a Tofino-like parser sustains at line rate:
+/// the TCAM-driven parser advances one state per cycle and has a bounded
+/// number of cycles per packet.
+pub const PARSER_MAX_DEPTH: usize = 12;
+
+/// One state of a parse graph: the header it extracts (as the PHV fields it
+/// writes) and the states it can transition to.
+#[derive(Debug, Clone)]
+pub struct ParseState {
+    /// State name, for diagnostics.
+    pub name: String,
+    /// PHV fields this state extracts.
+    pub writes: Vec<FieldId>,
+    /// Indices of successor states.  Empty = accept.
+    pub transitions: Vec<usize>,
+}
+
+/// A declarative model of the parser's state graph, for static analysis.
+///
+/// The executable [`parse`] above is the fixed Ethernet → IPv4 → {TCP, UDP}
+/// chain; [`ParseGraph::standard`] describes exactly that chain so the
+/// verifier checks what actually runs.  Tests construct malformed graphs
+/// (cycles, unreachable states, over-deep chains) directly.
+#[derive(Debug, Clone)]
+pub struct ParseGraph {
+    /// States; index 0 conventionally being the start is *not* assumed —
+    /// `start` names it explicitly.
+    pub states: Vec<ParseState>,
+    /// Index of the start state.
+    pub start: usize,
+    /// Depth bound the target imposes (states visited per packet).
+    pub max_depth: usize,
+}
+
+impl ParseGraph {
+    /// The graph [`parse`] implements.
+    pub fn standard() -> Self {
+        let ethernet = ParseState {
+            name: "ethernet".into(),
+            writes: vec![fields::ETH_DST, fields::ETH_SRC, fields::ETH_TYPE, fields::PKT_LEN],
+            transitions: vec![1],
+        };
+        let ipv4 = ParseState {
+            name: "ipv4".into(),
+            writes: vec![
+                fields::IPV4_VALID,
+                fields::IPV4_TOTAL_LEN,
+                fields::IPV4_IDENT,
+                fields::IPV4_TTL,
+                fields::IPV4_PROTO,
+                fields::IPV4_SRC,
+                fields::IPV4_DST,
+            ],
+            transitions: vec![2, 3],
+        };
+        let tcp = ParseState {
+            name: "tcp".into(),
+            writes: vec![
+                fields::TCP_VALID,
+                fields::TCP_SPORT,
+                fields::TCP_DPORT,
+                fields::TCP_SEQ,
+                fields::TCP_ACK,
+                fields::TCP_FLAGS,
+                fields::TCP_WINDOW,
+            ],
+            transitions: vec![],
+        };
+        let udp = ParseState {
+            name: "udp".into(),
+            writes: vec![fields::UDP_VALID, fields::UDP_SPORT, fields::UDP_DPORT],
+            transitions: vec![],
+        };
+        ParseGraph { states: vec![ethernet, ipv4, tcp, udp], start: 0, max_depth: PARSER_MAX_DEPTH }
+    }
+
+    /// Which states are reachable from the start state.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.start];
+        while let Some(s) = stack.pop() {
+            if s >= self.states.len() || seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            stack.extend(self.states[s].transitions.iter().copied());
+        }
+        seen
+    }
+
+    /// Every PHV field some reachable state can extract — the def-use
+    /// pass's "provided by the parser" set.
+    pub fn provided_fields(&self) -> Vec<FieldId> {
+        let seen = self.reachable();
+        let mut out = Vec::new();
+        for (state, reached) in self.states.iter().zip(&seen) {
+            if *reached {
+                for &f in &state.writes {
+                    if !out.contains(&f) {
+                        out.push(f);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +329,20 @@ mod tests {
         let phv = parse(&t, &bytes).unwrap();
         deparse(&t, &phv, &mut bytes);
         assert_eq!(orig, bytes);
+    }
+
+    #[test]
+    fn standard_graph_is_fully_reachable_and_acyclic() {
+        let g = ParseGraph::standard();
+        assert!(g.reachable().iter().all(|&r| r));
+        assert!(g.max_depth >= g.states.len());
+    }
+
+    #[test]
+    fn standard_graph_provides_the_parsed_fields() {
+        let provided = ParseGraph::standard().provided_fields();
+        for f in [fields::ETH_TYPE, fields::IPV4_SRC, fields::TCP_FLAGS, fields::UDP_DPORT] {
+            assert!(provided.contains(&f));
+        }
     }
 }

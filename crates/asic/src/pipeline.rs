@@ -12,7 +12,8 @@
 //! [`crate::resources::ResourceUsage`] accounts for that lowering (Table 7).
 
 use crate::action::{execute, ActionSet, ExecCtx};
-use crate::phv::Phv;
+use crate::phv::{FieldId, Phv};
+use crate::register::RegId;
 use crate::resources::ResourceUsage;
 use crate::table::Table;
 
@@ -26,6 +27,29 @@ pub trait Extern: std::fmt::Debug {
 
     /// Resources the lowered implementation would consume.
     fn resources(&self) -> ResourceUsage;
+
+    /// PHV fields the component requires to be populated by earlier
+    /// pipeline components (or the parser).  Purely internal scratch fields
+    /// written and read within one execution are *not* listed.
+    ///
+    /// Declared for static analysis (`ht-lint`'s def-use pass); the default
+    /// declares nothing.
+    fn reads(&self) -> Vec<FieldId> {
+        Vec::new()
+    }
+
+    /// PHV fields the component provides to later pipeline components.
+    /// Internal scratch fields are not listed.
+    fn writes(&self) -> Vec<FieldId> {
+        Vec::new()
+    }
+
+    /// Register arrays the lowered implementation accesses.  Used by the
+    /// SALU-discipline pass to detect arrays shared between an extern and
+    /// ordinary table SALU ops.
+    fn registers(&self) -> Vec<RegId> {
+        Vec::new()
+    }
 }
 
 /// One pipeline stage: its tables run in declaration order, then its
@@ -163,22 +187,38 @@ mod tests {
         let mut pipe = Pipeline::new();
 
         // Stage 0: set tcp.sport = 7 for every packet.
-        let t0 = Table::new("s0", MatchKind::Exact, vec![fields::IPV4_DST], 4,
-            ActionSet::new("init", vec![PrimitiveOp::SetConst { dst: fields::TCP_SPORT, value: 7 }]));
+        let t0 = Table::new(
+            "s0",
+            MatchKind::Exact,
+            vec![fields::IPV4_DST],
+            4,
+            ActionSet::new(
+                "init",
+                vec![PrimitiveOp::SetConst { dst: fields::TCP_SPORT, value: 7 }],
+            ),
+        );
         pipe.push_table(t0);
 
         // Stage 1: match on the value stage 0 just wrote.
-        let mut t1 = Table::new("s1", MatchKind::Exact, vec![fields::TCP_SPORT], 4, ActionSet::nop());
-        t1.insert(MatchKey::Exact(vec![7]),
-            ActionSet::new("hit", vec![PrimitiveOp::SetConst { dst: fields::TCP_DPORT, value: 99 }]), 0)
-            .unwrap();
+        let mut t1 =
+            Table::new("s1", MatchKind::Exact, vec![fields::TCP_SPORT], 4, ActionSet::nop());
+        t1.insert(
+            MatchKey::Exact(vec![7]),
+            ActionSet::new(
+                "hit",
+                vec![PrimitiveOp::SetConst { dst: fields::TCP_DPORT, value: 99 }],
+            ),
+            0,
+        )
+        .unwrap();
         pipe.push_table(t1);
 
         let mut phv = ft.new_phv();
         let mut regs = RegisterFile::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut digests: Vec<DigestRecord> = Vec::new();
-        let mut ctx = ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
+        let mut ctx =
+            ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
         pipe.execute(&mut phv, &mut ctx);
 
         assert_eq!(phv.get(fields::TCP_SPORT), 7);
@@ -196,7 +236,13 @@ mod tests {
         let mut digests: Vec<DigestRecord> = Vec::new();
         for i in 1..=3u64 {
             let mut phv = ft.new_phv();
-            let mut ctx = ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
+            let mut ctx = ExecCtx {
+                table: &ft,
+                regs: &mut regs,
+                rng: &mut rng,
+                digests: &mut digests,
+                now: 0,
+            };
             pipe.execute(&mut phv, &mut ctx);
             assert_eq!(phv.get(fields::TCP_WINDOW), i);
         }
@@ -212,7 +258,8 @@ mod tests {
         let mut regs = RegisterFile::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut digests: Vec<DigestRecord> = Vec::new();
-        let mut ctx = ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
+        let mut ctx =
+            ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
         pipe.execute(&mut phv, &mut ctx);
         assert_eq!(phv, before);
     }

@@ -313,7 +313,6 @@ impl RegisterFile {
         let new = update.apply(old, phv, mask);
         arr.values[slot] = new;
 
-        
         match program.output {
             None => new,
             Some(out) => {

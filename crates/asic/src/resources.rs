@@ -35,14 +35,17 @@ pub struct ResourceUsage {
 }
 
 impl std::ops::AddAssign for ResourceUsage {
+    /// Saturating accumulation: usage totals are compared against hardware
+    /// capacities, so a sum pinned at `u64::MAX` still reports "over budget"
+    /// where a wrapped sum would silently report a tiny (passing) value.
     fn add_assign(&mut self, rhs: Self) {
-        self.crossbar_bits += rhs.crossbar_bits;
-        self.sram_blocks += rhs.sram_blocks;
-        self.tcam_blocks += rhs.tcam_blocks;
-        self.vliw_slots += rhs.vliw_slots;
-        self.hash_bits += rhs.hash_bits;
-        self.salus += rhs.salus;
-        self.gateways += rhs.gateways;
+        self.crossbar_bits = self.crossbar_bits.saturating_add(rhs.crossbar_bits);
+        self.sram_blocks = self.sram_blocks.saturating_add(rhs.sram_blocks);
+        self.tcam_blocks = self.tcam_blocks.saturating_add(rhs.tcam_blocks);
+        self.vliw_slots = self.vliw_slots.saturating_add(rhs.vliw_slots);
+        self.hash_bits = self.hash_bits.saturating_add(rhs.hash_bits);
+        self.salus = self.salus.saturating_add(rhs.salus);
+        self.gateways = self.gateways.saturating_add(rhs.gateways);
     }
 }
 
@@ -55,6 +58,48 @@ impl std::ops::Add for ResourceUsage {
 }
 
 impl ResourceUsage {
+    /// Per-class `self > cap` comparison, returning the names of the classes
+    /// whose usage exceeds the capacity.  Empty = fits.
+    pub fn exceeds(&self, cap: &ResourceUsage) -> Vec<&'static str> {
+        let mut over = Vec::new();
+        if self.crossbar_bits > cap.crossbar_bits {
+            over.push("crossbar_bits");
+        }
+        if self.sram_blocks > cap.sram_blocks {
+            over.push("sram_blocks");
+        }
+        if self.tcam_blocks > cap.tcam_blocks {
+            over.push("tcam_blocks");
+        }
+        if self.vliw_slots > cap.vliw_slots {
+            over.push("vliw_slots");
+        }
+        if self.hash_bits > cap.hash_bits {
+            over.push("hash_bits");
+        }
+        if self.salus > cap.salus {
+            over.push("salus");
+        }
+        if self.gateways > cap.gateways {
+            over.push("gateways");
+        }
+        over
+    }
+
+    /// The value of one class by its `exceeds` name (diagnostics).
+    pub fn class(&self, name: &str) -> u64 {
+        match name {
+            "crossbar_bits" => self.crossbar_bits,
+            "sram_blocks" => self.sram_blocks,
+            "tcam_blocks" => self.tcam_blocks,
+            "vliw_slots" => self.vliw_slots,
+            "hash_bits" => self.hash_bits,
+            "salus" => self.salus,
+            "gateways" => self.gateways,
+            _ => 0,
+        }
+    }
+
     /// Normalizes against a baseline profile, yielding per-class fractions
     /// (1.0 = the baseline's whole usage, as in Table 7's percentages).
     pub fn normalized_by(&self, base: &ResourceUsage) -> NormalizedUsage {
@@ -112,6 +157,31 @@ pub fn switch_p4_baseline() -> ResourceUsage {
         hash_bits: 32_400,
         salus: 24,
         gateways: 70,
+    }
+}
+
+/// Per-stage capacity of the Tofino-like target: what one physical
+/// match-action stage provides.  The per-pipeline totals behind
+/// [`switch_p4_baseline`] correspond to roughly twelve such stages; the
+/// per-stage granularity is what the static fitter checks, because a table
+/// that fits the whole-pipeline budget can still be unplaceable when its
+/// stage's crossbar or SALU count is exhausted.
+pub fn stage_capacity() -> ResourceUsage {
+    ResourceUsage {
+        // Exact-match (1024) plus ternary (544) crossbar input bits.
+        crossbar_bits: 1568,
+        // 80 SRAM blocks per stage (match + action + register storage).
+        sram_blocks: 80,
+        // 24 TCAM blocks per stage.
+        tcam_blocks: 24,
+        // One VLIW instruction word: 32 parallel primitive slots.
+        vliw_slots: 32,
+        // Hash-distribution bits available to a stage's hash ways.
+        hash_bits: 2700,
+        // Four stateful ALUs per stage.
+        salus: 4,
+        // Sixteen gateway (predicate) units per stage.
+        gateways: 16,
     }
 }
 
@@ -232,5 +302,62 @@ mod tests {
         assert_eq!(c.sram_blocks, 5);
         assert_eq!(c.salus, 1);
         assert_eq!(c.gateways, 1);
+    }
+
+    #[test]
+    fn usage_addition_saturates_instead_of_wrapping() {
+        let near_max = ResourceUsage {
+            crossbar_bits: u64::MAX - 1,
+            sram_blocks: u64::MAX,
+            tcam_blocks: u64::MAX - 7,
+            vliw_slots: u64::MAX,
+            hash_bits: u64::MAX - 1,
+            salus: u64::MAX,
+            gateways: u64::MAX - 2,
+        };
+        let bump = ResourceUsage {
+            crossbar_bits: 10,
+            sram_blocks: 1,
+            tcam_blocks: 100,
+            vliw_slots: u64::MAX,
+            hash_bits: 2,
+            salus: 3,
+            gateways: 2,
+        };
+        let sum = near_max + bump;
+        // Every class pins at MAX; a wrapping add would cycle to tiny
+        // values and make an oversubscribed program look nearly empty.
+        assert_eq!(sum.crossbar_bits, u64::MAX);
+        assert_eq!(sum.sram_blocks, u64::MAX);
+        assert_eq!(sum.tcam_blocks, u64::MAX);
+        assert_eq!(sum.vliw_slots, u64::MAX);
+        assert_eq!(sum.hash_bits, u64::MAX);
+        assert_eq!(sum.salus, u64::MAX);
+        assert_eq!(sum.gateways, u64::MAX);
+        // A saturated total still reads as over any finite capacity.
+        assert_eq!(sum.exceeds(&switch_p4_baseline()).len(), 7);
+    }
+
+    #[test]
+    fn add_assign_saturates_per_class_independently() {
+        let mut u = ResourceUsage { salus: u64::MAX, sram_blocks: 1, ..Default::default() };
+        u += ResourceUsage { salus: 1, sram_blocks: 1, ..Default::default() };
+        assert_eq!(u.salus, u64::MAX, "saturated class stays pinned");
+        assert_eq!(u.sram_blocks, 2, "unsaturated classes still accumulate");
+    }
+
+    #[test]
+    fn exceeds_names_overflowing_classes() {
+        let cap = stage_capacity();
+        let fits = ResourceUsage { sram_blocks: cap.sram_blocks, ..Default::default() };
+        assert!(fits.exceeds(&cap).is_empty(), "at-capacity usage fits");
+        let over = ResourceUsage {
+            sram_blocks: cap.sram_blocks + 1,
+            salus: cap.salus + 1,
+            ..Default::default()
+        };
+        assert_eq!(over.exceeds(&cap), vec!["sram_blocks", "salus"]);
+        assert_eq!(over.class("sram_blocks"), cap.sram_blocks + 1);
+        assert_eq!(over.class("unknown"), 0);
     }
 }

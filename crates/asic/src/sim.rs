@@ -11,7 +11,7 @@
 //! for the failure-handling tests.
 
 use crate::packet::SimPacket;
-use crate::phv::{FieldId, fields};
+use crate::phv::{fields, FieldId};
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

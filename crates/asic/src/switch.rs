@@ -174,6 +174,12 @@ impl Switch {
         &self.macs[&port]
     }
 
+    /// The configured external port numbers, in unspecified order.  Used by
+    /// static analysis to validate multicast-member port references.
+    pub fn ports(&self) -> impl Iterator<Item = u16> + '_ {
+        self.macs.keys().copied()
+    }
+
     /// Builds a [`SimPacket`] from wire bytes, parsed with this switch's
     /// field table and given a fresh uid.
     pub fn make_packet(&mut self, bytes: Vec<u8>) -> SimPacket {
@@ -365,10 +371,9 @@ impl Switch {
         let ser_start = t_ready.max(self.recirc_next_free);
         self.recirc_next_free = ser_start + timing::recirc_occupancy(len);
         let j = self.jitter(timing::RECIRC_JITTER_PS);
-        let re_entry = (ser_start
-            + timing::RECIRC_LOOP_FIXED
-            + len as u64 * timing::RECIRC_LOOP_PER_BYTE_PS)
-            .saturating_add_signed(j);
+        let re_entry =
+            (ser_start + timing::RECIRC_LOOP_FIXED + len as u64 * timing::RECIRC_LOOP_PER_BYTE_PS)
+                .saturating_add_signed(j);
         self.counters.recirculations += 1;
         let token = self.stash(pkt);
         out.wake_at(token, re_entry);
@@ -496,9 +501,7 @@ mod tests {
         }
         sw.mcast.set_group(
             7,
-            (0..3)
-                .map(|p| crate::tm::McastMember { port: p, rid: p + 10 })
-                .collect(),
+            (0..3).map(|p| crate::tm::McastMember { port: p, rid: p + 10 }).collect(),
         );
         let tbl = Table::new(
             "mc",

@@ -211,21 +211,33 @@ impl Table {
         }
     }
 
-    /// Largest VLIW op count across the default action and all entries —
-    /// what the stage's instruction memory must provision.
-    pub fn max_ops(&self) -> usize {
+    /// Every action the table can execute: all installed entries plus the
+    /// default action (last).  Static analysis walks this to find field
+    /// reads/writes and SALU accesses without knowing the storage layout.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionSet> {
         let entries: Box<dyn Iterator<Item = &ActionSet>> = match self.kind {
             MatchKind::Exact => Box::new(self.exact.values()),
             MatchKind::Ternary => Box::new(self.ternary.iter().map(|e| &e.action)),
             MatchKind::Range => Box::new(self.range.iter().map(|e| &e.action)),
             MatchKind::Index => Box::new(self.indexed.iter().flatten()),
         };
-        entries.map(|a| a.ops.len()).chain(std::iter::once(self.default_action.ops.len())).max().unwrap_or(0)
+        entries.chain(std::iter::once(&self.default_action))
+    }
+
+    /// Largest VLIW op count across the default action and all entries —
+    /// what the stage's instruction memory must provision.
+    pub fn max_ops(&self) -> usize {
+        self.actions().map(|a| a.ops.len()).max().unwrap_or(0)
     }
 
     /// Installs an entry.  `priority` orders ternary/range entries (higher
     /// wins); it is ignored for exact and index tables.
-    pub fn insert(&mut self, key: MatchKey, action: ActionSet, priority: i32) -> Result<(), TableError> {
+    pub fn insert(
+        &mut self,
+        key: MatchKey,
+        action: ActionSet,
+        priority: i32,
+    ) -> Result<(), TableError> {
         if self.entry_count() >= self.capacity && self.kind != MatchKind::Index {
             return Err(TableError::Full);
         }
@@ -312,10 +324,9 @@ impl Table {
                 .iter()
                 .find(|e| e.key.iter().zip(key).all(|(&(lo, hi), &k)| lo <= k && k <= hi))
                 .map(|e| &e.action),
-            MatchKind::Index => self
-                .indexed
-                .get(key[0] as usize % self.capacity)
-                .and_then(|e| e.as_ref()),
+            MatchKind::Index => {
+                self.indexed.get(key[0] as usize % self.capacity).and_then(|e| e.as_ref())
+            }
         };
         match hit {
             Some(a) => {
@@ -350,7 +361,8 @@ mod tests {
     #[test]
     fn exact_match_hits_and_misses() {
         let t = FieldTable::new();
-        let mut tbl = Table::new("fwd", MatchKind::Exact, vec![fields::IPV4_DST], 16, ActionSet::nop());
+        let mut tbl =
+            Table::new("fwd", MatchKind::Exact, vec![fields::IPV4_DST], 16, ActionSet::nop());
         tbl.insert(MatchKey::Exact(vec![42]), mark(1), 0).unwrap();
 
         let hit = phv_with(&t, fields::IPV4_DST, 42);
@@ -364,7 +376,8 @@ mod tests {
     #[test]
     fn ternary_priority_order() {
         let t = FieldTable::new();
-        let mut tbl = Table::new("tern", MatchKind::Ternary, vec![fields::TCP_DPORT], 16, ActionSet::nop());
+        let mut tbl =
+            Table::new("tern", MatchKind::Ternary, vec![fields::TCP_DPORT], 16, ActionSet::nop());
         // Low-priority catch-all and a high-priority specific entry.
         tbl.insert(MatchKey::Ternary(vec![(0, 0)]), mark(1), 1).unwrap();
         tbl.insert(MatchKey::Ternary(vec![(80, 0xffff)]), mark(2), 10).unwrap();
@@ -379,7 +392,8 @@ mod tests {
     #[test]
     fn range_match_inclusive_bounds() {
         let t = FieldTable::new();
-        let mut tbl = Table::new("rng", MatchKind::Range, vec![fields::TCP_SPORT], 4, ActionSet::nop());
+        let mut tbl =
+            Table::new("rng", MatchKind::Range, vec![fields::TCP_SPORT], 4, ActionSet::nop());
         tbl.insert(MatchKey::Range(vec![(100, 200)]), mark(1), 0).unwrap();
         for (v, hits) in [(99, false), (100, true), (200, true), (201, false)] {
             let p = phv_with(&t, fields::TCP_SPORT, v);
@@ -399,14 +413,18 @@ mod tests {
         let p0 = phv_with(&t, fields::RID, 0);
         assert_eq!(tbl.lookup(&p0).unwrap().name, "NoAction");
         // Out-of-range insert is rejected.
-        assert_eq!(tbl.insert(MatchKey::Index(4), mark(1), 0).unwrap_err(), TableError::IndexOutOfRange);
+        assert_eq!(
+            tbl.insert(MatchKey::Index(4), mark(1), 0).unwrap_err(),
+            TableError::IndexOutOfRange
+        );
     }
 
     #[test]
     fn gateway_skips_table() {
         let t = FieldTable::new();
-        let mut tbl = Table::new("gated", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
-            .with_gateway(Gateway { field: fields::TCP_FLAGS, cmp: Cmp::Eq, value: 0x02 });
+        let mut tbl =
+            Table::new("gated", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+                .with_gateway(Gateway { field: fields::TCP_FLAGS, cmp: Cmp::Eq, value: 0x02 });
         let mut p = phv_with(&t, fields::TCP_FLAGS, 0x10); // ACK, not SYN
         assert!(tbl.lookup(&p).is_none());
         p.set(&t, fields::TCP_FLAGS, 0x02);
@@ -415,26 +433,43 @@ mod tests {
 
     #[test]
     fn capacity_enforced() {
-        let mut tbl = Table::new("tiny", MatchKind::Exact, vec![fields::IPV4_DST], 1, ActionSet::nop());
+        let mut tbl =
+            Table::new("tiny", MatchKind::Exact, vec![fields::IPV4_DST], 1, ActionSet::nop());
         tbl.insert(MatchKey::Exact(vec![1]), mark(1), 0).unwrap();
         assert_eq!(tbl.insert(MatchKey::Exact(vec![2]), mark(2), 0).unwrap_err(), TableError::Full);
     }
 
     #[test]
     fn key_shape_mismatch_rejected() {
-        let mut tbl = Table::new("shape", MatchKind::Exact, vec![fields::IPV4_DST, fields::IPV4_SRC], 4, ActionSet::nop());
-        assert_eq!(tbl.insert(MatchKey::Exact(vec![1]), mark(1), 0).unwrap_err(), TableError::KeyShape);
-        assert_eq!(tbl.insert(MatchKey::Ternary(vec![(1, 1), (2, 2)]), mark(1), 0).unwrap_err(), TableError::KeyShape);
+        let mut tbl = Table::new(
+            "shape",
+            MatchKind::Exact,
+            vec![fields::IPV4_DST, fields::IPV4_SRC],
+            4,
+            ActionSet::nop(),
+        );
+        assert_eq!(
+            tbl.insert(MatchKey::Exact(vec![1]), mark(1), 0).unwrap_err(),
+            TableError::KeyShape
+        );
+        assert_eq!(
+            tbl.insert(MatchKey::Ternary(vec![(1, 1), (2, 2)]), mark(1), 0).unwrap_err(),
+            TableError::KeyShape
+        );
     }
 
     #[test]
     fn max_ops_counts_widest_action() {
-        let mut tbl = Table::new("ops", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop());
-        let wide = ActionSet::new("w", vec![
-            PrimitiveOp::NoOp,
-            PrimitiveOp::NoOp,
-            PrimitiveOp::SetConst { dst: fields::TCP_WINDOW, value: 1 },
-        ]);
+        let mut tbl =
+            Table::new("ops", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop());
+        let wide = ActionSet::new(
+            "w",
+            vec![
+                PrimitiveOp::NoOp,
+                PrimitiveOp::NoOp,
+                PrimitiveOp::SetConst { dst: fields::TCP_WINDOW, value: 1 },
+            ],
+        );
         tbl.insert(MatchKey::Exact(vec![1]), wide, 0).unwrap();
         tbl.insert(MatchKey::Exact(vec![2]), mark(1), 0).unwrap();
         assert_eq!(tbl.max_ops(), 3);
@@ -456,8 +491,10 @@ mod range_fast_path_tests {
     #[test]
     fn sorted_ranges_binary_search_agrees_with_linear() {
         let ft = FieldTable::new();
-        let mut fast = Table::new("fast", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
-        let mut slow = Table::new("slow", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
+        let mut fast =
+            Table::new("fast", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
+        let mut slow =
+            Table::new("slow", MatchKind::Range, vec![fields::TCP_SPORT], 64, ActionSet::nop());
         // fast: appended ascending (stays sorted); slow: forced off the
         // fast path via a non-zero priority.
         for (i, (lo, hi)) in [(10u64, 19u64), (20, 20), (25, 40), (50, 99)].iter().enumerate() {

@@ -43,6 +43,11 @@ impl McastTable {
         self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// All configured groups, in unspecified order.
+    pub fn groups(&self) -> impl Iterator<Item = (u16, &[McastMember])> {
+        self.groups.iter().map(|(&g, m)| (g, m.as_slice()))
+    }
+
     /// Number of configured groups.
     pub fn len(&self) -> usize {
         self.groups.len()

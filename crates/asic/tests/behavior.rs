@@ -26,7 +26,8 @@ fn exec(ops: Vec<PrimitiveOp>, setup: &[(ht_asic::FieldId, u64)]) -> ht_asic::Ph
     let mut regs = RegisterFile::new();
     let mut rng = StdRng::seed_from_u64(1);
     let mut digests = Vec::new();
-    let mut ctx = ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
+    let mut ctx =
+        ExecCtx { table: &ft, regs: &mut regs, rng: &mut rng, digests: &mut digests, now: 0 };
     ht_asic::action::execute(&ActionSet::new("t", ops), &mut phv, &mut ctx);
     phv
 }
@@ -72,10 +73,8 @@ fn mcast_replicas_are_independent_phvs() {
     for p in 0..3 {
         sw.add_port(p, gbps(100));
     }
-    sw.mcast.set_group(
-        1,
-        (0..3).map(|p| ht_asic::tm::McastMember { port: p, rid: p + 1 }).collect(),
-    );
+    sw.mcast
+        .set_group(1, (0..3).map(|p| ht_asic::tm::McastMember { port: p, rid: p + 1 }).collect());
     let to_grp = Table::new(
         "mc",
         MatchKind::Exact,
@@ -89,10 +88,13 @@ fn mcast_replicas_are_independent_phvs() {
     for rid in 1..=3u64 {
         edit.insert(
             ht_asic::table::MatchKey::Index(rid),
-            ActionSet::new("", vec![
-                PrimitiveOp::SetConst { dst: fields::UDP_DPORT, value: 1000 },
-                PrimitiveOp::AddField { dst: fields::UDP_DPORT, src: fields::RID },
-            ]),
+            ActionSet::new(
+                "",
+                vec![
+                    PrimitiveOp::SetConst { dst: fields::UDP_DPORT, value: 1000 },
+                    PrimitiveOp::AddField { dst: fields::UDP_DPORT, src: fields::RID },
+                ],
+            ),
             0,
         )
         .unwrap();
@@ -109,11 +111,8 @@ fn mcast_replicas_are_independent_phvs() {
     let mut out = Outbox::default();
     sw.process(pkt, CPU_PORT, 0, &mut out);
     assert_eq!(out.emits.len(), 3);
-    let mut seen: Vec<(u16, u64)> = out
-        .emits
-        .iter()
-        .map(|(port, p, _)| (*port, p.phv.get(fields::UDP_DPORT)))
-        .collect();
+    let mut seen: Vec<(u16, u64)> =
+        out.emits.iter().map(|(port, p, _)| (*port, p.phv.get(fields::UDP_DPORT))).collect();
     seen.sort_unstable();
     assert_eq!(seen, vec![(0, 1001), (1, 1002), (2, 1003)]);
 }

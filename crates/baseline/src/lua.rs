@@ -16,11 +16,7 @@ pub const SYN_FLOOD: &str = include_str!("../assets/synflood.lua");
 
 /// Counts non-empty, non-comment Lua lines.
 pub fn lua_loc(source: &str) -> usize {
-    source
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("--"))
-        .count()
+    source.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("--")).count()
 }
 
 /// `(application, script, loc)` rows for the Table 5 bench.

@@ -45,7 +45,8 @@ fn bench_packet(c: &mut Criterion) {
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("match_action");
     let ft = FieldTable::new();
-    let mut exact = Table::new("t", MatchKind::Exact, vec![fields::IPV4_DST], 65536, ActionSet::nop());
+    let mut exact =
+        Table::new("t", MatchKind::Exact, vec![fields::IPV4_DST], 65536, ActionSet::nop());
     for i in 0..60_000u64 {
         exact.insert(MatchKey::Exact(vec![i]), ActionSet::nop(), 0).unwrap();
     }
@@ -135,7 +136,9 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64).set(interval,
 Q1 = query().reduce(keys=[sport], func=count)
 "#;
     let task = ht_ntapi::compile(&ht_ntapi::parse(src).unwrap()).unwrap();
-    let built = ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, ht_packet::wire::gbps(100))).unwrap();
+    let built =
+        ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, ht_packet::wire::gbps(100)))
+            .unwrap();
     let mut sw = built.switch;
     let mut rng = StdRng::seed_from_u64(1);
     let frame = PacketBuilder::new()

@@ -52,15 +52,11 @@ fn bench_fig13(c: &mut Criterion) {
 }
 
 fn bench_fig14(c: &mut Criterion) {
-    c.bench_function("fig14_accelerator_2k_loops", |b| {
-        b.iter(|| fig14_accelerator(&[64], 2_000))
-    });
+    c.bench_function("fig14_accelerator_2k_loops", |b| b.iter(|| fig14_accelerator(&[64], 2_000)));
 }
 
 fn bench_fig15(c: &mut Criterion) {
-    c.bench_function("fig15_replicator_64b", |b| {
-        b.iter(|| fig15_replicator(&[64], 1, 1_000_000))
-    });
+    c.bench_function("fig15_replicator_64b", |b| b.iter(|| fig15_replicator(&[64], 1, 1_000_000)));
 }
 
 fn bench_fig16(c: &mut Criterion) {

@@ -52,14 +52,10 @@ impl EngineRig {
         let match_flag = ft.intern("meta.match", 1);
         let exact_miss = ft.intern("meta.exmiss", 1);
         let count_out = ft.intern("meta.count", 64);
-        let arr_key = [
-            regs.alloc("a1k", 64, 1 << array_bits),
-            regs.alloc("a2k", 64, 1 << array_bits),
-        ];
-        let arr_cnt = [
-            regs.alloc("a1c", 64, 1 << array_bits),
-            regs.alloc("a2c", 64, 1 << array_bits),
-        ];
+        let arr_key =
+            [regs.alloc("a1k", 64, 1 << array_bits), regs.alloc("a2k", 64, 1 << array_bits)];
+        let arr_cnt =
+            [regs.alloc("a1c", 64, 1 << array_bits), regs.alloc("a2c", 64, 1 << array_bits)];
         let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, 4096);
         let engine = Rc::new(RefCell::new(CuckooEngine {
             cfg,
@@ -349,16 +345,8 @@ pub fn print_accuracy(rows: &[AccuracyRow]) {
         t.row(&[
             r.structure.to_string(),
             format!("{}/{}", r.exact_keys, r.total_keys),
-            if r.mean_rel_error.is_nan() {
-                "-".into()
-            } else {
-                format!("{:.4}", r.mean_rel_error)
-            },
-            if r.distinct_estimate == 0 {
-                "-".into()
-            } else {
-                r.distinct_estimate.to_string()
-            },
+            if r.mean_rel_error.is_nan() { "-".into() } else { format!("{:.4}", r.mean_rel_error) },
+            if r.distinct_estimate == 0 { "-".into() } else { r.distinct_estimate.to_string() },
         ]);
     }
 }

@@ -20,8 +20,11 @@ fn main() {
                 format!("{:.1}", p.l1_gbps),
                 format!("{:.2}", p.line_mpps),
             ]);
-            assert!((p.mpps - p.line_mpps).abs() / p.line_mpps < 0.02,
-                    "{} B not at line rate", p.frame_len);
+            assert!(
+                (p.mpps - p.line_mpps).abs() / p.line_mpps < 0.02,
+                "{} B not at line rate",
+                p.frame_len
+            );
         }
         println!();
     }

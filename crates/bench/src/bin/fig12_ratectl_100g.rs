@@ -41,9 +41,6 @@ fn main() {
         by_size.push((size, p.metrics.mae));
     }
     // "the errors grow with the size of generated packets".
-    assert!(
-        by_size.last().unwrap().1 > by_size[0].1,
-        "errors must grow with frame size"
-    );
+    assert!(by_size.last().unwrap().1 > by_size[0].1, "errors must grow with frame size");
     println!("\nOK: rate-independent, size-dependent errors (Fig. 12 shape)");
 }

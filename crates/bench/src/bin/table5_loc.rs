@@ -5,8 +5,13 @@ use ht_bench::harness::TablePrinter;
 
 fn main() {
     println!("Table 5 — Lines of code for different applications");
-    println!("(paper: Throughput 9/172/43, Delay 10/134/71, IP Scan 7/133/48, SYN Flood 5/94/63)\n");
-    let t = TablePrinter::new(&["Application", "NTAPI", "P4 (generated)", "MoonGen Lua"], &[24, 6, 14, 12]);
+    println!(
+        "(paper: Throughput 9/172/43, Delay 10/134/71, IP Scan 7/133/48, SYN Flood 5/94/63)\n"
+    );
+    let t = TablePrinter::new(
+        &["Application", "NTAPI", "P4 (generated)", "MoonGen Lua"],
+        &[24, 6, 14, 12],
+    );
     let mut worst_reduction = f64::INFINITY;
     for row in table5_loc() {
         t.row(&[
@@ -18,7 +23,9 @@ fn main() {
         worst_reduction = worst_reduction.min(1.0 - row.ntapi as f64 / row.lua as f64);
         assert!(row.p4 >= 10 * row.ntapi, "P4 must be ≥10× NTAPI");
     }
-    println!("\nminimum code-size reduction vs MoonGen Lua: {:.1}% (paper: ≥74.4%)",
-             worst_reduction * 100.0);
+    println!(
+        "\nminimum code-size reduction vs MoonGen Lua: {:.1}% (paper: ≥74.4%)",
+        worst_reduction * 100.0
+    );
     assert!(worst_reduction > 0.744);
 }

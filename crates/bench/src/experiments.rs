@@ -109,11 +109,8 @@ pub fn fig9_mg_single_port(speed_bps: u64, sizes: &[usize]) -> Vec<ThroughputPoi
     sizes
         .iter()
         .map(|&len| {
-            let cfg = MoonGenConfig {
-                frame_len: len,
-                port_speed_bps: speed_bps,
-                ..Default::default()
-            };
+            let cfg =
+                MoonGenConfig { frame_len: len, port_speed_bps: speed_bps, ..Default::default() };
             let pps = core_pps(&cfg);
             ThroughputPoint {
                 frame_len: len,
@@ -209,8 +206,8 @@ pub fn ht_rate_control_with_copies(
         ..Default::default()
     });
     let target_ns = interval_ps as f64 / 1000.0;
-    let metrics = ErrorMetrics::against_target(&r.ports[0].gaps_ns, target_ns)
-        .expect("no packets arrived");
+    let metrics =
+        ErrorMetrics::against_target(&r.ports[0].gaps_ns, target_ns).expect("no packets arrived");
     RateControlPoint { rate_pps: rate_pps as f64, frame_len, metrics }
 }
 
@@ -231,8 +228,7 @@ pub fn mg_rate_control(
     };
     let d: Vec<f64> = departures(&cfg, 30_000).iter().map(|&t| t as f64).collect();
     let gaps: Vec<f64> = d.windows(2).map(|w| (w[1] - w[0]) / 1000.0).collect();
-    let metrics =
-        ErrorMetrics::against_target(&gaps, interval_ps as f64 / 1000.0).expect("gaps");
+    let metrics = ErrorMetrics::against_target(&gaps, interval_ps as f64 / 1000.0).expect("gaps");
     RateControlPoint { rate_pps: rate_pps as f64, frame_len, metrics }
 }
 
@@ -246,7 +242,8 @@ pub fn fig13_random(dist_src: &str, dist: ht_stats::Distribution) -> (usize, Vec
          .set(dport, {dist_src})"
     );
     let task = compile(&parse(&src).unwrap()).unwrap();
-    let mut built = ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, gbps(100))).unwrap();
+    let mut built =
+        ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, gbps(100))).unwrap();
     let templates = built.template_copies(0, 32);
     let mut world = ht_asic::World::new(1);
     let sw = world.add_device(Box::new(built.switch));
@@ -256,12 +253,8 @@ pub fn fig13_random(dist_src: &str, dist: ht_stats::Distribution) -> (usize, Vec
     world.connect((sw, 0), (sink, 0), 0);
     ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(2));
-    let samples: Vec<f64> = world
-        .device::<ht_dut::Sink>(sink)
-        .captured
-        .iter()
-        .map(|(_, _, v)| v[0] as f64)
-        .collect();
+    let samples: Vec<f64> =
+        world.device::<ht_dut::Sink>(sink).captured.iter().map(|(_, _, v)| v[0] as f64).collect();
     let qq = ht_stats::qq_points(&samples, &dist);
     let n = qq.len();
     let deciles: Vec<(f64, f64)> = (1..10)
@@ -309,8 +302,7 @@ pub fn fig14_accelerator(sizes: &[usize], loops: usize) -> Vec<AcceleratorPoint>
             world.run_until(loops as u64 * ht_asic::timing::recirc_rtt(len) + ms(1));
             let swr: &ht_asic::Switch = world.device(sw);
             let times: Vec<f64> = swr.log.recirc.iter().map(|&(_, t)| t as f64).collect();
-            let rtts: Vec<f64> =
-                times.windows(2).map(|w| (w[1] - w[0]) / 1000.0).collect();
+            let rtts: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) / 1000.0).collect();
             let s = Summary::new(&rtts).expect("loops recorded");
             AcceleratorPoint {
                 frame_len: len,
@@ -535,9 +527,8 @@ pub fn fig18_delay(dut_delay: SimTime, probes: usize) -> (f64, Vec<DelayPoint>) 
 
     let mut world = ht_asic::World::new(1);
     let sw = world.add_device(Box::new(built.switch));
-    let dut = world.add_device(Box::new(
-        ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100)),
-    ));
+    let dut =
+        world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));
     let sink = world.add_device(Box::new(ht_dut::Sink::new("rx").logging_arrivals()));
     world.connect((sw, 0), (dut, 0), 0);
     world.connect((dut, 1), (sink, 0), 0);
@@ -596,7 +587,8 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
     use ht_asic::table::{Gateway, MatchKind, Table};
 
     // Probes carry a progression over ipv4.ident as the probe id.
-    let src = "T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7, 7])\n\
+    let src =
+        "T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7, 7])\n\
                .set(pkt_len, 128).set(interval, 10us).set(ident, range(0, 4095, 1))";
     let task = compile(&parse(src).unwrap()).unwrap();
     let mut built =
@@ -656,9 +648,8 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
     let templates = built.template_copies(0, 8);
     let mut world = ht_asic::World::new(1);
     let sw_id = world.add_device(Box::new(built.switch));
-    let dut = world.add_device(Box::new(
-        ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100)),
-    ));
+    let dut =
+        world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));
     world.connect((sw_id, 0), (dut, 0), 0);
     world.connect((dut, 1), (sw_id, 1), 0);
     ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw_id, templates, 0);

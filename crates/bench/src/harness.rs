@@ -73,13 +73,11 @@ impl Default for RunSpec<'_> {
 /// Runs a spec and returns the measurements.
 pub fn run(spec: RunSpec<'_>) -> HtRun {
     let task = compile(&parse(spec.src).expect("parse")).expect("compile");
-    let mut built = build(&task, &TesterConfig::with_ports(spec.ports, spec.speed_bps))
-        .expect("build");
+    let mut built =
+        build(&task, &TesterConfig::with_ports(spec.ports, spec.speed_bps)).expect("build");
     let mut templates = Vec::new();
     for i in 0..built.templates.len() {
-        let copies = spec
-            .copies
-            .unwrap_or_else(|| built.copies_for_line_rate(i, spec.speed_bps));
+        let copies = spec.copies.unwrap_or_else(|| built.copies_for_line_rate(i, spec.speed_bps));
         templates.extend(built.template_copies(i, copies));
     }
 

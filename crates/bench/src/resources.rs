@@ -5,9 +5,7 @@
 //! task containing the component minus the usage of the same task without
 //! it — matching how the paper isolates component costs.
 
-use ht_asic::resources::{
-    register_usage, switch_p4_baseline, NormalizedUsage, ResourceUsage,
-};
+use ht_asic::resources::{register_usage, switch_p4_baseline, NormalizedUsage, ResourceUsage};
 use ht_core::{build, TesterConfig};
 use ht_ntapi::{compile, parse};
 use ht_packet::wire::gbps;
@@ -60,10 +58,7 @@ pub fn table7_rows() -> Vec<ResourceRow> {
         ht_asic::table::MatchKind::Exact,
         vec![ht_asic::fields::TEMPLATE_ID],
         1,
-        ht_asic::action::ActionSet::new(
-            "recirc",
-            vec![ht_asic::action::PrimitiveOp::Recirculate],
-        ),
+        ht_asic::action::ActionSet::new("recirc", vec![ht_asic::action::PrimitiveOp::Recirculate]),
     );
     let accel = ht_asic::resources::table_usage(&accel_table);
     // replicator(0): fire on every arrival (timer + mcast tables, no SALU).
@@ -73,22 +68,16 @@ pub fn table7_rows() -> Vec<ResourceRow> {
     let with_timer = task_usage(&format!("{BARE}\n    .set(interval, 100ns)"));
     let replicator100 = saturating_delta(with_timer, accel);
 
-    let range_edit = saturating_delta(
-        task_usage(&format!("{BARE}\n    .set(dport, range(80, 100, 2))")),
-        bare,
-    );
-    let rand_edit = saturating_delta(
-        task_usage(&format!("{BARE}\n    .set(dport, random(E, 128, 16))")),
-        bare,
-    );
+    let range_edit =
+        saturating_delta(task_usage(&format!("{BARE}\n    .set(dport, range(80, 100, 2))")), bare);
+    let rand_edit =
+        saturating_delta(task_usage(&format!("{BARE}\n    .set(dport, random(E, 128, 16))")), bare);
     let filter_q = saturating_delta(
         task_usage(&format!("{BARE}\nQ1 = query().filter(tcp_flag == SYN)")),
         bare,
     );
     let distinct_q = saturating_delta(
-        task_usage(&format!(
-            "{BARE}\nQ1 = query().distinct(keys=[sip, dip, proto, sport, dport])"
-        )),
+        task_usage(&format!("{BARE}\nQ1 = query().distinct(keys=[sip, dip, proto, sport, dport])")),
         bare,
     );
     let reduce_q = saturating_delta(
@@ -97,13 +86,45 @@ pub fn table7_rows() -> Vec<ResourceRow> {
     );
 
     vec![
-        ResourceRow { component: "accelerator", category: "Trigger", normalized: accel.normalized_by(&base) },
-        ResourceRow { component: "replicator(0)", category: "Trigger", normalized: replicator0.normalized_by(&base) },
-        ResourceRow { component: "replicator(100)", category: "Trigger", normalized: replicator100.normalized_by(&base) },
-        ResourceRow { component: "set(tcp.dp,range(80,100,2))", category: "Trigger", normalized: range_edit.normalized_by(&base) },
-        ResourceRow { component: "set(tcp.dp,rand('E',128,16))", category: "Trigger", normalized: rand_edit.normalized_by(&base) },
-        ResourceRow { component: "filter(tcp.flag==SYN)", category: "Query", normalized: filter_q.normalized_by(&base) },
-        ResourceRow { component: "distinct(keys={5-tuple})", category: "Query", normalized: distinct_q.normalized_by(&base) },
-        ResourceRow { component: "reduce(keys={ipv4.dip},sum)", category: "Query", normalized: reduce_q.normalized_by(&base) },
+        ResourceRow {
+            component: "accelerator",
+            category: "Trigger",
+            normalized: accel.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "replicator(0)",
+            category: "Trigger",
+            normalized: replicator0.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "replicator(100)",
+            category: "Trigger",
+            normalized: replicator100.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "set(tcp.dp,range(80,100,2))",
+            category: "Trigger",
+            normalized: range_edit.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "set(tcp.dp,rand('E',128,16))",
+            category: "Trigger",
+            normalized: rand_edit.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "filter(tcp.flag==SYN)",
+            category: "Query",
+            normalized: filter_q.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "distinct(keys={5-tuple})",
+            category: "Query",
+            normalized: distinct_q.normalized_by(&base),
+        },
+        ResourceRow {
+            component: "reduce(keys={ipv4.dip},sum)",
+            category: "Query",
+            normalized: reduce_q.normalized_by(&base),
+        },
     ]
 }

@@ -90,6 +90,14 @@ impl RegFifo {
         self.capacity
     }
 
+    /// Every register array the FIFO occupies (counters + data lanes), for
+    /// static analysis of register ownership.
+    pub fn registers(&self) -> Vec<RegId> {
+        let mut r = vec![self.front, self.rear];
+        r.extend(self.data.iter().copied());
+        r
+    }
+
     /// Control-plane view of all queued records, front to rear, without
     /// mutating any state (the switch CPU reads registers over PCIe).
     pub fn peek_all(&self, regs: &RegisterFile) -> Vec<Vec<u64>> {
@@ -185,9 +193,7 @@ impl RegFifo {
         let rec = self
             .data
             .iter()
-            .map(|&reg| {
-                regs.execute(reg, slot as u64, &SaluProgram::read(self.f_rear), phv, ft)
-            })
+            .map(|&reg| regs.execute(reg, slot as u64, &SaluProgram::read(self.f_rear), phv, ft))
             .collect();
         // Restore f_rear (the data reads reused it as scratch output).
         phv.set(ft, self.f_rear, rear);

@@ -94,6 +94,14 @@ impl Extern for FilterExtern {
             ..Default::default()
         }
     }
+
+    fn reads(&self) -> Vec<FieldId> {
+        self.preds.iter().map(|&(f, _, _)| f).collect()
+    }
+
+    fn writes(&self) -> Vec<FieldId> {
+        vec![self.out]
+    }
 }
 
 /// Runtime statistics of one cuckoo query engine.
@@ -460,6 +468,30 @@ impl Extern for CuckooExtern {
             ..Default::default()
         }
     }
+
+    fn reads(&self) -> Vec<FieldId> {
+        let eng = self.engine.borrow();
+        let mut r = eng.key_fields.clone();
+        r.extend(eng.value_field);
+        r.push(eng.match_flag);
+        r.push(eng.exact_miss_flag);
+        r.push(fields::TEMPLATE_ID);
+        r.push(fields::RID);
+        r
+    }
+
+    fn writes(&self) -> Vec<FieldId> {
+        vec![self.engine.borrow().count_out]
+    }
+
+    fn registers(&self) -> Vec<RegId> {
+        let eng = self.engine.borrow();
+        let mut r = Vec::new();
+        r.extend(eng.arr_key);
+        r.extend(eng.arr_cnt);
+        r.extend(eng.fifo.registers());
+        r
+    }
 }
 
 /// Statistics of a capture stage.
@@ -528,5 +560,16 @@ impl Extern for CaptureExtern {
             gateways: 1 + u64::from(self.result_gate.is_some()),
             ..Default::default()
         }
+    }
+
+    fn reads(&self) -> Vec<FieldId> {
+        let mut r = vec![self.match_flag, fields::TEMPLATE_ID];
+        r.extend(self.result_gate.map(|(f, _, _)| f));
+        r.extend(RECORD_FIELDS);
+        r
+    }
+
+    fn registers(&self) -> Vec<RegId> {
+        self.fifos.iter().flat_map(|f| f.borrow().registers()).collect()
     }
 }

@@ -74,6 +74,20 @@ impl Extern for StatelessExtern {
             ..Default::default()
         }
     }
+
+    fn reads(&self) -> Vec<FieldId> {
+        vec![fields::TEMPLATE_ID]
+    }
+
+    fn writes(&self) -> Vec<FieldId> {
+        let mut w = self.rec_fields.clone();
+        w.push(self.fire_field);
+        w
+    }
+
+    fn registers(&self) -> Vec<ht_asic::register::RegId> {
+        self.fifo.borrow().registers()
+    }
 }
 
 impl StatelessExtern {
@@ -302,11 +316,7 @@ pub fn build_template_ingress(
 
 /// Builds the egress editor for one template: one stage per edit plus the
 /// stateless respond stage, each gated on `(template_id == id, rid > 0)`.
-pub fn build_template_editor(
-    sw: &mut Switch,
-    tpl: &TemplateSpec,
-    handles: &TemplateHandles,
-) {
+pub fn build_template_editor(sw: &mut Switch, tpl: &TemplateSpec, handles: &TemplateHandles) {
     let gate = |t: Table, id: u16| -> Table {
         t.with_gateway(Gateway { field: fields::TEMPLATE_ID, cmp: Cmp::Eq, value: u64::from(id) })
             .with_gateway(Gateway { field: fields::RID, cmp: Cmp::Gt, value: 0 })
@@ -379,8 +389,7 @@ fn build_interval_draw(
     deadline_field: FieldId,
     draw_stage: usize,
 ) {
-    let tpl_gate =
-        Gateway { field: fields::TEMPLATE_ID, cmp: Cmp::Eq, value: u64::from(tpl.id) };
+    let tpl_gate = Gateway { field: fields::TEMPLATE_ID, cmp: Cmp::Eq, value: u64::from(tpl.id) };
     let arm_ops = vec![
         PrimitiveOp::CopyField { dst: deadline_field, src: fields::IG_TS },
         PrimitiveOp::AddField { dst: deadline_field, src: rand_field },

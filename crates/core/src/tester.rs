@@ -9,12 +9,16 @@
 
 use crate::fieldmap::{proto_hint, resolve};
 use crate::fifo::RegFifo;
-use crate::htpr::{CaptureExtern, CaptureStats, CuckooEngine, CuckooExtern, CuckooStats, FilterExtern};
+use crate::htpr::{
+    CaptureExtern, CaptureStats, CuckooEngine, CuckooExtern, CuckooStats, FilterExtern,
+};
 use crate::htps::{build_template_editor, build_template_ingress, TemplateHandles};
 use ht_asic::action::{ActionSet, IndexSource, PrimitiveOp};
 use ht_asic::digest::DigestId;
 use ht_asic::phv::{fields, FieldId};
-use ht_asic::register::{Cmp, RegId, SaluCond, SaluOperand, SaluOutput, SaluOutputSrc, SaluProgram, SaluUpdate};
+use ht_asic::register::{
+    Cmp, RegId, SaluCond, SaluOperand, SaluOutput, SaluOutputSrc, SaluProgram, SaluUpdate,
+};
 use ht_asic::switch::Switch;
 use ht_asic::table::{Gateway, MatchKey, MatchKind, Table};
 use ht_asic::SimPacket;
@@ -40,6 +44,12 @@ pub enum BuildError {
         /// The field's NTAPI name.
         &'static str,
     ),
+    /// The built program failed static verification; the switch refuses to
+    /// load it.  Carries the error diagnostics.
+    Lint(
+        /// The lint errors that blocked the load.
+        Vec<ht_lint::Diagnostic>,
+    ),
 }
 
 impl std::fmt::Display for BuildError {
@@ -50,6 +60,13 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::UnsupportedResponseField(n) => {
                 write!(f, "response copies cannot source field {n}")
+            }
+            BuildError::Lint(diags) => {
+                write!(f, "program rejected by static verification:")?;
+                for d in diags {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -229,7 +246,14 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
             .as_ref()
             .map(|q| trigger_fifos[&(q.clone(), tpl.trigger_name.clone())].clone());
         let h = build_template_ingress(
-            &mut sw, tpl, fire_field, timer_tbl, guard_tbl, replicate_tbl, recirc_tbl, fifo,
+            &mut sw,
+            tpl,
+            fire_field,
+            timer_tbl,
+            guard_tbl,
+            replicate_tbl,
+            recirc_tbl,
+            fifo,
         );
         build_template_editor(&mut sw, tpl, &h);
         template_handles.push(h);
@@ -243,11 +267,15 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
     }
 
     // Template packets.
-    let templates = task
-        .templates
-        .iter()
-        .map(|tpl| build_template_packet(&mut sw, tpl))
-        .collect();
+    let templates = task.templates.iter().map(|tpl| build_template_packet(&mut sw, tpl)).collect();
+
+    // Static verification: a real target refuses to load a program that
+    // violates its constraints, and so does the simulator.  Warnings are
+    // surfaced by `htctl lint`; only errors block the build.
+    let lint = ht_lint::lint_switch(&sw);
+    if lint.has_errors() {
+        return Err(BuildError::Lint(lint.errors().cloned().collect()));
+    }
 
     Ok(BuiltTester {
         switch: sw,
@@ -572,8 +600,10 @@ pub fn build_template_packet(sw: &mut Switch, tpl: &TemplateSpec) -> SimPacket {
     let eth_dst = base_value(tpl, HeaderField::EthDst)
         .map(EthernetAddress::from_u64)
         .unwrap_or(EthernetAddress([0x02, 0, 0, 0, 0, 0x02]));
-    let sip = Ipv4Address::from_u32(base_value(tpl, HeaderField::Sip).unwrap_or(0x0a00_0001) as u32);
-    let dip = Ipv4Address::from_u32(base_value(tpl, HeaderField::Dip).unwrap_or(0x0a00_0002) as u32);
+    let sip =
+        Ipv4Address::from_u32(base_value(tpl, HeaderField::Sip).unwrap_or(0x0a00_0001) as u32);
+    let dip =
+        Ipv4Address::from_u32(base_value(tpl, HeaderField::Dip).unwrap_or(0x0a00_0002) as u32);
     let sport = base_value(tpl, HeaderField::Sport).unwrap_or(1024) as u16;
     let dport = base_value(tpl, HeaderField::Dport).unwrap_or(80) as u16;
 

@@ -54,10 +54,7 @@ fn throughput_task_reaches_line_rate() {
     let sink: &Sink = w.device(sk);
     let pps = sink.ports[&0].pps();
     let line = line_rate_pps(64, gbps(100));
-    assert!(
-        (pps - line).abs() / line < 0.01,
-        "measured {pps:.0} pps, line rate {line:.0} pps"
-    );
+    assert!((pps - line).abs() / line < 0.01, "measured {pps:.0} pps, line rate {line:.0} pps");
 
     // Q1 (sent bytes) agrees with what the sink saw, modulo in-flight
     // packets.
@@ -135,10 +132,7 @@ Q1 = query(T1).reduce(keys=[sport], func=count)
     // Query counts include in-flight packets; allow the last few.
     for (key, &n) in &oracle {
         let m = measured.get(key).copied().unwrap_or(0);
-        assert!(
-            m >= n && m <= n + 5,
-            "key {key:?}: query {m} vs oracle {n}"
-        );
+        assert!(m >= n && m <= n + 5, "key {key:?}: query {m} vs oracle {n}");
     }
 }
 
@@ -238,8 +232,7 @@ fn editor_value_list_cycles_in_order() {
 T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)
     .set(dport, [80, 81, 82]).set(interval, 10us)
 "#;
-    let (mut w, _sw, sk) =
-        testbed(src, 4, Sink::new("sink").capturing(vec![fields::UDP_DPORT]));
+    let (mut w, _sw, sk) = testbed(src, 4, Sink::new("sink").capturing(vec![fields::UDP_DPORT]));
     w.run_until(ms(1));
     let sink: &Sink = w.device(sk);
     assert!(sink.captured.len() > 50);
@@ -254,12 +247,10 @@ fn random_normal_editor_matches_distribution() {
 T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)
     .set(dport, random(normal, 30000, 2000, 12))
 "#;
-    let (mut w, _sw, sk) =
-        testbed(src, 16, Sink::new("sink").capturing(vec![fields::UDP_DPORT]));
+    let (mut w, _sw, sk) = testbed(src, 16, Sink::new("sink").capturing(vec![fields::UDP_DPORT]));
     w.run_until(ms(1));
     let sink: &Sink = w.device(sk);
-    let samples: Vec<f64> =
-        sink.captured.iter().map(|(_, _, v)| v[0] as f64).collect();
+    let samples: Vec<f64> = sink.captured.iter().map(|(_, _, v)| v[0] as f64).collect();
     assert!(samples.len() > 10_000, "{} samples", samples.len());
     let s = ht_stats::Summary::new(&samples).unwrap();
     assert!((s.mean() - 30000.0).abs() < 100.0, "mean {}", s.mean());

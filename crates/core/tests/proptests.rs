@@ -3,13 +3,13 @@
 //! + exact table) must be **exactly** right for any workload — the paper's
 //! headline accuracy claim for `reduce`/`distinct`.
 
-use ht_core::fifo::RegFifo;
-use ht_core::htpr::{CuckooEngine, CuckooExtern, CuckooStats};
 use ht_asic::action::ExecCtx;
 use ht_asic::digest::{DigestId, DigestRecord};
 use ht_asic::phv::{fields, FieldTable};
 use ht_asic::pipeline::Extern;
 use ht_asic::register::RegisterFile;
+use ht_core::fifo::RegFifo;
+use ht_core::htpr::{CuckooEngine, CuckooExtern, CuckooStats};
 use ht_ntapi::ast::ReduceFunc;
 use ht_ntapi::fp::{compute_fp_entries, HashConfig};
 use proptest::prelude::*;
@@ -39,14 +39,10 @@ impl Harness {
         let exact_miss = ft.intern("meta.exmiss", 1);
         let count_out = ft.intern("meta.count", 64);
         let cfg = HashConfig { array_bits, digest_bits };
-        let arr_key = [
-            regs.alloc("a1k", 64, 1 << array_bits),
-            regs.alloc("a2k", 64, 1 << array_bits),
-        ];
-        let arr_cnt = [
-            regs.alloc("a1c", 64, 1 << array_bits),
-            regs.alloc("a2c", 64, 1 << array_bits),
-        ];
+        let arr_key =
+            [regs.alloc("a1k", 64, 1 << array_bits), regs.alloc("a2k", 64, 1 << array_bits)];
+        let arr_cnt =
+            [regs.alloc("a1c", 64, 1 << array_bits), regs.alloc("a2c", 64, 1 << array_bits)];
         let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, fifo_cap);
         let engine = Rc::new(RefCell::new(CuckooEngine {
             cfg,
@@ -119,7 +115,8 @@ impl Harness {
 }
 
 fn keys_of(pkts: &[(u16, u16)]) -> Vec<Vec<u64>> {
-    let mut v: Vec<Vec<u64>> = pkts.iter().map(|&(s, d)| vec![u64::from(s), u64::from(d)]).collect();
+    let mut v: Vec<Vec<u64>> =
+        pkts.iter().map(|&(s, d)| vec![u64::from(s), u64::from(d)]).collect();
     v.sort();
     v.dedup();
     v

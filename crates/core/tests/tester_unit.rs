@@ -41,20 +41,16 @@ fn interval_copies_shrink_with_slower_rates() {
 #[test]
 fn no_interval_falls_back_to_line_rate_count() {
     let t = built("T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)");
-    assert_eq!(
-        t.copies_for_interval(0, gbps(100)),
-        t.copies_for_line_rate(0, gbps(100))
-    );
+    assert_eq!(t.copies_for_interval(0, gbps(100)), t.copies_for_line_rate(0, gbps(100)));
 }
 
 #[test]
 fn oversized_random_table_is_a_build_error() {
     // bits 18 passes NTAPI validation (≤20) but exceeds the editor's 2^16
     // table capacity.
-    let task = compile(
-        &parse("T1 = trigger().set(dport, random(normal, 30000, 2000, 18))").unwrap(),
-    )
-    .unwrap();
+    let task =
+        compile(&parse("T1 = trigger().set(dport, random(normal, 30000, 2000, 18))").unwrap())
+            .unwrap();
     match build(&task, &TesterConfig::with_ports(1, gbps(100))) {
         Err(BuildError::RandomTableTooLarge { bits: 18 }) => {}
         other => panic!("expected rejection, got {other:?}"),

@@ -37,11 +37,8 @@ pub fn drain_digests(model: &CpuTimingModel, records: Vec<DigestRecord>) -> Dige
         bytes += size;
         elapsed += model.digest_per_msg + size * model.digest_per_byte;
     }
-    let goodput_bps = if elapsed == 0 {
-        0.0
-    } else {
-        bytes as f64 * 8.0 / ht_asic::time::to_secs_f64(elapsed)
-    };
+    let goodput_bps =
+        if elapsed == 0 { 0.0 } else { bytes as f64 * 8.0 / ht_asic::time::to_secs_f64(elapsed) };
     DigestDrain { records, bytes, elapsed, goodput_bps }
 }
 
@@ -158,11 +155,18 @@ mod tests {
         // 16-byte messages (2 fields) vs 256-byte messages (32 fields).
         let small = drain_digests(&model, records(1000, 2));
         let large = drain_digests(&model, records(1000, 32));
-        assert!(large.goodput_bps > small.goodput_bps * 5.0,
-                "small {} large {}", small.goodput_bps, large.goodput_bps);
+        assert!(
+            large.goodput_bps > small.goodput_bps * 5.0,
+            "small {} large {}",
+            small.goodput_bps,
+            large.goodput_bps
+        );
         // Fig. 16a: ≈4.5 Mbps at 256-byte messages.
-        assert!((large.goodput_bps / 1e6 - 4.5).abs() < 0.3,
-                "goodput {} Mbps", large.goodput_bps / 1e6);
+        assert!(
+            (large.goodput_bps / 1e6 - 4.5).abs() < 0.3,
+            "goodput {} Mbps",
+            large.goodput_bps / 1e6
+        );
     }
 
     #[test]

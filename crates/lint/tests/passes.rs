@@ -1,0 +1,329 @@
+//! One known-bad fixture per lint pass, each asserting the expected
+//! diagnostic, plus a clean fixture showing the pass stays silent on a
+//! valid program.
+
+use ht_asic::action::{ActionSet, IndexSource, PrimitiveOp};
+use ht_asic::parser::{ParseGraph, ParseState};
+use ht_asic::phv::fields;
+use ht_asic::register::{Cmp, SaluProgram};
+use ht_asic::switch::Switch;
+use ht_asic::table::{Gateway, MatchKey, MatchKind, Table};
+use ht_asic::tm::McastMember;
+use ht_lint::{
+    check_gateways, check_parse_graph, check_phv_liveness, check_replication,
+    check_salu_discipline, check_stage_resources, lint_switch, Severity,
+};
+
+/// A minimal valid program: one forwarding table, one port.
+fn clean_switch() -> Switch {
+    let mut sw = Switch::new("sw", 1);
+    sw.add_port(0, 100_000_000_000);
+    let t = Table::new(
+        "fwd",
+        MatchKind::Exact,
+        vec![fields::IG_PORT],
+        4,
+        ActionSet::new("to0", vec![PrimitiveOp::SetEgressPort(0)]),
+    );
+    sw.ingress.push_table(t);
+    sw
+}
+
+fn salu_on(sw: &mut Switch, name: &str) -> PrimitiveOp {
+    let reg = sw.regs.alloc(name, 32, 1);
+    PrimitiveOp::Salu {
+        reg,
+        index: IndexSource::Const(0),
+        program: SaluProgram::fetch_add(fields::TCP_WINDOW),
+    }
+}
+
+// --- pass 1: stage resource fitting ---------------------------------------
+
+#[test]
+fn overfull_stage_is_rejected() {
+    let mut sw = clean_switch();
+    // Five register arrays touched from one stage: 5 SALUs > 4 per stage.
+    let ops: Vec<PrimitiveOp> = (0..5).map(|i| salu_on(&mut sw, &format!("r{i}"))).collect();
+    let t =
+        Table::new("hot", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::new("a", ops));
+    sw.ingress.push_table(t);
+    let r = check_stage_resources(&sw);
+    assert!(
+        r.errors().any(|d| d.rule == "resource-overflow" && d.message.contains("salus")),
+        "{r}"
+    );
+}
+
+#[test]
+fn fitting_stage_passes_resources() {
+    let sw = clean_switch();
+    assert!(check_stage_resources(&sw).diagnostics.is_empty());
+}
+
+// --- pass 2: PHV def-use / liveness ----------------------------------------
+
+#[test]
+fn read_of_never_written_metadata_is_an_error() {
+    let mut sw = clean_switch();
+    let ghost = sw.fields.intern("meta.ghost", 16);
+    let t = Table::new(
+        "reader",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("copy", vec![PrimitiveOp::CopyField { dst: fields::TCP_SPORT, src: ghost }]),
+    );
+    sw.ingress.push_table(t);
+    let r = check_phv_liveness(&sw);
+    assert!(
+        r.errors().any(|d| d.rule == "phv-undef-read" && d.message.contains("meta.ghost")),
+        "{r}"
+    );
+}
+
+#[test]
+fn write_nothing_reads_is_a_warning() {
+    let mut sw = clean_switch();
+    let unused = sw.fields.intern("meta.unused", 16);
+    let t = Table::new(
+        "writer",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("w", vec![PrimitiveOp::SetConst { dst: unused, value: 1 }]),
+    );
+    sw.ingress.push_table(t);
+    let r = check_phv_liveness(&sw);
+    assert!(!r.has_errors(), "{r}");
+    assert!(
+        r.diagnostics.iter().any(|d| d.rule == "phv-dead-write" && d.severity == Severity::Warning),
+        "{r}"
+    );
+}
+
+#[test]
+fn write_then_read_metadata_is_clean() {
+    let mut sw = clean_switch();
+    let flag = sw.fields.intern("meta.flag", 1);
+    let w = Table::new(
+        "producer",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("set", vec![PrimitiveOp::SetConst { dst: flag, value: 1 }]),
+    );
+    let r = Table::new("consumer", MatchKind::Exact, vec![fields::IPV4_SRC], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: flag, cmp: Cmp::Eq, value: 1 });
+    sw.ingress.push_table(w);
+    sw.ingress.push_table(r);
+    let report = check_phv_liveness(&sw);
+    assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+// --- pass 3: SALU access discipline ----------------------------------------
+
+#[test]
+fn two_salu_ops_on_one_array_in_one_action() {
+    let mut sw = clean_switch();
+    let reg = sw.regs.alloc("ctr", 32, 1);
+    let op = |dst| PrimitiveOp::Salu {
+        reg,
+        index: IndexSource::Const(0),
+        program: SaluProgram::fetch_add(dst),
+    };
+    let t = Table::new(
+        "double",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("a", vec![op(fields::TCP_SPORT), op(fields::TCP_DPORT)]),
+    );
+    sw.ingress.push_table(t);
+    let r = check_salu_discipline(&sw);
+    assert!(r.errors().any(|d| d.rule == "salu-double-access"), "{r}");
+}
+
+#[test]
+fn same_array_from_two_tables_is_a_hazard() {
+    let mut sw = clean_switch();
+    let reg = sw.regs.alloc("shared", 32, 1);
+    for name in ["first", "second"] {
+        let t = Table::new(
+            name,
+            MatchKind::Exact,
+            vec![fields::IPV4_DST],
+            4,
+            ActionSet::new(
+                "a",
+                vec![PrimitiveOp::Salu {
+                    reg,
+                    index: IndexSource::Const(0),
+                    program: SaluProgram::fetch_add(fields::TCP_WINDOW),
+                }],
+            ),
+        );
+        sw.ingress.push_table(t);
+    }
+    let r = check_salu_discipline(&sw);
+    assert!(r.errors().any(|d| d.rule == "salu-raw-hazard"), "{r}");
+}
+
+#[test]
+fn single_access_per_array_is_clean() {
+    let mut sw = clean_switch();
+    let op = salu_on(&mut sw, "only");
+    let t =
+        Table::new("t", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::new("a", vec![op]));
+    sw.ingress.push_table(t);
+    assert!(check_salu_discipline(&sw).diagnostics.is_empty());
+}
+
+// --- pass 4: parser graph ---------------------------------------------------
+
+fn state(name: &str, transitions: Vec<usize>) -> ParseState {
+    ParseState { name: name.into(), writes: vec![], transitions }
+}
+
+#[test]
+fn parser_cycle_is_an_error() {
+    let g = ParseGraph {
+        states: vec![state("a", vec![1]), state("b", vec![0])],
+        start: 0,
+        max_depth: 12,
+    };
+    let r = check_parse_graph(&g);
+    assert!(r.errors().any(|d| d.rule == "parser-cycle"), "{r}");
+}
+
+#[test]
+fn parser_depth_overflow_is_an_error() {
+    // A 5-state chain against a depth budget of 3.
+    let states =
+        (0..5).map(|i| state(&format!("s{i}"), if i < 4 { vec![i + 1] } else { vec![] })).collect();
+    let g = ParseGraph { states, start: 0, max_depth: 3 };
+    let r = check_parse_graph(&g);
+    assert!(r.errors().any(|d| d.rule == "parser-depth"), "{r}");
+}
+
+#[test]
+fn unreachable_parser_state_is_a_warning() {
+    let g = ParseGraph {
+        states: vec![state("start", vec![]), state("orphan", vec![])],
+        start: 0,
+        max_depth: 12,
+    };
+    let r = check_parse_graph(&g);
+    assert!(!r.has_errors(), "{r}");
+    assert!(r.diagnostics.iter().any(|d| d.rule == "parser-unreachable"), "{r}");
+}
+
+#[test]
+fn standard_parser_graph_is_clean() {
+    assert!(check_parse_graph(&ParseGraph::standard()).diagnostics.is_empty());
+}
+
+// --- pass 5: replication / recirculation -----------------------------------
+
+#[test]
+fn mcast_member_on_unknown_port_is_an_error() {
+    let mut sw = clean_switch(); // only port 0 exists
+    sw.mcast.set_group(1, vec![McastMember { port: 9, rid: 1 }]);
+    let r = check_replication(&sw);
+    assert!(r.errors().any(|d| d.rule == "mcast-bad-port"), "{r}");
+}
+
+#[test]
+fn unknown_mcast_group_reference_is_an_error() {
+    let mut sw = clean_switch();
+    let t = Table::new(
+        "rep",
+        MatchKind::Exact,
+        vec![fields::TEMPLATE_ID],
+        4,
+        ActionSet::new("grp", vec![PrimitiveOp::SetMcastGroup(7)]),
+    );
+    sw.ingress.push_table(t);
+    let r = check_replication(&sw);
+    assert!(r.errors().any(|d| d.rule == "mcast-unknown-group"), "{r}");
+}
+
+#[test]
+fn recirculate_in_default_action_is_unbounded() {
+    let mut sw = clean_switch();
+    let t = Table::new(
+        "acc",
+        MatchKind::Exact,
+        vec![fields::TEMPLATE_ID],
+        4,
+        ActionSet::new("loop", vec![PrimitiveOp::Recirculate]),
+    );
+    sw.ingress.push_table(t);
+    let r = check_replication(&sw);
+    assert!(r.errors().any(|d| d.rule == "recirc-unbounded"), "{r}");
+}
+
+#[test]
+fn template_keyed_recirculation_entry_is_bounded() {
+    let mut sw = clean_switch();
+    let mut t = Table::new("acc", MatchKind::Exact, vec![fields::TEMPLATE_ID], 4, ActionSet::nop());
+    t.insert(MatchKey::Exact(vec![1]), ActionSet::new("loop", vec![PrimitiveOp::Recirculate]), 0)
+        .unwrap();
+    sw.ingress.push_table(t);
+    sw.mcast.set_group(1, vec![McastMember { port: 0, rid: 1 }]);
+    let r = check_replication(&sw);
+    assert!(r.diagnostics.is_empty(), "{r}");
+}
+
+// --- pass 6: gateway contradictions ----------------------------------------
+
+#[test]
+fn statically_false_gateway_is_an_error() {
+    let mut sw = clean_switch();
+    // tcp.sport is 16 bits; no value exceeds 0x10000.
+    let t = Table::new("dead", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Eq, value: 0x1_0000 });
+    sw.ingress.push_table(t);
+    let r = check_gateways(&sw);
+    assert!(r.errors().any(|d| d.rule == "gateway-false"), "{r}");
+}
+
+#[test]
+fn contradicting_gateway_pair_is_an_error() {
+    let mut sw = clean_switch();
+    let t = Table::new("dead", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Lt, value: 5 })
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Gt, value: 10 });
+    sw.ingress.push_table(t);
+    let r = check_gateways(&sw);
+    assert!(r.errors().any(|d| d.rule == "gateway-contradiction"), "{r}");
+}
+
+#[test]
+fn tautological_gateway_is_a_warning() {
+    let mut sw = clean_switch();
+    let t = Table::new("t", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Ge, value: 0 });
+    sw.ingress.push_table(t);
+    let r = check_gateways(&sw);
+    assert!(!r.has_errors(), "{r}");
+    assert!(r.diagnostics.iter().any(|d| d.rule == "gateway-redundant"), "{r}");
+}
+
+#[test]
+fn satisfiable_gateway_pair_is_clean() {
+    let mut sw = clean_switch();
+    let t = Table::new("t", MatchKind::Exact, vec![fields::IPV4_DST], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Ge, value: 5 })
+        .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Le, value: 10 });
+    sw.ingress.push_table(t);
+    assert!(check_gateways(&sw).diagnostics.is_empty());
+}
+
+// --- driver -----------------------------------------------------------------
+
+#[test]
+fn clean_switch_passes_every_pass() {
+    let r = lint_switch(&clean_switch());
+    assert!(r.diagnostics.is_empty(), "{r}");
+}

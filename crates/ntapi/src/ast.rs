@@ -50,7 +50,9 @@ impl HeaderField {
             HeaderField::EthSrc | HeaderField::EthDst => 48,
             HeaderField::Sip | HeaderField::Dip => 32,
             HeaderField::Proto | HeaderField::Ttl | HeaderField::TcpFlags => 8,
-            HeaderField::Ident | HeaderField::Sport | HeaderField::Dport | HeaderField::Window => 16,
+            HeaderField::Ident | HeaderField::Sport | HeaderField::Dport | HeaderField::Window => {
+                16
+            }
             HeaderField::SeqNo | HeaderField::AckNo => 32,
         }
     }

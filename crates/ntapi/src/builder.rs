@@ -261,11 +261,7 @@ impl QueryBuilder {
     }
 
     /// Reduce over key fields.
-    pub fn reduce(
-        mut self,
-        keys: impl IntoIterator<Item = HeaderField>,
-        func: ReduceFunc,
-    ) -> Self {
+    pub fn reduce(mut self, keys: impl IntoIterator<Item = HeaderField>, func: ReduceFunc) -> Self {
         self.def.ops.push(QueryOp::Reduce { keys: keys.into_iter().collect(), func });
         self
     }
@@ -305,11 +301,8 @@ mod tests {
         assert_eq!(t1.sets.len(), 7);
         assert!(t1.source_query.is_none());
 
-        let q = query("Q1")
-            .on_trigger("T1")
-            .map([NtField::PktLen])
-            .reduce_all(ReduceFunc::Sum)
-            .build();
+        let q =
+            query("Q1").on_trigger("T1").map([NtField::PktLen]).reduce_all(ReduceFunc::Sum).build();
         assert_eq!(q.source, QuerySource::Trigger("T1".into()));
         assert_eq!(q.ops.len(), 2);
     }

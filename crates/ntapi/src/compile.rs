@@ -90,6 +90,11 @@ pub enum NtapiError {
         /// The offending exponent.
         u32,
     ),
+    /// The task failed static verification (see [`crate::lint`]).
+    Lint(
+        /// The error diagnostics that denied compilation.
+        Vec<ht_lint::Diagnostic>,
+    ),
 }
 
 impl std::fmt::Display for NtapiError {
@@ -115,6 +120,13 @@ impl std::fmt::Display for NtapiError {
             }
             NtapiError::HeaderSpace(e) => write!(f, "{e}"),
             NtapiError::BadRandomBits(b) => write!(f, "random table exponent {b} out of 1..=20"),
+            NtapiError::Lint(diags) => {
+                write!(f, "task rejected by static verification:")?;
+                for d in diags {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -327,6 +339,8 @@ pub struct CompiledTask {
     pub program: Program,
     /// Options used.
     pub options: CompileOptions,
+    /// Non-blocking findings from task-level static verification.
+    pub warnings: Vec<ht_lint::Diagnostic>,
 }
 
 impl PartialEq for CompileOptions {
@@ -343,7 +357,10 @@ pub fn compile(program: &Program) -> Result<CompiledTask, NtapiError> {
 }
 
 /// Compiles a program.
-pub fn compile_with(program: &Program, options: CompileOptions) -> Result<CompiledTask, NtapiError> {
+pub fn compile_with(
+    program: &Program,
+    options: CompileOptions,
+) -> Result<CompiledTask, NtapiError> {
     let mut templates = Vec::new();
     for (i, trig) in program.triggers.iter().enumerate() {
         templates.push(compile_trigger(program, trig, (i + 1) as u16)?);
@@ -384,7 +401,20 @@ pub fn compile_with(program: &Program, options: CompileOptions) -> Result<Compil
         return Err(NtapiError::StageOverflow { needed, available: options.stage_budget });
     }
 
-    Ok(CompiledTask { templates, queries, program: program.clone(), options })
+    // Task-level static verification: errors deny compilation, warnings
+    // ride along on the compiled task.
+    let report = crate::lint::lint_task(&templates);
+    if report.has_errors() {
+        return Err(NtapiError::Lint(report.errors().cloned().collect()));
+    }
+
+    Ok(CompiledTask {
+        templates,
+        queries,
+        program: program.clone(),
+        options,
+        warnings: report.diagnostics,
+    })
 }
 
 fn check_width(field: HeaderField, value: u64) -> Result<(), NtapiError> {
@@ -772,7 +802,10 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
             });
         }
         // 95 64-byte templates > capacity 89.
-        assert!(matches!(compile(&prog), Err(NtapiError::AcceleratorOverflow { capacity: 89, .. })));
+        assert!(matches!(
+            compile(&prog),
+            Err(NtapiError::AcceleratorOverflow { capacity: 89, .. })
+        ));
         // With one loopback port the capacity doubles.
         let opts = CompileOptions { recirc_loops: 2, stage_budget: 400, ..Default::default() };
         assert!(compile_with(&prog, opts).is_ok());

@@ -106,9 +106,8 @@ pub fn compute_fp_entries(space: &[Vec<u64>], cfg: &HashConfig) -> Vec<Vec<u64>>
         // in the exact key matching table").
         let mut kept: Vec<(usize, u64, u64)> = Vec::with_capacity(group.len());
         for &(i, h1, h2) in group {
-            let collides = kept
-                .iter()
-                .any(|&(_, k1, k2)| h1 == k1 || h1 == k2 || h2 == k1 || h2 == k2);
+            let collides =
+                kept.iter().any(|&(_, k1, k2)| h1 == k1 || h1 == k2 || h2 == k1 || h2 == k2);
             if collides {
                 diverted.push(i);
             } else {
@@ -163,8 +162,7 @@ mod tests {
         let n = 300_000;
         let narrow = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 16 });
         let wide = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 32 });
-        assert!(wide.len() < narrow.len().max(1),
-                "wide {} narrow {}", wide.len(), narrow.len());
+        assert!(wide.len() < narrow.len().max(1), "wide {} narrow {}", wide.len(), narrow.len());
     }
 
     #[test]
@@ -194,10 +192,7 @@ mod tests {
         for group in by_digest.values() {
             for (i, a) in group.iter().enumerate() {
                 for b in &group[i + 1..] {
-                    assert!(
-                        !is_false_positive_pair(a, b, &cfg),
-                        "surviving fp pair {a:?} / {b:?}"
-                    );
+                    assert!(!is_false_positive_pair(a, b, &cfg), "surviving fp pair {a:?} / {b:?}");
                 }
             }
         }

@@ -24,6 +24,7 @@ pub mod codegen;
 pub mod compile;
 pub mod fp;
 pub mod headerspace;
+pub mod lint;
 pub mod loc;
 pub mod parse;
 pub mod printer;

@@ -1,0 +1,135 @@
+//! Task-level static checks, run by the compiler before pipeline layout.
+//!
+//! These complement the program-level passes in `ht-lint` (which need a
+//! built switch): they operate on the compiled [`TemplateSpec`]s, where
+//! task-shaped mistakes — shadowed edits, degenerate replication sets,
+//! overflowing loop bounds — are still visible as the user wrote them.
+
+use crate::compile::{EditSpec, TemplateSpec};
+use ht_lint::{Diagnostic, LintReport};
+use std::collections::HashSet;
+
+/// Length of one replay cycle of a template's edits — mirrors the loop
+/// guard's math in the sender build.
+fn cycle_len(tpl: &TemplateSpec) -> u64 {
+    tpl.edits
+        .iter()
+        .map(|e| match e {
+            EditSpec::ValueList { values, .. } => values.len() as u64,
+            EditSpec::Progression { start, end, step, .. } => (end - start) / step + 1,
+            _ => 1,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Lints compiled templates.  Errors returned here deny compilation;
+/// warnings are attached to the compiled task.
+pub fn lint_task(templates: &[TemplateSpec]) -> LintReport {
+    let mut report = LintReport::new();
+    for tpl in templates {
+        let at = format!("trigger {}", tpl.trigger_name);
+
+        if tpl.ports.is_empty() {
+            report.push(Diagnostic::error(
+                "ports-empty",
+                at.clone(),
+                "the trigger replicates to an empty port set, so no test packet ever leaves",
+                "set at least one egress port, e.g. `.set(port, [0])`",
+            ));
+        }
+        let mut seen_ports = HashSet::new();
+        for &p in &tpl.ports {
+            if !seen_ports.insert(p) {
+                report.push(Diagnostic::warning(
+                    "ports-duplicate",
+                    at.clone(),
+                    format!("port {p} appears more than once in the replication set"),
+                    "duplicate ports send identical replicas; list each port once",
+                ));
+            }
+        }
+
+        let mut seen_fields = HashSet::new();
+        for e in &tpl.edits {
+            let f = e.field();
+            if !seen_fields.insert(f) {
+                report.push(Diagnostic::error(
+                    "edit-shadowed",
+                    at.clone(),
+                    format!(
+                        "field `{}` is edited more than once; the later edit silently overwrites the earlier one",
+                        f.name()
+                    ),
+                    "keep a single `.set(...)` per field",
+                ));
+            }
+        }
+
+        if tpl.loop_count > 0 && tpl.loop_count.checked_mul(cycle_len(tpl)).is_none() {
+            report.push(Diagnostic::error(
+                "loop-bound-overflow",
+                at.clone(),
+                format!(
+                    "loop bound {} x cycle {} overflows the loop-guard counter",
+                    tpl.loop_count,
+                    cycle_len(tpl)
+                ),
+                "reduce the loop count or the value-list length",
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::HeaderField;
+    use crate::compile::compile;
+    use crate::parse::parse;
+
+    fn templates_of(src: &str) -> Vec<TemplateSpec> {
+        let program = parse(src).unwrap();
+        compile(&program).unwrap().templates
+    }
+
+    #[test]
+    fn clean_task_has_no_findings() {
+        let t = templates_of("T1 = trigger().set(dport, 80)\n");
+        let r = lint_task(&t);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn duplicate_ports_warn() {
+        let t = templates_of("T1 = trigger().set(port, [0, 1, 0])\n");
+        let r = lint_task(&t);
+        assert!(!r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.rule == "ports-duplicate"), "{r}");
+    }
+
+    #[test]
+    fn shadowed_edit_is_an_error() {
+        let mut t = templates_of("T1 = trigger().set(sport, range(1, 9, 1))\n");
+        t[0].edits.push(EditSpec::ValueList { field: HeaderField::Sport, values: vec![7] });
+        let r = lint_task(&t);
+        assert!(r.errors().any(|d| d.rule == "edit-shadowed"), "{r}");
+    }
+
+    #[test]
+    fn overflowing_loop_bound_is_an_error() {
+        let mut t = templates_of("T1 = trigger().set(sport, range(1, 9, 1))\n");
+        t[0].loop_count = u64::MAX / 2;
+        let r = lint_task(&t);
+        assert!(r.errors().any(|d| d.rule == "loop-bound-overflow"), "{r}");
+    }
+
+    #[test]
+    fn empty_port_set_is_an_error() {
+        let mut t = templates_of("T1 = trigger().set(dport, 80)\n");
+        t[0].ports.clear();
+        let r = lint_task(&t);
+        assert!(r.errors().any(|d| d.rule == "ports-empty"), "{r}");
+    }
+}

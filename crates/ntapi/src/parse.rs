@@ -255,13 +255,17 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         out.push(Spanned { tok: Tok::Time(v, unit), line });
                     }
                     (3, true) => {
-                        let ip: ht_packet::Ipv4Address = text
-                            .parse()
-                            .map_err(|_| ParseError { line, msg: format!("bad IPv4 literal {text}") })?;
+                        let ip: ht_packet::Ipv4Address = text.parse().map_err(|_| ParseError {
+                            line,
+                            msg: format!("bad IPv4 literal {text}"),
+                        })?;
                         out.push(Spanned { tok: Tok::Ip(ip.to_u32()), line });
                     }
                     _ => {
-                        return Err(ParseError { line, msg: format!("bad numeric literal {text}{unit}") });
+                        return Err(ParseError {
+                            line,
+                            msg: format!("bad numeric literal {text}{unit}"),
+                        });
                     }
                 }
             }
@@ -425,9 +429,8 @@ impl Parser {
                     match v {
                         Value::Const(c) => list.push(*c),
                         other => {
-                            return self.err(format!(
-                                "array values must be constants, found {other:?}"
-                            ))
+                            return self
+                                .err(format!("array values must be constants, found {other:?}"))
                         }
                     }
                 }
@@ -628,7 +631,9 @@ impl Parser {
                 QuerySource::Received(Some(p as u16))
             }
             Some(Tok::Ident(_)) => QuerySource::Trigger(self.ident()?),
-            other => return self.err(format!("expected trigger name, port=, or ')', found {other:?}")),
+            other => {
+                return self.err(format!("expected trigger name, port=, or ')', found {other:?}"))
+            }
         };
         self.expect(Tok::RParen)?;
 

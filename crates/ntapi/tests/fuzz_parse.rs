@@ -47,7 +47,8 @@ proptest! {
 
 #[test]
 fn truncations_of_a_valid_program_never_panic() {
-    let good = "T1 = trigger().set([dip, sport], [10.0.0.2, 80]).set(sip, range(1.1.1.1, 1.1.2.1, 1))\n\
+    let good =
+        "T1 = trigger().set([dip, sport], [10.0.0.2, 80]).set(sip, range(1.1.1.1, 1.1.2.1, 1))\n\
                 Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys=[sip, dip])";
     for end in 0..=good.len() {
         if good.is_char_boundary(end) {

@@ -17,18 +17,8 @@ use crate::{tcp, udp};
 /// Transport-layer selection for the builder.
 #[derive(Debug, Clone)]
 enum L4 {
-    Udp {
-        src_port: u16,
-        dst_port: u16,
-    },
-    Tcp {
-        src_port: u16,
-        dst_port: u16,
-        seq_no: u32,
-        ack_no: u32,
-        flags: TcpFlags,
-        window: u16,
-    },
+    Udp { src_port: u16, dst_port: u16 },
+    Tcp { src_port: u16, dst_port: u16, seq_no: u32, ack_no: u32, flags: TcpFlags, window: u16 },
     None,
 }
 
@@ -110,7 +100,14 @@ impl PacketBuilder {
     }
 
     /// Adds a TCP layer.
-    pub fn tcp(mut self, src_port: u16, dst_port: u16, seq_no: u32, ack_no: u32, flags: TcpFlags) -> Self {
+    pub fn tcp(
+        mut self,
+        src_port: u16,
+        dst_port: u16,
+        seq_no: u32,
+        ack_no: u32,
+        flags: TcpFlags,
+    ) -> Self {
         self.l4 = L4::Tcp { src_port, dst_port, seq_no, ack_no, flags, window: 65535 };
         self
     }

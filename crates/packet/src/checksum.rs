@@ -65,8 +65,10 @@ mod tests {
     #[test]
     fn verification_of_valid_data_yields_zero() {
         // Inserting the computed checksum makes the total sum fold to zero.
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00,
-                            0x00, 0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x00, 0x02];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 0x0a, 0x00,
+            0x00, 0x01, 0x0a, 0x00, 0x00, 0x02,
+        ];
         let c = checksum(&data);
         data[10..12].copy_from_slice(&c.to_be_bytes());
         assert_eq!(checksum(&data), 0);

@@ -40,10 +40,7 @@ impl std::str::FromStr for Ipv4Address {
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for o in octets.iter_mut() {
-            *o = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .ok_or(ParseError::Malformed)?;
+            *o = parts.next().and_then(|p| p.parse().ok()).ok_or(ParseError::Malformed)?;
         }
         if parts.next().is_some() {
             return Err(ParseError::Malformed);

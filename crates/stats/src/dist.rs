@@ -166,9 +166,7 @@ impl CdfTable {
     pub fn from_distribution(dist: &Distribution, bits: u32) -> Self {
         assert!((1..=24).contains(&bits), "table bits out of range: {bits}");
         let n = 1usize << bits;
-        let values = (0..n)
-            .map(|i| dist.inverse_cdf((i as f64 + 0.5) / n as f64))
-            .collect();
+        let values = (0..n).map(|i| dist.inverse_cdf((i as f64 + 0.5) / n as f64)).collect();
         CdfTable { values, bits }
     }
 

@@ -63,11 +63,7 @@ impl Histogram {
     /// `(bin_center, count)` pairs for rendering.
     pub fn centers(&self) -> Vec<(f64, u64)> {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
-        self.bins
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
-            .collect()
+        self.bins.iter().enumerate().map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c)).collect()
     }
 }
 

@@ -47,10 +47,7 @@ pub fn max_diagonal_deviation(points: &[QqPoint], dist: &Distribution) -> f64 {
     let n = points.len();
     let lo = n / 100;
     let hi = n - n / 100;
-    points[lo..hi]
-        .iter()
-        .map(|p| (p.empirical - p.theoretical).abs() / iqr)
-        .fold(0.0, f64::max)
+    points[lo..hi].iter().map(|p| (p.empirical - p.theoretical).abs() / iqr).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

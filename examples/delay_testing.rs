@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example delay_testing`
 
+use ht_packet::wire::gbps;
+use ht_stats::Summary;
 use hypertester::asic::time::{ms, to_ns_f64};
 use hypertester::asic::{Switch, World};
 use hypertester::baseline::ratectl::{timestamp_error, TimestampMode};
@@ -16,8 +18,6 @@ use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::{Forwarder, Sink};
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
-use ht_stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,9 +36,7 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
 
     let mut world = World::new(1);
     let sw = world.add_device(Box::new(tester.switch));
-    let dut = world.add_device(Box::new(
-        Forwarder::new("dut", 600_000).route(0, 1, gbps(100)),
-    ));
+    let dut = world.add_device(Box::new(Forwarder::new("dut", 600_000).route(0, 1, gbps(100))));
     let sink = world.add_device(Box::new(Sink::new("probe-rx").logging_arrivals()));
     world.connect((sw, 0), (dut, 0), 0);
     world.connect((dut, 1), (sink, 0), 0);
@@ -70,11 +68,12 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
 
     // The wire-level truth includes the DUT's serialization of the 128-byte
     // frame, so the reference is a bit above the configured pipeline delay.
-    let truth_ns = Summary::new(
-        &(0..n).map(|i| to_ns_f64(rx[i] - tx[i])).collect::<Vec<_>>(),
-    )
-    .unwrap();
-    println!("true forwarding delay: mean {:.0} ns (DUT pipeline {DUT_DELAY_NS} ns + wire)", truth_ns.mean());
+    let truth_ns =
+        Summary::new(&(0..n).map(|i| to_ns_f64(rx[i] - tx[i])).collect::<Vec<_>>()).unwrap();
+    println!(
+        "true forwarding delay: mean {:.0} ns (DUT pipeline {DUT_DELAY_NS} ns + wire)",
+        truth_ns.mean()
+    );
     println!();
     println!("{:<32} {:>10} {:>10} {:>10}", "method", "mean ns", "p50 ns", "stddev");
     let mut means = Vec::new();
@@ -89,7 +88,9 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
     println!();
     println!("measurement inflation: HW +{hw_excess:.0} ns, MoonGen-SW +{mg_excess:.0} ns");
     assert!(means[0] < means[1] && means[1] < means[2], "Fig. 18 ordering violated");
-    assert!(mg_excess > 3.0 * (hw_excess + (means[1] - truth_ns.mean())),
-            "MoonGen-SW must deviate by over 3x (Fig. 18)");
+    assert!(
+        mg_excess > 3.0 * (hw_excess + (means[1] - truth_ns.mean())),
+        "MoonGen-SW must deviate by over 3x (Fig. 18)"
+    );
     println!("OK: smaller measured delay = better accuracy; MoonGen-SW off by >3x");
 }

@@ -12,13 +12,13 @@
 //!
 //! Run with: `cargo run --release --example imix`
 
+use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
 use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
 
 fn main() {
     // The classic simple IMIX in packet counts ≈ 7:4:1 for 64/576/1500 B.
@@ -45,9 +45,9 @@ Q3 = query(T3).map(p -> (pkt_len)).reduce(func=sum)
 
     let mut world = World::new(1);
     let sw = world.add_device(Box::new(tester.switch));
-    let sink = world.add_device(Box::new(Sink::new("sink").capturing(vec![
-        hypertester::asic::fields::PKT_LEN,
-    ])));
+    let sink = world.add_device(Box::new(
+        Sink::new("sink").capturing(vec![hypertester::asic::fields::PKT_LEN]),
+    ));
     world.connect((sw, 0), (sink, 0), 0);
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(100));
@@ -77,10 +77,7 @@ Q3 = query(T3).map(p -> (pkt_len)).reduce(func=sum)
     for (q, size) in [("Q1", 64u64), ("Q2", 576), ("Q3", 1500)] {
         let bytes = global_value(sw_ref, &tester.handles.queries[q]);
         let sunk = by_size.get(&size).copied().unwrap_or(0) * size;
-        assert!(
-            bytes >= sunk && bytes - sunk <= 4 * size,
-            "{q}: query {bytes} vs sink {sunk}"
-        );
+        assert!(bytes >= sunk && bytes - sunk <= 4 * size, "{q}: query {bytes} vs sink {sunk}");
         println!("  {q} (sent bytes @{size} B): {bytes}");
     }
     println!("OK: three templates coexist at their configured rates and sizes");

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example ip_scan`
 
+use ht_packet::tcp::TcpFlags;
+use ht_packet::wire::gbps;
 use hypertester::asic::phv::fields;
 use hypertester::asic::sim::{Device, Outbox};
 use hypertester::asic::time::{ms, SimTime};
@@ -15,8 +17,6 @@ use hypertester::asic::{SimPacket, Switch, World};
 use hypertester::core::{build, distinct_count, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::tcp::TcpFlags;
-use ht_packet::wire::gbps;
 use std::any::Any;
 
 /// Answers SYNs for every 7th address of the scanned range.
@@ -33,7 +33,7 @@ impl Device for SparseResponders {
     fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox) {
         let dst = pkt.phv.get(fields::IPV4_DST) as u32;
         let flags = TcpFlags(pkt.phv.get(fields::TCP_FLAGS) as u8);
-        if !flags.contains(TcpFlags::SYN) || dst % 7 != 0 {
+        if !flags.contains(TcpFlags::SYN) || !dst.is_multiple_of(7) {
             return; // host does not exist / not a probe
         }
         self.answered.insert(dst);

@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --release --example loss_measurement`
 
+use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
 use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Forwarder;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
 
 fn main() {
     let src = r#"
@@ -45,7 +45,10 @@ Q2 = query().reduce(func=count)
 
     println!("sent (Q1)          : {sent}");
     println!("received (Q2)      : {received}");
-    println!("measured loss      : {measured_loss} ({:.3}%)", 100.0 * measured_loss as f64 / sent as f64);
+    println!(
+        "measured loss      : {measured_loss} ({:.3}%)",
+        100.0 * measured_loss as f64 / sent as f64
+    );
     println!("injected drops     : {true_drops}");
 
     assert!(sent > 40_000, "sent {sent}");

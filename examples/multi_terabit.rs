@@ -8,13 +8,13 @@
 //!
 //! Run with: `cargo run --release --example multi_terabit`
 
+use ht_packet::wire::{gbps, line_rate_pps};
 use hypertester::asic::time::us;
 use hypertester::asic::World;
 use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::{gbps, line_rate_pps};
 
 const PORTS: u16 = 32;
 const FRAME: usize = 256;
@@ -49,9 +49,7 @@ fn main() {
     let per_port_line = line_rate_pps(FRAME, gbps(100));
     let total_pps: f64 = (0..PORTS).map(|p| s.ports[&p].pps()).sum();
     let total_tbps = total_pps * ((FRAME + 20) * 8) as f64 / 1e12;
-    let slowest = (0..PORTS)
-        .map(|p| s.ports[&p].pps())
-        .fold(f64::INFINITY, f64::min);
+    let slowest = (0..PORTS).map(|p| s.ports[&p].pps()).fold(f64::INFINITY, f64::min);
 
     println!("aggregate: {:.2} Gpps, {total_tbps:.2} Tbps L1", total_pps / 1e9);
     println!(

@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use ht_packet::wire::{gbps, line_rate_pps};
+use hypertester::asic::time::{ms, to_secs_f64};
+use hypertester::asic::{Switch, World};
 use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, parse};
-use hypertester::asic::time::{ms, to_secs_f64};
-use hypertester::asic::{Switch, World};
-use ht_packet::wire::{gbps, line_rate_pps};
 
 fn main() {
     // 1. A testing task in the paper's NTAPI (Table 3: throughput testing).
@@ -55,7 +55,10 @@ Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
 
     let sw_ref: &Switch = world.device(sw);
     let sent = global_value(sw_ref, &tester.handles.queries["Q1"]);
-    println!("Q1 (sent bytes): {sent} — matches MAC counter: {}", sent == sw_ref.counters.tx_frames * 64);
+    println!(
+        "Q1 (sent bytes): {sent} — matches MAC counter: {}",
+        sent == sw_ref.counters.tx_frames * 64
+    );
 
     assert!((pps - line_rate_pps(64, gbps(100))).abs() / pps < 0.02, "not at line rate");
     println!("OK: line-rate generation verified");

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example random_traffic`
 
+use ht_packet::wire::gbps;
+use ht_stats::{max_diagonal_deviation, qq_points, Distribution, Ecdf, Summary};
 use hypertester::asic::fields;
 use hypertester::asic::time::ms;
 use hypertester::asic::World;
@@ -15,8 +17,6 @@ use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
-use ht_stats::{max_diagonal_deviation, qq_points, Distribution, Ecdf, Summary};
 
 fn run_case(name: &str, src: &str, dist: Distribution) {
     let task = compile(&parse(src).expect("parse")).expect("compile");
@@ -25,18 +25,13 @@ fn run_case(name: &str, src: &str, dist: Distribution) {
 
     let mut world = World::new(1);
     let sw = world.add_device(Box::new(tester.switch));
-    let sink = world
-        .add_device(Box::new(Sink::new("sink").capturing(vec![fields::UDP_DPORT])));
+    let sink = world.add_device(Box::new(Sink::new("sink").capturing(vec![fields::UDP_DPORT])));
     world.connect((sw, 0), (sink, 0), 0);
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(2));
 
-    let samples: Vec<f64> = world
-        .device::<Sink>(sink)
-        .captured
-        .iter()
-        .map(|(_, _, v)| v[0] as f64)
-        .collect();
+    let samples: Vec<f64> =
+        world.device::<Sink>(sink).captured.iter().map(|(_, _, v)| v[0] as f64).collect();
     let s = Summary::new(&samples).expect("samples");
     let qq = qq_points(&samples, &dist);
     let dev = max_diagonal_deviation(&qq, &dist);

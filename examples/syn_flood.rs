@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --release --example syn_flood`
 
+use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::World;
 use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
 
 /// One distributed agent is assumed to source 1 Mbps of SYN traffic
 /// (the paper's assumption, from A10's DDoS testing white paper).
@@ -31,12 +31,10 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
 
     let mut world = World::new(1);
     let sw = world.add_device(Box::new(tester.switch));
-    let victim = world.add_device(Box::new(
-        Sink::new("victim").capturing(vec![
-            hypertester::asic::fields::IPV4_SRC,
-            hypertester::asic::fields::TCP_FLAGS,
-        ]),
-    ));
+    let victim = world.add_device(Box::new(Sink::new("victim").capturing(vec![
+        hypertester::asic::fields::IPV4_SRC,
+        hypertester::asic::fields::TCP_FLAGS,
+    ])));
     for p in 0..4 {
         world.connect((sw, p), (victim, p), 0);
     }
@@ -49,8 +47,7 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
 
     let v: &Sink = world.device(victim);
     let total_pps: f64 = (0..4).map(|p| v.ports[&p].pps()).sum();
-    let total_gbps: f64 =
-        (0..4).map(|p| v.ports[&p].l2_bps()).sum::<f64>() / 1e9;
+    let total_gbps: f64 = (0..4).map(|p| v.ports[&p].l2_bps()).sum::<f64>() / 1e9;
     let l1_gbps = total_pps * (64.0 + 20.0) * 8.0 / 1e9;
     let agents = l1_gbps * 1e9 / AGENT_BPS;
 
@@ -60,7 +57,10 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
         v.captured.iter().map(|(_, _, f)| f[0]).collect();
 
     println!("SYN flood over 4 × 100 Gbps (1 ms window):");
-    println!("  SYN rate            : {:.0} Mpps ({total_gbps:.0} Gbps L2, {l1_gbps:.0} Gbps L1)", total_pps / 1e6);
+    println!(
+        "  SYN rate            : {:.0} Mpps ({total_gbps:.0} Gbps L2, {l1_gbps:.0} Gbps L1)",
+        total_pps / 1e6
+    );
     println!("  emulated agents     : {:.2e} (at 1 Mbps per agent)", agents);
     println!("  all packets are SYN : {all_syn}");
     println!("  distinct source IPs : {}", distinct_sources.len());
@@ -68,8 +68,11 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
     println!("Table 8 extrapolation to a 6.5 Tbps switch at 80% load:");
     let est_tbps = 6.5 * 0.8;
     let est_pps = est_tbps * 1e12 / ((64.0 + 20.0) * 8.0);
-    println!("  throughput: {est_tbps:.1} Tbps, SYN packets: {:.0} Mpps, agents: {:.1e}",
-             est_pps / 1e6, est_tbps * 1e12 / AGENT_BPS);
+    println!(
+        "  throughput: {est_tbps:.1} Tbps, SYN packets: {:.0} Mpps, agents: {:.1e}",
+        est_pps / 1e6,
+        est_tbps * 1e12 / AGENT_BPS
+    );
 
     assert!(total_pps > 590e6, "expected ≈595 Mpps, got {total_pps}");
     assert!(all_syn);

@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --release --example web_testing`
 
+use ht_packet::wire::gbps;
 use hypertester::asic::time::{ms, us};
 use hypertester::asic::{Switch, World};
 use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::TcpResponder;
 use hypertester::ntapi::{compile, parse};
-use ht_packet::wire::gbps;
 
 fn main() {
     // Table 4, condensed: T1 opens, Q1 captures SYN+ACKs, T2 ACKs, T3

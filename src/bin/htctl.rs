@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! htctl compile <task.nt>                 validate a task; print the summary
+//! htctl lint [--json] <task.nt>           static verification; exit 1 on
+//!                                         error diagnostics
 //! htctl p4 <task.nt>                      emit the generated P4 program
 //! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
 //! htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]
@@ -12,18 +14,20 @@
 //! Argument parsing is hand-rolled (the workspace keeps its dependency set
 //! to the simulation essentials).
 
+use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, query_result, QueryResult, TesterConfig};
+use hypertester::core::{build, query_result, BuildError, QueryResult, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
-use hypertester::ntapi::{codegen, compile, loc, parse, CompiledTask};
-use ht_packet::wire::gbps;
+use hypertester::lint::{json_escape, lint_switch, Diagnostic, LintReport};
+use hypertester::ntapi::{codegen, compile, loc, parse, CompiledTask, NtapiError};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  htctl compile <task.nt>\n  htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
+        "usage:\n  htctl compile <task.nt>\n  htctl lint [--json] <task.nt>\n  \
+         htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
          htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]"
     );
     ExitCode::from(2)
@@ -56,14 +60,69 @@ fn cmd_compile(path: &str) -> Result<(), String> {
         );
     }
     for q in &task.queries {
-        let fp = q
-            .fp
-            .as_ref()
-            .map(|f| format!(", {} exact-match entries over {} keys", f.entries.len(), f.space_size))
-            .unwrap_or_default();
+        let fp =
+            q.fp.as_ref()
+                .map(|f| {
+                    format!(", {} exact-match entries over {} keys", f.entries.len(), f.space_size)
+                })
+                .unwrap_or_default();
         println!("  query {:<4} {:?}{fp}", q.name, q.kind);
     }
     Ok(())
+}
+
+/// Builds the findings for one task file: task-level warnings from the
+/// compiler, plus the program-level passes over the built switch.  A
+/// compile or build failure that is *not* a lint rejection is reported as a
+/// single `compile-error` diagnostic so the output stays uniform.
+fn lint_findings(path: &str) -> Result<LintReport, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut report = LintReport::new();
+    let prog = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            report.push(Diagnostic::error("compile-error", path, e.to_string(), ""));
+            return Ok(report);
+        }
+    };
+    let task = match compile(&prog) {
+        Ok(t) => t,
+        Err(NtapiError::Lint(diags)) => {
+            report.diagnostics.extend(diags);
+            return Ok(report);
+        }
+        Err(e) => {
+            report.push(Diagnostic::error("compile-error", path, e.to_string(), ""));
+            return Ok(report);
+        }
+    };
+    report.diagnostics.extend(task.warnings.clone());
+    // Build the pipeline program on a switch with enough ports for the
+    // task's replication sets, then run the program-level passes.
+    let ports =
+        task.templates.iter().flat_map(|t| t.ports.iter().copied()).max().map_or(1, |p| p + 1);
+    match build(&task, &TesterConfig::with_ports(ports, gbps(100))) {
+        Ok(tester) => report.merge(lint_switch(&tester.switch)),
+        Err(BuildError::Lint(diags)) => report.diagnostics.extend(diags),
+        Err(e) => report.push(Diagnostic::error("compile-error", path, e.to_string(), "")),
+    }
+    Ok(report)
+}
+
+fn cmd_lint(path: &str, json: bool) -> Result<bool, String> {
+    let report = lint_findings(path)?;
+    if json {
+        println!(
+            "{{\"file\":\"{}\",\"diagnostics\":{},\"errors\":{},\"warnings\":{}}}",
+            json_escape(path),
+            report.to_json(),
+            report.error_count(),
+            report.warning_count()
+        );
+    } else {
+        println!("{path}: {report}");
+    }
+    Ok(report.has_errors())
 }
 
 fn cmd_p4(path: &str) -> Result<(), String> {
@@ -93,9 +152,8 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut templates = Vec::new();
     for i in 0..tester.templates.len() {
-        let copies = opts
-            .copies
-            .unwrap_or_else(|| tester.copies_for_line_rate(i, gbps(opts.speed_gbps)));
+        let copies =
+            opts.copies.unwrap_or_else(|| tester.copies_for_line_rate(i, gbps(opts.speed_gbps)));
         templates.extend(tester.template_copies(i, copies));
     }
     println!(
@@ -161,6 +219,26 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+
+    if cmd == "lint" {
+        let json = rest.iter().any(|a| a == "--json");
+        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+        let [path] = paths[..] else {
+            return usage();
+        };
+        if rest.iter().any(|a| a.starts_with("--") && a != "--json") {
+            return usage();
+        }
+        return match cmd_lint(path, json) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let Some(path) = rest.first() else {
         return usage();
     };
@@ -170,8 +248,7 @@ fn main() -> ExitCode {
         "p4" => cmd_p4(path),
         "loc" => cmd_loc(path),
         "run" => {
-            let mut opts =
-                RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None };
+            let mut opts = RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None };
             let mut it = rest[1..].iter();
             while let Some(flag) = it.next() {
                 let val = it.next().map(String::as_str);

@@ -15,6 +15,7 @@ pub use ht_baseline as baseline;
 pub use ht_core as core;
 pub use ht_cpu as cpu;
 pub use ht_dut as dut;
+pub use ht_lint as lint;
 pub use ht_ntapi as ntapi;
 pub use ht_packet as packet;
 pub use ht_stats as stats;

@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn htctl(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_htctl"))
-        .args(args)
-        .output()
-        .expect("spawn htctl");
+    let out = Command::new(env!("CARGO_BIN_EXE_htctl")).args(args).output().expect("spawn htctl");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -52,8 +49,7 @@ fn loc_counts_both_sides() {
 
 #[test]
 fn run_prints_throughput_and_queries() {
-    let (stdout, _, ok) =
-        htctl(&["run", &task_path("throughput.nt"), "--duration", "1"]);
+    let (stdout, _, ok) = htctl(&["run", &task_path("throughput.nt"), "--duration", "1"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("per-port throughput"));
     assert!(stdout.contains("query results"));
@@ -75,6 +71,50 @@ fn rejected_task_exits_nonzero_with_message() {
 #[test]
 fn missing_args_show_usage() {
     let (_, stderr, ok) = htctl(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn lint_accepts_all_shipped_tasks() {
+    for name in ["scan.nt", "syn_flood.nt", "throughput.nt"] {
+        let (stdout, stderr, ok) = htctl(&["lint", &task_path(name)]);
+        assert!(ok, "{name}: {stdout}{stderr}");
+        assert!(stdout.contains("0 error(s)"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn lint_json_has_the_documented_shape() {
+    let (stdout, _, ok) = htctl(&["lint", "--json", &task_path("throughput.nt")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"file\":"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":["), "{stdout}");
+    assert!(stdout.contains("\"errors\":0"), "{stdout}");
+    assert!(stdout.contains("\"warnings\":"), "{stdout}");
+}
+
+#[test]
+fn lint_rejects_a_shadowed_edit_with_exit_one() {
+    let dir = std::env::temp_dir().join("htctl-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("shadowed.nt");
+    // Two edits of the same field: the second silently overwrites the
+    // first, which the task-level lint flags as an error.
+    std::fs::write(&bad, "T1 = trigger().set(sport, range(1, 9, 1)).set(sport, [7, 8])\n").unwrap();
+    let (stdout, _, ok) = htctl(&["lint", bad.to_str().unwrap()]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("edit-shadowed"), "{stdout}");
+
+    let (json_out, _, json_ok) = htctl(&["lint", "--json", bad.to_str().unwrap()]);
+    assert!(!json_ok);
+    assert!(json_out.contains("\"rule\":\"edit-shadowed\""), "{json_out}");
+    assert!(json_out.contains("\"severity\":\"error\""), "{json_out}");
+}
+
+#[test]
+fn lint_without_a_path_shows_usage() {
+    let (_, stderr, ok) = htctl(&["lint", "--json"]);
     assert!(!ok);
     assert!(stderr.contains("usage:"));
 }

@@ -2,6 +2,7 @@
 //! multi-device testbeds, including the paper's two-switch topology
 //! (Fig. 8), fault injection, and task-rejection paths.
 
+use ht_packet::wire::gbps;
 use hypertester::asic::action::{ActionSet, PrimitiveOp};
 use hypertester::asic::phv::fields;
 use hypertester::asic::table::{MatchKind, Table};
@@ -11,7 +12,6 @@ use hypertester::core::{build, distinct_count, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ntapi::{compile, compile_with, parse, CompileOptions, NtapiError};
-use ht_packet::wire::gbps;
 
 /// Tester → second (Tofino-like) switch under test → back to the tester:
 /// the Fig. 8 topology, with the DUT being another `ht-asic` switch
@@ -110,21 +110,14 @@ fn loopback_ports_extend_accelerator_capacity() {
         );
     }
     // One loop: rejected.
-    assert!(matches!(
-        compile(&prog),
-        Err(NtapiError::AcceleratorOverflow { .. })
-    ));
+    assert!(matches!(compile(&prog), Err(NtapiError::AcceleratorOverflow { .. })));
     // Two loops (one loopback port): accepted and runnable.
     let opts = CompileOptions { recirc_loops: 2, stage_budget: 1000, ..Default::default() };
     let task = compile_with(&prog, opts).unwrap();
-    let cfg = TesterConfig {
-        loopback_ports: vec![3],
-        ..TesterConfig::with_ports(4, gbps(100))
-    };
+    let cfg = TesterConfig { loopback_ports: vec![3], ..TesterConfig::with_ports(4, gbps(100)) };
     let mut tester = build(&task, &cfg).unwrap();
-    let templates: Vec<_> = (0..task.templates.len())
-        .flat_map(|i| tester.template_copies(i, 1))
-        .collect();
+    let templates: Vec<_> =
+        (0..task.templates.len()).flat_map(|i| tester.template_copies(i, 1)).collect();
 
     let mut w = World::new(1);
     let t = w.add_device(Box::new(tester.switch));
@@ -188,7 +181,9 @@ T1 = trigger().set([dip, dport, proto, flag], [10.0.0.80, 80, tcp, SYN])
         assert!(p4_loc >= 10 * ntapi_loc, "{name}: P4 {p4_loc} vs NTAPI {ntapi_loc}");
         // And the code-size reduction vs MoonGen Lua is at least 74.4 %.
         let lua_loc = match name {
-            "throughput" => hypertester::baseline::lua::lua_loc(hypertester::baseline::lua::THROUGHPUT),
+            "throughput" => {
+                hypertester::baseline::lua::lua_loc(hypertester::baseline::lua::THROUGHPUT)
+            }
             "delay" => hypertester::baseline::lua::lua_loc(hypertester::baseline::lua::DELAY),
             "ip_scan" => hypertester::baseline::lua::lua_loc(hypertester::baseline::lua::IP_SCAN),
             _ => hypertester::baseline::lua::lua_loc(hypertester::baseline::lua::SYN_FLOOD),
@@ -202,13 +197,10 @@ T1 = trigger().set([dip, dport, proto, flag], [10.0.0.80, 80, tcp, SYN])
 /// typed errors, end to end from DSL text.
 #[test]
 fn rejection_paths() {
-    let cases: [(&str, fn(&NtapiError) -> bool); 4] = [
-        ("T1 = trigger().set(dport, 70000)", |e| {
-            matches!(e, NtapiError::ValueOutOfRange { .. })
-        }),
-        ("T1 = trigger().set(sport, range(9, 1, 1))", |e| {
-            matches!(e, NtapiError::BadRange { .. })
-        }),
+    type ErrCheck = fn(&NtapiError) -> bool;
+    let cases: [(&str, ErrCheck); 4] = [
+        ("T1 = trigger().set(dport, 70000)", |e| matches!(e, NtapiError::ValueOutOfRange { .. })),
+        ("T1 = trigger().set(sport, range(9, 1, 1))", |e| matches!(e, NtapiError::BadRange { .. })),
         ("T1 = trigger(Qx).set(dport, 80)", |e| matches!(e, NtapiError::UnknownQuery(_))),
         ("Q1 = query(Tx).reduce(func=sum)", |e| matches!(e, NtapiError::UnknownTrigger(_))),
     ];

@@ -1,0 +1,170 @@
+//! Minimal shim for the subset of the `criterion` 0.5 API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched.  This stand-in keeps benches compiling and runnable: each
+//! `bench_function` runs its body `sample_size` times, times it with
+//! `std::time::Instant`, and prints a single mean-per-iteration line.  There
+//! is no warm-up tuning, outlier analysis, or report generation.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a closure over a fixed number of iterations.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed pass to touch caches/lazy state.
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.last_ns_per_iter = elapsed / self.iterations as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark body runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_one(self.sample_size, &name.into(), None, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(self.criterion.sample_size, &label, self.throughput, f);
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    iterations: u64,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { iterations, last_ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let ns = bencher.last_ns_per_iter;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 * 1e9 / ns;
+            println!("{label:<48} {ns:>12.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let rate = n as f64 * 1e9 / ns;
+            println!("{label:<48} {ns:>12.1} ns/iter {rate:>14.0} B/s");
+        }
+        _ => println!("{label:<48} {ns:>12.1} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(list_form, sample_bench);
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run() {
+        list_form();
+        config_form();
+    }
+}

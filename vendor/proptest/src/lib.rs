@@ -1,0 +1,577 @@
+//! Minimal shim for the subset of the `proptest` 1.x API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched.  This vendored stand-in keeps the same source-level API for the
+//! patterns the workspace's tests rely on — the `proptest!` macro, `any`,
+//! range/tuple/collection/sample strategies, `prop_map`, and the
+//! `prop_assert*`/`prop_assume!` macros — but generates cases with a simple
+//! deterministic PRNG and performs **no shrinking**.  Each test function gets
+//! a seed derived from its fully qualified name, so failures are reproducible
+//! across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Generates strings matching the tiny regex subset `[class]{lo,hi}`
+    /// (character classes with ranges and `\n`/`\t`/`\r`/`\\` escapes).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+            let len = rng.gen_range(lo..=hi);
+            (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        }
+    }
+
+    /// Parses `[members]{lo,hi}` into (alphabet, lo, hi); `None` when the
+    /// pattern falls outside the supported subset.
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, counts) = rest.split_once(']')?;
+
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let member = match c {
+                '\\' => match chars.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                },
+                other => other,
+            };
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let end = chars.next()?;
+                for code in (member as u32)..=(end as u32) {
+                    alphabet.push(char::from_u32(code)?);
+                }
+            } else {
+                alphabet.push(member);
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+
+        let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<A> {
+        pub(crate) _marker: PhantomData<A>,
+    }
+
+    impl<A: crate::arbitrary::Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value from `rng`.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$ty>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.gen::<u8>();
+            }
+            out
+        }
+    }
+
+    /// Returns the canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any { _marker: PhantomData }
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    ///
+    /// Like the real crate, the size argument is taken as `Into<SizeRange>` so
+    /// that bare integer-literal ranges (`1..200`) infer as `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty collection size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`]; `size` may be a `usize` or a range (`0..40`).
+    pub fn vec<S, L>(element: S, size: L) -> VecStrategy<S>
+    where
+        S: Strategy,
+        L: Into<SizeRange>,
+    {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`HashSetStrategy`]; duplicates are redrawn.
+    pub fn hash_set<S, L>(element: S, size: L) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        L: Into<SizeRange>,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(n);
+            // A sparse element domain may be unable to fill `n` distinct
+            // values; bail out after a generous number of redraws rather
+            // than looping forever.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n.saturating_mul(100) + 1000 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy that picks uniformly from a fixed list.
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Builds a [`Select`] over `values` (must be non-empty).
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
+/// Test-runner configuration and case outcomes.
+pub mod test_runner {
+    /// Per-`proptest!` configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!`; it is redrawn, not failed.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole property fails.
+        Fail(String),
+    }
+}
+
+/// Derives a per-test RNG from the test's fully qualified name (FNV-1a), so
+/// runs are deterministic and independent of execution order.
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Differences from the real crate: no shrinking, and cases are drawn from a
+/// deterministic per-test seed rather than an entropy source.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng =
+                $crate::__seed_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(__why),
+                    ) => {
+                        __rejected += 1;
+                        let __budget = __config.cases.saturating_mul(16).max(1024);
+                        if __rejected > __budget {
+                            panic!(
+                                "{}: too many rejected cases ({}), last: {}",
+                                stringify!($name), __rejected, __why
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__why),
+                    ) => {
+                        panic!(
+                            "{}: property failed on case {}: {}",
+                            stringify!($name), __accepted, __why
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// `assert!` analogue that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` analogue that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` analogue that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Vetoes the current case (it is redrawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the real prelude's `prop` module shorthand.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, 5u32..6), c in 0u8..=3) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(c <= 3);
+        }
+
+        #[test]
+        fn collections_and_maps(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            s in prop::collection::hash_set(0u64..1000, 1..10),
+            word in prop::sample::select(vec!["a", "b"]),
+            text in "[a-c]{2,4}",
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() < 10);
+            prop_assert!(word == "a" || word == "b");
+            prop_assert!(text.len() >= 2 && text.len() <= 4);
+            prop_assert!(text.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// `prop_assume!` rejects without failing.
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (0u64..4).prop_map(|v| v * 10);
+        let mut rng = crate::__seed_rng("prop_map_applies");
+        for _ in 0..50 {
+            let v = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(v % 10 == 0 && v < 40);
+        }
+    }
+}
