@@ -23,6 +23,8 @@
 //! * [`mac`] — port MACs with line-rate serialization.
 //! * [`switch`] — the switch device.
 //! * [`sim`] — event queue, world, links with fault injection.
+//! * [`timerwheel`] — hierarchical timer wheel backing the event queue.
+//! * [`arena`] — thread-local buffer pooling for per-packet allocations.
 //! * [`resources`] — the seven-class resource model of the paper's Table 7.
 //! * [`digest`] — `generate_digest` records.
 
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod arena;
 pub mod digest;
 pub mod hash;
 pub mod mac;
@@ -43,11 +46,13 @@ pub mod sim;
 pub mod switch;
 pub mod table;
 pub mod time;
+pub mod timerwheel;
 pub mod timing;
 pub mod tm;
 
 pub use packet::SimPacket;
 pub use phv::{fields, FieldId, FieldTable, Phv};
-pub use sim::{Device, DeviceId, Outbox, World};
+pub use sim::{Device, DeviceId, Outbox, QueueKind, World};
 pub use switch::Switch;
 pub use time::SimTime;
+pub use timerwheel::TimerWheel;

@@ -205,9 +205,11 @@ impl FieldTable {
         self.defs.is_empty()
     }
 
-    /// Allocates a fresh PHV for this table, all fields zero.
+    /// Allocates a fresh PHV for this table, all fields zero.  The slot
+    /// buffer comes from the thread-local [`crate::arena`] pool and
+    /// returns there on drop.
     pub fn new_phv(&self) -> Phv {
-        Phv { values: vec![0; self.defs.len()].into_boxed_slice() }
+        Phv { values: PooledSlots(crate::arena::acquire(self.defs.len())) }
     }
 }
 
@@ -220,17 +222,42 @@ pub fn mask_for(width: u32) -> u64 {
     }
 }
 
-/// A packet header vector: one `u64` slot per interned field.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Phv {
-    values: Box<[u64]>,
+/// The slot storage of a [`Phv`]: a plain `Vec<u64>` whose buffer is
+/// drawn from and returned to the thread-local [`crate::arena`] pool, so
+/// per-packet clone/drop cycles stop hitting the global allocator.
+#[derive(Debug)]
+struct PooledSlots(Vec<u64>);
+
+impl Clone for PooledSlots {
+    fn clone(&self) -> Self {
+        PooledSlots(crate::arena::acquire_copy(&self.0))
+    }
 }
+
+impl Drop for PooledSlots {
+    fn drop(&mut self) {
+        crate::arena::release(std::mem::take(&mut self.0));
+    }
+}
+
+/// A packet header vector: one `u64` slot per interned field.
+#[derive(Debug, Clone)]
+pub struct Phv {
+    values: PooledSlots,
+}
+
+impl PartialEq for Phv {
+    fn eq(&self, other: &Self) -> bool {
+        self.values.0 == other.values.0
+    }
+}
+impl Eq for Phv {}
 
 impl Phv {
     /// Reads a field.
     #[inline]
     pub fn get(&self, id: FieldId) -> u64 {
-        self.values[id.0 as usize]
+        self.values.0[id.0 as usize]
     }
 
     /// Writes a field, masking the value to `width` bits.  The width comes
@@ -238,7 +265,7 @@ impl Phv {
     /// avoids a second indirection.
     #[inline]
     pub fn set_masked(&mut self, id: FieldId, value: u64, width: u32) {
-        self.values[id.0 as usize] = value & mask_for(width);
+        self.values.0[id.0 as usize] = value & mask_for(width);
     }
 
     /// Writes a field using the table to mask to the declared width.
@@ -249,7 +276,7 @@ impl Phv {
 
     /// Number of slots.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.0.len()
     }
 
     /// Grows the PHV to at least `len` slots (new slots zero).  Used when a
@@ -257,16 +284,14 @@ impl Phv {
     /// a switch whose program interned more — metadata is per-program, so
     /// the extra slots simply start cleared.
     pub fn grow_to(&mut self, len: usize) {
-        if self.values.len() < len {
-            let mut v = std::mem::take(&mut self.values).into_vec();
-            v.resize(len, 0);
-            self.values = v.into_boxed_slice();
+        if self.values.0.len() < len {
+            self.values.0.resize(len, 0);
         }
     }
 
     /// Whether the PHV has no slots.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.values.0.is_empty()
     }
 }
 

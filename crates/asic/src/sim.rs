@@ -13,11 +13,42 @@
 use crate::packet::SimPacket;
 use crate::phv::{fields, FieldId};
 use crate::time::SimTime;
+use crate::timerwheel::TimerWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Per-thread simulation counters, aggregated across every [`World`] that
+/// ran on the thread.  The parallel experiment harness snapshots these
+/// around each job to report events and queue pressure per experiment
+/// without threading a context object through every device.
+pub mod metrics {
+    use std::cell::Cell;
+
+    thread_local! {
+        static EVENTS: Cell<u64> = const { Cell::new(0) };
+        static PEAK_QUEUE: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Cumulative events processed by worlds on this thread (flushed when
+    /// each world is dropped).
+    pub fn thread_events() -> u64 {
+        EVENTS.with(Cell::get)
+    }
+
+    /// The deepest event queue any world on this thread reached since the
+    /// last [`take_thread_peak_queue`] call; resets the high-water mark.
+    pub fn take_thread_peak_queue() -> u64 {
+        PEAK_QUEUE.with(|c| c.replace(0))
+    }
+
+    pub(super) fn record(events: u64, peak_queue: u64) {
+        EVENTS.with(|c| c.set(c.get() + events));
+        PEAK_QUEUE.with(|c| c.set(c.get().max(peak_queue)));
+    }
+}
 
 /// Index of a device within its world.
 pub type DeviceId = usize;
@@ -117,11 +148,75 @@ pub struct WorldStats {
     pub dangling_emits: u64,
 }
 
+/// Which event-queue implementation a [`World`] uses.
+///
+/// Both yield the identical `(at, seq)` pop order, so results are
+/// bit-for-bit equal either way; the choice only affects speed.  The
+/// heap is kept for A/B benchmarking against the seed implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The original `BinaryHeap<Reverse<Event>>` — `O(log n)` per event.
+    Heap,
+    /// The hierarchical timer wheel ([`TimerWheel`]) — amortized `O(1)`.
+    #[default]
+    Wheel,
+}
+
+#[derive(Debug)]
+enum EventQueue {
+    Heap { heap: BinaryHeap<Reverse<Event>>, peak: usize },
+    Wheel(TimerWheel<EventKind>),
+}
+
+impl EventQueue {
+    fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => EventQueue::Heap { heap: BinaryHeap::new(), peak: 0 },
+            QueueKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, kind: EventKind) {
+        match self {
+            EventQueue::Heap { heap, peak } => {
+                heap.push(Reverse(Event { at, seq, kind }));
+                *peak = (*peak).max(heap.len());
+            }
+            EventQueue::Wheel(w) => w.push(at, seq, kind),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        match self {
+            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.kind)),
+            EventQueue::Wheel(w) => w.pop().map(|(at, _, kind)| (at, kind)),
+        }
+    }
+
+    /// Arrival time of the next event, without removing it.
+    fn peek_min_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.at),
+            EventQueue::Wheel(w) => w.peek_min_at(),
+        }
+    }
+
+    fn peak_len(&self) -> usize {
+        match self {
+            EventQueue::Heap { peak, .. } => *peak,
+            EventQueue::Wheel(w) => w.peak_len(),
+        }
+    }
+}
+
 /// The simulation world.
 pub struct World {
     devices: Vec<Box<dyn Device>>,
     links: HashMap<(DeviceId, u16), Link>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
+    /// Scratch outbox reused across [`step`](Self::step) calls so the two
+    /// per-event `Vec` allocations of the seed implementation disappear.
+    scratch: Outbox,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -129,18 +224,39 @@ pub struct World {
     pub stats: WorldStats,
 }
 
+impl Drop for World {
+    fn drop(&mut self) {
+        // Fold this world's counters into the per-thread aggregate the
+        // experiment harness reads (see [`metrics`]).
+        metrics::record(self.stats.events, self.queue.peak_len() as u64);
+    }
+}
+
 impl World {
-    /// Creates an empty world with a fault-injection RNG seed.
+    /// Creates an empty world with a fault-injection RNG seed, using the
+    /// default (timer wheel) event queue.
     pub fn new(seed: u64) -> Self {
+        Self::new_with_queue(seed, QueueKind::default())
+    }
+
+    /// Creates an empty world with an explicit event-queue implementation
+    /// (for A/B benchmarks and equivalence tests).
+    pub fn new_with_queue(seed: u64, kind: QueueKind) -> Self {
         World {
             devices: Vec::new(),
             links: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
+            scratch: Outbox::default(),
             now: 0,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             stats: WorldStats::default(),
         }
+    }
+
+    /// The deepest the event queue has ever been in this world.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.queue.peak_len() as u64
     }
 
     /// Adds a device, returning its id.
@@ -179,13 +295,13 @@ impl World {
     /// traffic injection, e.g. templates from a test driver).
     pub fn schedule_rx(&mut self, device: DeviceId, port: u16, pkt: SimPacket, at: SimTime) {
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Deliver { device, port, pkt } }));
+        self.queue.push(at, seq, EventKind::Deliver { device, port, pkt });
     }
 
     /// Schedules a wake for a device (external timer injection).
     pub fn schedule_wake(&mut self, device: DeviceId, token: u64, at: SimTime) {
         let seq = self.next_seq();
-        self.queue.push(Reverse(Event { at, seq, kind: EventKind::Wake { device, token } }));
+        self.queue.push(at, seq, EventKind::Wake { device, token });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -195,15 +311,17 @@ impl World {
 
     /// Processes a single event.  Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
         self.stats.events += 1;
 
-        let mut out = Outbox::default();
-        let device = match ev.kind {
+        // Reuse the scratch outbox (its vectors keep their capacity) —
+        // the seed implementation paid two Vec allocations per event.
+        let mut out = std::mem::take(&mut self.scratch);
+        let device = match kind {
             EventKind::Deliver { device, port, pkt } => {
                 self.devices[device].rx(port, pkt, self.now, &mut out);
                 device
@@ -213,20 +331,17 @@ impl World {
                 device
             }
         };
-        self.flush_outbox(device, out);
+        self.flush_outbox(device, &mut out);
+        self.scratch = out;
         true
     }
 
-    fn flush_outbox(&mut self, device: DeviceId, out: Outbox) {
-        for (token, at) in out.wakes {
+    fn flush_outbox(&mut self, device: DeviceId, out: &mut Outbox) {
+        for (token, at) in out.wakes.drain(..) {
             let seq = self.next_seq();
-            self.queue.push(Reverse(Event {
-                at: at.max(self.now),
-                seq,
-                kind: EventKind::Wake { device, token },
-            }));
+            self.queue.push(at.max(self.now), seq, EventKind::Wake { device, token });
         }
-        for (port, mut pkt, at) in out.emits {
+        for (port, mut pkt, at) in out.emits.drain(..) {
             let Some(link) = self.links.get(&(device, port)).cloned() else {
                 self.stats.dangling_emits += 1;
                 continue;
@@ -245,11 +360,11 @@ impl World {
                 self.stats.link_corruptions += 1;
             }
             let seq = self.next_seq();
-            self.queue.push(Reverse(Event {
-                at: at.max(self.now) + link.delay,
+            self.queue.push(
+                at.max(self.now) + link.delay,
                 seq,
-                kind: EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
-            }));
+                EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
+            );
         }
     }
 
@@ -258,8 +373,8 @@ impl World {
     /// processed.
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > t_end {
+        while let Some(at) = self.queue.peek_min_at() {
+            if at > t_end {
                 break;
             }
             self.step();
@@ -426,6 +541,27 @@ mod tests {
         let delivered = w.device::<Counter>(c).count;
         assert_eq!(delivered + w.stats.link_drops, 1000);
         assert!((500..900).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn heap_and_wheel_queues_agree() {
+        // The same scripted scenario must produce identical device state
+        // and stats under both queue implementations.
+        let run = |kind: QueueKind| {
+            let mut w = World::new_with_queue(42, kind);
+            let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+            let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+            w.connect_faulty((e, 0), (c, 0), 2_500, 0.2, 0.1);
+            for i in 0..500 {
+                w.schedule_rx(e, 0, blank_packet(), i * 137);
+                if i % 7 == 0 {
+                    w.schedule_wake(c, i, i * 137);
+                }
+            }
+            w.run_to_idle(10_000);
+            (w.device::<Echo>(e).rx_times.clone(), w.device::<Counter>(c).woken.clone(), w.stats)
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Wheel));
     }
 
     #[test]

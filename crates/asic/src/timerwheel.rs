@@ -1,0 +1,353 @@
+//! A hierarchical timer wheel for the discrete-event queue.
+//!
+//! The simulation schedules almost every event a few hundred nanoseconds
+//! into the future (recirculation RTTs, serialization delays, link
+//! propagation), so a comparison-based priority queue pays `O(log n)` per
+//! event for ordering information the timestamps' structure already gives
+//! away.  The wheel buckets events by their arrival *tick* (2^12 ps ≈ 4 ns)
+//! across [`LEVELS`] levels of [`SLOTS`] slots each — level `l` slot spans
+//! `2^(12+6l)` ps — and keeps per-level occupancy bitmasks, so advancing to
+//! the next event is a couple of `trailing_zeros` instructions.  Events
+//! beyond the wheel horizon (2^48 ps ≈ 281 s) overflow into a fallback
+//! binary heap and migrate in as the horizon advances.
+//!
+//! Ordering is *exactly* the `(at, seq)` order of the seed's
+//! `BinaryHeap<Reverse<Event>>`: events of the tick currently being served
+//! drain into a small "near" buffer — a `Vec` kept sorted descending, so
+//! the minimum pops from the back without heap sift machinery — and
+//! same-instant events still pop in insertion-sequence order, keeping every
+//! run bit-for-bit deterministic.  A property test
+//! (`crates/asic/tests/timerwheel_prop.rs`) checks the equivalence against
+//! a reference heap under arbitrary push/pop interleavings.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// log2 of the number of slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Bitmask selecting a slot index.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Number of wheel levels.
+const LEVELS: usize = 6;
+/// log2 of the tick length in the caller's time unit (picoseconds here):
+/// 2^12 ps = 4.096 ns, comfortably under the 6.4 ns minimal template
+/// inter-arrival, so a tick rarely holds more than a handful of events.
+const TICK_BITS: u32 = 12;
+
+/// One queued entry: the priority key `(at, seq)` plus the payload.
+#[derive(Debug)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    /// Reversed comparison so a max-`BinaryHeap` pops the *smallest*
+    /// `(at, seq)` first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Level<T> {
+    /// Bitmask of non-empty slots.
+    occupied: u64,
+    slots: Vec<Vec<Entry<T>>>,
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level { occupied: 0, slots: (0..SLOTS).map(|_| Vec::new()).collect() }
+    }
+}
+
+/// A hierarchical timer wheel ordered by `(at, seq)`, with a heap fallback
+/// for events beyond the wheel horizon.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    levels: Vec<Level<T>>,
+    /// Events of ticks `<= elapsed_tick`, kept sorted *descending* by
+    /// `(at, seq)` so the minimum pops from the back in O(1).
+    near: Vec<Entry<T>>,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Tick of the slot currently being served; the wheel cursor.
+    elapsed_tick: u64,
+    len: usize,
+    peak: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            near: Vec::new(),
+            overflow: BinaryHeap::new(),
+            elapsed_tick: 0,
+            len: 0,
+            peak: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The largest number of events ever queued at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Queues `item` with priority `(at, seq)`.  `seq` must be unique
+    /// across live entries (the world's insertion sequence).
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        self.insert(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the minimum-`(at, seq)` entry.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if !self.settle() {
+            return None;
+        }
+        let e = self.near.pop().expect("settle guarantees a near event");
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// The `at` of the next entry [`pop`](Self::pop) would return, without
+    /// removing it.  (Advances internal cursors; ordering is unaffected.)
+    pub fn peek_min_at(&mut self) -> Option<u64> {
+        if self.settle() {
+            self.near.last().map(|e| e.at)
+        } else {
+            None
+        }
+    }
+
+    fn tick_of(at: u64) -> u64 {
+        at >> TICK_BITS
+    }
+
+    /// Inserts into the descending-sorted near buffer.  Near holds only the
+    /// events of a single tick (a handful at most), so the linear shift is
+    /// cheaper than heap sifts.
+    fn push_near(near: &mut Vec<Entry<T>>, e: Entry<T>) {
+        let key = (e.at, e.seq);
+        let idx = near.partition_point(|x| (x.at, x.seq) > key);
+        near.insert(idx, e);
+    }
+
+    /// Routes an entry to the near buffer, a wheel slot, or the overflow
+    /// heap, based on its tick relative to the cursor.
+    fn insert(&mut self, e: Entry<T>) {
+        let tick = Self::tick_of(e.at);
+        if tick <= self.elapsed_tick {
+            Self::push_near(&mut self.near, e);
+            return;
+        }
+        // The highest bit where the tick differs from the cursor picks the
+        // level: events sharing all upper bits with the cursor go low.
+        let masked = (tick ^ self.elapsed_tick) | SLOT_MASK;
+        let sig = 63 - masked.leading_zeros();
+        let level = (sig / SLOT_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(e);
+            return;
+        }
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level].slots[slot].push(e);
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// The lowest occupied level's next slot: `(level, slot, start tick)`.
+    ///
+    /// Within a level, every occupied slot index is strictly greater than
+    /// the cursor's slot index (a wrapped-around slot would differ from the
+    /// cursor in a higher bit and live on a higher level), so the earliest
+    /// slot is simply the lowest set occupancy bit, and the lowest occupied
+    /// level always precedes every higher level.
+    fn next_expiration(&self) -> Option<(usize, usize, u64)> {
+        for (level, l) in self.levels.iter().enumerate() {
+            if l.occupied != 0 {
+                let slot = l.occupied.trailing_zeros() as u64;
+                let shift = SLOT_BITS * level as u32;
+                let span_mask = (1u64 << (shift + SLOT_BITS)) - 1;
+                let tick = (self.elapsed_tick & !span_mask) | (slot << shift);
+                return Some((level, slot as usize, tick));
+            }
+        }
+        None
+    }
+
+    /// Advances cursors/cascades until the global minimum entry sits in the
+    /// near heap.  Returns `false` when the wheel is empty.
+    fn settle(&mut self) -> bool {
+        loop {
+            if !self.near.is_empty() {
+                return true;
+            }
+            let exp = self.next_expiration();
+            // Migrate overflow entries that now precede (or tie) the
+            // wheel's next slot; they re-insert within the horizon.
+            if let Some(o) = self.overflow.peek() {
+                // (Empty on the hot path: the peek above compiles to a
+                // length check, so the migration logic costs nothing.)
+                let due = match exp {
+                    Some((_, _, tick)) => Self::tick_of(o.at) <= tick,
+                    None => true,
+                };
+                if due {
+                    if exp.is_none() {
+                        // Wheel empty: jump the cursor straight to the
+                        // overflow minimum so it lands in `near`.
+                        self.elapsed_tick = self.elapsed_tick.max(Self::tick_of(o.at));
+                    }
+                    // Migrate everything up to the bound tick (the next
+                    // slot, or the new cursor when the wheel was empty);
+                    // later overflow entries wait for the horizon.
+                    let bound = match exp {
+                        Some((_, _, tick)) => tick,
+                        None => self.elapsed_tick,
+                    };
+                    while let Some(o) = self.overflow.peek() {
+                        if Self::tick_of(o.at) > bound {
+                            break;
+                        }
+                        let e = self.overflow.pop().expect("peeked");
+                        self.insert(e);
+                    }
+                    continue;
+                }
+            }
+            let Some((level, slot, tick)) = exp else {
+                return false;
+            };
+            self.elapsed_tick = tick;
+            self.levels[level].occupied &= !(1 << slot);
+            // Drain the slot through the scratch buffer so the borrow on
+            // the level ends before re-insertion.
+            let mut drained = std::mem::take(&mut self.levels[level].slots[slot]);
+            if level == 0 {
+                // A level-0 slot holds exactly one tick — the new cursor
+                // tick — so the whole slot IS the next near buffer.  Sort
+                // it once (Entry's reversed Ord → descending `(at, seq)`)
+                // and swap buffers instead of re-routing entry by entry.
+                drained.sort_unstable();
+                if self.near.is_empty() {
+                    std::mem::swap(&mut self.near, &mut drained);
+                } else {
+                    self.near.append(&mut drained);
+                    self.near.sort_unstable();
+                }
+            } else {
+                // Higher-level entries cascade strictly downward.
+                for e in drained.drain(..) {
+                    self.insert(e);
+                }
+            }
+            // Hand the emptied buffer back to keep its capacity.
+            self.levels[level].slots[slot] = drained;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(5_000, 2, "b");
+        w.push(5_000, 1, "a");
+        w.push(100, 3, "first");
+        w.push(10_000_000, 4, "late");
+        assert_eq!(w.pop(), Some((100, 3, "first")));
+        assert_eq!(w.pop(), Some((5_000, 1, "a")));
+        assert_eq!(w.pop(), Some((5_000, 2, "b")));
+        assert_eq!(w.pop(), Some((10_000_000, 4, "late")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut w = TimerWheel::new();
+        for (i, at) in [7u64, 70_000, 3, 9_999_999_999].into_iter().enumerate() {
+            w.push(at, i as u64, at);
+        }
+        while let Some(at) = w.peek_min_at() {
+            let (got, _, item) = w.pop().unwrap();
+            assert_eq!(at, got);
+            assert_eq!(item, got);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_beyond_horizon_still_orders() {
+        let mut w = TimerWheel::new();
+        let far = 1u64 << 55; // past the 2^48 ps wheel horizon
+        w.push(far, 1, "far");
+        w.push(far - 1, 2, "near-far");
+        w.push(64, 3, "soon");
+        assert_eq!(w.pop(), Some((64, 3, "soon")));
+        assert_eq!(w.pop(), Some((far - 1, 2, "near-far")));
+        assert_eq!(w.pop(), Some((far, 1, "far")));
+    }
+
+    #[test]
+    fn interleaved_push_pop_after_advance() {
+        let mut w = TimerWheel::new();
+        w.push(1_000_000, 1, 1u32);
+        assert_eq!(w.pop(), Some((1_000_000, 1, 1)));
+        // Push "in the past" relative to the cursor: pops immediately.
+        w.push(500, 2, 2);
+        w.push(2_000_000, 3, 3);
+        assert_eq!(w.pop(), Some((500, 2, 2)));
+        assert_eq!(w.pop(), Some((2_000_000, 3, 3)));
+    }
+
+    #[test]
+    fn peak_depth_tracks_maximum() {
+        let mut w = TimerWheel::new();
+        for i in 0..10 {
+            w.push(i * 100, i, i);
+        }
+        for _ in 0..10 {
+            w.pop();
+        }
+        w.push(1, 11, 11);
+        assert_eq!(w.peak_len(), 10);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Property test: the hierarchical timer wheel dequeues in exactly the
+//! same `(at, seq)` order as the seed `BinaryHeap` event queue, under
+//! arbitrary interleavings of pushes (near, far, past-cursor, and beyond
+//! the wheel horizon) and pops.
+
+use ht_asic::timerwheel::TimerWheel;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scripted queue operation: `shift` spreads the arrival times across
+/// every wheel level (and past the 2^48 ps horizon into the overflow heap).
+fn apply_ops(ops: &[(u8, u64, u8)]) {
+    let mut wheel = TimerWheel::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for &(op, raw, shift) in ops {
+        if op % 4 == 3 {
+            let expect = heap.pop().map(|Reverse(e)| e);
+            assert_eq!(wheel.peek_min_at(), expect.map(|e| e.0), "peek diverged");
+            assert_eq!(wheel.pop(), expect.map(|(at, s, item)| (at, s, item)), "pop diverged");
+        } else {
+            let at = raw & ((1u64 << (shift % 60)) - 1).max(1);
+            seq += 1;
+            wheel.push(at, seq, seq);
+            heap.push(Reverse((at, seq, seq)));
+        }
+    }
+    // Drain the remainder: full order must agree.
+    while let Some(Reverse(e)) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(e), "drain diverged");
+    }
+    assert!(wheel.is_empty());
+    assert_eq!(wheel.pop(), None);
+}
+
+proptest! {
+    /// Wheel and heap agree on every pop across random interleavings.
+    #[test]
+    fn wheel_matches_heap_order(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u8>()), 1..400),
+    ) {
+        apply_ops(&ops);
+    }
+}

@@ -136,9 +136,9 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64).set(interval,
 Q1 = query().reduce(keys=[sport], func=count)
 "#;
     let task = ht_ntapi::compile(&ht_ntapi::parse(src).unwrap()).unwrap();
-    let built =
-        ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, ht_packet::wire::gbps(100)))
-            .unwrap();
+    let config =
+        ht_core::TesterConfig::builder().ports(1).speed(ht_core::Gbps(100)).build().unwrap();
+    let built = ht_core::build(&task, &config).unwrap();
     let mut sw = built.switch;
     let mut rng = StdRng::seed_from_u64(1);
     let frame = PacketBuilder::new()

@@ -10,7 +10,6 @@
 //! * (the precision ↔ capacity tradeoff lives in
 //!   [`crate::experiments::ht_rate_control_with_copies`])
 
-use crate::harness::TablePrinter;
 use ht_asic::action::ExecCtx;
 use ht_asic::digest::{DigestId, DigestRecord};
 use ht_asic::phv::{fields, FieldTable};
@@ -333,20 +332,4 @@ pub fn cuckoo_occupancy(array_bits: u32, loads: &[f64]) -> Vec<OccupancyRow> {
             }
         })
         .collect()
-}
-
-/// Pretty-prints the accuracy ablation.
-pub fn print_accuracy(rows: &[AccuracyRow]) {
-    let t = TablePrinter::new(
-        &["structure", "exact keys", "mean rel err", "distinct est"],
-        &[32, 12, 13, 13],
-    );
-    for r in rows {
-        t.row(&[
-            r.structure.to_string(),
-            format!("{}/{}", r.exact_keys, r.total_keys),
-            if r.mean_rel_error.is_nan() { "-".into() } else { format!("{:.4}", r.mean_rel_error) },
-            if r.distinct_estimate == 0 { "-".into() } else { r.distinct_estimate.to_string() },
-        ]);
-    }
 }

@@ -1,32 +1,6 @@
-//! Ablation: what does the counter-based engine + exact key matching buy
-//! over the sketch-based designs (Sonata) it replaces?
-//!
-//! Same workload, same order-of-magnitude memory: HyperTester's design is
-//! exactly correct for every key; Count-Min overestimates under pressure;
-//! a Bloom-filter distinct undercounts.
-
-use ht_bench::ablations::{accuracy_ablation, print_accuracy};
+//! Thin wrapper: runs the `ablation_accuracy` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Ablation — query accuracy: counter-based + exact matching vs sketches");
-    println!("(workload: 30k flows with skewed repetition; comparable memory budgets)\n");
-
-    let rows = accuracy_ablation(30_000, 12);
-    print_accuracy(&rows);
-
-    let ht = &rows[0];
-    let cms = &rows[1];
-    let bloom = &rows[2];
-    assert_eq!(ht.exact_keys, ht.total_keys, "HT must be exact for every key");
-    assert!(ht.mean_rel_error == 0.0);
-    assert_eq!(ht.distinct_estimate as usize, ht.total_keys);
-    assert!(cms.exact_keys < cms.total_keys, "CMS should err under this load");
-    assert!(cms.mean_rel_error > 0.05, "CMS error {:.4}", cms.mean_rel_error);
-    assert!(
-        (bloom.distinct_estimate as usize) < bloom.total_keys,
-        "Bloom must undercount: {} vs {}",
-        bloom.distinct_estimate,
-        bloom.total_keys
-    );
-    println!("\nOK: only the paper's design is exact; both sketches err on this workload");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::AblationAccuracy));
 }

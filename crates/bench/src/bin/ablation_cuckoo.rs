@@ -1,36 +1,6 @@
-//! Ablation: cuckoo hashing vs a plain single-hash array (§5.2's memory-
-//! efficiency argument).
-//!
-//! "Current counter-based algorithms on data planes perform simple hashing
-//! and evict collided keys to the control plane … Hashing inevitably comes
-//! with limited memory utilization."  Same total slots, same keys: the
-//! cuckoo engine keeps far more flows on the data plane.
-
-use ht_bench::ablations::cuckoo_occupancy;
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `ablation_cuckoo` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Ablation — data-plane residency: partial-key cuckoo vs single hash");
-    println!("(identical total slot count; residency = keys not spilled to the CPU)\n");
-
-    let loads = [0.25, 0.5, 0.7, 0.85];
-    let rows = cuckoo_occupancy(12, &loads);
-    let t = TablePrinter::new(&["load", "cuckoo resident", "single-hash resident"], &[6, 16, 21]);
-    for r in &rows {
-        t.row(&[
-            format!("{:.2}", r.load),
-            format!("{:.1}%", r.cuckoo_resident * 100.0),
-            format!("{:.1}%", r.single_resident * 100.0),
-        ]);
-        assert!(
-            r.cuckoo_resident > r.single_resident,
-            "cuckoo must beat single hash at load {}",
-            r.load
-        );
-    }
-    // At half load, cuckoo should be near-perfect while single hash has
-    // already lost a meaningful share to collisions.
-    assert!(rows[1].cuckoo_resident > 0.95, "cuckoo at 0.5 load: {}", rows[1].cuckoo_resident);
-    assert!(rows[1].single_resident < 0.85, "single at 0.5 load: {}", rows[1].single_resident);
-    println!("\nOK: cuckoo hashing materially raises data-plane memory utilization");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::AblationCuckoo));
 }

@@ -1,39 +1,6 @@
-//! Ablation: the accelerator-capacity ↔ rate-precision tradeoff.
-//!
-//! The replicator's timer quantum is the template arrival spacing,
-//! `RTT / copies`: more circulating copies → finer quantization → smaller
-//! inter-departure errors.  This is why the paper quotes its 6.4 ns
-//! precision *at* the 89-template capacity.
-
-use ht_bench::experiments::ht_rate_control_with_copies;
-use ht_bench::harness::TablePrinter;
-use ht_packet::wire::gbps;
+//! Thin wrapper: runs the `ablation_precision` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Ablation — rate-control precision vs circulating template copies");
-    println!("(1 Mpps of 64 B frames at 100G; quantum = 570 ns / copies)\n");
-
-    let t = TablePrinter::new(&["copies", "quantum ns", "MAE ns", "RMSE ns"], &[7, 11, 8, 8]);
-    let mut maes = Vec::new();
-    for copies in [1usize, 4, 16, 89] {
-        let p = ht_rate_control_with_copies(1_000_000, 64, gbps(100), copies);
-        let quantum = 570.0 / copies as f64;
-        t.row(&[
-            copies.to_string(),
-            format!("{quantum:.1}"),
-            format!("{:.2}", p.metrics.mae),
-            format!("{:.2}", p.metrics.rmse),
-        ]);
-        maes.push(p.metrics.mae);
-    }
-    // Error must fall monotonically with more copies, by roughly the
-    // quantum ratio.
-    assert!(maes.windows(2).all(|w| w[1] < w[0]), "MAE not monotone: {maes:?}");
-    assert!(
-        maes[0] / maes[3] > 10.0,
-        "89 copies should cut the error >10x vs 1 copy ({:.1} vs {:.1})",
-        maes[0],
-        maes[3]
-    );
-    println!("\nOK: precision scales with accelerator occupancy (the paper's 6.4 ns at capacity)");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::AblationPrecision));
 }

@@ -1,45 +1,6 @@
-//! Fig. 9: single-port throughput vs packet size — HyperTester at 100G and
-//! 40G reaches line rate for every size; MoonGen (1 core) is CPU-bound for
-//! small packets.
-
-use ht_bench::experiments::{fig9_ht_single_port, fig9_mg_single_port};
-use ht_bench::harness::TablePrinter;
-use ht_packet::wire::gbps;
+//! Thin wrapper: runs the `fig09_throughput_single` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    let sizes = [64usize, 128, 256, 512, 1024, 1500];
-    println!("Fig. 9 — single-port throughput vs packet size\n");
-
-    for (label, speed) in [("HyperTester @100G", gbps(100)), ("HyperTester @40G", gbps(40))] {
-        println!("{label} (paper: line rate at every size)");
-        let t = TablePrinter::new(&["size B", "Mpps", "L1 Gbps", "line Mpps"], &[7, 9, 9, 10]);
-        for p in fig9_ht_single_port(speed, &sizes) {
-            t.row(&[
-                p.frame_len.to_string(),
-                format!("{:.2}", p.mpps),
-                format!("{:.1}", p.l1_gbps),
-                format!("{:.2}", p.line_mpps),
-            ]);
-            assert!(
-                (p.mpps - p.line_mpps).abs() / p.line_mpps < 0.02,
-                "{} B not at line rate",
-                p.frame_len
-            );
-        }
-        println!();
-    }
-
-    println!("MoonGen @40G, 1 core (paper: below line rate for small packets)");
-    let t = TablePrinter::new(&["size B", "Mpps", "L1 Gbps", "line Mpps"], &[7, 9, 9, 10]);
-    for p in fig9_mg_single_port(gbps(40), &sizes) {
-        t.row(&[
-            p.frame_len.to_string(),
-            format!("{:.2}", p.mpps),
-            format!("{:.1}", p.l1_gbps),
-            format!("{:.2}", p.line_mpps),
-        ]);
-    }
-    let small = fig9_mg_single_port(gbps(40), &[64])[0].clone();
-    assert!(small.mpps < small.line_mpps * 0.3, "MG should be CPU-bound at 64 B");
-    println!("\nOK: HT line rate everywhere; MG CPU-bound below ~300 B");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig09ThroughputSingle));
 }

@@ -1,26 +1,6 @@
-//! Fig. 10: multi-port/multi-core throughput — HyperTester scales to
-//! 400 Gbps over four 100G ports at line rate; MoonGen adds ~10 Gbps per
-//! core up to 80 Gbps with 8 cores.
-
-use ht_bench::experiments::{fig10_ht_multi_port, fig10_mg_multi_core};
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig10_throughput_multi` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 10 — multi-port (HT) and multi-core (MG) throughput, 64 B frames\n");
-
-    println!("HyperTester, 100G ports (paper: line rate, 400 Gbps at 4 ports)");
-    let t = TablePrinter::new(&["ports", "L1 Gbps"], &[6, 9]);
-    for (ports, gbps) in fig10_ht_multi_port(4) {
-        t.row(&[ports.to_string(), format!("{gbps:.1}")]);
-        assert!((gbps - 100.0 * f64::from(ports)).abs() < 2.0, "{ports} ports off line rate");
-    }
-
-    println!("\nMoonGen, cores on 10G ports (paper: ~10 Gbps per core, 80 Gbps at 8)");
-    let t = TablePrinter::new(&["cores", "L1 Gbps"], &[6, 9]);
-    for (cores, gbps) in fig10_mg_multi_core() {
-        t.row(&[cores.to_string(), format!("{gbps:.1}")]);
-    }
-    let eight = fig10_mg_multi_core()[7].1;
-    assert!((eight - 80.0).abs() < 1.0, "8 cores should make ~80 Gbps, got {eight}");
-    println!("\nOK: HT 400 Gbps line rate; MG linear 10 Gbps/core to 80 Gbps");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig10ThroughputMulti));
 }

@@ -1,37 +1,6 @@
-//! Fig. 11: rate-control accuracy at 40G — HyperTester's inter-departure
-//! errors vs MoonGen's (NIC hardware rate control), over packet rates.
-//! The paper: "all the errors of HyperTester are over one order of
-//! magnitude lower than MoonGen".
-
-use ht_baseline::ratectl::RateControlMode;
-use ht_bench::experiments::{ht_rate_control, mg_rate_control};
-use ht_bench::harness::TablePrinter;
-use ht_packet::wire::gbps;
+//! Thin wrapper: runs the `fig11_ratectl_40g` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 11 — rate-control accuracy at 40G, 64 B frames");
-    println!("(errors over inter-departure time, ns)\n");
-
-    let rates: [u64; 4] = [100_000, 1_000_000, 5_000_000, 20_000_000];
-    let t = TablePrinter::new(
-        &["rate pps", "HT MAE", "HT MAD", "HT RMSE", "MG MAE", "MG MAD", "MG RMSE", "ratio"],
-        &[10, 8, 8, 8, 8, 8, 8, 6],
-    );
-    for rate in rates {
-        let ht = ht_rate_control(rate, 64, gbps(40));
-        let mg = mg_rate_control(rate, 64, gbps(40), RateControlMode::Hardware);
-        let ratio = mg.metrics.mae / ht.metrics.mae;
-        t.row(&[
-            rate.to_string(),
-            format!("{:.2}", ht.metrics.mae),
-            format!("{:.2}", ht.metrics.mad),
-            format!("{:.2}", ht.metrics.rmse),
-            format!("{:.1}", mg.metrics.mae),
-            format!("{:.1}", mg.metrics.mad),
-            format!("{:.1}", mg.metrics.rmse),
-            format!("{ratio:.0}x"),
-        ]);
-        assert!(ratio > 10.0, "HT must beat MG by >10x at {rate} pps (got {ratio:.1}x)");
-    }
-    println!("\nOK: HyperTester errors are >10x smaller than MoonGen at every rate");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig11Ratectl40g));
 }

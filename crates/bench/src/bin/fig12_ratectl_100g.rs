@@ -1,46 +1,6 @@
-//! Fig. 12: HyperTester rate-control accuracy at 100G — errors are stable
-//! across generation rates but grow with the packet size (a larger frame
-//! means a coarser template-arrival quantum).
-
-use ht_bench::experiments::ht_rate_control;
-use ht_bench::harness::TablePrinter;
-use ht_packet::wire::gbps;
+//! Thin wrapper: runs the `fig12_ratectl_100g` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 12 — HyperTester rate-control accuracy at 100G\n");
-
-    println!("(a) errors vs generation rate, 64 B frames");
-    let t = TablePrinter::new(&["rate pps", "MAE ns", "MAD ns", "RMSE ns"], &[11, 8, 8, 8]);
-    let mut maes = Vec::new();
-    for rate in [100_000u64, 1_000_000, 10_000_000, 50_000_000] {
-        let p = ht_rate_control(rate, 64, gbps(100));
-        t.row(&[
-            rate.to_string(),
-            format!("{:.2}", p.metrics.mae),
-            format!("{:.2}", p.metrics.mad),
-            format!("{:.2}", p.metrics.rmse),
-        ]);
-        maes.push(p.metrics.mae);
-    }
-    // "the packet generation speed does not bring an obvious influence".
-    let spread = maes.iter().cloned().fold(f64::MIN, f64::max)
-        / maes.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 5.0, "rate should not matter much (spread {spread:.1}x)");
-
-    println!("\n(b) errors vs packet size, 1 Mpps");
-    let t = TablePrinter::new(&["size B", "MAE ns", "MAD ns", "RMSE ns"], &[7, 8, 8, 8]);
-    let mut by_size = Vec::new();
-    for size in [64usize, 256, 512, 1024, 1500] {
-        let p = ht_rate_control(1_000_000, size, gbps(100));
-        t.row(&[
-            size.to_string(),
-            format!("{:.2}", p.metrics.mae),
-            format!("{:.2}", p.metrics.mad),
-            format!("{:.2}", p.metrics.rmse),
-        ]);
-        by_size.push((size, p.metrics.mae));
-    }
-    // "the errors grow with the size of generated packets".
-    assert!(by_size.last().unwrap().1 > by_size[0].1, "errors must grow with frame size");
-    println!("\nOK: rate-independent, size-dependent errors (Fig. 12 shape)");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig12Ratectl100g));
 }

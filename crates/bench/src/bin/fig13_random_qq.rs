@@ -1,38 +1,6 @@
-//! Fig. 13: Q-Q validation of on-ASIC random number generation (the
-//! two-table inverse transform) against normal and exponential targets.
-
-use ht_bench::experiments::fig13_random;
-use ht_bench::harness::TablePrinter;
-use ht_stats::Distribution;
+//! Thin wrapper: runs the `fig13_random_qq` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 13 — Q-Q accuracy of data-plane random generation\n");
-    let cases: [(&str, &str, Distribution); 2] = [
-        (
-            "normal(30000, 2000)",
-            "random(normal, 30000, 2000, 14)",
-            Distribution::Normal { mean: 30000.0, std_dev: 2000.0 },
-        ),
-        (
-            "exponential(mean 4000)",
-            "random(exp, 4000, 14)",
-            Distribution::Exponential { rate: 1.0 / 4000.0 },
-        ),
-    ];
-    for (label, src, dist) in cases {
-        let (n, deciles, ks) = fig13_random(src, dist);
-        println!("{label}: {n} samples, KS statistic {ks:.4}");
-        let t = TablePrinter::new(&["decile", "theoretical", "empirical"], &[6, 12, 12]);
-        for (i, (th, em)) in deciles.iter().enumerate() {
-            t.row(&[format!("{}0%", i + 1), format!("{th:.0}"), format!("{em:.0}")]);
-        }
-        // Deciles on the diagonal: within 2 % of the theoretical quantile
-        // span — the "very strong similarity" of Fig. 13.
-        let span = deciles[8].0 - deciles[0].0;
-        for (th, em) in &deciles {
-            assert!((th - em).abs() / span < 0.02, "Q-Q point off diagonal: {th} vs {em}");
-        }
-        println!();
-    }
-    println!("OK: generated values sit on the Q-Q diagonal for both distributions");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig13RandomQq));
 }

@@ -1,36 +1,6 @@
-//! Fig. 14: the accelerator — template round-trip time per packet size
-//! (570 ns at 64 B, RMSE < 5 ns) and capacity (89 64-byte templates).
-
-use ht_bench::experiments::{accelerator_loop_time_ns, fig14_accelerator};
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig14_accelerator` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 14 — accelerator RTT and capacity");
-    println!("(paper: 64 B loop ≤570 ns, RMSE <5 ns, <590 ns up to 1500 B; capacity 89 @64 B)\n");
-
-    let sizes = [64usize, 256, 512, 1024, 1280, 1500];
-    let points = fig14_accelerator(&sizes, 20_000);
-    let t = TablePrinter::new(&["size B", "RTT ns", "RMSE ns", "capacity"], &[7, 9, 8, 9]);
-    for p in &points {
-        t.row(&[
-            p.frame_len.to_string(),
-            format!("{:.1}", p.rtt_ns),
-            format!("{:.2}", p.rtt_rmse_ns),
-            p.capacity.to_string(),
-        ]);
-    }
-    assert!((points[0].rtt_ns - 570.0).abs() < 2.0, "RTT(64) = {}", points[0].rtt_ns);
-    assert!(points.iter().all(|p| p.rtt_rmse_ns < 5.0), "RMSE must stay under 5 ns");
-    assert!(points.iter().all(|p| p.rtt_ns < 590.0), "RTT must stay under 590 ns");
-    assert_eq!(points[0].capacity, 89);
-
-    // Empirical capacity check: at 89 templates the loop time is still the
-    // unloaded RTT; at 140 the recirculation path serializes and the loop
-    // inflates toward 140 × 6.4 ns = 896 ns.
-    let at_89 = accelerator_loop_time_ns(64, 89);
-    let at_140 = accelerator_loop_time_ns(64, 140);
-    println!("\nloop time @89 templates: {at_89:.0} ns; @140 templates: {at_140:.0} ns");
-    assert!((at_89 - 570.0).abs() < 10.0, "89 templates must be sustainable ({at_89} ns)");
-    assert!(at_140 > 850.0, "140 templates must oversubscribe the loop ({at_140} ns)");
-    println!("OK: 570 ns loops, capacity 89 confirmed empirically");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig14Accelerator));
 }

@@ -1,42 +1,6 @@
-//! Fig. 15: the replicator — multicast-engine delay vs packet size
-//! (389 ns at 64 B, +65 ns at 1280 B, inter-departure RMSE < 4.5 ns), and
-//! its insensitivity to port count and speed.
-
-use ht_bench::experiments::fig15_replicator;
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig15_replicator` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 15 — multicast engine delay");
-    println!("(paper: 389 ns @64 B, +65 ns @1280 B, jitter RMSE <4.5 ns; flat vs ports/speed)\n");
-
-    println!("(a) delay vs packet size (1 port, 1 Mpps)");
-    let sizes = [64usize, 256, 512, 1024, 1280];
-    let points = fig15_replicator(&sizes, 1, 1_000_000);
-    let t = TablePrinter::new(&["size B", "delay ns", "RMSE ns"], &[7, 9, 9]);
-    for p in &points {
-        t.row(&[
-            p.frame_len.to_string(),
-            format!("{:.1}", p.delay_ns),
-            format!("{:.2}", p.delay_rmse_ns),
-        ]);
-    }
-    assert!((points[0].delay_ns - 389.0).abs() < 3.0, "delay(64) = {}", points[0].delay_ns);
-    let growth = points.last().unwrap().delay_ns - points[0].delay_ns;
-    assert!((growth - 65.0).abs() < 5.0, "growth to 1280 B = {growth} ns");
-    assert!(points.iter().all(|p| p.delay_rmse_ns < 4.5), "jitter above 4.5 ns");
-
-    println!("\n(b) delay of 64 B replicas vs port count and rate");
-    let t = TablePrinter::new(&["ports", "rate pps", "delay ns"], &[6, 10, 9]);
-    let mut delays = Vec::new();
-    for ports in [1u16, 2, 4] {
-        for rate in [100_000u64, 1_000_000] {
-            let p = &fig15_replicator(&[64], ports, rate)[0];
-            t.row(&[ports.to_string(), rate.to_string(), format!("{:.1}", p.delay_ns)]);
-            delays.push(p.delay_ns);
-        }
-    }
-    let spread = delays.iter().cloned().fold(f64::MIN, f64::max)
-        - delays.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 3.0, "ports/speed must have close-to-zero impact (spread {spread:.1} ns)");
-    println!("\nOK: 389 ns engine delay, size-dependent, port/speed-independent");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig15Replicator));
 }

@@ -1,34 +1,6 @@
-//! Fig. 16: test-statistic collection — digest (push) goodput vs message
-//! size, and counter-pull (pull) latency one-by-one vs batched.
-
-use ht_bench::experiments::{fig16_counter_pull, fig16_digest_goodput};
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig16_collection` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 16 — statistic collection");
-    println!("(paper: goodput grows with message size to ≈4.5 Mbps @256 B;");
-    println!(" batch pull reads 65536 counters in ≈0.2 s, far ahead of one-by-one)\n");
-
-    println!("(a) digest goodput vs message size");
-    let sizes = [16usize, 32, 64, 128, 256];
-    let rows = fig16_digest_goodput(&sizes);
-    let t = TablePrinter::new(&["msg bytes", "goodput Mbps"], &[9, 13]);
-    for &(s, g) in &rows {
-        t.row(&[s.to_string(), format!("{g:.2}")]);
-    }
-    assert!(rows.windows(2).all(|w| w[1].1 > w[0].1), "goodput must grow with size");
-    let at256 = rows.last().unwrap().1;
-    assert!((at256 - 4.5).abs() < 0.3, "goodput @256 B = {at256} Mbps");
-
-    println!("\n(b) counter-pull latency");
-    let counts = [16usize, 256, 4096, 16384, 65536];
-    let rows = fig16_counter_pull(&counts);
-    let t = TablePrinter::new(&["counters", "one-by-one s", "batch s"], &[9, 13, 9]);
-    for &(n, single, batch) in &rows {
-        t.row(&[n.to_string(), format!("{single:.4}"), format!("{batch:.4}")]);
-    }
-    let (_, single64k, batch64k) = rows[rows.len() - 1];
-    assert!((batch64k - 0.2).abs() < 0.02, "batch 64k = {batch64k} s");
-    assert!(single64k > 8.0 * batch64k, "batching must dominate");
-    println!("\nOK: Fig. 16 shapes reproduced");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig16Collection));
 }

@@ -1,54 +1,6 @@
-//! Fig. 17: exact-key-matching table size — entries needed to remove all
-//! false positives vs flow count, for 16-bit and 32-bit digests.
-//! The paper: "no more than 3000 entries for over 2M flows" at 16 bits,
-//! ≈39 KB of memory; 32-bit digests need far fewer entries.
-
-use ht_bench::experiments::fig17_exact_match;
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig17_exact_match` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 17 — exact-key-matching entries vs #distinct flows");
-    println!("(paper: ≤3000 entries @2M flows with 16-bit digests; 32-bit ≪ 16-bit)\n");
-
-    let flows = [10_000usize, 100_000, 500_000, 1_000_000, 2_000_000];
-    let trials = 5;
-
-    println!("(a) 16-bit digests (array 2^16)");
-    let rows16 = fig17_exact_match(&flows, 16, 16, trials);
-    let t = TablePrinter::new(&["flows", "mean entries", "max", "mem KB"], &[9, 13, 6, 8]);
-    for &(n, mean, max, kb) in &rows16 {
-        t.row(&[n.to_string(), format!("{mean:.1}"), max.to_string(), format!("{kb:.1}")]);
-    }
-    let two_m = rows16.last().unwrap();
-    assert!(two_m.2 <= 3000, "entries @2M flows = {} (paper: ≤3000)", two_m.2);
-
-    println!("\n(b) 32-bit digests (array 2^16)");
-    let rows32 = fig17_exact_match(&flows, 32, 16, trials);
-    let t = TablePrinter::new(&["flows", "mean entries", "max", "mem KB"], &[9, 13, 6, 8]);
-    for &(n, mean, max, kb) in &rows32 {
-        t.row(&[n.to_string(), format!("{mean:.1}"), max.to_string(), format!("{kb:.1}")]);
-    }
-    let r16 = rows16.last().unwrap().1;
-    let r32 = rows32.last().unwrap().1;
-    assert!(r32 < r16 / 10.0 + 1.0, "32-bit must slash entries: {r32} vs {r16}");
-
-    println!("\n(c) effect of the hashing array size (2M flows, 16-bit digests)");
-    let t = TablePrinter::new(&["array", "mean entries", "max"], &[6, 13, 6]);
-    let mut prev: Option<f64> = None;
-    for array_bits in [16u32, 15, 14] {
-        let r = &fig17_exact_match(&[2_000_000], 16, array_bits, trials)[0];
-        t.row(&[format!("2^{array_bits}"), format!("{:.1}", r.1), r.2.to_string()]);
-        // Smaller arrays → more bucket overlap → more diverted keys.
-        if let Some(p) = prev {
-            assert!(r.1 > p, "entries must grow as the array shrinks");
-        }
-        prev = Some(r.1);
-        // The paper's "no more than 3000 entries for over 2M flows" holds
-        // for the default array; the smallest array in the sweep is beyond
-        // the configurations the paper plots.
-        if array_bits >= 15 {
-            assert!(r.2 <= 3000, "paper bound: ≤3000 entries (got {})", r.2);
-        }
-    }
-    println!("\nOK: small exact-match tables suffice; wider digests shrink them further");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig17ExactMatch));
 }

@@ -1,44 +1,6 @@
-//! Fig. 18: the delay-testing case study — measuring a DUT's forwarding
-//! delay with different timestamping paths.  Smaller measured delay =
-//! better accuracy; MoonGen-SW deviates from the hardware results by >3×.
-
-use ht_bench::experiments::{fig18_delay, fig18_state_based};
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `fig18_delay_case` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Fig. 18 — delay testing of a DUT with 600 ns forwarding delay\n");
-    println!("(a) timestamp-based methods");
-    let (truth, points) = fig18_delay(600_000, 800);
-    println!("wire-level true delay: {truth:.0} ns (pipeline + serialization)\n");
-
-    let t = TablePrinter::new(&["method", "mean ns", "p50 ns", "stddev ns"], &[22, 9, 9, 10]);
-    for p in &points {
-        t.row(&[
-            p.method.to_string(),
-            format!("{:.0}", p.mean_ns),
-            format!("{:.0}", p.p50_ns),
-            format!("{:.1}", p.stddev_ns),
-        ]);
-    }
-
-    let hw = points[0].mean_ns - truth;
-    let ht_sw = points[1].mean_ns - truth;
-    let mg_sw = points[2].mean_ns - truth;
-    println!("\nmeasurement inflation over truth: HW +{hw:.0} ns, HT-SW +{ht_sw:.0} ns, MG-SW +{mg_sw:.0} ns");
-    assert!(points[0].mean_ns < points[1].mean_ns && points[1].mean_ns < points[2].mean_ns);
-    assert!(mg_sw > 3.0 * (hw + ht_sw), "MoonGen-SW must deviate by over 3x");
-
-    // (b) state-based delay testing: timestamps stored in a data-plane
-    // register keyed by the probe id, delay computed on return.  The paper:
-    // "HyperTester keeps a similar accuracy as timestamp-based testing".
-    println!("\n(b) state-based method (register-stored timestamps)");
-    let (mean, stddev, n) = fig18_state_based(600_000, 800);
-    println!("  HT state-based: {n} probes, mean {mean:.0} ns (incl. fixed tester offsets), stddev {stddev:.1} ns");
-    assert!(n > 500, "too few returned probes: {n}");
-    // Precision comparable to the pipeline-timestamp method, far below
-    // MoonGen-SW's microsecond noise.
-    assert!(stddev < 60.0, "state-based stddev {stddev} ns");
-    assert!(stddev < points[2].stddev_ns / 10.0, "must beat MoonGen-SW by >10x");
-    println!("\nOK: HW best, HyperTester-SW close, MoonGen-SW off by >3x;");
-    println!("    state-based precision matches timestamp-based (Fig. 18b)");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Fig18DelayCase));
 }

@@ -1,54 +1,7 @@
-//! Runs every table/figure regenerator in sequence — the one-shot
-//! reproduction of the paper's §7.
-//!
-//! `cargo run --release -p ht-bench --bin run_experiments`
-//!
-//! Each experiment binary is self-checking (asserts the paper's shape), so
-//! this driver simply invokes them all and reports pass/fail.
-
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "table5_loc",
-    "fig09_throughput_single",
-    "fig10_throughput_multi",
-    "fig11_ratectl_40g",
-    "fig12_ratectl_100g",
-    "fig13_random_qq",
-    "fig14_accelerator",
-    "fig15_replicator",
-    "fig16_collection",
-    "fig17_exact_match",
-    "table6_cost",
-    "table7_resources",
-    "fig18_delay_case",
-    "table8_synflood",
-    // Ablations beyond the paper's own evaluation (DESIGN.md §7).
-    "ablation_accuracy",
-    "ablation_precision",
-    "ablation_cuckoo",
-];
+//! The suite front end: runs every experiment on the work-stealing
+//! parallel harness (same engine as `htctl bench`).
 
 fn main() {
-    let me = std::env::current_exe().expect("current exe");
-    let bin_dir = me.parent().expect("bin dir").to_path_buf();
-    let mut failed = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("\n================================================================");
-        println!("== {exp}");
-        println!("================================================================");
-        let status = Command::new(bin_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e} (build with --release first)"));
-        if !status.success() {
-            failed.push(*exp);
-        }
-    }
-    println!("\n================================================================");
-    if failed.is_empty() {
-        println!("ALL {} EXPERIMENTS PASSED", EXPERIMENTS.len());
-    } else {
-        println!("FAILED: {failed:?}");
-        std::process::exit(1);
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ht_harness::cli::bench_cli(&args, ht_bench::suite::all()));
 }

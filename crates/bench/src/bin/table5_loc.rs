@@ -1,31 +1,6 @@
-//! Table 5: lines of code — NTAPI vs generated P4 vs MoonGen Lua.
-
-use ht_bench::experiments::table5_loc;
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `table5_loc` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Table 5 — Lines of code for different applications");
-    println!(
-        "(paper: Throughput 9/172/43, Delay 10/134/71, IP Scan 7/133/48, SYN Flood 5/94/63)\n"
-    );
-    let t = TablePrinter::new(
-        &["Application", "NTAPI", "P4 (generated)", "MoonGen Lua"],
-        &[24, 6, 14, 12],
-    );
-    let mut worst_reduction = f64::INFINITY;
-    for row in table5_loc() {
-        t.row(&[
-            row.app.to_string(),
-            row.ntapi.to_string(),
-            row.p4.to_string(),
-            row.lua.to_string(),
-        ]);
-        worst_reduction = worst_reduction.min(1.0 - row.ntapi as f64 / row.lua as f64);
-        assert!(row.p4 >= 10 * row.ntapi, "P4 must be ≥10× NTAPI");
-    }
-    println!(
-        "\nminimum code-size reduction vs MoonGen Lua: {:.1}% (paper: ≥74.4%)",
-        worst_reduction * 100.0
-    );
-    assert!(worst_reduction > 0.744);
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Table5Loc));
 }

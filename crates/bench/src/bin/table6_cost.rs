@@ -1,38 +1,6 @@
-//! Table 6: equipment and power cost per Tbps — MoonGen servers vs a
-//! programmable switch.
-
-use ht_baseline::cost::CostModel;
-use ht_baseline::tester::{core_pps, MoonGenConfig};
-use ht_bench::harness::TablePrinter;
-use ht_packet::wire::l1_rate_bps;
+//! Thin wrapper: runs the `table6_cost` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Table 6 — power and equipment cost comparison");
-    println!("(paper: MoonGen $42000 / 7200 W per Tbps; HyperTester $3600 / 150 W;");
-    println!(" saving $38400 and ~7150 W per Tbps)\n");
-
-    // The server throughput comes from the Fig. 10(b) measurement: 8 cores
-    // at ~10 Gbps L1 each.
-    let cfg = MoonGenConfig { cores: 8, ..Default::default() };
-    let server_gbps = 8.0 * l1_rate_bps(64, core_pps(&cfg)) / 1e9;
-    let r = CostModel::default().compare(server_gbps);
-
-    let t = TablePrinter::new(&["Metric (per Tbps)", "MoonGen", "HyperTester"], &[20, 10, 12]);
-    t.row(&[
-        "Equipment Cost".into(),
-        format!("${:.0}", r.moongen_cost_per_tbps),
-        format!("${:.0}", r.hypertester_cost_per_tbps),
-    ]);
-    t.row(&[
-        "Power Cost".into(),
-        format!("{:.0} W", r.moongen_power_per_tbps),
-        format!("{:.0} W", r.hypertester_power_per_tbps),
-    ]);
-    println!("\nsaving: ${:.0} and {:.0} W per Tbps", r.cost_saving, r.power_saving);
-    println!("a 6.5 Tbps switch replaces {:.0} 8-core servers (paper: 81)", r.servers_replaced);
-
-    assert!(r.cost_saving > 38_000.0);
-    assert!(r.power_saving > 7_000.0);
-    assert!((r.servers_replaced - 81.0).abs() < 1.0);
-    println!("\nOK: both cost classes improve by over an order of magnitude");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Table6Cost));
 }

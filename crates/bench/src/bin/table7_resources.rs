@@ -1,47 +1,6 @@
-//! Table 7: hardware resources consumed by HyperTester components,
-//! normalized by `switch.p4`.
-
-use ht_bench::harness::TablePrinter;
-use ht_bench::resources::table7_rows;
+//! Thin wrapper: runs the `table7_resources` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Table 7 — data-plane resources per component, normalized by switch.p4 (%)");
-    println!("(paper shape: triggers cheap, <3% everywhere; distinct/reduce moderate,");
-    println!(" with large normalized SALU shares because switch.p4 uses few SALUs)\n");
-
-    let t = TablePrinter::new(
-        &["Component", "Xbar", "SRAM", "TCAM", "VLIW", "Hash", "SALU", "Gateway"],
-        &[28, 6, 6, 6, 6, 6, 6, 8],
-    );
-    let pct = |v: f64| format!("{:.2}", v * 100.0);
-    let rows = table7_rows();
-    for r in &rows {
-        let n = r.normalized;
-        t.row(&[
-            r.component.to_string(),
-            pct(n.crossbar),
-            pct(n.sram),
-            pct(n.tcam),
-            pct(n.vliw),
-            pct(n.hash_bits),
-            pct(n.salu),
-            pct(n.gateway),
-        ]);
-    }
-
-    // Shape assertions against the paper's table.
-    let by_name = |n: &str| rows.iter().find(|r| r.component == n).unwrap().normalized;
-    let accel = by_name("accelerator");
-    assert!(accel.sram < 0.02 && accel.crossbar < 0.02, "accelerator must be <2% everywhere");
-    let distinct = by_name("distinct(keys={5-tuple})");
-    let reduce = by_name("reduce(keys={ipv4.dip},sum)");
-    // Queries dominate SALU usage relative to the stateless switch.p4
-    // (paper: 33.4 % / 44.5 %).
-    assert!(distinct.salu > 0.25 && distinct.salu < 0.6, "distinct SALU share {}", distinct.salu);
-    assert!(reduce.salu > 0.25 && reduce.salu < 0.6, "reduce SALU share {}", reduce.salu);
-    // Queries' SRAM usage is moderate (order 10-20%).
-    assert!(distinct.sram > 0.03 && distinct.sram < 0.4, "distinct SRAM {}", distinct.sram);
-    let filter = by_name("filter(tcp.flag==SYN)");
-    assert!(filter.sram < 0.01 && filter.gateway > 0.0, "filter is gateway-only");
-    println!("\nOK: trigger components tiny, query components moderate, SALU-heavy");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Table7Resources));
 }

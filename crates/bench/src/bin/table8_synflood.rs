@@ -1,35 +1,6 @@
-//! Table 8: SYN-flood attack emulation — testbed measurement over four
-//! 100G ports plus the 6.5 Tbps extrapolation.
-
-use ht_bench::experiments::table8_synflood;
-use ht_bench::harness::TablePrinter;
+//! Thin wrapper: runs the `table8_synflood` experiment standalone at full
+//! scale (the suite runs it in parallel via `htctl bench`).
 
 fn main() {
-    println!("Table 8 — SYN flood attack emulation");
-    println!("(paper: testbed 400 Gbps / 595 Mpps / 4×10^5 agents;");
-    println!(" 6.5 Tbps switch at 80%: 5.2 Tbps / 7737 Mpps / 5.2×10^6 agents)\n");
-
-    let r = table8_synflood();
-    let t = TablePrinter::new(&["Metric", "Testbed", "Estimation (80%)"], &[24, 12, 17]);
-    t.row(&[
-        "Throughput".into(),
-        format!("{:.0} Gbps", r.testbed_gbps),
-        format!("{:.1} Tbps", r.est_tbps),
-    ]);
-    t.row(&[
-        "SYN Packets".into(),
-        format!("{:.0} Mpps", r.testbed_mpps),
-        format!("{:.0} Mpps", r.est_mpps),
-    ]);
-    t.row(&[
-        "# emulated attack agents".into(),
-        format!("{:.1e}", r.testbed_agents),
-        format!("{:.1e}", r.est_agents),
-    ]);
-
-    assert!((r.testbed_gbps - 400.0).abs() < 4.0, "testbed {} Gbps", r.testbed_gbps);
-    assert!((r.testbed_mpps - 595.0).abs() < 6.0, "testbed {} Mpps", r.testbed_mpps);
-    assert!((r.est_mpps - 7738.0).abs() < 10.0);
-    assert!((r.est_agents - 5.2e6).abs() < 1e5);
-    println!("\nOK: Table 8 reproduced (595 Mpps testbed, 5.2M estimated agents)");
+    std::process::exit(ht_harness::cli::run_single(&ht_bench::suite::Table8Synflood));
 }

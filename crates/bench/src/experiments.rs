@@ -16,6 +16,12 @@ use ht_stats::{ErrorMetrics, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A 100G tester config with `ports` ports (the standard shape for the
+/// direct-switch experiments below).
+fn cfg(ports: u16) -> ht_core::TesterConfig {
+    ht_core::TesterConfig::builder().ports(ports).speed_bps(gbps(100)).build().expect("config")
+}
+
 // ---------------------------------------------------------------- Table 5
 
 /// One row of Table 5.
@@ -242,8 +248,7 @@ pub fn fig13_random(dist_src: &str, dist: ht_stats::Distribution) -> (usize, Vec
          .set(dport, {dist_src})"
     );
     let task = compile(&parse(&src).unwrap()).unwrap();
-    let mut built =
-        ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, gbps(100))).unwrap();
+    let mut built = ht_core::build(&task, &cfg(1)).unwrap();
     let templates = built.template_copies(0, 32);
     let mut world = ht_asic::World::new(1);
     let sw = world.add_device(Box::new(built.switch));
@@ -292,8 +297,7 @@ pub fn fig14_accelerator(sizes: &[usize], loops: usize) -> Vec<AcceleratorPoint>
                  .set(interval, 1s)" // effectively never fire; just loop
             );
             let task = compile(&parse(&src).unwrap()).unwrap();
-            let mut built =
-                ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, gbps(100))).unwrap();
+            let mut built = ht_core::build(&task, &cfg(1)).unwrap();
             built.switch.trace.recirc = true;
             let template = built.template_copies(0, 1);
             let mut world = ht_asic::World::new(1);
@@ -325,8 +329,7 @@ pub fn accelerator_loop_time_ns(len: usize, n: usize) -> f64 {
         "T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, {len}).set(interval, 1s)"
     );
     let task = compile(&parse(&src).unwrap()).unwrap();
-    let mut built =
-        ht_core::build(&task, &ht_core::TesterConfig::with_ports(1, gbps(100))).unwrap();
+    let mut built = ht_core::build(&task, &cfg(1)).unwrap();
     built.switch.trace.recirc = true;
     let templates = built.template_copies(0, n);
     let mut world = ht_asic::World::new(1);
@@ -380,9 +383,7 @@ pub fn fig15_replicator(sizes: &[usize], ports: u16, rate_pps: u64) -> Vec<Repli
                 (0..ports).map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
             );
             let task = compile(&parse(&src).unwrap()).unwrap();
-            let mut built =
-                ht_core::build(&task, &ht_core::TesterConfig::with_ports(ports.max(1), gbps(100)))
-                    .unwrap();
+            let mut built = ht_core::build(&task, &cfg(ports.max(1))).unwrap();
             built.switch.trace.mcast = true;
             let templates = built.template_copies(0, 32);
             let mut world = ht_asic::World::new(1);
@@ -520,8 +521,7 @@ pub struct DelayPoint {
 pub fn fig18_delay(dut_delay: SimTime, probes: usize) -> (f64, Vec<DelayPoint>) {
     let src = apps::DELAY;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut built =
-        ht_core::build(&task, &ht_core::TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut built = ht_core::build(&task, &cfg(2)).unwrap();
     built.switch.trace.tx = true;
     let templates = built.template_copies(0, 8);
 
@@ -591,8 +591,7 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
         "T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7, 7])\n\
                .set(pkt_len, 128).set(interval, 10us).set(ident, range(0, 4095, 1))";
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut built =
-        ht_core::build(&task, &ht_core::TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut built = ht_core::build(&task, &cfg(2)).unwrap();
     let sw = &mut built.switch;
 
     // Egress (after the editor): store the departure-side timestamp in a

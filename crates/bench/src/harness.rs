@@ -2,7 +2,7 @@
 //! run with a warm-up window, and collect per-port measurements.
 
 use ht_asic::time::{ms, SimTime};
-use ht_asic::{DeviceId, Switch, World};
+use ht_asic::{DeviceId, QueueKind, Switch, World};
 use ht_core::{build, BuiltTester, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::Sink;
@@ -53,6 +53,9 @@ pub struct RunSpec<'a> {
     pub window: SimTime,
     /// Log arrivals (needed for rate-control error metrics).
     pub log_arrivals: bool,
+    /// Event-queue implementation for the simulation world (the hot-path
+    /// A/B benchmark overrides the default).
+    pub queue: QueueKind,
 }
 
 impl Default for RunSpec<'_> {
@@ -66,22 +69,27 @@ impl Default for RunSpec<'_> {
             warmup: ms(1),
             window: ms(1),
             log_arrivals: false,
+            queue: QueueKind::default(),
         }
     }
+}
+
+/// The tester config for a spec's port layout.
+fn config(ports: u16, speed_bps: u64) -> TesterConfig {
+    TesterConfig::builder().ports(ports).speed_bps(speed_bps).build().expect("tester config")
 }
 
 /// Runs a spec and returns the measurements.
 pub fn run(spec: RunSpec<'_>) -> HtRun {
     let task = compile(&parse(spec.src).expect("parse")).expect("compile");
-    let mut built =
-        build(&task, &TesterConfig::with_ports(spec.ports, spec.speed_bps)).expect("build");
+    let mut built = build(&task, &config(spec.ports, spec.speed_bps)).expect("build");
     let mut templates = Vec::new();
     for i in 0..built.templates.len() {
         let copies = spec.copies.unwrap_or_else(|| built.copies_for_line_rate(i, spec.speed_bps));
         templates.extend(built.template_copies(i, copies));
     }
 
-    let mut world = World::new(1);
+    let mut world = World::new_with_queue(1, spec.queue);
     let mut sink = Sink::new("sink");
     if spec.log_arrivals {
         sink = sink.logging_arrivals();
@@ -114,37 +122,12 @@ pub fn run(spec: RunSpec<'_>) -> HtRun {
     // `built.switch` moved into the world; retain a handle-only clone by
     // rebuilding the metadata part.  (Handles reference registers by id,
     // valid against the in-world switch.)
-    let built_handles = build(&task, &TesterConfig::with_ports(spec.ports, spec.speed_bps))
-        .expect("rebuild for handles");
+    let built_handles =
+        build(&task, &config(spec.ports, spec.speed_bps)).expect("rebuild for handles");
     HtRun { ports, world, tester, sink: sink_id, built: built_handles }
 }
 
 /// Access to the in-world tester switch after a run.
 pub fn tester_switch(run: &HtRun) -> &Switch {
     run.world.device(run.tester)
-}
-
-/// Simple fixed-width table printer for the experiment binaries.
-pub struct TablePrinter {
-    widths: Vec<usize>,
-}
-
-impl TablePrinter {
-    /// Creates a printer and prints the header row.
-    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
-        let p = TablePrinter { widths: widths.to_vec() };
-        p.row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-        let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        p.row(&line);
-        p
-    }
-
-    /// Prints one row.
-    pub fn row(&self, cells: &[String]) {
-        let mut line = String::new();
-        for (c, w) in cells.iter().zip(&self.widths) {
-            line.push_str(&format!("{c:>w$}  ", w = w));
-        }
-        println!("{}", line.trim_end());
-    }
 }

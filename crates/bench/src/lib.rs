@@ -1,14 +1,18 @@
 //! Benchmark harness regenerating every table and figure of the
 //! HyperTester paper's evaluation (§7).
 //!
-//! * [`harness`] — shared testbed runner and table printing.
+//! * [`harness`] — shared testbed runner.
 //! * [`apps`] — the four NTAPI applications of Table 5.
 //! * [`experiments`] — one function per table/figure.
 //! * [`resources`] — the Table 7 resource accounting.
+//! * [`ablations`] — design ablations (sketches, precision, cuckoo).
+//! * [`suite`] — every experiment as a typed `ht_harness::Experiment`
+//!   job for the parallel runner (`htctl bench`).
 //!
-//! Regenerators live in `src/bin/` (`cargo run --release -p ht-bench --bin
-//! fig09_throughput_single` etc.); `run_experiments` runs them all.
-//! Criterion benches in `benches/` measure the underlying kernels.
+//! The binaries in `src/bin/` are thin wrappers over [`suite`]
+//! (`cargo run --release -p ht-bench --bin fig09_throughput_single`
+//! etc.); `run_experiments` is the suite front end.  Criterion benches
+//! in `benches/` measure the underlying kernels.
 
 #![forbid(unsafe_code)]
 
@@ -17,3 +21,4 @@ pub mod apps;
 pub mod experiments;
 pub mod harness;
 pub mod resources;
+pub mod suite;

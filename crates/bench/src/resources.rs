@@ -13,7 +13,8 @@ use ht_packet::wire::gbps;
 /// Total data-plane resource usage of a compiled-and-built task.
 pub fn task_usage(src: &str) -> ResourceUsage {
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let built = build(&task, &TesterConfig::with_ports(4, gbps(100))).expect("build");
+    let config = TesterConfig::builder().ports(4).speed_bps(gbps(100)).build().expect("config");
+    let built = build(&task, &config).expect("build");
     let sw = built.switch;
     let mut u = sw.ingress.table_resources() + sw.egress.table_resources();
     for r in sw.regs.iter() {

@@ -1,0 +1,53 @@
+//! The harness determinism contract on the real suite: the same seed
+//! produces byte-identical per-experiment results (lines, checks, digest)
+//! regardless of the worker count.  Timing fields are excluded from the
+//! digest by construction.
+
+use ht_harness::runner::run_suite;
+use ht_harness::Scale;
+
+/// A cheap subset of the suite (the fast analytic experiments) — enough
+/// jobs to exercise real work stealing at 8 workers.
+fn subset() -> Vec<Box<dyn ht_harness::Experiment>> {
+    ht_bench::suite::all()
+        .into_iter()
+        .filter(|e| {
+            matches!(
+                e.name(),
+                "table5_loc" | "table6_cost" | "table7_resources" | "ablation_cuckoo"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn results_identical_at_1_and_8_workers() {
+    let one = run_suite(&subset(), 1, Scale::Smoke, |_| {});
+    let eight = run_suite(&subset(), 8, Scale::Smoke, |_| {});
+    assert_eq!(one.len(), 4);
+    assert_eq!(one.len(), eight.len());
+    for (a, b) in one.iter().zip(&eight) {
+        assert_eq!(a.name, b.name, "suite order must be preserved");
+        assert_eq!(a.digest, b.digest, "{}: digest differs across worker counts", a.name);
+        assert_eq!(a.output.lines, b.output.lines, "{}: output differs", a.name);
+        assert_eq!(
+            a.output.checks.iter().map(|c| (&c.name, c.pass)).collect::<Vec<_>>(),
+            b.output.checks.iter().map(|c| (&c.name, c.pass)).collect::<Vec<_>>(),
+            "{}: check verdicts differ",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn smoke_and_full_scales_both_run_the_cheap_subset() {
+    // Scale only changes parameters, never determinism: each scale is
+    // self-consistent across repeat runs.
+    for scale in [Scale::Smoke, Scale::Full] {
+        let a = run_suite(&subset(), 4, scale, |_| {});
+        let b = run_suite(&subset(), 4, scale, |_| {});
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.digest, y.digest, "{} not reproducible at {:?}", x.name, scale);
+        }
+    }
+}

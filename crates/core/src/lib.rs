@@ -27,15 +27,20 @@ pub mod results;
 pub mod tester;
 
 pub use results::{distinct_count, global_value, keyed_results, query_result, QueryResult};
-pub use tester::{build, BuildError, BuiltTester, QueryHandle, TaskHandles, TesterConfig};
+pub use tester::{
+    build, BuildError, BuiltTester, ConfigError, Gbps, QueryHandle, TaskHandles, TesterConfig,
+    TesterConfigBuilder,
+};
 
 /// Common HyperTester items: `use ht_core::prelude::*;`.
 pub mod prelude {
     pub use crate::results::{
         distinct_count, global_value, keyed_results, query_result, QueryResult,
     };
-    pub use crate::tester::{build, BuildError, BuiltTester, TesterConfig};
+    pub use crate::tester::{
+        build, BuildError, BuiltTester, ConfigError, Gbps, TesterConfig, TesterConfigBuilder,
+    };
     pub use ht_asic::switch::CPU_PORT;
-    pub use ht_asic::{Switch, World};
+    pub use ht_asic::{QueueKind, SimTime, Switch, World};
     pub use ht_cpu::SwitchCpu;
 }

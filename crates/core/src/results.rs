@@ -107,9 +107,8 @@ pub fn query_result(sw: &Switch, h: &QueryHandle, space: Option<&[Vec<u64>]>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tester::{build, TesterConfig};
+    use crate::tester::{build, Gbps, TesterConfig};
     use ht_ntapi::{compile, parse};
-    use ht_packet::wire::gbps;
 
     /// A keyed task whose handle we can poke registers through.
     fn keyed_setup() -> (crate::tester::BuiltTester, Vec<Vec<u64>>) {
@@ -118,7 +117,8 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(sport, range(100, 104, 1))
 Q1 = query().reduce(keys=[sport], func=count)
 "#;
         let task = compile(&parse(src).unwrap()).unwrap();
-        let bt = build(&task, &TesterConfig::with_ports(1, gbps(100))).unwrap();
+        let bt = build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap())
+            .unwrap();
         let space: Vec<Vec<u64>> = (100..=104u64).map(|v| vec![v]).collect();
         (bt, space)
     }

@@ -93,6 +93,7 @@ pub struct TesterConfig {
 
 impl TesterConfig {
     /// A single-switch testbed config: `n` ports at `speed_bps`.
+    #[deprecated(since = "0.2.0", note = "use `TesterConfig::builder()` instead")]
     pub fn with_ports(n: u16, speed_bps: u64) -> Self {
         TesterConfig {
             name: "hypertester".into(),
@@ -102,6 +103,172 @@ impl TesterConfig {
             kv_fifo_capacity: 4096,
             trigger_fifo_capacity: 4096,
         }
+    }
+
+    /// Starts a fluent builder:
+    /// `TesterConfig::builder().ports(4).speed(Gbps(100)).build()?`.
+    pub fn builder() -> TesterConfigBuilder {
+        TesterConfigBuilder::default()
+    }
+}
+
+/// A port speed in gigabits per second, for [`TesterConfigBuilder::speed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Gbps(pub u64);
+
+impl Gbps {
+    /// The speed in bits per second.
+    pub fn bps(self) -> u64 {
+        self.0 * 1_000_000_000
+    }
+}
+
+/// Validation errors from [`TesterConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No ports were configured.
+    NoPorts,
+    /// A port speed of zero bits per second.
+    ZeroSpeed,
+    /// A FIFO capacity that is not a power of two (the ring indices are
+    /// computed with bitmasks).
+    FifoNotPowerOfTwo {
+        /// Which FIFO: `"kv"` or `"trigger"`.
+        which: &'static str,
+        /// The offending capacity.
+        got: usize,
+    },
+    /// A loopback port id that is not among the configured ports.
+    LoopbackUnknownPort(
+        /// The offending port id.
+        u16,
+    ),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoPorts => write!(f, "a tester needs at least one port"),
+            ConfigError::ZeroSpeed => write!(f, "port speed must be non-zero"),
+            ConfigError::FifoNotPowerOfTwo { which, got } => {
+                write!(f, "{which} FIFO capacity must be a power of two, got {got}")
+            }
+            ConfigError::LoopbackUnknownPort(p) => {
+                write!(f, "loopback port {p} is not a configured port")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`TesterConfig`], with validation at
+/// [`build`](Self::build) time instead of silent clamping.
+#[derive(Debug, Clone)]
+pub struct TesterConfigBuilder {
+    name: String,
+    seed: u64,
+    ports: u16,
+    speed_bps: u64,
+    loopback_ports: Vec<u16>,
+    kv_fifo_capacity: usize,
+    trigger_fifo_capacity: usize,
+}
+
+impl Default for TesterConfigBuilder {
+    /// The defaults of the original constructor: one 100 Gb/s port,
+    /// seed 7, 4096-entry FIFOs.
+    fn default() -> Self {
+        TesterConfigBuilder {
+            name: "hypertester".into(),
+            seed: 7,
+            ports: 1,
+            speed_bps: Gbps(100).bps(),
+            loopback_ports: Vec::new(),
+            kv_fifo_capacity: 4096,
+            trigger_fifo_capacity: 4096,
+        }
+    }
+}
+
+impl TesterConfigBuilder {
+    /// Device name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// RNG seed (jitter + RNG primitive).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of external ports (ids `0..n`).
+    pub fn ports(mut self, n: u16) -> Self {
+        self.ports = n;
+        self
+    }
+
+    /// Uniform port speed.
+    pub fn speed(self, speed: Gbps) -> Self {
+        self.speed_bps(speed.bps())
+    }
+
+    /// Uniform port speed in bits per second (for odd rates).
+    pub fn speed_bps(mut self, bps: u64) -> Self {
+        self.speed_bps = bps;
+        self
+    }
+
+    /// Ports configured in loopback mode (accelerator capacity extension).
+    /// Each id must refer to a configured port.
+    pub fn loopback_ports(mut self, ports: impl IntoIterator<Item = u16>) -> Self {
+        self.loopback_ports = ports.into_iter().collect();
+        self
+    }
+
+    /// KV FIFO capacity per keyed query (must be a power of two).
+    pub fn kv_fifo_capacity(mut self, cap: usize) -> Self {
+        self.kv_fifo_capacity = cap;
+        self
+    }
+
+    /// Trigger FIFO capacity per stateless consumer (must be a power of
+    /// two).
+    pub fn trigger_fifo_capacity(mut self, cap: usize) -> Self {
+        self.trigger_fifo_capacity = cap;
+        self
+    }
+
+    /// Validates and produces the [`TesterConfig`].
+    pub fn build(self) -> Result<TesterConfig, ConfigError> {
+        if self.ports == 0 {
+            return Err(ConfigError::NoPorts);
+        }
+        if self.speed_bps == 0 {
+            return Err(ConfigError::ZeroSpeed);
+        }
+        if !self.kv_fifo_capacity.is_power_of_two() {
+            return Err(ConfigError::FifoNotPowerOfTwo { which: "kv", got: self.kv_fifo_capacity });
+        }
+        if !self.trigger_fifo_capacity.is_power_of_two() {
+            return Err(ConfigError::FifoNotPowerOfTwo {
+                which: "trigger",
+                got: self.trigger_fifo_capacity,
+            });
+        }
+        if let Some(&p) = self.loopback_ports.iter().find(|&&p| p >= self.ports) {
+            return Err(ConfigError::LoopbackUnknownPort(p));
+        }
+        Ok(TesterConfig {
+            name: self.name,
+            seed: self.seed,
+            ports: (0..self.ports).map(|p| (p, self.speed_bps)).collect(),
+            loopback_ports: self.loopback_ports,
+            kv_fifo_capacity: self.kv_fifo_capacity,
+            trigger_fifo_capacity: self.trigger_fifo_capacity,
+        })
     }
 }
 

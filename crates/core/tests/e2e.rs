@@ -5,7 +5,7 @@ use ht_asic::phv::fields;
 use ht_asic::switch::CPU_PORT;
 use ht_asic::time::{ms, us, PS_PER_SEC};
 use ht_asic::{Switch, World};
-use ht_core::{build, distinct_count, global_value, keyed_results, TesterConfig};
+use ht_core::{build, distinct_count, global_value, keyed_results, Gbps, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::{Sink, TcpResponder};
 use ht_ntapi::{compile, parse};
@@ -15,7 +15,8 @@ use ht_packet::wire::{gbps, line_rate_pps};
 /// with the tester's port 0 wired to the sink's port 0.
 fn testbed(src: &str, copies: usize, sink: Sink) -> (World, usize, usize) {
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(4, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(4).speed(Gbps(100)).build().unwrap()).unwrap();
     let mut all = Vec::new();
     for i in 0..bt.templates.len() {
         all.extend(bt.template_copies(i, copies));
@@ -31,7 +32,7 @@ fn testbed(src: &str, copies: usize, sink: Sink) -> (World, usize, usize) {
 
 fn handles(src: &str) -> ht_core::BuiltTester {
     let task = compile(&parse(src).unwrap()).unwrap();
-    build(&task, &TesterConfig::with_ports(4, gbps(100))).unwrap()
+    build(&task, &TesterConfig::builder().ports(4).speed(Gbps(100)).build().unwrap()).unwrap()
 }
 
 const THROUGHPUT_SRC: &str = r#"
@@ -100,7 +101,8 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)
 Q1 = query(T1).reduce(keys=[sport], func=count)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
 
     let mut w = World::new(1);
@@ -146,7 +148,8 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)
 Q1 = query().distinct(keys=[sport])
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
 
     let mut w = World::new(1);
@@ -178,7 +181,8 @@ T3 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip])
 Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     // T1 needs copies for rate; T2/T3 fire from captures, one copy each.
     let mut all = bt.template_copies(0, 4);
     all.extend(bt.template_copies(1, 4));
@@ -265,7 +269,8 @@ T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64).set(interval,
 Q1 = query(T1).reduce(func=count)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(1, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
     let mut w = World::new(1);
     let sw = w.add_device(Box::new(bt.switch));
@@ -334,7 +339,8 @@ T2 = trigger().set([dip, proto], [10.0.0.2, udp]).set([pkt_len, interval], [512,
 Q1 = query().map(p -> (pkt_len)).reduce(func=max)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut bt = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut bt =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let mut all = bt.template_copies(0, 1);
     all.extend(bt.template_copies(1, 1));
     let mut w = World::new(1);

@@ -1,12 +1,12 @@
 //! Unit tests for the tester builder's sizing helpers and rejection paths.
 
-use ht_core::{build, BuildError, TesterConfig};
+use ht_core::{build, BuildError, Gbps, TesterConfig};
 use ht_ntapi::{compile, parse};
 use ht_packet::wire::gbps;
 
 fn built(src: &str) -> ht_core::BuiltTester {
     let task = compile(&parse(src).unwrap()).unwrap();
-    build(&task, &TesterConfig::with_ports(1, gbps(100))).unwrap()
+    build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap()).unwrap()
 }
 
 #[test]
@@ -51,7 +51,7 @@ fn oversized_random_table_is_a_build_error() {
     let task =
         compile(&parse("T1 = trigger().set(dport, random(normal, 30000, 2000, 18))").unwrap())
             .unwrap();
-    match build(&task, &TesterConfig::with_ports(1, gbps(100))) {
+    match build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap()) {
         Err(BuildError::RandomTableTooLarge { bits: 18 }) => {}
         other => panic!("expected rejection, got {other:?}"),
     }

@@ -1,0 +1,298 @@
+//! Command-line front end shared by `htctl bench` and the
+//! `run_experiments` binary, plus the `run_single` wrapper used by the
+//! thin per-experiment binaries.
+//!
+//! Exit-code contract (the same one `htctl lint --json` documents):
+//! `0` success, `1` failures (checks, panics, regressions, IO), `2` usage
+//! errors.
+
+use crate::report::{compare_to_baseline, BenchReport};
+use crate::runner::{run_job, run_suite};
+use crate::{Experiment, Scale};
+use std::time::Instant;
+
+/// Parsed `bench` options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Worker threads (default: available parallelism).
+    pub workers: usize,
+    /// Run scale.
+    pub scale: Scale,
+    /// Emit the JSON report on stdout (progress moves to stderr).
+    pub json: bool,
+    /// Write the JSON report to this path.
+    pub out: Option<String>,
+    /// Compare events/sec against this committed baseline.
+    pub baseline: Option<String>,
+    /// Regression threshold in percent for the baseline comparison.
+    pub fail_threshold: f64,
+    /// Write/refresh the markdown run ledger in this file.
+    pub md: Option<String>,
+    /// Only run experiments whose name contains this substring.
+    pub filter: Option<String>,
+    /// List experiment names and exit.
+    pub list: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            scale: Scale::Full,
+            json: false,
+            out: None,
+            baseline: None,
+            fail_threshold: 20.0,
+            md: None,
+            filter: None,
+            list: false,
+        }
+    }
+}
+
+/// Usage text for the `bench` subcommand.
+pub const BENCH_USAGE: &str = "usage: bench [--smoke] [--workers N] [--json] [--out FILE] \
+     [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]";
+
+/// Parses `bench` arguments.  Unknown flags are usage errors.
+pub fn parse_bench_args(args: &[String]) -> Result<BenchOpts, String> {
+    let mut o = BenchOpts::default();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => o.scale = Scale::Smoke,
+            "--json" => o.json = true,
+            "--list" => o.list = true,
+            "--workers" => {
+                o.workers = value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+                if o.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--out" => o.out = Some(value(&mut it, "--out")?),
+            "--baseline" => o.baseline = Some(value(&mut it, "--baseline")?),
+            "--fail-threshold" => {
+                o.fail_threshold = value(&mut it, "--fail-threshold")?
+                    .parse()
+                    .map_err(|_| "--fail-threshold needs a number".to_string())?;
+            }
+            "--md" => o.md = Some(value(&mut it, "--md")?),
+            "--filter" => o.filter = Some(value(&mut it, "--filter")?),
+            other => return Err(format!("unknown bench flag: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+const MD_BEGIN: &str = "<!-- BEGIN GENERATED (htctl bench) -->";
+const MD_END: &str = "<!-- END GENERATED (htctl bench) -->";
+
+/// Splices the generated run ledger into `existing` between the
+/// generated-section markers (appending the section if absent).
+pub fn splice_markdown(existing: &str, ledger: &str) -> String {
+    let section = format!("{MD_BEGIN}\n\n## Run ledger (generated)\n\n{ledger}\n{MD_END}");
+    if let (Some(b), Some(e)) = (existing.find(MD_BEGIN), existing.find(MD_END)) {
+        if b < e {
+            let mut s = existing[..b].to_string();
+            s.push_str(&section);
+            s.push_str(&existing[e + MD_END.len()..]);
+            return s;
+        }
+    }
+    let mut s = existing.to_string();
+    if !s.is_empty() && !s.ends_with('\n') {
+        s.push('\n');
+    }
+    s.push('\n');
+    s.push_str(&section);
+    s.push('\n');
+    s
+}
+
+/// Runs the full bench front end and returns the process exit code.
+pub fn bench_cli(args: &[String], suite: Vec<Box<dyn Experiment>>) -> i32 {
+    let opts = match parse_bench_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{BENCH_USAGE}");
+            return 2;
+        }
+    };
+    bench_main(&opts, suite)
+}
+
+/// Runs the suite under `opts` and returns the process exit code.
+pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
+    let suite: Vec<Box<dyn Experiment>> = match &opts.filter {
+        Some(f) => suite.into_iter().filter(|e| e.name().contains(f.as_str())).collect(),
+        None => suite,
+    };
+    if opts.list {
+        for e in &suite {
+            println!("{:<24} {:<9} {}", e.name(), e.group(), e.title());
+        }
+        return 0;
+    }
+    if suite.is_empty() {
+        eprintln!("error: no experiments match the filter");
+        return 1;
+    }
+
+    // With --json on stdout, progress must not pollute the report.
+    let progress_to_stderr = opts.json && opts.out.is_none();
+    let start = Instant::now();
+    let results = run_suite(&suite, opts.workers, opts.scale, |p| {
+        let line = format!(
+            "[{:>2}/{}] {:<24} {:>8.1} ms  {}",
+            p.done,
+            p.total,
+            p.name,
+            p.wall_ms,
+            if p.ok { "ok" } else { "FAIL" }
+        );
+        if progress_to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    });
+    let report = BenchReport {
+        scale: opts.scale,
+        workers: opts.workers,
+        queue: "wheel".into(),
+        pooling: ht_asic::arena::pooling(),
+        wall_ms_total: start.elapsed().as_secs_f64() * 1e3,
+        results,
+    };
+
+    let json = report.to_json();
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            return 1;
+        }
+    }
+    if opts.json && opts.out.is_none() {
+        print!("{json}");
+    }
+
+    if let Some(path) = &opts.md {
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let spliced = splice_markdown(&existing, &report.to_markdown());
+        if let Err(e) = std::fs::write(path, spliced) {
+            eprintln!("error: writing {path}: {e}");
+            return 1;
+        }
+    }
+
+    let mut code = 0;
+    for r in &report.results {
+        if !r.ok {
+            code = 1;
+            if let Some(p) = &r.panicked {
+                eprintln!("FAIL {}: panicked: {p}", r.name);
+            }
+            for c in r.output.checks.iter().filter(|c| !c.pass) {
+                eprintln!("FAIL {}: {}: {}", r.name, c.name, c.detail);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(base) => {
+                for reg in compare_to_baseline(&report, &base, opts.fail_threshold) {
+                    if reg.fatal {
+                        eprintln!("REGRESSION: {}", reg.message);
+                        code = 1;
+                    } else {
+                        eprintln!("note: {}", reg.message);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: reading baseline {path}: {e}");
+                code = 1;
+            }
+        }
+    }
+
+    if !opts.json {
+        let passed = report.results.iter().filter(|r| r.ok).count();
+        println!(
+            "\n{passed}/{} experiments passed in {:.1} s ({} workers, {} scale)",
+            report.results.len(),
+            report.wall_ms_total / 1e3,
+            report.workers,
+            report.scale.name(),
+        );
+    }
+    code
+}
+
+/// Runs one experiment at full scale on the current thread, printing its
+/// output and check verdicts — the body of each thin per-experiment
+/// binary.  Returns the process exit code.
+pub fn run_single(exp: &dyn Experiment) -> i32 {
+    let r = run_job(exp, Scale::Full);
+    for line in &r.output.lines {
+        println!("{line}");
+    }
+    println!();
+    for c in &r.output.checks {
+        println!("{} {}: {}", if c.pass { "PASS" } else { "FAIL" }, c.name, c.detail);
+    }
+    if let Some(p) = &r.panicked {
+        eprintln!("panicked: {p}");
+    }
+    println!(
+        "\n{} — {:.1} ms, {} events, {:.2e} events/sec, peak queue {}",
+        if r.ok { "OK" } else { "FAILED" },
+        r.wall_ms,
+        r.events,
+        r.events_per_sec,
+        r.peak_queue_depth,
+    );
+    i32::from(!r.ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_flags() {
+        let args: Vec<String> = ["--smoke", "--workers", "4", "--json", "--fail-threshold", "15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_bench_args(&args).unwrap();
+        assert_eq!(o.scale, Scale::Smoke);
+        assert_eq!(o.workers, 4);
+        assert!(o.json);
+        assert!((o.fail_threshold - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(parse_bench_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_bench_args(&["--workers".to_string(), "zero".to_string()]).is_err());
+    }
+
+    #[test]
+    fn markdown_splice_replaces_only_the_generated_section() {
+        let doc = "# Title\n\nprose\n";
+        let once = splice_markdown(doc, "ledger v1\n");
+        assert!(once.contains("prose"));
+        assert!(once.contains("ledger v1"));
+        let twice = splice_markdown(&once, "ledger v2\n");
+        assert!(twice.contains("ledger v2"));
+        assert!(!twice.contains("ledger v1"));
+        assert_eq!(twice.matches("Run ledger").count(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The parallel experiment harness.
+//!
+//! The paper's evaluation is seventeen independent, seeded, deterministic
+//! simulations — embarrassingly parallel across experiments even though
+//! each simulation world is strictly single-threaded.  This crate turns
+//! each table/figure regenerator into a typed [`Experiment`] job and runs
+//! the whole suite on a work-stealing thread pool:
+//!
+//! * [`Experiment`] — the job interface: buffered output lines, named
+//!   pass/fail [`Check`]s (replacing ad-hoc `assert!`s in binaries), and
+//!   optional machine-readable extras.
+//! * [`runner`] — the work-stealing scheduler with streamed per-job
+//!   progress; results keep suite order regardless of worker count.
+//! * [`report`] — `BENCH.json` serialization, a markdown run ledger, and
+//!   events/sec regression comparison against a committed baseline.
+//! * [`cli`] — the `htctl bench` command-line front end plus the
+//!   `run_single` wrapper the thin per-experiment binaries use.
+//!
+//! Determinism contract: an experiment's `lines`, `checks`, and `extras`
+//! must depend only on its inputs (simulated time, seeds), never on wall
+//! clock or thread identity — the suite digest is byte-identical at
+//! `--workers 1` and `--workers 8`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+/// How much work an experiment should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper-faithful parameters (the committed EXPERIMENTS.md ledger).
+    Full,
+    /// A reduced configuration for CI smoke runs: same code paths, smaller
+    /// sweeps; checks that only hold at full scale are skipped.
+    Smoke,
+}
+
+impl Scale {
+    /// Lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Smoke => "smoke",
+        }
+    }
+}
+
+/// One named pass/fail assertion about an experiment's results — the
+/// harness equivalent of the `assert!`s the standalone binaries used, but
+/// collected instead of aborting so one failure doesn't hide the rest.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short identifier, stable across runs.
+    pub name: String,
+    /// Whether the property held.
+    pub pass: bool,
+    /// Human-readable evidence (measured values).
+    pub detail: String,
+}
+
+/// Everything an experiment produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutput {
+    /// Human-readable output (tables, commentary), one line per entry.
+    /// Must be deterministic — the result digest is computed over these —
+    /// except for indices listed in [`volatile_lines`](Self::volatile_lines).
+    pub lines: Vec<String>,
+    /// Indices into `lines` excluded from the result digest: wall-clock
+    /// measurements (events/sec, speedups) that legitimately vary run to
+    /// run while the simulated results stay identical.
+    pub volatile_lines: Vec<usize>,
+    /// Paper-shape assertions.
+    pub checks: Vec<Check>,
+    /// Extra machine-readable fields merged into the experiment's
+    /// `BENCH.json` entry: `(key, raw JSON value)`.
+    pub extras: Vec<(String, String)>,
+}
+
+impl RunOutput {
+    /// Records a check.
+    pub fn check(&mut self, name: &str, pass: bool, detail: impl Into<String>) {
+        self.checks.push(Check { name: name.into(), pass, detail: detail.into() });
+    }
+
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// A buffered output sink (the parallel-safe replacement for printing
+/// straight to stdout from experiment code).
+#[derive(Debug, Default)]
+pub struct Out {
+    lines: Vec<String>,
+    volatile: bool,
+    volatile_lines: Vec<usize>,
+}
+
+impl Out {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Out::default()
+    }
+
+    /// While `on`, appended lines are marked volatile: still printed, but
+    /// excluded from the result digest.  Use for wall-clock measurements
+    /// embedded in otherwise-deterministic output.
+    pub fn set_volatile(&mut self, on: bool) {
+        self.volatile = on;
+    }
+
+    fn push_line(&mut self, line: String) {
+        if self.volatile {
+            self.volatile_lines.push(self.lines.len());
+        }
+        self.lines.push(line);
+    }
+
+    /// Appends one line (split on embedded newlines).
+    pub fn say(&mut self, text: impl AsRef<str>) {
+        for l in text.as_ref().split('\n') {
+            self.push_line(l.to_string());
+        }
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.push_line(String::new());
+    }
+
+    /// Consumes the buffer.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+
+    /// Consumes the buffer into `out`, carrying the volatile-line marks.
+    pub fn flush_into(self, out: &mut RunOutput) {
+        out.lines = self.lines;
+        out.volatile_lines = self.volatile_lines;
+    }
+}
+
+/// A right-aligned fixed-width table writing into an [`Out`] buffer
+/// (the buffered successor of the old `TablePrinter`).
+#[derive(Debug)]
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Starts a table: writes the header row and a separator into `out`.
+    pub fn new(out: &mut Out, headers: &[&str], widths: &[usize]) -> Self {
+        let t = Table { widths: widths.to_vec() };
+        t.row(out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        t.row(out, &line);
+        t
+    }
+
+    /// Writes one row.
+    pub fn row(&self, out: &mut Out, cells: &[String]) {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        out.push_line(line.trim_end().to_string());
+    }
+}
+
+/// One experiment job: a table/figure regenerator (or ablation) that the
+/// runner can schedule on any worker thread.
+///
+/// Implementations are stateless handles (`Send + Sync`); all simulation
+/// state is built inside [`run`](Experiment::run) on whichever worker
+/// thread executes the job, so per-thread arenas and counters stay
+/// coherent and results are independent of the worker count.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier (the old binary name, e.g. `fig14_accelerator`).
+    fn name(&self) -> &'static str;
+
+    /// Report group: `"paper"` for tables/figures, `"ablation"`,
+    /// `"hotpath"` for the engine A/B benchmarks.
+    fn group(&self) -> &'static str {
+        "paper"
+    }
+
+    /// One-line human title.
+    fn title(&self) -> &'static str;
+
+    /// Relative cost weight for scheduling — heavier jobs are dealt first
+    /// so the longest job starts earliest (LPT order).
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    /// Runs the experiment at `scale` and returns its buffered results.
+    fn run(&self, scale: Scale) -> RunOutput;
+}
+
+/// FNV-1a 64-bit digest used for result fingerprints in `BENCH.json`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of an experiment's deterministic payload (non-volatile lines +
+/// check verdicts).
+pub fn result_digest(out: &RunOutput) -> u64 {
+    let mut buf = String::new();
+    for (i, l) in out.lines.iter().enumerate() {
+        if out.volatile_lines.contains(&i) {
+            continue;
+        }
+        buf.push_str(l);
+        buf.push('\n');
+    }
+    for c in &out.checks {
+        buf.push('\n');
+        buf.push_str(&c.name);
+        buf.push(if c.pass { '+' } else { '-' });
+    }
+    fnv1a(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn table_buffers_rows() {
+        let mut out = Out::new();
+        let t = Table::new(&mut out, &["a", "bb"], &[3, 4]);
+        t.row(&mut out, &["1".into(), "2".into()]);
+        let lines = out.into_lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains('1') && lines[2].contains('2'));
+    }
+
+    #[test]
+    fn volatile_lines_do_not_affect_digest() {
+        let mut a = Out::new();
+        a.say("stable");
+        a.set_volatile(true);
+        a.say("1234.5 events/sec");
+        a.set_volatile(false);
+        let mut ra = RunOutput::default();
+        a.flush_into(&mut ra);
+
+        let mut b = Out::new();
+        b.say("stable");
+        b.set_volatile(true);
+        b.say("9876.5 events/sec");
+        b.set_volatile(false);
+        let mut rb = RunOutput::default();
+        b.flush_into(&mut rb);
+
+        assert_eq!(ra.lines.len(), 2);
+        assert_ne!(ra.lines, rb.lines);
+        assert_eq!(result_digest(&ra), result_digest(&rb));
+    }
+
+    #[test]
+    fn digest_covers_check_verdicts() {
+        let mut a = RunOutput::default();
+        a.check("x", true, "");
+        let mut b = RunOutput::default();
+        b.check("x", false, "");
+        assert_ne!(result_digest(&a), result_digest(&b));
+    }
+}

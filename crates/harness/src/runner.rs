@@ -1,0 +1,252 @@
+//! The work-stealing scheduler.
+//!
+//! All jobs are known up front, so scheduling is simple: jobs are dealt
+//! round-robin into per-worker deques in descending weight order (an LPT
+//! schedule — the heaviest jobs start first), each worker drains its own
+//! deque from the front and steals from peers' backs when empty.  Workers
+//! are plain scoped threads; per-job progress streams over a channel to
+//! the caller's callback while the pool runs.
+//!
+//! Each job runs entirely on one worker thread, so the thread-local
+//! simulation counters ([`ht_asic::sim::metrics`]) and allocation arenas
+//! ([`ht_asic::arena`]) can be read as before/after deltas around the job
+//! — that is where `BENCH.json`'s events/sec, peak queue depth, and
+//! arena hit rates come from.
+
+use crate::{result_digest, Experiment, RunOutput, Scale};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The outcome of one experiment job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Experiment identifier.
+    pub name: String,
+    /// Report group.
+    pub group: String,
+    /// Human title.
+    pub title: String,
+    /// All checks passed and the job did not panic.
+    pub ok: bool,
+    /// Panic message, if the job panicked.
+    pub panicked: Option<String>,
+    /// Wall-clock job duration in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events processed by the job.
+    pub events: u64,
+    /// `events` divided by the wall-clock duration.
+    pub events_per_sec: f64,
+    /// Deepest event queue any world of the job reached.
+    pub peak_queue_depth: u64,
+    /// PHV buffers the job took from the allocator.
+    pub arena_allocs: u64,
+    /// PHV buffers the job recycled from the thread-local arena.
+    pub arena_reuses: u64,
+    /// FNV-1a digest of the deterministic payload (lines + check verdicts).
+    pub digest: u64,
+    /// The experiment's buffered output.
+    pub output: RunOutput,
+}
+
+/// A progress event streamed while the suite runs.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Jobs finished so far (including this one).
+    pub done: usize,
+    /// Total jobs.
+    pub total: usize,
+    /// The finished job's name.
+    pub name: String,
+    /// Whether it passed.
+    pub ok: bool,
+    /// Its wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Executes one experiment on the current thread, measuring wall time and
+/// the thread-local simulation counters around it.
+pub fn run_job(exp: &dyn Experiment, scale: Scale) -> JobResult {
+    use ht_asic::sim::metrics;
+
+    let ev0 = metrics::thread_events();
+    let _ = metrics::take_thread_peak_queue();
+    let ar0 = ht_asic::arena::stats();
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| exp.run(scale)));
+    let wall = start.elapsed();
+    let events = metrics::thread_events() - ev0;
+    let peak_queue_depth = metrics::take_thread_peak_queue();
+    let ar = ht_asic::arena::stats();
+
+    let (output, panicked) = match outcome {
+        Ok(out) => (out, None),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (RunOutput::default(), Some(msg))
+        }
+    };
+
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    JobResult {
+        name: exp.name().to_string(),
+        group: exp.group().to_string(),
+        title: exp.title().to_string(),
+        ok: panicked.is_none() && output.all_passed(),
+        panicked,
+        wall_ms,
+        events,
+        events_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 },
+        peak_queue_depth,
+        arena_allocs: ar.allocs - ar0.allocs,
+        arena_reuses: ar.reuses - ar0.reuses,
+        digest: result_digest(&output),
+        output,
+    }
+}
+
+/// Runs `suite` on `workers` threads, invoking `on_progress` as each job
+/// finishes.  Results come back in suite order regardless of scheduling.
+pub fn run_suite(
+    suite: &[Box<dyn Experiment>],
+    workers: usize,
+    scale: Scale,
+    mut on_progress: impl FnMut(&Progress),
+) -> Vec<JobResult> {
+    let workers = workers.max(1);
+    let total = suite.len();
+
+    // LPT deal: heaviest first, round-robin across workers.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(suite[i].weight()));
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (pos, &job) in order.iter().enumerate() {
+        queues[pos % workers].lock().unwrap().push_back(job);
+    }
+
+    let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = mpsc::channel::<Progress>();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let results = &results;
+            let done = &done;
+            s.spawn(move || {
+                loop {
+                    // Own queue front first; then steal from peers' backs.
+                    let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                        (0..queues.len())
+                            .filter(|&q| q != me)
+                            .find_map(|q| queues[q].lock().unwrap().pop_back())
+                    });
+                    let Some(job) = job else { break };
+                    let r = run_job(suite[job].as_ref(), scale);
+                    let p = Progress {
+                        done: done.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
+                        total,
+                        name: r.name.clone(),
+                        ok: r.ok,
+                        wall_ms: r.wall_ms,
+                    };
+                    *results[job].lock().unwrap() = Some(r);
+                    let _ = tx.send(p);
+                }
+            });
+        }
+        drop(tx);
+        for p in rx {
+            on_progress(&p);
+        }
+    });
+
+    results.into_iter().map(|m| m.into_inner().unwrap().expect("job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Out;
+
+    struct Fib(&'static str, u64);
+
+    impl Experiment for Fib {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn title(&self) -> &'static str {
+            "fib"
+        }
+        fn run(&self, _scale: Scale) -> RunOutput {
+            fn fib(n: u64) -> u64 {
+                if n < 2 {
+                    n
+                } else {
+                    fib(n - 1) + fib(n - 2)
+                }
+            }
+            let mut out = Out::new();
+            out.say(format!("fib({}) = {}", self.1, fib(self.1)));
+            let mut r = RunOutput { lines: out.into_lines(), ..Default::default() };
+            r.check("computed", true, "");
+            r
+        }
+    }
+
+    struct Panics;
+
+    impl Experiment for Panics {
+        fn name(&self) -> &'static str {
+            "panics"
+        }
+        fn title(&self) -> &'static str {
+            "always panics"
+        }
+        fn run(&self, _scale: Scale) -> RunOutput {
+            panic!("boom {}", 42);
+        }
+    }
+
+    fn suite() -> Vec<Box<dyn Experiment>> {
+        vec![Box::new(Fib("fib_a", 18)), Box::new(Fib("fib_b", 10)), Box::new(Fib("fib_c", 14))]
+    }
+
+    #[test]
+    fn results_keep_suite_order_across_worker_counts() {
+        let one = run_suite(&suite(), 1, Scale::Full, |_| {});
+        let eight = run_suite(&suite(), 8, Scale::Full, |_| {});
+        let names: Vec<_> = one.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, vec!["fib_a", "fib_b", "fib_c"]);
+        for (a, b) in one.iter().zip(&eight) {
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.output.lines, b.output.lines);
+            assert!(a.ok);
+        }
+    }
+
+    #[test]
+    fn progress_streams_every_job() {
+        let mut seen = Vec::new();
+        let _ = run_suite(&suite(), 2, Scale::Full, |p| seen.push((p.done, p.name.clone())));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen.last().unwrap().0, 3);
+    }
+
+    #[test]
+    fn panics_are_captured_not_fatal() {
+        let suite: Vec<Box<dyn Experiment>> = vec![Box::new(Panics), Box::new(Fib("fib", 5))];
+        let r = run_suite(&suite, 4, Scale::Full, |_| {});
+        assert!(!r[0].ok);
+        assert!(r[0].panicked.as_deref().unwrap().contains("boom"));
+        assert!(r[1].ok);
+    }
+}

@@ -14,9 +14,9 @@ use ht_stats::Summary;
 use hypertester::asic::time::{ms, to_ns_f64};
 use hypertester::asic::{Switch, World};
 use hypertester::baseline::ratectl::{timestamp_error, TimestampMode};
-use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::{Forwarder, Sink};
+use hypertester::ht::{build, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +30,9 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
     .set([pkt_len, interval], [128, 10us])
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     tester.switch.trace.tx = true; // record hardware departure stamps
     let templates = tester.template_copies(0, 8);
 

@@ -12,12 +12,11 @@
 //!
 //! Run with: `cargo run --release --example imix`
 
-use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, global_value, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 fn main() {
@@ -35,7 +34,9 @@ Q2 = query(T2).map(p -> (pkt_len)).reduce(func=sum)
 Q3 = query(T3).map(p -> (pkt_len)).reduce(func=sum)
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(1, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     let mut templates = Vec::new();
     for i in 0..3 {
         // One circulating copy per trigger: intervals are far above the

@@ -9,13 +9,12 @@
 //! Run with: `cargo run --release --example ip_scan`
 
 use ht_packet::tcp::TcpFlags;
-use ht_packet::wire::gbps;
 use hypertester::asic::phv::fields;
 use hypertester::asic::sim::{Device, Outbox};
 use hypertester::asic::time::{ms, SimTime};
 use hypertester::asic::{SimPacket, Switch, World};
-use hypertester::core::{build, distinct_count, TesterConfig};
 use hypertester::cpu::SwitchCpu;
+use hypertester::ht::{build, distinct_count, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 use std::any::Any;
 
@@ -69,7 +68,9 @@ T1 = trigger().set([sip, dport, proto, flag, seq_no], [10.0.0.1, 80, tcp, SYN, 1
 Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys=[sip])
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(1, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     let templates = tester.template_copies(0, 8);
 
     let mut world = World::new(1);

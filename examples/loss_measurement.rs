@@ -12,9 +12,9 @@
 use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Forwarder;
+use hypertester::ht::{build, global_value, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 fn main() {
@@ -25,7 +25,9 @@ Q1 = query(T1).reduce(func=count)
 Q2 = query().reduce(func=count)
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     let templates = tester.template_copies(0, 8);
 
     // Tester → (lossy link, 2% drops) → DUT → (clean link) → tester.

@@ -11,9 +11,9 @@
 use ht_packet::wire::{gbps, line_rate_pps};
 use hypertester::asic::time::us;
 use hypertester::asic::World;
-use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 const PORTS: u16 = 32;
@@ -27,7 +27,11 @@ fn main() {
         port_list.join(", ")
     );
     let task = compile(&parse(&src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(PORTS, gbps(100))).expect("build");
+    let mut tester = build(
+        &task,
+        &TesterConfig::builder().ports(PORTS).speed(Gbps(100)).build().expect("config"),
+    )
+    .expect("build");
     let copies = tester.copies_for_line_rate(0, gbps(100));
     let templates = tester.template_copies(0, copies);
     println!("one trigger, {copies} template copies, fanned out to {PORTS} × 100G ports");

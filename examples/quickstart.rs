@@ -7,9 +7,9 @@
 use ht_packet::wire::{gbps, line_rate_pps};
 use hypertester::asic::time::{ms, to_secs_f64};
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, global_value, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 fn main() {
@@ -26,7 +26,9 @@ Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
     println!("compiled {} template(s), {} quer(ies)", task.templates.len(), task.queries.len());
 
     // 3. Program a switch with one 100 Gbps port and build the templates.
-    let mut tester = build(&task, &TesterConfig::with_ports(1, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     // 89 recirculating copies of the 64-byte template saturate 100 Gbps.
     let copies = tester.copies_for_line_rate(0, gbps(100));
     let templates = tester.template_copies(0, copies);

@@ -8,19 +8,20 @@
 //!
 //! Run with: `cargo run --release --example random_traffic`
 
-use ht_packet::wire::gbps;
 use ht_stats::{max_diagonal_deviation, qq_points, Distribution, Ecdf, Summary};
 use hypertester::asic::fields;
 use hypertester::asic::time::ms;
 use hypertester::asic::World;
-use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 fn run_case(name: &str, src: &str, dist: Distribution) {
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(1, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     let templates = tester.template_copies(0, 32);
 
     let mut world = World::new(1);

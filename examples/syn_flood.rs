@@ -7,9 +7,9 @@
 use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::World;
-use hypertester::core::{build, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 /// One distributed agent is assumed to source 1 Mbps of SYN traffic
@@ -25,7 +25,9 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
     .set(port, [0, 1, 2, 3])
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(4, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(4).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
     let copies = tester.copies_for_line_rate(0, gbps(100));
     let templates = tester.template_copies(0, copies);
 

@@ -9,12 +9,11 @@
 //!
 //! Run with: `cargo run --release --example web_testing`
 
-use ht_packet::wire::gbps;
 use hypertester::asic::time::{ms, us};
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::TcpResponder;
+use hypertester::ht::{build, global_value, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
 
 fn main() {
@@ -38,7 +37,9 @@ T6 = trigger(Q4).set([dip, sip], [Q4.sip, Q4.dip])
 Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
 "#;
     let task = compile(&parse(src).expect("parse")).expect("compile");
-    let mut tester = build(&task, &TesterConfig::with_ports(1, gbps(100))).expect("build");
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().expect("config"))
+            .expect("build");
 
     // The SYN opener needs a few copies for its 100 kconn/s rate; the
     // stateless responders need enough loop bandwidth to keep up.

@@ -1,34 +1,43 @@
 //! `htctl` — the HyperTester command line.
 //!
 //! ```text
-//! htctl compile <task.nt>                 validate a task; print the summary
+//! htctl compile [--json] <task.nt>        validate a task; print the summary
 //! htctl lint [--json] <task.nt>           static verification; exit 1 on
 //!                                         error diagnostics
 //! htctl p4 <task.nt>                      emit the generated P4 program
 //! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
-//! htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]
-//!                                         run against a sink testbed and
+//! htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS]
+//!           [--copies N]                  run against a sink testbed and
 //!                                         print throughput + query results
+//! htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]
+//!             [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]
+//!                                         run the experiment suite on the
+//!                                         parallel harness; write BENCH.json
 //! ```
+//!
+//! Every subcommand follows the same exit-code contract: `0` success, `1`
+//! failures (diagnostics, failed checks, regressions, IO), `2` usage
+//! errors.
 //!
 //! Argument parsing is hand-rolled (the workspace keeps its dependency set
 //! to the simulation essentials).
 
-use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, query_result, BuildError, QueryResult, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, query_result, BuildError, Gbps, QueryResult, TesterConfig};
 use hypertester::lint::{json_escape, lint_switch, Diagnostic, LintReport};
 use hypertester::ntapi::{codegen, compile, loc, parse, CompiledTask, NtapiError};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  htctl compile <task.nt>\n  htctl lint [--json] <task.nt>\n  \
+        "usage:\n  htctl compile [--json] <task.nt>\n  htctl lint [--json] <task.nt>\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
-         htctl run <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]"
+         htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n  \
+         htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]\n              \
+         [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]"
     );
     ExitCode::from(2)
 }
@@ -40,23 +49,63 @@ fn load(path: &str) -> Result<(String, CompiledTask), String> {
     Ok((src, task))
 }
 
-fn cmd_compile(path: &str) -> Result<(), String> {
+fn template_kind(t: &hypertester::ntapi::compile::TemplateSpec) -> String {
+    match (&t.source_query, t.interval, &t.interval_dist) {
+        (Some(q), _, _) => format!("stateless (fires on {q})"),
+        (None, Some(iv), _) => format!("interval {} ns", iv / 1000),
+        (None, None, Some(_)) => "random interval".into(),
+        (None, None, None) => "line rate".into(),
+    }
+}
+
+fn cmd_compile(path: &str, json: bool) -> Result<(), String> {
     let (_, task) = load(path)?;
+    if json {
+        let templates: Vec<String> = task
+            .templates
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"id\":{},\"trigger\":\"{}\",\"frame_len\":{},\"ports\":{:?},\
+                     \"edits\":{},\"kind\":\"{}\"}}",
+                    t.id,
+                    json_escape(&t.trigger_name),
+                    t.frame_len,
+                    t.ports,
+                    t.edits.len(),
+                    json_escape(&template_kind(t))
+                )
+            })
+            .collect();
+        let queries: Vec<String> = task
+            .queries
+            .iter()
+            .map(|q| {
+                format!(
+                    "{{\"name\":\"{}\",\"kind\":\"{}\"}}",
+                    json_escape(&q.name),
+                    json_escape(&format!("{:?}", q.kind))
+                )
+            })
+            .collect();
+        println!(
+            "{{\"file\":\"{}\",\"ok\":true,\"templates\":[{}],\"queries\":[{}]}}",
+            json_escape(path),
+            templates.join(","),
+            queries.join(",")
+        );
+        return Ok(());
+    }
     println!("task OK: {} trigger(s), {} quer(ies)", task.templates.len(), task.queries.len());
     for t in &task.templates {
-        let kind = match (&t.source_query, t.interval, &t.interval_dist) {
-            (Some(q), _, _) => format!("stateless (fires on {q})"),
-            (None, Some(iv), _) => format!("interval {} ns", iv / 1000),
-            (None, None, Some(_)) => "random interval".into(),
-            (None, None, None) => "line rate".into(),
-        };
         println!(
-            "  template {:>2} {:<4} {:>5} B, ports {:?}, {} edit(s), {kind}",
+            "  template {:>2} {:<4} {:>5} B, ports {:?}, {} edit(s), {}",
             t.id,
             t.trigger_name,
             t.frame_len,
             t.ports,
-            t.edits.len()
+            t.edits.len(),
+            template_kind(t)
         );
     }
     for q in &task.queries {
@@ -101,7 +150,9 @@ fn lint_findings(path: &str) -> Result<LintReport, String> {
     // task's replication sets, then run the program-level passes.
     let ports =
         task.templates.iter().flat_map(|t| t.ports.iter().copied()).max().map_or(1, |p| p + 1);
-    match build(&task, &TesterConfig::with_ports(ports, gbps(100))) {
+    let config =
+        TesterConfig::builder().ports(ports).speed(Gbps(100)).build().map_err(|e| e.to_string())?;
+    match build(&task, &config) {
         Ok(tester) => report.merge(lint_switch(&tester.switch)),
         Err(BuildError::Lint(diags)) => report.diagnostics.extend(diags),
         Err(e) => report.push(Diagnostic::error("compile-error", path, e.to_string(), "")),
@@ -144,25 +195,32 @@ struct RunOpts {
     speed_gbps: u64,
     duration_ms: u64,
     copies: Option<usize>,
+    json: bool,
 }
 
 fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
     let (_, task) = load(path)?;
-    let mut tester = build(&task, &TesterConfig::with_ports(opts.ports, gbps(opts.speed_gbps)))
+    let config = TesterConfig::builder()
+        .ports(opts.ports)
+        .speed(Gbps(opts.speed_gbps))
+        .build()
         .map_err(|e| e.to_string())?;
+    let mut tester = build(&task, &config).map_err(|e| e.to_string())?;
+    let speed_bps = Gbps(opts.speed_gbps).bps();
     let mut templates = Vec::new();
     for i in 0..tester.templates.len() {
-        let copies =
-            opts.copies.unwrap_or_else(|| tester.copies_for_line_rate(i, gbps(opts.speed_gbps)));
+        let copies = opts.copies.unwrap_or_else(|| tester.copies_for_line_rate(i, speed_bps));
         templates.extend(tester.template_copies(i, copies));
     }
-    println!(
-        "running {} template packet(s) on {} × {} G for {} ms…",
-        templates.len(),
-        opts.ports,
-        opts.speed_gbps,
-        opts.duration_ms
-    );
+    if !opts.json {
+        println!(
+            "running {} template packet(s) on {} × {} G for {} ms…",
+            templates.len(),
+            opts.ports,
+            opts.speed_gbps,
+            opts.duration_ms
+        );
+    }
 
     let mut world = World::new(1);
     let sw = world.add_device(Box::new(tester.switch));
@@ -174,6 +232,48 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
     world.run_until(ms(opts.duration_ms));
 
     let s: &Sink = world.device(sink);
+    let sw_ref: &Switch = world.device(sw);
+
+    if opts.json {
+        let ports: Vec<String> = (0..opts.ports)
+            .map(|p| {
+                let st = s.ports.get(&p).cloned().unwrap_or_default();
+                format!(
+                    "{{\"port\":{p},\"frames\":{},\"mpps\":{:.4},\"l2_gbps\":{:.4}}}",
+                    st.frames,
+                    st.pps() / 1e6,
+                    st.l2_bps() / 1e9
+                )
+            })
+            .collect();
+        let mut queries = Vec::new();
+        let mut names: Vec<&String> = tester.handles.queries.keys().collect();
+        names.sort();
+        for name in names {
+            let h = &tester.handles.queries[name];
+            let value = match query_result(sw_ref, h, None) {
+                QueryResult::Global(v) => format!("{{\"kind\":\"global\",\"value\":{v}}}"),
+                QueryResult::Distinct(d) => format!("{{\"kind\":\"distinct\",\"value\":{d}}}"),
+                QueryResult::Keyed(m) => format!("{{\"kind\":\"keyed\",\"keys\":{}}}", m.len()),
+            };
+            queries.push(format!("{{\"name\":\"{}\",\"result\":{value}}}", json_escape(name)));
+        }
+        println!(
+            "{{\"file\":\"{}\",\"ok\":true,\"ports\":[{}],\"queries\":[{}],\
+             \"counters\":{{\"rx\":{},\"tx\":{},\"recirculations\":{},\
+             \"ingress_drops\":{},\"egress_drops\":{}}}}}",
+            json_escape(path),
+            ports.join(","),
+            queries.join(","),
+            sw_ref.counters.rx_frames,
+            sw_ref.counters.tx_frames,
+            sw_ref.counters.recirculations,
+            sw_ref.counters.ingress_drops,
+            sw_ref.counters.egress_drops
+        );
+        return Ok(());
+    }
+
     println!("\nper-port throughput:");
     for p in 0..opts.ports {
         if let Some(st) = s.ports.get(&p) {
@@ -188,7 +288,6 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
         }
     }
 
-    let sw_ref: &Switch = world.device(sw);
     if !tester.handles.queries.is_empty() {
         println!("\nquery results:");
         let mut names: Vec<&String> = tester.handles.queries.keys().collect();
@@ -213,12 +312,42 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Maps a command result to the exit-code contract, emitting errors as a
+/// JSON object on stdout when `--json` was requested.
+fn finish(result: Result<(), String>, path: &str, json: bool) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"file\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(path),
+                    json_escape(&e)
+                );
+            } else {
+                eprintln!("error: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+
+    if cmd == "bench" {
+        return ExitCode::from(
+            u8::try_from(hypertester::harness::cli::bench_cli(
+                rest,
+                hypertester::bench::suite::all(),
+            ))
+            .unwrap_or(1),
+        );
+    }
 
     if cmd == "lint" {
         let json = rest.iter().any(|a| a == "--json");
@@ -239,40 +368,61 @@ fn main() -> ExitCode {
         };
     }
 
+    if cmd == "compile" {
+        let json = rest.iter().any(|a| a == "--json");
+        if rest.iter().any(|a| a.starts_with("--") && a != "--json") {
+            return usage();
+        }
+        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+        let [path] = paths[..] else {
+            return usage();
+        };
+        return finish(cmd_compile(path, json), path, json);
+    }
+
+    if cmd == "run" {
+        let mut opts =
+            RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None, json: false };
+        let mut path: Option<&String> = None;
+        let mut it = rest.iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--json" => opts.json = true,
+                flag @ ("--ports" | "--speed" | "--duration" | "--copies") => {
+                    let val = it.next().map(String::as_str);
+                    let Some(v) = val.and_then(|v| v.parse::<u64>().ok()) else {
+                        eprintln!("bad flag/value: {flag} {val:?}");
+                        return usage();
+                    };
+                    match flag {
+                        "--ports" => opts.ports = v as u16,
+                        "--speed" => opts.speed_gbps = v,
+                        "--duration" => opts.duration_ms = v,
+                        _ => opts.copies = Some(v as usize),
+                    }
+                }
+                other if other.starts_with("--") => {
+                    eprintln!("bad flag: {other}");
+                    return usage();
+                }
+                _ if path.is_some() => return usage(),
+                _ => path = Some(tok),
+            }
+        }
+        let Some(path) = path else {
+            return usage();
+        };
+        let json = opts.json;
+        return finish(cmd_run(path, opts), path, json);
+    }
+
     let Some(path) = rest.first() else {
         return usage();
     };
 
-    let result = match cmd {
-        "compile" => cmd_compile(path),
-        "p4" => cmd_p4(path),
-        "loc" => cmd_loc(path),
-        "run" => {
-            let mut opts = RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None };
-            let mut it = rest[1..].iter();
-            while let Some(flag) = it.next() {
-                let val = it.next().map(String::as_str);
-                let parsed: Option<u64> = val.and_then(|v| v.parse().ok());
-                match (flag.as_str(), parsed) {
-                    ("--ports", Some(v)) => opts.ports = v as u16,
-                    ("--speed", Some(v)) => opts.speed_gbps = v,
-                    ("--duration", Some(v)) => opts.duration_ms = v,
-                    ("--copies", Some(v)) => opts.copies = Some(v as usize),
-                    _ => {
-                        eprintln!("bad flag/value: {flag} {val:?}");
-                        return usage();
-                    }
-                }
-            }
-            cmd_run(path, opts)
-        }
-        _ => return usage(),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+    match cmd {
+        "p4" => finish(cmd_p4(path), path, false),
+        "loc" => finish(cmd_loc(path), path, false),
+        _ => usage(),
     }
 }

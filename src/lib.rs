@@ -12,9 +12,15 @@
 
 pub use ht_asic as asic;
 pub use ht_baseline as baseline;
-pub use ht_core as core;
+pub use ht_bench as bench;
+/// The HyperTester core (HTPS + HTPR + tester assembly).
+///
+/// Named `ht` rather than `core` so downstream `use` paths never shadow the
+/// standard library's `core` crate.
+pub use ht_core as ht;
 pub use ht_cpu as cpu;
 pub use ht_dut as dut;
+pub use ht_harness as harness;
 pub use ht_lint as lint;
 pub use ht_ntapi as ntapi;
 pub use ht_packet as packet;
@@ -23,6 +29,7 @@ pub use ht_stats as stats;
 /// Convenience prelude bringing the most common types of the public API into
 /// scope: `use hypertester::prelude::*;`.
 pub mod prelude {
+    pub use ht_asic::time::{ms, ns, secs, us};
     pub use ht_core::prelude::*;
     pub use ht_ntapi::prelude::*;
 }

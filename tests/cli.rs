@@ -125,3 +125,75 @@ fn unreadable_file_is_an_error() {
     assert!(!ok);
     assert!(stderr.contains("error:"));
 }
+
+fn htctl_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_htctl")).args(args).output().expect("spawn htctl");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn compile_json_reports_templates_and_queries() {
+    let (stdout, _, ok) = htctl(&["compile", "--json", &task_path("throughput.nt")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"templates\":["), "{stdout}");
+    assert!(stdout.contains("\"queries\":["), "{stdout}");
+    assert!(stdout.contains("\"frame_len\":"), "{stdout}");
+}
+
+#[test]
+fn compile_json_failure_is_exit_one_with_error_object() {
+    let dir = std::env::temp_dir().join("htctl-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad_json.nt");
+    std::fs::write(&bad, "T1 = trigger().set(dport, 99999)").unwrap();
+    let (stdout, _, code) = htctl_code(&["compile", "--json", bad.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"error\":"), "{stdout}");
+}
+
+#[test]
+fn run_json_emits_ports_queries_and_counters() {
+    let (stdout, _, ok) = htctl(&["run", "--json", &task_path("throughput.nt"), "--duration", "1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"ports\":[{\"port\":0"), "{stdout}");
+    assert!(stdout.contains("\"queries\":["), "{stdout}");
+    assert!(stdout.contains("\"counters\":{"), "{stdout}");
+    // No human progress text may pollute the JSON stream.
+    assert!(!stdout.contains("running"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two_everywhere() {
+    let (_, _, none) = htctl_code(&[]);
+    let (_, _, compile) = htctl_code(&["compile"]);
+    let (_, _, bench) = htctl_code(&["bench", "--bogus"]);
+    assert_eq!((none, compile, bench), (2, 2, 2));
+}
+
+#[test]
+fn bench_lists_the_suite() {
+    let (stdout, _, ok) = htctl(&["bench", "--list"]);
+    assert!(ok, "{stdout}");
+    for name in ["table5_loc", "fig14_accelerator", "ablation_cuckoo", "hotpath_queue_arena"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn bench_smoke_filter_emits_bench_json() {
+    let (stdout, _, ok) =
+        htctl(&["bench", "--smoke", "--workers", "2", "--json", "--filter", "table5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"schema\": 1"), "{stdout}");
+    assert!(stdout.contains("\"scale\": \"smoke\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"table5_loc\""), "{stdout}");
+    assert!(stdout.contains("\"digest\":"), "{stdout}");
+}

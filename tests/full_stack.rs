@@ -8,9 +8,9 @@ use hypertester::asic::phv::fields;
 use hypertester::asic::table::{MatchKind, Table};
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
-use hypertester::core::{build, distinct_count, global_value, TesterConfig};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
+use hypertester::ht::{build, distinct_count, global_value, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, compile_with, parse, CompileOptions, NtapiError};
 
 /// Tester → second (Tofino-like) switch under test → back to the tester:
@@ -25,7 +25,9 @@ Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
 Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().expect("config"))
+            .unwrap();
     let templates = tester.template_copies(0, 8);
 
     // The DUT: a second programmable switch forwarding port 0 → port 1.
@@ -72,7 +74,9 @@ Q1 = query().distinct(keys=[sport])
 Q2 = query().reduce(func=count)
 "#;
     let task = compile(&parse(src).unwrap()).unwrap();
-    let mut tester = build(&task, &TesterConfig::with_ports(2, gbps(100))).unwrap();
+    let mut tester =
+        build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().expect("config"))
+            .unwrap();
     let templates = tester.template_copies(0, 8);
 
     let mut w = World::new(99);
@@ -114,7 +118,12 @@ fn loopback_ports_extend_accelerator_capacity() {
     // Two loops (one loopback port): accepted and runnable.
     let opts = CompileOptions { recirc_loops: 2, stage_budget: 1000, ..Default::default() };
     let task = compile_with(&prog, opts).unwrap();
-    let cfg = TesterConfig { loopback_ports: vec![3], ..TesterConfig::with_ports(4, gbps(100)) };
+    let cfg = TesterConfig::builder()
+        .ports(4)
+        .speed(Gbps(100))
+        .loopback_ports([3])
+        .build()
+        .expect("config");
     let mut tester = build(&task, &cfg).unwrap();
     let templates: Vec<_> =
         (0..task.templates.len()).flat_map(|i| tester.template_copies(i, 1)).collect();
