@@ -13,7 +13,7 @@
 //! per worker thread), so a plain `thread_local!` free list needs no
 //! locking.  [`stats`] exposes hit/miss counters per thread so the
 //! optimization is provable — the benchmark harness records them per
-//! experiment in `BENCH.json`.  [`set_pooling(false)`] degrades to the
+//! experiment in `BENCH.json`.  [`set_pooling`]`(false)` degrades to the
 //! plain allocator, which the hot-path A/B benchmark uses to measure the
 //! seed behavior.
 

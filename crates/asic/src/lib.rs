@@ -34,6 +34,7 @@
 pub mod action;
 pub mod arena;
 pub mod digest;
+pub mod fingerprint;
 pub mod hash;
 pub mod mac;
 pub mod packet;

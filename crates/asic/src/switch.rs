@@ -157,6 +157,11 @@ impl Switch {
         }
     }
 
+    /// The switch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Adds an external port at `speed_bps`.
     pub fn add_port(&mut self, port: u16, speed_bps: u64) {
         assert!(port < RECIRC_PORT, "port id collides with internal ports");

@@ -224,6 +224,39 @@ impl Table {
         entries.chain(std::iter::once(&self.default_action))
     }
 
+    /// Every installed entry as `(key, priority, action)`, in a
+    /// *deterministic* order regardless of insertion history: exact entries
+    /// sorted by key, ternary/range entries in stored (priority) order,
+    /// index entries by slot.  Exact and index priorities read as 0.
+    ///
+    /// Program fingerprinting and backend comparison walk this; the storage
+    /// layout (hash map for exact) is not observable through it.
+    pub fn entries(&self) -> Vec<(MatchKey, i32, &ActionSet)> {
+        match self.kind {
+            MatchKind::Exact => {
+                let mut es: Vec<_> = self.exact.iter().collect();
+                es.sort_by(|a, b| a.0.cmp(b.0));
+                es.into_iter().map(|(k, a)| (MatchKey::Exact(k.clone()), 0, a)).collect()
+            }
+            MatchKind::Ternary => self
+                .ternary
+                .iter()
+                .map(|e| (MatchKey::Ternary(e.key.clone()), e.priority, &e.action))
+                .collect(),
+            MatchKind::Range => self
+                .range
+                .iter()
+                .map(|e| (MatchKey::Range(e.key.clone()), e.priority, &e.action))
+                .collect(),
+            MatchKind::Index => self
+                .indexed
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.as_ref().map(|a| (MatchKey::Index(i as u64), 0, a)))
+                .collect(),
+        }
+    }
+
     /// Largest VLIW op count across the default action and all entries —
     /// what the stage's instruction memory must provision.
     pub fn max_ops(&self) -> usize {

@@ -5,7 +5,7 @@
 //! propagation), so a comparison-based priority queue pays `O(log n)` per
 //! event for ordering information the timestamps' structure already gives
 //! away.  The wheel buckets events by their arrival *tick* (2^12 ps ≈ 4 ns)
-//! across [`LEVELS`] levels of [`SLOTS`] slots each — level `l` slot spans
+//! across `LEVELS` levels of `SLOTS` slots each — level `l` slot spans
 //! `2^(12+6l)` ps — and keeps per-level occupancy bitmasks, so advancing to
 //! the next event is a couple of `trailing_zeros` instructions.  Events
 //! beyond the wheel horizon (2^48 ps ≈ 281 s) overflow into a fallback

@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod corpus;
 pub mod experiments;
 pub mod harness;
 pub mod resources;

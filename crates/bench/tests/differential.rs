@@ -1,0 +1,42 @@
+//! Differential compiler test: every corpus program must compile to a
+//! switch program fingerprint-identical to the committed pre-refactor
+//! golden (`tests/golden/switch_fingerprints.txt`).
+//!
+//! The goldens were captured from the single-shot AST→Switch lowering
+//! before the IR refactor; the test pins the IR path to that behavior.
+//! Regenerate (only when a program change is *intended*) with:
+//!
+//! ```text
+//! HT_REGEN_GOLDEN=1 cargo test -p ht-bench --test differential
+//! ```
+
+use ht_bench::corpus;
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/switch_fingerprints.txt");
+
+fn render() -> String {
+    let mut out = String::new();
+    for (name, fp) in corpus::fingerprints() {
+        out.push_str(&format!("{name} {fp:016x}\n"));
+    }
+    out
+}
+
+#[test]
+fn switch_programs_match_committed_fingerprints() {
+    let got = render();
+    if std::env::var("HT_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect("committed golden fingerprints");
+    for (g, w) in got.lines().zip(want.lines()) {
+        assert_eq!(
+            g, w,
+            "switch program fingerprint drifted from the pre-refactor golden \
+             (compiled output changed; if intended, regenerate with HT_REGEN_GOLDEN=1)"
+        );
+    }
+    assert_eq!(got, want, "corpus entry list drifted from the golden file");
+}

@@ -92,19 +92,6 @@ pub struct TesterConfig {
 }
 
 impl TesterConfig {
-    /// A single-switch testbed config: `n` ports at `speed_bps`.
-    #[deprecated(since = "0.2.0", note = "use `TesterConfig::builder()` instead")]
-    pub fn with_ports(n: u16, speed_bps: u64) -> Self {
-        TesterConfig {
-            name: "hypertester".into(),
-            seed: 7,
-            ports: (0..n).map(|p| (p, speed_bps)).collect(),
-            loopback_ports: Vec::new(),
-            kv_fifo_capacity: 4096,
-            trigger_fifo_capacity: 4096,
-        }
-    }
-
     /// Starts a fluent builder:
     /// `TesterConfig::builder().ports(4).speed(Gbps(100)).build()?`.
     pub fn builder() -> TesterConfigBuilder {
@@ -321,6 +308,9 @@ pub struct BuiltTester {
     pub handles: TaskHandles,
     /// The compiled task.
     pub task: CompiledTask,
+    /// The full static-verification report from the build's single run of
+    /// the lint pass pipeline (warnings included; errors abort the build).
+    pub lint: ht_lint::LintReport,
 }
 
 /// Builds a tester switch from a compiled task.
@@ -449,6 +439,7 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
         templates,
         handles: TaskHandles { fire_field, templates: template_handles, queries, proto },
         task: task.clone(),
+        lint,
     })
 }
 

@@ -177,9 +177,11 @@ pub struct Regression {
 /// Compares a fresh report against a committed `BENCH.json` baseline.
 ///
 /// Fails an experiment when its events/sec drops more than
-/// `threshold_pct` below the baseline.  Scale/queue mismatches and
-/// missing experiments produce non-fatal notes (the line-oriented parse
-/// tolerates hand-edited or older baselines).
+/// `threshold_pct` below the baseline, or when its deterministic result
+/// digest differs from the baseline's (same scale ⇒ same seeds ⇒ same
+/// payload — a digest change is behavioral drift, not noise).
+/// Scale/queue mismatches and missing experiments produce non-fatal notes
+/// (the line-oriented parse tolerates hand-edited or older baselines).
 pub fn compare_to_baseline(
     report: &BenchReport,
     baseline_json: &str,
@@ -213,6 +215,18 @@ pub fn compare_to_baseline(
             });
             continue;
         };
+        if let Some(digest) = field(line, "digest") {
+            let now_digest = format!("{:016x}", now.digest);
+            if digest != now_digest {
+                out.push(Regression {
+                    fatal: true,
+                    message: format!(
+                        "{name}: result digest drifted from baseline ({digest} -> {now_digest}); \
+                         deterministic output changed"
+                    ),
+                });
+            }
+        }
         if eps <= 0.0 {
             continue; // nothing measurable in the baseline entry
         }
@@ -286,6 +300,15 @@ mod tests {
         assert!(regs.iter().any(|r| r.fatal), "{regs:?}");
         let regs = compare_to_baseline(&report(900.0), &baseline, 20.0);
         assert!(regs.iter().all(|r| !r.fatal), "{regs:?}");
+    }
+
+    #[test]
+    fn digest_drift_is_fatal_when_scales_match() {
+        let baseline = report(1000.0).to_json();
+        let mut run = report(1000.0);
+        run.results[0].digest = 0xbeef;
+        let regs = compare_to_baseline(&run, &baseline, 20.0);
+        assert!(regs.iter().any(|r| r.fatal && r.message.contains("digest drifted")), "{regs:?}");
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Diagnostics shared by every pass: lowering passes in the compiler,
+//! program passes in the verifier, and any backend that wants to report.
+//!
+//! These types originated in the static verifier (`ht-lint`) and moved
+//! here when lowering and verification were unified behind one pass
+//! manager; `ht-lint` re-exports them, so both spellings name the same
+//! types.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but loadable; reported, does not block.
+    Warning,
+    /// The program cannot (or must not) be loaded.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `salu-raw-hazard`.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Where in the program the finding anchors, e.g.
+    /// `ingress stage 3 table q0_reduce`.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Renders the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+            json_escape(self.rule),
+            self.severity,
+            json_escape(&self.location),
+            json_escape(&self.message),
+            json_escape(&self.hint),
+        )
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)?;
+        if !self.hint.is_empty() {
+            write!(f, "\n  hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The accumulated findings of one or more passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of another report.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// The error diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders the findings as a JSON array (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{} error(s), {} warning(s)", self.error_count(), self.warning_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::error("a-rule", "here", "broken", "fix it"));
+        r.push(Diagnostic::warning("b-rule", "there", "odd", ""));
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("error[a-rule] here: broken"));
+        assert!(text.contains("hint: fix it"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+        assert!(!text.contains("odd\n  hint:"), "empty hints are omitted");
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        let d = Diagnostic::error("r", "loc \"x\"", "line1\nline2", "tab\there");
+        let j = d.to_json();
+        assert!(j.contains("loc \\\"x\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("tab\\there"));
+        assert_eq!(json_escape("ctrl\u{1}"), "ctrl\\u0001");
+    }
+}

@@ -1,0 +1,43 @@
+//! The typed pipeline IR between the NTAPI surface syntax and every
+//! backend of the toolchain.
+//!
+//! The NTAPI compiler (`ht-ntapi`) lowers a parsed program through an
+//! ordered list of passes into a [`Module`] — template packet specs,
+//! compiled queries, and a [`PipelinePlan`] of pass-computed annotations.
+//! Three backends consume that one module:
+//!
+//! * the **sim builder** (`ht-core`) programs a `ht_asic::Switch` from it;
+//! * the **P4 backend** (`ht-ntapi`'s codegen) renders it to P4 source;
+//! * the **verifier** (`ht-lint`) runs its program passes over the built
+//!   switch through the same [`Pass`] machinery.
+//!
+//! Module map:
+//! * [`field`] — the Table 1 field vocabulary shared with the AST.
+//! * [`template`] — template packet specs (triggers, §5.1).
+//! * [`query`] — compiled queries (§5.2).
+//! * [`module`] — the [`Module`] and its [`PipelinePlan`] annotations.
+//! * [`hashcfg`] — cuckoo hash configuration carried by keyed queries.
+//! * [`pass`] — the [`Pass`] trait and [`PassManager`] with per-pass
+//!   diagnostics and timing.
+//! * [`diag`] — diagnostics ([`Diagnostic`], [`LintReport`]).
+//! * [`render`] — deterministic text and JSON dumps of a [`Module`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod field;
+pub mod hashcfg;
+pub mod module;
+pub mod pass;
+pub mod query;
+pub mod render;
+pub mod template;
+
+pub use diag::{json_escape, Diagnostic, LintReport, Severity};
+pub use field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
+pub use hashcfg::HashConfig;
+pub use module::{AcceleratorPlan, Module, PipelinePlan, TimerPlan};
+pub use pass::{Pass, PassCx, PassManager, PassRun, PassTrace};
+pub use query::{CompiledQuery, FpConfig, QueryKind};
+pub use template::{EditSpec, L4Proto, ResponseCopy, TemplateSpec};

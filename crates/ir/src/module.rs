@@ -1,0 +1,76 @@
+//! The IR module: everything a compiled testing task says, in one typed,
+//! serializable value.
+//!
+//! A [`Module`] is what the lowering passes of the NTAPI compiler produce
+//! and what every backend consumes: the sim builder programs a
+//! [`ht_asic::Switch`] from it, the P4 backend renders it to source, and
+//! the verifier's task-level passes walk it.  The [`PipelinePlan`] carries
+//! the pass-computed annotations that are *about* the module rather than
+//! *in* it — timer synthesis and resource accounting.
+
+use crate::query::CompiledQuery;
+use crate::template::TemplateSpec;
+use ht_asic::time::SimTime;
+
+/// One synthesized rate-control timer (§5.1 "Replicator"): the cadence at
+/// which a template's replicas leave, derived from its `interval` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerPlan {
+    /// Template the timer drives.
+    pub template_id: u16,
+    /// Constant inter-departure interval; `None` = line rate (replicate at
+    /// every recirculation arrival, no timer gating).
+    pub interval: Option<SimTime>,
+    /// Whether the interval is drawn from a distribution per departure
+    /// (the template carries an `interval_dist` edit).
+    pub distribution: bool,
+}
+
+/// Accelerator occupancy (§5.1/§6.1): how many templates reside in the
+/// recirculation loop versus how many fit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcceleratorPlan {
+    /// Start-time templates permanently occupying the loop.
+    pub resident: usize,
+    /// Loop capacity at the task's minimum frame length, times the number
+    /// of available recirculation loops.
+    pub capacity: usize,
+}
+
+/// Pass-computed annotations over the module: timers and resource use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelinePlan {
+    /// One timer per template, in template order.
+    pub timers: Vec<TimerPlan>,
+    /// Accelerator occupancy.
+    pub accelerator: AcceleratorPlan,
+    /// Logical match-action stages the task occupies (accelerator +
+    /// replicator + per-template editor chains + per-query engines).
+    pub logical_stages: usize,
+    /// Stage budget the task was admitted against.
+    pub stage_budget: usize,
+}
+
+/// A lowered testing task: the typed IR between the NTAPI AST and every
+/// backend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Template packet specs, one per trigger, in declaration order.
+    pub templates: Vec<TemplateSpec>,
+    /// Compiled queries, in declaration order.
+    pub queries: Vec<CompiledQuery>,
+    /// Pass-computed annotations.
+    pub plan: PipelinePlan,
+}
+
+impl Module {
+    /// Looks up a template by its source trigger name.
+    pub fn template(&self, trigger_name: &str) -> Option<&TemplateSpec> {
+        self.templates.iter().find(|t| t.trigger_name == trigger_name)
+    }
+
+    /// Looks up a compiled query by name.
+    pub fn query(&self, name: &str) -> Option<&CompiledQuery> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+}

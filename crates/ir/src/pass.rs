@@ -1,0 +1,209 @@
+//! The pass manager: an ordered list of named passes over some program
+//! representation, with per-pass diagnostics and timing.
+//!
+//! Both halves of the toolchain run on this machinery:
+//!
+//! * the NTAPI compiler lowers AST → [`crate::Module`] through a pass
+//!   list (template extraction, field-edit planning, timer synthesis,
+//!   query lowering, resource annotation, task lint);
+//! * the static verifier (`ht-lint`) runs its six program passes over a
+//!   built `Switch` through the same trait.
+//!
+//! A pass reports findings into the shared [`PassCx`] and may fail with a
+//! typed error `E`; the manager records how long each pass took and how
+//! many findings it added, so `htctl compile --dump-ir` can show where
+//! compile time goes.
+
+use crate::diag::LintReport;
+use std::time::{Duration, Instant};
+
+/// Shared context threaded through a pass pipeline: the accumulated
+/// diagnostics of every pass run so far.
+#[derive(Debug, Default)]
+pub struct PassCx {
+    /// Findings reported by the passes, in pass order.
+    pub diagnostics: LintReport,
+}
+
+impl PassCx {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One named pass over a program representation `M`, failing with `E`.
+pub trait Pass<M, E> {
+    /// Stable pass name (kebab-case), e.g. `template-extraction`.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass.  Non-fatal findings go into `cx.diagnostics`; a
+    /// returned error aborts the pipeline.
+    fn run(&self, module: &mut M, cx: &mut PassCx) -> Result<(), E>;
+}
+
+/// The record of one executed pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRun {
+    /// Pass name.
+    pub name: &'static str,
+    /// Wall-clock duration of the pass.
+    pub duration: Duration,
+    /// Diagnostics the pass added to the context.
+    pub diagnostics: usize,
+}
+
+/// Per-pass execution record of one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassTrace {
+    /// One entry per executed pass, in execution order.
+    pub runs: Vec<PassRun>,
+}
+
+impl PassTrace {
+    /// Total wall-clock time across all executed passes.
+    pub fn total(&self) -> Duration {
+        self.runs.iter().map(|r| r.duration).sum()
+    }
+}
+
+/// An ordered list of passes over `M`.
+pub struct PassManager<M, E> {
+    passes: Vec<Box<dyn Pass<M, E>>>,
+}
+
+impl<M, E> Default for PassManager<M, E> {
+    fn default() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+}
+
+impl<M, E> PassManager<M, E> {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pass to the end of the pipeline.
+    pub fn register(&mut self, pass: impl Pass<M, E> + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// The registered pass names, in execution order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Whether a pass with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.passes.iter().any(|p| p.name() == name)
+    }
+
+    /// Runs every pass in order.  Stops at the first pass error; findings
+    /// of completed passes remain in `cx`.
+    pub fn run(&self, module: &mut M, cx: &mut PassCx) -> Result<PassTrace, E> {
+        self.run_until(module, cx, None)
+    }
+
+    /// Runs passes in order, stopping *after* the pass named `stop_after`
+    /// when given (unknown names run the full pipeline — validate with
+    /// [`PassManager::contains`] first when the name is user input).
+    pub fn run_until(
+        &self,
+        module: &mut M,
+        cx: &mut PassCx,
+        stop_after: Option<&str>,
+    ) -> Result<PassTrace, E> {
+        let mut trace = PassTrace::default();
+        for pass in &self.passes {
+            let before = cx.diagnostics.diagnostics.len();
+            let start = Instant::now();
+            let result = pass.run(module, cx);
+            trace.runs.push(PassRun {
+                name: pass.name(),
+                duration: start.elapsed(),
+                diagnostics: cx.diagnostics.diagnostics.len() - before,
+            });
+            result?;
+            if stop_after == Some(pass.name()) {
+                break;
+            }
+        }
+        Ok(trace)
+    }
+}
+
+impl<M, E> std::fmt::Debug for PassManager<M, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager").field("passes", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    struct Append(&'static str);
+
+    impl Pass<Vec<&'static str>, String> for Append {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn run(&self, m: &mut Vec<&'static str>, cx: &mut PassCx) -> Result<(), String> {
+            if self.0 == "boom" {
+                return Err("boom failed".into());
+            }
+            m.push(self.0);
+            cx.diagnostics.push(Diagnostic::warning("w", self.0, "note", ""));
+            Ok(())
+        }
+    }
+
+    fn manager() -> PassManager<Vec<&'static str>, String> {
+        let mut pm = PassManager::new();
+        pm.register(Append("first"));
+        pm.register(Append("second"));
+        pm.register(Append("third"));
+        pm
+    }
+
+    #[test]
+    fn runs_passes_in_order_with_trace() {
+        let pm = manager();
+        assert_eq!(pm.names(), vec!["first", "second", "third"]);
+        assert!(pm.contains("second") && !pm.contains("boom"));
+        let mut m = Vec::new();
+        let mut cx = PassCx::new();
+        let trace = pm.run(&mut m, &mut cx).unwrap();
+        assert_eq!(m, vec!["first", "second", "third"]);
+        assert_eq!(trace.runs.len(), 3);
+        assert!(trace.runs.iter().all(|r| r.diagnostics == 1));
+        assert_eq!(cx.diagnostics.diagnostics.len(), 3);
+        assert!(trace.total() >= trace.runs[0].duration);
+    }
+
+    #[test]
+    fn stop_after_halts_the_pipeline() {
+        let pm = manager();
+        let mut m = Vec::new();
+        let mut cx = PassCx::new();
+        let trace = pm.run_until(&mut m, &mut cx, Some("second")).unwrap();
+        assert_eq!(m, vec!["first", "second"]);
+        assert_eq!(trace.runs.len(), 2);
+    }
+
+    #[test]
+    fn pass_error_aborts_but_keeps_earlier_findings() {
+        let mut pm = PassManager::new();
+        pm.register(Append("first"));
+        pm.register(Append("boom"));
+        pm.register(Append("never"));
+        let mut m = Vec::new();
+        let mut cx = PassCx::new();
+        let err = pm.run(&mut m, &mut cx).unwrap_err();
+        assert_eq!(err, "boom failed");
+        assert_eq!(m, vec!["first"], "third pass must not run");
+        assert_eq!(cx.diagnostics.diagnostics.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Query-side IR: what each packet stream query lowers to (§5.2).
+
+use crate::field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
+use crate::hashcfg::HashConfig;
+
+/// Aggregation kind of a compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// No aggregation: the query only captures packets (stateless
+    /// connections) or counts all packets.
+    PassThrough,
+    /// One global aggregate (e.g. total bytes for throughput).
+    ReduceGlobal {
+        /// The function.
+        func: ReduceFunc,
+    },
+    /// Per-key aggregation via the counter-based engine.
+    ReduceKeyed {
+        /// Key fields.
+        keys: Vec<HeaderField>,
+        /// The function.
+        func: ReduceFunc,
+    },
+    /// Distinct key counting via the counter-based engine.
+    Distinct {
+        /// Key fields.
+        keys: Vec<HeaderField>,
+    },
+}
+
+/// Per-query false-positive configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpConfig {
+    /// Hash configuration.
+    pub hash: HashConfig,
+    /// Precomputed exact-key-matching entries.
+    pub entries: Vec<Vec<u64>>,
+    /// Size of the enumerated key space (diagnostic).
+    pub space_size: usize,
+}
+
+/// A compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    /// Query name.
+    pub name: String,
+    /// Monitored traffic.
+    pub source: QuerySource,
+    /// Conjunction of filter predicates.
+    pub filters: Vec<Predicate>,
+    /// Projection (determines the reduce value; `pkt_len` for throughput).
+    pub map: Vec<NtField>,
+    /// Aggregation kind.
+    pub kind: QueryKind,
+    /// Filter over the running reduce result (web testing's
+    /// `.filter(count < 5)`).
+    pub result_filter: Option<(CmpOp, u64)>,
+    /// Triggers fired by packets this query captures.
+    pub capture_for: Vec<String>,
+    /// Exact-key-matching configuration for keyed queries.
+    pub fp: Option<FpConfig>,
+}

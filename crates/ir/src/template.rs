@@ -1,0 +1,133 @@
+//! Template-side IR: what each trigger lowers to (§5.1).
+//!
+//! A [`TemplateSpec`] is the packet-generation half of a compiled module —
+//! the constant header values and payload the switch CPU bakes into the
+//! template, the mcast port set, the replicator's rate-control interval,
+//! and the editor modifications.
+
+use crate::field::HeaderField;
+use ht_asic::time::SimTime;
+
+/// L4 protocol of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Proto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// No L4 header.
+    None,
+}
+
+impl L4Proto {
+    /// Lower-case spelling used in IR dumps (`tcp`, `udp`, `none`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            L4Proto::Tcp => "tcp",
+            L4Proto::Udp => "udp",
+            L4Proto::None => "none",
+        }
+    }
+}
+
+/// One editor modification (§5.1 "Editor": the four modification types).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditSpec {
+    /// Set the field from a value list indexed by the per-template packet
+    /// id (modification type 2).
+    ValueList {
+        /// Target field.
+        field: HeaderField,
+        /// The values, walked in order and wrapped.
+        values: Vec<u64>,
+    },
+    /// Arithmetic progression via a register (modification type 3).
+    Progression {
+        /// Target field.
+        field: HeaderField,
+        /// First value.
+        start: u64,
+        /// Last value (inclusive); wraps back to `start`.
+        end: u64,
+        /// Step.
+        step: u64,
+    },
+    /// Uniform random draw `[offset, offset + 2^bits)` — the hardware RNG
+    /// primitive with its power-of-two scope limitation (§6.1).
+    RandomUniform {
+        /// Target field.
+        field: HeaderField,
+        /// Range exponent.
+        bits: u32,
+        /// Offset compensating the zero lower bound.
+        offset: u64,
+    },
+    /// Inverse-transform table for arbitrary distributions (modification
+    /// type 4, "implemented with two tables").
+    RandomTable {
+        /// Target field.
+        field: HeaderField,
+        /// `2^bits` quantile values (the second table); the first table is
+        /// the uniform RNG.
+        values: Vec<u64>,
+        /// Table exponent.
+        bits: u32,
+    },
+}
+
+impl EditSpec {
+    /// The edited field.
+    pub fn field(&self) -> HeaderField {
+        match self {
+            EditSpec::ValueList { field, .. }
+            | EditSpec::Progression { field, .. }
+            | EditSpec::RandomUniform { field, .. }
+            | EditSpec::RandomTable { field, .. } => *field,
+        }
+    }
+}
+
+/// A field copied from a captured packet into a triggered response
+/// (stateless connections, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseCopy {
+    /// Field of the generated packet.
+    pub dst: HeaderField,
+    /// Field of the captured packet.
+    pub src: HeaderField,
+    /// Constant offset (e.g. `ack_no = seq_no + 1`).
+    pub offset: i64,
+}
+
+/// A compiled template packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSpec {
+    /// Template id (1-based; 0 means "not a template" in the PHV).
+    pub id: u16,
+    /// Source trigger name.
+    pub trigger_name: String,
+    /// Frame length in bytes.
+    pub frame_len: usize,
+    /// Constant payload bytes.
+    pub payload: Vec<u8>,
+    /// L4 protocol.
+    pub protocol: L4Proto,
+    /// Constant header initializations (done by the switch CPU).
+    pub base: Vec<(HeaderField, u64)>,
+    /// Rate-control interval; `None` = replicate at every template arrival
+    /// (line rate).
+    pub interval: Option<SimTime>,
+    /// Random inter-departure time, when the interval is drawn from a
+    /// distribution instead of constant (§3.1).
+    pub interval_dist: Option<EditSpec>,
+    /// Egress ports the mcast engine replicates to.
+    pub ports: Vec<u16>,
+    /// How many times the value lists are replayed (0 = forever).
+    pub loop_count: u64,
+    /// Editor modifications.
+    pub edits: Vec<EditSpec>,
+    /// For query-based triggers: the capturing query.
+    pub source_query: Option<String>,
+    /// Field copies from the captured packet.
+    pub response_copies: Vec<ResponseCopy>,
+}

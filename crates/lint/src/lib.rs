@@ -24,7 +24,11 @@
 //! 6. **Gateway contradictions** ([`check_gateways`]) — statically-false
 //!    predicates that turn a table into dead logic.
 //!
-//! [`lint_switch`] runs all six and returns one [`LintReport`].
+//! The six checks are registered as IR passes ([`switch_passes`]) on the
+//! shared `ht_ir` pass manager; [`lint_switch`] is the thin wrapper that
+//! runs the pipeline once and returns one [`LintReport`].  The builder in
+//! `ht-core` drives the same pipeline during `build`, storing the report
+//! on the built tester — so the passes run exactly once per compilation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,173 +41,15 @@ use ht_asic::register::{Cmp, CondExpr, RegId, SaluOperand, SaluUpdate};
 use ht_asic::resources::{table_usage, ResourceUsage};
 use ht_asic::switch::Switch;
 use ht_asic::table::{Gateway, Table};
+use ht_ir::{Pass, PassCx, PassManager};
 use std::collections::{HashMap, HashSet};
+use std::convert::Infallible;
 
-/// How bad a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    /// Suspicious but loadable; reported, does not block.
-    Warning,
-    /// The program cannot (or must not) be loaded.
-    Error,
-}
-
-impl std::fmt::Display for Severity {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
-        }
-    }
-}
-
-/// One finding of a lint pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Stable rule identifier, e.g. `salu-raw-hazard`.
-    pub rule: &'static str,
-    /// Severity.
-    pub severity: Severity,
-    /// Where in the program the finding anchors, e.g.
-    /// `ingress stage 3 table q0_reduce`.
-    pub location: String,
-    /// What is wrong.
-    pub message: String,
-    /// How to fix it.
-    pub hint: String,
-}
-
-impl Diagnostic {
-    /// Builds an error diagnostic.
-    pub fn error(
-        rule: &'static str,
-        location: impl Into<String>,
-        message: impl Into<String>,
-        hint: impl Into<String>,
-    ) -> Self {
-        Diagnostic {
-            rule,
-            severity: Severity::Error,
-            location: location.into(),
-            message: message.into(),
-            hint: hint.into(),
-        }
-    }
-
-    /// Builds a warning diagnostic.
-    pub fn warning(
-        rule: &'static str,
-        location: impl Into<String>,
-        message: impl Into<String>,
-        hint: impl Into<String>,
-    ) -> Self {
-        Diagnostic {
-            rule,
-            severity: Severity::Warning,
-            location: location.into(),
-            message: message.into(),
-            hint: hint.into(),
-        }
-    }
-
-    /// Renders the diagnostic as one JSON object.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
-            json_escape(self.rule),
-            self.severity,
-            json_escape(&self.location),
-            json_escape(&self.message),
-            json_escape(&self.hint),
-        )
-    }
-}
-
-impl std::fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)?;
-        if !self.hint.is_empty() {
-            write!(f, "\n  hint: {}", self.hint)?;
-        }
-        Ok(())
-    }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// The accumulated findings of one or more passes.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LintReport {
-    /// All findings, in pass order.
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// An empty report.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends a finding.
-    pub fn push(&mut self, d: Diagnostic) {
-        self.diagnostics.push(d);
-    }
-
-    /// Appends every finding of another report.
-    pub fn merge(&mut self, other: LintReport) {
-        self.diagnostics.extend(other.diagnostics);
-    }
-
-    /// Whether any finding is an error.
-    pub fn has_errors(&self) -> bool {
-        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
-    }
-
-    /// Number of error findings.
-    pub fn error_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
-    }
-
-    /// Number of warning findings.
-    pub fn warning_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
-    }
-
-    /// The error diagnostics only.
-    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
-    }
-
-    /// Renders the findings as a JSON array (no trailing newline).
-    pub fn to_json(&self) -> String {
-        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
-        format!("[{}]", items.join(","))
-    }
-}
-
-impl std::fmt::Display for LintReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for d in &self.diagnostics {
-            writeln!(f, "{d}")?;
-        }
-        write!(f, "{} error(s), {} warning(s)", self.error_count(), self.warning_count())
-    }
-}
+// The diagnostic types (`Severity`, `Diagnostic`, `LintReport`,
+// `json_escape`) moved to `ht-ir` when lowering and verification were
+// unified behind one pass manager; re-exported here so existing
+// `ht_lint::…` spellings keep working.
+pub use ht_ir::{json_escape, Diagnostic, LintReport, Severity};
 
 // ---------------------------------------------------------------------------
 // Op introspection helpers
@@ -930,17 +776,48 @@ pub fn check_gateways(sw: &Switch) -> LintReport {
 // Driver
 // ---------------------------------------------------------------------------
 
+/// One program pass: a named check function over a built switch, adapted
+/// to the shared pass machinery.
+struct SwitchPass {
+    name: &'static str,
+    check: fn(&Switch) -> LintReport,
+}
+
+impl<'a> Pass<&'a Switch, Infallible> for SwitchPass {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, sw: &mut &'a Switch, cx: &mut PassCx) -> Result<(), Infallible> {
+        cx.diagnostics.merge((self.check)(sw));
+        Ok(())
+    }
+}
+
+/// The six program checks as an ordered [`PassManager`] pipeline, in the
+/// order [`lint_switch`] has always run them.
+pub fn switch_passes<'a>() -> PassManager<&'a Switch, Infallible> {
+    let mut pm = PassManager::new();
+    pm.register(SwitchPass { name: "stage-resources", check: check_stage_resources });
+    pm.register(SwitchPass { name: "phv-liveness", check: check_phv_liveness });
+    pm.register(SwitchPass { name: "salu-discipline", check: check_salu_discipline });
+    pm.register(SwitchPass {
+        name: "parse-graph",
+        check: |_sw: &Switch| check_parse_graph(&ParseGraph::standard()),
+    });
+    pm.register(SwitchPass { name: "replication", check: check_replication });
+    pm.register(SwitchPass { name: "gateways", check: check_gateways });
+    pm
+}
+
 /// Runs every pass over a built switch program (with the standard parser
-/// graph) and returns the combined report.
+/// graph) and returns the combined report.  Thin wrapper over
+/// [`switch_passes`].
 pub fn lint_switch(sw: &Switch) -> LintReport {
-    let mut report = LintReport::new();
-    report.merge(check_stage_resources(sw));
-    report.merge(check_phv_liveness(sw));
-    report.merge(check_salu_discipline(sw));
-    report.merge(check_parse_graph(&ParseGraph::standard()));
-    report.merge(check_replication(sw));
-    report.merge(check_gateways(sw));
-    report
+    let mut cx = PassCx::new();
+    let mut target = sw;
+    let _ = switch_passes().run(&mut target, &mut cx).unwrap_or_else(|e| match e {});
+    cx.diagnostics
 }
 
 #[cfg(test)]
@@ -948,25 +825,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn report_counts_and_display() {
-        let mut r = LintReport::new();
-        r.push(Diagnostic::error("x", "here", "broken", "fix"));
-        r.push(Diagnostic::warning("y", "there", "odd", ""));
-        assert!(r.has_errors());
-        assert_eq!(r.error_count(), 1);
-        assert_eq!(r.warning_count(), 1);
-        let text = r.to_string();
-        assert!(text.contains("error[x] here: broken"));
-        assert!(text.contains("1 error(s), 1 warning(s)"));
-    }
-
-    #[test]
-    fn json_escaping_is_safe() {
-        let d = Diagnostic::error("r", "a\"b", "line\nbreak", "tab\there");
-        let j = d.to_json();
-        assert!(j.contains("a\\\"b"));
-        assert!(j.contains("line\\nbreak"));
-        assert!(j.contains("tab\\there"));
+    fn switch_pass_pipeline_matches_the_documented_order() {
+        let pm = switch_passes();
+        assert_eq!(
+            pm.names(),
+            vec![
+                "stage-resources",
+                "phv-liveness",
+                "salu-discipline",
+                "parse-graph",
+                "replication",
+                "gateways"
+            ]
+        );
     }
 
     #[test]

@@ -10,90 +10,10 @@
 
 use ht_asic::time::SimTime;
 
-/// Header fields addressable by NTAPI (`hdr_name.field_name` rows of
-/// Table 1).  `Sport`/`Dport` are protocol-generic: the compiler resolves
-/// them to TCP or UDP ports from the trigger's `proto` value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum HeaderField {
-    /// Ethernet source address (48 bits).
-    EthSrc,
-    /// Ethernet destination address (48 bits).
-    EthDst,
-    /// IPv4 source address.
-    Sip,
-    /// IPv4 destination address.
-    Dip,
-    /// IPv4 protocol.
-    Proto,
-    /// IPv4 TTL.
-    Ttl,
-    /// IPv4 identification.
-    Ident,
-    /// L4 source port (TCP or UDP, per the trigger's protocol).
-    Sport,
-    /// L4 destination port.
-    Dport,
-    /// TCP flag byte.
-    TcpFlags,
-    /// TCP sequence number.
-    SeqNo,
-    /// TCP acknowledgment number.
-    AckNo,
-    /// TCP window.
-    Window,
-}
-
-impl HeaderField {
-    /// Bit width of the field (used by validation).
-    pub fn width(&self) -> u32 {
-        match self {
-            HeaderField::EthSrc | HeaderField::EthDst => 48,
-            HeaderField::Sip | HeaderField::Dip => 32,
-            HeaderField::Proto | HeaderField::Ttl | HeaderField::TcpFlags => 8,
-            HeaderField::Ident | HeaderField::Sport | HeaderField::Dport | HeaderField::Window => {
-                16
-            }
-            HeaderField::SeqNo | HeaderField::AckNo => 32,
-        }
-    }
-
-    /// Canonical NTAPI spelling, used in diagnostics and generated P4.
-    pub fn name(&self) -> &'static str {
-        match self {
-            HeaderField::EthSrc => "eth.src",
-            HeaderField::EthDst => "eth.dst",
-            HeaderField::Sip => "sip",
-            HeaderField::Dip => "dip",
-            HeaderField::Proto => "proto",
-            HeaderField::Ttl => "ttl",
-            HeaderField::Ident => "ident",
-            HeaderField::Sport => "sport",
-            HeaderField::Dport => "dport",
-            HeaderField::TcpFlags => "tcp_flag",
-            HeaderField::SeqNo => "seq_no",
-            HeaderField::AckNo => "ack_no",
-            HeaderField::Window => "window",
-        }
-    }
-}
-
-/// Any field settable or readable by NTAPI: header fields plus the payload
-/// and the packet-generation control fields (Table 1's "Control" category).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum NtField {
-    /// A parsed header field.
-    Header(HeaderField),
-    /// The packet payload (CPU-customized, constant bytes).
-    Payload,
-    /// Frame length in bytes.
-    PktLen,
-    /// Inter-departure interval (rate control).
-    Interval,
-    /// Injection port(s).
-    Port,
-    /// Number of times the value lists are replayed; 0 = loop forever.
-    Loop,
-}
+// The field vocabulary (`HeaderField`, `NtField`) moved to `ht-ir`: the
+// compiled IR names the same fields the surface syntax sets, so the types
+// are shared and re-exported here under their original paths.
+pub use ht_ir::{HeaderField, NtField};
 
 /// Random distribution specifications for `random(ALG, …)` values.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,53 +101,8 @@ pub struct TriggerDef {
     pub sets: Vec<SetStmt>,
 }
 
-/// What traffic a query monitors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QuerySource {
-    /// Sent traffic generated by the named trigger (deployed at egress).
-    Trigger(String),
-    /// Received traffic (deployed at ingress); `None` = all ports.
-    Received(Option<u16>),
-}
-
-/// Comparison operators usable in query filters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CmpOp {
-    /// Equal.
-    Eq,
-    /// Not equal.
-    Ne,
-    /// Less than.
-    Lt,
-    /// Less than or equal.
-    Le,
-    /// Greater than.
-    Gt,
-    /// Greater than or equal.
-    Ge,
-}
-
-/// A filter predicate over a header field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Predicate {
-    /// Field inspected.
-    pub field: HeaderField,
-    /// Operator.
-    pub cmp: CmpOp,
-    /// Constant.
-    pub value: u64,
-}
-
-/// Reduce functions (the Sonata set the paper supports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReduceFunc {
-    /// Sum of the mapped value.
-    Sum,
-    /// Count of records.
-    Count,
-    /// Maximum of the mapped value.
-    Max,
-}
+// Query-side vocabulary shared with the IR, re-exported from `ht-ir`.
+pub use ht_ir::{CmpOp, Predicate, QuerySource, ReduceFunc};
 
 /// One query operator (Table 2's q, "refer to Sonata").
 #[derive(Debug, Clone, PartialEq)]
@@ -315,14 +190,6 @@ pub fn interval_ps(value: u64, unit: &str) -> Option<SimTime> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn header_field_widths() {
-        assert_eq!(HeaderField::Sip.width(), 32);
-        assert_eq!(HeaderField::Sport.width(), 16);
-        assert_eq!(HeaderField::TcpFlags.width(), 8);
-        assert_eq!(HeaderField::EthDst.width(), 48);
-    }
 
     #[test]
     fn program_lookup_by_name() {

@@ -1,29 +1,51 @@
-//! NTAPI compilation: validation and lowering to the intermediate
-//! representation the HyperTester runtime (`ht-core`) programs the switch
-//! from.
+//! NTAPI compilation: lowering the AST through an ordered pass pipeline
+//! into the typed IR module ([`ht_ir::Module`]) every backend consumes —
+//! the sim builder (`ht-core`), the P4 backend ([`crate::codegen`]), and
+//! the task-level verifier ([`crate::lint`]).
 //!
-//! Compilation follows §5.1/§5.2 of the paper:
+//! Lowering follows §5.1/§5.2 of the paper, one concern per pass:
 //!
-//! * each trigger becomes a **template packet spec** — the constant header
-//!   values and payload the switch CPU bakes into the template, the mcast
-//!   port set, the replicator's rate-control interval, and the **editor
-//!   edits** (value lists, arithmetic progressions, uniform RNG with
-//!   power-of-two scope limiting, inverse-transform tables);
-//! * each query becomes a **compiled query** — filter predicates, the
-//!   aggregation kind, and (for `distinct`/keyed `reduce`) the hash
-//!   configuration plus the precomputed exact-key-matching entries;
-//! * invalid tasks are **rejected** (§6.1: out-of-range field values,
-//!   malformed ranges, dangling references, and tasks exceeding the
-//!   accelerator or stage budget).
+//! 1. **`template-extraction`** — each trigger becomes a template packet
+//!    spec: constant header values, payload, port set, loop count, and
+//!    response-field copies; variable-value `set`s are recorded for the
+//!    next pass.
+//! 2. **`field-edit-planning`** — value lists, arithmetic progressions,
+//!    uniform RNG with power-of-two scope limiting (§6.1), and
+//!    inverse-transform tables become editor edits.
+//! 3. **`frame-layout`** — the L4 protocol is resolved (explicit `proto`
+//!    or inferred from TCP-field references) and the frame length checked
+//!    against headers + payload.
+//! 4. **`rate-control-timer-synthesis`** — per-template replicator timers
+//!    are derived from `interval` values, and the templates are checked
+//!    against the recirculation-loop capacity that drives those timers.
+//! 5. **`query-lowering`** — each query becomes a compiled query: filter
+//!    predicates, the aggregation kind, and (for `distinct`/keyed
+//!    `reduce`) the hash configuration plus the precomputed
+//!    exact-key-matching entries.
+//! 6. **`resource-annotation`** — the logical stage count is computed and
+//!    checked against the stage budget.
+//! 7. **`task-lint`** — task-level static verification; errors deny
+//!    compilation, warnings ride along on the compiled task.
+//!
+//! Invalid tasks are **rejected** (§6.1: out-of-range field values,
+//! malformed ranges, dangling references, and tasks exceeding the
+//! accelerator or stage budget).  `htctl compile --dump-ir` uses
+//! [`lower_with`] to print the module after any named pass.
 
-use crate::ast::{
-    CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryOp, QuerySource, ReduceFunc,
-    Value,
-};
-use crate::fp::{compute_fp_entries, HashConfig};
+use crate::ast::{DistSpec, Program, QueryOp, Value};
+use crate::fp::compute_fp_entries;
 use crate::headerspace::{global_space, SpaceError};
-use ht_asic::time::SimTime;
 use ht_asic::timing;
+use ht_ir::{
+    AcceleratorPlan, HeaderField, LintReport, Module, NtField, Pass, PassCx, PassManager,
+    PassTrace, QuerySource, TimerPlan,
+};
+
+// The IR types this compiler produces moved to `ht-ir`; re-exported here
+// under their original paths.
+pub use ht_ir::{
+    CompiledQuery, EditSpec, FpConfig, HashConfig, L4Proto, QueryKind, ResponseCopy, TemplateSpec,
+};
 
 /// Errors rejecting a testing task (§6.1: "HyperTester will reject the
 /// mistaken testing tasks").
@@ -93,7 +115,7 @@ pub enum NtapiError {
     /// The task failed static verification (see [`crate::lint`]).
     Lint(
         /// The error diagnostics that denied compilation.
-        Vec<ht_lint::Diagnostic>,
+        Vec<ht_ir::Diagnostic>,
     ),
 }
 
@@ -157,197 +179,34 @@ impl Default for CompileOptions {
     }
 }
 
-/// L4 protocol of a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum L4Proto {
-    /// TCP (6).
-    Tcp,
-    /// UDP (17).
-    Udp,
-    /// No L4 header.
-    None,
-}
-
-/// One editor modification (§5.1 "Editor": the four modification types).
-#[derive(Debug, Clone, PartialEq)]
-pub enum EditSpec {
-    /// Set the field from a value list indexed by the per-template packet
-    /// id (modification type 2).
-    ValueList {
-        /// Target field.
-        field: HeaderField,
-        /// The values, walked in order and wrapped.
-        values: Vec<u64>,
-    },
-    /// Arithmetic progression via a register (modification type 3).
-    Progression {
-        /// Target field.
-        field: HeaderField,
-        /// First value.
-        start: u64,
-        /// Last value (inclusive); wraps back to `start`.
-        end: u64,
-        /// Step.
-        step: u64,
-    },
-    /// Uniform random draw `[offset, offset + 2^bits)` — the hardware RNG
-    /// primitive with its power-of-two scope limitation (§6.1).
-    RandomUniform {
-        /// Target field.
-        field: HeaderField,
-        /// Range exponent.
-        bits: u32,
-        /// Offset compensating the zero lower bound.
-        offset: u64,
-    },
-    /// Inverse-transform table for arbitrary distributions (modification
-    /// type 4, "implemented with two tables").
-    RandomTable {
-        /// Target field.
-        field: HeaderField,
-        /// `2^bits` quantile values (the second table); the first table is
-        /// the uniform RNG.
-        values: Vec<u64>,
-        /// Table exponent.
-        bits: u32,
-    },
-}
-
-impl EditSpec {
-    /// The edited field.
-    pub fn field(&self) -> HeaderField {
-        match self {
-            EditSpec::ValueList { field, .. }
-            | EditSpec::Progression { field, .. }
-            | EditSpec::RandomUniform { field, .. }
-            | EditSpec::RandomTable { field, .. } => *field,
-        }
-    }
-}
-
-/// A field copied from a captured packet into a triggered response
-/// (stateless connections, §5.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ResponseCopy {
-    /// Field of the generated packet.
-    pub dst: HeaderField,
-    /// Field of the captured packet.
-    pub src: HeaderField,
-    /// Constant offset (e.g. `ack_no = seq_no + 1`).
-    pub offset: i64,
-}
-
-/// A compiled template packet.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TemplateSpec {
-    /// Template id (1-based; 0 means "not a template" in the PHV).
-    pub id: u16,
-    /// Source trigger name.
-    pub trigger_name: String,
-    /// Frame length in bytes.
-    pub frame_len: usize,
-    /// Constant payload bytes.
-    pub payload: Vec<u8>,
-    /// L4 protocol.
-    pub protocol: L4Proto,
-    /// Constant header initializations (done by the switch CPU).
-    pub base: Vec<(HeaderField, u64)>,
-    /// Rate-control interval; `None` = replicate at every template arrival
-    /// (line rate).
-    pub interval: Option<SimTime>,
-    /// Random inter-departure time, when the interval is drawn from a
-    /// distribution instead of constant (§3.1).
-    pub interval_dist: Option<EditSpec>,
-    /// Egress ports the mcast engine replicates to.
-    pub ports: Vec<u16>,
-    /// How many times the value lists are replayed (0 = forever).
-    pub loop_count: u64,
-    /// Editor modifications.
-    pub edits: Vec<EditSpec>,
-    /// For query-based triggers: the capturing query.
-    pub source_query: Option<String>,
-    /// Field copies from the captured packet.
-    pub response_copies: Vec<ResponseCopy>,
-}
-
-/// Aggregation kind of a compiled query.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryKind {
-    /// No aggregation: the query only captures packets (stateless
-    /// connections) or counts all packets.
-    PassThrough,
-    /// One global aggregate (e.g. total bytes for throughput).
-    ReduceGlobal {
-        /// The function.
-        func: ReduceFunc,
-    },
-    /// Per-key aggregation via the counter-based engine.
-    ReduceKeyed {
-        /// Key fields.
-        keys: Vec<HeaderField>,
-        /// The function.
-        func: ReduceFunc,
-    },
-    /// Distinct key counting via the counter-based engine.
-    Distinct {
-        /// Key fields.
-        keys: Vec<HeaderField>,
-    },
-}
-
-/// Per-query false-positive configuration.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FpConfig {
-    /// Hash configuration.
-    pub hash: HashConfig,
-    /// Precomputed exact-key-matching entries.
-    pub entries: Vec<Vec<u64>>,
-    /// Size of the enumerated key space (diagnostic).
-    pub space_size: usize,
-}
-
-/// A compiled query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompiledQuery {
-    /// Query name.
-    pub name: String,
-    /// Monitored traffic.
-    pub source: QuerySource,
-    /// Conjunction of filter predicates.
-    pub filters: Vec<Predicate>,
-    /// Projection (determines the reduce value; `pkt_len` for throughput).
-    pub map: Vec<NtField>,
-    /// Aggregation kind.
-    pub kind: QueryKind,
-    /// Filter over the running reduce result (web testing's
-    /// `.filter(count < 5)`).
-    pub result_filter: Option<(CmpOp, u64)>,
-    /// Triggers fired by packets this query captures.
-    pub capture_for: Vec<String>,
-    /// Exact-key-matching configuration for keyed queries.
-    pub fp: Option<FpConfig>,
-}
-
-/// A fully compiled testing task.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompiledTask {
-    /// Template packet specs, one per trigger.
-    pub templates: Vec<TemplateSpec>,
-    /// Compiled queries.
-    pub queries: Vec<CompiledQuery>,
-    /// The source program.
-    pub program: Program,
-    /// Options used.
-    pub options: CompileOptions,
-    /// Non-blocking findings from task-level static verification.
-    pub warnings: Vec<ht_lint::Diagnostic>,
-}
-
 impl PartialEq for CompileOptions {
     fn eq(&self, other: &Self) -> bool {
         self.hash == other.hash
             && self.recirc_loops == other.recirc_loops
             && self.stage_budget == other.stage_budget
+    }
+}
+
+/// A fully compiled testing task: the IR module plus the source program it
+/// was lowered from.  Derefs to the [`Module`], so `task.templates` and
+/// `task.queries` read the IR directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTask {
+    /// The lowered IR module (templates, queries, plan annotations).
+    pub ir: Module,
+    /// The source program.
+    pub program: Program,
+    /// Options used.
+    pub options: CompileOptions,
+    /// Non-blocking findings from task-level static verification.
+    pub warnings: Vec<ht_ir::Diagnostic>,
+}
+
+impl std::ops::Deref for CompiledTask {
+    type Target = Module;
+
+    fn deref(&self) -> &Module {
+        &self.ir
     }
 }
 
@@ -361,61 +220,247 @@ pub fn compile_with(
     program: &Program,
     options: CompileOptions,
 ) -> Result<CompiledTask, NtapiError> {
-    let mut templates = Vec::new();
-    for (i, trig) in program.triggers.iter().enumerate() {
-        templates.push(compile_trigger(program, trig, (i + 1) as u16)?);
-    }
+    let (module, _trace, report) = lower_with(program, options, None)?;
+    Ok(CompiledTask { ir: module, program: program.clone(), options, warnings: report.diagnostics })
+}
 
-    // Accelerator capacity check (§6.1): only start-time triggers occupy
-    // the recirculation loop permanently; query-based triggers borrow
-    // capacity transiently.
-    let resident = templates.iter().filter(|t| t.source_query.is_none()).count();
-    let capacity =
-        timing::accelerator_capacity(templates.iter().map(|t| t.frame_len).min().unwrap_or(64))
-            * options.recirc_loops;
-    if resident > capacity {
-        return Err(NtapiError::AcceleratorOverflow { templates: resident, capacity });
-    }
+// ---------------------------------------------------------------------------
+// The lowering pipeline
+// ---------------------------------------------------------------------------
 
-    let mut queries = Vec::new();
-    for q in &program.queries {
-        queries.push(compile_query(program, &templates, q, &options)?);
-    }
+/// A variable-value `set` recorded by template extraction for the
+/// field-edit-planning pass, in source order.
+#[derive(Debug, Clone)]
+enum PendingEdit {
+    /// A header field set from a list, range, or random value.
+    Header { field: HeaderField, value: Value },
+    /// `set(interval, random(…))`: a distribution-drawn inter-departure
+    /// time.
+    IntervalDist { dist: DistSpec, bits: u32 },
+}
 
-    // Stage budget: accelerator + replicator, one timer/editor chain per
-    // template, and one or four logical stages per query (global counters
-    // vs the exact→cuckoo→cuckoo→FIFO chain).
-    let needed: usize = 2
-        + templates
-            .iter()
-            .map(|t| 1 + t.edits.len() + usize::from(!t.response_copies.is_empty()))
-            .sum::<usize>()
-        + queries
-            .iter()
-            .map(|q| match q.kind {
-                QueryKind::PassThrough | QueryKind::ReduceGlobal { .. } => 1,
-                QueryKind::ReduceKeyed { .. } | QueryKind::Distinct { .. } => 4,
-            })
-            .sum::<usize>();
-    if needed > options.stage_budget {
-        return Err(NtapiError::StageOverflow { needed, available: options.stage_budget });
-    }
+/// Lowering state threaded through the passes: the source program, the
+/// module under construction, and per-template intermediate facts.
+#[derive(Debug)]
+struct Lowering {
+    program: Program,
+    options: CompileOptions,
+    module: Module,
+    /// Deferred variable-value sets, one list per template.
+    pending: Vec<Vec<PendingEdit>>,
+    /// Explicit `pkt_len` requests, one per template.
+    explicit_lens: Vec<Option<usize>>,
+}
 
-    // Task-level static verification: errors deny compilation, warnings
-    // ride along on the compiled task.
-    let report = crate::lint::lint_task(&templates);
-    if report.has_errors() {
-        return Err(NtapiError::Lint(report.errors().cloned().collect()));
-    }
+/// The ordered lowering pass list.
+fn lowering_passes() -> PassManager<Lowering, NtapiError> {
+    let mut pm = PassManager::new();
+    pm.register(TemplateExtraction);
+    pm.register(FieldEditPlanning);
+    pm.register(FrameLayout);
+    pm.register(RateControlTimerSynthesis);
+    pm.register(QueryLowering);
+    pm.register(ResourceAnnotation);
+    pm.register(TaskLint);
+    pm
+}
 
-    Ok(CompiledTask {
-        templates,
-        queries,
+/// Names of the lowering passes, in execution order (the values
+/// `htctl compile --dump-ir=<pass>` accepts).
+pub fn pass_names() -> Vec<&'static str> {
+    lowering_passes().names()
+}
+
+/// Runs the lowering pipeline, optionally stopping after the named pass,
+/// and returns the module as lowered so far, the per-pass trace, and the
+/// accumulated diagnostics.  `compile_with` is this with no stop.
+pub fn lower_with(
+    program: &Program,
+    options: CompileOptions,
+    stop_after: Option<&str>,
+) -> Result<(Module, PassTrace, LintReport), NtapiError> {
+    let mut st = Lowering {
         program: program.clone(),
         options,
-        warnings: report.diagnostics,
-    })
+        module: Module::default(),
+        pending: Vec::new(),
+        explicit_lens: Vec::new(),
+    };
+    let mut cx = PassCx::new();
+    let trace = lowering_passes().run_until(&mut st, &mut cx, stop_after)?;
+    Ok((st.module, trace, cx.diagnostics))
 }
+
+/// Pass 1: triggers → template skeletons (constants, control fields,
+/// response copies); variable-value sets are deferred.
+struct TemplateExtraction;
+
+impl Pass<Lowering, NtapiError> for TemplateExtraction {
+    fn name(&self) -> &'static str {
+        "template-extraction"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        for (i, trig) in st.program.triggers.iter().enumerate() {
+            let (tpl, pending, explicit_len) = extract_trigger(&st.program, trig, (i + 1) as u16)?;
+            st.module.templates.push(tpl);
+            st.pending.push(pending);
+            st.explicit_lens.push(explicit_len);
+        }
+        Ok(())
+    }
+}
+
+/// Pass 2: deferred sets → editor edits (§5.1's four modification types).
+struct FieldEditPlanning;
+
+impl Pass<Lowering, NtapiError> for FieldEditPlanning {
+    fn name(&self) -> &'static str {
+        "field-edit-planning"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        for (tpl, pending) in st.module.templates.iter_mut().zip(&st.pending) {
+            for edit in pending {
+                match edit {
+                    PendingEdit::Header { field, value } => {
+                        plan_header_edit(tpl, *field, value)?;
+                    }
+                    PendingEdit::IntervalDist { dist, bits } => {
+                        tpl.interval_dist =
+                            Some(random_edit(HeaderField::Ident, dist, *bits, true)?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pass 3: resolve each template's L4 protocol and frame length.
+struct FrameLayout;
+
+impl Pass<Lowering, NtapiError> for FrameLayout {
+    fn name(&self) -> &'static str {
+        "frame-layout"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        for (tpl, explicit_len) in st.module.templates.iter_mut().zip(&st.explicit_lens) {
+            layout_frame(tpl, *explicit_len)?;
+        }
+        Ok(())
+    }
+}
+
+/// Pass 4: derive the replicator timers and check the templates against
+/// the recirculation-loop capacity that drives them (§6.1).
+struct RateControlTimerSynthesis;
+
+impl Pass<Lowering, NtapiError> for RateControlTimerSynthesis {
+    fn name(&self) -> &'static str {
+        "rate-control-timer-synthesis"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        // Accelerator capacity check (§6.1): only start-time triggers occupy
+        // the recirculation loop permanently; query-based triggers borrow
+        // capacity transiently.
+        let templates = &st.module.templates;
+        let resident = templates.iter().filter(|t| t.source_query.is_none()).count();
+        let capacity =
+            timing::accelerator_capacity(templates.iter().map(|t| t.frame_len).min().unwrap_or(64))
+                * st.options.recirc_loops;
+        if resident > capacity {
+            return Err(NtapiError::AcceleratorOverflow { templates: resident, capacity });
+        }
+        st.module.plan.accelerator = AcceleratorPlan { resident, capacity };
+        st.module.plan.timers = templates
+            .iter()
+            .map(|t| TimerPlan {
+                template_id: t.id,
+                interval: t.interval,
+                distribution: t.interval_dist.is_some(),
+            })
+            .collect();
+        Ok(())
+    }
+}
+
+/// Pass 5: queries → compiled queries with the false-positive precompute.
+struct QueryLowering;
+
+impl Pass<Lowering, NtapiError> for QueryLowering {
+    fn name(&self) -> &'static str {
+        "query-lowering"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        for q in &st.program.queries {
+            let cq = compile_query(&st.program, &st.module.templates, q, &st.options)?;
+            st.module.queries.push(cq);
+        }
+        Ok(())
+    }
+}
+
+/// Pass 6: count the logical stages and check the budget.
+struct ResourceAnnotation;
+
+impl Pass<Lowering, NtapiError> for ResourceAnnotation {
+    fn name(&self) -> &'static str {
+        "resource-annotation"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        // Stage budget: accelerator + replicator, one timer/editor chain per
+        // template, and one or four logical stages per query (global counters
+        // vs the exact→cuckoo→cuckoo→FIFO chain).
+        let needed: usize = 2
+            + st.module
+                .templates
+                .iter()
+                .map(|t| 1 + t.edits.len() + usize::from(!t.response_copies.is_empty()))
+                .sum::<usize>()
+            + st.module
+                .queries
+                .iter()
+                .map(|q| match q.kind {
+                    QueryKind::PassThrough | QueryKind::ReduceGlobal { .. } => 1,
+                    QueryKind::ReduceKeyed { .. } | QueryKind::Distinct { .. } => 4,
+                })
+                .sum::<usize>();
+        st.module.plan.logical_stages = needed;
+        st.module.plan.stage_budget = st.options.stage_budget;
+        if needed > st.options.stage_budget {
+            return Err(NtapiError::StageOverflow { needed, available: st.options.stage_budget });
+        }
+        Ok(())
+    }
+}
+
+/// Pass 7: task-level static verification; errors deny compilation,
+/// warnings go to the pass context.
+struct TaskLint;
+
+impl Pass<Lowering, NtapiError> for TaskLint {
+    fn name(&self) -> &'static str {
+        "task-lint"
+    }
+
+    fn run(&self, st: &mut Lowering, cx: &mut PassCx) -> Result<(), NtapiError> {
+        let report = crate::lint::lint_task(&st.module.templates);
+        if report.has_errors() {
+            return Err(NtapiError::Lint(report.errors().cloned().collect()));
+        }
+        cx.diagnostics.merge(report);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass bodies
+// ---------------------------------------------------------------------------
 
 fn check_width(field: HeaderField, value: u64) -> Result<(), NtapiError> {
     let width = field.width();
@@ -425,11 +470,13 @@ fn check_width(field: HeaderField, value: u64) -> Result<(), NtapiError> {
     Ok(())
 }
 
-fn compile_trigger(
+type Extracted = (TemplateSpec, Vec<PendingEdit>, Option<usize>);
+
+fn extract_trigger(
     program: &Program,
     trig: &crate::ast::TriggerDef,
     id: u16,
-) -> Result<TemplateSpec, NtapiError> {
+) -> Result<Extracted, NtapiError> {
     if let Some(q) = &trig.source_query {
         if program.query(q).is_none() {
             return Err(NtapiError::UnknownQuery(q.clone()));
@@ -451,6 +498,7 @@ fn compile_trigger(
         source_query: trig.source_query.clone(),
         response_copies: Vec::new(),
     };
+    let mut pending: Vec<PendingEdit> = Vec::new();
     let mut explicit_len: Option<usize> = None;
 
     for set in &trig.sets {
@@ -479,8 +527,7 @@ fn compile_trigger(
                 NtField::Interval => match value {
                     Value::Const(v) => tpl.interval = if *v == 0 { None } else { Some(*v) },
                     Value::Random { dist, bits } => {
-                        tpl.interval_dist =
-                            Some(random_edit(HeaderField::Ident, dist, *bits, true)?);
+                        pending.push(PendingEdit::IntervalDist { dist: *dist, bits: *bits });
                     }
                     other => {
                         return Err(NtapiError::BadValueType {
@@ -509,12 +556,80 @@ fn compile_trigger(
                     }
                 },
                 NtField::Header(h) => {
-                    compile_header_set(program, trig, &mut tpl, *h, value)?;
+                    extract_header_set(program, trig, &mut tpl, &mut pending, *h, value)?;
                 }
             }
         }
     }
+    Ok((tpl, pending, explicit_len))
+}
 
+fn extract_header_set(
+    program: &Program,
+    trig: &crate::ast::TriggerDef,
+    tpl: &mut TemplateSpec,
+    pending: &mut Vec<PendingEdit>,
+    field: HeaderField,
+    value: &Value,
+) -> Result<(), NtapiError> {
+    match value {
+        Value::Const(v) => {
+            check_width(field, *v)?;
+            tpl.base.retain(|(f, _)| *f != field);
+            tpl.base.push((field, *v));
+        }
+        Value::List(_) | Value::Range { .. } | Value::Random { .. } => {
+            pending.push(PendingEdit::Header { field, value: value.clone() });
+        }
+        Value::QueryField { query, field: src, offset } => {
+            let q = trig.source_query.as_deref();
+            if q != Some(query.as_str()) || program.query(query).is_none() {
+                return Err(NtapiError::UnknownQuery(query.clone()));
+            }
+            tpl.response_copies.push(ResponseCopy { dst: field, src: *src, offset: *offset });
+        }
+        Value::Bytes(_) => {
+            return Err(NtapiError::BadValueType {
+                field: field.name().into(),
+                found: "byte string".into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn plan_header_edit(
+    tpl: &mut TemplateSpec,
+    field: HeaderField,
+    value: &Value,
+) -> Result<(), NtapiError> {
+    match value {
+        Value::List(vs) => {
+            for &v in vs {
+                check_width(field, v)?;
+            }
+            if vs.is_empty() {
+                return Err(NtapiError::BadRange { field: field.name().into() });
+            }
+            tpl.edits.push(EditSpec::ValueList { field, values: vs.clone() });
+        }
+        Value::Range { start, end, step } => {
+            if *step == 0 || end < start {
+                return Err(NtapiError::BadRange { field: field.name().into() });
+            }
+            check_width(field, *end)?;
+            tpl.edits.push(EditSpec::Progression { field, start: *start, end: *end, step: *step });
+        }
+        Value::Random { dist, bits } => {
+            tpl.edits.push(random_edit(field, dist, *bits, false)?);
+        }
+        // Template extraction only defers list/range/random values.
+        _ => unreachable!("non-edit value deferred to field-edit planning"),
+    }
+    Ok(())
+}
+
+fn layout_frame(tpl: &mut TemplateSpec, explicit_len: Option<usize>) -> Result<(), NtapiError> {
     // Resolve the protocol from the base proto value; when the trigger
     // never sets `proto` (the paper's Table 4 omits it on response
     // triggers), infer TCP from any TCP-specific field reference.
@@ -548,55 +663,6 @@ fn compile_trigger(
         }
         Some(len) => tpl.frame_len = len,
         None => tpl.frame_len = needed,
-    }
-    Ok(tpl)
-}
-
-fn compile_header_set(
-    program: &Program,
-    trig: &crate::ast::TriggerDef,
-    tpl: &mut TemplateSpec,
-    field: HeaderField,
-    value: &Value,
-) -> Result<(), NtapiError> {
-    match value {
-        Value::Const(v) => {
-            check_width(field, *v)?;
-            tpl.base.retain(|(f, _)| *f != field);
-            tpl.base.push((field, *v));
-        }
-        Value::List(vs) => {
-            for &v in vs {
-                check_width(field, v)?;
-            }
-            if vs.is_empty() {
-                return Err(NtapiError::BadRange { field: field.name().into() });
-            }
-            tpl.edits.push(EditSpec::ValueList { field, values: vs.clone() });
-        }
-        Value::Range { start, end, step } => {
-            if *step == 0 || end < start {
-                return Err(NtapiError::BadRange { field: field.name().into() });
-            }
-            check_width(field, *end)?;
-            tpl.edits.push(EditSpec::Progression { field, start: *start, end: *end, step: *step });
-        }
-        Value::Random { dist, bits } => {
-            tpl.edits.push(random_edit(field, dist, *bits, false)?);
-        }
-        Value::QueryField { query, field: src, offset } => {
-            let q = trig.source_query.as_deref();
-            if q != Some(query.as_str()) || program.query(query).is_none() {
-                return Err(NtapiError::UnknownQuery(query.clone()));
-            }
-            tpl.response_copies.push(ResponseCopy { dst: field, src: *src, offset: *offset });
-        }
-        Value::Bytes(_) => {
-            return Err(NtapiError::BadValueType {
-                field: field.name().into(),
-                found: "byte string".into(),
-            })
-        }
     }
     Ok(())
 }
@@ -722,7 +788,8 @@ fn compile_query(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::parse;
+    use crate::ast::{DistSpec, HeaderField, ReduceFunc};
+    use crate::testutil::{must_compile, must_parse};
 
     fn throughput_src() -> &'static str {
         r#"
@@ -736,8 +803,7 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 
     #[test]
     fn compiles_throughput_task() {
-        let prog = parse(throughput_src()).unwrap();
-        let task = compile(&prog).unwrap();
+        let task = must_compile(throughput_src());
         assert_eq!(task.templates.len(), 1);
         let t = &task.templates[0];
         assert_eq!(t.frame_len, 64);
@@ -749,10 +815,36 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
     }
 
     #[test]
+    fn lowering_fills_the_pipeline_plan() {
+        let task = must_compile(throughput_src());
+        // 2 fixed + 1 template chain + 2 global-counter queries.
+        assert_eq!(task.plan.logical_stages, 5);
+        assert_eq!(task.plan.stage_budget, 24);
+        assert_eq!(task.plan.accelerator.resident, 1);
+        assert_eq!(task.plan.accelerator.capacity, 89);
+        assert_eq!(task.plan.timers.len(), 1);
+        assert_eq!(task.plan.timers[0].interval, None, "line rate");
+    }
+
+    #[test]
+    fn dump_after_named_pass_shows_partial_lowering() {
+        let prog = must_parse("T1 = trigger().set(sport, range(1, 5, 1)).set(interval, 1000ns)");
+        let (early, trace, _) =
+            lower_with(&prog, CompileOptions::default(), Some("template-extraction")).unwrap();
+        assert_eq!(trace.runs.len(), 1);
+        assert!(early.templates[0].edits.is_empty(), "edits not planned yet");
+        assert!(early.plan.timers.is_empty(), "timers not synthesized yet");
+        let (full, trace, _) = lower_with(&prog, CompileOptions::default(), None).unwrap();
+        assert_eq!(trace.runs.len(), pass_names().len());
+        assert_eq!(full.templates[0].edits.len(), 1);
+        assert_eq!(full.plan.timers[0].interval, Some(1_000_000));
+    }
+
+    #[test]
     fn rejects_out_of_range_port() {
         // §6.1: "users might specify the TCP port with a value that is
         // larger than 65536".
-        let prog = parse("T1 = trigger().set(dport, 70000)").unwrap();
+        let prog = must_parse("T1 = trigger().set(dport, 70000)");
         match compile(&prog) {
             Err(NtapiError::ValueOutOfRange { field, value, width }) => {
                 assert_eq!(field, "dport");
@@ -765,26 +857,28 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 
     #[test]
     fn rejects_zero_step_range_and_dangling_refs() {
-        let prog = parse("T1 = trigger().set(sport, range(1, 10, 0))").unwrap();
+        let prog = must_parse("T1 = trigger().set(sport, range(1, 10, 0))");
         assert!(matches!(compile(&prog), Err(NtapiError::BadRange { .. })));
 
-        let prog = parse("T1 = trigger(Q9).set(dport, 80)").unwrap();
+        let prog = must_parse("T1 = trigger(Q9).set(dport, 80)");
         assert!(matches!(compile(&prog), Err(NtapiError::UnknownQuery(_))));
 
-        let prog = parse("Q1 = query(T9).reduce(func=sum)").unwrap();
+        let prog = must_parse("Q1 = query(T9).reduce(func=sum)");
         assert!(matches!(compile(&prog), Err(NtapiError::UnknownTrigger(_))));
     }
 
     #[test]
     fn rejects_variable_pkt_len() {
         // §5.3: the pipeline cannot change packet lengths.
-        let prog = parse("T1 = trigger().set(pkt_len, range(64, 1500, 1))").unwrap();
+        let prog = must_parse("T1 = trigger().set(pkt_len, range(64, 1500, 1))");
         assert!(matches!(compile(&prog), Err(NtapiError::BadValueType { .. })));
     }
 
     #[test]
     fn rejects_frame_too_short_for_payload() {
-        let prog = parse(r#"T1 = trigger().set(payload, "0123456789012345678901234567890123456789").set(pkt_len, 64)"#).unwrap();
+        let prog = must_parse(
+            r#"T1 = trigger().set(payload, "0123456789012345678901234567890123456789").set(pkt_len, 64)"#,
+        );
         match compile(&prog) {
             Err(NtapiError::FrameTooShort { requested: 64, needed }) => assert!(needed > 64),
             other => panic!("{other:?}"),
@@ -832,8 +926,7 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 
     #[test]
     fn normal_random_builds_monotone_inverse_table() {
-        let prog = parse("T1 = trigger().set(dport, random(normal, 5000, 100, 10))").unwrap();
-        let task = compile(&prog).unwrap();
+        let task = must_compile("T1 = trigger().set(dport, random(normal, 5000, 100, 10))");
         match &task.templates[0].edits[0] {
             EditSpec::RandomTable { values, bits, .. } => {
                 assert_eq!(*bits, 10);
@@ -852,7 +945,7 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 Q1 = query().filter(tcp_flag == SYN+ACK)
 T2 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip]).set(ack_no, Q1.seq_no + 1).set(flag, ACK)
 "#;
-        let task = compile(&parse(src).unwrap()).unwrap();
+        let task = must_compile(src);
         let t2 = &task.templates[0];
         assert_eq!(t2.source_query.as_deref(), Some("Q1"));
         assert_eq!(t2.response_copies.len(), 3);
@@ -869,7 +962,7 @@ T2 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip]).set(ack_no, Q1.seq_no + 1).se
 T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(sport, range(1, 5000, 1))
 Q1 = query().reduce(keys=[sport], func=sum)
 "#;
-        let task = compile(&parse(src).unwrap()).unwrap();
+        let task = must_compile(src);
         let fp = task.queries[0].fp.as_ref().unwrap();
         // 5000 sent values + mirror orientation (dport side all zero → one
         // extra tuple).
@@ -880,7 +973,7 @@ Q1 = query().reduce(keys=[sport], func=sum)
 
     #[test]
     fn global_reduce_needs_no_fp() {
-        let task = compile(&parse("Q1 = query().reduce(func=sum)").unwrap()).unwrap();
+        let task = must_compile("Q1 = query().reduce(func=sum)");
         assert!(task.queries[0].fp.is_none());
     }
 }

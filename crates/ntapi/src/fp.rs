@@ -14,72 +14,11 @@
 //! measures `entries.len()` against the flow count, array size and digest
 //! width.
 
-use ht_asic::hash::{hash_words, HashAlgo};
 use std::collections::HashMap;
 
-/// Hash configuration of one compiled query's cuckoo engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HashConfig {
-    /// Each of the two cuckoo arrays has `2^array_bits` slots.
-    pub array_bits: u32,
-    /// Stored digest width in bits (16 or 32 in the paper's Fig. 17).
-    pub digest_bits: u32,
-}
-
-impl Default for HashConfig {
-    fn default() -> Self {
-        HashConfig { array_bits: 16, digest_bits: 16 }
-    }
-}
-
-impl HashConfig {
-    /// First cuckoo bucket of a key.
-    pub fn h1(&self, key: &[u64]) -> u64 {
-        hash_words(HashAlgo::Crc32, key) & ((1 << self.array_bits) - 1)
-    }
-
-    /// Second cuckoo bucket of a key: partial-key cuckoo hashing,
-    /// `h2 = h1 XOR H(digest)` (Cuckoo Filter, the paper's reference \[70\]).  Storing
-    /// only the digest still lets an eviction compute the alternate bucket,
-    /// which full-key cuckoo hashing could not do on the data plane.
-    pub fn h2(&self, key: &[u64]) -> u64 {
-        self.alt_bucket(self.h1(key), self.digest(key))
-    }
-
-    /// The alternate bucket of a stored `(bucket, digest)` pair — usable
-    /// during eviction without knowing the full key.
-    pub fn alt_bucket(&self, bucket: u64, digest: u64) -> u64 {
-        let mask = (1u64 << self.array_bits) - 1;
-        let off = hash_words(HashAlgo::Crc32c, &[digest]) & mask;
-        // A zero offset would make h2 == h1 (one candidate bucket); force a
-        // non-zero offset the way cuckoo-filter implementations do.
-        (bucket ^ off.max(1)) & mask
-    }
-
-    /// Stored digest of a key.
-    ///
-    /// Must be *independent* of the bucket hashes: CRCs over the same data
-    /// are linear maps, so deriving the digest from the same polynomial
-    /// (even with a different seed or prefix) makes every same-digest pair
-    /// also share a bucket, defeating the scheme.  Real deployments use a
-    /// CRC with a custom polynomial; the reproduction stands in FNV-1a,
-    /// which is non-linear in the key bytes.
-    pub fn digest(&self, key: &[u64]) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in key {
-            for b in w.to_be_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        h & ((1u64 << self.digest_bits) - 1)
-    }
-
-    /// Memory of one exact-match entry in bits: full key + action.
-    pub fn exact_entry_bits(&self, key_fields: usize) -> u64 {
-        key_fields as u64 * 32 + 16
-    }
-}
+// `HashConfig` moved to `ht-ir` (it is carried by the IR's `FpConfig` and
+// consumed by every backend); re-exported here under its original path.
+pub use ht_ir::HashConfig;
 
 /// Computes the exact-key-matching entries for a key space: for every pair
 /// of distinct keys with equal digests and overlapping candidate buckets,
@@ -196,15 +135,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn digest_is_independent_of_buckets() {
-        let cfg = HashConfig::default();
-        let k = vec![1234u64, 80];
-        assert_ne!(cfg.digest(&k), cfg.h1(&k));
-        assert!(cfg.digest(&k) < 1 << 16);
-        assert!(cfg.h1(&k) < 1 << 16);
-        assert_ne!(cfg.h1(&k), cfg.h2(&k));
     }
 }

@@ -7,8 +7,9 @@
 //! * [`ast`] — the task AST (Tables 1 and 2).
 //! * [`builder`] — a fluent Rust builder.
 //! * [`mod@parse`] — the textual DSL (the paper's surface syntax).
-//! * [`mod@compile`] — validation and lowering to the IR `ht-core` programs the
-//!   switch from; mistaken tasks are rejected (§6.1).
+//! * [`mod@compile`] — pass-based lowering onto the typed pipeline IR
+//!   ([`ht_ir::Module`]) every backend consumes; mistaken tasks are
+//!   rejected (§6.1).
 //! * [`headerspace`] — header-space extraction for keyed queries (§5.2).
 //! * [`fp`] — the false-positive precompute behind exact key matching.
 //! * [`codegen`] — P4 generation (the LoC baseline of Table 5).
@@ -28,9 +29,13 @@ pub mod lint;
 pub mod loc;
 pub mod parse;
 pub mod printer;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use ast::{HeaderField, NtField, Program, Value};
-pub use compile::{compile, compile_with, CompileOptions, CompiledTask, NtapiError};
+pub use compile::{
+    compile, compile_with, lower_with, pass_names, CompileOptions, CompiledTask, NtapiError,
+};
 pub use parse::parse;
 
 /// Commonly used NTAPI items: `use ht_ntapi::prelude::*;`.

@@ -6,7 +6,7 @@
 //! overflowing loop bounds — are still visible as the user wrote them.
 
 use crate::compile::{EditSpec, TemplateSpec};
-use ht_lint::{Diagnostic, LintReport};
+use ht_ir::{Diagnostic, LintReport};
 use std::collections::HashSet;
 
 /// Length of one replay cycle of a template's edits — mirrors the loop
@@ -86,12 +86,10 @@ pub fn lint_task(templates: &[TemplateSpec]) -> LintReport {
 mod tests {
     use super::*;
     use crate::ast::HeaderField;
-    use crate::compile::compile;
-    use crate::parse::parse;
+    use crate::testutil::must_compile;
 
     fn templates_of(src: &str) -> Vec<TemplateSpec> {
-        let program = parse(src).unwrap();
-        compile(&program).unwrap().templates
+        must_compile(src).ir.templates
     }
 
     #[test]

@@ -772,6 +772,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::must_parse;
 
     #[test]
     fn parses_table3_throughput_task() {
@@ -783,7 +784,7 @@ T1 = trigger()
 Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
 Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
 "#;
-        let prog = parse(src).unwrap();
+        let prog = must_parse(src);
         assert_eq!(prog.triggers.len(), 1);
         assert_eq!(prog.queries.len(), 2);
         let t1 = &prog.triggers[0];
@@ -803,7 +804,7 @@ T1 = trigger().set([dip, dport, proto, flag, seq_no], [1.1.1.1, 80, tcp, SYN, 1]
     .set(sip, range(1.1.0.1, 1.1.1.0, 1)).set(sport, range(1024, 65535, 1))
     .set(interval, 10us)
 "#;
-        let prog = parse(src).unwrap();
+        let prog = must_parse(src);
         let t = &prog.triggers[0];
         assert_eq!(t.sets[0].values[3], Value::Const(0x02)); // SYN
         match &t.sets[1].values[0] {
@@ -825,7 +826,7 @@ T2 = trigger(Q1).set([dip, sip], [Q1.sip, Q1.dip])
     .set(seq_no, Q1.ack_no).set(ack_no, Q1.seq_no + 1)
     .set(flag, ACK)
 "#;
-        let prog = parse(src).unwrap();
+        let prog = must_parse(src);
         match &prog.queries[0].ops[0] {
             QueryOp::Filter(p) => {
                 assert_eq!(p.field, HeaderField::TcpFlags);
@@ -848,7 +849,7 @@ Q2 = query().filter(tcp_flag == ACK).reduce(func=sum).filter(count < 5)
 Q3 = query().reduce(keys=[dip], func=sum)
 Q4 = query().distinct(keys=[sip, dip, proto, sport, dport])
 "#;
-        let prog = parse(src).unwrap();
+        let prog = must_parse(src);
         assert_eq!(prog.queries[0].ops[2], QueryOp::FilterResult { cmp: CmpOp::Lt, value: 5 });
         assert_eq!(
             prog.queries[1].ops[0],
@@ -867,7 +868,7 @@ T1 = trigger().set(dport, random(normal, 5000, 200, 12))
     .set(payload, "GET index.html").set(port, [0, 1, 2, 3])
 T2 = trigger().set(sport, random(E, 128, 10))
 "#;
-        let prog = parse(src).unwrap();
+        let prog = must_parse(src);
         match &prog.triggers[0].sets[0].values[0] {
             Value::Random { dist: DistSpec::Normal { mean, std_dev }, bits } => {
                 assert_eq!(*mean, 5000.0);
@@ -902,13 +903,13 @@ T2 = trigger().set(sport, random(E, 128, 10))
 
     #[test]
     fn port_scoped_query_source() {
-        let prog = parse("Q1 = query(port=2).reduce(func=count)").unwrap();
+        let prog = must_parse("Q1 = query(port=2).reduce(func=count)");
         assert_eq!(prog.queries[0].source, QuerySource::Received(Some(2)));
     }
 
     #[test]
     fn hex_literals() {
-        let prog = parse("T1 = trigger().set(flag, 0x12)").unwrap();
+        let prog = must_parse("T1 = trigger().set(flag, 0x12)");
         assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(0x12));
     }
 }

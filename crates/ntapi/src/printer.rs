@@ -150,9 +150,10 @@ fn print_op(op: &QueryOp) -> String {
 mod tests {
     use super::*;
     use crate::parse::parse;
+    use crate::testutil::must_parse;
 
     fn round_trip(src: &str) {
-        let p1 = parse(src).unwrap();
+        let p1 = must_parse(src);
         let printed = print_program(&p1);
         let mut p2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         // The retained source text necessarily differs.
@@ -190,7 +191,7 @@ Q4 = query().distinct(keys=[sip, dip, proto, sport, dport])
 
     #[test]
     fn printed_programs_have_canonical_loc() {
-        let p = parse("T1 = trigger().set(dport, 80).set(sport, 99)").unwrap();
+        let p = must_parse("T1 = trigger().set(dport, 80).set(sport, 99)");
         let printed = print_program(&p);
         // One line for the trigger head, one per set.
         assert_eq!(crate::loc::count_loc(&printed), 3);

@@ -1,0 +1,23 @@
+//! Shared test fixtures: parse/compile helpers that print the offending
+//! source text on failure instead of a bare `unwrap` backtrace.
+
+use crate::ast::Program;
+use crate::compile::{compile, CompiledTask};
+use crate::parse::parse;
+
+/// Parses `src`, panicking with the source text on error.
+pub(crate) fn must_parse(src: &str) -> Program {
+    match parse(src) {
+        Ok(p) => p,
+        Err(e) => panic!("parse failed: {e}\n--- source ---\n{src}"),
+    }
+}
+
+/// Parses and compiles `src`, panicking with the source text on error.
+pub(crate) fn must_compile(src: &str) -> CompiledTask {
+    let program = must_parse(src);
+    match compile(&program) {
+        Ok(t) => t,
+        Err(e) => panic!("compile failed: {e}\n--- source ---\n{src}"),
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden IR snapshots: every committed task file must lower to exactly
+//! the committed IR text dump (`tests/golden/ir_<task>.txt`).
+//!
+//! The dumps pin the full pass pipeline — template extraction, edit
+//! planning, frame layout, timer synthesis, query lowering, and the
+//! resource annotations — so an accidental lowering change shows up as a
+//! readable diff.  Regenerate (only when a lowering change is *intended*)
+//! with:
+//!
+//! ```text
+//! HT_REGEN_GOLDEN=1 cargo test -p ht-ntapi --test ir_snapshots
+//! ```
+
+use ht_ntapi::{lower_with, parse, CompileOptions};
+
+const TASKS: &[(&str, &str)] = &[
+    ("scan", include_str!("../../../tasks/scan.nt")),
+    ("syn_flood", include_str!("../../../tasks/syn_flood.nt")),
+    ("throughput", include_str!("../../../tasks/throughput.nt")),
+];
+
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/ir_{name}.txt", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_task(name: &str, src: &str) {
+    let prog = parse(src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+    let (module, trace, _) = lower_with(&prog, CompileOptions::default(), None)
+        .unwrap_or_else(|e| panic!("lower {name}: {e}"));
+    assert!(!trace.runs.is_empty(), "no passes ran for {name}");
+    let got = module.to_text();
+    let path = golden_path(name);
+    if std::env::var("HT_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("committed golden {path}: {e}"));
+    assert_eq!(
+        got, want,
+        "IR for tasks/{name}.nt drifted from the committed snapshot \
+         (if intended, regenerate with HT_REGEN_GOLDEN=1)"
+    );
+}
+
+#[test]
+fn scan_ir_matches_snapshot() {
+    let (name, src) = TASKS[0];
+    check_task(name, src);
+}
+
+#[test]
+fn syn_flood_ir_matches_snapshot() {
+    let (name, src) = TASKS[1];
+    check_task(name, src);
+}
+
+#[test]
+fn throughput_ir_matches_snapshot() {
+    let (name, src) = TASKS[2];
+    check_task(name, src);
+}
+
+/// The JSON dump must stay machine-parseable: balanced braces/brackets and
+/// the same template/query counts as the module.
+#[test]
+fn json_dump_is_well_formed_for_all_tasks() {
+    for (name, src) in TASKS {
+        let prog = parse(src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        let (module, _, _) = lower_with(&prog, CompileOptions::default(), None)
+            .unwrap_or_else(|e| panic!("lower {name}: {e}"));
+        let json = module.to_json();
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in json.chars() {
+            if escape {
+                escape = false;
+            } else if in_str {
+                match c {
+                    '\\' => escape = true,
+                    '"' => in_str = false,
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "unbalanced JSON for {name}");
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON for {name}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "not an object for {name}");
+    }
+}

@@ -19,7 +19,7 @@ proptest! {
             trigger("T1").set(NtField::Header(HeaderField::Dport), Value::Const(value)).build(),
         );
         match compile(&prog) {
-            Ok(task) => prop_assert!(value < 65_536, "accepted {value}"),
+            Ok(_task) => prop_assert!(value < 65_536, "accepted {value}"),
             Err(NtapiError::ValueOutOfRange { .. }) => prop_assert!(value >= 65_536),
             Err(other) => prop_assert!(false, "unexpected error {other}"),
         }

@@ -1,7 +1,10 @@
 //! `htctl` — the HyperTester command line.
 //!
 //! ```text
-//! htctl compile [--json] <task.nt>        validate a task; print the summary
+//! htctl compile [--json] [--dump-ir[=PASS]] <task.nt>
+//!                                         validate a task; print the summary,
+//!                                         or the IR module after the named
+//!                                         lowering pass (default: all passes)
 //! htctl lint [--json] <task.nt>           static verification; exit 1 on
 //!                                         error diagnostics
 //! htctl p4 <task.nt>                      emit the generated P4 program
@@ -27,13 +30,15 @@ use hypertester::asic::{Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, query_result, BuildError, Gbps, QueryResult, TesterConfig};
-use hypertester::lint::{json_escape, lint_switch, Diagnostic, LintReport};
-use hypertester::ntapi::{codegen, compile, loc, parse, CompiledTask, NtapiError};
+use hypertester::lint::{json_escape, Diagnostic, LintReport};
+use hypertester::ntapi::{
+    codegen, compile, loc, lower_with, parse, pass_names, CompileOptions, CompiledTask, NtapiError,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  htctl compile [--json] <task.nt>\n  htctl lint [--json] <task.nt>\n  \
+        "usage:\n  htctl compile [--json] [--dump-ir[=PASS]] <task.nt>\n  htctl lint [--json] <task.nt>\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
          htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n  \
          htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]\n              \
@@ -120,6 +125,28 @@ fn cmd_compile(path: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the IR module as lowered up to `stop_after` (all passes when
+/// `None`), as deterministic text or JSON.
+fn cmd_dump_ir(path: &str, json: bool, stop_after: Option<&str>) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let (module, trace, _) = lower_with(&prog, CompileOptions::default(), stop_after)
+        .map_err(|e| format!("task rejected: {e}"))?;
+    let last = trace.runs.last().map(|r| r.name).unwrap_or("");
+    if json {
+        println!(
+            "{{\"file\":\"{}\",\"ok\":true,\"pass\":\"{}\",\"ir\":{}}}",
+            json_escape(path),
+            json_escape(last),
+            module.to_json()
+        );
+    } else {
+        println!("# IR after pass {last}");
+        print!("{}", module.to_text());
+    }
+    Ok(())
+}
+
 /// Builds the findings for one task file: task-level warnings from the
 /// compiler, plus the program-level passes over the built switch.  A
 /// compile or build failure that is *not* a lint rejection is reported as a
@@ -153,7 +180,8 @@ fn lint_findings(path: &str) -> Result<LintReport, String> {
     let config =
         TesterConfig::builder().ports(ports).speed(Gbps(100)).build().map_err(|e| e.to_string())?;
     match build(&task, &config) {
-        Ok(tester) => report.merge(lint_switch(&tester.switch)),
+        // The build already ran the program passes once; reuse its report.
+        Ok(tester) => report.merge(tester.lint),
         Err(BuildError::Lint(diags)) => report.diagnostics.extend(diags),
         Err(e) => report.push(Diagnostic::error("compile-error", path, e.to_string(), "")),
     }
@@ -370,14 +398,28 @@ fn main() -> ExitCode {
 
     if cmd == "compile" {
         let json = rest.iter().any(|a| a == "--json");
-        if rest.iter().any(|a| a.starts_with("--") && a != "--json") {
-            return usage();
+        let mut dump_ir: Option<Option<String>> = None;
+        for a in rest.iter().filter(|a| a.starts_with("--") && *a != "--json") {
+            if a == "--dump-ir" {
+                dump_ir = Some(None);
+            } else if let Some(pass) = a.strip_prefix("--dump-ir=") {
+                if !pass_names().contains(&pass) {
+                    eprintln!("unknown pass: {pass} (expected one of {})", pass_names().join(", "));
+                    return usage();
+                }
+                dump_ir = Some(Some(pass.to_string()));
+            } else {
+                return usage();
+            }
         }
         let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
         let [path] = paths[..] else {
             return usage();
         };
-        return finish(cmd_compile(path, json), path, json);
+        return match dump_ir {
+            Some(stop) => finish(cmd_dump_ir(path, json, stop.as_deref()), path, json),
+            None => finish(cmd_compile(path, json), path, json),
+        };
     }
 
     if cmd == "run" {

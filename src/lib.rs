@@ -21,6 +21,7 @@ pub use ht_core as ht;
 pub use ht_cpu as cpu;
 pub use ht_dut as dut;
 pub use ht_harness as harness;
+pub use ht_ir as ir;
 pub use ht_lint as lint;
 pub use ht_ntapi as ntapi;
 pub use ht_packet as packet;
