@@ -3,9 +3,14 @@
 //! Tofino's match units and stateful components compute CRC-family hashes
 //! over selected PHV fields.  The reproduction provides CRC-32 (two
 //! polynomial variants, so cuckoo hashing gets two independent functions)
-//! and CRC-16, computed bit-serially over the big-endian bytes of the field
-//! values — slow-ish but obviously correct, and the simulator only hashes
-//! once per packet per unit.
+//! and CRC-16, computed over the big-endian bytes of the field values.
+//!
+//! The CRC-32 variants fold eight bytes per step (slice-by-8): the
+//! false-positive precompute of Fig. 17 hashes tens of millions of `u64`
+//! key words, so each word is one table-driven fold instead of eight
+//! byte-serial rounds.  The output is bit-identical to the byte-at-a-time
+//! computation (the unit tests pin both against known vectors and against
+//! a byte-serial reference).
 
 /// The hash algorithms the pipeline can instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,16 +31,16 @@ pub enum HashAlgo {
 pub fn hash_words(algo: HashAlgo, words: &[u64]) -> u64 {
     match algo {
         HashAlgo::Crc32 => {
-            let mut c = Crc32::new(0xedb8_8320);
+            let mut c = Crc32Fold::ieee();
             for w in words {
-                c.update(&w.to_be_bytes());
+                c.fold8(w.to_be_bytes());
             }
             u64::from(c.finish())
         }
         HashAlgo::Crc32c => {
-            let mut c = Crc32::new(0x82f6_3b78);
+            let mut c = Crc32Fold::castagnoli();
             for w in words {
-                c.update(&w.to_be_bytes());
+                c.fold8(w.to_be_bytes());
             }
             u64::from(c.finish())
         }
@@ -51,8 +56,7 @@ pub fn hash_words(algo: HashAlgo, words: &[u64]) -> u64 {
 }
 
 /// Builds the 256-entry lookup table for a reflected CRC-32 polynomial at
-/// compile time, so hashing runs one table lookup per byte (the precompute
-/// of Fig. 17 hashes millions of keys).
+/// compile time.
 const fn crc32_table(poly: u32) -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
@@ -69,32 +73,81 @@ const fn crc32_table(poly: u32) -> [u32; 256] {
     table
 }
 
-static CRC32_IEEE: [u32; 256] = crc32_table(0xedb8_8320);
-static CRC32_CASTAGNOLI: [u32; 256] = crc32_table(0x82f6_3b78);
+/// Extends the byte-serial table to the eight slice-by-8 tables:
+/// `tables[k]` advances a byte through `k` additional zero bytes, so one
+/// lookup per input byte folds eight bytes at a time.
+const fn crc32_tables8(poly: u32) -> [[u32; 256]; 8] {
+    let t0 = crc32_table(poly);
+    let mut t = [[0u32; 256]; 8];
+    t[0] = t0;
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t0[(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
 
-struct Crc32 {
-    table: &'static [u32; 256],
+static CRC32_IEEE8: [[u32; 256]; 8] = crc32_tables8(0xedb8_8320);
+static CRC32_CASTAGNOLI8: [[u32; 256]; 8] = crc32_tables8(0x82f6_3b78);
+
+/// An incremental reflected CRC-32 that folds eight bytes per table step.
+///
+/// The fused key-hash path (`HashConfig::triple`) drives this directly —
+/// one [`fold8`](Self::fold8) per `u64` key word — while [`update`]
+/// (Self::update) handles arbitrary byte slices (8-byte chunks, then a
+/// byte-serial tail).
+#[derive(Debug, Clone)]
+pub struct Crc32Fold {
+    tables: &'static [[u32; 256]; 8],
     state: u32,
 }
 
-impl Crc32 {
-    fn new(poly: u32) -> Self {
-        let table = match poly {
-            0xedb8_8320 => &CRC32_IEEE,
-            0x82f6_3b78 => &CRC32_CASTAGNOLI,
-            _ => unreachable!("unsupported CRC-32 polynomial"),
-        };
-        Crc32 { table, state: 0xffff_ffff }
+impl Crc32Fold {
+    /// A fresh CRC-32 (IEEE 802.3) computation.
+    pub fn ieee() -> Self {
+        Crc32Fold { tables: &CRC32_IEEE8, state: 0xffff_ffff }
     }
 
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
+    /// A fresh CRC-32C (Castagnoli) computation.
+    pub fn castagnoli() -> Self {
+        Crc32Fold { tables: &CRC32_CASTAGNOLI8, state: 0xffff_ffff }
+    }
+
+    /// Folds exactly eight bytes into the state with eight table lookups.
+    #[inline]
+    pub fn fold8(&mut self, b: [u8; 8]) {
+        let t = self.tables;
+        let x = self.state ^ u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        self.state = t[7][(x & 0xff) as usize]
+            ^ t[6][((x >> 8) & 0xff) as usize]
+            ^ t[5][((x >> 16) & 0xff) as usize]
+            ^ t[4][(x >> 24) as usize]
+            ^ t[3][b[4] as usize]
+            ^ t[2][b[5] as usize]
+            ^ t[1][b[6] as usize]
+            ^ t[0][b[7] as usize];
+    }
+
+    /// Folds an arbitrary byte slice (8-byte chunks, byte-serial tail).
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold8(c.try_into().expect("8-byte chunk"));
+        }
+        for &b in chunks.remainder() {
             let idx = (self.state ^ u32::from(b)) & 0xff;
-            self.state = (self.state >> 8) ^ self.table[idx as usize];
+            self.state = (self.state >> 8) ^ self.tables[0][idx as usize];
         }
     }
 
-    fn finish(&self) -> u32 {
+    /// The finished (inverted) CRC value.
+    pub fn finish(&self) -> u32 {
         !self.state
     }
 }
@@ -129,19 +182,31 @@ impl Crc16 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Byte-serial reference (the pre-slice-by-8 implementation).
+    fn crc32_byte_serial(poly: u32, bytes: &[u8]) -> u32 {
+        let table = crc32_table(poly);
+        let mut state = 0xffff_ffffu32;
+        for &b in bytes {
+            let idx = (state ^ u32::from(b)) & 0xff;
+            state = (state >> 8) ^ table[idx as usize];
+        }
+        !state
+    }
 
     #[test]
     fn crc32_known_vector() {
-        // CRC-32("123456789") = 0xcbf43926; feed as padded words to check
-        // the byte pipeline, then verify via a direct byte-wise computation.
-        let mut c = Crc32::new(0xedb8_8320);
+        // CRC-32("123456789") = 0xcbf43926 — one 8-byte fold plus a
+        // byte-serial tail, so both paths of `update` are exercised.
+        let mut c = Crc32Fold::ieee();
         c.update(b"123456789");
         assert_eq!(c.finish(), 0xcbf4_3926);
     }
 
     #[test]
     fn crc32c_known_vector() {
-        let mut c = Crc32::new(0x82f6_3b78);
+        let mut c = Crc32Fold::castagnoli();
         c.update(b"123456789");
         assert_eq!(c.finish(), 0xe306_9283);
     }
@@ -178,5 +243,38 @@ mod tests {
         let c = hash_words(HashAlgo::Crc32, &[2, 1]);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    proptest! {
+        /// Slice-by-8 equals the byte-serial reference for every input
+        /// length (covering the chunk path, the tail path, and both
+        /// polynomials).
+        #[test]
+        fn slice_by_8_matches_byte_serial(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            for poly in [0xedb8_8320u32, 0x82f6_3b78] {
+                let mut c = if poly == 0xedb8_8320 {
+                    Crc32Fold::ieee()
+                } else {
+                    Crc32Fold::castagnoli()
+                };
+                c.update(&bytes);
+                prop_assert_eq!(c.finish(), crc32_byte_serial(poly, &bytes));
+            }
+        }
+
+        /// `hash_words` (one fold per word) equals the byte-serial
+        /// reference over the concatenated big-endian bytes.
+        #[test]
+        fn hash_words_matches_byte_serial(words in prop::collection::vec(any::<u64>(), 0..8)) {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+            prop_assert_eq!(
+                hash_words(HashAlgo::Crc32, &words),
+                u64::from(crc32_byte_serial(0xedb8_8320, &bytes))
+            );
+            prop_assert_eq!(
+                hash_words(HashAlgo::Crc32c, &words),
+                u64::from(crc32_byte_serial(0x82f6_3b78, &bytes))
+            );
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod metrics {
     thread_local! {
         static EVENTS: Cell<u64> = const { Cell::new(0) };
         static PEAK_QUEUE: Cell<u64> = const { Cell::new(0) };
+        static FP_KEYS: Cell<u64> = const { Cell::new(0) };
     }
 
     /// Cumulative events processed by worlds on this thread (flushed when
@@ -42,6 +43,17 @@ pub mod metrics {
     /// last [`take_thread_peak_queue`] call; resets the high-water mark.
     pub fn take_thread_peak_queue() -> u64 {
         PEAK_QUEUE.with(|c| c.replace(0))
+    }
+
+    /// Cumulative keys hashed by the false-positive precompute on this
+    /// thread (recorded by `ht-ntapi`'s `compute_fp_indices`).
+    pub fn thread_fp_keys() -> u64 {
+        FP_KEYS.with(Cell::get)
+    }
+
+    /// Adds `n` to the thread's false-positive precompute key counter.
+    pub fn record_fp_keys(n: u64) {
+        FP_KEYS.with(|c| c.set(c.get() + n));
     }
 
     pub(super) fn record(events: u64, peak_queue: u64) {

@@ -18,7 +18,7 @@ fn apply_ops(ops: &[(u8, u64, u8)]) {
         if op % 4 == 3 {
             let expect = heap.pop().map(|Reverse(e)| e);
             assert_eq!(wheel.peek_min_at(), expect.map(|e| e.0), "peek diverged");
-            assert_eq!(wheel.pop(), expect.map(|(at, s, item)| (at, s, item)), "pop diverged");
+            assert_eq!(wheel.pop(), expect, "pop diverged");
         } else {
             let at = raw & ((1u64 << (shift % 60)) - 1).max(1);
             seq += 1;

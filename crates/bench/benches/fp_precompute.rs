@@ -1,0 +1,94 @@
+//! Microbenchmarks of the false-positive precompute path (§5.2, Fig. 17):
+//! slice-by-8 CRC-32 vs the classic byte-at-a-time loop, the fused
+//! digest/h1/h2 triple vs three separate hashes, and the flat
+//! [`compute_fp_indices`] vs the row-cloning [`compute_fp_entries`] wrapper
+//! on 100k- and 1M-key spaces.
+//!
+//! The precompute work done is cross-checked via the `ht_asic::sim::metrics`
+//! `fp_keys` counter, printed at the end of each precompute group.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ht_asic::hash::{hash_words, HashAlgo};
+use ht_asic::sim::metrics;
+use ht_bench::experiments::random_flow_space;
+use ht_ntapi::fp::{compute_fp_entries, compute_fp_indices, HashConfig, KeySpace};
+
+/// Classic byte-at-a-time reflected CRC-32 over big-endian words — the
+/// pre-optimization formulation, kept here as the comparison baseline.
+fn crc32_byte_at_a_time(poly: u32, words: &[u64]) -> u64 {
+    let mut crc = 0xffff_ffffu32;
+    for w in words {
+        for b in w.to_be_bytes() {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+            }
+        }
+    }
+    u64::from(!crc)
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp_hash");
+    let keys: Vec<[u64; 2]> = (0..1_000u64).map(|i| [i.wrapping_mul(0x9e37), 80]).collect();
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("crc32_byte_at_a_time_1k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| crc32_byte_at_a_time(0xedb8_8320, black_box(k))).sum::<u64>())
+    });
+    g.bench_function("crc32_slice_by_8_1k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| hash_words(HashAlgo::Crc32, black_box(k))).sum::<u64>())
+    });
+
+    let cfg = HashConfig { array_bits: 16, digest_bits: 16 };
+    g.bench_function("digest_h1_h2_separate_1k_keys", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|k| {
+                    let k = black_box(&k[..]);
+                    cfg.digest(k) ^ cfg.h1(k) ^ cfg.h2(k)
+                })
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("digest_h1_h2_fused_triple_1k_keys", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|k| {
+                    let (d, h1, h2) = cfg.triple(black_box(&k[..]));
+                    d ^ h1 ^ h2
+                })
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp_precompute");
+    let cfg = HashConfig { array_bits: 16, digest_bits: 16 };
+    for n in [100_000usize, 1_000_000] {
+        let space: KeySpace = random_flow_space(n, 1000);
+        let rows: Vec<Vec<u64>> = space.to_rows();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("indices_flat_{n}"), |b| {
+            b.iter(|| compute_fp_indices(black_box(&space), &cfg).len())
+        });
+        g.bench_function(format!("entries_row_cloning_{n}"), |b| {
+            b.iter(|| compute_fp_entries(black_box(&rows), &cfg).len())
+        });
+    }
+    g.finish();
+    println!("fp_keys hashed this run: {}", metrics::thread_fp_keys());
+}
+
+criterion_group! {
+    name = hash;
+    config = Criterion::default();
+    targets = bench_hash
+}
+criterion_group! {
+    name = precompute;
+    config = Criterion::default().sample_size(10);
+    targets = bench_precompute
+}
+criterion_main!(hash, precompute);

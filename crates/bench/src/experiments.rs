@@ -9,7 +9,7 @@ use crate::harness::{run, tester_switch, RunSpec};
 use ht_asic::time::{ms, us, SimTime, PS_PER_SEC};
 use ht_baseline::ratectl::{timestamp_error, RateControlMode, TimestampMode};
 use ht_baseline::tester::{aggregate_l2_bps, core_pps, departures, MoonGenConfig};
-use ht_ntapi::fp::{compute_fp_entries, HashConfig};
+use ht_ntapi::fp::{compute_fp_indices, HashConfig, KeySpace};
 use ht_ntapi::{compile, parse};
 use ht_packet::wire::{gbps, l1_rate_bps, line_rate_pps};
 use ht_stats::{ErrorMetrics, Summary};
@@ -421,18 +421,26 @@ pub fn fig15_replicator(sizes: &[usize], ports: u16, rate_pps: u64) -> Vec<Repli
 /// Fig. 16(a): digest goodput (Mbps) vs message size (bytes).
 pub fn fig16_digest_goodput(sizes_bytes: &[usize]) -> Vec<(usize, f64)> {
     let cpu = ht_cpu::SwitchCpu::new();
+    // One reusable record batch: the drain hands the records back, so each
+    // size point resizes the value buffers in place instead of allocating
+    // 2,000 fresh vectors.
+    let mut records: Vec<ht_asic::digest::DigestRecord> = (0..2_000)
+        .map(|_| ht_asic::digest::DigestRecord {
+            id: ht_asic::digest::DigestId(0),
+            values: Vec::new(),
+            at: 0,
+        })
+        .collect();
     sizes_bytes
         .iter()
         .map(|&size| {
             let fields = size / 8;
-            let records: Vec<ht_asic::digest::DigestRecord> = (0..2_000)
-                .map(|i| ht_asic::digest::DigestRecord {
-                    id: ht_asic::digest::DigestId(0),
-                    values: vec![i as u64; fields],
-                    at: 0,
-                })
-                .collect();
-            let d = cpu.drain_records(records);
+            for (i, r) in records.iter_mut().enumerate() {
+                r.values.clear();
+                r.values.resize(fields, i as u64);
+            }
+            let d = cpu.drain_records(std::mem::take(&mut records));
+            records = d.records;
             (size, d.goodput_bps / 1e6)
         })
         .collect()
@@ -460,6 +468,40 @@ pub fn fig16_counter_pull(counts: &[usize]) -> Vec<(usize, f64, f64)> {
 
 // ---------------------------------------------------------------- Fig 17
 
+/// One trial's random flow key space for Fig. 17: `n` `(u64, 80)` keys
+/// drawn from the trial's seeded RNG.
+///
+/// Random keys (not sequential) because sequential keys interact with the
+/// CRC bucket hashes' linearity and would bias the collision counts.  The
+/// draws are used as-is without a distinctness filter: a duplicate among
+/// `n ≤ 2M` draws from a 2^64 domain has probability ≈ n²/2^65 < 10⁻⁷,
+/// and the seeds are fixed, so the generated spaces are identical to the
+/// old `HashSet`-deduplicated ones (pinned by the committed digests and
+/// by a test in `suite.rs`).
+pub fn random_flow_space(n: usize, seed: u64) -> KeySpace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = KeySpace::with_capacity(2, n);
+    for _ in 0..n {
+        space.push(&[rand::Rng::gen::<u64>(&mut rng), 80]);
+    }
+    space
+}
+
+/// Fig. 17 inner loop for one `(flows, config)` point: `(total, max)`
+/// diverted-entry counts over `trials` seeded random key sets.
+pub fn fig17_totals(n: usize, digest_bits: u32, array_bits: u32, trials: u64) -> (usize, usize) {
+    let cfg = HashConfig { array_bits, digest_bits };
+    let mut total = 0usize;
+    let mut max = 0usize;
+    for t in 0..trials {
+        let space = random_flow_space(n, 1000 + t);
+        let e = compute_fp_indices(&space, &cfg).len();
+        total += e;
+        max = max.max(e);
+    }
+    (total, max)
+}
+
 /// Fig. 17: exact-key-matching entries needed vs flow count, over
 /// `trials` random key sets.  Returns `(flows, mean entries, max entries,
 /// memory KB)` for the given digest width and array size.
@@ -473,25 +515,7 @@ pub fn fig17_exact_match(
     flow_counts
         .iter()
         .map(|&n| {
-            let mut total = 0usize;
-            let mut max = 0usize;
-            for t in 0..trials {
-                // Random distinct keys per trial (sequential keys interact
-                // with the CRC bucket hashes' linearity and would bias the
-                // collision counts).
-                let mut rng = StdRng::seed_from_u64(1000 + t);
-                let mut seen = std::collections::HashSet::with_capacity(n);
-                let mut space: Vec<Vec<u64>> = Vec::with_capacity(n);
-                while space.len() < n {
-                    let k = rand::Rng::gen::<u64>(&mut rng);
-                    if seen.insert(k) {
-                        space.push(vec![k, 80]);
-                    }
-                }
-                let e = compute_fp_entries(&space, &cfg).len();
-                total += e;
-                max = max.max(e);
-            }
+            let (total, max) = fig17_totals(n, digest_bits, array_bits, trials);
             let mean = total as f64 / trials as f64;
             // Entry memory: full key (2×32 bit here ≈ 5-tuple digest cost
             // scaled) + counter pointer.

@@ -22,7 +22,7 @@ use ht_asic::QueueKind;
 use ht_baseline::cost::CostModel;
 use ht_baseline::ratectl::RateControlMode;
 use ht_baseline::tester::{core_pps, MoonGenConfig};
-use ht_harness::{Experiment, Out, RunOutput, Scale, Table};
+use ht_harness::{Experiment, Out, RunOutput, Scale, Shard, Table};
 use ht_packet::wire::{gbps, l1_rate_bps};
 use ht_stats::Distribution;
 
@@ -630,7 +630,51 @@ impl Experiment for Fig16Collection {
 // ------------------------------------------------------------- Fig. 17
 
 /// Fig. 17 — exact-key-matching table size.
+///
+/// Sharded: the suite's heaviest job splits into independent
+/// `(digest/array config × flow count)` sub-jobs the scheduler balances
+/// across workers; [`Experiment::merge`] reassembles the figure from the
+/// integer per-shard totals, so the output is byte-identical to the old
+/// monolithic run at any worker count.
 pub struct Fig17ExactMatch;
+
+/// The Fig. 17 sweep parameters at a scale.
+fn fig17_params(scale: Scale) -> (&'static [usize], u64) {
+    match scale {
+        Scale::Full => (&[10_000, 100_000, 500_000, 1_000_000, 2_000_000], 5),
+        Scale::Smoke => (&[10_000, 100_000], 1),
+    }
+}
+
+/// One `(config × flow count)` slice of the Fig. 17 sweep.
+struct Fig17Shard {
+    flows: usize,
+    digest_bits: u32,
+    array_bits: u32,
+    trials: u64,
+}
+
+impl Shard for Fig17Shard {
+    fn label(&self) -> String {
+        format!("d{}/a{}/{}k", self.digest_bits, self.array_bits, self.flows / 1000)
+    }
+    fn weight(&self) -> u32 {
+        // Precompute cost is linear in the key count.
+        (self.flows / 10_000).max(1) as u32
+    }
+    fn run(&self, _scale: Scale) -> RunOutput {
+        let keys0 = ht_asic::sim::metrics::thread_fp_keys();
+        let (total, max) =
+            ex::fig17_totals(self.flows, self.digest_bits, self.array_bits, self.trials);
+        let keys = ht_asic::sim::metrics::thread_fp_keys() - keys0;
+        let mut r = RunOutput::default();
+        r.extras.push(("flows".into(), self.flows.to_string()));
+        r.extras.push(("total".into(), total.to_string()));
+        r.extras.push(("max".into(), max.to_string()));
+        r.extras.push(("keys".into(), keys.to_string()));
+        r
+    }
+}
 
 impl Experiment for Fig17ExactMatch {
     fn name(&self) -> &'static str {
@@ -642,19 +686,62 @@ impl Experiment for Fig17ExactMatch {
     fn weight(&self) -> u32 {
         10
     }
-    fn run(&self, scale: Scale) -> RunOutput {
-        let (flows, trials): (&[usize], u64) = match scale {
-            Scale::Full => (&[10_000, 100_000, 500_000, 1_000_000, 2_000_000], 5),
-            Scale::Smoke => (&[10_000, 100_000], 1),
-        };
+    fn shards(&self, scale: Scale) -> Vec<Box<dyn Shard>> {
+        let (flows, trials) = fig17_params(scale);
+        let mut shards: Vec<Box<dyn Shard>> = Vec::new();
+        // (a) then (b): the per-flow sweeps at both digest widths.
+        for digest_bits in [16u32, 32] {
+            for &n in flows {
+                shards.push(Box::new(Fig17Shard { flows: n, digest_bits, array_bits: 16, trials }));
+            }
+        }
+        // (c) the array-size sweep at 2M flows (full scale only); the
+        // 2^16 point reuses the (a) 2M shard — same config, same seeds.
+        if scale == Scale::Full {
+            for array_bits in [15u32, 14] {
+                shards.push(Box::new(Fig17Shard {
+                    flows: 2_000_000,
+                    digest_bits: 16,
+                    array_bits,
+                    trials,
+                }));
+            }
+        }
+        shards
+    }
+    fn merge(&self, scale: Scale, parts: Vec<RunOutput>) -> RunOutput {
+        fn extra(p: &RunOutput, key: &str) -> u64 {
+            p.extras
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("shard extra")
+        }
+        let (flows, trials) = fig17_params(scale);
         let full = scale == Scale::Full;
+        // `exact_entry_bits` only depends on the key width, so one config
+        // serves both digest widths.
+        let cfg = ht_ntapi::fp::HashConfig { array_bits: 16, digest_bits: 16 };
+        // Shards transport exact integers (total/max), so the mean and
+        // memory reconstruction here performs the same float ops on the
+        // same values as the monolithic code did.
+        let row = |p: &RunOutput| {
+            let n = extra(p, "flows") as usize;
+            let mean = extra(p, "total") as f64 / trials as f64;
+            let max = extra(p, "max") as usize;
+            let kb = mean * cfg.exact_entry_bits(2) as f64 / 8.0 / 1024.0;
+            (n, mean, max, kb)
+        };
+        let k = flows.len();
+        let rows16: Vec<(usize, f64, usize, f64)> = parts[..k].iter().map(row).collect();
+        let rows32: Vec<(usize, f64, usize, f64)> = parts[k..2 * k].iter().map(row).collect();
+
         let mut out = Out::new();
         let mut r = RunOutput::default();
         out.say("Fig. 17 — exact-key-matching entries vs #distinct flows");
         out.say("(paper: ≤3000 entries @2M flows with 16-bit digests; 32-bit ≪ 16-bit)");
         out.blank();
         out.say("(a) 16-bit digests (array 2^16)");
-        let rows16 = ex::fig17_exact_match(flows, 16, 16, trials);
         let t = Table::new(&mut out, &["flows", "mean entries", "max", "mem KB"], &[9, 13, 6, 8]);
         for &(n, mean, max, kb) in &rows16 {
             t.row(
@@ -668,7 +755,6 @@ impl Experiment for Fig17ExactMatch {
         }
         out.blank();
         out.say("(b) 32-bit digests (array 2^16)");
-        let rows32 = ex::fig17_exact_match(flows, 32, 16, trials);
         let t = Table::new(&mut out, &["flows", "mean entries", "max", "mem KB"], &[9, 13, 6, 8]);
         for &(n, mean, max, kb) in &rows32 {
             t.row(
@@ -687,9 +773,13 @@ impl Experiment for Fig17ExactMatch {
             out.blank();
             out.say("(c) effect of the hashing array size (2M flows, 16-bit digests)");
             let t = Table::new(&mut out, &["array", "mean entries", "max"], &[6, 13, 6]);
+            let c_rows = [
+                (16u32, *rows16.last().unwrap()),
+                (15, row(&parts[2 * k])),
+                (14, row(&parts[2 * k + 1])),
+            ];
             let mut prev: Option<f64> = None;
-            for array_bits in [16u32, 15, 14] {
-                let row = &ex::fig17_exact_match(&[2_000_000], 16, array_bits, trials)[0];
+            for (array_bits, row) in c_rows {
                 t.row(
                     &mut out,
                     &[format!("2^{array_bits}"), format!("{:.1}", row.1), row.2.to_string()],
@@ -716,6 +806,8 @@ impl Experiment for Fig17ExactMatch {
         }
         out.blank();
         out.say("small exact-match tables suffice; wider digests shrink them further");
+        let fp_keys: u64 = parts.iter().map(|p| extra(p, "keys")).sum();
+        r.extras.push(("fp_keys_hashed".into(), fp_keys.to_string()));
         r.lines = out.into_lines();
         r
     }

@@ -2,7 +2,6 @@
 //! discrete-event run → query results, over simulated testbeds.
 
 use ht_asic::phv::fields;
-use ht_asic::switch::CPU_PORT;
 use ht_asic::time::{ms, us, PS_PER_SEC};
 use ht_asic::{Switch, World};
 use ht_core::{build, distinct_count, global_value, keyed_results, Gbps, TesterConfig};
@@ -129,7 +128,8 @@ Q1 = query(T1).reduce(keys=[sport], func=count)
         &[ht_ntapi::ast::HeaderField::Sport],
         false,
     )
-    .unwrap();
+    .unwrap()
+    .to_rows();
     let measured = keyed_results(sw_ref, q, &space);
     // Query counts include in-flight packets; allow the last few.
     for (key, &n) in &oracle {

@@ -1,6 +1,6 @@
 //! Property-based tests for HyperTester's counter-based query engine:
-//! against a HashMap oracle, the merged readout (arrays + FIFO + evictions
-//! + exact table) must be **exactly** right for any workload — the paper's
+//! against a HashMap oracle, the merged readout (arrays + FIFO +
+//! evictions + exact table) must be **exactly** right for any workload — the paper's
 //! headline accuracy claim for `reduce`/`distinct`.
 
 use ht_asic::action::ExecCtx;

@@ -133,8 +133,13 @@ pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
         None => suite,
     };
     if opts.list {
+        println!("{:<24} {:<9} {:>6}  title", "name", "group", "shards");
         for e in &suite {
-            println!("{:<24} {:<9} {}", e.name(), e.group(), e.title());
+            let shards = match e.shards(opts.scale).len() {
+                0 => "-".to_string(),
+                n => n.to_string(),
+            };
+            println!("{:<24} {:<9} {:>6}  {}", e.name(), e.group(), shards, e.title());
         }
         return 0;
     }

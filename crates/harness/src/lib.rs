@@ -20,6 +20,12 @@
 //! must depend only on its inputs (simulated time, seeds), never on wall
 //! clock or thread identity — the suite digest is byte-identical at
 //! `--workers 1` and `--workers 8`.
+//!
+//! Heavy experiments can additionally split themselves into [`Shard`]s
+//! (independent sub-jobs the scheduler balances across workers) with a
+//! deterministic [`Experiment::merge`]; the contract extends to shards —
+//! suite output and digests are identical whether an experiment ran
+//! monolithically, sharded on one worker, or sharded across eight.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -197,7 +203,57 @@ pub trait Experiment: Send + Sync {
         1
     }
 
+    /// Splits the experiment into independently runnable [`Shard`]s.
+    ///
+    /// The default (empty) keeps the experiment monolithic: the runner
+    /// calls [`run`](Experiment::run) as one job.  A non-empty vector
+    /// makes the runner schedule each shard as its own unit of work and
+    /// reassemble the experiment's output via [`merge`](Experiment::merge)
+    /// once all shards finish — shard results are always passed to `merge`
+    /// in `shards()` order, regardless of completion order.
+    fn shards(&self, _scale: Scale) -> Vec<Box<dyn Shard>> {
+        Vec::new()
+    }
+
+    /// Reassembles one [`RunOutput`] from the shard results, in
+    /// [`shards`](Experiment::shards) order.
+    ///
+    /// Must be deterministic (it feeds the result digest).  Only called
+    /// when `shards()` is non-empty; the default panics to catch sharded
+    /// experiments that forget to implement it.
+    fn merge(&self, _scale: Scale, _parts: Vec<RunOutput>) -> RunOutput {
+        unreachable!("sharded experiment must implement merge()")
+    }
+
     /// Runs the experiment at `scale` and returns its buffered results.
+    ///
+    /// Sharded experiments get this for free — the default runs every
+    /// shard serially and merges, so `run_single` and the thin binaries
+    /// produce byte-identical output to the sharded parallel path by
+    /// construction.  Monolithic experiments must override it.
+    fn run(&self, scale: Scale) -> RunOutput {
+        let shards = self.shards(scale);
+        assert!(!shards.is_empty(), "experiment must implement run() or shards()");
+        let parts = shards.iter().map(|s| s.run(scale)).collect();
+        self.merge(scale, parts)
+    }
+}
+
+/// One independently schedulable piece of a sharded [`Experiment`].
+///
+/// Shards of one experiment must not share mutable state: each runs on
+/// whichever worker thread picks it up, and only the [`RunOutput`]s meet
+/// again (in order) inside [`Experiment::merge`].
+pub trait Shard: Send + Sync {
+    /// Human-readable shard label (progress display, e.g. `d16/500k`).
+    fn label(&self) -> String;
+
+    /// Relative cost weight for scheduling, like [`Experiment::weight`].
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    /// Runs this shard's slice of the experiment.
     fn run(&self, scale: Scale) -> RunOutput;
 }
 

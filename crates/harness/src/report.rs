@@ -69,8 +69,8 @@ impl BenchReport {
             let mut line = format!(
                 "    {{\"name\":\"{}\",\"group\":\"{}\",\"ok\":{},\"wall_ms\":{},\
                  \"events\":{},\"events_per_sec\":{},\"peak_queue_depth\":{},\
-                 \"arena_allocs\":{},\"arena_reuses\":{},\"checks\":{},\"checks_failed\":{},\
-                 \"digest\":\"{:016x}\"",
+                 \"arena_allocs\":{},\"arena_reuses\":{},\"shards\":{},\"checks\":{},\
+                 \"checks_failed\":{},\"digest\":\"{:016x}\"",
                 esc(&r.name),
                 esc(&r.group),
                 r.ok,
@@ -80,6 +80,7 @@ impl BenchReport {
                 r.peak_queue_depth,
                 r.arena_allocs,
                 r.arena_reuses,
+                r.shards,
                 r.output.checks.len(),
                 failed,
                 r.digest,
@@ -180,6 +181,9 @@ pub struct Regression {
 /// `threshold_pct` below the baseline, or when its deterministic result
 /// digest differs from the baseline's (same scale ⇒ same seeds ⇒ same
 /// payload — a digest change is behavioral drift, not noise).
+/// Per-experiment `wall_ms` drift beyond the same threshold (in either
+/// direction) is reported as a **warn-only** note: wall clock is too
+/// machine-dependent to gate on, but a 2× swing is worth a look.
 /// Scale/queue mismatches and missing experiments produce non-fatal notes
 /// (the line-oriented parse tolerates hand-edited or older baselines).
 pub fn compare_to_baseline(
@@ -227,6 +231,21 @@ pub fn compare_to_baseline(
                 });
             }
         }
+        if let Some(base_wall) = field(line, "wall_ms").and_then(|v| v.parse::<f64>().ok()) {
+            if base_wall > 0.0 {
+                let drift_pct = (now.wall_ms - base_wall) / base_wall * 100.0;
+                if drift_pct.abs() > threshold_pct {
+                    out.push(Regression {
+                        fatal: false,
+                        message: format!(
+                            "{name}: wall_ms drifted {drift_pct:+.1}% ({base_wall:.1} -> {:.1} ms; \
+                             informational only)",
+                            now.wall_ms
+                        ),
+                    });
+                }
+            }
+        }
         if eps <= 0.0 {
             continue; // nothing measurable in the baseline entry
         }
@@ -268,6 +287,7 @@ mod tests {
             peak_queue_depth: 4,
             arena_allocs: 1,
             arena_reuses: 9,
+            shards: 0,
             digest: 0xabcd,
             output: RunOutput::default(),
         }
@@ -309,6 +329,31 @@ mod tests {
         run.results[0].digest = 0xbeef;
         let regs = compare_to_baseline(&run, &baseline, 20.0);
         assert!(regs.iter().any(|r| r.fatal && r.message.contains("digest drifted")), "{regs:?}");
+    }
+
+    #[test]
+    fn wall_ms_drift_is_warn_only() {
+        let baseline = report(1000.0).to_json();
+        let mut run = report(1000.0);
+        run.results[0].wall_ms = 100.0; // 10 -> 100 ms: way past 20%
+        let regs = compare_to_baseline(&run, &baseline, 20.0);
+        let drift: Vec<_> = regs.iter().filter(|r| r.message.contains("wall_ms drifted")).collect();
+        assert_eq!(drift.len(), 1, "{regs:?}");
+        assert!(!drift[0].fatal, "wall drift must not fail the run");
+        // Within threshold: no note at all.
+        let mut quiet = report(1000.0);
+        quiet.results[0].wall_ms = 11.0;
+        let regs = compare_to_baseline(&quiet, &baseline, 20.0);
+        assert!(regs.iter().all(|r| !r.message.contains("wall_ms drifted")), "{regs:?}");
+    }
+
+    #[test]
+    fn json_includes_shard_count() {
+        let mut rep = report(1.0);
+        rep.results[0].shards = 12;
+        let j = rep.to_json();
+        let line = j.lines().find(|l| l.contains("\"name\":\"a\"")).unwrap();
+        assert_eq!(field(line, "shards"), Some("12"));
     }
 
     #[test]

@@ -1,19 +1,27 @@
 //! The work-stealing scheduler.
 //!
-//! All jobs are known up front, so scheduling is simple: jobs are dealt
-//! round-robin into per-worker deques in descending weight order (an LPT
-//! schedule — the heaviest jobs start first), each worker drains its own
-//! deque from the front and steals from peers' backs when empty.  Workers
-//! are plain scoped threads; per-job progress streams over a channel to
-//! the caller's callback while the pool runs.
+//! All work is known up front, so scheduling is simple: units of work are
+//! dealt round-robin into per-worker deques in descending weight order (an
+//! LPT schedule — the heaviest work starts first), each worker drains its
+//! own deque from the front and steals from peers' backs when empty.
+//! Workers are plain scoped threads; per-experiment progress streams over
+//! a channel to the caller's callback while the pool runs.
 //!
-//! Each job runs entirely on one worker thread, so the thread-local
+//! A unit of work is either a whole monolithic experiment or one
+//! [`Shard`] of a sharded experiment ([`Experiment::shards`]).  Shards of
+//! one experiment can land on different workers; the last one to finish
+//! reassembles the experiment via [`Experiment::merge`] with the shard
+//! outputs in declaration order, so the merged result — and therefore the
+//! suite output and digests — is identical at any worker count.
+//!
+//! Each unit runs entirely on one worker thread, so the thread-local
 //! simulation counters ([`ht_asic::sim::metrics`]) and allocation arenas
-//! ([`ht_asic::arena`]) can be read as before/after deltas around the job
+//! ([`ht_asic::arena`]) can be read as before/after deltas around the unit
 //! — that is where `BENCH.json`'s events/sec, peak queue depth, and
-//! arena hit rates come from.
+//! arena hit rates come from; sharded experiments report the sums (and
+//! the per-shard maximum for queue depth).
 
-use crate::{result_digest, Experiment, RunOutput, Scale};
+use crate::{result_digest, Experiment, RunOutput, Scale, Shard};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -33,7 +41,7 @@ pub struct JobResult {
     pub ok: bool,
     /// Panic message, if the job panicked.
     pub panicked: Option<String>,
-    /// Wall-clock job duration in milliseconds.
+    /// Wall-clock job duration in milliseconds (summed over shards).
     pub wall_ms: f64,
     /// Simulation events processed by the job.
     pub events: u64,
@@ -45,6 +53,8 @@ pub struct JobResult {
     pub arena_allocs: u64,
     /// PHV buffers the job recycled from the thread-local arena.
     pub arena_reuses: u64,
+    /// How many shards the experiment split into (0 = monolithic).
+    pub shards: usize,
     /// FNV-1a digest of the deterministic payload (lines + check verdicts).
     pub digest: u64,
     /// The experiment's buffered output.
@@ -54,65 +64,153 @@ pub struct JobResult {
 /// A progress event streamed while the suite runs.
 #[derive(Debug, Clone)]
 pub struct Progress {
-    /// Jobs finished so far (including this one).
+    /// Experiments finished so far (including this one).
     pub done: usize,
-    /// Total jobs.
+    /// Total experiments.
     pub total: usize,
-    /// The finished job's name.
+    /// The finished experiment's name.
     pub name: String,
     /// Whether it passed.
     pub ok: bool,
-    /// Its wall-clock duration in milliseconds.
+    /// Its wall-clock duration in milliseconds (summed over shards).
     pub wall_ms: f64,
 }
 
-/// Executes one experiment on the current thread, measuring wall time and
-/// the thread-local simulation counters around it.
-pub fn run_job(exp: &dyn Experiment, scale: Scale) -> JobResult {
+/// One measured execution of a closure: counters, wall clock, and either
+/// the produced output or the captured panic.
+struct Measured {
+    panicked: Option<String>,
+    output: Option<RunOutput>,
+    wall_ms: f64,
+    events: u64,
+    peak_queue_depth: u64,
+    arena_allocs: u64,
+    arena_reuses: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Runs `f` on the current thread, measuring wall time and the
+/// thread-local simulation counters around it and capturing panics.
+fn measure(f: impl FnOnce() -> RunOutput) -> Measured {
     use ht_asic::sim::metrics;
 
     let ev0 = metrics::thread_events();
     let _ = metrics::take_thread_peak_queue();
     let ar0 = ht_asic::arena::stats();
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| exp.run(scale)));
+    let outcome = catch_unwind(AssertUnwindSafe(f));
     let wall = start.elapsed();
     let events = metrics::thread_events() - ev0;
     let peak_queue_depth = metrics::take_thread_peak_queue();
     let ar = ht_asic::arena::stats();
 
     let (output, panicked) = match outcome {
-        Ok(out) => (out, None),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            (RunOutput::default(), Some(msg))
-        }
+        Ok(out) => (Some(out), None),
+        Err(payload) => (None, Some(panic_message(payload))),
     };
+    Measured {
+        panicked,
+        output,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        peak_queue_depth,
+        arena_allocs: ar.allocs - ar0.allocs,
+        arena_reuses: ar.reuses - ar0.reuses,
+    }
+}
 
-    let wall_ms = wall.as_secs_f64() * 1e3;
+/// Assembles a [`JobResult`] from an experiment's aggregated measurement.
+fn finish_job(exp: &dyn Experiment, shards: usize, m: Measured) -> JobResult {
+    let output = m.output.unwrap_or_default();
     JobResult {
         name: exp.name().to_string(),
         group: exp.group().to_string(),
         title: exp.title().to_string(),
-        ok: panicked.is_none() && output.all_passed(),
-        panicked,
-        wall_ms,
-        events,
-        events_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 },
-        peak_queue_depth,
-        arena_allocs: ar.allocs - ar0.allocs,
-        arena_reuses: ar.reuses - ar0.reuses,
+        ok: m.panicked.is_none() && output.all_passed(),
+        panicked: m.panicked,
+        wall_ms: m.wall_ms,
+        events: m.events,
+        events_per_sec: if m.wall_ms > 0.0 { m.events as f64 / (m.wall_ms / 1e3) } else { 0.0 },
+        peak_queue_depth: m.peak_queue_depth,
+        arena_allocs: m.arena_allocs,
+        arena_reuses: m.arena_reuses,
+        shards,
         digest: result_digest(&output),
         output,
     }
 }
 
-/// Runs `suite` on `workers` threads, invoking `on_progress` as each job
-/// finishes.  Results come back in suite order regardless of scheduling.
+/// Executes one experiment on the current thread (shards, if any, run
+/// serially via the default [`Experiment::run`]).
+pub fn run_job(exp: &dyn Experiment, scale: Scale) -> JobResult {
+    let shards = exp.shards(scale).len();
+    finish_job(exp, shards, measure(|| exp.run(scale)))
+}
+
+/// Combines the per-shard measurements of one experiment (in shard order)
+/// into the experiment's [`JobResult`], running [`Experiment::merge`] on
+/// the current thread.
+fn merge_job(exp: &dyn Experiment, scale: Scale, parts: Vec<Measured>) -> JobResult {
+    let shards = parts.len();
+    let mut agg = Measured {
+        panicked: None,
+        output: None,
+        wall_ms: 0.0,
+        events: 0,
+        peak_queue_depth: 0,
+        arena_allocs: 0,
+        arena_reuses: 0,
+    };
+    let mut outputs = Vec::with_capacity(shards);
+    for p in parts {
+        agg.wall_ms += p.wall_ms;
+        agg.events += p.events;
+        agg.peak_queue_depth = agg.peak_queue_depth.max(p.peak_queue_depth);
+        agg.arena_allocs += p.arena_allocs;
+        agg.arena_reuses += p.arena_reuses;
+        if agg.panicked.is_none() {
+            if let Some(msg) = p.panicked {
+                agg.panicked = Some(msg);
+            }
+        }
+        if let Some(out) = p.output {
+            outputs.push(out);
+        }
+    }
+    if agg.panicked.is_none() {
+        match catch_unwind(AssertUnwindSafe(|| exp.merge(scale, outputs))) {
+            Ok(out) => agg.output = Some(out),
+            Err(payload) => agg.panicked = Some(panic_message(payload)),
+        }
+    }
+    finish_job(exp, shards, agg)
+}
+
+/// One schedulable unit: a monolithic experiment or a single shard.
+struct Unit {
+    exp: usize,
+    shard: Option<usize>,
+    weight: u32,
+}
+
+/// Collects the shard measurements of one sharded experiment until all of
+/// them have arrived.
+struct Pending {
+    parts: Vec<Option<Measured>>,
+    remaining: usize,
+}
+
+/// Runs `suite` on `workers` threads, invoking `on_progress` as each
+/// experiment finishes.  Results come back in suite order regardless of
+/// scheduling; sharded experiments produce byte-identical output at any
+/// worker count (see the module docs).
 pub fn run_suite(
     suite: &[Box<dyn Experiment>],
     workers: usize,
@@ -122,13 +220,31 @@ pub fn run_suite(
     let workers = workers.max(1);
     let total = suite.len();
 
+    let shard_sets: Vec<Vec<Box<dyn Shard>>> = suite.iter().map(|e| e.shards(scale)).collect();
+    let mut units: Vec<Unit> = Vec::new();
+    for (i, (exp, shards)) in suite.iter().zip(&shard_sets).enumerate() {
+        if shards.is_empty() {
+            units.push(Unit { exp: i, shard: None, weight: exp.weight() });
+        } else {
+            for (j, s) in shards.iter().enumerate() {
+                units.push(Unit { exp: i, shard: Some(j), weight: s.weight() });
+            }
+        }
+    }
+    let pending: Vec<Mutex<Pending>> = shard_sets
+        .iter()
+        .map(|s| {
+            Mutex::new(Pending { parts: s.iter().map(|_| None).collect(), remaining: s.len() })
+        })
+        .collect();
+
     // LPT deal: heaviest first, round-robin across workers.
-    let mut order: Vec<usize> = (0..total).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(suite[i].weight()));
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(units[u].weight));
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (pos, &job) in order.iter().enumerate() {
-        queues[pos % workers].lock().unwrap().push_back(job);
+    for (pos, &u) in order.iter().enumerate() {
+        queues[pos % workers].lock().unwrap().push_back(u);
     }
 
     let results: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
@@ -141,16 +257,40 @@ pub fn run_suite(
             let queues = &queues;
             let results = &results;
             let done = &done;
+            let units = &units;
+            let shard_sets = &shard_sets;
+            let pending = &pending;
             s.spawn(move || {
                 loop {
                     // Own queue front first; then steal from peers' backs.
-                    let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                    let unit = queues[me].lock().unwrap().pop_front().or_else(|| {
                         (0..queues.len())
                             .filter(|&q| q != me)
                             .find_map(|q| queues[q].lock().unwrap().pop_back())
                     });
-                    let Some(job) = job else { break };
-                    let r = run_job(suite[job].as_ref(), scale);
+                    let Some(u) = unit else { break };
+                    let Unit { exp, shard, .. } = units[u];
+                    let r = match shard {
+                        None => Some(run_job(suite[exp].as_ref(), scale)),
+                        Some(j) => {
+                            let m = measure(|| shard_sets[exp][j].run(scale));
+                            let mut p = pending[exp].lock().unwrap();
+                            p.parts[j] = Some(m);
+                            p.remaining -= 1;
+                            if p.remaining == 0 {
+                                let parts: Vec<Measured> = p
+                                    .parts
+                                    .iter_mut()
+                                    .map(|m| m.take().expect("shard ran"))
+                                    .collect();
+                                drop(p);
+                                Some(merge_job(suite[exp].as_ref(), scale, parts))
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    let Some(r) = r else { continue };
                     let p = Progress {
                         done: done.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
                         total,
@@ -158,7 +298,7 @@ pub fn run_suite(
                         ok: r.ok,
                         wall_ms: r.wall_ms,
                     };
-                    *results[job].lock().unwrap() = Some(r);
+                    *results[exp].lock().unwrap() = Some(r);
                     let _ = tx.send(p);
                 }
             });
@@ -216,6 +356,63 @@ mod tests {
         }
     }
 
+    /// A sharded experiment: each shard squares one number, the merge
+    /// emits one line per shard plus a sum line.
+    struct Squares {
+        inputs: Vec<u64>,
+        panic_at: Option<usize>,
+    }
+
+    struct SquareShard {
+        x: u64,
+        panic: bool,
+    }
+
+    impl Shard for SquareShard {
+        fn label(&self) -> String {
+            format!("x={}", self.x)
+        }
+        fn weight(&self) -> u32 {
+            self.x as u32
+        }
+        fn run(&self, _scale: Scale) -> RunOutput {
+            assert!(!self.panic, "shard exploded");
+            let mut r = RunOutput::default();
+            r.lines.push(format!("{}^2 = {}", self.x, self.x * self.x));
+            r.extras.push(("sq".into(), (self.x * self.x).to_string()));
+            r
+        }
+    }
+
+    impl Experiment for Squares {
+        fn name(&self) -> &'static str {
+            "squares"
+        }
+        fn title(&self) -> &'static str {
+            "sharded squares"
+        }
+        fn shards(&self, _scale: Scale) -> Vec<Box<dyn Shard>> {
+            self.inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    Box::new(SquareShard { x, panic: self.panic_at == Some(i) }) as Box<dyn Shard>
+                })
+                .collect()
+        }
+        fn merge(&self, _scale: Scale, parts: Vec<RunOutput>) -> RunOutput {
+            let mut r = RunOutput::default();
+            let mut sum = 0u64;
+            for p in parts {
+                r.lines.extend(p.lines);
+                sum += p.extras[0].1.parse::<u64>().unwrap();
+            }
+            r.lines.push(format!("sum = {sum}"));
+            r.check("summed", true, "");
+            r
+        }
+    }
+
     fn suite() -> Vec<Box<dyn Experiment>> {
         vec![Box::new(Fib("fib_a", 18)), Box::new(Fib("fib_b", 10)), Box::new(Fib("fib_c", 14))]
     }
@@ -248,5 +445,58 @@ mod tests {
         assert!(!r[0].ok);
         assert!(r[0].panicked.as_deref().unwrap().contains("boom"));
         assert!(r[1].ok);
+    }
+
+    fn sharded_suite() -> Vec<Box<dyn Experiment>> {
+        vec![
+            Box::new(Fib("fib_a", 12)),
+            Box::new(Squares { inputs: vec![3, 1, 4, 1, 5], panic_at: None }),
+            Box::new(Fib("fib_b", 8)),
+        ]
+    }
+
+    #[test]
+    fn sharded_results_are_identical_across_worker_counts_and_run_single() {
+        let one = run_suite(&sharded_suite(), 1, Scale::Full, |_| {});
+        let eight = run_suite(&sharded_suite(), 8, Scale::Full, |_| {});
+        for (a, b) in one.iter().zip(&eight) {
+            assert_eq!(a.digest, b.digest, "{}", a.name);
+            assert_eq!(a.output.lines, b.output.lines);
+        }
+        // Merge preserves shard declaration order, not completion order.
+        let sq = &one[1];
+        assert_eq!(sq.shards, 5);
+        assert!(sq.ok);
+        assert_eq!(sq.output.lines[0], "3^2 = 9");
+        assert_eq!(sq.output.lines[4], "5^2 = 25");
+        assert_eq!(sq.output.lines[5], "sum = 52");
+        // The serial `run_job` path (run_single, thin binaries) matches too.
+        let single = run_job(&Squares { inputs: vec![3, 1, 4, 1, 5], panic_at: None }, Scale::Full);
+        assert_eq!(single.digest, sq.digest);
+        assert_eq!(single.shards, 5);
+    }
+
+    #[test]
+    fn sharded_progress_fires_once_per_experiment() {
+        let mut seen = Vec::new();
+        let _ = run_suite(&sharded_suite(), 3, Scale::Full, |p| seen.push(p.name.clone()));
+        assert_eq!(seen.len(), 3, "one progress event per experiment: {seen:?}");
+        assert_eq!(seen.iter().filter(|n| *n == "squares").count(), 1);
+    }
+
+    #[test]
+    fn shard_panic_is_captured_and_skips_merge() {
+        let suite: Vec<Box<dyn Experiment>> =
+            vec![Box::new(Squares { inputs: vec![2, 7], panic_at: Some(1) })];
+        let r = run_suite(&suite, 2, Scale::Full, |_| {});
+        assert!(!r[0].ok);
+        assert!(r[0].panicked.as_deref().unwrap().contains("shard exploded"));
+        assert!(r[0].output.lines.is_empty(), "merge must not run after a shard panic");
+    }
+
+    #[test]
+    fn monolithic_jobs_report_zero_shards() {
+        let r = run_suite(&suite(), 1, Scale::Full, |_| {});
+        assert!(r.iter().all(|j| j.shards == 0));
     }
 }

@@ -6,7 +6,7 @@
 //! false-positive precompute (`ht-ntapi`'s `fp` module) enumerates
 //! colliding key pairs with it.
 
-use ht_asic::hash::{hash_words, HashAlgo};
+use ht_asic::hash::{hash_words, Crc32Fold, HashAlgo};
 
 /// Hash configuration of one compiled query's cuckoo engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +33,38 @@ impl HashConfig {
     /// `h2 = h1 XOR H(digest)` (Cuckoo Filter, the paper's reference \[70\]).  Storing
     /// only the digest still lets an eviction compute the alternate bucket,
     /// which full-key cuckoo hashing could not do on the data plane.
+    ///
+    /// Invariant: `h2(key) == alt_bucket(h1(key), digest(key))` — this is
+    /// the relation the data plane relies on during evictions, and
+    /// [`triple`](Self::triple) preserves it while hashing the key only
+    /// once.
     pub fn h2(&self, key: &[u64]) -> u64 {
-        self.alt_bucket(self.h1(key), self.digest(key))
+        self.triple(key).2
+    }
+
+    /// Computes `(digest, h1, h2)` of a key in one pass.
+    ///
+    /// `digest`, `h1`, and `h2` called separately walk the key bytes five
+    /// times (`h2` recomputes both of the others internally); the
+    /// false-positive precompute hashes millions of keys, so this fuses
+    /// the FNV-1a digest and the CRC-32 bucket into a single byte walk
+    /// and derives `h2` from the invariant
+    /// `h2 = alt_bucket(h1, digest)` — one extra 8-byte CRC-32C over the
+    /// digest instead of a third pass over the key.
+    pub fn triple(&self, key: &[u64]) -> (u64, u64, u64) {
+        let mut crc = Crc32Fold::ieee();
+        let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in key {
+            let bytes = w.to_be_bytes();
+            crc.fold8(bytes);
+            for b in bytes {
+                fnv ^= u64::from(b);
+                fnv = fnv.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let digest = fnv & ((1u64 << self.digest_bits) - 1);
+        let h1 = u64::from(crc.finish()) & ((1 << self.array_bits) - 1);
+        (digest, h1, self.alt_bucket(h1, digest))
     }
 
     /// The alternate bucket of a stored `(bucket, digest)` pair — usable
@@ -84,5 +114,22 @@ mod tests {
         assert!(cfg.digest(&k) < 1 << 16);
         assert!(cfg.h1(&k) < 1 << 16);
         assert_ne!(cfg.h1(&k), cfg.h2(&k));
+    }
+
+    #[test]
+    fn triple_agrees_with_individual_hashes() {
+        for cfg in [
+            HashConfig::default(),
+            HashConfig { array_bits: 14, digest_bits: 32 },
+            HashConfig { array_bits: 20, digest_bits: 8 },
+        ] {
+            for key in [vec![], vec![7u64], vec![1234, 80], vec![u64::MAX, 0, 42]] {
+                let (d, h1, h2) = cfg.triple(&key);
+                assert_eq!(d, cfg.digest(&key));
+                assert_eq!(h1, cfg.h1(&key));
+                assert_eq!(h2, cfg.h2(&key));
+                assert_eq!(h2, cfg.alt_bucket(h1, d), "h2 = alt_bucket(h1, digest)");
+            }
+        }
     }
 }

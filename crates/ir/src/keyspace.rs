@@ -1,0 +1,186 @@
+//! Flat key spaces for the false-positive precompute (§5.2).
+//!
+//! The precompute and the Fig. 17 experiment enumerate millions of keys,
+//! each a fixed-width tuple of `u64` field values.  Representing that as
+//! `Vec<Vec<u64>>` costs one heap allocation per key; [`KeySpace`] stores
+//! all keys in a single contiguous buffer with the width factored out, so
+//! building and iterating a two-million-key space touches exactly one
+//! allocation and rows are handed out as `&[u64]` slices.
+
+use std::cmp::Ordering;
+
+/// A set of fixed-width keys in one contiguous `u64` buffer.
+///
+/// Row `i` occupies `buf[i*width .. (i+1)*width]`.  The key count is
+/// tracked explicitly so zero-width keys (an empty `distinct(keys=[])`
+/// list is expressible in the surface syntax) still have a well-defined
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySpace {
+    width: usize,
+    len: usize,
+    buf: Vec<u64>,
+}
+
+impl KeySpace {
+    /// An empty key space whose keys will have `width` fields each.
+    pub fn new(width: usize) -> Self {
+        KeySpace { width, len: 0, buf: Vec::new() }
+    }
+
+    /// An empty key space with room for `keys` keys pre-allocated.
+    pub fn with_capacity(width: usize, keys: usize) -> Self {
+        KeySpace { width, len: 0, buf: Vec::with_capacity(width * keys) }
+    }
+
+    /// Appends one key.
+    ///
+    /// # Panics
+    /// If `key.len()` differs from the space's width.
+    pub fn push(&mut self, key: &[u64]) {
+        assert_eq!(key.len(), self.width, "key width mismatch");
+        self.buf.extend_from_slice(key);
+        self.len += 1;
+    }
+
+    /// Appends every key of `other`.
+    ///
+    /// # Panics
+    /// If the widths differ.
+    pub fn extend_from_space(&mut self, other: &KeySpace) {
+        assert_eq!(other.width, self.width, "key width mismatch");
+        self.buf.extend_from_slice(&other.buf[..other.len * other.width]);
+        self.len += other.len;
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the space holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fields per key.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The `i`-th key as a slice.
+    ///
+    /// # Panics
+    /// If `i` is out of bounds.
+    pub fn key(&self, i: usize) -> &[u64] {
+        assert!(i < self.len, "key index {i} out of bounds (len {})", self.len);
+        &self.buf[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over the keys in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        let w = self.width;
+        (0..self.len).map(move |i| &self.buf[i * w..(i + 1) * w])
+    }
+
+    /// Builds a space from cloned rows (all rows must share one width).
+    ///
+    /// # Panics
+    /// If the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<u64>]) -> Self {
+        let width = rows.first().map_or(0, Vec::len);
+        let mut s = KeySpace::with_capacity(width, rows.len());
+        for r in rows {
+            s.push(r);
+        }
+        s
+    }
+
+    /// Clones the keys back out as rows (compat with `Vec<Vec<u64>>` APIs).
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        self.iter().map(<[u64]>::to_vec).collect()
+    }
+
+    /// Sorts the keys lexicographically and removes duplicates, matching
+    /// `Vec<Vec<u64>>`'s `sort_unstable(); dedup()` row order.
+    pub fn sort_dedup(&mut self) {
+        let mut order: Vec<u32> = (0..self.len as u32).collect();
+        order.sort_unstable_by(|&a, &b| cmp_rows(&self.buf, self.width, a as usize, b as usize));
+        let mut out = Vec::with_capacity(self.buf.len());
+        let mut kept = 0usize;
+        let mut prev: Option<usize> = None;
+        for &i in &order {
+            let i = i as usize;
+            if let Some(p) = prev {
+                if cmp_rows(&self.buf, self.width, p, i) == Ordering::Equal {
+                    continue;
+                }
+            }
+            out.extend_from_slice(&self.buf[i * self.width..(i + 1) * self.width]);
+            kept += 1;
+            prev = Some(i);
+        }
+        self.buf = out;
+        // Zero-width keys are all equal, so `kept` is at most 1 there too.
+        self.len = kept;
+    }
+}
+
+fn cmp_rows(buf: &[u64], width: usize, a: usize, b: usize) -> Ordering {
+    buf[a * width..(a + 1) * width].cmp(&buf[b * width..(b + 1) * width])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = KeySpace::new(2);
+        s.push(&[1, 2]);
+        s.push(&[3, 4]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.key(0), &[1, 2]);
+        assert_eq!(s.key(1), &[3, 4]);
+        let rows: Vec<&[u64]> = s.iter().collect();
+        assert_eq!(rows, vec![&[1u64, 2][..], &[3, 4]]);
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let rows = vec![vec![5u64, 6], vec![7, 8], vec![1, 2]];
+        let s = KeySpace::from_rows(&rows);
+        assert_eq!(s.to_rows(), rows);
+    }
+
+    #[test]
+    fn sort_dedup_matches_vec_of_rows() {
+        let rows = vec![vec![3u64, 1], vec![1, 2], vec![3, 1], vec![1, 1], vec![1, 2]];
+        let mut s = KeySpace::from_rows(&rows);
+        s.sort_dedup();
+        let mut expected = rows;
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(s.to_rows(), expected);
+    }
+
+    #[test]
+    fn zero_width_keys_are_supported() {
+        let mut s = KeySpace::new(0);
+        s.push(&[]);
+        s.push(&[]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.key(1), &[] as &[u64]);
+        assert_eq!(s.iter().count(), 2);
+        s.sort_dedup();
+        assert_eq!(s.len(), 1, "zero-width keys are all duplicates");
+    }
+
+    #[test]
+    #[should_panic(expected = "key width mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut s = KeySpace::new(2);
+        s.push(&[1]);
+    }
+}

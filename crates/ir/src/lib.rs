@@ -17,6 +17,7 @@
 //! * [`query`] — compiled queries (§5.2).
 //! * [`module`] — the [`Module`] and its [`PipelinePlan`] annotations.
 //! * [`hashcfg`] — cuckoo hash configuration carried by keyed queries.
+//! * [`keyspace`] — flat key spaces for the false-positive precompute.
 //! * [`pass`] — the [`Pass`] trait and [`PassManager`] with per-pass
 //!   diagnostics and timing.
 //! * [`diag`] — diagnostics ([`Diagnostic`], [`LintReport`]).
@@ -28,6 +29,7 @@
 pub mod diag;
 pub mod field;
 pub mod hashcfg;
+pub mod keyspace;
 pub mod module;
 pub mod pass;
 pub mod query;
@@ -37,6 +39,7 @@ pub mod template;
 pub use diag::{json_escape, Diagnostic, LintReport, Severity};
 pub use field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
 pub use hashcfg::HashConfig;
+pub use keyspace::KeySpace;
 pub use module::{AcceleratorPlan, Module, PipelinePlan, TimerPlan};
 pub use pass::{Pass, PassCx, PassManager, PassRun, PassTrace};
 pub use query::{CompiledQuery, FpConfig, QueryKind};

@@ -33,7 +33,7 @@
 //! [`lower_with`] to print the module after any named pass.
 
 use crate::ast::{DistSpec, Program, QueryOp, Value};
-use crate::fp::compute_fp_entries;
+use crate::fp::compute_fp_indices;
 use crate::headerspace::{global_space, SpaceError};
 use ht_asic::timing;
 use ht_ir::{
@@ -779,7 +779,12 @@ fn compile_query(
         };
         let mirror = matches!(out.source, QuerySource::Received(_));
         let space = global_space(&relevant, &keys, mirror)?;
-        let entries = compute_fp_entries(&space, &options.hash);
+        // The precompute works over the flat space and returns indices;
+        // only the (few) diverted keys are cloned into the IR.
+        let entries: Vec<Vec<u64>> = compute_fp_indices(&space, &options.hash)
+            .into_iter()
+            .map(|i| space.key(i).to_vec())
+            .collect();
         out.fp = Some(FpConfig { hash: options.hash, entries, space_size: space.len() });
     }
     Ok(out)

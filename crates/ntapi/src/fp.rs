@@ -10,52 +10,104 @@
 //! diverted to the *exact key matching* table, making the engine
 //! false-positive-free.
 //!
-//! [`compute_fp_entries`] implements the precompute; the Fig. 17 experiment
-//! measures `entries.len()` against the flow count, array size and digest
-//! width.
-
-use std::collections::HashMap;
+//! [`compute_fp_indices`] implements the precompute over a flat
+//! [`KeySpace`], hashing each key exactly once via `HashConfig::triple` and
+//! grouping by digest with a counting sort (no hash map, no per-key
+//! allocation); [`compute_fp_entries`] is the row-cloning compatibility
+//! wrapper.  The Fig. 17 experiment measures the diverted-entry count
+//! against the flow count, array size and digest width.
 
 // `HashConfig` moved to `ht-ir` (it is carried by the IR's `FpConfig` and
-// consumed by every backend); re-exported here under its original path.
-pub use ht_ir::HashConfig;
+// consumed by every backend); re-exported here under its original path,
+// alongside the flat key-space representation.
+pub use ht_ir::{HashConfig, KeySpace};
 
-/// Computes the exact-key-matching entries for a key space: for every pair
-/// of distinct keys with equal digests and overlapping candidate buckets,
-/// one key is diverted to the exact table.
+/// Digest widths up to this many bits group via counting sort (a 2^20
+/// counter array is 4 MB); wider digests fall back to a comparison sort.
+const COUNTING_SORT_MAX_BITS: u32 = 20;
+
+/// Computes the exact-key-matching entries for a key space, returned as
+/// sorted indices into `space`: for every pair of distinct keys with equal
+/// digests and overlapping candidate buckets, one key is diverted to the
+/// exact table.
 ///
 /// Runs in `O(n)` expected time by grouping keys per digest (false-positive
-/// pairs are rare by construction, so groups are tiny).
-pub fn compute_fp_entries(space: &[Vec<u64>], cfg: &HashConfig) -> Vec<Vec<u64>> {
-    // digest → list of (key index, h1, h2)
-    let mut by_digest: HashMap<u64, Vec<(usize, u64, u64)>> = HashMap::new();
-    for (i, key) in space.iter().enumerate() {
-        let d = cfg.digest(key);
-        by_digest.entry(d).or_default().push((i, cfg.h1(key), cfg.h2(key)));
-    }
+/// pairs are rare by construction, so groups are tiny).  Each key is hashed
+/// once (`HashConfig::triple`); grouping is a stable counting sort over the
+/// digest value, so the greedy within-group scan sees keys in index order —
+/// the same diverted set the original per-group hash-map formulation
+/// produced.
+pub fn compute_fp_indices(space: &KeySpace, cfg: &HashConfig) -> Vec<usize> {
+    let n = space.len();
+    ht_asic::sim::metrics::record_fp_keys(n as u64);
+
+    // One fused pass: (digest, h1, h2) per key.
+    let mut trips: Vec<(u64, u64, u64)> = Vec::with_capacity(n);
+    trips.extend(space.iter().map(|key| cfg.triple(key)));
+
+    // Key indices grouped by digest, stable (index order within a group).
+    let order: Vec<u32> = if cfg.digest_bits <= COUNTING_SORT_MAX_BITS {
+        let buckets = 1usize << cfg.digest_bits;
+        let mut counts = vec![0u32; buckets + 1];
+        for t in &trips {
+            counts[t.0 as usize + 1] += 1;
+        }
+        for i in 1..=buckets {
+            counts[i] += counts[i - 1];
+        }
+        let mut order = vec![0u32; n];
+        for (i, t) in trips.iter().enumerate() {
+            let slot = &mut counts[t.0 as usize];
+            order[*slot as usize] = i as u32;
+            *slot += 1;
+        }
+        order
+    } else {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (trips[i as usize].0, i));
+        order
+    };
 
     let mut diverted: Vec<usize> = Vec::new();
-    for group in by_digest.values() {
-        if group.len() < 2 {
-            continue;
+    let mut kept: Vec<(u64, u64)> = Vec::new();
+    let mut g = 0;
+    while g < n {
+        let digest = trips[order[g] as usize].0;
+        let mut end = g + 1;
+        while end < n && trips[order[end] as usize].0 == digest {
+            end += 1;
         }
-        // Within a digest group, a pair is dangerous when their candidate
-        // bucket sets intersect.  Greedily divert the later key of each
-        // dangerous pair (the paper: "puts either tcp.dp=80 or tcp.dp=81
-        // in the exact key matching table").
-        let mut kept: Vec<(usize, u64, u64)> = Vec::with_capacity(group.len());
-        for &(i, h1, h2) in group {
-            let collides =
-                kept.iter().any(|&(_, k1, k2)| h1 == k1 || h1 == k2 || h2 == k1 || h2 == k2);
-            if collides {
-                diverted.push(i);
-            } else {
-                kept.push((i, h1, h2));
+        if end - g >= 2 {
+            // Within a digest group, a pair is dangerous when their
+            // candidate bucket sets intersect.  Greedily divert the later
+            // key of each dangerous pair (the paper: "puts either
+            // tcp.dp=80 or tcp.dp=81 in the exact key matching table").
+            kept.clear();
+            for &i in &order[g..end] {
+                let (_, h1, h2) = trips[i as usize];
+                let collides =
+                    kept.iter().any(|&(k1, k2)| h1 == k1 || h1 == k2 || h2 == k1 || h2 == k2);
+                if collides {
+                    diverted.push(i as usize);
+                } else {
+                    kept.push((h1, h2));
+                }
             }
         }
+        g = end;
     }
     diverted.sort_unstable();
-    diverted.into_iter().map(|i| space[i].clone()).collect()
+    diverted
+}
+
+/// Compatibility wrapper over [`compute_fp_indices`] for row-based callers:
+/// clones the diverted keys out of the space.
+pub fn compute_fp_entries(space: &[Vec<u64>], cfg: &HashConfig) -> Vec<Vec<u64>> {
+    if space.is_empty() {
+        return Vec::new();
+    }
+    let flat = KeySpace::from_rows(space);
+    compute_fp_indices(&flat, cfg).into_iter().map(|i| flat.key(i).to_vec()).collect()
 }
 
 /// True when `key` would be ambiguous against `other` under `cfg` — the
@@ -72,6 +124,7 @@ pub fn is_false_positive_pair(a: &[u64], b: &[u64], cfg: &HashConfig) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn space(n: u64) -> Vec<Vec<u64>> {
         (0..n).map(|i| vec![i, 80]).collect()
@@ -102,6 +155,47 @@ mod tests {
         let narrow = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 16 });
         let wide = compute_fp_entries(&space(n), &HashConfig { array_bits: 16, digest_bits: 32 });
         assert!(wide.len() < narrow.len().max(1), "wide {} narrow {}", wide.len(), narrow.len());
+    }
+
+    #[test]
+    fn indices_match_cloning_wrapper() {
+        // A digest just past `COUNTING_SORT_MAX_BITS` exercises the
+        // comparison-sort grouping path (with a tiny bucket array so digest
+        // groups still collide); a narrow digest the counting sort.  Both
+        // must agree with the wrapper.  Pseudorandom keys, not sequential:
+        // FNV over sequential values is nearly injective in its low ~21
+        // bits, so sequential spaces produce no wide-digest collisions.
+        let mut x = 0x243f_6a88_85a3_08d3u64; // splitmix64 stream
+        let rows: Vec<Vec<u64>> = (0..40_000)
+            .map(|_| {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                vec![z ^ (z >> 31), 80]
+            })
+            .collect();
+        for cfg in [
+            HashConfig { array_bits: 10, digest_bits: 8 },
+            HashConfig { array_bits: 4, digest_bits: COUNTING_SORT_MAX_BITS + 1 },
+        ] {
+            let flat = KeySpace::from_rows(&rows);
+            let idx = compute_fp_indices(&flat, &cfg);
+            let entries = compute_fp_entries(&rows, &cfg);
+            assert!(!idx.is_empty(), "want collisions for {cfg:?}");
+            assert_eq!(idx.len(), entries.len());
+            for (i, e) in idx.iter().zip(&entries) {
+                assert_eq!(flat.key(*i), &e[..]);
+            }
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "indices sorted & distinct");
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let cfg = HashConfig::default();
+        assert!(compute_fp_entries(&[], &cfg).is_empty());
+        assert!(compute_fp_indices(&KeySpace::new(0), &cfg).is_empty());
     }
 
     #[test]

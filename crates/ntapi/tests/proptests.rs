@@ -40,7 +40,7 @@ proptest! {
         let task = compile(&prog).unwrap();
         let space = template_space(&task.templates[0], &[HeaderField::Sport], false).unwrap();
         let expected: Vec<Vec<u64>> = (0..=steps).map(|i| vec![start + i * step]).collect();
-        prop_assert_eq!(space, expected);
+        prop_assert_eq!(space.to_rows(), expected);
     }
 
     /// The fp precompute is sound: after diverting its entries, no two
@@ -69,6 +69,24 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The fused single-pass `triple` matches the three legacy hashes for
+    /// random keys, widths, and hash configurations — `digest`/`h1` still
+    /// walk the key independently, so this pins the fused implementation
+    /// against them, plus the invariant `h2 = alt_bucket(h1, digest)`.
+    #[test]
+    fn triple_matches_legacy_hashes(
+        key in prop::collection::vec(any::<u64>(), 0..6),
+        array_bits in 2u32..20,
+        digest_bits in 2u32..33,
+    ) {
+        let cfg = HashConfig { array_bits, digest_bits };
+        let (digest, h1, h2) = cfg.triple(&key);
+        prop_assert_eq!(digest, cfg.digest(&key));
+        prop_assert_eq!(h1, cfg.h1(&key));
+        prop_assert_eq!(h2, cfg.h2(&key));
+        prop_assert_eq!(h2, cfg.alt_bucket(h1, digest));
     }
 
     /// `alt_bucket` is an involution: alt(alt(b)) == b for every bucket and
