@@ -99,9 +99,9 @@ static CRC32_CASTAGNOLI8: [[u32; 256]; 8] = crc32_tables8(0x82f6_3b78);
 /// An incremental reflected CRC-32 that folds eight bytes per table step.
 ///
 /// The fused key-hash path (`HashConfig::triple`) drives this directly —
-/// one [`fold8`](Self::fold8) per `u64` key word — while [`update`]
-/// (Self::update) handles arbitrary byte slices (8-byte chunks, then a
-/// byte-serial tail).
+/// one [`fold8`](Self::fold8) per `u64` key word — while
+/// [`update`](Self::update) handles arbitrary byte slices (8-byte chunks,
+/// then a byte-serial tail).
 #[derive(Debug, Clone)]
 pub struct Crc32Fold {
     tables: &'static [[u32; 256]; 8],

@@ -233,16 +233,52 @@ impl RegisterArray {
     }
 }
 
+/// One observed SALU overflow event: a `Set` whose operand exceeded the
+/// lane (truncation) or an `Add`/`Sub` that wrapped the stored value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrapEvent {
+    /// The register array the event happened in.
+    pub reg: RegId,
+    /// The slot that wrapped.
+    pub slot: usize,
+}
+
+/// Cap on the retained [`WrapEvent`] log; the total counter keeps
+/// counting past it.
+pub const WRAP_LOG_CAP: usize = 64;
+
 /// All register arrays of one pipeline, accessed by [`RegId`].
 #[derive(Debug, Default)]
 pub struct RegisterFile {
     arrays: Vec<RegisterArray>,
+    trace_wraps: bool,
+    wraps: u64,
+    wrap_log: Vec<WrapEvent>,
 }
 
 impl RegisterFile {
     /// Creates an empty file.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables (or disables) wrap tracing: while on, every SALU update
+    /// that truncates or wraps its lane bumps [`RegisterFile::wraps`] and
+    /// is appended to [`RegisterFile::wrap_log`] (capped at
+    /// [`WRAP_LOG_CAP`] events).  Off by default — the hot path pays
+    /// nothing for it.
+    pub fn set_trace_wraps(&mut self, on: bool) {
+        self.trace_wraps = on;
+    }
+
+    /// Total SALU wrap/truncation events observed while tracing.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+
+    /// The retained wrap events, oldest first.
+    pub fn wrap_log(&self) -> &[WrapEvent] {
+        &self.wrap_log
     }
 
     /// Allocates an array, returning its id.
@@ -312,6 +348,27 @@ impl RegisterFile {
         let update = if cond { &program.on_true } else { &program.on_false };
         let new = update.apply(old, phv, mask);
         arr.values[slot] = new;
+
+        if self.trace_wraps {
+            // Exact overflow semantics of `SaluUpdate::apply`: `Set`
+            // truncates when the raw operand exceeds the lane; `Add`
+            // carries out of it; `Sub` borrows past zero (`old` is always
+            // already lane-masked).
+            let wrapped = match *update {
+                SaluUpdate::Keep => false,
+                SaluUpdate::Set(op) => op.eval(phv) > mask,
+                SaluUpdate::Add(op) => {
+                    u128::from(old) + u128::from(op.eval(phv)) > u128::from(mask)
+                }
+                SaluUpdate::Sub(op) => op.eval(phv) > old,
+            };
+            if wrapped {
+                self.wraps += 1;
+                if self.wrap_log.len() < WRAP_LOG_CAP {
+                    self.wrap_log.push(WrapEvent { reg: id, slot });
+                }
+            }
+        }
 
         match program.output {
             None => new,

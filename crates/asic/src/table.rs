@@ -224,6 +224,20 @@ impl Table {
         entries.chain(std::iter::once(&self.default_action))
     }
 
+    /// Mutable variant of [`Table::actions`]: all installed entries plus
+    /// the default action (last).  The fuzz oracle's differential checks
+    /// use this to neutralize a single action in place (e.g. replace a
+    /// provably-dead edit with `NoOp`) without reinstalling entries.
+    pub fn actions_mut(&mut self) -> impl Iterator<Item = &mut ActionSet> {
+        let entries: Box<dyn Iterator<Item = &mut ActionSet>> = match self.kind {
+            MatchKind::Exact => Box::new(self.exact.values_mut()),
+            MatchKind::Ternary => Box::new(self.ternary.iter_mut().map(|e| &mut e.action)),
+            MatchKind::Range => Box::new(self.range.iter_mut().map(|e| &mut e.action)),
+            MatchKind::Index => Box::new(self.indexed.iter_mut().flatten()),
+        };
+        entries.chain(std::iter::once(&mut self.default_action))
+    }
+
     /// Every installed entry as `(key, priority, action)`, in a
     /// *deterministic* order regardless of insertion history: exact entries
     /// sorted by key, ternary/range entries in stored (priority) order,

@@ -1,0 +1,782 @@
+//! Grammar-driven fuzz oracle cross-checking the static analysis.
+//!
+//! [`run_fuzz`] generates random NTAPI tasks from a small grammar over the
+//! builder API, compiles each one, and cross-checks three invariants the
+//! abstract-interpretation passes promise:
+//!
+//! * **A (accepted ⇒ clean)** — a task the static pipeline accepts
+//!   (compile + task lint + switch lint) must build and simulate without
+//!   a panic.  Rejections are fine; crashes are findings.
+//! * **B (proven facts hold)** — register arrays the analysis certifies
+//!   as never-wrapping ([`ht_lint::proven_nowrap_regs`]) must show zero
+//!   wrap events in the execution trace
+//!   ([`ht_asic::register::RegisterFile::wrap_log`]).
+//! * **C (pass-prefix differential)** — lowering stopped right after
+//!   `task-lint` (i.e. without the `analysis-annotation` pass) must
+//!   produce a module whose simulation digest is byte-identical to the
+//!   fully lowered one: analysis facts are annotations, never semantics.
+//!
+//! A violated invariant is shrunk to a minimal reproducer by greedy
+//! feature removal; minimized counterexamples serialize into a one-line
+//! text form for the corpus under `tests/fuzz_corpus/`
+//! ([`replay_corpus`] re-checks every stored case).
+//!
+//! Everything is deterministic: the generator is a hand-rolled SplitMix64
+//! stream, the simulator seed is fixed, and no wall-clock time is read —
+//! `htctl fuzz --cases N --seed S` always reproduces byte-identically.
+
+use ht_asic::register::RegId;
+use ht_asic::switch::Switch;
+use ht_asic::time::us;
+use ht_asic::World;
+use ht_core::{build, TesterConfig};
+use ht_cpu::SwitchCpu;
+use ht_dut::Sink;
+use ht_lint::proven_nowrap_regs;
+use ht_ntapi::ast::{DistSpec, HeaderField, NtField, ReduceFunc};
+use ht_ntapi::builder::{program, query, trigger};
+use ht_ntapi::{compile, lower_with, CompiledTask, Program};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Ports the fuzz testbed wires tester → sink.
+const SIM_PORTS: u16 = 4;
+/// Template copies injected per trigger.
+const COPIES: usize = 2;
+/// Simulated window per run (picoseconds via [`us`]).
+const WINDOW_US: u64 = 5;
+/// Register slots hashed into the digest per array (bounds digest cost on
+/// deep arrays).
+const DIGEST_SLOTS: usize = 256;
+/// Shrinking budget: maximum re-checks per counterexample.
+const SHRINK_BUDGET: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: tiny, seedable, and stable across platforms — the fuzz
+/// stream must reproduce byte-identically from `--seed`.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The task grammar
+// ---------------------------------------------------------------------------
+
+/// One random trigger: every knob the generator can turn, all
+/// integer-valued so specs serialize to one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerSpec {
+    /// Frame length in bytes (the grammar includes invalid sizes — the
+    /// compiler is expected to reject, not crash).
+    pub frame_len: u64,
+    /// TCP (true) or UDP.
+    pub tcp: bool,
+    /// Destination port (may exceed 16 bits on purpose).
+    pub dport: u64,
+    /// `set(sport, range(lo, hi, step))` — `None` = constant sport.
+    pub sport_range: Option<(u64, u64, u64)>,
+    /// `set(sip, random(uniform, bits))` — `None` = constant sip.
+    pub rand_sip_bits: Option<u32>,
+    /// Explicit inter-departure interval in ns; `None` = line rate.
+    pub interval_ns: Option<u64>,
+    /// Injection ports (duplicates allowed — a lint finding, not a crash).
+    pub ports: Vec<u64>,
+    /// Value-list replay count; 0 = loop forever.
+    pub loops: u64,
+}
+
+/// Query attached to the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// No query.
+    None,
+    /// `query.received().map(pkt_len).reduce(sum)`.
+    ReceivedSum,
+    /// Same, filtered to one port.
+    ReceivedPortSum,
+}
+
+/// One grammar-generated task: triggers plus an optional query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// The triggers, T1..Tn.
+    pub triggers: Vec<TriggerSpec>,
+    /// The query shape.
+    pub query: QuerySpec,
+}
+
+impl TaskSpec {
+    /// Renders the spec through the NTAPI builder into a [`Program`].
+    pub fn to_program(&self) -> Program {
+        let mut trigs = Vec::new();
+        for (i, t) in self.triggers.iter().enumerate() {
+            let name = format!("T{}", i + 1);
+            let mut b = trigger(&name).dip("10.0.0.2").sip("10.0.0.1");
+            b = if t.tcp { b.proto_tcp() } else { b.proto_udp() };
+            b = b.dport(t.dport).frame_len(t.frame_len).loops(t.loops).ports(&t.ports);
+            b = match t.sport_range {
+                Some((lo, hi, step)) => b.sport_range(lo, hi, step),
+                None => b.sport(1000),
+            };
+            if let Some(bits) = t.rand_sip_bits {
+                let hi = 1u64.checked_shl(bits).unwrap_or(u64::MAX);
+                b = b.random(HeaderField::Sip, DistSpec::Uniform { lo: 0, hi }, bits);
+            }
+            if let Some(ns) = t.interval_ns {
+                b = b.interval_ns(ns);
+            }
+            trigs.push(b.build());
+        }
+        let queries = match self.query {
+            QuerySpec::None => vec![],
+            QuerySpec::ReceivedSum => vec![query("Q1")
+                .received()
+                .map([NtField::PktLen])
+                .reduce_all(ReduceFunc::Sum)
+                .build()],
+            QuerySpec::ReceivedPortSum => vec![query("Q1")
+                .received_port(0)
+                .map([NtField::PktLen])
+                .reduce_all(ReduceFunc::Sum)
+                .build()],
+        };
+        program(trigs, queries)
+    }
+
+    /// One-line corpus serialization (inverse of [`TaskSpec::parse`]).
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "query={}",
+            match self.query {
+                QuerySpec::None => "none",
+                QuerySpec::ReceivedSum => "sum",
+                QuerySpec::ReceivedPortSum => "portsum",
+            }
+        );
+        for t in &self.triggers {
+            let sport = match t.sport_range {
+                Some((lo, hi, st)) => format!("{lo}:{hi}:{st}"),
+                None => "-".into(),
+            };
+            let rand = t.rand_sip_bits.map_or("-".into(), |b| b.to_string());
+            let ival = t.interval_ns.map_or("-".into(), |n| n.to_string());
+            let ports = t.ports.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            let _ = write!(
+                s,
+                " trig frame={} tcp={} dport={} sport={sport} rand={rand} interval={ival} \
+                 ports={ports} loops={}",
+                t.frame_len,
+                u8::from(t.tcp),
+                t.dport,
+                t.loops
+            );
+        }
+        s
+    }
+
+    /// Parses the [`TaskSpec::to_line`] form; `None` on any malformed part.
+    pub fn parse(line: &str) -> Option<TaskSpec> {
+        let mut query_kind = QuerySpec::None;
+        let mut triggers: Vec<TriggerSpec> = Vec::new();
+        for tok in line.split_whitespace() {
+            if tok == "trig" {
+                triggers.push(TriggerSpec {
+                    frame_len: 64,
+                    tcp: false,
+                    dport: 80,
+                    sport_range: None,
+                    rand_sip_bits: None,
+                    interval_ns: None,
+                    ports: vec![0],
+                    loops: 0,
+                });
+                continue;
+            }
+            let (k, v) = tok.split_once('=')?;
+            if k == "query" {
+                query_kind = match v {
+                    "none" => QuerySpec::None,
+                    "sum" => QuerySpec::ReceivedSum,
+                    "portsum" => QuerySpec::ReceivedPortSum,
+                    _ => return None,
+                };
+                continue;
+            }
+            let t = triggers.last_mut()?;
+            match k {
+                "frame" => t.frame_len = v.parse().ok()?,
+                "tcp" => t.tcp = v == "1",
+                "dport" => t.dport = v.parse().ok()?,
+                "sport" => {
+                    t.sport_range = if v == "-" {
+                        None
+                    } else {
+                        let mut it = v.split(':');
+                        Some((
+                            it.next()?.parse().ok()?,
+                            it.next()?.parse().ok()?,
+                            it.next()?.parse().ok()?,
+                        ))
+                    }
+                }
+                "rand" => t.rand_sip_bits = if v == "-" { None } else { Some(v.parse().ok()?) },
+                "interval" => t.interval_ns = if v == "-" { None } else { Some(v.parse().ok()?) },
+                "ports" => {
+                    t.ports = v.split(',').map(str::parse).collect::<Result<Vec<u64>, _>>().ok()?
+                }
+                "loops" => t.loops = v.parse().ok()?,
+                _ => return None,
+            }
+        }
+        if triggers.is_empty() {
+            return None;
+        }
+        Some(TaskSpec { triggers, query: query_kind })
+    }
+}
+
+/// Draws one random spec from the grammar.
+pub fn gen_spec(rng: &mut SplitMix64) -> TaskSpec {
+    let n_triggers = 1 + usize::from(rng.chance(30));
+    let triggers = (0..n_triggers)
+        .map(|_| {
+            let sport_range = rng.chance(40).then(|| {
+                let lo = rng.below(70_000);
+                let hi = lo + rng.below(70_000);
+                (lo, hi, rng.below(4)) // step 0 is an intended bad case
+            });
+            TriggerSpec {
+                frame_len: rng.pick(&[60, 64, 128, 256, 512, 1024, 1500, 9000]),
+                tcp: rng.chance(50),
+                dport: rng.below(70_000), // > 65535 is an intended bad case
+                sport_range,
+                rand_sip_bits: rng.chance(40).then(|| rng.below(40) as u32),
+                interval_ns: rng.chance(30).then(|| rng.below(100_000)),
+                ports: (0..1 + rng.below(3)).map(|_| rng.below(u64::from(SIM_PORTS))).collect(),
+                loops: rng.below(3),
+            }
+        })
+        .collect();
+    let query = match rng.below(3) {
+        0 => QuerySpec::None,
+        1 => QuerySpec::ReceivedSum,
+        _ => QuerySpec::ReceivedPortSum,
+    };
+    TaskSpec { triggers, query }
+}
+
+// ---------------------------------------------------------------------------
+// The oracle
+// ---------------------------------------------------------------------------
+
+/// One invariant violation, with the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke: `"A"`, `"B"`, or `"C"`.
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Outcome of checking one spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The static pipeline rejected the task (a legitimate outcome —
+    /// much of the grammar is intentionally out of range).
+    Rejected,
+    /// Accepted, simulated, all invariants held.
+    Accepted,
+    /// An invariant broke.
+    Violated(Violation),
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+struct SimSummary {
+    digest: u64,
+    proven_wrap_events: usize,
+    recirculations: u64,
+}
+
+enum SimResult {
+    /// Switch-level lint (or builder limits) rejected the built program.
+    Rejected,
+    Ran(SimSummary),
+}
+
+/// Builds and simulates one compiled task for a short deterministic
+/// window, digesting sink counters and register state.
+fn simulate(task: &CompiledTask) -> SimResult {
+    let cfg = TesterConfig::builder()
+        .ports(SIM_PORTS)
+        .speed_bps(ht_packet::wire::gbps(100))
+        .build()
+        .expect("fuzz tester config is statically valid");
+    let mut built = match build(task, &cfg) {
+        Ok(b) => b,
+        Err(_) => return SimResult::Rejected,
+    };
+    let proven: HashSet<RegId> = proven_nowrap_regs(&built.switch).into_iter().collect();
+    built.switch.regs.set_trace_wraps(true);
+
+    let mut templates = Vec::new();
+    for i in 0..built.templates.len() {
+        templates.extend(built.template_copies(i, COPIES));
+    }
+    let mut world = World::new(1);
+    let tester = world.add_device(Box::new(built.switch));
+    let sink_id = world.add_device(Box::new(Sink::new("sink")));
+    for p in 0..SIM_PORTS {
+        world.connect((tester, p), (sink_id, p), 0);
+    }
+    SwitchCpu::new().inject_templates(&mut world, tester, templates, 0);
+    world.run_until(us(WINDOW_US));
+
+    let mut h = Fnv::new();
+    {
+        let sink: &Sink = world.device(sink_id);
+        for p in 0..SIM_PORTS {
+            let (frames, bytes) = sink.ports.get(&p).map_or((0, 0), |s| (s.frames, s.bytes));
+            h.u64(u64::from(p));
+            h.u64(frames);
+            h.u64(bytes);
+        }
+    }
+    let sw: &Switch = world.device(tester);
+    for arr in sw.regs.iter() {
+        for i in 0..arr.depth().min(DIGEST_SLOTS) {
+            h.u64(arr.cp_read(i));
+        }
+    }
+    let proven_wrap_events = sw.regs.wrap_log().iter().filter(|e| proven.contains(&e.reg)).count();
+    SimResult::Ran(SimSummary {
+        digest: h.0,
+        proven_wrap_events,
+        recirculations: sw.counters.recirculations,
+    })
+}
+
+/// Both sides of the invariant-C differential for one program, simulated
+/// under identical testbeds.
+pub struct DifferentialDigest {
+    /// Digest of the fully lowered task (all passes, including
+    /// `analysis-annotation`).
+    pub full: u64,
+    /// Digest of the lowering stopped right after `task-lint`.
+    pub prefix: u64,
+    /// Recirculations observed in the full run (lets tests assert the
+    /// fixture really exercised the back edge).
+    pub recirculations: u64,
+}
+
+/// Runs the invariant-C probe on an explicit program: `None` when either
+/// pipeline statically rejects it, otherwise both digests.  Equal digests
+/// certify that `analysis-annotation` is pure annotation.
+pub fn differential_digest(prog: &Program) -> Option<DifferentialDigest> {
+    let task = compile(prog).ok()?;
+    let (pre, _, _) = lower_with(&task.program, task.options, Some("task-lint")).ok()?;
+    let pre_task = CompiledTask {
+        ir: pre,
+        program: task.program.clone(),
+        options: task.options,
+        warnings: Vec::new(),
+    };
+    match (simulate(&task), simulate(&pre_task)) {
+        (SimResult::Ran(f), SimResult::Ran(p)) => Some(DifferentialDigest {
+            full: f.digest,
+            prefix: p.digest,
+            recirculations: f.recirculations,
+        }),
+        _ => None,
+    }
+}
+
+fn check_spec_inner(spec: &TaskSpec) -> CaseOutcome {
+    let prog = spec.to_program();
+    let task = match compile(&prog) {
+        Ok(t) => t,
+        Err(_) => return CaseOutcome::Rejected,
+    };
+    // Invariant C precondition: the same program lowered only through
+    // `task-lint` (no analysis-annotation).
+    let pre = match lower_with(&task.program, task.options, Some("task-lint")) {
+        Ok((module, _, _)) => module,
+        Err(_) => {
+            return CaseOutcome::Violated(Violation {
+                invariant: "C",
+                detail: "prefix lowering failed where full lowering succeeded".into(),
+            })
+        }
+    };
+    let pre_task = CompiledTask {
+        ir: pre,
+        program: task.program.clone(),
+        options: task.options,
+        warnings: Vec::new(),
+    };
+
+    let full = simulate(&task);
+    let prefix = simulate(&pre_task);
+    match (full, prefix) {
+        (SimResult::Rejected, SimResult::Rejected) => CaseOutcome::Rejected,
+        (SimResult::Rejected, SimResult::Ran(_)) | (SimResult::Ran(_), SimResult::Rejected) => {
+            CaseOutcome::Violated(Violation {
+                invariant: "C",
+                detail: "analysis-annotation changed buildability".into(),
+            })
+        }
+        (SimResult::Ran(f), SimResult::Ran(p)) => {
+            if f.digest != p.digest {
+                return CaseOutcome::Violated(Violation {
+                    invariant: "C",
+                    detail: format!(
+                        "digest diverged: full {:#018x} vs prefix {:#018x}",
+                        f.digest, p.digest
+                    ),
+                });
+            }
+            if f.proven_wrap_events > 0 {
+                return CaseOutcome::Violated(Violation {
+                    invariant: "B",
+                    detail: format!(
+                        "{} wrap event(s) on registers certified never-wrapping",
+                        f.proven_wrap_events
+                    ),
+                });
+            }
+            CaseOutcome::Accepted
+        }
+    }
+}
+
+/// Checks one spec against all three invariants.  A panic anywhere in
+/// compile/build/simulate is itself an invariant-A violation.
+pub fn check_spec(spec: &TaskSpec) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(|| check_spec_inner(spec))) {
+        Ok(outcome) => outcome,
+        Err(_) => CaseOutcome::Violated(Violation {
+            invariant: "A",
+            detail: "panic during compile/build/simulate".into(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+fn simplifications(spec: &TaskSpec) -> Vec<TaskSpec> {
+    let mut out = Vec::new();
+    // Drop whole triggers first — the biggest cuts shrink fastest.
+    if spec.triggers.len() > 1 {
+        for i in 0..spec.triggers.len() {
+            let mut s = spec.clone();
+            s.triggers.remove(i);
+            out.push(s);
+        }
+    }
+    if spec.query != QuerySpec::None {
+        let mut s = spec.clone();
+        s.query = QuerySpec::None;
+        out.push(s);
+    }
+    for (i, t) in spec.triggers.iter().enumerate() {
+        let mut field_cuts: Vec<TriggerSpec> = Vec::new();
+        if t.sport_range.is_some() {
+            field_cuts.push(TriggerSpec { sport_range: None, ..t.clone() });
+        }
+        if t.rand_sip_bits.is_some() {
+            field_cuts.push(TriggerSpec { rand_sip_bits: None, ..t.clone() });
+        }
+        if t.interval_ns.is_some() {
+            field_cuts.push(TriggerSpec { interval_ns: None, ..t.clone() });
+        }
+        if t.frame_len != 64 {
+            field_cuts.push(TriggerSpec { frame_len: 64, ..t.clone() });
+        }
+        if t.dport != 80 {
+            field_cuts.push(TriggerSpec { dport: 80, ..t.clone() });
+        }
+        if t.loops != 0 {
+            field_cuts.push(TriggerSpec { loops: 0, ..t.clone() });
+        }
+        if t.ports != [0] {
+            field_cuts.push(TriggerSpec { ports: vec![0], ..t.clone() });
+        }
+        if t.tcp {
+            field_cuts.push(TriggerSpec { tcp: false, ..t.clone() });
+        }
+        for cut in field_cuts {
+            let mut s = spec.clone();
+            s.triggers[i] = cut;
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Greedily shrinks a violating spec: repeatedly adopts the first
+/// simplification that still violates the *same* invariant, within
+/// a fixed budget of re-checks.
+pub fn shrink(spec: &TaskSpec, invariant: &str) -> TaskSpec {
+    let mut current = spec.clone();
+    let mut budget = SHRINK_BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in simplifications(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if let CaseOutcome::Violated(v) = check_spec(&cand) {
+                if v.invariant == invariant {
+                    current = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The campaign
+// ---------------------------------------------------------------------------
+
+/// One confirmed, minimized counterexample.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Zero-based index of the generated case.
+    pub case_index: u64,
+    /// The violated invariant and evidence.
+    pub violation: Violation,
+    /// The original failing spec.
+    pub spec: TaskSpec,
+    /// The shrunk reproducer.
+    pub minimized: TaskSpec,
+}
+
+/// Campaign totals.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases generated.
+    pub cases: u64,
+    /// Cases the static pipeline accepted (and that passed all checks).
+    pub accepted: u64,
+    /// Cases the static pipeline rejected.
+    pub rejected: u64,
+    /// Minimized counterexamples (empty on a healthy build).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Runs `cases` random tasks from `seed` through the oracle, shrinking
+/// every violation.
+pub fn run_fuzz(cases: u64, seed: u64) -> FuzzReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut report = FuzzReport { cases, accepted: 0, rejected: 0, failures: Vec::new() };
+    for i in 0..cases {
+        let spec = gen_spec(&mut rng);
+        match check_spec(&spec) {
+            CaseOutcome::Accepted => report.accepted += 1,
+            CaseOutcome::Rejected => report.rejected += 1,
+            CaseOutcome::Violated(v) => {
+                let minimized = shrink(&spec, v.invariant);
+                report.failures.push(FuzzFailure { case_index: i, violation: v, spec, minimized });
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// Serializes one failure as a corpus file body (comment header + the
+/// one-line spec).
+pub fn corpus_entry(f: &FuzzFailure) -> String {
+    format!(
+        "# invariant {}: {}\n# original: {}\n{}\n",
+        f.violation.invariant,
+        f.violation.detail,
+        f.spec.to_line(),
+        f.minimized.to_line()
+    )
+}
+
+/// Deterministic corpus file name for a failure.
+pub fn corpus_file_name(f: &FuzzFailure) -> String {
+    let mut h = Fnv::new();
+    for b in f.minimized.to_line().bytes() {
+        h.u64(u64::from(b));
+    }
+    format!("{}-{:016x}.case", f.violation.invariant.to_lowercase(), h.0)
+}
+
+/// Writes a failure into the corpus directory, returning the path.
+pub fn write_corpus_entry(dir: &Path, f: &FuzzFailure) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(corpus_file_name(f));
+    std::fs::write(&path, corpus_entry(f))?;
+    Ok(path)
+}
+
+/// Replays every `.case` file in a corpus directory; returns
+/// `(file name, outcome)` per case, sorted by name.  Stored cases are
+/// *fixed* past counterexamples — a replay that violates again is a
+/// regression.
+pub fn replay_corpus(dir: &Path) -> std::io::Result<Vec<(String, CaseOutcome)>> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for path in names {
+        let body = std::fs::read_to_string(&path)?;
+        let spec_line =
+            body.lines().find(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty());
+        let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        match spec_line.and_then(TaskSpec::parse) {
+            Some(spec) => out.push((name, check_spec(&spec))),
+            None => out.push((
+                name,
+                CaseOutcome::Violated(Violation {
+                    invariant: "A",
+                    detail: "unparseable corpus entry".into(),
+                }),
+            )),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_stable() {
+        let mut r = SplitMix64::new(1);
+        // Reference values of the published SplitMix64 algorithm.
+        assert_eq!(r.next_u64(), 0x910a_2dec_8902_5cc1);
+        assert_eq!(r.next_u64(), 0xbeeb_8da1_658e_ec67);
+    }
+
+    #[test]
+    fn spec_line_round_trips() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..50 {
+            let spec = gen_spec(&mut rng);
+            let line = spec.to_line();
+            assert_eq!(TaskSpec::parse(&line).as_ref(), Some(&spec), "{line}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<TaskSpec> = {
+            let mut r = SplitMix64::new(9);
+            (0..20).map(|_| gen_spec(&mut r)).collect()
+        };
+        let b: Vec<TaskSpec> = {
+            let mut r = SplitMix64::new(9);
+            (0..20).map(|_| gen_spec(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoke_campaign_has_no_failures() {
+        let report = run_fuzz(25, 1);
+        assert_eq!(report.cases, 25);
+        assert!(report.accepted > 0, "grammar should produce some valid tasks");
+        assert!(report.rejected > 0, "grammar should produce some invalid tasks");
+        assert!(report.failures.is_empty(), "unexpected counterexamples: {:?}", report.failures);
+    }
+
+    #[test]
+    fn valid_minimal_spec_is_accepted() {
+        let spec = TaskSpec {
+            triggers: vec![TriggerSpec {
+                frame_len: 64,
+                tcp: false,
+                dport: 80,
+                sport_range: None,
+                rand_sip_bits: None,
+                interval_ns: None,
+                ports: vec![0],
+                loops: 0,
+            }],
+            query: QuerySpec::None,
+        };
+        assert_eq!(check_spec(&spec), CaseOutcome::Accepted);
+    }
+
+    #[test]
+    fn out_of_range_dport_is_rejected_not_a_crash() {
+        let spec = TaskSpec {
+            triggers: vec![TriggerSpec {
+                frame_len: 64,
+                tcp: false,
+                dport: 70_000,
+                sport_range: None,
+                rand_sip_bits: None,
+                interval_ns: None,
+                ports: vec![0],
+                loops: 0,
+            }],
+            query: QuerySpec::None,
+        };
+        assert_eq!(check_spec(&spec), CaseOutcome::Rejected);
+    }
+}

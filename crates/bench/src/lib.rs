@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod apps;
 pub mod corpus;
 pub mod experiments;
+pub mod fuzz;
 pub mod harness;
 pub mod resources;
 pub mod suite;

@@ -48,6 +48,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(AblationPrecision),
         Box::new(AblationCuckoo),
         Box::new(HotpathQueueArena),
+        Box::new(FuzzThroughput),
     ]
 }
 
@@ -59,6 +60,9 @@ pub struct Table5Loc;
 impl Experiment for Table5Loc {
     fn name(&self) -> &'static str {
         "table5_loc"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Table 5 — lines of code: NTAPI vs generated P4 vs MoonGen Lua"
@@ -240,6 +244,9 @@ impl Experiment for Fig11Ratectl40g {
     fn name(&self) -> &'static str {
         "fig11_ratectl_40g"
     }
+    fn analysis_facts(&self) -> bool {
+        true
+    }
     fn title(&self) -> &'static str {
         "Fig. 11 — rate-control accuracy at 40G vs MoonGen"
     }
@@ -295,6 +302,9 @@ pub struct Fig12Ratectl100g;
 impl Experiment for Fig12Ratectl100g {
     fn name(&self) -> &'static str {
         "fig12_ratectl_100g"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Fig. 12 — rate-control accuracy at 100G"
@@ -371,6 +381,9 @@ impl Experiment for Fig13RandomQq {
     fn name(&self) -> &'static str {
         "fig13_random_qq"
     }
+    fn analysis_facts(&self) -> bool {
+        true
+    }
     fn title(&self) -> &'static str {
         "Fig. 13 — Q-Q accuracy of data-plane random generation"
     }
@@ -430,6 +443,9 @@ pub struct Fig14Accelerator;
 impl Experiment for Fig14Accelerator {
     fn name(&self) -> &'static str {
         "fig14_accelerator"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Fig. 14 — accelerator RTT and capacity"
@@ -501,6 +517,9 @@ pub struct Fig15Replicator;
 impl Experiment for Fig15Replicator {
     fn name(&self) -> &'static str {
         "fig15_replicator"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Fig. 15 — multicast engine delay"
@@ -882,6 +901,9 @@ impl Experiment for Table7Resources {
     fn name(&self) -> &'static str {
         "table7_resources"
     }
+    fn analysis_facts(&self) -> bool {
+        true
+    }
     fn title(&self) -> &'static str {
         "Table 7 — data-plane resources per component"
     }
@@ -966,6 +988,9 @@ pub struct Fig18DelayCase;
 impl Experiment for Fig18DelayCase {
     fn name(&self) -> &'static str {
         "fig18_delay_case"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Fig. 18 — delay-testing case study"
@@ -1052,6 +1077,9 @@ pub struct Table8Synflood;
 impl Experiment for Table8Synflood {
     fn name(&self) -> &'static str {
         "table8_synflood"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn title(&self) -> &'static str {
         "Table 8 — SYN flood attack emulation"
@@ -1213,6 +1241,9 @@ pub struct AblationPrecision;
 impl Experiment for AblationPrecision {
     fn name(&self) -> &'static str {
         "ablation_precision"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
     }
     fn group(&self) -> &'static str {
         "ablation"
@@ -1400,6 +1431,9 @@ impl Experiment for HotpathQueueArena {
     fn name(&self) -> &'static str {
         "hotpath_queue_arena"
     }
+    fn analysis_facts(&self) -> bool {
+        true
+    }
     fn group(&self) -> &'static str {
         "hotpath"
     }
@@ -1501,6 +1535,70 @@ impl Experiment for HotpathQueueArena {
         }
         out.blank();
         out.say("timer wheel + arena beats the seed loop on both acceptance workloads");
+        out.flush_into(&mut r);
+        r
+    }
+}
+
+// ------------------------------------------------------- Fuzz throughput
+
+/// Fuzz-oracle throughput: a fixed-seed grammar campaign through the full
+/// compile → analyze → simulate differential.
+///
+/// The accept/reject split is deterministic and digested, so grammar or
+/// analysis drift shows up as a bench regression; the cases/sec line is
+/// wall clock and stays out of the digest.
+pub struct FuzzThroughput;
+
+impl Experiment for FuzzThroughput {
+    fn name(&self) -> &'static str {
+        "fuzz_throughput"
+    }
+    fn group(&self) -> &'static str {
+        "hotpath"
+    }
+    fn analysis_facts(&self) -> bool {
+        true
+    }
+    fn title(&self) -> &'static str {
+        "Fuzz oracle — differential cases/sec over the task grammar"
+    }
+    fn weight(&self) -> u32 {
+        2
+    }
+    fn run(&self, scale: Scale) -> RunOutput {
+        let cases: u64 = match scale {
+            Scale::Full => 2_000,
+            Scale::Smoke => 500,
+        };
+        let mut out = Out::new();
+        let mut r = RunOutput::default();
+        out.say("Fuzz oracle — grammar-driven differential campaign (seed 1)");
+        out.blank();
+        let start = std::time::Instant::now();
+        let rep = crate::fuzz::run_fuzz(cases, 1);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        out.say(format!(
+            "cases {}  accepted {}  rejected {}  counterexamples {}",
+            rep.cases,
+            rep.accepted,
+            rep.rejected,
+            rep.failures.len()
+        ));
+        out.set_volatile(true);
+        out.say(format!("throughput: {:.0} cases/sec", cases as f64 / secs));
+        out.set_volatile(false);
+        r.check(
+            "no_counterexamples",
+            rep.failures.is_empty(),
+            format!("{} violation(s)", rep.failures.len()),
+        );
+        r.check(
+            "campaign_mixed",
+            rep.accepted > 0 && rep.rejected > 0,
+            format!("{} accepted / {} rejected", rep.accepted, rep.rejected),
+        );
+        r.extras.push(("fuzz_cases_per_sec".into(), format!("{:.3}", cases as f64 / secs)));
         out.flush_into(&mut r);
         r
     }

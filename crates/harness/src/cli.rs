@@ -133,13 +133,14 @@ pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
         None => suite,
     };
     if opts.list {
-        println!("{:<24} {:<9} {:>6}  title", "name", "group", "shards");
+        println!("{:<24} {:<9} {:>6} {:>5}  title", "name", "group", "shards", "facts");
         for e in &suite {
             let shards = match e.shards(opts.scale).len() {
                 0 => "-".to_string(),
                 n => n.to_string(),
             };
-            println!("{:<24} {:<9} {:>6}  {}", e.name(), e.group(), shards, e.title());
+            let facts = if e.analysis_facts() { "yes" } else { "-" };
+            println!("{:<24} {:<9} {:>6} {:>5}  {}", e.name(), e.group(), shards, facts, e.title());
         }
         return 0;
     }

@@ -203,6 +203,15 @@ pub trait Experiment: Send + Sync {
         1
     }
 
+    /// Whether the experiment's compiled NTAPI tasks carry
+    /// abstract-interpretation facts (a non-empty `analysis` section in
+    /// their IR: field-range or timer-feasibility entries).  Shown as the
+    /// `facts` column of `bench --list` so regressions in the
+    /// `analysis-annotation` pass are easy to localize.
+    fn analysis_facts(&self) -> bool {
+        false
+    }
+
     /// Splits the experiment into independently runnable [`Shard`]s.
     ///
     /// The default (empty) keeps the experiment monolithic: the runner

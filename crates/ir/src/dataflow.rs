@@ -1,0 +1,723 @@
+//! Generic abstract-interpretation engine over pipeline control-flow
+//! graphs.
+//!
+//! The engine is deliberately target-agnostic: `ht-ir` knows nothing about
+//! `ht-asic` tables or PHVs, so the [`Cfg`] is plain node indices and
+//! edges, and clients (the `ht-lint` semantic passes) supply a
+//! [`Transfer`] function that interprets their own node payloads over a
+//! pluggable [`AbstractDomain`].
+//!
+//! Two domains ship here:
+//!
+//! * [`ValueFact`] / [`Env`] — a combined interval + known-bits analysis
+//!   of bounded unsigned values (PHV fields, template counters).  All
+//!   arithmetic mirrors the ASIC's masked wrapping semantics: an update
+//!   that may exceed the field mask widens to the full lane range instead
+//!   of wrapping point-wise.
+//! * [`BitSet`] — a finite powerset domain for reachability and liveness
+//!   facts (live fields, reachable stages/actions).  Backward analyses run
+//!   the same forward solver over [`Cfg::reversed`].
+//!
+//! The solver is a classic forward worklist fixpoint: `⊥` is represented
+//! as `Option::None`, joins happen edge-wise, and **widening** is applied
+//! when merging along [`EdgeKind::Back`] edges (recirculation), which
+//! bounds the interval domain's ascent to one widening per bit of lane
+//! width.  A per-node visit budget backstops divergence in buggy domains.
+
+/// An abstract domain element: a lattice value with `join` (least upper
+/// bound) and `widen` (accelerated join for back edges).
+///
+/// Both return `true` when `self` changed, which drives the worklist.
+/// `⊥` is not part of the trait — the solver models unreachable states as
+/// `None`.
+pub trait AbstractDomain: Clone {
+    /// Joins `other` into `self`; returns whether `self` grew.
+    fn join(&mut self, other: &Self) -> bool;
+
+    /// Widening join used on back edges.  Must guarantee a finite ascent
+    /// chain; defaults to plain [`join`](Self::join) for finite lattices.
+    fn widen(&mut self, other: &Self) -> bool {
+        self.join(other)
+    }
+}
+
+/// Edge classification: forward program order, or a loop back edge
+/// (recirculation) where the solver widens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Ordinary program-order edge.
+    Forward,
+    /// A loop back edge; the solver applies [`AbstractDomain::widen`]
+    /// when merging along it.
+    Back,
+}
+
+/// A control-flow graph over opaque node indices `0..len`.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    entry: usize,
+    succs: Vec<Vec<(usize, EdgeKind)>>,
+}
+
+impl Cfg {
+    /// Creates a graph with `nodes` nodes and no edges, entering at
+    /// `entry`.
+    pub fn new(nodes: usize, entry: usize) -> Self {
+        assert!(entry < nodes, "entry {entry} out of range for {nodes} nodes");
+        Cfg { entry, succs: vec![Vec::new(); nodes] }
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        assert!(from < self.len() && to < self.len(), "edge out of range");
+        self.succs[from].push((to, kind));
+    }
+
+    /// The successors of `node` with their edge kinds.
+    pub fn successors(&self, node: usize) -> &[(usize, EdgeKind)] {
+        &self.succs[node]
+    }
+
+    /// The edge-reversed graph entering at `new_entry` — backward analyses
+    /// (liveness) run the forward solver over this.  Edge kinds are
+    /// preserved, so recirculation back edges still widen.
+    pub fn reversed(&self, new_entry: usize) -> Cfg {
+        let mut rev = Cfg::new(self.len(), new_entry);
+        for (from, succs) in self.succs.iter().enumerate() {
+            for &(to, kind) in succs {
+                rev.add_edge(to, from, kind);
+            }
+        }
+        rev
+    }
+}
+
+/// The transfer function of one analysis: how a node transforms an input
+/// state, and which outgoing edges are feasible under a given state.
+pub trait Transfer<D: AbstractDomain> {
+    /// The state on entry to the graph.
+    fn boundary(&self) -> D;
+
+    /// The state after `node` executes on input `state`.
+    fn flow(&self, node: usize, state: &D) -> D;
+
+    /// The state propagated along the edge `from → to`, or `None` when
+    /// the edge is infeasible under `state` (a proven-dead branch).
+    /// Defaults to propagating `state` unchanged.
+    fn edge(&self, from: usize, to: usize, kind: EdgeKind, state: &D) -> Option<D> {
+        let _ = (from, to, kind);
+        Some(state.clone())
+    }
+}
+
+/// A solved dataflow problem: per-node input and output states.
+/// `None` means the node was proven unreachable.
+#[derive(Debug, Clone)]
+pub struct Solution<D> {
+    /// State on entry to each node (`None` = unreachable).
+    pub pre: Vec<Option<D>>,
+    /// State on exit from each node (`None` = unreachable).
+    pub post: Vec<Option<D>>,
+    /// Total worklist pops until the fixpoint — tests assert this stays
+    /// small to prove widening terminates.
+    pub iterations: usize,
+}
+
+/// Solver failure: a node exceeded its visit budget, meaning the domain's
+/// widening does not enforce a finite ascent chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diverged {
+    /// The node whose state kept growing.
+    pub node: usize,
+    /// The per-node visit budget that was exhausted.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for Diverged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataflow solver diverged at node {} (budget {})", self.node, self.budget)
+    }
+}
+
+impl std::error::Error for Diverged {}
+
+/// Per-node visit budget: generous for any lawful widening (the interval
+/// domain needs at most ~64 widenings per field), tight enough to fail
+/// fast on a broken domain.
+pub const VISIT_BUDGET: usize = 512;
+
+/// Runs the forward worklist solver to fixpoint.
+///
+/// States merge with [`AbstractDomain::join`] along forward edges and
+/// [`AbstractDomain::widen`] along [`EdgeKind::Back`] edges.
+pub fn solve<D: AbstractDomain, T: Transfer<D>>(
+    cfg: &Cfg,
+    transfer: &T,
+) -> Result<Solution<D>, Diverged> {
+    let n = cfg.len();
+    let mut pre: Vec<Option<D>> = vec![None; n];
+    let mut post: Vec<Option<D>> = vec![None; n];
+    let mut visits = vec![0usize; n];
+    let mut queued = vec![false; n];
+    let mut worklist = std::collections::VecDeque::new();
+
+    pre[cfg.entry()] = Some(transfer.boundary());
+    worklist.push_back(cfg.entry());
+    queued[cfg.entry()] = true;
+
+    let mut iterations = 0;
+    while let Some(node) = worklist.pop_front() {
+        queued[node] = false;
+        iterations += 1;
+        visits[node] += 1;
+        if visits[node] > VISIT_BUDGET {
+            return Err(Diverged { node, budget: VISIT_BUDGET });
+        }
+        let input = pre[node].clone().expect("queued node has a pre-state");
+        let out = transfer.flow(node, &input);
+        post[node] = Some(out.clone());
+        for &(succ, kind) in cfg.successors(node) {
+            let Some(st) = transfer.edge(node, succ, kind, &out) else { continue };
+            let changed = match &mut pre[succ] {
+                Some(cur) => match kind {
+                    EdgeKind::Forward => cur.join(&st),
+                    EdgeKind::Back => cur.widen(&st),
+                },
+                slot @ None => {
+                    *slot = Some(st);
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                worklist.push_back(succ);
+            }
+        }
+    }
+    Ok(Solution { pre, post, iterations })
+}
+
+// --------------------------------------------------------------------------
+// Interval + known-bits value domain
+// --------------------------------------------------------------------------
+
+/// Rounds `v` up to `2^k - 1 ≥ v` (saturating at `u64::MAX`) — the
+/// widening targets, giving a ≤64-step ascent chain per bound.
+fn pow2_ceil_minus_one(v: u64) -> u64 {
+    match v.checked_add(1) {
+        Some(n) => n.next_power_of_two().checked_sub(1).unwrap_or(u64::MAX).max(v),
+        None => u64::MAX,
+    }
+}
+
+/// What one bounded unsigned value (a PHV field, a template counter) may
+/// be: a closed interval `[lo, hi]` plus known-bits information
+/// (`value & known_mask == known_val` for every concrete value).
+///
+/// All transformers take the lane `mask` (`2^width - 1`) and mirror the
+/// ASIC's truncating/wrapping semantics conservatively: any update that
+/// may exceed the mask goes to the full lane range rather than wrapping
+/// the interval point-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueFact {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Bits whose value is known in every concrete value.
+    pub known_mask: u64,
+    /// The values of the known bits (`known_val & !known_mask == 0`).
+    pub known_val: u64,
+}
+
+impl ValueFact {
+    /// The fact for exactly `v`.
+    pub fn exact(v: u64) -> Self {
+        ValueFact { lo: v, hi: v, known_mask: u64::MAX, known_val: v }
+    }
+
+    /// The fact for the closed interval `[lo, hi]`.
+    pub fn range(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        ValueFact { lo, hi, known_mask: 0, known_val: 0 }
+    }
+
+    /// The unconstrained fact for a lane of the given `mask`: anything in
+    /// `[0, mask]`, with the bits above the lane known zero.
+    pub fn full(mask: u64) -> Self {
+        ValueFact { lo: 0, hi: mask, known_mask: !mask, known_val: 0 }
+    }
+
+    /// Whether this fact pins a single value (returned if so).
+    pub fn as_const(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether the concrete value `v` is possible under this fact.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi && (v & self.known_mask) == self.known_val
+    }
+
+    /// Intersects with the interval `[lo, hi]`; `None` when the result is
+    /// provably empty (a contradiction).
+    pub fn intersect(&self, lo: u64, hi: u64) -> Option<Self> {
+        let nlo = self.lo.max(lo);
+        let nhi = self.hi.min(hi);
+        if nlo > nhi {
+            return None;
+        }
+        // An exact intersection must also satisfy the known bits.
+        if nlo == nhi && (nlo & self.known_mask) != self.known_val {
+            return None;
+        }
+        Some(ValueFact { lo: nlo, hi: nhi, ..*self })
+    }
+
+    /// Excludes the single value `v` (a `!=` gateway); `None` when this
+    /// fact was exactly `v` (the branch is a contradiction).
+    pub fn exclude(&self, v: u64) -> Option<Self> {
+        if self.as_const() == Some(v) {
+            return None;
+        }
+        let mut r = *self;
+        if r.lo == v {
+            r.lo += 1;
+        } else if r.hi == v {
+            r.hi -= 1;
+        }
+        Some(r)
+    }
+
+    /// The fact after writing a masked constant (`phv.set` semantics).
+    pub fn set_const(value: u64, mask: u64) -> Self {
+        Self::exact(value & mask)
+    }
+
+    /// The fact after copying this value into a lane of `mask` width
+    /// (truncating writes keep the low bits).
+    pub fn copy_into(&self, mask: u64) -> Self {
+        if self.hi <= mask {
+            let mut r = *self;
+            // Bits above the destination lane are known zero.
+            r.known_mask |= !mask;
+            r.known_val &= mask;
+            return r;
+        }
+        Self::full(mask)
+    }
+
+    /// The fact after `self + other` in a lane of `mask` (wrapping).
+    pub fn add(&self, other: &Self, mask: u64) -> Self {
+        let hi = u128::from(self.hi) + u128::from(other.hi);
+        if hi <= u128::from(mask) {
+            Self::range(self.lo + other.lo, hi as u64)
+        } else {
+            Self::full(mask)
+        }
+    }
+
+    /// The fact after `self - other` in a lane of `mask` (wrapping).
+    pub fn sub(&self, other: &Self, mask: u64) -> Self {
+        if other.hi <= self.lo && self.hi <= mask {
+            Self::range(self.lo - other.hi, self.hi - other.lo)
+        } else {
+            Self::full(mask)
+        }
+    }
+
+    /// The fact after `self & c`.
+    pub fn and_const(&self, c: u64) -> Self {
+        ValueFact {
+            lo: 0,
+            hi: self.hi.min(c),
+            // Zero bits of `c` force zeros; known bits that survive keep
+            // their value.
+            known_mask: !c | self.known_mask,
+            known_val: self.known_val & c,
+        }
+    }
+
+    /// The fact after `self | c` in a lane of `mask`.
+    pub fn or_const(&self, c: u64, mask: u64) -> Self {
+        let c = c & mask;
+        ValueFact {
+            lo: self.lo.max(c),
+            hi: (pow2_ceil_minus_one(self.hi) | c).min(mask),
+            // Bits of `c` become known ones; other bits keep what was known.
+            known_mask: self.known_mask | c,
+            known_val: self.known_val | c,
+        }
+        .normalized()
+    }
+
+    /// The fact after `self >> k`.
+    pub fn shr(&self, k: u32) -> Self {
+        if k >= 64 {
+            return Self::exact(0);
+        }
+        ValueFact {
+            lo: self.lo >> k,
+            hi: self.hi >> k,
+            known_mask: (self.known_mask >> k) | !(u64::MAX >> k),
+            known_val: self.known_val >> k,
+        }
+    }
+
+    /// Drops known-bit claims that the interval contradicts (keeps the
+    /// representation canonical after bit-level transformers).
+    fn normalized(mut self) -> Self {
+        self.known_val &= self.known_mask;
+        if self.lo == self.hi {
+            self.known_mask = u64::MAX;
+            self.known_val = self.lo;
+        }
+        self
+    }
+}
+
+impl AbstractDomain for ValueFact {
+    fn join(&mut self, other: &Self) -> bool {
+        let merged = ValueFact {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            // A bit stays known only if both sides know it and agree.
+            known_mask: self.known_mask & other.known_mask & !(self.known_val ^ other.known_val),
+            known_val: self.known_val & other.known_val,
+        };
+        let merged =
+            ValueFact { known_val: merged.known_val & merged.known_mask, ..merged }.normalized();
+        let changed = merged != *self;
+        *self = merged;
+        changed
+    }
+
+    fn widen(&mut self, other: &Self) -> bool {
+        let mut target = *self;
+        if other.lo < target.lo {
+            target.lo = 0;
+        }
+        if other.hi > target.hi {
+            // Jump to the next power-of-two boundary: at most 64 widening
+            // steps per bound.
+            target.hi = pow2_ceil_minus_one(other.hi);
+        }
+        target.known_mask &= other.known_mask & !(target.known_val ^ other.known_val);
+        target.known_val &= target.known_mask;
+        let changed = target != *self;
+        *self = target;
+        changed
+    }
+}
+
+/// A PHV-wide environment: one [`ValueFact`] per field slot, joined
+/// point-wise.  The field-id → slot mapping is the client's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Env {
+    /// Per-slot value facts.
+    pub slots: Vec<ValueFact>,
+}
+
+impl Env {
+    /// An environment of `n` slots, each unconstrained over `u64`.
+    pub fn top(n: usize) -> Self {
+        Env { slots: vec![ValueFact::full(u64::MAX); n] }
+    }
+
+    /// The fact for a slot.
+    pub fn get(&self, slot: usize) -> &ValueFact {
+        &self.slots[slot]
+    }
+
+    /// Replaces the fact for a slot.
+    pub fn set(&mut self, slot: usize, fact: ValueFact) {
+        self.slots[slot] = fact;
+    }
+}
+
+impl AbstractDomain for Env {
+    fn join(&mut self, other: &Self) -> bool {
+        debug_assert_eq!(self.slots.len(), other.slots.len());
+        let mut changed = false;
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            changed |= a.join(b);
+        }
+        changed
+    }
+
+    fn widen(&mut self, other: &Self) -> bool {
+        debug_assert_eq!(self.slots.len(), other.slots.len());
+        let mut changed = false;
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            changed |= a.widen(b);
+        }
+        changed
+    }
+}
+
+// --------------------------------------------------------------------------
+// Powerset domain for reachability / liveness
+// --------------------------------------------------------------------------
+
+/// A finite bit set — the powerset domain used for liveness (live field
+/// ids) and reachability (visited stages/actions).  `join` is set union;
+/// the lattice is finite so widening is plain join.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Inserts `bit`; returns whether it was new.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `bit`.
+    pub fn remove(&mut self, bit: usize) {
+        let (w, b) = (bit / 64, bit % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Whether `bit` is in the set.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter(move |b| word & (1 << b) != 0).map(move |b| w * 64 + b)
+        })
+    }
+
+    /// The number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl AbstractDomain for BitSet {
+    fn join(&mut self, other: &Self) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy straight-line transfer: node `i` adds `incr[i]` to slot 0.
+    struct Adder {
+        incr: Vec<u64>,
+        mask: u64,
+        dead_edges: Vec<(usize, usize)>,
+    }
+
+    impl Transfer<Env> for Adder {
+        fn boundary(&self) -> Env {
+            let mut e = Env::top(1);
+            e.set(0, ValueFact::exact(0));
+            e
+        }
+        fn flow(&self, node: usize, state: &Env) -> Env {
+            let mut out = state.clone();
+            let f = out.get(0).add(&ValueFact::exact(self.incr[node]), self.mask);
+            out.set(0, f);
+            out
+        }
+        fn edge(&self, from: usize, to: usize, _kind: EdgeKind, state: &Env) -> Option<Env> {
+            if self.dead_edges.contains(&(from, to)) {
+                return None;
+            }
+            Some(state.clone())
+        }
+    }
+
+    #[test]
+    fn straight_line_propagates_constants() {
+        // 0 → 1 → 2, adding 1 then 2.
+        let mut cfg = Cfg::new(3, 0);
+        cfg.add_edge(0, 1, EdgeKind::Forward);
+        cfg.add_edge(1, 2, EdgeKind::Forward);
+        let t = Adder { incr: vec![1, 2, 0], mask: u64::MAX, dead_edges: vec![] };
+        let s = solve(&cfg, &t).unwrap();
+        assert_eq!(s.post[1].as_ref().unwrap().get(0).as_const(), Some(3));
+        assert_eq!(s.pre[2].as_ref().unwrap().get(0).as_const(), Some(3));
+    }
+
+    #[test]
+    fn infeasible_edges_leave_targets_unreachable() {
+        let mut cfg = Cfg::new(3, 0);
+        cfg.add_edge(0, 1, EdgeKind::Forward);
+        cfg.add_edge(0, 2, EdgeKind::Forward);
+        let t = Adder { incr: vec![0, 0, 0], mask: u64::MAX, dead_edges: vec![(0, 2)] };
+        let s = solve(&cfg, &t).unwrap();
+        assert!(s.pre[1].is_some());
+        assert!(s.pre[2].is_none(), "edge filter must prove node 2 unreachable");
+    }
+
+    #[test]
+    fn widening_terminates_a_counting_loop() {
+        // 0 → 1 → 2 with a back edge 2 → 1: slot 0 grows by 1 per trip.
+        let mut cfg = Cfg::new(3, 0);
+        cfg.add_edge(0, 1, EdgeKind::Forward);
+        cfg.add_edge(1, 2, EdgeKind::Forward);
+        cfg.add_edge(2, 1, EdgeKind::Back);
+        let t = Adder { incr: vec![0, 1, 0], mask: 0xffff, dead_edges: vec![] };
+        let s = solve(&cfg, &t).unwrap();
+        // Far fewer pops than the 65536 trips a naive join would take.
+        assert!(s.iterations < 100, "{} iterations", s.iterations);
+        let at_loop = s.pre[1].as_ref().unwrap().get(0);
+        assert_eq!(at_loop.lo, 0);
+        assert!(at_loop.hi >= 1, "loop head must include later trips");
+    }
+
+    #[test]
+    fn reversed_cfg_flips_edges() {
+        let mut cfg = Cfg::new(3, 0);
+        cfg.add_edge(0, 1, EdgeKind::Forward);
+        cfg.add_edge(1, 2, EdgeKind::Forward);
+        let rev = cfg.reversed(2);
+        assert_eq!(rev.entry(), 2);
+        assert_eq!(rev.successors(2), &[(1, EdgeKind::Forward)]);
+        assert_eq!(rev.successors(1), &[(0, EdgeKind::Forward)]);
+        assert!(rev.successors(0).is_empty());
+    }
+
+    #[test]
+    fn value_fact_transfer_functions_are_sound() {
+        let mask16 = 0xffffu64;
+        let f = ValueFact::range(10, 20);
+        let g = f.add(&ValueFact::exact(5), mask16);
+        assert_eq!((g.lo, g.hi), (15, 25));
+        // Overflowing adds widen to the lane.
+        let h = ValueFact::range(0xfff0, 0xffff).add(&ValueFact::exact(0x20), mask16);
+        assert_eq!((h.lo, h.hi), (0, 0xffff));
+        // AND bounds above by the constant and forces zeros.
+        let a = ValueFact::full(mask16).and_const(0x00f0);
+        assert!(a.hi <= 0x00f0);
+        assert!(!a.contains(0x0001), "bit 0 is known zero");
+        // OR raises the floor.
+        let o = ValueFact::exact(0).or_const(0x8000, mask16);
+        assert_eq!(o.as_const(), Some(0x8000));
+        // Shifts move both bounds.
+        let s = ValueFact::range(0x100, 0x1ff).shr(4);
+        assert_eq!((s.lo, s.hi), (0x10, 0x1f));
+        // Truncating copy into a narrower lane.
+        let c = ValueFact::exact(0x1ffff).copy_into(mask16);
+        assert_eq!((c.lo, c.hi), (0, 0xffff));
+    }
+
+    #[test]
+    fn intersect_and_exclude_refine_or_contradict() {
+        let f = ValueFact::range(5, 10);
+        assert!(f.intersect(11, 20).is_none(), "disjoint ranges contradict");
+        let r = f.intersect(7, 20).unwrap();
+        assert_eq!((r.lo, r.hi), (7, 10));
+        assert!(ValueFact::exact(3).exclude(3).is_none());
+        let e = ValueFact::range(3, 5).exclude(3).unwrap();
+        assert_eq!(e.lo, 4);
+    }
+
+    #[test]
+    fn known_bits_join_keeps_only_agreement() {
+        let mut a = ValueFact::exact(0b1100);
+        let b = ValueFact::exact(0b1010);
+        assert!(a.join(&b));
+        assert!(a.contains(0b1100) && a.contains(0b1010));
+        // Bit 3 agrees (set), bit 0 agrees (clear).
+        assert_eq!(a.known_mask & 0b1001, 0b1001);
+        assert_eq!(a.known_val & 0b1000, 0b1000);
+        assert!(!a.contains(0b0100), "bit 3 must stay set");
+    }
+
+    #[test]
+    fn bitset_is_a_union_lattice() {
+        let mut a = BitSet::new();
+        a.insert(3);
+        a.insert(70);
+        let mut b = BitSet::new();
+        b.insert(5);
+        assert!(b.join(&a));
+        assert!(!b.join(&a), "second join is a no-op");
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![3, 5, 70]);
+        assert!(b.contains(70) && !b.contains(4));
+        b.remove(70);
+        assert!(!b.contains(70));
+        assert_eq!(b.len(), 2);
+    }
+
+    /// A domain whose widen is (illegally) plain join: the solver's visit
+    /// budget must catch the divergence instead of hanging.
+    #[derive(Clone, Debug)]
+    struct BadCounter(u64);
+    impl AbstractDomain for BadCounter {
+        fn join(&mut self, other: &Self) -> bool {
+            let n = self.0.max(other.0);
+            let changed = n != self.0;
+            self.0 = n;
+            changed
+        }
+    }
+    struct BadTransfer;
+    impl Transfer<BadCounter> for BadTransfer {
+        fn boundary(&self) -> BadCounter {
+            BadCounter(0)
+        }
+        fn flow(&self, _node: usize, state: &BadCounter) -> BadCounter {
+            BadCounter(state.0 + 1)
+        }
+    }
+
+    #[test]
+    fn divergent_domains_fail_fast() {
+        let mut cfg = Cfg::new(2, 0);
+        cfg.add_edge(0, 1, EdgeKind::Forward);
+        cfg.add_edge(1, 0, EdgeKind::Back);
+        let err = solve(&cfg, &BadTransfer).unwrap_err();
+        assert_eq!(err.budget, VISIT_BUDGET);
+    }
+}

@@ -163,6 +163,20 @@ impl LintReport {
     }
 }
 
+/// Renders one file's report as the single JSON object the CLI's `--json`
+/// modes print — the one serializer shared by `htctl lint` and
+/// `htctl analyze` (schema-snapshot-tested, so treat the shape as frozen):
+/// `{"file":…,"diagnostics":[…],"errors":N,"warnings":N}`.
+pub fn report_json(file: &str, report: &LintReport) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"diagnostics\":{},\"errors\":{},\"warnings\":{}}}",
+        json_escape(file),
+        report.to_json(),
+        report.error_count(),
+        report.warning_count(),
+    )
+}
+
 impl std::fmt::Display for LintReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for d in &self.diagnostics {
@@ -189,6 +203,25 @@ mod tests {
         assert!(text.contains("hint: fix it"));
         assert!(text.contains("1 error(s), 1 warning(s)"));
         assert!(!text.contains("odd\n  hint:"), "empty hints are omitted");
+    }
+
+    #[test]
+    fn report_json_schema_snapshot() {
+        // `htctl lint --json` and `htctl analyze --json` both print exactly
+        // this shape; tests/cli.rs pins it end-to-end.  Change both or
+        // neither.
+        let mut r = LintReport::new();
+        r.push(Diagnostic::error("gateway-false", "stage 0", "boom", "fix"));
+        assert_eq!(
+            report_json("tasks/x.ht", &r),
+            "{\"file\":\"tasks/x.ht\",\"diagnostics\":[{\"rule\":\"gateway-false\",\
+             \"severity\":\"error\",\"location\":\"stage 0\",\"message\":\"boom\",\
+             \"hint\":\"fix\"}],\"errors\":1,\"warnings\":0}"
+        );
+        assert_eq!(
+            report_json("a\"b", &LintReport::new()),
+            "{\"file\":\"a\\\"b\",\"diagnostics\":[],\"errors\":0,\"warnings\":0}"
+        );
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //!   diagnostics and timing.
 //! * [`diag`] — diagnostics ([`Diagnostic`], [`LintReport`]).
 //! * [`render`] — deterministic text and JSON dumps of a [`Module`].
+//! * [`dataflow`] — the abstract-interpretation engine (CFG, worklist
+//!   solver with widening, interval/known-bits and powerset domains) the
+//!   semantic verifier passes are built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod field;
 pub mod hashcfg;
@@ -36,11 +40,14 @@ pub mod query;
 pub mod render;
 pub mod template;
 
-pub use diag::{json_escape, Diagnostic, LintReport, Severity};
+pub use dataflow::{AbstractDomain, BitSet, Cfg, EdgeKind, Env, Solution, Transfer, ValueFact};
+pub use diag::{json_escape, report_json, Diagnostic, LintReport, Severity};
 pub use field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
 pub use hashcfg::HashConfig;
 pub use keyspace::KeySpace;
-pub use module::{AcceleratorPlan, Module, PipelinePlan, TimerPlan};
+pub use module::{
+    AcceleratorPlan, AnalysisFacts, FieldRangeFact, Module, PipelinePlan, TimerFact, TimerPlan,
+};
 pub use pass::{Pass, PassCx, PassManager, PassRun, PassTrace};
 pub use query::{CompiledQuery, FpConfig, QueryKind};
 pub use template::{EditSpec, L4Proto, ResponseCopy, TemplateSpec};

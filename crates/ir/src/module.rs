@@ -37,6 +37,55 @@ pub struct AcceleratorPlan {
     pub capacity: usize,
 }
 
+/// One proven value interval for a template-edited header field — the
+/// `analysis-annotation` pass's abstract interpretation of the edit plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldRangeFact {
+    /// Template the edit belongs to.
+    pub template_id: u16,
+    /// NTAPI field name (e.g. `tcp.sport`).
+    pub field: &'static str,
+    /// Proven inclusive lower bound of every value the editor writes.
+    pub lo: u64,
+    /// Proven inclusive upper bound.
+    pub hi: u64,
+}
+
+/// Feasibility of one synthesized rate-control timer against the proven
+/// per-loop byte budget: a template cannot depart faster than its frame
+/// serializes through the recirculation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerFact {
+    /// Template the timer drives.
+    pub template_id: u16,
+    /// Configured interval in picoseconds.
+    pub interval_ps: u64,
+    /// Minimum sustainable interval: one frame's recirculation occupancy.
+    pub min_interval_ps: u64,
+    /// Whether the configured cadence is provably sustainable.
+    pub feasible: bool,
+}
+
+/// Facts the `analysis-annotation` pass proves about the module, rendered
+/// into the golden IR snapshots.  Empty (the default) when the pass has
+/// not run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisFacts {
+    /// Proven value intervals of edited header fields, in template order
+    /// then edit order.
+    pub field_ranges: Vec<FieldRangeFact>,
+    /// Timer feasibility verdicts, in template order (timed triggers
+    /// only).
+    pub timers: Vec<TimerFact>,
+}
+
+impl AnalysisFacts {
+    /// Whether the pass has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.field_ranges.is_empty() && self.timers.is_empty()
+    }
+}
+
 /// Pass-computed annotations over the module: timers and resource use.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelinePlan {
@@ -49,6 +98,9 @@ pub struct PipelinePlan {
     pub logical_stages: usize,
     /// Stage budget the task was admitted against.
     pub stage_budget: usize,
+    /// Facts proven by the `analysis-annotation` pass (empty until it
+    /// runs).
+    pub analysis: AnalysisFacts,
 }
 
 /// A lowered testing task: the typed IR between the NTAPI AST and every

@@ -229,6 +229,25 @@ impl Module {
             let dist = if timer.distribution { " dist" } else { "" };
             let _ = writeln!(w, "  timer template {} {}{}", timer.template_id, cadence, dist);
         }
+        let facts = &self.plan.analysis;
+        if !facts.is_empty() {
+            let _ = writeln!(w, "analysis");
+            for fr in &facts.field_ranges {
+                let _ = writeln!(
+                    w,
+                    "  range template {} {} in [{}, {}]",
+                    fr.template_id, fr.field, fr.lo, fr.hi
+                );
+            }
+            for tf in &facts.timers {
+                let verdict = if tf.feasible { "feasible" } else { "INFEASIBLE" };
+                let _ = writeln!(
+                    w,
+                    "  timer template {} interval {}ps min {}ps {}",
+                    tf.template_id, tf.interval_ps, tf.min_interval_ps, verdict
+                );
+            }
+        }
         out
     }
 
@@ -249,15 +268,41 @@ impl Module {
                 )
             })
             .collect();
+        let ranges: Vec<String> = self
+            .plan
+            .analysis
+            .field_ranges
+            .iter()
+            .map(|fr| {
+                format!(
+                    "{{\"template\":{},\"field\":\"{}\",\"lo\":{},\"hi\":{}}}",
+                    fr.template_id, fr.field, fr.lo, fr.hi
+                )
+            })
+            .collect();
+        let timer_facts: Vec<String> = self
+            .plan
+            .analysis
+            .timers
+            .iter()
+            .map(|tf| {
+                format!(
+                    "{{\"template\":{},\"interval_ps\":{},\"min_interval_ps\":{},\"feasible\":{}}}",
+                    tf.template_id, tf.interval_ps, tf.min_interval_ps, tf.feasible
+                )
+            })
+            .collect();
         format!(
-            "{{\"templates\":[{}],\"queries\":[{}],\"plan\":{{\"logical_stages\":{},\"stage_budget\":{},\"accelerator\":{{\"resident\":{},\"capacity\":{}}},\"timers\":[{}]}}}}",
+            "{{\"templates\":[{}],\"queries\":[{}],\"plan\":{{\"logical_stages\":{},\"stage_budget\":{},\"accelerator\":{{\"resident\":{},\"capacity\":{}}},\"timers\":[{}],\"analysis\":{{\"ranges\":[{}],\"timers\":[{}]}}}}}}",
             templates.join(","),
             queries.join(","),
             self.plan.logical_stages,
             self.plan.stage_budget,
             self.plan.accelerator.resident,
             self.plan.accelerator.capacity,
-            timers.join(",")
+            timers.join(","),
+            ranges.join(","),
+            timer_facts.join(",")
         )
     }
 }
@@ -427,6 +472,7 @@ mod tests {
                 accelerator: AcceleratorPlan { resident: 1, capacity: 89 },
                 logical_stages: 8,
                 stage_budget: 24,
+                analysis: Default::default(),
             },
         }
     }
@@ -462,6 +508,37 @@ mod tests {
         assert!(!j.contains("1017,1018"), "table values must be elided");
         assert!(j.contains("\"kind\":\"distinct\""));
         assert!(j.contains("\"space_size\":7"));
+    }
+
+    #[test]
+    fn analysis_facts_render_after_the_plan_section() {
+        let mut m = sample();
+        assert!(!m.to_text().contains("analysis"), "empty facts add no section");
+        m.plan.analysis = crate::module::AnalysisFacts {
+            field_ranges: vec![crate::module::FieldRangeFact {
+                template_id: 1,
+                field: "sport",
+                lo: 1,
+                hi: 5,
+            }],
+            timers: vec![crate::module::TimerFact {
+                template_id: 1,
+                interval_ps: 1_000_000,
+                min_interval_ps: 5_600_000,
+                feasible: false,
+            }],
+        };
+        let text = m.to_text();
+        let plan_at = text.find("plan\n").unwrap();
+        let analysis_at = text.find("analysis\n").unwrap();
+        assert!(analysis_at > plan_at, "analysis section follows the plan section");
+        assert!(text.contains("  range template 1 sport in [1, 5]"));
+        assert!(text.contains("  timer template 1 interval 1000000ps min 5600000ps INFEASIBLE"));
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"analysis\":{\"ranges\":[{\"template\":1,\"field\":\"sport\",\"lo\":1,\"hi\":5}]"
+        ));
+        assert!(json.contains("\"min_interval_ps\":5600000,\"feasible\":false"));
     }
 
     #[test]

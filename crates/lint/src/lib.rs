@@ -21,10 +21,21 @@
 //! 5. **Replication & recirculation** ([`check_replication`]) — multicast
 //!    members must name real ports; recirculation must be bounded by
 //!    CPU-managed template residency (§5.1's accelerator).
-//! 6. **Gateway contradictions** ([`check_gateways`]) — statically-false
-//!    predicates that turn a table into dead logic.
+//! 6. **Gateway reachability** ([`check_gateways`]) — statically-false or
+//!    semantically-unsatisfiable predicates that turn a table into dead
+//!    logic, proven by abstract interpretation over the pipeline CFG.
+//! 7. **Dead field edits** ([`check_dead_field_edits`]) — metadata writes
+//!    provably overwritten before any read (liveness dataflow).
+//! 8. **Unreachable actions** ([`check_unreachable_actions`]) — installed
+//!    entries whose keys can never match the proven field values.
+//! 9. **SALU value ranges** ([`check_salu_range`]) — stateful-ALU operands
+//!    whose proven range exceeds the register lane and silently wraps.
 //!
-//! The six checks are registered as IR passes ([`switch_passes`]) on the
+//! Passes 6–9 consume the abstract-interpretation dataflow solutions of
+//! the [`analysis`] module (interval/known-bits value analysis and
+//! field liveness over the pipeline CFG, recirculation loop included).
+//!
+//! The nine checks are registered as IR passes ([`switch_passes`]) on the
 //! shared `ht_ir` pass manager; [`lint_switch`] is the thin wrapper that
 //! runs the pipeline once and returns one [`LintReport`].  The builder in
 //! `ht-core` drives the same pipeline during `build`, storing the report
@@ -37,10 +48,10 @@ use ht_asic::action::{IndexSource, PrimitiveOp};
 use ht_asic::parser::ParseGraph;
 use ht_asic::phv::{fields, FieldId, FieldTable};
 use ht_asic::pipeline::Pipeline;
-use ht_asic::register::{Cmp, CondExpr, RegId, SaluOperand, SaluUpdate};
+use ht_asic::register::{CondExpr, RegId, SaluOperand, SaluUpdate};
 use ht_asic::resources::{table_usage, ResourceUsage};
 use ht_asic::switch::Switch;
-use ht_asic::table::{Gateway, Table};
+use ht_asic::table::Table;
 use ht_ir::{Pass, PassCx, PassManager};
 use std::collections::{HashMap, HashSet};
 use std::convert::Infallible;
@@ -50,6 +61,13 @@ use std::convert::Infallible;
 // unified behind one pass manager; re-exported here so existing
 // `ht_lint::…` spellings keep working.
 pub use ht_ir::{json_escape, Diagnostic, LintReport, Severity};
+
+pub mod analysis;
+
+pub use analysis::{
+    analyze_switch, check_dead_field_edits, check_reachability, check_salu_range,
+    check_unreachable_actions, dump_facts, proven_nowrap_regs, SwitchAnalysis, FACT_PASSES,
+};
 
 // ---------------------------------------------------------------------------
 // Op introspection helpers
@@ -81,7 +99,7 @@ fn update_reads(u: &SaluUpdate, out: &mut Vec<FieldId>) {
 
 /// PHV fields an op reads.  Read-modify-write ops (`AddConst` etc.) read
 /// their destination.
-fn op_reads(op: &PrimitiveOp) -> Vec<FieldId> {
+pub(crate) fn op_reads(op: &PrimitiveOp) -> Vec<FieldId> {
     let mut r = Vec::new();
     match op {
         PrimitiveOp::SetConst { .. }
@@ -123,7 +141,7 @@ fn op_reads(op: &PrimitiveOp) -> Vec<FieldId> {
 /// The PHV field an op writes, if any, plus whether the write is a *plain*
 /// ALU write (as opposed to a SALU export, which often exists solely for
 /// CPU readback and is exempt from dead-write analysis).
-fn op_write(op: &PrimitiveOp) -> Option<(FieldId, bool)> {
+pub(crate) fn op_write(op: &PrimitiveOp) -> Option<(FieldId, bool)> {
     match op {
         PrimitiveOp::SetConst { dst, .. }
         | PrimitiveOp::CopyField { dst, .. }
@@ -147,15 +165,15 @@ fn op_salu_reg(op: &PrimitiveOp) -> Option<RegId> {
     }
 }
 
-fn field_name(ft: &FieldTable, f: FieldId) -> String {
+pub(crate) fn field_name(ft: &FieldTable, f: FieldId) -> String {
     ft.def(f).name.clone()
 }
 
-fn is_dynamic(f: FieldId) -> bool {
+pub(crate) fn is_dynamic(f: FieldId) -> bool {
     f.0 >= fields::STANDARD_COUNT
 }
 
-fn pipelines(sw: &Switch) -> [(&'static str, &Pipeline); 2] {
+pub(crate) fn pipelines(sw: &Switch) -> [(&'static str, &Pipeline); 2] {
     [("ingress", &sw.ingress), ("egress", &sw.egress)]
 }
 
@@ -653,123 +671,23 @@ pub fn check_replication(sw: &Switch) -> LintReport {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 6: gateway contradiction detection
+// Pass 6: gateway reachability
 // ---------------------------------------------------------------------------
 
-/// The set of field values satisfying one gateway: an inclusive interval
-/// plus an optional excluded point (for `Ne`).  `None` = empty set.
-#[derive(Clone, Copy)]
-struct GwSet {
-    lo: u64,
-    hi: u64,
-    excluded: Option<u64>,
-}
-
-fn gw_set(gw: &Gateway, mask: u64) -> Option<GwSet> {
-    let v = gw.value;
-    let full = GwSet { lo: 0, hi: mask, excluded: None };
-    match gw.cmp {
-        Cmp::Eq => (v <= mask).then_some(GwSet { lo: v, hi: v, excluded: None }),
-        Cmp::Ne => {
-            if v > mask {
-                Some(full)
-            } else {
-                Some(GwSet { excluded: Some(v), ..full })
-            }
-        }
-        Cmp::Lt => (v > 0).then(|| GwSet { lo: 0, hi: (v - 1).min(mask), excluded: None }),
-        Cmp::Le => Some(GwSet { lo: 0, hi: v.min(mask), excluded: None }),
-        Cmp::Gt => (v < mask).then_some(GwSet { lo: v + 1, hi: mask, excluded: None }),
-        Cmp::Ge => (v <= mask).then_some(GwSet { lo: v, hi: mask, excluded: None }),
-    }
-}
-
-fn gw_is_tautology(s: &GwSet, mask: u64) -> bool {
-    s.lo == 0 && s.hi == mask && s.excluded.is_none()
-}
-
-fn gw_text(ft: &FieldTable, gw: &Gateway) -> String {
-    let op = match gw.cmp {
-        Cmp::Eq => "==",
-        Cmp::Ne => "!=",
-        Cmp::Lt => "<",
-        Cmp::Le => "<=",
-        Cmp::Gt => ">",
-        Cmp::Ge => ">=",
-    };
-    format!("{} {op} {}", ft.def(gw.field).name, gw.value)
-}
-
 /// Detects gateway predicates that are statically false (`gateway-false`),
-/// pairs on the same field whose conjunction is unsatisfiable
-/// (`gateway-contradiction`) — both make the table dead logic — and
+/// conjunctions that are semantically unsatisfiable under the proven field
+/// values (`gateway-contradiction`) — both make the table dead logic — and
 /// predicates that always hold and thus waste a gateway unit
 /// (`gateway-redundant`, warning).
+///
+/// This used to be a syntactic pairwise interval check; it is now a thin
+/// wrapper over the dataflow-based [`check_reachability`], which strictly
+/// subsumes it: same-field pair contradictions still fall out of
+/// sequential refinement, and contradictions only value flow can see
+/// (a gateway against a field an earlier action pinned to a constant)
+/// are caught too.
 pub fn check_gateways(sw: &Switch) -> LintReport {
-    let mut report = LintReport::new();
-    let ft = &sw.fields;
-    for (pname, pipe) in pipelines(sw) {
-        for (si, stage) in pipe.stages.iter().enumerate() {
-            for t in &stage.tables {
-                let at = loc(pname, si, t);
-                let sets: Vec<Option<GwSet>> =
-                    t.gateways().iter().map(|gw| gw_set(gw, ft.mask(gw.field))).collect();
-                for (gw, s) in t.gateways().iter().zip(&sets) {
-                    match s {
-                        None => report.push(Diagnostic::error(
-                            "gateway-false",
-                            at.clone(),
-                            format!(
-                                "gateway `{}` can never hold for a {}-bit field; the table is dead",
-                                gw_text(ft, gw),
-                                ft.width(gw.field)
-                            ),
-                            "remove the table or fix the constant",
-                        )),
-                        Some(s) if gw_is_tautology(s, ft.mask(gw.field)) => {
-                            report.push(Diagnostic::warning(
-                                "gateway-redundant",
-                                at.clone(),
-                                format!(
-                                    "gateway `{}` always holds and wastes a gateway unit",
-                                    gw_text(ft, gw)
-                                ),
-                                "drop the predicate",
-                            ));
-                        }
-                        Some(_) => {}
-                    }
-                }
-                for (ai, (ga, sa)) in t.gateways().iter().zip(&sets).enumerate() {
-                    for (gb, sb) in t.gateways().iter().zip(&sets).skip(ai + 1) {
-                        if ga.field != gb.field {
-                            continue;
-                        }
-                        let (Some(sa), Some(sb)) = (sa, sb) else {
-                            continue; // already reported as gateway-false
-                        };
-                        let lo = sa.lo.max(sb.lo);
-                        let hi = sa.hi.min(sb.hi);
-                        let empty = lo > hi
-                            || (lo == hi && (sa.excluded == Some(lo) || sb.excluded == Some(lo)));
-                        if empty {
-                            report.push(Diagnostic::error(
-                                "gateway-contradiction",
-                                at.clone(),
-                                format!(
-                                    "gateways `{}` and `{}` cannot hold together; the table is dead",
-                                    gw_text(ft, ga),
-                                    gw_text(ft, gb)
-                                ),
-                                "remove the table or correct one predicate",
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    report
+    analysis::check_reachability(sw)
 }
 
 // ---------------------------------------------------------------------------
@@ -794,8 +712,9 @@ impl<'a> Pass<&'a Switch, Infallible> for SwitchPass {
     }
 }
 
-/// The six program checks as an ordered [`PassManager`] pipeline, in the
-/// order [`lint_switch`] has always run them.
+/// The nine program checks as an ordered [`PassManager`] pipeline, in the
+/// order [`lint_switch`] runs them (the historical six first, then the
+/// dataflow-based passes).
 pub fn switch_passes<'a>() -> PassManager<&'a Switch, Infallible> {
     let mut pm = PassManager::new();
     pm.register(SwitchPass { name: "stage-resources", check: check_stage_resources });
@@ -807,6 +726,12 @@ pub fn switch_passes<'a>() -> PassManager<&'a Switch, Infallible> {
     });
     pm.register(SwitchPass { name: "replication", check: check_replication });
     pm.register(SwitchPass { name: "gateways", check: check_gateways });
+    pm.register(SwitchPass { name: "dead-field-edit", check: analysis::check_dead_field_edits });
+    pm.register(SwitchPass {
+        name: "unreachable-action",
+        check: analysis::check_unreachable_actions,
+    });
+    pm.register(SwitchPass { name: "salu-range", check: analysis::check_salu_range });
     pm
 }
 
@@ -835,7 +760,10 @@ mod tests {
                 "salu-discipline",
                 "parse-graph",
                 "replication",
-                "gateways"
+                "gateways",
+                "dead-field-edit",
+                "unreachable-action",
+                "salu-range"
             ]
         );
     }

@@ -5,13 +5,14 @@
 use ht_asic::action::{ActionSet, IndexSource, PrimitiveOp};
 use ht_asic::parser::{ParseGraph, ParseState};
 use ht_asic::phv::fields;
-use ht_asic::register::{Cmp, SaluProgram};
+use ht_asic::register::{Cmp, CondExpr, SaluCond, SaluOperand, SaluProgram, SaluUpdate};
 use ht_asic::switch::Switch;
 use ht_asic::table::{Gateway, MatchKey, MatchKind, Table};
 use ht_asic::tm::McastMember;
 use ht_lint::{
-    check_gateways, check_parse_graph, check_phv_liveness, check_replication,
-    check_salu_discipline, check_stage_resources, lint_switch, Severity,
+    analyze_switch, check_dead_field_edits, check_gateways, check_parse_graph, check_phv_liveness,
+    check_replication, check_salu_discipline, check_salu_range, check_stage_resources,
+    check_unreachable_actions, lint_switch, proven_nowrap_regs, Severity,
 };
 
 /// A minimal valid program: one forwarding table, one port.
@@ -318,6 +319,241 @@ fn satisfiable_gateway_pair_is_clean() {
         .with_gateway(Gateway { field: fields::TCP_SPORT, cmp: Cmp::Le, value: 10 });
     sw.ingress.push_table(t);
     assert!(check_gateways(&sw).diagnostics.is_empty());
+}
+
+#[test]
+fn semantic_contradiction_through_value_flow_is_an_error() {
+    // No single gateway pair is contradictory here — only value flow sees
+    // it: an earlier default action pins the metadata to 3, and a later
+    // gateway demands 5.  The old syntactic pass was blind to this.
+    let mut sw = clean_switch();
+    let mode = sw.fields.intern("meta.mode", 8);
+    let producer = Table::new(
+        "producer",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("pin", vec![PrimitiveOp::SetConst { dst: mode, value: 3 }]),
+    );
+    let consumer =
+        Table::new("consumer", MatchKind::Exact, vec![fields::IPV4_SRC], 4, ActionSet::nop())
+            .with_gateway(Gateway { field: mode, cmp: Cmp::Eq, value: 5 });
+    sw.ingress.push_table(producer);
+    sw.ingress.push_table(consumer);
+    let r = check_gateways(&sw);
+    assert!(r.errors().any(|d| d.rule == "gateway-contradiction"), "{r}");
+}
+
+#[test]
+fn semantically_satisfiable_gateway_on_pinned_field_is_clean() {
+    let mut sw = clean_switch();
+    let mode = sw.fields.intern("meta.mode", 8);
+    let producer = Table::new(
+        "producer",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("pin", vec![PrimitiveOp::SetConst { dst: mode, value: 3 }]),
+    );
+    let consumer =
+        Table::new("consumer", MatchKind::Exact, vec![fields::IPV4_SRC], 4, ActionSet::nop())
+            .with_gateway(Gateway { field: mode, cmp: Cmp::Eq, value: 3 });
+    sw.ingress.push_table(producer);
+    sw.ingress.push_table(consumer);
+    assert!(check_gateways(&sw).diagnostics.is_empty());
+}
+
+// --- pass 7: dead field edits -----------------------------------------------
+
+/// Three-table chain over one metadata field: first writes, second
+/// overwrites, third reads.  Only the first write is dead.
+fn scratch_chain(read_between: bool) -> Switch {
+    let mut sw = clean_switch();
+    let scratch = sw.fields.intern("meta.scratch", 16);
+    let first = Table::new(
+        "first",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("w1", vec![PrimitiveOp::SetConst { dst: scratch, value: 1 }]),
+    );
+    let mut second = Table::new(
+        "second",
+        MatchKind::Exact,
+        vec![fields::IPV4_SRC],
+        4,
+        ActionSet::new("w2", vec![PrimitiveOp::SetConst { dst: scratch, value: 2 }]),
+    );
+    if read_between {
+        // A gateway on the overwriting table reads the first write.
+        second = second.with_gateway(Gateway { field: scratch, cmp: Cmp::Eq, value: 1 });
+    }
+    let third = Table::new("third", MatchKind::Exact, vec![fields::TCP_SPORT], 4, ActionSet::nop())
+        .with_gateway(Gateway { field: scratch, cmp: Cmp::Ge, value: 1 });
+    sw.ingress.push_table(first);
+    sw.ingress.push_table(second);
+    sw.ingress.push_table(third);
+    sw
+}
+
+#[test]
+fn overwritten_before_read_edit_is_a_warning() {
+    let r = check_dead_field_edits(&scratch_chain(false));
+    assert!(!r.has_errors(), "{r}");
+    assert!(
+        r.diagnostics.iter().any(|d| {
+            d.rule == "dead-field-edit"
+                && d.location.contains("table first")
+                && d.message.contains("meta.scratch")
+        }),
+        "{r}"
+    );
+    // The overwrite itself is live (the third table reads it).
+    assert!(!r.diagnostics.iter().any(|d| d.location.contains("table second")), "{r}");
+}
+
+#[test]
+fn edit_with_a_reader_in_between_is_clean() {
+    assert!(check_dead_field_edits(&scratch_chain(true)).diagnostics.is_empty());
+}
+
+// --- pass 8: unreachable table actions --------------------------------------
+
+/// A producer pins `meta.mode` to 3; a matcher keys on it with entries
+/// for 3 and (optionally) 5.
+fn mode_matcher(with_dead_entry: bool) -> Switch {
+    let mut sw = clean_switch();
+    let mode = sw.fields.intern("meta.mode", 8);
+    let producer = Table::new(
+        "producer",
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("pin", vec![PrimitiveOp::SetConst { dst: mode, value: 3 }]),
+    );
+    let mut matcher = Table::new("matcher", MatchKind::Exact, vec![mode], 4, ActionSet::nop());
+    matcher
+        .insert(MatchKey::Exact(vec![3]), ActionSet::new("hit3", vec![PrimitiveOp::NoOp]), 0)
+        .unwrap();
+    if with_dead_entry {
+        matcher
+            .insert(MatchKey::Exact(vec![5]), ActionSet::new("hit5", vec![PrimitiveOp::NoOp]), 0)
+            .unwrap();
+    }
+    sw.ingress.push_table(producer);
+    sw.ingress.push_table(matcher);
+    sw
+}
+
+#[test]
+fn entry_outside_the_proven_range_is_a_warning() {
+    let r = check_unreachable_actions(&mode_matcher(true));
+    assert!(!r.has_errors(), "{r}");
+    let hits: Vec<_> = r.diagnostics.iter().filter(|d| d.rule == "unreachable-action").collect();
+    assert_eq!(hits.len(), 1, "{r}");
+    assert!(hits[0].location.contains("hit5"), "{r}");
+    assert!(hits[0].message.contains("[3, 3]"), "{r}");
+}
+
+#[test]
+fn entries_inside_the_proven_range_are_clean() {
+    assert!(check_unreachable_actions(&mode_matcher(false)).diagnostics.is_empty());
+}
+
+// --- pass 9: SALU value ranges ----------------------------------------------
+
+fn salu_table(sw: &mut Switch, name: &str, width: u32, program: SaluProgram) -> Table {
+    let reg = sw.regs.alloc(name, width, 1);
+    Table::new(
+        name,
+        MatchKind::Exact,
+        vec![fields::IPV4_DST],
+        4,
+        ActionSet::new("a", vec![PrimitiveOp::Salu { reg, index: IndexSource::Const(0), program }]),
+    )
+}
+
+#[test]
+fn operand_wider_than_the_register_lane_is_a_warning() {
+    let mut sw = clean_switch();
+    // tcp.sport spans [0, 65535]; an 8-bit lane silently truncates it.
+    let t =
+        salu_table(&mut sw, "narrow", 8, SaluProgram::write(SaluOperand::Field(fields::TCP_SPORT)));
+    sw.ingress.push_table(t);
+    let r = check_salu_range(&sw);
+    assert!(!r.has_errors(), "{r}");
+    assert!(
+        r.diagnostics.iter().any(|d| {
+            d.rule == "salu-range-overflow"
+                && d.message.contains("tcp.sport")
+                && d.message.contains("8-bit")
+        }),
+        "{r}"
+    );
+}
+
+#[test]
+fn operand_within_the_lane_is_clean() {
+    let mut sw = clean_switch();
+    let t =
+        salu_table(&mut sw, "wide", 32, SaluProgram::write(SaluOperand::Field(fields::TCP_SPORT)));
+    sw.ingress.push_table(t);
+    assert!(check_salu_range(&sw).diagnostics.is_empty());
+}
+
+#[test]
+fn guarded_increment_is_certified_nowrap() {
+    let mut sw = clean_switch();
+    // `if reg < 100 { reg += 1 }` on an 8-bit lane: max stored value 100.
+    let guarded = SaluProgram {
+        condition: Some(SaluCond {
+            expr: CondExpr::Reg,
+            cmp: Cmp::Lt,
+            rhs: SaluOperand::Const(100),
+        }),
+        on_true: SaluUpdate::Add(SaluOperand::Const(1)),
+        on_false: SaluUpdate::Keep,
+        output: None,
+    };
+    let t = salu_table(&mut sw, "bounded", 8, guarded);
+    sw.ingress.push_table(t);
+    // An unguarded counter on the same-width lane is NOT certified.
+    let t2 = salu_table(&mut sw, "unbounded", 8, SaluProgram::fetch_add(fields::TCP_WINDOW));
+    sw.ingress.push_table(t2);
+    let proven = proven_nowrap_regs(&sw);
+    let names: Vec<&str> = proven.iter().map(|r| sw.regs.array(*r).name()).collect();
+    assert!(names.contains(&"bounded"), "{names:?}");
+    assert!(!names.contains(&"unbounded"), "{names:?}");
+}
+
+// --- recirculation back edge ------------------------------------------------
+
+#[test]
+fn recirculating_program_reaches_fixpoint_with_widening() {
+    let mut sw = clean_switch();
+    let laps = sw.fields.intern("meta.laps", 16);
+    // A counter that grows every lap plus an unconditional recirculate:
+    // without widening the interval for `meta.laps` would climb forever.
+    let mut t = Table::new("acc", MatchKind::Exact, vec![fields::TEMPLATE_ID], 4, ActionSet::nop());
+    t.insert(
+        MatchKey::Exact(vec![1]),
+        ActionSet::new(
+            "lap",
+            vec![PrimitiveOp::AddConst { dst: laps, value: 1 }, PrimitiveOp::Recirculate],
+        ),
+        0,
+    )
+    .unwrap();
+    sw.ingress.push_table(t);
+    let a = analyze_switch(&sw).expect("solver must reach a fixpoint");
+    assert!(a.has_back_edge());
+    let (value_iters, live_iters) = a.iterations();
+    // Well under the divergence budget: widening collapses the ascent.
+    assert!(value_iters < 100, "value solver took {value_iters} iterations");
+    assert!(live_iters < 100, "liveness solver took {live_iters} iterations");
+    // And the dataflow passes stay silent on it.
+    assert!(check_dead_field_edits(&sw).diagnostics.is_empty());
+    assert!(check_salu_range(&sw).diagnostics.is_empty());
 }
 
 // --- driver -----------------------------------------------------------------

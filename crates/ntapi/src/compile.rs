@@ -262,6 +262,7 @@ fn lowering_passes() -> PassManager<Lowering, NtapiError> {
     pm.register(QueryLowering);
     pm.register(ResourceAnnotation);
     pm.register(TaskLint);
+    pm.register(AnalysisAnnotation);
     pm
 }
 
@@ -454,6 +455,88 @@ impl Pass<Lowering, NtapiError> for TaskLint {
             return Err(NtapiError::Lint(report.errors().cloned().collect()));
         }
         cx.diagnostics.merge(report);
+        Ok(())
+    }
+}
+
+/// Pass 8: abstract interpretation of the edit plan — per-edit proven
+/// value intervals (the hull of every value the editor can write, folded
+/// through the [`ht_ir::ValueFact`] join) and timer feasibility against
+/// the recirculation rate-control quantum.  Registered after `task-lint`
+/// so `--dump-ir=task-lint` shows the module exactly as verified, before
+/// annotation.  Facts are warnings at most (`timer-rate-infeasible`);
+/// they never deny compilation.
+struct AnalysisAnnotation;
+
+/// The proven interval of one edit spec: the hull of every value its
+/// editor can write, as a [`ht_ir::ValueFact`].
+fn edit_value_fact(e: &EditSpec) -> ht_ir::ValueFact {
+    use ht_ir::{AbstractDomain, ValueFact};
+    let hull = |values: &[u64]| {
+        let mut it = values.iter();
+        let mut fact = ValueFact::exact(*it.next().expect("edits are non-empty"));
+        for &v in it {
+            fact.join(&ValueFact::exact(v));
+        }
+        fact
+    };
+    match e {
+        EditSpec::ValueList { values, .. } | EditSpec::RandomTable { values, .. } => hull(values),
+        EditSpec::Progression { start, end, .. } => {
+            ValueFact::range(*start.min(end), *start.max(end))
+        }
+        EditSpec::RandomUniform { bits, offset, .. } => {
+            let span = 1u64.checked_shl(*bits).map_or(u64::MAX, |v| v - 1);
+            ValueFact::range(*offset, offset.saturating_add(span))
+        }
+    }
+}
+
+impl Pass<Lowering, NtapiError> for AnalysisAnnotation {
+    fn name(&self) -> &'static str {
+        "analysis-annotation"
+    }
+
+    fn run(&self, st: &mut Lowering, cx: &mut PassCx) -> Result<(), NtapiError> {
+        let mut facts = ht_ir::AnalysisFacts::default();
+        for t in &st.module.templates {
+            for e in &t.edits {
+                let fact = edit_value_fact(e);
+                facts.field_ranges.push(ht_ir::FieldRangeFact {
+                    template_id: t.id,
+                    field: e.field().name(),
+                    lo: fact.lo,
+                    hi: fact.hi,
+                });
+            }
+            // Timer feasibility: a constant cadence below the template's
+            // recirculation occupancy cannot be sustained — replicas depart
+            // at most once per loop pass (§5.1 rate-control precision).
+            if let Some(interval) = t.interval {
+                let min = ht_asic::timing::recirc_occupancy(t.frame_len);
+                let feasible = interval >= min;
+                if !feasible {
+                    cx.diagnostics.push(ht_ir::Diagnostic::warning(
+                        "timer-rate-infeasible",
+                        format!("template {} \"{}\"", t.id, t.trigger_name),
+                        format!(
+                            "interval {interval}ps is below the {min}ps recirculation \
+                             occupancy of a {}-byte frame; the replicator will emit at \
+                             the loop rate instead",
+                            t.frame_len
+                        ),
+                        "raise the interval or shrink the frame",
+                    ));
+                }
+                facts.timers.push(ht_ir::TimerFact {
+                    template_id: t.id,
+                    interval_ps: interval,
+                    min_interval_ps: min,
+                    feasible,
+                });
+            }
+        }
+        st.module.plan.analysis = facts;
         Ok(())
     }
 }

@@ -7,6 +7,18 @@
 //!                                         lowering pass (default: all passes)
 //! htctl lint [--json] <task.nt>           static verification; exit 1 on
 //!                                         error diagnostics
+//! htctl analyze [--json] [--dump-facts=PASS] <task.nt>
+//!                                         abstract-interpretation report:
+//!                                         fixpoint stats, certified no-wrap
+//!                                         registers, and the full lint
+//!                                         findings; `--dump-facts` prints
+//!                                         one fact view (value, liveness,
+//!                                         reachability, salu-range)
+//! htctl fuzz [--cases N] [--seed S] [--corpus DIR] [--json]
+//!                                         grammar-driven differential fuzz
+//!                                         of the analysis pipeline; exit 1
+//!                                         and write minimized
+//!                                         counterexamples on any violation
 //! htctl p4 <task.nt>                      emit the generated P4 program
 //! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
 //! htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS]
@@ -27,10 +39,15 @@
 
 use hypertester::asic::time::ms;
 use hypertester::asic::{Switch, World};
+use hypertester::bench::fuzz;
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, query_result, BuildError, Gbps, QueryResult, TesterConfig};
-use hypertester::lint::{json_escape, Diagnostic, LintReport};
+use hypertester::ir::report_json;
+use hypertester::lint::{
+    analyze_switch, dump_facts, json_escape, proven_nowrap_regs, Diagnostic, LintReport,
+    FACT_PASSES,
+};
 use hypertester::ntapi::{
     codegen, compile, loc, lower_with, parse, pass_names, CompileOptions, CompiledTask, NtapiError,
 };
@@ -39,6 +56,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  htctl compile [--json] [--dump-ir[=PASS]] <task.nt>\n  htctl lint [--json] <task.nt>\n  \
+         htctl analyze [--json] [--dump-facts=PASS] <task.nt>\n  \
+         htctl fuzz [--cases N] [--seed S] [--corpus DIR] [--json]\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
          htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n  \
          htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]\n              \
@@ -93,15 +112,20 @@ fn cmd_compile(path: &str, json: bool) -> Result<(), String> {
                 )
             })
             .collect();
+        let warnings: Vec<String> = task.warnings.iter().map(Diagnostic::to_json).collect();
         println!(
-            "{{\"file\":\"{}\",\"ok\":true,\"templates\":[{}],\"queries\":[{}]}}",
+            "{{\"file\":\"{}\",\"ok\":true,\"templates\":[{}],\"queries\":[{}],\"warnings\":[{}]}}",
             json_escape(path),
             templates.join(","),
-            queries.join(",")
+            queries.join(","),
+            warnings.join(",")
         );
         return Ok(());
     }
     println!("task OK: {} trigger(s), {} quer(ies)", task.templates.len(), task.queries.len());
+    for w in &task.warnings {
+        println!("  {w}");
+    }
     for t in &task.templates {
         println!(
             "  template {:>2} {:<4} {:>5} B, ports {:?}, {} edit(s), {}",
@@ -191,17 +215,130 @@ fn lint_findings(path: &str) -> Result<LintReport, String> {
 fn cmd_lint(path: &str, json: bool) -> Result<bool, String> {
     let report = lint_findings(path)?;
     if json {
-        println!(
-            "{{\"file\":\"{}\",\"diagnostics\":{},\"errors\":{},\"warnings\":{}}}",
-            json_escape(path),
-            report.to_json(),
-            report.error_count(),
-            report.warning_count()
-        );
+        println!("{}", report_json(path, &report));
     } else {
         println!("{path}: {report}");
     }
     Ok(report.has_errors())
+}
+
+/// Builds the task's switch program, sized like [`lint_findings`], for the
+/// analysis-only views.
+fn build_switch(path: &str) -> Result<Switch, String> {
+    let (_, task) = load(path)?;
+    let ports =
+        task.templates.iter().flat_map(|t| t.ports.iter().copied()).max().map_or(1, |p| p + 1);
+    let config =
+        TesterConfig::builder().ports(ports).speed(Gbps(100)).build().map_err(|e| e.to_string())?;
+    let tester = build(&task, &config).map_err(|e| e.to_string())?;
+    Ok(tester.switch)
+}
+
+/// `htctl analyze`: the dataflow-analysis view of a task.  `--dump-facts`
+/// prints one deterministic fact table; otherwise prints fixpoint stats,
+/// certified no-wrap registers, and the full lint report (`--json` shares
+/// the `htctl lint --json` serializer).
+fn cmd_analyze(path: &str, json: bool, dump: Option<&str>) -> Result<bool, String> {
+    if let Some(pass) = dump {
+        let sw = build_switch(path)?;
+        return match dump_facts(&sw, pass) {
+            Some(text) => {
+                print!("{text}");
+                Ok(false)
+            }
+            None => Err(format!(
+                "unknown fact pass: {pass} (expected one of {})",
+                FACT_PASSES.join(", ")
+            )),
+        };
+    }
+    let report = lint_findings(path)?;
+    if json {
+        println!("{}", report_json(path, &report));
+        return Ok(report.has_errors());
+    }
+    // On a build failure the diagnostics below already explain why.
+    if let Ok(sw) = build_switch(path) {
+        match analyze_switch(&sw) {
+            Some(a) => {
+                let (vi, li) = a.iterations();
+                println!(
+                    "{path}: fixpoint in {vi} value / {li} liveness iteration(s){}",
+                    if a.has_back_edge() { " (recirculation back edge, widened)" } else { "" }
+                );
+                let names: Vec<&str> =
+                    proven_nowrap_regs(&sw).iter().map(|&r| sw.regs.array(r).name()).collect();
+                println!(
+                    "{path}: certified no-wrap registers: {}",
+                    if names.is_empty() { "(none)".into() } else { names.join(", ") }
+                );
+            }
+            None => println!("{path}: analysis diverged; syntactic passes only"),
+        }
+    }
+    println!("{path}: {report}");
+    Ok(report.has_errors())
+}
+
+/// `htctl fuzz`: runs the grammar-driven differential campaign and writes
+/// minimized counterexamples into the corpus directory.  Exit 1 on any
+/// violation.
+fn cmd_fuzz(cases: u64, seed: u64, corpus: Option<&str>, json: bool) -> Result<bool, String> {
+    let report = fuzz::run_fuzz(cases, seed);
+    let mut written: Vec<String> = Vec::new();
+    if let Some(dir) = corpus {
+        for f in &report.failures {
+            let path = fuzz::write_corpus_entry(std::path::Path::new(dir), f)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            written.push(path.display().to_string());
+        }
+    }
+    if json {
+        let failures: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"case\":{},\"invariant\":\"{}\",\"detail\":\"{}\",\"minimized\":\"{}\"}}",
+                    f.case_index,
+                    f.violation.invariant,
+                    json_escape(&f.violation.detail),
+                    json_escape(&f.minimized.to_line())
+                )
+            })
+            .collect();
+        println!(
+            "{{\"cases\":{},\"seed\":{},\"accepted\":{},\"rejected\":{},\"failures\":[{}]}}",
+            report.cases,
+            seed,
+            report.accepted,
+            report.rejected,
+            failures.join(",")
+        );
+    } else {
+        println!(
+            "fuzz: {} case(s), seed {}: {} accepted, {} rejected, {} counterexample(s)",
+            report.cases,
+            seed,
+            report.accepted,
+            report.rejected,
+            report.failures.len()
+        );
+        for (i, f) in report.failures.iter().enumerate() {
+            println!(
+                "  [{}] case {} invariant {}: {}",
+                i + 1,
+                f.case_index,
+                f.violation.invariant,
+                f.violation.detail
+            );
+            println!("      minimized: {}", f.minimized.to_line());
+            if let Some(p) = written.get(i) {
+                println!("      written to {p}");
+            }
+        }
+    }
+    Ok(!report.failures.is_empty())
 }
 
 fn cmd_p4(path: &str) -> Result<(), String> {
@@ -387,6 +524,75 @@ fn main() -> ExitCode {
             return usage();
         }
         return match cmd_lint(path, json) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cmd == "analyze" {
+        let json = rest.iter().any(|a| a == "--json");
+        let mut dump: Option<String> = None;
+        for a in rest.iter().filter(|a| a.starts_with("--") && *a != "--json") {
+            if let Some(pass) = a.strip_prefix("--dump-facts=") {
+                dump = Some(pass.to_string());
+            } else {
+                return usage();
+            }
+        }
+        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+        let [path] = paths[..] else {
+            return usage();
+        };
+        return match cmd_analyze(path, json, dump.as_deref()) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cmd == "fuzz" {
+        let mut cases = 200u64;
+        let mut seed = 1u64;
+        let mut corpus: Option<String> = None;
+        let mut json = false;
+        let mut it = rest.iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--json" => json = true,
+                flag @ ("--cases" | "--seed" | "--corpus") => {
+                    let Some(val) = it.next() else {
+                        eprintln!("missing value for {flag}");
+                        return usage();
+                    };
+                    match flag {
+                        "--corpus" => corpus = Some(val.clone()),
+                        _ => {
+                            let Ok(v) = val.parse::<u64>() else {
+                                eprintln!("bad value for {flag}: {val}");
+                                return usage();
+                            };
+                            if flag == "--cases" {
+                                cases = v;
+                            } else {
+                                seed = v;
+                            }
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("bad flag: {other}");
+                    return usage();
+                }
+            }
+        }
+        return match cmd_fuzz(cases, seed, corpus.as_deref(), json) {
             Ok(false) => ExitCode::SUCCESS,
             Ok(true) => ExitCode::FAILURE,
             Err(e) => {

@@ -197,3 +197,92 @@ fn bench_smoke_filter_emits_bench_json() {
     assert!(stdout.contains("\"name\":\"table5_loc\""), "{stdout}");
     assert!(stdout.contains("\"digest\":"), "{stdout}");
 }
+
+#[test]
+fn compile_surfaces_task_warnings() {
+    let dir = std::env::temp_dir().join("htctl-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let warn = dir.join("warn.nt");
+    std::fs::write(
+        &warn,
+        "T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(pkt_len, 64)\n\
+         \x20   .set(interval, 2ns)",
+    )
+    .unwrap();
+    let path = warn.to_str().unwrap();
+    let (stdout, _, ok) = htctl(&["compile", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("warning[timer-rate-infeasible]"), "{stdout}");
+    let (stdout, _, ok) = htctl(&["compile", "--json", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"warnings\":[{\"rule\":\"timer-rate-infeasible\""), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_fixpoint_and_certified_registers() {
+    let (stdout, _, ok) = htctl(&["analyze", &task_path("scan.nt")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fixpoint in"), "{stdout}");
+    assert!(stdout.contains("recirculation back edge, widened"), "{stdout}");
+    assert!(stdout.contains("certified no-wrap registers:"), "{stdout}");
+}
+
+#[test]
+fn analyze_json_shares_the_lint_schema() {
+    let path = task_path("syn_flood.nt");
+    let (analyze, _, ok_a) = htctl(&["analyze", "--json", &path]);
+    let (lint, _, ok_l) = htctl(&["lint", "--json", &path]);
+    assert!(ok_a && ok_l);
+    // One serializer (ht_ir::report_json) feeds both subcommands: on a
+    // clean task the objects are byte-identical.
+    assert_eq!(analyze, lint);
+    assert!(analyze.contains("\"diagnostics\":["), "{analyze}");
+}
+
+#[test]
+fn analyze_dumps_each_fact_pass() {
+    for (pass, needle) in [
+        ("value", "field intervals"),
+        ("liveness", "fields live"),
+        ("reachability", "reachability"),
+        ("salu-range", "never to wrap"),
+    ] {
+        let (stdout, _, ok) =
+            htctl(&["analyze", &format!("--dump-facts={pass}"), &task_path("scan.nt")]);
+        assert!(ok, "pass {pass}: {stdout}");
+        assert!(stdout.to_lowercase().contains(needle), "pass {pass}: {stdout}");
+    }
+    let (_, stderr, code) = htctl_code(&["analyze", "--dump-facts=bogus", &task_path("scan.nt")]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown fact pass"), "{stderr}");
+}
+
+#[test]
+fn fuzz_fixed_seed_campaign_is_clean_and_deterministic() {
+    let (a, _, ok_a) = htctl(&["fuzz", "--cases", "60", "--seed", "7"]);
+    let (b, _, ok_b) = htctl(&["fuzz", "--cases", "60", "--seed", "7"]);
+    assert!(ok_a && ok_b, "{a}");
+    assert_eq!(a, b, "campaign must be deterministic per seed");
+    assert!(a.contains("0 counterexample(s)"), "{a}");
+}
+
+#[test]
+fn fuzz_json_reports_the_case_mix() {
+    let (stdout, _, ok) = htctl(&["fuzz", "--cases", "40", "--seed", "3", "--json"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"cases\":40"), "{stdout}");
+    assert!(stdout.contains("\"seed\":3"), "{stdout}");
+    assert!(stdout.contains("\"failures\":[]"), "{stdout}");
+}
+
+#[test]
+fn bench_list_shows_analysis_facts_column() {
+    let (stdout, _, ok) = htctl(&["bench", "--list"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("facts"), "{stdout}");
+    assert!(stdout.contains("fuzz_throughput"), "{stdout}");
+    let ratectl = stdout.lines().find(|l| l.starts_with("fig11_ratectl_40g")).unwrap();
+    assert!(ratectl.contains("yes"), "{ratectl}");
+    let cost = stdout.lines().find(|l| l.starts_with("table6_cost")).unwrap();
+    assert!(!cost.contains("yes"), "{cost}");
+}

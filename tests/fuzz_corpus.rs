@@ -1,0 +1,53 @@
+//! Corpus replay and the recirculation differential-digest pin.
+//!
+//! Every `.case` file under `tests/fuzz_corpus/` is a past (or seeded)
+//! counterexample of the fuzz oracle; replaying them must never surface a
+//! violation again.  The differential test pins satellite invariant C on a
+//! shipped task that recirculates: the `analysis-annotation` pass must not
+//! change a single simulated byte.
+
+use hypertester::bench::fuzz::{differential_digest, replay_corpus, CaseOutcome};
+use hypertester::ntapi::parse;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_corpus")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let results = replay_corpus(&corpus_dir()).expect("corpus directory readable");
+    assert!(!results.is_empty(), "corpus should hold at least the seed cases");
+    for (name, outcome) in &results {
+        assert!(!matches!(outcome, CaseOutcome::Violated(_)), "{name} violated again: {outcome:?}");
+    }
+}
+
+#[test]
+fn seed_minimal_is_accepted_and_bad_dport_rejected() {
+    let results = replay_corpus(&corpus_dir()).expect("corpus directory readable");
+    let outcome = |n: &str| {
+        results
+            .iter()
+            .find(|(name, _)| name == n)
+            .unwrap_or_else(|| panic!("{n} missing from corpus"))
+            .1
+            .clone()
+    };
+    assert_eq!(outcome("seed-minimal.case"), CaseOutcome::Accepted);
+    assert_eq!(outcome("seed-bad-dport.case"), CaseOutcome::Rejected);
+}
+
+#[test]
+fn analysis_annotation_preserves_recirculating_digest() {
+    let src = std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("tasks/scan.nt"))
+        .expect("shipped task");
+    let prog = parse(&src).expect("parse scan.nt");
+    let d = differential_digest(&prog).expect("scan.nt builds on the fuzz testbed");
+    assert!(
+        d.recirculations >= 2,
+        "fixture must recirculate at least twice, saw {}",
+        d.recirculations
+    );
+    assert_eq!(d.full, d.prefix, "analysis-annotation changed the simulated byte stream");
+}
