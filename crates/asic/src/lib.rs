@@ -23,6 +23,7 @@
 //! * [`mac`] — port MACs with line-rate serialization.
 //! * [`switch`] — the switch device.
 //! * [`sim`] — event queue, world, links with fault injection.
+//! * [`parallel`] — partitioned engines under conservative lookahead.
 //! * [`timerwheel`] — hierarchical timer wheel backing the event queue.
 //! * [`arena`] — thread-local buffer pooling for per-packet allocations.
 //! * [`resources`] — the seven-class resource model of the paper's Table 7.
@@ -38,6 +39,7 @@ pub mod fingerprint;
 pub mod hash;
 pub mod mac;
 pub mod packet;
+pub mod parallel;
 pub mod parser;
 pub mod phv;
 pub mod pipeline;
@@ -53,7 +55,10 @@ pub mod tm;
 
 pub use packet::SimPacket;
 pub use phv::{fields, FieldId, FieldTable, Phv};
-pub use sim::{Device, DeviceId, Outbox, QueueKind, World};
+pub use sim::{
+    Device, DeviceId, LinkSpec, Outbox, QueueKind, SimThreads, World, WorldBuilder,
+    WorldConfigError,
+};
 pub use switch::Switch;
 pub use time::SimTime;
 pub use timerwheel::TimerWheel;

@@ -1,0 +1,547 @@
+//! Partitioned event engines synchronized by conservative lookahead.
+//!
+//! A topology whose device groups are separated by *nonzero-delay* links
+//! can run as independent event engines: a packet crossing a link with
+//! delay `d` sent while the sender is at time `t` arrives at `t + d`, so
+//! an engine may safely process every event up to
+//! `min over in-neighbors n of (commit(n) + delay(n→me))` — the
+//! *lookahead horizon* — without ever seeing an event out of order.  The
+//! classic Chandy–Misra–Bryant argument gives both safety (an engine that
+//! committed `c` has processed everything `≤ c` and every later send
+//! arrives strictly after `c + d`) and progress (the minimum-commit engine
+//! always has a horizon strictly above its commit, so commits strictly
+//! increase until `t_end`).
+//!
+//! The protocol is barrier-free: each engine loops
+//! *snapshot neighbor commits → drain inboxes → process to horizon →
+//! flush sends → publish commit*, with the commit stored `Release` after
+//! the sends so a peer that observes the commit also observes every
+//! message it covers.  Cross-engine packets travel through bounded
+//! per-(sender, receiver) channels (single producer, single consumer by
+//! construction); a sender facing a full channel drains its own inboxes
+//! while it waits, so a cycle of full channels cannot deadlock.
+//!
+//! Determinism: the event key ([`crate::sim::EvKey`]) is a pure
+//! function of each device's behavior, never of engine interleaving, so
+//! the partitioned pop order per device group equals the serial order and
+//! results are bit-for-bit identical at any engine count.
+//!
+//! **Partitioning policy** (see `try_run_until`): zero-delay links merge
+//! their endpoints into one group (no lookahead across them); any link
+//! with faults (loss, corruption, jitter) pins the whole world to the
+//! serial loop, because fault decisions consume the world's single RNG in
+//! global event order; one resulting group, one granted thread, or an
+//! empty horizon likewise fall back to the serial loop.
+
+use crate::packet::SimPacket;
+use crate::sim::{
+    Device, DeviceId, EvKey, EventKind, EventQueue, Outbox, SimThreads, TraceEntry, World,
+    WorldStats,
+};
+use crate::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The process-wide engine-thread pool shared by experiment-level and
+/// engine-level parallelism.
+///
+/// `htctl --sim-threads N` configures `N - 1` *extra* tokens; a world
+/// built with [`SimThreads::Auto`] acquires up to `groups - 1` tokens for
+/// the duration of one `run_until` and releases them afterwards, so
+/// concurrently running experiments share one budget instead of
+/// oversubscribing the machine.  [`SimThreads::Fixed`] bypasses the pool
+/// (the caller asked for an exact engine count).
+pub mod budget {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static EXTRA: AtomicUsize = AtomicUsize::new(0);
+
+    /// Sets the number of extra engine threads available process-wide
+    /// (`--sim-threads N` ⇒ `N - 1`).  Zero (the default) keeps every
+    /// `Auto` world serial.
+    pub fn configure(extra: usize) {
+        EXTRA.store(extra, Ordering::SeqCst);
+    }
+
+    /// Extra engine threads currently unclaimed.
+    pub fn available() -> usize {
+        EXTRA.load(Ordering::SeqCst)
+    }
+
+    /// Claims up to `want` tokens, returning how many were granted.
+    pub(crate) fn try_acquire(want: usize) -> usize {
+        let mut cur = EXTRA.load(Ordering::SeqCst);
+        loop {
+            let take = want.min(cur);
+            if take == 0 {
+                return 0;
+            }
+            match EXTRA.compare_exchange(cur, cur - take, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return take,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns `n` previously claimed tokens to the pool.
+    pub(crate) fn release(n: usize) {
+        if n > 0 {
+            EXTRA.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Soft bound on queued messages per cross-engine channel; a sender seeing
+/// the channel at capacity waits (draining its own inboxes) until the
+/// receiver catches up.
+const CHAN_CAP: usize = 1 << 16;
+/// Sends buffered per target before a mid-processing flush.
+const FLUSH_BATCH: usize = 256;
+
+/// A packet delivery crossing engines.  The key travels with the event,
+/// so the receiver's queue reproduces the serial pop order.
+struct Msg {
+    at: SimTime,
+    key: EvKey,
+    device: DeviceId,
+    port: u16,
+    pkt: SimPacket,
+}
+
+/// Read-mostly state shared by all engines of one partitioned run.
+struct Shared {
+    /// Committed time per engine: everything `≤ commits[e]` is processed
+    /// and flushed.  `u64::MAX` once the engine exits.
+    commits: Vec<AtomicU64>,
+    /// `chan[to][from]`: single-producer single-consumer message queues.
+    chan: Vec<Vec<Mutex<VecDeque<Msg>>>>,
+    /// `in_delay[to][from]`: minimum delay of any link from engine `from`
+    /// into engine `to`; `SimTime::MAX` when no such link exists.
+    in_delay: Vec<Vec<SimTime>>,
+    t_end: SimTime,
+}
+
+/// A link as seen by the engine owning its source device.
+struct LocalLink {
+    peer: (DeviceId, u16),
+    delay: SimTime,
+    /// Engine owning the receiving device.
+    target: u32,
+}
+
+/// One event engine: a subset of the world's devices plus their queue.
+struct Engine {
+    id: usize,
+    /// Full-length device table; only slots this engine owns are `Some`.
+    devices: Vec<Option<Box<dyn Device>>>,
+    /// Full-length counter table; only owned slots are meaningful.
+    ctrs: Vec<u64>,
+    links: HashMap<(DeviceId, u16), LocalLink>,
+    queue: EventQueue,
+    scratch: Outbox,
+    now: SimTime,
+    stats: WorldStats,
+    /// Outgoing messages buffered per target engine.
+    out: Vec<Vec<Msg>>,
+    trace: Vec<TraceEntry>,
+    trace_depth: usize,
+}
+
+impl Engine {
+    /// Moves every pending inbox message into the local queue.  Returns
+    /// whether anything arrived.
+    fn drain_inboxes(&mut self, sh: &Shared) -> bool {
+        let mut any = false;
+        for from in 0..sh.chan.len() {
+            if from == self.id || sh.in_delay[self.id][from] == SimTime::MAX {
+                continue;
+            }
+            let mut ch = sh.chan[self.id][from].lock().unwrap();
+            while let Some(m) = ch.pop_front() {
+                self.queue.push(
+                    m.at,
+                    m.key,
+                    EventKind::Deliver { device: m.device, port: m.port, pkt: m.pkt },
+                );
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Appends the buffered sends for `target` to its channel, waiting
+    /// (and draining our own inboxes, to stay deadlock-free) while the
+    /// channel is at capacity.
+    fn flush_to(&mut self, sh: &Shared, target: usize) {
+        loop {
+            {
+                let mut ch = sh.chan[target][self.id].lock().unwrap();
+                if ch.len() < CHAN_CAP {
+                    ch.extend(self.out[target].drain(..));
+                    return;
+                }
+            }
+            self.drain_inboxes(sh);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Flushes every non-empty send buffer.
+    fn flush_all(&mut self, sh: &Shared) {
+        for t in 0..self.out.len() {
+            if !self.out[t].is_empty() {
+                self.flush_to(sh, t);
+            }
+        }
+    }
+
+    /// Processes one local event (the engine-side mirror of
+    /// `World::step`, minus fault injection — faulty links force the
+    /// serial loop).
+    fn step(&mut self, sh: &Shared) {
+        let Some((at, key, kind)) = self.queue.pop() else {
+            return;
+        };
+        debug_assert!(at >= self.now, "engine queue went backwards");
+        self.now = at;
+        self.stats.events += 1;
+        World::record_trace(&mut self.trace, self.trace_depth, at, key, &kind);
+
+        let mut out = std::mem::take(&mut self.scratch);
+        let device = kind.device();
+        let dev = self.devices[device].as_mut().expect("event routed to non-owned device");
+        match kind {
+            EventKind::Deliver { port, pkt, .. } => dev.rx(port, pkt, at, &mut out),
+            EventKind::Wake { token, .. } => dev.wake(token, at, &mut out),
+        }
+        self.flush_outbox(device, &mut out, sh);
+        self.scratch = out;
+    }
+
+    fn flush_outbox(&mut self, device: DeviceId, out: &mut Outbox, sh: &Shared) {
+        for (token, at) in out.wakes.drain(..) {
+            let key = EvKey::device(self.now, device, self.ctrs[device]);
+            self.ctrs[device] += 1;
+            self.queue.push(at.max(self.now), key, EventKind::Wake { device, token });
+        }
+        for (port, pkt, at) in out.emits.drain(..) {
+            let Some(link) = self.links.get(&(device, port)) else {
+                self.stats.dangling_emits += 1;
+                continue;
+            };
+            let key = EvKey::device(self.now, device, self.ctrs[device]);
+            self.ctrs[device] += 1;
+            let arrival = at.max(self.now) + link.delay;
+            let (peer_dev, peer_port) = link.peer;
+            let target = link.target as usize;
+            if target == self.id {
+                self.queue.push(
+                    arrival,
+                    key,
+                    EventKind::Deliver { device: peer_dev, port: peer_port, pkt },
+                );
+            } else {
+                self.out[target].push(Msg {
+                    at: arrival,
+                    key,
+                    device: peer_dev,
+                    port: peer_port,
+                    pkt,
+                });
+                if self.out[target].len() >= FLUSH_BATCH {
+                    self.flush_to(sh, target);
+                }
+            }
+        }
+    }
+}
+
+/// Publishes `u64::MAX` as the engine's commit when the engine leaves its
+/// loop — normally or by unwinding — so peers never spin on a dead engine.
+struct CommitGuard<'a>(&'a AtomicU64);
+
+impl Drop for CommitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(u64::MAX, Ordering::Release);
+    }
+}
+
+/// The engine worker loop: the barrier-free horizon protocol.
+fn run_engine(e: &mut Engine, sh: &Shared) {
+    let me = e.id;
+    let _guard = CommitGuard(&sh.commits[me]);
+    loop {
+        // 1. Snapshot in-neighbor commits (Acquire pairs with their
+        //    post-flush Release store, so observing a commit implies
+        //    observing every message it covers).
+        let mut horizon = sh.t_end;
+        let mut all_done = true;
+        for n in 0..sh.commits.len() {
+            if n == me {
+                continue;
+            }
+            let d = sh.in_delay[me][n];
+            if d == SimTime::MAX {
+                continue;
+            }
+            let c = sh.commits[n].load(Ordering::Acquire);
+            if c < sh.t_end {
+                all_done = false;
+            }
+            horizon = horizon.min(c.saturating_add(d));
+        }
+        // 2. Ingest everything those commits cover.
+        let mut progress = e.drain_inboxes(sh);
+        // 3. Process local events up to the horizon (inclusive: a
+        //    neighbor's later sends arrive strictly after commit + delay).
+        while let Some(at) = e.queue.peek_min_at() {
+            if at > horizon {
+                break;
+            }
+            e.step(sh);
+            progress = true;
+        }
+        // 4. Publish sends, then the commit.
+        e.flush_all(sh);
+        let prev = sh.commits[me].load(Ordering::Relaxed);
+        if horizon > prev {
+            sh.commits[me].store(horizon, Ordering::Release);
+        }
+        // 5. Exit once every in-neighbor had committed t_end *before* the
+        //    drain above — no event ≤ t_end can still be in flight to us.
+        if horizon >= sh.t_end && all_done {
+            return;
+        }
+        if !progress {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Disjoint-set find with path halving.
+fn find(dsu: &mut [usize], mut x: usize) -> usize {
+    while dsu[x] != x {
+        dsu[x] = dsu[dsu[x]];
+        x = dsu[x];
+    }
+    x
+}
+
+/// Attempts to run `world` partitioned until `t_end`.  Returns the events
+/// processed, or `None` when the serial fallback applies (see the module
+/// docs for the policy).
+pub(crate) fn try_run_until(world: &mut World, t_end: SimTime) -> Option<u64> {
+    let want = match world.sim_threads {
+        SimThreads::Fixed(n) => n,
+        SimThreads::Auto => usize::MAX,
+    };
+    let n_dev = world.devices.len();
+    if want <= 1 || n_dev < 2 {
+        return None;
+    }
+    if world.links.values().any(|l| l.has_faults()) {
+        return None;
+    }
+    match world.queue.peek_min_at() {
+        Some(at) if at <= t_end => {}
+        _ => return None, // nothing to do before t_end
+    }
+
+    // Contract zero-delay links: no lookahead exists across them.
+    let mut dsu: Vec<usize> = (0..n_dev).collect();
+    for (&(a, _), l) in &world.links {
+        if l.delay == 0 {
+            let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, l.peer.0));
+            dsu[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    let mut group_of = vec![usize::MAX; n_dev];
+    let mut n_groups = 0;
+    for d in 0..n_dev {
+        let r = find(&mut dsu, d);
+        if group_of[r] == usize::MAX {
+            group_of[r] = n_groups;
+            n_groups += 1;
+        }
+        group_of[d] = group_of[r];
+    }
+    if n_groups < 2 {
+        return None;
+    }
+
+    // Resolve the engine count, drawing from the shared pool under Auto.
+    let (n_eng, from_pool) = match world.sim_threads {
+        SimThreads::Fixed(n) => (n.min(n_groups), 0),
+        SimThreads::Auto => {
+            let got = budget::try_acquire(n_groups - 1);
+            (1 + got, got)
+        }
+    };
+    if n_eng < 2 {
+        budget::release(from_pool);
+        return None;
+    }
+
+    // LPT: biggest groups first onto the least-loaded engine.  The
+    // assignment only affects speed — the event key is partition-
+    // independent, so any assignment yields identical results.
+    let mut g_size = vec![0usize; n_groups];
+    for d in 0..n_dev {
+        g_size[group_of[d]] += 1;
+    }
+    let mut order: Vec<usize> = (0..n_groups).collect();
+    order.sort_by_key(|&g| (std::cmp::Reverse(g_size[g]), g));
+    let mut load = vec![0usize; n_eng];
+    let mut eng_of_group = vec![0u32; n_groups];
+    for g in order {
+        let e = (0..n_eng).min_by_key(|&e| (load[e], e)).expect("n_eng >= 2");
+        eng_of_group[g] = e as u32;
+        load[e] += g_size[g];
+    }
+    let dev_engine: Vec<u32> = (0..n_dev).map(|d| eng_of_group[group_of[d]]).collect();
+
+    // Minimum directed cross-engine delay (every cross link has delay > 0
+    // — zero-delay links were contracted into one group).
+    let mut in_delay = vec![vec![SimTime::MAX; n_eng]; n_eng];
+    for (&(a, _), l) in &world.links {
+        let (ea, eb) = (dev_engine[a] as usize, dev_engine[l.peer.0] as usize);
+        if ea != eb {
+            let d = &mut in_delay[eb][ea];
+            *d = (*d).min(l.delay);
+        }
+    }
+
+    // Build the engines: move devices and counters in, split the queue by
+    // target device, hand each engine the links of its own devices.
+    world.started = true;
+    let mut engines: Vec<Engine> = (0..n_eng)
+        .map(|id| Engine {
+            id,
+            devices: (0..n_dev).map(|_| None).collect(),
+            ctrs: vec![0; n_dev],
+            links: HashMap::new(),
+            queue: EventQueue::new(world.qkind),
+            scratch: Outbox::default(),
+            now: world.now,
+            stats: WorldStats::default(),
+            out: (0..n_eng).map(|_| Vec::new()).collect(),
+            trace: Vec::new(),
+            trace_depth: world.trace_depth,
+        })
+        .collect();
+    for (d, dev) in std::mem::take(&mut world.devices).into_iter().enumerate() {
+        let e = dev_engine[d] as usize;
+        engines[e].devices[d] = Some(dev);
+        engines[e].ctrs[d] = world.ctrs[d];
+    }
+    for (&(a, p), l) in &world.links {
+        let e = dev_engine[a] as usize;
+        engines[e].links.insert(
+            (a, p),
+            LocalLink { peer: l.peer, delay: l.delay, target: dev_engine[l.peer.0] },
+        );
+    }
+    while let Some((at, key, kind)) = world.queue.pop() {
+        engines[dev_engine[kind.device()] as usize].queue.push(at, key, kind);
+    }
+
+    let shared = Shared {
+        commits: (0..n_eng).map(|_| AtomicU64::new(world.now)).collect(),
+        chan: (0..n_eng)
+            .map(|_| (0..n_eng).map(|_| Mutex::new(VecDeque::new())).collect())
+            .collect(),
+        in_delay,
+        t_end,
+    };
+
+    let engines: Vec<Engine> = std::thread::scope(|s| {
+        let shared = &shared;
+        let handles: Vec<_> = engines
+            .into_iter()
+            .map(|mut e| {
+                s.spawn(move || {
+                    run_engine(&mut e, shared);
+                    e
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("engine thread panicked")).collect()
+    });
+
+    // Reassemble the world: devices and counters back in place, leftover
+    // events (beyond t_end) re-queued, stats summed.
+    budget::release(from_pool);
+    let mut devices: Vec<Option<Box<dyn Device>>> = (0..n_dev).map(|_| None).collect();
+    let mut total = 0u64;
+    let mut new_trace: Vec<TraceEntry> = Vec::new();
+    for mut e in engines {
+        total += e.stats.events;
+        world.stats.events += e.stats.events;
+        world.stats.dangling_emits += e.stats.dangling_emits;
+        world.engine_peak = world.engine_peak.max(e.queue.peak_len() as u64);
+        for (d, slot) in e.devices.iter_mut().enumerate() {
+            if let Some(dev) = slot.take() {
+                devices[d] = Some(dev);
+                world.ctrs[d] = e.ctrs[d];
+            }
+        }
+        while let Some((at, key, kind)) = e.queue.pop() {
+            world.queue.push(at, key, kind);
+        }
+        new_trace.append(&mut e.trace);
+    }
+    world.devices = devices.into_iter().map(|d| d.expect("device not returned")).collect();
+    // Channel residue: deliveries beyond t_end sent after the receiver
+    // exited (protocol invariant: anything ≤ t_end was consumed).
+    for row in &shared.chan {
+        for ch in row {
+            for m in ch.lock().unwrap().drain(..) {
+                debug_assert!(m.at > t_end, "in-flight event within the horizon");
+                world.queue.push(
+                    m.at,
+                    m.key,
+                    EventKind::Deliver { device: m.device, port: m.port, pkt: m.pkt },
+                );
+            }
+        }
+    }
+    if world.trace_depth > 0 {
+        // Engine traces interleave deterministically by (at, key).
+        new_trace.sort_by_key(|t| (t.at, t.key));
+        world.trace.append(&mut new_trace);
+        let len = world.trace.len();
+        if len > world.trace_depth {
+            world.trace.drain(..len - world.trace_depth);
+        }
+    }
+    world.now = world.now.max(t_end);
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_acquire_is_clamped_and_released() {
+        // Single test touching the global pool (the suite runs tests
+        // concurrently; other tests use SimThreads::Fixed, which bypasses
+        // it).
+        budget::configure(3);
+        assert_eq!(budget::available(), 3);
+        assert_eq!(budget::try_acquire(2), 2);
+        assert_eq!(budget::try_acquire(5), 1);
+        assert_eq!(budget::try_acquire(1), 0);
+        budget::release(3);
+        assert_eq!(budget::available(), 3);
+        budget::configure(0);
+    }
+
+    #[test]
+    fn find_contracts_chains() {
+        let mut dsu = vec![0, 0, 1, 3];
+        assert_eq!(find(&mut dsu, 2), 0);
+        assert_eq!(find(&mut dsu, 3), 3);
+    }
+}

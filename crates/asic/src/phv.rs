@@ -274,6 +274,20 @@ impl Phv {
         self.set_masked(id, value, table.width(id));
     }
 
+    /// Writes several fields in one call.
+    ///
+    /// Semantically identical to calling [`set`](Self::set) per pair, but
+    /// the hot per-packet paths (metadata reset on port ingress, multicast
+    /// replica fix-up, MAC flush) issue one bounds-checked batch instead of
+    /// eight separate calls, which the optimizer turns into straight-line
+    /// stores.
+    #[inline]
+    pub fn set_batch(&mut self, table: &FieldTable, edits: &[(FieldId, u64)]) {
+        for &(id, value) in edits {
+            self.set_masked(id, value, table.width(id));
+        }
+    }
+
     /// Number of slots.
     pub fn len(&self) -> usize {
         self.values.0.len()

@@ -18,7 +18,10 @@ use crate::resources::ResourceUsage;
 use crate::table::Table;
 
 /// A stateful pipeline component with table-equivalent semantics.
-pub trait Extern: std::fmt::Debug {
+///
+/// `Send` so the switch hosting the component can migrate onto a
+/// partitioned-world engine thread (see [`crate::parallel`]).
+pub trait Extern: std::fmt::Debug + Send {
     /// Component name, for diagnostics.
     fn name(&self) -> &str;
 

@@ -1,14 +1,22 @@
 //! The discrete-event simulation world: devices, links and the event queue.
 //!
 //! A [`World`] owns a set of [`Device`]s (switches, servers, sinks) wired
-//! together by point-to-point [`Link`]s.  Devices communicate only through
-//! the event queue: a handler returns emissions/wake requests in an
-//! [`Outbox`], and the world turns emissions into future `Deliver` events on
-//! the link peer.  Two events at the same instant are ordered by insertion
-//! sequence, making every run fully deterministic for a given seed.
+//! together by point-to-point links ([`LinkSpec`]).  Devices communicate
+//! only through the event queue: a handler returns emissions/wake requests
+//! in an [`Outbox`], and the world turns emissions into future `Deliver`
+//! events on the link peer.  Same-instant events are ordered by a
+//! *schedule-independent* key ([`EvKey`]): the creating handler's instant,
+//! the creator's identity, and a per-creator counter.  The key depends only
+//! on what each device did, never on which thread ran it, so a run is
+//! bit-for-bit deterministic for a given seed at any engine count.
 //!
-//! Links support smoltcp-style fault injection (random drop and corruption)
-//! for the failure-handling tests.
+//! Worlds are constructed through [`World::builder`]; topologies whose
+//! device groups are separated by nonzero-delay links can run partitioned
+//! across worker threads (see [`crate::parallel`]), falling back to the
+//! serial loop otherwise.
+//!
+//! Links support smoltcp-style fault injection (random drop, corruption
+//! and jitter) for the failure-handling tests.
 
 use crate::packet::SimPacket;
 use crate::phv::{fields, FieldId};
@@ -23,7 +31,9 @@ use std::collections::{BinaryHeap, HashMap};
 /// Per-thread simulation counters, aggregated across every [`World`] that
 /// ran on the thread.  The parallel experiment harness snapshots these
 /// around each job to report events and queue pressure per experiment
-/// without threading a context object through every device.
+/// without threading a context object through every device.  A partitioned
+/// world folds its engines' counters back into the owning thread's cells
+/// when it is dropped, so the numbers stay complete under `--sim-threads`.
 pub mod metrics {
     use std::cell::Cell;
 
@@ -87,7 +97,10 @@ impl Outbox {
 }
 
 /// A network element participating in the simulation.
-pub trait Device: Any {
+///
+/// Devices are `Send` so a partitioned world can move them onto engine
+/// worker threads; they are still only ever driven by one thread at a time.
+pub trait Device: Any + Send {
     /// Device name, for diagnostics.
     fn name(&self) -> &str;
 
@@ -104,6 +117,55 @@ pub trait Device: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Typed builder for a bidirectional link: propagation delay plus optional
+/// fault injection.  The scenario layer's single extension point for link
+/// impairments.
+///
+/// ```
+/// # use ht_asic::sim::{LinkSpec, World};
+/// # let mut w = World::builder().build().unwrap();
+/// # let a = 0; let b = 0;
+/// // w.link((a, 0), (b, 0), LinkSpec::new().delay(5_000).loss(0.01));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkSpec {
+    delay: SimTime,
+    drop_chance: f64,
+    corrupt_chance: f64,
+    jitter: SimTime,
+}
+
+impl LinkSpec {
+    /// A zero-delay, fault-free link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Propagation delay added to every delivery.
+    pub fn delay(mut self, delay: SimTime) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Probability a packet is silently dropped.
+    pub fn loss(mut self, chance: f64) -> Self {
+        self.drop_chance = chance;
+        self
+    }
+
+    /// Probability one header field gets a bit flipped.
+    pub fn corrupt(mut self, chance: f64) -> Self {
+        self.corrupt_chance = chance;
+        self
+    }
+
+    /// Uniform random extra delay in `0..=jitter` per delivery.
+    pub fn jitter(mut self, jitter: SimTime) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
 /// One direction of a link out of a `(device, port)` endpoint.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -115,24 +177,80 @@ pub struct Link {
     pub drop_chance: f64,
     /// Probability one header field gets a bit flipped.
     pub corrupt_chance: f64,
+    /// Uniform random extra delay in `0..=jitter` per delivery.
+    pub jitter: SimTime,
+}
+
+impl Link {
+    /// Whether this link consumes the world's fault RNG (drop, corruption
+    /// or jitter) — any such link pins the world to the serial engine,
+    /// because the RNG stream is defined by global event order.
+    pub(crate) fn has_faults(&self) -> bool {
+        self.drop_chance > 0.0 || self.corrupt_chance > 0.0 || self.jitter > 0
+    }
+}
+
+/// Schedule-independent event ordering key.
+///
+/// Same-instant events order by `(birth, src, ctr)`: the instant the
+/// creating handler ran, the creator's rank (pre-run injections first,
+/// then devices by id, then mid-run injections), and a per-creator
+/// monotone counter.  Unlike a global insertion sequence, the key is a
+/// pure function of each device's own behavior, so the serial loop and a
+/// partitioned run produce the identical pop order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EvKey {
+    /// Instant of the creating handler (0 for pre-run injections).
+    pub(crate) birth: SimTime,
+    /// Creator rank: [`EvKey::SRC_INJECT_PRE`], device id + 1, or
+    /// [`EvKey::SRC_INJECT_MID`].
+    pub(crate) src: u32,
+    /// Per-creator monotone counter.
+    pub(crate) ctr: u64,
+}
+
+impl EvKey {
+    /// Rank of injections scheduled before the first event pops — they
+    /// sort ahead of every same-instant device creation, matching the
+    /// historical insertion-sequence order.
+    pub(crate) const SRC_INJECT_PRE: u32 = 0;
+    /// Rank of injections scheduled once the run has started — they sort
+    /// after every same-instant creation made up to that point.
+    pub(crate) const SRC_INJECT_MID: u32 = u32::MAX;
+
+    /// The key a device-created event gets: the processing instant plus
+    /// the device's own creation counter.
+    #[inline]
+    pub(crate) fn device(now: SimTime, device: DeviceId, ctr: u64) -> Self {
+        EvKey { birth: now, src: device as u32 + 1, ctr }
+    }
 }
 
 #[derive(Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver { device: DeviceId, port: u16, pkt: SimPacket },
     Wake { device: DeviceId, token: u64 },
 }
 
+impl EventKind {
+    /// The device this event targets.
+    pub(crate) fn device(&self) -> DeviceId {
+        match *self {
+            EventKind::Deliver { device, .. } | EventKind::Wake { device, .. } => device,
+        }
+    }
+}
+
 #[derive(Debug)]
-struct Event {
+pub(crate) struct Event {
     at: SimTime,
-    seq: u64,
+    key: EvKey,
     kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl Eq for Event {}
@@ -143,7 +261,7 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
@@ -162,7 +280,7 @@ pub struct WorldStats {
 
 /// Which event-queue implementation a [`World`] uses.
 ///
-/// Both yield the identical `(at, seq)` pop order, so results are
+/// Both yield the identical `(at, key)` pop order, so results are
 /// bit-for-bit equal either way; the choice only affects speed.  The
 /// heap is kept for A/B benchmarking against the seed implementation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -174,46 +292,182 @@ pub enum QueueKind {
     Wheel,
 }
 
+/// How many engine threads a partitioned run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimThreads {
+    /// Draw extra engine threads from the shared pool configured via
+    /// [`crate::parallel::budget`] (zero by default, so worlds stay
+    /// serial unless `--sim-threads` granted capacity).
+    Auto,
+    /// Use exactly this many engines (clamped to the partition count),
+    /// bypassing the shared pool.  `Fixed(1)` is the serial loop.
+    Fixed(usize),
+}
+
+impl Default for SimThreads {
+    fn default() -> Self {
+        SimThreads::Fixed(1)
+    }
+}
+
+/// Rejected [`World::builder`] configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldConfigError {
+    /// `partitions(SimThreads::Fixed(0))` — a world needs at least one
+    /// engine; use `Fixed(1)` for the serial loop.
+    ZeroSimThreads,
+}
+
+impl std::fmt::Display for WorldConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldConfigError::ZeroSimThreads => {
+                write!(f, "sim threads must be at least 1 (use SimThreads::Fixed(1) for serial)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorldConfigError {}
+
+/// Builder for [`World`] — the only way to construct one.
+///
+/// Mirrors `TesterConfig::builder()`: chain setters, then
+/// [`build`](Self::build) validates and returns the world.
+///
+/// ```
+/// use ht_asic::sim::{QueueKind, SimThreads, World};
+/// let w = World::builder()
+///     .seed(42)
+///     .queue(QueueKind::Wheel)
+///     .partitions(SimThreads::Auto)
+///     .build()
+///     .unwrap();
+/// assert_eq!(w.now(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    seed: u64,
+    queue: QueueKind,
+    partitions: SimThreads,
+    trace: usize,
+}
+
+impl WorldBuilder {
+    /// Seed of the fault-injection RNG (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Event-queue implementation (default: timer wheel).
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
+    /// Engine-thread policy for partitioned runs (default: serial).
+    pub fn partitions(mut self, threads: SimThreads) -> Self {
+        self.partitions = threads;
+        self
+    }
+
+    /// Keep a ring of the last `depth` processed events ([`World::trace`]);
+    /// 0 (the default) disables tracing.  The trace is merged
+    /// deterministically across engines in partitioned runs.
+    pub fn trace(mut self, depth: usize) -> Self {
+        self.trace = depth;
+        self
+    }
+
+    /// Validates the configuration and builds the world.
+    pub fn build(self) -> Result<World, WorldConfigError> {
+        if self.partitions == SimThreads::Fixed(0) {
+            return Err(WorldConfigError::ZeroSimThreads);
+        }
+        Ok(World {
+            devices: Vec::new(),
+            links: HashMap::new(),
+            queue: EventQueue::new(self.queue),
+            qkind: self.queue,
+            scratch: Outbox::default(),
+            now: 0,
+            ctrs: Vec::new(),
+            inj_ctr: 0,
+            started: false,
+            rng: StdRng::seed_from_u64(self.seed),
+            sim_threads: self.partitions,
+            trace_depth: self.trace,
+            trace: Vec::new(),
+            engine_peak: 0,
+            stats: WorldStats::default(),
+        })
+    }
+}
+
+/// What a [`TraceEntry`] recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A packet delivery.
+    Deliver,
+    /// A timer wake.
+    Wake,
+}
+
+/// One processed event in the world's debug trace (see
+/// [`WorldBuilder::trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry {
+    /// Event time.
+    pub at: SimTime,
+    /// Ordering key (used to merge engine traces deterministically).
+    pub key: EvKey,
+    /// Target device.
+    pub device: DeviceId,
+    /// Delivery or wake.
+    pub kind: TraceKind,
+}
+
 #[derive(Debug)]
-enum EventQueue {
+pub(crate) enum EventQueue {
     Heap { heap: BinaryHeap<Reverse<Event>>, peak: usize },
-    Wheel(TimerWheel<EventKind>),
+    Wheel(TimerWheel<EventKind, EvKey>),
 }
 
 impl EventQueue {
-    fn new(kind: QueueKind) -> Self {
+    pub(crate) fn new(kind: QueueKind) -> Self {
         match kind {
             QueueKind::Heap => EventQueue::Heap { heap: BinaryHeap::new(), peak: 0 },
             QueueKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
         }
     }
 
-    fn push(&mut self, at: SimTime, seq: u64, kind: EventKind) {
+    pub(crate) fn push(&mut self, at: SimTime, key: EvKey, kind: EventKind) {
         match self {
             EventQueue::Heap { heap, peak } => {
-                heap.push(Reverse(Event { at, seq, kind }));
+                heap.push(Reverse(Event { at, key, kind }));
                 *peak = (*peak).max(heap.len());
             }
-            EventQueue::Wheel(w) => w.push(at, seq, kind),
+            EventQueue::Wheel(w) => w.push(at, key, kind),
         }
     }
 
-    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EvKey, EventKind)> {
         match self {
-            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.kind)),
-            EventQueue::Wheel(w) => w.pop().map(|(at, _, kind)| (at, kind)),
+            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.key, e.kind)),
+            EventQueue::Wheel(w) => w.pop(),
         }
     }
 
     /// Arrival time of the next event, without removing it.
-    fn peek_min_at(&mut self) -> Option<SimTime> {
+    pub(crate) fn peek_min_at(&mut self) -> Option<SimTime> {
         match self {
             EventQueue::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.at),
             EventQueue::Wheel(w) => w.peek_min_at(),
         }
     }
 
-    fn peak_len(&self) -> usize {
+    pub(crate) fn peak_len(&self) -> usize {
         match self {
             EventQueue::Heap { peak, .. } => *peak,
             EventQueue::Wheel(w) => w.peak_len(),
@@ -223,15 +477,28 @@ impl EventQueue {
 
 /// The simulation world.
 pub struct World {
-    devices: Vec<Box<dyn Device>>,
-    links: HashMap<(DeviceId, u16), Link>,
-    queue: EventQueue,
+    pub(crate) devices: Vec<Box<dyn Device>>,
+    pub(crate) links: HashMap<(DeviceId, u16), Link>,
+    pub(crate) queue: EventQueue,
+    pub(crate) qkind: QueueKind,
     /// Scratch outbox reused across [`step`](Self::step) calls so the two
     /// per-event `Vec` allocations of the seed implementation disappear.
     scratch: Outbox,
-    now: SimTime,
-    seq: u64,
+    pub(crate) now: SimTime,
+    /// Per-device event-creation counters (the `ctr` of [`EvKey`]).
+    pub(crate) ctrs: Vec<u64>,
+    /// Injection counter shared by pre- and mid-run injections.
+    inj_ctr: u64,
+    /// Set once the first event pops; later injections rank
+    /// [`EvKey::SRC_INJECT_MID`].
+    pub(crate) started: bool,
     rng: StdRng,
+    pub(crate) sim_threads: SimThreads,
+    pub(crate) trace_depth: usize,
+    pub(crate) trace: Vec<TraceEntry>,
+    /// Deepest engine-local queue of any partitioned run (folded into
+    /// [`peak_queue_depth`](Self::peak_queue_depth)).
+    pub(crate) engine_peak: u64,
     /// Run statistics.
     pub stats: WorldStats,
 }
@@ -240,62 +507,56 @@ impl Drop for World {
     fn drop(&mut self) {
         // Fold this world's counters into the per-thread aggregate the
         // experiment harness reads (see [`metrics`]).
-        metrics::record(self.stats.events, self.queue.peak_len() as u64);
+        metrics::record(self.stats.events, self.peak_queue_depth());
     }
 }
 
 impl World {
-    /// Creates an empty world with a fault-injection RNG seed, using the
-    /// default (timer wheel) event queue.
-    pub fn new(seed: u64) -> Self {
-        Self::new_with_queue(seed, QueueKind::default())
-    }
-
-    /// Creates an empty world with an explicit event-queue implementation
-    /// (for A/B benchmarks and equivalence tests).
-    pub fn new_with_queue(seed: u64, kind: QueueKind) -> Self {
-        World {
-            devices: Vec::new(),
-            links: HashMap::new(),
-            queue: EventQueue::new(kind),
-            scratch: Outbox::default(),
-            now: 0,
-            seq: 0,
-            rng: StdRng::seed_from_u64(seed),
-            stats: WorldStats::default(),
+    /// Starts building a world (seed 1, wheel queue, serial, no trace).
+    pub fn builder() -> WorldBuilder {
+        WorldBuilder {
+            seed: 1,
+            queue: QueueKind::default(),
+            partitions: SimThreads::default(),
+            trace: 0,
         }
     }
 
-    /// The deepest the event queue has ever been in this world.
+    /// The deepest the event queue has ever been in this world (the
+    /// engine-local maximum in partitioned runs).
     pub fn peak_queue_depth(&self) -> u64 {
-        self.queue.peak_len() as u64
+        (self.queue.peak_len() as u64).max(self.engine_peak)
     }
 
     /// Adds a device, returning its id.
     pub fn add_device(&mut self, dev: Box<dyn Device>) -> DeviceId {
         self.devices.push(dev);
+        self.ctrs.push(0);
         self.devices.len() - 1
     }
 
     /// Connects two endpoints bidirectionally with a propagation delay and
-    /// no faults.
+    /// no faults — the thin shim over [`link`](Self::link).
     pub fn connect(&mut self, a: (DeviceId, u16), b: (DeviceId, u16), delay: SimTime) {
-        self.connect_faulty(a, b, delay, 0.0, 0.0);
+        self.link(a, b, LinkSpec::new().delay(delay));
     }
 
-    /// Connects two endpoints bidirectionally with fault injection.
-    pub fn connect_faulty(
-        &mut self,
-        a: (DeviceId, u16),
-        b: (DeviceId, u16),
-        delay: SimTime,
-        drop_chance: f64,
-        corrupt_chance: f64,
-    ) {
-        assert!((0.0..=1.0).contains(&drop_chance));
-        assert!((0.0..=1.0).contains(&corrupt_chance));
-        self.links.insert(a, Link { peer: b, delay, drop_chance, corrupt_chance });
-        self.links.insert(b, Link { peer: a, delay, drop_chance, corrupt_chance });
+    /// Connects two endpoints bidirectionally as described by `spec`.
+    ///
+    /// # Panics
+    /// Panics when a probability is outside `0..=1`.
+    pub fn link(&mut self, a: (DeviceId, u16), b: (DeviceId, u16), spec: LinkSpec) {
+        assert!((0.0..=1.0).contains(&spec.drop_chance));
+        assert!((0.0..=1.0).contains(&spec.corrupt_chance));
+        let mk = |peer| Link {
+            peer,
+            delay: spec.delay,
+            drop_chance: spec.drop_chance,
+            corrupt_chance: spec.corrupt_chance,
+            jitter: spec.jitter,
+        };
+        self.links.insert(a, mk(b));
+        self.links.insert(b, mk(a));
     }
 
     /// Current simulation time.
@@ -303,32 +564,71 @@ impl World {
         self.now
     }
 
+    /// The key for an externally injected event.  Pre-run injections rank
+    /// before every same-instant device creation (they were queued first);
+    /// mid-run injections rank after everything created so far.
+    fn injection_key(&mut self) -> EvKey {
+        let ctr = self.inj_ctr;
+        self.inj_ctr += 1;
+        if self.started {
+            EvKey { birth: self.now, src: EvKey::SRC_INJECT_MID, ctr }
+        } else {
+            EvKey { birth: 0, src: EvKey::SRC_INJECT_PRE, ctr }
+        }
+    }
+
     /// Schedules a packet delivery straight into a device port (external
     /// traffic injection, e.g. templates from a test driver).
     pub fn schedule_rx(&mut self, device: DeviceId, port: u16, pkt: SimPacket, at: SimTime) {
-        let seq = self.next_seq();
-        self.queue.push(at, seq, EventKind::Deliver { device, port, pkt });
+        let key = self.injection_key();
+        self.queue.push(at, key, EventKind::Deliver { device, port, pkt });
     }
 
     /// Schedules a wake for a device (external timer injection).
     pub fn schedule_wake(&mut self, device: DeviceId, token: u64, at: SimTime) {
-        let seq = self.next_seq();
-        self.queue.push(at, seq, EventKind::Wake { device, token });
+        let key = self.injection_key();
+        self.queue.push(at, key, EventKind::Wake { device, token });
     }
 
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
+    /// Records a processed event in the debug trace, keeping the ring at
+    /// most `2 * depth` long (the accessor serves the last `depth`).
+    pub(crate) fn record_trace(
+        trace: &mut Vec<TraceEntry>,
+        depth: usize,
+        at: SimTime,
+        key: EvKey,
+        kind: &EventKind,
+    ) {
+        if depth == 0 {
+            return;
+        }
+        let (device, tk) = match kind {
+            EventKind::Deliver { device, .. } => (*device, TraceKind::Deliver),
+            EventKind::Wake { device, .. } => (*device, TraceKind::Wake),
+        };
+        trace.push(TraceEntry { at, key, device, kind: tk });
+        if trace.len() >= depth * 2 {
+            trace.drain(..trace.len() - depth);
+        }
+    }
+
+    /// The last `trace` events processed (empty unless
+    /// [`WorldBuilder::trace`] enabled tracing).
+    pub fn trace(&self) -> &[TraceEntry] {
+        let keep = self.trace.len().min(self.trace_depth);
+        &self.trace[self.trace.len() - keep..]
     }
 
     /// Processes a single event.  Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some((at, kind)) = self.queue.pop() else {
+        let Some((at, key, kind)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue went backwards");
+        self.started = true;
         self.now = at;
         self.stats.events += 1;
+        Self::record_trace(&mut self.trace, self.trace_depth, at, key, &kind);
 
         // Reuse the scratch outbox (its vectors keep their capacity) —
         // the seed implementation paid two Vec allocations per event.
@@ -350,8 +650,9 @@ impl World {
 
     fn flush_outbox(&mut self, device: DeviceId, out: &mut Outbox) {
         for (token, at) in out.wakes.drain(..) {
-            let seq = self.next_seq();
-            self.queue.push(at.max(self.now), seq, EventKind::Wake { device, token });
+            let key = EvKey::device(self.now, device, self.ctrs[device]);
+            self.ctrs[device] += 1;
+            self.queue.push(at.max(self.now), key, EventKind::Wake { device, token });
         }
         for (port, mut pkt, at) in out.emits.drain(..) {
             let Some(link) = self.links.get(&(device, port)).cloned() else {
@@ -371,10 +672,15 @@ impl World {
                 pkt.phv.set_masked(f, v, 64);
                 self.stats.link_corruptions += 1;
             }
-            let seq = self.next_seq();
+            let mut delay = link.delay;
+            if link.jitter > 0 {
+                delay += self.rng.gen_range(0..=link.jitter);
+            }
+            let key = EvKey::device(self.now, device, self.ctrs[device]);
+            self.ctrs[device] += 1;
             self.queue.push(
-                at.max(self.now) + link.delay,
-                seq,
+                at.max(self.now) + delay,
+                key,
                 EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
             );
         }
@@ -383,7 +689,16 @@ impl World {
     /// Runs until the queue drains or simulated time exceeds `t_end`
     /// (events beyond `t_end` stay queued).  Returns the number of events
     /// processed.
+    ///
+    /// When the topology splits into multiple device groups across
+    /// nonzero-delay, fault-free links and the world was granted more than
+    /// one engine thread ([`WorldBuilder::partitions`]), the run executes
+    /// partitioned under the conservative-lookahead protocol; results are
+    /// bit-identical to the serial loop either way.
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        if let Some(n) = crate::parallel::try_run_until(self, t_end) {
+            return n;
+        }
         let mut n = 0;
         while let Some(at) = self.queue.peek_min_at() {
             if at > t_end {
@@ -397,7 +712,8 @@ impl World {
     }
 
     /// Runs until the queue is empty or `max_events` is hit (a runaway
-    /// guard for tests).
+    /// guard for tests).  Always serial: "the queue is empty" is a global
+    /// property no engine can observe locally.
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events && self.step() {
@@ -477,6 +793,10 @@ mod tests {
         }
     }
 
+    fn world(seed: u64) -> World {
+        World::builder().seed(seed).build().unwrap()
+    }
+
     fn blank_packet() -> SimPacket {
         let t = FieldTable::new();
         SimPacket { phv: t.new_phv(), body: None, uid: 0 }
@@ -484,7 +804,7 @@ mod tests {
 
     #[test]
     fn delivery_respects_link_delay() {
-        let mut w = World::new(1);
+        let mut w = world(1);
         let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
         w.connect((e, 0), (c, 0), 5_000);
@@ -498,7 +818,7 @@ mod tests {
 
     #[test]
     fn wakes_fire_in_time_order() {
-        let mut w = World::new(1);
+        let mut w = world(1);
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
         w.schedule_wake(c, 2, 200);
         w.schedule_wake(c, 1, 100);
@@ -509,7 +829,7 @@ mod tests {
 
     #[test]
     fn same_time_events_preserve_insertion_order() {
-        let mut w = World::new(1);
+        let mut w = world(1);
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
         for token in 0..10 {
             w.schedule_wake(c, token, 500);
@@ -520,7 +840,7 @@ mod tests {
 
     #[test]
     fn run_until_leaves_future_events_queued() {
-        let mut w = World::new(1);
+        let mut w = world(1);
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
         w.schedule_wake(c, 1, 100);
         w.schedule_wake(c, 2, 1_000);
@@ -533,7 +853,7 @@ mod tests {
 
     #[test]
     fn dangling_emission_is_counted_not_fatal() {
-        let mut w = World::new(1);
+        let mut w = world(1);
         let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
         w.schedule_rx(e, 7, blank_packet(), 0); // port 7 has no link
         w.run_to_idle(10);
@@ -542,10 +862,10 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_roughly_the_configured_fraction() {
-        let mut w = World::new(42);
+        let mut w = world(42);
         let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
-        w.connect_faulty((e, 0), (c, 0), 0, 0.3, 0.0);
+        w.link((e, 0), (c, 0), LinkSpec::new().loss(0.3));
         for i in 0..1000 {
             w.schedule_rx(e, 0, blank_packet(), i * 100);
         }
@@ -560,10 +880,10 @@ mod tests {
         // The same scripted scenario must produce identical device state
         // and stats under both queue implementations.
         let run = |kind: QueueKind| {
-            let mut w = World::new_with_queue(42, kind);
+            let mut w = World::builder().seed(42).queue(kind).build().unwrap();
             let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
             let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
-            w.connect_faulty((e, 0), (c, 0), 2_500, 0.2, 0.1);
+            w.link((e, 0), (c, 0), LinkSpec::new().delay(2_500).loss(0.2).corrupt(0.1));
             for i in 0..500 {
                 w.schedule_rx(e, 0, blank_packet(), i * 137);
                 if i % 7 == 0 {
@@ -578,13 +898,62 @@ mod tests {
 
     #[test]
     fn corrupting_link_flips_fields() {
-        let mut w = World::new(7);
+        let mut w = world(7);
         let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
-        w.connect_faulty((e, 0), (c, 0), 0, 0.0, 1.0);
+        w.link((e, 0), (c, 0), LinkSpec::new().corrupt(1.0));
         w.schedule_rx(e, 0, blank_packet(), 0);
         w.run_to_idle(10);
         assert_eq!(w.stats.link_corruptions, 1);
         assert_eq!(w.device::<Counter>(c).count, 1, "corrupted packets still deliver");
+    }
+
+    #[test]
+    fn jittered_link_spreads_deliveries() {
+        let mut w = world(5);
+        let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.link((e, 0), (c, 0), LinkSpec::new().delay(1_000).jitter(500));
+        for i in 0..50 {
+            w.schedule_rx(e, 0, blank_packet(), i * 10_000);
+        }
+        w.run_to_idle(1_000);
+        assert_eq!(w.device::<Counter>(c).count, 50, "jitter never loses packets");
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        let err =
+            World::builder().partitions(SimThreads::Fixed(0)).build().map(|_| ()).unwrap_err();
+        assert_eq!(err, WorldConfigError::ZeroSimThreads);
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn trace_keeps_the_last_events() {
+        let mut w = World::builder().trace(3).build().unwrap();
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        for token in 0..10 {
+            w.schedule_wake(c, token, 100 + token * 10);
+        }
+        w.run_to_idle(100);
+        let t: Vec<SimTime> = w.trace().iter().map(|e| e.at).collect();
+        assert_eq!(t, vec![170, 180, 190]);
+        assert!(w.trace().iter().all(|e| e.kind == TraceKind::Wake && e.device == c));
+    }
+
+    #[test]
+    fn mid_run_injections_sort_after_prior_creations() {
+        // An injection scheduled between runs lands after events the run
+        // already created for the same instant — the historical
+        // insertion-sequence order.
+        let mut w = world(1);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        w.schedule_wake(c, 1, 100);
+        w.run_until(200);
+        w.schedule_wake(c, 2, 300);
+        w.schedule_wake(c, 3, 300);
+        w.run_to_idle(10);
+        assert_eq!(w.device::<Counter>(c).woken, vec![1, 2, 3]);
     }
 }

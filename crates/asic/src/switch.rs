@@ -225,14 +225,19 @@ impl Switch {
     fn reset_metadata(phv: &mut Phv, ft: &FieldTable, in_port: u16, now: SimTime) {
         // `meta.template_id` deliberately survives — carried in the
         // internal recirculation/PCIe header on real targets.
-        phv.set(ft, fields::IG_PORT, u64::from(in_port));
-        phv.set(ft, fields::IG_TS, now);
-        phv.set(ft, fields::EG_TS, 0);
-        phv.set(ft, fields::EG_PORT, PORT_UNSET);
-        phv.set(ft, fields::MCAST_GRP, 0);
-        phv.set(ft, fields::RID, 0);
-        phv.set(ft, fields::RECIRC_FLAG, 0);
-        phv.set(ft, fields::DROP_FLAG, 0);
+        phv.set_batch(
+            ft,
+            &[
+                (fields::IG_PORT, u64::from(in_port)),
+                (fields::IG_TS, now),
+                (fields::EG_TS, 0),
+                (fields::EG_PORT, PORT_UNSET),
+                (fields::MCAST_GRP, 0),
+                (fields::RID, 0),
+                (fields::RECIRC_FLAG, 0),
+                (fields::DROP_FLAG, 0),
+            ],
+        );
     }
 
     /// Runs a packet through ingress, the traffic manager and all egress
@@ -276,10 +281,15 @@ impl Switch {
             for m in members {
                 let mut rep = pkt.clone();
                 rep.uid = self.alloc_uid();
-                rep.phv.set(&self.fields, fields::RID, u64::from(m.rid));
-                rep.phv.set(&self.fields, fields::MCAST_GRP, 0);
-                rep.phv.set(&self.fields, fields::RECIRC_FLAG, 0);
-                rep.phv.set(&self.fields, fields::EG_PORT, u64::from(m.port));
+                rep.phv.set_batch(
+                    &self.fields,
+                    &[
+                        (fields::RID, u64::from(m.rid)),
+                        (fields::MCAST_GRP, 0),
+                        (fields::RECIRC_FLAG, 0),
+                        (fields::EG_PORT, u64::from(m.port)),
+                    ],
+                );
                 let j = self.jitter(timing::MCAST_JITTER_PS);
                 let t_eg = (t_tm + timing::mcast_delay(len)).saturating_add_signed(j);
                 self.counters.mcast_replicas += 1;
@@ -545,7 +555,7 @@ mod tests {
         sw.ingress.push_table(tbl);
         sw.trace.recirc = true;
 
-        let mut w = World::new(1);
+        let mut w = World::builder().seed(1).build().unwrap();
         let pkt = sw.make_packet(udp_frame(64));
         let sw_id = w.add_device(Box::new(sw));
         w.schedule_rx(sw_id, CPU_PORT, pkt, 0);
@@ -574,7 +584,7 @@ mod tests {
         );
         sw.ingress.push_table(tbl);
 
-        let mut w = World::new(1);
+        let mut w = World::builder().seed(1).build().unwrap();
         let pkt = sw.make_packet(udp_frame(64));
         let sw_id = w.add_device(Box::new(sw));
         w.schedule_rx(sw_id, CPU_PORT, pkt, 0);

@@ -11,12 +11,13 @@
 //! beyond the wheel horizon (2^48 ps ≈ 281 s) overflow into a fallback
 //! binary heap and migrate in as the horizon advances.
 //!
-//! Ordering is *exactly* the `(at, seq)` order of the seed's
-//! `BinaryHeap<Reverse<Event>>`: events of the tick currently being served
-//! drain into a small "near" buffer — a `Vec` kept sorted descending, so
-//! the minimum pops from the back without heap sift machinery — and
-//! same-instant events still pop in insertion-sequence order, keeping every
-//! run bit-for-bit deterministic.  A property test
+//! Ordering is `(at, key)` for a caller-chosen tie-break key `K: Ord` —
+//! the world's schedule-independent [`EvKey`](crate::sim::EvKey) in
+//! production, a plain insertion sequence (`u64`, the default) in tests:
+//! events of the tick currently being served drain into a small "near"
+//! buffer — a `Vec` kept sorted descending, so the minimum pops from the
+//! back without heap sift machinery — and same-instant events still pop in
+//! key order, keeping every run bit-for-bit deterministic.  A property test
 //! (`crates/asic/tests/timerwheel_prop.rs`) checks the equivalence against
 //! a reference heap under arbitrary push/pop interleavings.
 
@@ -36,69 +37,69 @@ const LEVELS: usize = 6;
 /// inter-arrival, so a tick rarely holds more than a handful of events.
 const TICK_BITS: u32 = 12;
 
-/// One queued entry: the priority key `(at, seq)` plus the payload.
+/// One queued entry: the priority key `(at, key)` plus the payload.
 #[derive(Debug)]
-struct Entry<T> {
+struct Entry<T, K> {
     at: u64,
-    seq: u64,
+    key: K,
     item: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T, K: Ord> PartialEq for Entry<T, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+impl<T, K: Ord> Eq for Entry<T, K> {}
+impl<T, K: Ord> PartialOrd for Entry<T, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+impl<T, K: Ord> Ord for Entry<T, K> {
     /// Reversed comparison so a max-`BinaryHeap` pops the *smallest*
-    /// `(at, seq)` first.
+    /// `(at, key)` first.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, &other.key).cmp(&(self.at, &self.key))
     }
 }
 
 #[derive(Debug)]
-struct Level<T> {
+struct Level<T, K> {
     /// Bitmask of non-empty slots.
     occupied: u64,
-    slots: Vec<Vec<Entry<T>>>,
+    slots: Vec<Vec<Entry<T, K>>>,
 }
 
-impl<T> Level<T> {
+impl<T, K> Level<T, K> {
     fn new() -> Self {
         Level { occupied: 0, slots: (0..SLOTS).map(|_| Vec::new()).collect() }
     }
 }
 
-/// A hierarchical timer wheel ordered by `(at, seq)`, with a heap fallback
+/// A hierarchical timer wheel ordered by `(at, key)`, with a heap fallback
 /// for events beyond the wheel horizon.
 #[derive(Debug)]
-pub struct TimerWheel<T> {
-    levels: Vec<Level<T>>,
+pub struct TimerWheel<T, K = u64> {
+    levels: Vec<Level<T, K>>,
     /// Events of ticks `<= elapsed_tick`, kept sorted *descending* by
-    /// `(at, seq)` so the minimum pops from the back in O(1).
-    near: Vec<Entry<T>>,
+    /// `(at, key)` so the minimum pops from the back in O(1).
+    near: Vec<Entry<T, K>>,
     /// Events beyond the wheel horizon.
-    overflow: BinaryHeap<Entry<T>>,
+    overflow: BinaryHeap<Entry<T, K>>,
     /// Tick of the slot currently being served; the wheel cursor.
     elapsed_tick: u64,
     len: usize,
     peak: usize,
 }
 
-impl<T> Default for TimerWheel<T> {
+impl<T, K: Ord> Default for TimerWheel<T, K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> TimerWheel<T> {
+impl<T, K: Ord> TimerWheel<T, K> {
     /// Creates an empty wheel with the cursor at time zero.
     pub fn new() -> Self {
         TimerWheel {
@@ -126,22 +127,22 @@ impl<T> TimerWheel<T> {
         self.peak
     }
 
-    /// Queues `item` with priority `(at, seq)`.  `seq` must be unique
-    /// across live entries (the world's insertion sequence).
-    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+    /// Queues `item` with priority `(at, key)`.  `key` must be unique
+    /// across live entries of the same `at` (the world's event key).
+    pub fn push(&mut self, at: u64, key: K, item: T) {
         self.len += 1;
         self.peak = self.peak.max(self.len);
-        self.insert(Entry { at, seq, item });
+        self.insert(Entry { at, key, item });
     }
 
-    /// Removes and returns the minimum-`(at, seq)` entry.
-    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+    /// Removes and returns the minimum-`(at, key)` entry.
+    pub fn pop(&mut self) -> Option<(u64, K, T)> {
         if !self.settle() {
             return None;
         }
         let e = self.near.pop().expect("settle guarantees a near event");
         self.len -= 1;
-        Some((e.at, e.seq, e.item))
+        Some((e.at, e.key, e.item))
     }
 
     /// The `at` of the next entry [`pop`](Self::pop) would return, without
@@ -161,15 +162,15 @@ impl<T> TimerWheel<T> {
     /// Inserts into the descending-sorted near buffer.  Near holds only the
     /// events of a single tick (a handful at most), so the linear shift is
     /// cheaper than heap sifts.
-    fn push_near(near: &mut Vec<Entry<T>>, e: Entry<T>) {
-        let key = (e.at, e.seq);
-        let idx = near.partition_point(|x| (x.at, x.seq) > key);
+    fn push_near(near: &mut Vec<Entry<T, K>>, e: Entry<T, K>) {
+        let key = (e.at, &e.key);
+        let idx = near.partition_point(|x| (x.at, &x.key) > key);
         near.insert(idx, e);
     }
 
     /// Routes an entry to the near buffer, a wheel slot, or the overflow
     /// heap, based on its tick relative to the cursor.
-    fn insert(&mut self, e: Entry<T>) {
+    fn insert(&mut self, e: Entry<T, K>) {
         let tick = Self::tick_of(e.at);
         if tick <= self.elapsed_tick {
             Self::push_near(&mut self.near, e);
@@ -260,7 +261,7 @@ impl<T> TimerWheel<T> {
             if level == 0 {
                 // A level-0 slot holds exactly one tick — the new cursor
                 // tick — so the whole slot IS the next near buffer.  Sort
-                // it once (Entry's reversed Ord → descending `(at, seq)`)
+                // it once (Entry's reversed Ord → descending `(at, key)`)
                 // and swap buffers instead of re-routing entry by entry.
                 drained.sort_unstable();
                 if self.near.is_empty() {
@@ -286,9 +287,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pops_in_at_seq_order() {
+    fn pops_in_at_key_order() {
         let mut w = TimerWheel::new();
-        w.push(5_000, 2, "b");
+        w.push(5_000, 2u64, "b");
         w.push(5_000, 1, "a");
         w.push(100, 3, "first");
         w.push(10_000_000, 4, "late");
@@ -317,7 +318,7 @@ mod tests {
     fn overflow_beyond_horizon_still_orders() {
         let mut w = TimerWheel::new();
         let far = 1u64 << 55; // past the 2^48 ps wheel horizon
-        w.push(far, 1, "far");
+        w.push(far, 1u64, "far");
         w.push(far - 1, 2, "near-far");
         w.push(64, 3, "soon");
         assert_eq!(w.pop(), Some((64, 3, "soon")));
@@ -328,7 +329,7 @@ mod tests {
     #[test]
     fn interleaved_push_pop_after_advance() {
         let mut w = TimerWheel::new();
-        w.push(1_000_000, 1, 1u32);
+        w.push(1_000_000, 1u64, 1u32);
         assert_eq!(w.pop(), Some((1_000_000, 1, 1)));
         // Push "in the past" relative to the cursor: pops immediately.
         w.push(500, 2, 2);
@@ -349,5 +350,17 @@ mod tests {
         w.push(1, 11, 11);
         assert_eq!(w.peak_len(), 10);
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        // The production key is a struct; any `Ord` key must tie-break.
+        let mut w: TimerWheel<&str, (u64, u32)> = TimerWheel::new();
+        w.push(1_000, (5, 2), "later-src");
+        w.push(1_000, (5, 1), "earlier-src");
+        w.push(1_000, (4, 9), "earlier-birth");
+        assert_eq!(w.pop(), Some((1_000, (4, 9), "earlier-birth")));
+        assert_eq!(w.pop(), Some((1_000, (5, 1), "earlier-src")));
+        assert_eq!(w.pop(), Some((1_000, (5, 2), "later-src")));
     }
 }

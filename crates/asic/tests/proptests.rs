@@ -156,7 +156,7 @@ proptest! {
             fn as_any(&self) -> &dyn std::any::Any { self }
             fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
         }
-        let mut w = World::new(3);
+        let mut w = World::builder().seed(3).build().unwrap();
         let d = w.add_device(Box::new(Nop));
         for (i, &t) in times.iter().enumerate() {
             w.schedule_wake(d, i as u64, t);

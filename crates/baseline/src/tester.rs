@@ -222,7 +222,7 @@ mod tests {
     #[test]
     fn device_emits_at_configured_rate_into_world() {
         let cfg = MoonGenConfig { cores: 2, interval: Some(10_000_000), ..Default::default() };
-        let mut w = World::new(1);
+        let mut w = World::builder().seed(1).build().unwrap();
         let mg_id = w.add_device(Box::new(MoonGen::new("mg", cfg)));
         let sk = w.add_device(Box::new(Sink::new("sink")));
         w.connect((mg_id, 0), (sk, 0), 0);

@@ -22,9 +22,9 @@ use ht_ntapi::ast::ReduceFunc;
 use ht_ntapi::fp::{compute_fp_entries, HashConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A keyed-counting test rig around a [`CuckooEngine`] (same shape as the
 /// property-test harness, reusable by ablation binaries).
@@ -56,7 +56,7 @@ impl EngineRig {
         let arr_cnt =
             [regs.alloc("a1c", 64, 1 << array_bits), regs.alloc("a2c", 64, 1 << array_bits)];
         let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, 4096);
-        let engine = Rc::new(RefCell::new(CuckooEngine {
+        let engine = Arc::new(Mutex::new(CuckooEngine {
             cfg,
             key_fields: vec![fields::TCP_SPORT, fields::TCP_DPORT],
             func: ReduceFunc::Count,
@@ -126,7 +126,7 @@ impl EngineRig {
 
     /// Merged per-key counts (arrays + FIFO + CPU evictions + exact).
     pub fn results(&self, space: &[Vec<u64>]) -> HashMap<Vec<u64>, u64> {
-        let eng = self.ext.engine.borrow();
+        let eng = self.ext.engine.lock().unwrap();
         let mut by_canon = eng.resident_counts(&self.regs);
         for d in self.digests.iter().filter(|d| d.id == DigestId(1)) {
             let (b, dg, c) = (d.values[0], d.values[1], d.values[2]);
@@ -152,7 +152,7 @@ impl EngineRig {
 
     /// Engine statistics.
     pub fn stats(&self) -> CuckooStats {
-        self.ext.engine.borrow().stats
+        self.ext.engine.lock().unwrap().stats
     }
 }
 

@@ -250,7 +250,7 @@ pub fn fig13_random(dist_src: &str, dist: ht_stats::Distribution) -> (usize, Vec
     let task = compile(&parse(&src).unwrap()).unwrap();
     let mut built = ht_core::build(&task, &cfg(1)).unwrap();
     let templates = built.template_copies(0, 32);
-    let mut world = ht_asic::World::new(1);
+    let mut world = ht_asic::World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(built.switch));
     let sink = world.add_device(Box::new(
         ht_dut::Sink::new("sink").capturing(vec![ht_asic::fields::UDP_DPORT]),
@@ -300,7 +300,7 @@ pub fn fig14_accelerator(sizes: &[usize], loops: usize) -> Vec<AcceleratorPoint>
             let mut built = ht_core::build(&task, &cfg(1)).unwrap();
             built.switch.trace.recirc = true;
             let template = built.template_copies(0, 1);
-            let mut world = ht_asic::World::new(1);
+            let mut world = ht_asic::World::builder().seed(1).build().unwrap();
             let sw = world.add_device(Box::new(built.switch));
             ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw, template, 0);
             world.run_until(loops as u64 * ht_asic::timing::recirc_rtt(len) + ms(1));
@@ -332,7 +332,7 @@ pub fn accelerator_loop_time_ns(len: usize, n: usize) -> f64 {
     let mut built = ht_core::build(&task, &cfg(1)).unwrap();
     built.switch.trace.recirc = true;
     let templates = built.template_copies(0, n);
-    let mut world = ht_asic::World::new(1);
+    let mut world = ht_asic::World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(built.switch));
     // Inject all at once (no PCIe pacing) to load the loop directly.
     for t in templates {
@@ -386,7 +386,7 @@ pub fn fig15_replicator(sizes: &[usize], ports: u16, rate_pps: u64) -> Vec<Repli
             let mut built = ht_core::build(&task, &cfg(ports.max(1))).unwrap();
             built.switch.trace.mcast = true;
             let templates = built.template_copies(0, 32);
-            let mut world = ht_asic::World::new(1);
+            let mut world = ht_asic::World::builder().seed(1).build().unwrap();
             let mut sink = ht_dut::Sink::new("sink").logging_arrivals();
             sink.log_arrivals = true;
             let sw = world.add_device(Box::new(built.switch));
@@ -549,7 +549,7 @@ pub fn fig18_delay(dut_delay: SimTime, probes: usize) -> (f64, Vec<DelayPoint>) 
     built.switch.trace.tx = true;
     let templates = built.template_copies(0, 8);
 
-    let mut world = ht_asic::World::new(1);
+    let mut world = ht_asic::World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(built.switch));
     let dut =
         world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));
@@ -669,7 +669,7 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
     sw.trace.tx = true;
 
     let templates = built.template_copies(0, 8);
-    let mut world = ht_asic::World::new(1);
+    let mut world = ht_asic::World::builder().seed(1).build().unwrap();
     let sw_id = world.add_device(Box::new(built.switch));
     let dut =
         world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));

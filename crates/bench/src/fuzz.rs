@@ -369,7 +369,7 @@ fn simulate(task: &CompiledTask) -> SimResult {
     for i in 0..built.templates.len() {
         templates.extend(built.template_copies(i, COPIES));
     }
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let tester = world.add_device(Box::new(built.switch));
     let sink_id = world.add_device(Box::new(Sink::new("sink")));
     for p in 0..SIM_PORTS {

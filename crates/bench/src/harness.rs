@@ -2,7 +2,7 @@
 //! run with a warm-up window, and collect per-port measurements.
 
 use ht_asic::time::{ms, SimTime};
-use ht_asic::{DeviceId, QueueKind, Switch, World};
+use ht_asic::{DeviceId, QueueKind, SimThreads, Switch, World};
 use ht_core::{build, BuiltTester, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::Sink;
@@ -89,7 +89,11 @@ pub fn run(spec: RunSpec<'_>) -> HtRun {
         templates.extend(built.template_copies(i, copies));
     }
 
-    let mut world = World::new_with_queue(1, spec.queue);
+    let mut world = World::builder()
+        .queue(spec.queue)
+        .partitions(SimThreads::Auto)
+        .build()
+        .expect("static config");
     let mut sink = Sink::new("sink");
     if spec.log_arrivals {
         sink = sink.logging_arrivals();

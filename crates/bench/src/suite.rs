@@ -18,10 +18,11 @@ use crate::experiments as ex;
 use crate::harness::{run, RunSpec};
 use crate::resources::table7_rows;
 use ht_asic::time::ms;
-use ht_asic::QueueKind;
+use ht_asic::{QueueKind, World};
 use ht_baseline::cost::CostModel;
 use ht_baseline::ratectl::RateControlMode;
 use ht_baseline::tester::{core_pps, MoonGenConfig};
+use ht_dut::Forwarder;
 use ht_harness::{Experiment, Out, RunOutput, Scale, Shard, Table};
 use ht_packet::wire::{gbps, l1_rate_bps};
 use ht_stats::Distribution;
@@ -49,6 +50,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(AblationCuckoo),
         Box::new(HotpathQueueArena),
         Box::new(FuzzThroughput),
+        Box::new(SimScaling),
     ]
 }
 
@@ -1599,6 +1601,144 @@ impl Experiment for FuzzThroughput {
             format!("{} accepted / {} rejected", rep.accepted, rep.rejected),
         );
         r.extras.push(("fuzz_cases_per_sec".into(), format!("{:.3}", cases as f64 / secs)));
+        out.flush_into(&mut r);
+        r
+    }
+}
+
+// ---------------------------------------------------------- Sim scaling
+
+/// One partitioned run of the scaling fixture: a ring of forwarders with
+/// microsecond link delays (the lookahead), packets circulating until
+/// `t_end`.  Returns per-forwarder forwarded counts, total events, and the
+/// wall-clock seconds.
+fn scaling_run(engines: usize, hops: usize, packets: u64, t_end: u64) -> (Vec<u64>, u64, f64) {
+    use ht_asic::time::us;
+    let start = std::time::Instant::now();
+    let mut w = World::builder()
+        .partitions(ht_asic::SimThreads::Fixed(engines))
+        .build()
+        .expect("static config");
+    let ids: Vec<_> = (0..hops)
+        .map(|i| {
+            w.add_device(Box::new(Forwarder::new(&format!("fwd{i}"), us(1)).route(
+                0,
+                1,
+                100_000_000_000,
+            )))
+        })
+        .collect();
+    for i in 0..hops {
+        w.link((ids[i], 1), (ids[(i + 1) % hops], 0), ht_asic::LinkSpec::new().delay(us(2)));
+    }
+    let ft = ht_asic::FieldTable::new();
+    for p in 0..packets {
+        let pkt = ht_asic::SimPacket { phv: ft.new_phv(), body: None, uid: p };
+        w.schedule_rx(ids[(p % hops as u64) as usize], 0, pkt, (p % 64) * 100);
+    }
+    let events = w.run_until(t_end);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let counts = ids.iter().map(|&id| w.device::<Forwarder>(id).forwarded).collect();
+    (counts, events, wall)
+}
+
+/// Event-engine scaling: events/sec of the partitioned world at 1, 2, 4
+/// and 8 engines over a ring of store-and-forward devices.
+///
+/// The simulated results (per-forwarder counts, event totals) must be
+/// byte-identical at every engine count — that is the digest — while the
+/// events/sec column is wall clock and volatile.  The speedup check only
+/// applies on multi-core hosts; single-core CI still verifies determinism.
+pub struct SimScaling;
+
+impl Experiment for SimScaling {
+    fn name(&self) -> &'static str {
+        "sim_scaling"
+    }
+    fn group(&self) -> &'static str {
+        "hotpath"
+    }
+    fn title(&self) -> &'static str {
+        "Sim scaling — partitioned event engines vs the serial loop"
+    }
+    fn weight(&self) -> u32 {
+        2
+    }
+    fn run(&self, scale: Scale) -> RunOutput {
+        let (hops, packets, t_end) = match scale {
+            Scale::Full => (8, 1024, ms(4)),
+            Scale::Smoke => (8, 256, ms(1)),
+        };
+        let cores = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+        let mut out = Out::new();
+        let mut r = RunOutput::default();
+        out.say("Sim scaling — conservative-lookahead engines over an 8-forwarder ring");
+        out.say(format!("({packets} packets circulating to t_end={t_end} ps; host cores: varies)"));
+        out.blank();
+        let t = Table::new(
+            &mut out,
+            &["engines", "events", "forwarded", "ev/s", "speedup"],
+            &[7, 10, 10, 12, 8],
+        );
+        let (base_counts, base_events, base_wall) = scaling_run(1, hops, packets, t_end);
+        let base_fwd: u64 = base_counts.iter().sum();
+        out.set_volatile(true);
+        t.row(
+            &mut out,
+            &[
+                "1".into(),
+                base_events.to_string(),
+                base_fwd.to_string(),
+                format!("{:.3e}", base_events as f64 / base_wall),
+                "1.00x".into(),
+            ],
+        );
+        out.set_volatile(false);
+        let mut best_speedup = 1.0f64;
+        for engines in [2usize, 4, 8] {
+            let (counts, events, wall) = scaling_run(engines, hops, packets, t_end);
+            let speedup = base_wall / wall;
+            best_speedup = best_speedup.max(speedup);
+            out.set_volatile(true);
+            t.row(
+                &mut out,
+                &[
+                    engines.to_string(),
+                    events.to_string(),
+                    counts.iter().sum::<u64>().to_string(),
+                    format!("{:.3e}", events as f64 / wall),
+                    format!("{speedup:.2}x"),
+                ],
+            );
+            out.set_volatile(false);
+            r.check(
+                &format!("identical_results_e{engines}"),
+                counts == base_counts && events == base_events,
+                format!("{} events vs {} serial", events, base_events),
+            );
+            r.extras.push((format!("eps_e{engines}"), format!("{:.3}", events as f64 / wall)));
+        }
+        out.blank();
+        // The deterministic payload: engine-count-invariant by the checks
+        // above, so the digest gates drift of the simulation itself.
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for &c in &base_counts {
+            digest = (digest ^ c).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        digest = (digest ^ base_events).wrapping_mul(0x0000_0100_0000_01b3);
+        out.say(format!("serial result digest: {digest:016x} over {base_events} events"));
+        r.check(
+            "ring_saturated",
+            base_fwd > packets,
+            format!("{base_fwd} forwards from {packets} injected packets"),
+        );
+        r.check(
+            "parallel_speedup",
+            cores < 2 || best_speedup > 1.0,
+            format!("best {best_speedup:.2}x on {cores} core(s)"),
+        );
+        r.extras.push(("eps_e1".into(), format!("{:.3}", base_events as f64 / base_wall)));
+        r.extras.push(("best_speedup".into(), format!("{best_speedup:.3}")));
         out.flush_into(&mut r);
         r
     }

@@ -25,9 +25,9 @@ use ht_asic::register::{Cmp, RegId, RegisterFile, SaluOperand, SaluProgram};
 use ht_asic::resources::ResourceUsage;
 use ht_ntapi::ast::ReduceFunc;
 use ht_ntapi::fp::HashConfig;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// PHV fields captured into a trigger record, in record order.  Both TCP
 /// and UDP ports are captured so one record layout serves either protocol.
@@ -429,12 +429,12 @@ fn canonical(b1: u64, b2: u64, digest: u64) -> (u64, u64) {
 pub struct CuckooExtern {
     name: String,
     /// Shared engine state (also held by the results reader).
-    pub engine: Rc<RefCell<CuckooEngine>>,
+    pub engine: Arc<Mutex<CuckooEngine>>,
 }
 
 impl CuckooExtern {
     /// Wraps an engine.
-    pub fn new(name: &str, engine: Rc<RefCell<CuckooEngine>>) -> Self {
+    pub fn new(name: &str, engine: Arc<Mutex<CuckooEngine>>) -> Self {
         CuckooExtern { name: name.to_string(), engine }
     }
 }
@@ -445,7 +445,7 @@ impl Extern for CuckooExtern {
     }
 
     fn execute(&mut self, phv: &mut Phv, ctx: &mut ExecCtx<'_>) {
-        let mut eng = self.engine.borrow_mut();
+        let mut eng = self.engine.lock().unwrap();
         if phv.get(eng.match_flag) == 1 {
             // A monitored packet (a received packet for ingress queries, a
             // test-packet replica for sent-traffic queries).
@@ -459,7 +459,7 @@ impl Extern for CuckooExtern {
     }
 
     fn resources(&self) -> ResourceUsage {
-        let eng = self.engine.borrow();
+        let eng = self.engine.lock().unwrap();
         ResourceUsage {
             crossbar_bits: eng.key_fields.len() as u64 * 32,
             hash_bits: 3 * u64::from(eng.cfg.array_bits),
@@ -470,7 +470,7 @@ impl Extern for CuckooExtern {
     }
 
     fn reads(&self) -> Vec<FieldId> {
-        let eng = self.engine.borrow();
+        let eng = self.engine.lock().unwrap();
         let mut r = eng.key_fields.clone();
         r.extend(eng.value_field);
         r.push(eng.match_flag);
@@ -481,11 +481,11 @@ impl Extern for CuckooExtern {
     }
 
     fn writes(&self) -> Vec<FieldId> {
-        vec![self.engine.borrow().count_out]
+        vec![self.engine.lock().unwrap().count_out]
     }
 
     fn registers(&self) -> Vec<RegId> {
-        let eng = self.engine.borrow();
+        let eng = self.engine.lock().unwrap();
         let mut r = Vec::new();
         r.extend(eng.arr_key);
         r.extend(eng.arr_cnt);
@@ -515,9 +515,9 @@ pub struct CaptureExtern {
     /// (`.filter(count < 5)`).
     pub result_gate: Option<(FieldId, Cmp, u64)>,
     /// One trigger FIFO per consuming template.
-    pub fifos: Vec<Rc<RefCell<RegFifo>>>,
+    pub fifos: Vec<Arc<Mutex<RegFifo>>>,
     /// Shared statistics.
-    pub stats: Rc<RefCell<CaptureStats>>,
+    pub stats: Arc<Mutex<CaptureStats>>,
 }
 
 impl Extern for CaptureExtern {
@@ -544,9 +544,9 @@ impl Extern for CaptureExtern {
             }
         }
         let record: Vec<u64> = RECORD_FIELDS.iter().map(|&f| phv.get(f)).collect();
-        let mut stats = self.stats.borrow_mut();
+        let mut stats = self.stats.lock().unwrap();
         for fifo in &self.fifos {
-            if fifo.borrow_mut().enqueue(ctx.regs, ctx.table, phv, &record) {
+            if fifo.lock().unwrap().enqueue(ctx.regs, ctx.table, phv, &record) {
                 stats.captured += 1;
             } else {
                 stats.dropped += 1;
@@ -570,6 +570,6 @@ impl Extern for CaptureExtern {
     }
 
     fn registers(&self) -> Vec<RegId> {
-        self.fifos.iter().flat_map(|f| f.borrow().registers()).collect()
+        self.fifos.iter().flat_map(|f| f.lock().unwrap().registers()).collect()
     }
 }

@@ -29,8 +29,8 @@ use ht_asic::resources::ResourceUsage;
 use ht_asic::switch::Switch;
 use ht_asic::table::{Gateway, MatchKey, MatchKind, Table};
 use ht_ntapi::compile::{EditSpec, TemplateSpec};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Fires a query-based trigger: pops one trigger record per template loop,
 /// loading the captured fields into `meta.rec_*` and setting the fire flag.
@@ -40,7 +40,7 @@ pub struct StatelessExtern {
     /// The template this extern drives.
     pub template_id: u16,
     /// The trigger FIFO filled by the capturing query.
-    pub fifo: Rc<RefCell<RegFifo>>,
+    pub fifo: Arc<Mutex<RegFifo>>,
     /// Fire flag (consumed by the replicate table's gateway).
     pub fire_field: FieldId,
     /// `meta.rec_*` fields, parallel to [`RECORD_FIELDS`].
@@ -56,7 +56,7 @@ impl Extern for StatelessExtern {
         if phv.get(fields::TEMPLATE_ID) != u64::from(self.template_id) {
             return;
         }
-        match self.fifo.borrow_mut().dequeue(ctx.regs, ctx.table, phv) {
+        match self.fifo.lock().unwrap().dequeue(ctx.regs, ctx.table, phv) {
             Some(rec) => {
                 for (f, v) in self.rec_fields.iter().zip(&rec) {
                     phv.set(ctx.table, *f, *v);
@@ -86,7 +86,7 @@ impl Extern for StatelessExtern {
     }
 
     fn registers(&self) -> Vec<ht_asic::register::RegId> {
-        self.fifo.borrow().registers()
+        self.fifo.lock().unwrap().registers()
     }
 }
 
@@ -95,7 +95,7 @@ impl StatelessExtern {
     pub fn new(
         sw: &mut Switch,
         template_id: u16,
-        fifo: Rc<RefCell<RegFifo>>,
+        fifo: Arc<Mutex<RegFifo>>,
         fire_field: FieldId,
     ) -> Self {
         let rec_fields = (0..RECORD_FIELDS.len())
@@ -148,7 +148,7 @@ pub fn build_template_ingress(
     guard_table: (usize, usize),
     replicate_table: (usize, usize),
     recirc_table: (usize, usize),
-    trigger_fifo: Option<Rc<RefCell<RegFifo>>>,
+    trigger_fifo: Option<Arc<Mutex<RegFifo>>>,
 ) -> TemplateHandles {
     let mut handles = TemplateHandles {
         id: tpl.id,

@@ -9,6 +9,7 @@
 
 use crate::tester::QueryHandle;
 use ht_asic::Switch;
+use ht_ir::KeySpace;
 use std::collections::HashMap;
 
 /// The merged result of one query.
@@ -33,7 +34,7 @@ pub fn keyed_by_digest(sw: &Switch, h: &QueryHandle) -> HashMap<(u64, u64), u64>
     let Some(engine) = &h.engine else {
         return HashMap::new();
     };
-    let eng = engine.borrow();
+    let eng = engine.lock().unwrap();
     let mut map = eng.resident_counts(&sw.regs);
     // Evicted / overflow-reported pairs from the digest stream.
     if let Some(id) = h.evict_digest {
@@ -46,10 +47,11 @@ pub fn keyed_by_digest(sw: &Switch, h: &QueryHandle) -> HashMap<(u64, u64), u64>
     map
 }
 
-/// Resolves a keyed query to concrete keys over an enumerated key space.
+/// Resolves a keyed query to concrete keys over an enumerated key space
+/// (the flat [`KeySpace`] produced by `ht_ntapi::headerspace`).
 ///
 /// Keys in the space that never appeared simply do not show up in the map.
-pub fn keyed_results(sw: &Switch, h: &QueryHandle, space: &[Vec<u64>]) -> HashMap<Vec<u64>, u64> {
+pub fn keyed_results(sw: &Switch, h: &QueryHandle, space: &KeySpace) -> HashMap<Vec<u64>, u64> {
     let mut out = HashMap::new();
     // Exact-match entries first: they are keyed exactly.
     if let Some((reg, keys)) = &h.exact {
@@ -63,14 +65,14 @@ pub fn keyed_results(sw: &Switch, h: &QueryHandle, space: &[Vec<u64>]) -> HashMa
     }
     let digest_map = keyed_by_digest(sw, h);
     if let Some(engine) = &h.engine {
-        let eng = engine.borrow();
-        for key in space {
+        let eng = engine.lock().unwrap();
+        for key in space.iter() {
             if out.contains_key(key) {
                 continue; // resolved exactly
             }
             let canon = eng.canonical_of_key(key);
             if let Some(&v) = digest_map.get(&canon) {
-                out.insert(key.clone(), v);
+                out.insert(key.to_vec(), v);
             }
         }
     }
@@ -90,7 +92,7 @@ pub fn distinct_count(sw: &Switch, h: &QueryHandle) -> u64 {
 }
 
 /// Convenience: the result of a query given its kind.
-pub fn query_result(sw: &Switch, h: &QueryHandle, space: Option<&[Vec<u64>]>) -> QueryResult {
+pub fn query_result(sw: &Switch, h: &QueryHandle, space: Option<&KeySpace>) -> QueryResult {
     use ht_ntapi::compile::QueryKind;
     match &h.query.kind {
         QueryKind::PassThrough | QueryKind::ReduceGlobal { .. } => {
@@ -111,7 +113,7 @@ mod tests {
     use ht_ntapi::{compile, parse};
 
     /// A keyed task whose handle we can poke registers through.
-    fn keyed_setup() -> (crate::tester::BuiltTester, Vec<Vec<u64>>) {
+    fn keyed_setup() -> (crate::tester::BuiltTester, KeySpace) {
         let src = r#"
 T1 = trigger().set([dip, proto], [10.0.0.2, udp]).set(sport, range(100, 104, 1))
 Q1 = query().reduce(keys=[sport], func=count)
@@ -119,7 +121,10 @@ Q1 = query().reduce(keys=[sport], func=count)
         let task = compile(&parse(src).unwrap()).unwrap();
         let bt = build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap())
             .unwrap();
-        let space: Vec<Vec<u64>> = (100..=104u64).map(|v| vec![v]).collect();
+        let mut space = KeySpace::with_capacity(1, 5);
+        for v in 100..=104u64 {
+            space.push(&[v]);
+        }
         (bt, space)
     }
 
@@ -139,18 +144,18 @@ Q1 = query().reduce(keys=[sport], func=count)
         let engine = h.engine.as_ref().unwrap();
         // Plant key 100 in array 1 with count 7.
         let (b1, digest, tag) = {
-            let eng = engine.borrow();
+            let eng = engine.lock().unwrap();
             let key = vec![100u64];
             (eng.cfg.h1(&key), eng.cfg.digest(&key), eng.cfg.digest(&key) + 1)
         };
         {
-            let eng = engine.borrow();
+            let eng = engine.lock().unwrap();
             bt.switch.regs.array_mut(eng.arr_key[0]).cp_write(b1 as usize, tag);
             bt.switch.regs.array_mut(eng.arr_cnt[0]).cp_write(b1 as usize, 7);
         }
         // And an eviction record for the same key with count 5, reported
         // from its *alternate* bucket (the CPU must canonicalize).
-        let alt = engine.borrow().cfg.alt_bucket(b1, digest);
+        let alt = engine.lock().unwrap().cfg.alt_bucket(b1, digest);
         bt.switch.digests.push(ht_asic::digest::DigestRecord {
             id: h.evict_digest.unwrap(),
             values: vec![alt, digest, 5],

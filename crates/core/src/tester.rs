@@ -26,9 +26,9 @@ use ht_ntapi::ast::{CmpOp, HeaderField, NtField, QuerySource, ReduceFunc};
 use ht_ntapi::compile::{CompiledQuery, CompiledTask, L4Proto, QueryKind, TemplateSpec};
 use ht_packet::tcp::TcpFlags;
 use ht_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Build-time errors (everything NTAPI-level is already rejected by the
 /// compiler; these are switch-capacity constraints).
@@ -273,14 +273,14 @@ pub struct QueryHandle {
     /// Register of a global reduce.
     pub global_reg: Option<RegId>,
     /// The cuckoo engine of a keyed query.
-    pub engine: Option<Rc<RefCell<CuckooEngine>>>,
+    pub engine: Option<Arc<Mutex<CuckooEngine>>>,
     /// Exact-key-matching counters: the register plus the installed keys in
     /// index order.
     pub exact: Option<(RegId, Vec<Vec<u64>>)>,
     /// Digest stream carrying this query's evictions.
     pub evict_digest: Option<DigestId>,
     /// Capture statistics (stateless-connection feeders).
-    pub capture_stats: Option<Rc<RefCell<CaptureStats>>>,
+    pub capture_stats: Option<Arc<Mutex<CaptureStats>>>,
 }
 
 /// Handles to everything built for a task.
@@ -337,7 +337,7 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
     let fire_field = sw.fields.intern("meta.fire", 1);
 
     // Trigger FIFOs: one per (capturing query, consuming template).
-    let mut trigger_fifos: HashMap<(String, String), Rc<RefCell<RegFifo>>> = HashMap::new();
+    let mut trigger_fifos: HashMap<(String, String), Arc<Mutex<RegFifo>>> = HashMap::new();
     for q in &task.queries {
         for consumer in &q.capture_for {
             let fifo = RegFifo::new(
@@ -347,7 +347,7 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
                 crate::htpr::RECORD_FIELDS.len(),
                 cfg.trigger_fifo_capacity,
             );
-            trigger_fifos.insert((q.name.clone(), consumer.clone()), Rc::new(RefCell::new(fifo)));
+            trigger_fifos.insert((q.name.clone(), consumer.clone()), Arc::new(Mutex::new(fifo)));
         }
     }
 
@@ -525,7 +525,7 @@ fn build_query(
     qi: usize,
     proto: L4Proto,
     cfg: &TesterConfig,
-    trigger_fifos: &HashMap<(String, String), Rc<RefCell<RegFifo>>>,
+    trigger_fifos: &HashMap<(String, String), Arc<Mutex<RegFifo>>>,
 ) -> QueryHandle {
     let match_field = sw.fields.intern(&format!("meta.q{qi}_match"), 1);
     let count_field = sw.fields.intern(&format!("meta.q{qi}_count"), 64);
@@ -698,7 +698,7 @@ fn build_query(
                 cfg.kv_fifo_capacity,
             );
             let evict_digest = DigestId(qi as u16 + 1);
-            let engine = Rc::new(RefCell::new(CuckooEngine {
+            let engine = Arc::new(Mutex::new(CuckooEngine {
                 cfg: hash,
                 key_fields,
                 func,
@@ -723,12 +723,12 @@ fn build_query(
 
     // Capture stage feeding stateless triggers.
     if !q.capture_for.is_empty() {
-        let fifos: Vec<Rc<RefCell<RegFifo>>> = q
+        let fifos: Vec<Arc<Mutex<RegFifo>>> = q
             .capture_for
             .iter()
             .map(|c| trigger_fifos[&(q.name.clone(), c.clone())].clone())
             .collect();
-        let stats = Rc::new(RefCell::new(CaptureStats::default()));
+        let stats = Arc::new(Mutex::new(CaptureStats::default()));
         handle.capture_stats = Some(stats.clone());
         let result_gate = q.result_filter.map(|(c, v)| (count_field, cmp_of(c), v));
         let capture = CaptureExtern {

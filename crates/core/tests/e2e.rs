@@ -20,7 +20,7 @@ fn testbed(src: &str, copies: usize, sink: Sink) -> (World, usize, usize) {
     for i in 0..bt.templates.len() {
         all.extend(bt.template_copies(i, copies));
     }
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(sink));
     w.connect((sw, 0), (sk, 0), 0);
@@ -104,7 +104,7 @@ Q1 = query(T1).reduce(keys=[sport], func=count)
         build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
 
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sink = Sink::new("sink").capturing(vec![fields::UDP_SPORT]);
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(sink));
@@ -128,8 +128,7 @@ Q1 = query(T1).reduce(keys=[sport], func=count)
         &[ht_ntapi::ast::HeaderField::Sport],
         false,
     )
-    .unwrap()
-    .to_rows();
+    .unwrap();
     let measured = keyed_results(sw_ref, q, &space);
     // Query counts include in-flight packets; allow the last few.
     for (key, &n) in &oracle {
@@ -152,7 +151,7 @@ Q1 = query().distinct(keys=[sport])
         build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
 
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     // Loop port 0 back into port 1 of the same device.
     w.connect((sw, 0), (sw, 1), 0);
@@ -188,7 +187,7 @@ Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
     all.extend(bt.template_copies(1, 4));
     all.extend(bt.template_copies(2, 4));
 
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let srv = w.add_device(Box::new(TcpResponder::new("server", us(1))));
     w.connect((sw, 0), (srv, 0), us(1));
@@ -272,7 +271,7 @@ Q1 = query(T1).reduce(func=count)
     let mut bt =
         build(&task, &TesterConfig::builder().ports(1).speed(Gbps(100)).build().unwrap()).unwrap();
     let copies = bt.template_copies(0, 8);
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(Sink::new("sink")));
     w.connect((sw, 0), (sk, 0), 0);
@@ -343,7 +342,7 @@ Q1 = query().map(p -> (pkt_len)).reduce(func=max)
         build(&task, &TesterConfig::builder().ports(2).speed(Gbps(100)).build().unwrap()).unwrap();
     let mut all = bt.template_copies(0, 1);
     all.extend(bt.template_copies(1, 1));
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     // Self-wire so the received-traffic query sees the generated frames.
     w.connect((sw, 0), (sw, 1), 0);

@@ -15,9 +15,9 @@ use ht_ntapi::fp::{compute_fp_entries, HashConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A miniature harness driving a cuckoo engine directly: packets are PHVs
 /// with (sport, dport) keys; template "pops" are interleaved.
@@ -44,7 +44,7 @@ impl Harness {
         let arr_cnt =
             [regs.alloc("a1c", 64, 1 << array_bits), regs.alloc("a2c", 64, 1 << array_bits)];
         let fifo = RegFifo::new("kv", &mut regs, &mut ft, 3, fifo_cap);
-        let engine = Rc::new(RefCell::new(CuckooEngine {
+        let engine = Arc::new(Mutex::new(CuckooEngine {
             cfg,
             key_fields: vec![fields::TCP_SPORT, fields::TCP_DPORT],
             func,
@@ -103,7 +103,7 @@ impl Harness {
 
     /// Merged digest-level readout including CPU-side evictions.
     fn merged(&self) -> HashMap<(u64, u64), u64> {
-        let eng = self.ext.engine.borrow();
+        let eng = self.ext.engine.lock().unwrap();
         let mut map = eng.resident_counts(&self.regs);
         for d in self.digests.iter().filter(|d| d.id == DigestId(1)) {
             let (b, dg, c) = (d.values[0], d.values[1], d.values[2]);
@@ -158,7 +158,7 @@ proptest! {
 
         // Oracle keyed by canonical (bucket, digest); by construction the
         // kept keys are unambiguous, so this mapping is injective.
-        let eng = h.ext.engine.borrow();
+        let eng = h.ext.engine.lock().unwrap();
         let mut oracle_canon: HashMap<(u64, u64), u64> = HashMap::new();
         for ((s, d), n) in &oracle {
             let canon = eng.canonical_of_key(&[*s, *d]);

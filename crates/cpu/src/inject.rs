@@ -52,7 +52,7 @@ mod tests {
     #[test]
     fn templates_are_spaced_by_injection_cost() {
         let model = CpuTimingModel::default();
-        let mut w = World::new(1);
+        let mut w = World::builder().seed(1).build().unwrap();
         let sw = w.add_device(Box::new(Switch::new("sw", 1)));
         let plan = inject_templates(&model, &mut w, sw, blank(3), 1_000);
         assert_eq!(plan.times.len(), 3);
@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn empty_injection_completes_immediately() {
         let model = CpuTimingModel::default();
-        let mut w = World::new(1);
+        let mut w = World::builder().seed(1).build().unwrap();
         let sw = w.add_device(Box::new(Switch::new("sw", 1)));
         let plan = inject_templates(&model, &mut w, sw, Vec::new(), 5_000);
         assert!(plan.times.is_empty());

@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn injection_spacing(n in 1usize..50, start in 0u64..1_000_000) {
         let cpu = SwitchCpu::new();
-        let mut world = ht_asic::World::new(1);
+        let mut world = ht_asic::World::builder().seed(1).build().unwrap();
         let sw = world.add_device(Box::new(ht_asic::Switch::new("sw", 1)));
         let ft = ht_asic::FieldTable::new();
         let templates: Vec<ht_asic::SimPacket> = (0..n)

@@ -16,6 +16,11 @@ use std::time::Instant;
 pub struct BenchOpts {
     /// Worker threads (default: available parallelism).
     pub workers: usize,
+    /// Simulation engine threads per world (default 1: serial loop).
+    /// `N > 1` funds a shared pool of `N - 1` extra engine tokens that
+    /// `SimThreads::Auto` worlds draw from, so experiment-level and
+    /// engine-level parallelism share one budget.
+    pub sim_threads: usize,
     /// Run scale.
     pub scale: Scale,
     /// Emit the JSON report on stdout (progress moves to stderr).
@@ -38,6 +43,7 @@ impl Default for BenchOpts {
     fn default() -> Self {
         BenchOpts {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            sim_threads: 1,
             scale: Scale::Full,
             json: false,
             out: None,
@@ -51,8 +57,8 @@ impl Default for BenchOpts {
 }
 
 /// Usage text for the `bench` subcommand.
-pub const BENCH_USAGE: &str = "usage: bench [--smoke] [--workers N] [--json] [--out FILE] \
-     [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]";
+pub const BENCH_USAGE: &str = "usage: bench [--smoke] [--workers N] [--sim-threads N] [--json] \
+     [--out FILE] [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]";
 
 /// Parses `bench` arguments.  Unknown flags are usage errors.
 pub fn parse_bench_args(args: &[String]) -> Result<BenchOpts, String> {
@@ -72,6 +78,14 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOpts, String> {
                     .map_err(|_| "--workers needs an integer".to_string())?;
                 if o.workers == 0 {
                     return Err("--workers must be at least 1".into());
+                }
+            }
+            "--sim-threads" => {
+                o.sim_threads = value(&mut it, "--sim-threads")?
+                    .parse()
+                    .map_err(|_| "--sim-threads needs an integer".to_string())?;
+                if o.sim_threads == 0 {
+                    return Err("--sim-threads must be at least 1".into());
                 }
             }
             "--out" => o.out = Some(value(&mut it, "--out")?),
@@ -148,6 +162,9 @@ pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
         eprintln!("error: no experiments match the filter");
         return 1;
     }
+
+    // Fund the engine-token pool that `SimThreads::Auto` worlds draw from.
+    ht_asic::parallel::budget::configure(opts.sim_threads.saturating_sub(1));
 
     // With --json on stdout, progress must not pollute the report.
     let progress_to_stderr = opts.json && opts.out.is_none();
@@ -273,13 +290,15 @@ mod tests {
 
     #[test]
     fn parse_accepts_the_documented_flags() {
-        let args: Vec<String> = ["--smoke", "--workers", "4", "--json", "--fail-threshold", "15"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--smoke", "--workers", "4", "--sim-threads", "2", "--json", "--fail-threshold", "15"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let o = parse_bench_args(&args).unwrap();
         assert_eq!(o.scale, Scale::Smoke);
         assert_eq!(o.workers, 4);
+        assert_eq!(o.sim_threads, 2);
         assert!(o.json);
         assert!((o.fail_threshold - 15.0).abs() < 1e-9);
     }
@@ -288,6 +307,7 @@ mod tests {
     fn parse_rejects_unknown_flags() {
         assert!(parse_bench_args(&["--bogus".to_string()]).is_err());
         assert!(parse_bench_args(&["--workers".to_string(), "zero".to_string()]).is_err());
+        assert!(parse_bench_args(&["--sim-threads".to_string(), "0".to_string()]).is_err());
     }
 
     #[test]

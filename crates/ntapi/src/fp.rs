@@ -11,10 +11,11 @@
 //! false-positive-free.
 //!
 //! [`compute_fp_indices`] implements the precompute over a flat
-//! [`KeySpace`], hashing each key exactly once via `HashConfig::triple` and
-//! grouping by digest with a counting sort (no hash map, no per-key
-//! allocation); [`compute_fp_entries`] is the row-cloning compatibility
-//! wrapper.  The Fig. 17 experiment measures the diverted-entry count
+//! [`KeySpace`], hashing each key exactly once via
+//! `HashConfig::triple_batch` (four keys per iteration through the
+//! interleaved CRC fold) and grouping by digest with a counting sort (no
+//! hash map, no per-key allocation); [`compute_fp_entries`] is the
+//! row-cloning compatibility wrapper.  The Fig. 17 experiment measures the diverted-entry count
 //! against the flow count, array size and digest width.
 
 // `HashConfig` moved to `ht-ir` (it is carried by the IR's `FpConfig` and
@@ -41,9 +42,9 @@ pub fn compute_fp_indices(space: &KeySpace, cfg: &HashConfig) -> Vec<usize> {
     let n = space.len();
     ht_asic::sim::metrics::record_fp_keys(n as u64);
 
-    // One fused pass: (digest, h1, h2) per key.
-    let mut trips: Vec<(u64, u64, u64)> = Vec::with_capacity(n);
-    trips.extend(space.iter().map(|key| cfg.triple(key)));
+    // One fused pass: (digest, h1, h2) per key, four keys at a time
+    // through the interleaved CRC fold.
+    let trips: Vec<(u64, u64, u64)> = cfg.triple_batch(space);
 
     // Key indices grouped by digest, stable (index order within a group).
     let order: Vec<u32> = if cfg.digest_bits <= COUNTING_SORT_MAX_BITS {

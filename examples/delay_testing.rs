@@ -36,7 +36,7 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
     tester.switch.trace.tx = true; // record hardware departure stamps
     let templates = tester.template_copies(0, 8);
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let dut = world.add_device(Box::new(Forwarder::new("dut", 600_000).route(0, 1, gbps(100))));
     let sink = world.add_device(Box::new(Sink::new("probe-rx").logging_arrivals()));

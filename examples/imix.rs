@@ -44,7 +44,7 @@ Q3 = query(T3).map(p -> (pkt_len)).reduce(func=sum)
         templates.extend(tester.template_copies(i, 1));
     }
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(
         Sink::new("sink").capturing(vec![hypertester::asic::fields::PKT_LEN]),

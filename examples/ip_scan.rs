@@ -73,7 +73,7 @@ Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys=[sip])
             .expect("build");
     let templates = tester.template_copies(0, 8);
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let hosts = world.add_device(Box::new(SparseResponders {
         answered: Default::default(),

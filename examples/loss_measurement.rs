@@ -11,7 +11,7 @@
 
 use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Forwarder;
 use hypertester::ht::{build, global_value, Gbps, TesterConfig};
@@ -31,10 +31,10 @@ Q2 = query().reduce(func=count)
     let templates = tester.template_copies(0, 8);
 
     // Tester → (lossy link, 2% drops) → DUT → (clean link) → tester.
-    let mut world = World::new(2024);
+    let mut world = World::builder().seed(2024).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let dut = world.add_device(Box::new(Forwarder::new("dut", 500_000).route(0, 1, gbps(100))));
-    world.connect_faulty((sw, 0), (dut, 0), 0, 0.02, 0.0);
+    world.link((sw, 0), (dut, 0), LinkSpec::new().loss(0.02));
     world.connect((dut, 1), (sw, 1), 0);
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(100));

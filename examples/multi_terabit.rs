@@ -36,7 +36,7 @@ fn main() {
     let templates = tester.template_copies(0, copies);
     println!("one trigger, {copies} template copies, fanned out to {PORTS} × 100G ports");
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sinks")));
     for p in 0..PORTS {

@@ -35,7 +35,7 @@ Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
     println!("injecting {copies} template copies");
 
     // 4. Wire the testbed: tester port 0 → measurement sink.
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink")));
     world.connect((sw, 0), (sink, 0), 0);

@@ -24,7 +24,7 @@ fn run_case(name: &str, src: &str, dist: Distribution) {
             .expect("build");
     let templates = tester.template_copies(0, 32);
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink").capturing(vec![fields::UDP_DPORT])));
     world.connect((sw, 0), (sink, 0), 0);

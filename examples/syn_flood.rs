@@ -31,7 +31,7 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
     let copies = tester.copies_for_line_rate(0, gbps(100));
     let templates = tester.template_copies(0, copies);
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let victim = world.add_device(Box::new(Sink::new("victim").capturing(vec![
         hypertester::asic::fields::IPV4_SRC,

@@ -48,7 +48,7 @@ Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
         templates.extend(tester.template_copies(t, 4));
     }
 
-    let mut world = World::new(1);
+    let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let server = world.add_device(Box::new(TcpResponder::new("http-server", us(2))));
     world.connect((sw, 0), (server, 0), us(1));

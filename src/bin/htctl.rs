@@ -22,10 +22,11 @@
 //! htctl p4 <task.nt>                      emit the generated P4 program
 //! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
 //! htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS]
-//!           [--copies N]                  run against a sink testbed and
+//!           [--copies N] [--sim-threads N] run against a sink testbed and
 //!                                         print throughput + query results
-//! htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]
-//!             [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]
+//! htctl bench [--smoke] [--workers N] [--sim-threads N] [--json] [--out FILE]
+//!             [--baseline FILE] [--fail-threshold PCT] [--md FILE]
+//!             [--filter SUBSTR] [--list]
 //!                                         run the experiment suite on the
 //!                                         parallel harness; write BENCH.json
 //! ```
@@ -59,9 +60,10 @@ fn usage() -> ExitCode {
          htctl analyze [--json] [--dump-facts=PASS] <task.nt>\n  \
          htctl fuzz [--cases N] [--seed S] [--corpus DIR] [--json]\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
-         htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n  \
-         htctl bench [--smoke] [--workers N] [--json] [--out FILE] [--baseline FILE]\n              \
-         [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]"
+         htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n              \
+         [--sim-threads N]\n  \
+         htctl bench [--smoke] [--workers N] [--sim-threads N] [--json] [--out FILE]\n              \
+         [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]"
     );
     ExitCode::from(2)
 }
@@ -360,6 +362,7 @@ struct RunOpts {
     speed_gbps: u64,
     duration_ms: u64,
     copies: Option<usize>,
+    sim_threads: usize,
     json: bool,
 }
 
@@ -387,7 +390,12 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
         );
     }
 
-    let mut world = World::new(1);
+    // `Auto` draws engines from the pool `--sim-threads` funded; the
+    // single-switch topology here contracts to one group, so the serial
+    // fallback applies and results are identical regardless of the flag.
+    hypertester::asic::parallel::budget::configure(opts.sim_threads.saturating_sub(1));
+    let mut world =
+        World::builder().seed(1).partitions(hypertester::asic::SimThreads::Auto).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink")));
     for p in 0..opts.ports {
@@ -629,14 +637,20 @@ fn main() -> ExitCode {
     }
 
     if cmd == "run" {
-        let mut opts =
-            RunOpts { ports: 1, speed_gbps: 100, duration_ms: 2, copies: None, json: false };
+        let mut opts = RunOpts {
+            ports: 1,
+            speed_gbps: 100,
+            duration_ms: 2,
+            copies: None,
+            sim_threads: 1,
+            json: false,
+        };
         let mut path: Option<&String> = None;
         let mut it = rest.iter();
         while let Some(tok) = it.next() {
             match tok.as_str() {
                 "--json" => opts.json = true,
-                flag @ ("--ports" | "--speed" | "--duration" | "--copies") => {
+                flag @ ("--ports" | "--speed" | "--duration" | "--copies" | "--sim-threads") => {
                     let val = it.next().map(String::as_str);
                     let Some(v) = val.and_then(|v| v.parse::<u64>().ok()) else {
                         eprintln!("bad flag/value: {flag} {val:?}");
@@ -646,6 +660,13 @@ fn main() -> ExitCode {
                         "--ports" => opts.ports = v as u16,
                         "--speed" => opts.speed_gbps = v,
                         "--duration" => opts.duration_ms = v,
+                        "--sim-threads" => {
+                            if v == 0 {
+                                eprintln!("--sim-threads must be at least 1");
+                                return usage();
+                            }
+                            opts.sim_threads = v as usize;
+                        }
                         _ => opts.copies = Some(v as usize),
                     }
                 }

@@ -7,7 +7,7 @@ use hypertester::asic::action::{ActionSet, PrimitiveOp};
 use hypertester::asic::phv::fields;
 use hypertester::asic::table::{MatchKind, Table};
 use hypertester::asic::time::ms;
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, distinct_count, global_value, Gbps, TesterConfig};
@@ -43,7 +43,7 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
     );
     dut.ingress.push_table(fwd);
 
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let t = w.add_device(Box::new(tester.switch));
     let d = w.add_device(Box::new(dut));
     w.connect((t, 0), (d, 0), 1_000_000); // 1 µs cable
@@ -79,10 +79,10 @@ Q2 = query().reduce(func=count)
             .unwrap();
     let templates = tester.template_copies(0, 8);
 
-    let mut w = World::new(99);
+    let mut w = World::builder().seed(99).build().unwrap();
     let t = w.add_device(Box::new(tester.switch));
     // Port 0 loops back into port 1 over a 30%-lossy link.
-    w.connect_faulty((t, 0), (t, 1), 0, 0.3, 0.0);
+    w.link((t, 0), (t, 1), LinkSpec::new().loss(0.3));
     SwitchCpu::new().inject_templates(&mut w, t, templates, 0);
     w.run_until(ms(20));
 
@@ -128,7 +128,7 @@ fn loopback_ports_extend_accelerator_capacity() {
     let templates: Vec<_> =
         (0..task.templates.len()).flat_map(|i| tester.template_copies(i, 1)).collect();
 
-    let mut w = World::new(1);
+    let mut w = World::builder().seed(1).build().unwrap();
     let t = w.add_device(Box::new(tester.switch));
     let sk = w.add_device(Box::new(Sink::new("sink")));
     w.connect((t, 0), (sk, 0), 0);
