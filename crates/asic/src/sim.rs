@@ -535,12 +535,6 @@ impl World {
         self.devices.len() - 1
     }
 
-    /// Connects two endpoints bidirectionally with a propagation delay and
-    /// no faults — the thin shim over [`link`](Self::link).
-    pub fn connect(&mut self, a: (DeviceId, u16), b: (DeviceId, u16), delay: SimTime) {
-        self.link(a, b, LinkSpec::new().delay(delay));
-    }
-
     /// Connects two endpoints bidirectionally as described by `spec`.
     ///
     /// # Panics
@@ -807,7 +801,7 @@ mod tests {
         let mut w = world(1);
         let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
         let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
-        w.connect((e, 0), (c, 0), 5_000);
+        w.link((e, 0), (c, 0), LinkSpec::new().delay(5_000));
         w.schedule_rx(e, 0, blank_packet(), 100);
         w.run_to_idle(100);
         // Echo got it at t=100, re-emitted at 110 ns, counter at 115 ns.

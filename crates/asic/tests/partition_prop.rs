@@ -172,7 +172,7 @@ fn run_ring(
     for i in 0..hops {
         let delay = base_delay + i as u64 * 111;
         w.link((hop_ids[i], 1), (hop_ids[(i + 1) % hops], 0), LinkSpec::new().delay(delay));
-        w.connect((hop_ids[i], 2), (tap_ids[i], 0), 0); // zero-delay: same group
+        w.link((hop_ids[i], 2), (tap_ids[i], 0), LinkSpec::new()); // zero-delay: same group
     }
     let table = FieldTable::new();
     for p in 0..packets {
@@ -215,10 +215,10 @@ fn run_chain(
     let t = w.add_device(Box::new(Tap::new("end")));
     let mut prev = (p, 0u16);
     for (i, &h) in hops.iter().enumerate() {
-        w.connect(prev, (h, 0), 900 + i as u64 * 53);
+        w.link(prev, (h, 0), LinkSpec::new().delay(900 + i as u64 * 53));
         prev = (h, 1);
     }
-    w.connect(prev, (t, 0), 1_200);
+    w.link(prev, (t, 0), LinkSpec::new().delay(1_200));
     w.schedule_wake(p, 7, 100);
     let n = w.run_until(t_end);
     let gen = w.device::<Pulser>(p);

@@ -180,7 +180,7 @@ impl Device for MoonGen {
 mod tests {
     use super::*;
     use ht_asic::time::ms;
-    use ht_asic::World;
+    use ht_asic::{LinkSpec, World};
     use ht_dut::Sink;
 
     #[test]
@@ -225,8 +225,8 @@ mod tests {
         let mut w = World::builder().seed(1).build().unwrap();
         let mg_id = w.add_device(Box::new(MoonGen::new("mg", cfg)));
         let sk = w.add_device(Box::new(Sink::new("sink")));
-        w.connect((mg_id, 0), (sk, 0), 0);
-        w.connect((mg_id, 1), (sk, 1), 0);
+        w.link((mg_id, 0), (sk, 0), LinkSpec::new());
+        w.link((mg_id, 1), (sk, 1), LinkSpec::new());
         for c in 0..2 {
             w.schedule_wake(mg_id, c, 0);
         }

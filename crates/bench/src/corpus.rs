@@ -12,8 +12,9 @@
 use ht_asic::fingerprint::program_fingerprint;
 use ht_asic::Switch;
 use ht_core::TesterConfig;
-use ht_ntapi::{compile, parse};
+use ht_ntapi::{compile, parse, resolve_file};
 use ht_packet::wire::gbps;
+use std::path::PathBuf;
 
 /// One corpus program: a named NTAPI source and its build configuration.
 pub struct CorpusEntry {
@@ -21,6 +22,9 @@ pub struct CorpusEntry {
     pub name: &'static str,
     /// NTAPI DSL source.
     pub src: String,
+    /// On-disk path for sources with `import`s; when set, the entry is
+    /// loaded through the module resolver instead of the plain parser.
+    pub path: Option<PathBuf>,
     /// Tester ports; `None` derives `max template port + 1` from the
     /// compiled task (the `htctl lint` rule).
     pub ports: Option<u16>,
@@ -30,7 +34,16 @@ pub struct CorpusEntry {
 
 impl CorpusEntry {
     fn new(name: &'static str, src: impl Into<String>) -> Self {
-        CorpusEntry { name, src: src.into(), ports: None, speed_bps: gbps(100) }
+        CorpusEntry { name, src: src.into(), path: None, ports: None, speed_bps: gbps(100) }
+    }
+
+    /// A checked-in `tasks/` file, resolved from disk so that `import`
+    /// and template instantiation work.
+    fn task(name: &'static str, file: &str) -> Self {
+        let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tasks")).join(file);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("corpus task {}: {e}", path.display()));
+        CorpusEntry { name, src, path: Some(path), ports: None, speed_bps: gbps(100) }
     }
 
     fn ports(mut self, ports: u16) -> Self {
@@ -79,10 +92,10 @@ fn random_src(dist: &str) -> String {
 /// CPU-path models, pure-math ablations — have nothing to fingerprint).
 pub fn corpus() -> Vec<CorpusEntry> {
     vec![
-        // Checked-in task files.
-        CorpusEntry::new("task_scan", include_str!("../../../tasks/scan.nt")),
-        CorpusEntry::new("task_syn_flood", include_str!("../../../tasks/syn_flood.nt")),
-        CorpusEntry::new("task_throughput", include_str!("../../../tasks/throughput.nt")),
+        // Checked-in task files (resolver-loaded: they import tasks/lib/).
+        CorpusEntry::task("task_scan", "scan.nt"),
+        CorpusEntry::task("task_syn_flood", "syn_flood.nt"),
+        CorpusEntry::task("task_throughput", "throughput.nt"),
         // Table 5 applications (also fig18_delay_case and table8_synflood).
         CorpusEntry::new("app_throughput", crate::apps::THROUGHPUT),
         CorpusEntry::new("app_delay", crate::apps::DELAY).ports(2),
@@ -128,7 +141,12 @@ pub fn corpus() -> Vec<CorpusEntry> {
 
 /// Compiles and builds one corpus entry into its switch program.
 pub fn build_switch(entry: &CorpusEntry) -> Switch {
-    let task = compile(&parse(&entry.src).expect("corpus source parses"))
+    let program = match &entry.path {
+        Some(path) => resolve_file(path, &[], &[])
+            .unwrap_or_else(|e| panic!("corpus entry {} fails to resolve: {e}", entry.name)),
+        None => parse(&entry.src).expect("corpus source parses"),
+    };
+    let task = compile(&program)
         .unwrap_or_else(|e| panic!("corpus entry {} fails to compile: {e}", entry.name));
     let ports = entry.ports.unwrap_or_else(|| {
         task.templates.iter().flat_map(|t| t.ports.iter().copied()).max().unwrap_or(0) + 1

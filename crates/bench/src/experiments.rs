@@ -7,6 +7,7 @@
 use crate::apps;
 use crate::harness::{run, tester_switch, RunSpec};
 use ht_asic::time::{ms, us, SimTime, PS_PER_SEC};
+use ht_asic::LinkSpec;
 use ht_baseline::ratectl::{timestamp_error, RateControlMode, TimestampMode};
 use ht_baseline::tester::{aggregate_l2_bps, core_pps, departures, MoonGenConfig};
 use ht_ntapi::fp::{compute_fp_indices, HashConfig, KeySpace};
@@ -255,7 +256,7 @@ pub fn fig13_random(dist_src: &str, dist: ht_stats::Distribution) -> (usize, Vec
     let sink = world.add_device(Box::new(
         ht_dut::Sink::new("sink").capturing(vec![ht_asic::fields::UDP_DPORT]),
     ));
-    world.connect((sw, 0), (sink, 0), 0);
+    world.link((sw, 0), (sink, 0), LinkSpec::new());
     ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(2));
     let samples: Vec<f64> =
@@ -392,7 +393,7 @@ pub fn fig15_replicator(sizes: &[usize], ports: u16, rate_pps: u64) -> Vec<Repli
             let sw = world.add_device(Box::new(built.switch));
             let sk = world.add_device(Box::new(sink));
             for p in 0..ports {
-                world.connect((sw, p), (sk, p), 0);
+                world.link((sw, p), (sk, p), LinkSpec::new());
             }
             ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
             world.run_until(ms(5));
@@ -554,8 +555,8 @@ pub fn fig18_delay(dut_delay: SimTime, probes: usize) -> (f64, Vec<DelayPoint>) 
     let dut =
         world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));
     let sink = world.add_device(Box::new(ht_dut::Sink::new("rx").logging_arrivals()));
-    world.connect((sw, 0), (dut, 0), 0);
-    world.connect((dut, 1), (sink, 0), 0);
+    world.link((sw, 0), (dut, 0), LinkSpec::new());
+    world.link((dut, 1), (sink, 0), LinkSpec::new());
     ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(us(10) * probes as u64 + ms(1));
 
@@ -673,8 +674,8 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
     let sw_id = world.add_device(Box::new(built.switch));
     let dut =
         world.add_device(Box::new(ht_dut::Forwarder::new("dut", dut_delay).route(0, 1, gbps(100))));
-    world.connect((sw_id, 0), (dut, 0), 0);
-    world.connect((dut, 1), (sw_id, 1), 0);
+    world.link((sw_id, 0), (dut, 0), LinkSpec::new());
+    world.link((dut, 1), (sw_id, 1), LinkSpec::new());
     ht_cpu::SwitchCpu::new().inject_templates(&mut world, sw_id, templates, 0);
     world.run_until(us(10) * probes as u64 + ms(1));
 

@@ -1,8 +1,8 @@
 //! Grammar-driven fuzz oracle cross-checking the static analysis.
 //!
 //! [`run_fuzz`] generates random NTAPI tasks from a small grammar over the
-//! builder API, compiles each one, and cross-checks three invariants the
-//! abstract-interpretation passes promise:
+//! builder API, compiles each one, and cross-checks four invariants the
+//! static pipeline promises:
 //!
 //! * **A (accepted ⇒ clean)** — a task the static pipeline accepts
 //!   (compile + task lint + switch lint) must build and simulate without
@@ -15,6 +15,20 @@
 //!   `task-lint` (i.e. without the `analysis-annotation` pass) must
 //!   produce a module whose simulation digest is byte-identical to the
 //!   fully lowered one: analysis facts are annotations, never semantics.
+//! * **D (no rogue flows)** — a keyed/distinct query run against the
+//!   injected flows must report zero flows outside the injected header
+//!   space: every resident or evicted `(bucket, digest)` pair and every
+//!   nonzero exact-match counter must correspond to a key the templates
+//!   can actually emit.  Keyed specs are simulated on a loop-back
+//!   testbed (egress wired into ingress) so the received-traffic query
+//!   genuinely observes the generated flows.
+//!
+//! The grammar covers the module system too: a spec may render
+//! *modularly* — each trigger becomes a parameterized `template` in an
+//! in-memory library module, the main unit `import`s it and binds
+//! `T1 = zztrigN(zzport=…, zzlen=…)` — and the resolved [`Program`] is
+//! asserted structurally identical to the direct builder rendering (a
+//! divergence panics, surfacing as an invariant-A finding).
 //!
 //! A violated invariant is shrunk to a minimal reproducer by greedy
 //! feature removal; minimized counterexamples serialize into a one-line
@@ -28,14 +42,21 @@
 use ht_asic::register::RegId;
 use ht_asic::switch::Switch;
 use ht_asic::time::us;
-use ht_asic::World;
+use ht_asic::{LinkSpec, World};
+use ht_core::results::keyed_by_digest;
 use ht_core::{build, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::Sink;
 use ht_lint::proven_nowrap_regs;
-use ht_ntapi::ast::{DistSpec, HeaderField, NtField, ReduceFunc};
+use ht_ntapi::ast::{
+    Arg, DistSpec, HeaderField, ImportDecl, InstanceDecl, Item, NtField, QueryDef, ReduceFunc,
+    Span, TemplateBody, TemplateDecl, TriggerDef, Value,
+};
 use ht_ntapi::builder::{program, query, trigger};
-use ht_ntapi::{compile, lower_with, CompiledTask, Program};
+use ht_ntapi::compile::QueryKind;
+use ht_ntapi::headerspace::global_space;
+use ht_ntapi::printer::print_unit;
+use ht_ntapi::{compile, lower_with, resolve_str, CompiledTask, MemLoader, Program, SourceUnit};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -125,6 +146,12 @@ pub enum QuerySpec {
     ReceivedSum,
     /// Same, filtered to one port.
     ReceivedPortSum,
+    /// `query().reduce(keys=[sport], func=count)` — keyed, loop-back
+    /// testbed, checked by invariant D.
+    KeyedSportCount,
+    /// `query().distinct(keys=[sport])` — distinct, loop-back testbed,
+    /// checked by invariant D.
+    DistinctSport,
 }
 
 /// One grammar-generated task: triggers plus an optional query.
@@ -134,44 +161,146 @@ pub struct TaskSpec {
     pub triggers: Vec<TriggerSpec>,
     /// The query shape.
     pub query: QuerySpec,
+    /// Render through the module system (`import` + parameterized
+    /// template instantiations resolved by [`resolve_str`]) instead of
+    /// handing the builder program straight to the compiler.
+    pub modular: bool,
 }
 
 impl TaskSpec {
+    fn trigger_def(name: &str, t: &TriggerSpec) -> TriggerDef {
+        let mut b = trigger(name).dip("10.0.0.2").sip("10.0.0.1");
+        b = if t.tcp { b.proto_tcp() } else { b.proto_udp() };
+        b = b.dport(t.dport).frame_len(t.frame_len).loops(t.loops).ports(&t.ports);
+        b = match t.sport_range {
+            Some((lo, hi, step)) => b.sport_range(lo, hi, step),
+            None => b.sport(1000),
+        };
+        if let Some(bits) = t.rand_sip_bits {
+            let hi = 1u64.checked_shl(bits).unwrap_or(u64::MAX);
+            b = b.random(HeaderField::Sip, DistSpec::Uniform { lo: 0, hi }, bits);
+        }
+        if let Some(ns) = t.interval_ns {
+            b = b.interval_ns(ns);
+        }
+        b.build()
+    }
+
+    fn query_def(&self) -> Option<QueryDef> {
+        match self.query {
+            QuerySpec::None => None,
+            QuerySpec::ReceivedSum => Some(
+                query("Q1").received().map([NtField::PktLen]).reduce_all(ReduceFunc::Sum).build(),
+            ),
+            QuerySpec::ReceivedPortSum => Some(
+                query("Q1")
+                    .received_port(0)
+                    .map([NtField::PktLen])
+                    .reduce_all(ReduceFunc::Sum)
+                    .build(),
+            ),
+            QuerySpec::KeyedSportCount => {
+                Some(query("Q1").received().reduce([HeaderField::Sport], ReduceFunc::Count).build())
+            }
+            QuerySpec::DistinctSport => {
+                Some(query("Q1").received().distinct([HeaderField::Sport]).build())
+            }
+        }
+    }
+
     /// Renders the spec through the NTAPI builder into a [`Program`].
     pub fn to_program(&self) -> Program {
-        let mut trigs = Vec::new();
+        let trigs: Vec<TriggerDef> = self
+            .triggers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Self::trigger_def(&format!("T{}", i + 1), t))
+            .collect();
+        program(trigs, self.query_def())
+    }
+
+    /// Renders the spec as DSL source through the module system: each
+    /// trigger becomes a parameterized `template` in a library module,
+    /// and the main unit imports it and instantiates `T1..Tn`.  Returns
+    /// `(main unit, library module)` source text.
+    pub fn modular_source(&self) -> (String, String) {
+        let mut lib = SourceUnit::default();
+        let mut main = SourceUnit::default();
+        main.items.push(Item::Import(ImportDecl { path: "fuzzlib.nt".into(), span: Span::DUMMY }));
         for (i, t) in self.triggers.iter().enumerate() {
-            let name = format!("T{}", i + 1);
-            let mut b = trigger(&name).dip("10.0.0.2").sip("10.0.0.1");
-            b = if t.tcp { b.proto_tcp() } else { b.proto_udp() };
-            b = b.dport(t.dport).frame_len(t.frame_len).loops(t.loops).ports(&t.ports);
-            b = match t.sport_range {
-                Some((lo, hi, step)) => b.sport_range(lo, hi, step),
-                None => b.sport(1000),
-            };
-            if let Some(bits) = t.rand_sip_bits {
-                let hi = 1u64.checked_shl(bits).unwrap_or(u64::MAX);
-                b = b.random(HeaderField::Sip, DistSpec::Uniform { lo: 0, hi }, bits);
+            let tname = format!("zztrig{}", i + 1);
+            let mut body = Self::trigger_def(&tname, t);
+            // Parameterize the destination port and frame length: the
+            // instantiation binds them back to the spec's constants.
+            for set in &mut body.sets {
+                for (f, v) in set.fields.iter().zip(set.values.iter_mut()) {
+                    match f {
+                        NtField::Header(HeaderField::Dport) => {
+                            *v = Value::Param { name: "zzport".into(), span: Span::DUMMY };
+                        }
+                        NtField::PktLen => {
+                            *v = Value::Param { name: "zzlen".into(), span: Span::DUMMY };
+                        }
+                        _ => {}
+                    }
+                }
             }
-            if let Some(ns) = t.interval_ns {
-                b = b.interval_ns(ns);
-            }
-            trigs.push(b.build());
+            lib.items.push(Item::Template(TemplateDecl {
+                name: tname.clone(),
+                params: vec![("zzport".into(), Span::DUMMY), ("zzlen".into(), Span::DUMMY)],
+                body: TemplateBody::Trigger(body),
+                span: Span::DUMMY,
+            }));
+            main.items.push(Item::Instance(InstanceDecl {
+                name: format!("T{}", i + 1),
+                template: tname,
+                args: vec![
+                    Arg { name: "zzport".into(), value: Value::Const(t.dport), span: Span::DUMMY },
+                    Arg {
+                        name: "zzlen".into(),
+                        value: Value::Const(t.frame_len),
+                        span: Span::DUMMY,
+                    },
+                ],
+                span: Span::DUMMY,
+            }));
         }
-        let queries = match self.query {
-            QuerySpec::None => vec![],
-            QuerySpec::ReceivedSum => vec![query("Q1")
-                .received()
-                .map([NtField::PktLen])
-                .reduce_all(ReduceFunc::Sum)
-                .build()],
-            QuerySpec::ReceivedPortSum => vec![query("Q1")
-                .received_port(0)
-                .map([NtField::PktLen])
-                .reduce_all(ReduceFunc::Sum)
-                .build()],
-        };
-        program(trigs, queries)
+        if let Some(q) = self.query_def() {
+            main.items.push(Item::Query(q));
+        }
+        (print_unit(&main), print_unit(&lib))
+    }
+
+    /// Resolves the modular rendering and cross-checks it against the
+    /// direct builder program.  A structural divergence panics — that is
+    /// an invariant-A finding (the module system changed semantics), not
+    /// a rejection.  `Err` means the resolver statically rejected the
+    /// rendered source (legitimate for out-of-grammar values).
+    pub fn resolve_modular(&self) -> Result<Program, String> {
+        let (main, lib) = self.modular_source();
+        let loader = MemLoader { files: [("fuzzlib.nt".to_string(), lib)].into_iter().collect() };
+        let resolved =
+            resolve_str(&main, "fuzz_main.nt", &loader, &[]).map_err(|e| e.to_string())?;
+        let mut want = self.to_program();
+        let mut got = resolved.clone();
+        want.strip_spans();
+        got.strip_spans();
+        want.source = None;
+        got.source = None;
+        want.sources = None;
+        got.sources = None;
+        assert_eq!(want, got, "modular rendering resolved to a different program\n{main}");
+        Ok(resolved)
+    }
+
+    /// The program the oracle checks: the resolver pipeline for modular
+    /// specs, the builder program otherwise.  `Err` = static rejection.
+    fn effective_program(&self) -> Result<Program, String> {
+        if self.modular {
+            self.resolve_modular()
+        } else {
+            Ok(self.to_program())
+        }
     }
 
     /// One-line corpus serialization (inverse of [`TaskSpec::parse`]).
@@ -184,8 +313,13 @@ impl TaskSpec {
                 QuerySpec::None => "none",
                 QuerySpec::ReceivedSum => "sum",
                 QuerySpec::ReceivedPortSum => "portsum",
+                QuerySpec::KeyedSportCount => "keyed",
+                QuerySpec::DistinctSport => "distinct",
             }
         );
+        if self.modular {
+            s.push_str(" modular=1");
+        }
         for t in &self.triggers {
             let sport = match t.sport_range {
                 Some((lo, hi, st)) => format!("{lo}:{hi}:{st}"),
@@ -207,9 +341,12 @@ impl TaskSpec {
         s
     }
 
-    /// Parses the [`TaskSpec::to_line`] form; `None` on any malformed part.
+    /// Parses the [`TaskSpec::to_line`] form; `None` on any malformed
+    /// part.  The `modular=` token is optional (absent in pre-module
+    /// corpus entries) and defaults to `false`.
     pub fn parse(line: &str) -> Option<TaskSpec> {
         let mut query_kind = QuerySpec::None;
+        let mut modular = false;
         let mut triggers: Vec<TriggerSpec> = Vec::new();
         for tok in line.split_whitespace() {
             if tok == "trig" {
@@ -231,8 +368,14 @@ impl TaskSpec {
                     "none" => QuerySpec::None,
                     "sum" => QuerySpec::ReceivedSum,
                     "portsum" => QuerySpec::ReceivedPortSum,
+                    "keyed" => QuerySpec::KeyedSportCount,
+                    "distinct" => QuerySpec::DistinctSport,
                     _ => return None,
                 };
+                continue;
+            }
+            if k == "modular" {
+                modular = v == "1";
                 continue;
             }
             let t = triggers.last_mut()?;
@@ -264,7 +407,7 @@ impl TaskSpec {
         if triggers.is_empty() {
             return None;
         }
-        Some(TaskSpec { triggers, query: query_kind })
+        Some(TaskSpec { triggers, query: query_kind, modular })
     }
 }
 
@@ -290,12 +433,15 @@ pub fn gen_spec(rng: &mut SplitMix64) -> TaskSpec {
             }
         })
         .collect();
-    let query = match rng.below(3) {
+    let query = match rng.below(5) {
         0 => QuerySpec::None,
         1 => QuerySpec::ReceivedSum,
-        _ => QuerySpec::ReceivedPortSum,
+        2 => QuerySpec::ReceivedPortSum,
+        3 => QuerySpec::KeyedSportCount,
+        _ => QuerySpec::DistinctSport,
     };
-    TaskSpec { triggers, query }
+    let modular = rng.chance(40);
+    TaskSpec { triggers, query, modular }
 }
 
 // ---------------------------------------------------------------------------
@@ -305,7 +451,7 @@ pub fn gen_spec(rng: &mut SplitMix64) -> TaskSpec {
 /// One invariant violation, with the evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which invariant broke: `"A"`, `"B"`, or `"C"`.
+    /// Which invariant broke: `"A"`, `"B"`, `"C"`, or `"D"`.
     pub invariant: &'static str,
     /// Human-readable evidence.
     pub detail: String,
@@ -342,6 +488,12 @@ struct SimSummary {
     digest: u64,
     proven_wrap_events: usize,
     recirculations: u64,
+    /// Flows reported by keyed/distinct queries (resident + evicted
+    /// digest pairs + nonzero exact counters).
+    reported_flows: usize,
+    /// Reported flows whose key falls outside the injected header space
+    /// — any nonzero count is an invariant-D violation.
+    rogue_flows: usize,
 }
 
 enum SimResult {
@@ -352,6 +504,12 @@ enum SimResult {
 
 /// Builds and simulates one compiled task for a short deterministic
 /// window, digesting sink counters and register state.
+///
+/// Tasks with a keyed/distinct query run on a loop-back testbed (egress
+/// ports wired into ingress ports of the same device) so received-traffic
+/// queries observe the generated flows; the summary then carries the
+/// invariant-D evidence (reported vs. rogue flows).  All other tasks keep
+/// the tester → sink wiring.
 fn simulate(task: &CompiledTask) -> SimResult {
     let cfg = TesterConfig::builder()
         .ports(SIM_PORTS)
@@ -362,6 +520,15 @@ fn simulate(task: &CompiledTask) -> SimResult {
         Ok(b) => b,
         Err(_) => return SimResult::Rejected,
     };
+    let mut keyed: Vec<_> = built
+        .handles
+        .queries
+        .values()
+        .filter(|h| h.engine.is_some() || h.exact.is_some())
+        .cloned()
+        .collect();
+    keyed.sort_by(|a, b| a.name.cmp(&b.name));
+    let loopback = !keyed.is_empty();
     let proven: HashSet<RegId> = proven_nowrap_regs(&built.switch).into_iter().collect();
     built.switch.regs.set_trace_wraps(true);
 
@@ -372,8 +539,14 @@ fn simulate(task: &CompiledTask) -> SimResult {
     let mut world = World::builder().seed(1).build().unwrap();
     let tester = world.add_device(Box::new(built.switch));
     let sink_id = world.add_device(Box::new(Sink::new("sink")));
-    for p in 0..SIM_PORTS {
-        world.connect((tester, p), (sink_id, p), 0);
+    if loopback {
+        for p in (0..SIM_PORTS).step_by(2) {
+            world.link((tester, p), (tester, p + 1), LinkSpec::new());
+        }
+    } else {
+        for p in 0..SIM_PORTS {
+            world.link((tester, p), (sink_id, p), LinkSpec::new());
+        }
     }
     SwitchCpu::new().inject_templates(&mut world, tester, templates, 0);
     world.run_until(us(WINDOW_US));
@@ -394,11 +567,52 @@ fn simulate(task: &CompiledTask) -> SimResult {
             h.u64(arr.cp_read(i));
         }
     }
+    let (mut reported_flows, mut rogue_flows) = (0usize, 0usize);
+    for handle in &keyed {
+        let keys = match &handle.query.kind {
+            QueryKind::ReduceKeyed { keys, .. } | QueryKind::Distinct { keys } => keys,
+            _ => continue,
+        };
+        // The injected set: every key tuple the templates can emit.  An
+        // unenumerable space means the compiler accepted a keyed query it
+        // could not have sized the engine for — skip rather than guess.
+        let Ok(space) = global_space(&task.templates, keys, false) else {
+            continue;
+        };
+        if let Some(engine) = &handle.engine {
+            // `keyed_by_digest` takes the engine lock itself — merge the
+            // digest map before computing canonical pairs under the lock.
+            let digest_map = keyed_by_digest(sw, handle);
+            let eng = engine.lock().unwrap();
+            let canon: HashSet<(u64, u64)> =
+                space.iter().map(|k| eng.canonical_of_key(k)).collect();
+            for pair in digest_map.keys() {
+                reported_flows += 1;
+                if !canon.contains(pair) {
+                    rogue_flows += 1;
+                }
+            }
+        }
+        if let Some((reg, exact_keys)) = &handle.exact {
+            let rows: HashSet<Vec<u64>> = space.iter().map(<[u64]>::to_vec).collect();
+            let arr = sw.regs.array(*reg);
+            for (i, key) in exact_keys.iter().enumerate() {
+                if arr.cp_read(i) != 0 {
+                    reported_flows += 1;
+                    if !rows.contains(key) {
+                        rogue_flows += 1;
+                    }
+                }
+            }
+        }
+    }
     let proven_wrap_events = sw.regs.wrap_log().iter().filter(|e| proven.contains(&e.reg)).count();
     SimResult::Ran(SimSummary {
         digest: h.0,
         proven_wrap_events,
         recirculations: sw.counters.recirculations,
+        reported_flows,
+        rogue_flows,
     })
 }
 
@@ -438,7 +652,10 @@ pub fn differential_digest(prog: &Program) -> Option<DifferentialDigest> {
 }
 
 fn check_spec_inner(spec: &TaskSpec) -> CaseOutcome {
-    let prog = spec.to_program();
+    let prog = match spec.effective_program() {
+        Ok(p) => p,
+        Err(_) => return CaseOutcome::Rejected,
+    };
     let task = match compile(&prog) {
         Ok(t) => t,
         Err(_) => return CaseOutcome::Rejected,
@@ -490,13 +707,22 @@ fn check_spec_inner(spec: &TaskSpec) -> CaseOutcome {
                     ),
                 });
             }
+            if f.rogue_flows > 0 {
+                return CaseOutcome::Violated(Violation {
+                    invariant: "D",
+                    detail: format!(
+                        "{} of {} reported flow(s) outside the injected set",
+                        f.rogue_flows, f.reported_flows
+                    ),
+                });
+            }
             CaseOutcome::Accepted
         }
     }
 }
 
-/// Checks one spec against all three invariants.  A panic anywhere in
-/// compile/build/simulate is itself an invariant-A violation.
+/// Checks one spec against all four invariants.  A panic anywhere in
+/// resolve/compile/build/simulate is itself an invariant-A violation.
 pub fn check_spec(spec: &TaskSpec) -> CaseOutcome {
     match catch_unwind(AssertUnwindSafe(|| check_spec_inner(spec))) {
         Ok(outcome) => outcome,
@@ -520,6 +746,13 @@ fn simplifications(spec: &TaskSpec) -> Vec<TaskSpec> {
             s.triggers.remove(i);
             out.push(s);
         }
+    }
+    // Peel the module-system layer before field cuts: a violation that
+    // survives with `modular = false` is not a resolver finding.
+    if spec.modular {
+        let mut s = spec.clone();
+        s.modular = false;
+        out.push(s);
     }
     if spec.query != QuerySpec::None {
         let mut s = spec.clone();
@@ -744,39 +977,97 @@ mod tests {
         assert!(report.failures.is_empty(), "unexpected counterexamples: {:?}", report.failures);
     }
 
+    fn minimal_trigger() -> TriggerSpec {
+        TriggerSpec {
+            frame_len: 64,
+            tcp: false,
+            dport: 80,
+            sport_range: None,
+            rand_sip_bits: None,
+            interval_ns: None,
+            ports: vec![0],
+            loops: 0,
+        }
+    }
+
     #[test]
     fn valid_minimal_spec_is_accepted() {
-        let spec = TaskSpec {
-            triggers: vec![TriggerSpec {
-                frame_len: 64,
-                tcp: false,
-                dport: 80,
-                sport_range: None,
-                rand_sip_bits: None,
-                interval_ns: None,
-                ports: vec![0],
-                loops: 0,
-            }],
-            query: QuerySpec::None,
-        };
+        let spec =
+            TaskSpec { triggers: vec![minimal_trigger()], query: QuerySpec::None, modular: false };
         assert_eq!(check_spec(&spec), CaseOutcome::Accepted);
     }
 
     #[test]
     fn out_of_range_dport_is_rejected_not_a_crash() {
         let spec = TaskSpec {
-            triggers: vec![TriggerSpec {
-                frame_len: 64,
-                tcp: false,
-                dport: 70_000,
-                sport_range: None,
-                rand_sip_bits: None,
-                interval_ns: None,
-                ports: vec![0],
-                loops: 0,
-            }],
+            triggers: vec![TriggerSpec { dport: 70_000, ..minimal_trigger() }],
             query: QuerySpec::None,
+            modular: false,
         };
         assert_eq!(check_spec(&spec), CaseOutcome::Rejected);
+    }
+
+    #[test]
+    fn modular_rendering_resolves_to_the_builder_program() {
+        let spec = TaskSpec {
+            triggers: vec![
+                TriggerSpec { sport_range: Some((2000, 2009, 1)), ..minimal_trigger() },
+                TriggerSpec { tcp: true, dport: 443, ..minimal_trigger() },
+            ],
+            query: QuerySpec::ReceivedSum,
+            modular: true,
+        };
+        let (main, lib) = spec.modular_source();
+        assert!(main.contains("import \"fuzzlib.nt\""), "main unit:\n{main}");
+        assert!(main.contains("T1 = zztrig1(zzport=80, zzlen=64)"), "main unit:\n{main}");
+        assert!(lib.contains("template zztrig1(zzport, zzlen)"), "library:\n{lib}");
+        // resolve_modular asserts structural equality internally.
+        let resolved = spec.resolve_modular().expect("modular rendering resolves");
+        assert_eq!(resolved.triggers.len(), 2);
+        assert_eq!(check_spec(&spec), CaseOutcome::Accepted);
+    }
+
+    #[test]
+    fn modular_out_of_grammar_values_still_reject_cleanly() {
+        // dport 70000 overflows the field; the modular path must reject
+        // (at resolve or compile), never panic.
+        let spec = TaskSpec {
+            triggers: vec![TriggerSpec { dport: 70_000, ..minimal_trigger() }],
+            query: QuerySpec::None,
+            modular: true,
+        };
+        assert_eq!(check_spec(&spec), CaseOutcome::Rejected);
+    }
+
+    #[test]
+    fn spec_line_without_modular_token_parses_as_direct() {
+        let spec = TaskSpec::parse(
+            "query=none trig frame=64 tcp=0 dport=80 sport=- rand=- interval=- ports=0 loops=0",
+        )
+        .expect("legacy line parses");
+        assert!(!spec.modular);
+        let round = TaskSpec::parse(&spec.to_line()).unwrap();
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn keyed_query_reports_only_injected_flows() {
+        // Invariant D must be non-vacuous: on the loop-back testbed the
+        // distinct query observes the generated flows, and every
+        // reported flow lies inside the injected sport range.
+        let spec = TaskSpec {
+            triggers: vec![TriggerSpec { sport_range: Some((5000, 5019, 1)), ..minimal_trigger() }],
+            query: QuerySpec::DistinctSport,
+            modular: false,
+        };
+        let task = compile(&spec.to_program()).expect("keyed spec compiles");
+        match simulate(&task) {
+            SimResult::Ran(s) => {
+                assert!(s.reported_flows > 0, "loop-back testbed saw no flows");
+                assert_eq!(s.rogue_flows, 0, "reported flows outside the injected set");
+            }
+            SimResult::Rejected => panic!("keyed spec must build"),
+        }
+        assert_eq!(check_spec(&spec), CaseOutcome::Accepted);
     }
 }

@@ -2,7 +2,7 @@
 //! run with a warm-up window, and collect per-port measurements.
 
 use ht_asic::time::{ms, SimTime};
-use ht_asic::{DeviceId, QueueKind, SimThreads, Switch, World};
+use ht_asic::{DeviceId, LinkSpec, QueueKind, SimThreads, Switch, World};
 use ht_core::{build, BuiltTester, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::Sink;
@@ -101,7 +101,7 @@ pub fn run(spec: RunSpec<'_>) -> HtRun {
     let tester = world.add_device(Box::new(built.switch));
     let sink_id = world.add_device(Box::new(sink));
     for p in 0..spec.ports {
-        world.connect((tester, p), (sink_id, p), 0);
+        world.link((tester, p), (sink_id, p), LinkSpec::new());
     }
     SwitchCpu::new().inject_templates(&mut world, tester, templates, 0);
 

@@ -3,7 +3,7 @@
 
 use ht_asic::phv::fields;
 use ht_asic::time::{ms, us, PS_PER_SEC};
-use ht_asic::{Switch, World};
+use ht_asic::{LinkSpec, Switch, World};
 use ht_core::{build, distinct_count, global_value, keyed_results, Gbps, TesterConfig};
 use ht_cpu::SwitchCpu;
 use ht_dut::{Sink, TcpResponder};
@@ -23,7 +23,7 @@ fn testbed(src: &str, copies: usize, sink: Sink) -> (World, usize, usize) {
     let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(sink));
-    w.connect((sw, 0), (sk, 0), 0);
+    w.link((sw, 0), (sk, 0), LinkSpec::new());
     let cpu = SwitchCpu::new();
     cpu.inject_templates(&mut w, sw, all, 0);
     (w, sw, sk)
@@ -108,7 +108,7 @@ Q1 = query(T1).reduce(keys=[sport], func=count)
     let sink = Sink::new("sink").capturing(vec![fields::UDP_SPORT]);
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(sink));
-    w.connect((sw, 0), (sk, 0), 0);
+    w.link((sw, 0), (sk, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut w, sw, copies, 0);
     w.run_until(ms(2));
 
@@ -154,7 +154,7 @@ Q1 = query().distinct(keys=[sport])
     let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     // Loop port 0 back into port 1 of the same device.
-    w.connect((sw, 0), (sw, 1), 0);
+    w.link((sw, 0), (sw, 1), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut w, sw, copies, 0);
     w.run_until(ms(2));
 
@@ -190,7 +190,7 @@ Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
     let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let srv = w.add_device(Box::new(TcpResponder::new("server", us(1))));
-    w.connect((sw, 0), (srv, 0), us(1));
+    w.link((sw, 0), (srv, 0), LinkSpec::new().delay(us(1)));
     SwitchCpu::new().inject_templates(&mut w, sw, all, 0);
     w.run_until(ms(5));
 
@@ -274,7 +274,7 @@ Q1 = query(T1).reduce(func=count)
     let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     let sk = w.add_device(Box::new(Sink::new("sink")));
-    w.connect((sw, 0), (sk, 0), 0);
+    w.link((sw, 0), (sk, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut w, sw, copies, 0);
     let horizon = ms(2);
     w.run_until(horizon);
@@ -345,7 +345,7 @@ Q1 = query().map(p -> (pkt_len)).reduce(func=max)
     let mut w = World::builder().seed(1).build().unwrap();
     let sw = w.add_device(Box::new(bt.switch));
     // Self-wire so the received-traffic query sees the generated frames.
-    w.connect((sw, 0), (sw, 1), 0);
+    w.link((sw, 0), (sw, 1), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut w, sw, all, 0);
 
     // After only small frames returned, the max is 64…

@@ -24,6 +24,32 @@ impl std::fmt::Display for Severity {
     }
 }
 
+/// A resolved source position in the NTAPI task text a finding traces
+/// back to: file, 1-based line/column, and a pre-rendered snippet of the
+/// offending line (gutter + caret underline).
+///
+/// Purely additive provenance: a diagnostic without a span renders and
+/// serializes exactly as it did before spans existed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// Task or module file the finding points into.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Pre-rendered source snippet (may span several physical lines);
+    /// empty when the source text was unavailable.
+    pub snippet: String,
+}
+
+impl SourceSpan {
+    /// Renders the `file:line:col` anchor.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
 /// One finding of a pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -38,6 +64,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub hint: String,
+    /// Source provenance, when the front end could resolve the finding
+    /// back to the task text.
+    pub span: Option<SourceSpan>,
 }
 
 impl Diagnostic {
@@ -54,6 +83,7 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             hint: hint.into(),
+            span: None,
         }
     }
 
@@ -70,13 +100,31 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             hint: hint.into(),
+            span: None,
         }
     }
 
-    /// Renders the diagnostic as one JSON object.
+    /// Attaches source provenance (builder style).
+    pub fn with_span(mut self, span: SourceSpan) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Renders the diagnostic as one JSON object.  The `span` member is
+    /// emitted only when provenance is present, so span-free diagnostics
+    /// serialize byte-identically to the pre-span schema.
     pub fn to_json(&self) -> String {
+        let span = match &self.span {
+            Some(s) => format!(
+                ",\"span\":{{\"file\":\"{}\",\"line\":{},\"col\":{}}}",
+                json_escape(&s.file),
+                s.line,
+                s.col,
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"{span}}}",
             json_escape(self.rule),
             self.severity,
             json_escape(&self.location),
@@ -89,6 +137,12 @@ impl Diagnostic {
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, "\n  --> {}", span.render())?;
+            if !span.snippet.is_empty() {
+                write!(f, "\n{}", span.snippet)?;
+            }
+        }
         if !self.hint.is_empty() {
             write!(f, "\n  hint: {}", self.hint)?;
         }
@@ -222,6 +276,34 @@ mod tests {
             report_json("a\"b", &LintReport::new()),
             "{\"file\":\"a\\\"b\",\"diagnostics\":[],\"errors\":0,\"warnings\":0}"
         );
+    }
+
+    #[test]
+    fn spans_render_additively() {
+        let bare = Diagnostic::warning("r", "trigger T1", "odd", "tweak it");
+        assert_eq!(bare.to_string(), "warning[r] trigger T1: odd\n  hint: tweak it");
+
+        let spanned = bare.clone().with_span(SourceSpan {
+            file: "tasks/scan.nt".into(),
+            line: 3,
+            col: 10,
+            snippet: "   3 |     .set(interval, 1us)\n     |          ^^^^^^^^".into(),
+        });
+        assert_eq!(
+            spanned.to_string(),
+            "warning[r] trigger T1: odd\n  --> tasks/scan.nt:3:10\n   3 |     \
+             .set(interval, 1us)\n     |          ^^^^^^^^\n  hint: tweak it"
+        );
+        // First line (and the bare rendering) is unchanged by provenance.
+        assert!(spanned
+            .to_string()
+            .starts_with(&bare.to_string().lines().next().unwrap().to_string()));
+
+        // JSON: `span` member only when present.
+        assert!(!bare.to_json().contains("span"));
+        assert!(spanned
+            .to_json()
+            .ends_with(",\"span\":{\"file\":\"tasks/scan.nt\",\"line\":3,\"col\":10}}"));
     }
 
     #[test]

@@ -41,12 +41,13 @@ pub mod render;
 pub mod template;
 
 pub use dataflow::{AbstractDomain, BitSet, Cfg, EdgeKind, Env, Solution, Transfer, ValueFact};
-pub use diag::{json_escape, report_json, Diagnostic, LintReport, Severity};
+pub use diag::{json_escape, report_json, Diagnostic, LintReport, Severity, SourceSpan};
 pub use field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
 pub use hashcfg::HashConfig;
 pub use keyspace::KeySpace;
 pub use module::{
-    AcceleratorPlan, AnalysisFacts, FieldRangeFact, Module, PipelinePlan, TimerFact, TimerPlan,
+    AcceleratorPlan, AnalysisFacts, FieldRangeFact, Module, PipelinePlan, Provenance, TimerFact,
+    TimerPlan,
 };
 pub use pass::{Pass, PassCx, PassManager, PassRun, PassTrace};
 pub use query::{CompiledQuery, FpConfig, QueryKind};

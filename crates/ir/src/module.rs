@@ -8,6 +8,7 @@
 //! the pass-computed annotations that are *about* the module rather than
 //! *in* it — timer synthesis and resource accounting.
 
+use crate::diag::SourceSpan;
 use crate::query::CompiledQuery;
 use crate::template::TemplateSpec;
 use ht_asic::time::SimTime;
@@ -103,6 +104,78 @@ pub struct PipelinePlan {
     pub analysis: AnalysisFacts,
 }
 
+/// Source provenance of a lowered module: where each trigger and query
+/// was declared in the NTAPI task text.  Filled by the front end when the
+/// module was lowered from a resolved DSL program; empty (the default)
+/// for builder-constructed programs.  Deliberately *not* rendered by
+/// [`Module::to_text`]/[`Module::to_json`], so golden IR snapshots are
+/// unaffected by provenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Span of the task entry file as a whole (line 1 of the entry file).
+    pub task: Option<SourceSpan>,
+    /// Declaration spans by trigger name.
+    pub triggers: Vec<(String, SourceSpan)>,
+    /// Declaration spans by query name.
+    pub queries: Vec<(String, SourceSpan)>,
+}
+
+impl Provenance {
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.task.is_none() && self.triggers.is_empty() && self.queries.is_empty()
+    }
+
+    /// The span recorded for a trigger, by name.
+    pub fn trigger(&self, name: &str) -> Option<&SourceSpan> {
+        self.triggers.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// The span recorded for a query, by name.
+    pub fn query(&self, name: &str) -> Option<&SourceSpan> {
+        self.queries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// The span a diagnostic's `location` string anchors to: the named
+    /// trigger/query when the location follows one of the pass
+    /// conventions (`trigger T1`, `query Q1`, `template 1 "T1"`, or any
+    /// location quoting a declared name), else `None`.
+    pub fn span_for_location(&self, location: &str) -> Option<&SourceSpan> {
+        if let Some(rest) = location.strip_prefix("trigger ") {
+            let name = rest.split_whitespace().next().unwrap_or(rest);
+            if let Some(s) = self.trigger(name) {
+                return Some(s);
+            }
+        }
+        if let Some(rest) = location.strip_prefix("query ") {
+            let name = rest.split_whitespace().next().unwrap_or(rest);
+            if let Some(s) = self.query(name) {
+                return Some(s);
+            }
+        }
+        let mut quoted = location.split('"').skip(1).step_by(2);
+        if let Some(name) = quoted.next() {
+            return self.trigger(name).or_else(|| self.query(name));
+        }
+        None
+    }
+
+    /// Attaches source provenance to every span-less diagnostic in the
+    /// report: the declaring construct's span when the location names
+    /// one, else the task span.  Diagnostics that already carry a span
+    /// are left alone.
+    pub fn attach(&self, report: &mut crate::diag::LintReport) {
+        if self.is_empty() {
+            return;
+        }
+        for d in &mut report.diagnostics {
+            if d.span.is_none() {
+                d.span = self.span_for_location(&d.location).cloned().or_else(|| self.task.clone());
+            }
+        }
+    }
+}
+
 /// A lowered testing task: the typed IR between the NTAPI AST and every
 /// backend.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -113,6 +186,8 @@ pub struct Module {
     pub queries: Vec<CompiledQuery>,
     /// Pass-computed annotations.
     pub plan: PipelinePlan,
+    /// Source provenance (never rendered into IR dumps).
+    pub provenance: Provenance,
 }
 
 impl Module {

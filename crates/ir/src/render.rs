@@ -474,6 +474,7 @@ mod tests {
                 stage_budget: 24,
                 analysis: Default::default(),
             },
+            provenance: Default::default(),
         }
     }
 

@@ -1,14 +1,26 @@
 //! The NTAPI abstract syntax: the types behind Table 1 (fields) and
-//! Table 2 (syntax) of the paper.
+//! Table 2 (syntax) of the paper, plus the module-system surface forms
+//! (`import`, `param`, `template`, instantiations).
 //!
 //! A network testing task (a [`Program`]) is a set of named *packet stream
 //! triggers* (packet generation) and *packet stream queries* (statistic
 //! collection / stateless-connection capture).  Programs are built either
-//! with the fluent builder ([`crate::builder`]) or parsed from the textual
-//! DSL ([`mod@crate::parse`]); both produce this AST, which the compiler
-//! ([`mod@crate::compile`]) validates and lowers.
+//! with the fluent builder ([`crate::builder`]), or parsed from the textual
+//! DSL into a [`SourceUnit`] ([`mod@crate::parse`]) and flattened by the
+//! resolver ([`mod@crate::resolve`]) — imports inlined, templates
+//! instantiated, parameters substituted.  Both paths produce this AST,
+//! which the compiler ([`mod@crate::compile`]) validates and lowers.
+//!
+//! Every node parsed from source carries a [`Span`]; programmatically
+//! built nodes carry [`Span::DUMMY`].  Equality on [`Program`] includes
+//! spans — compare via [`Program::strip_spans`] when provenance should
+//! not matter.
+
+use std::sync::Arc;
 
 use ht_asic::time::SimTime;
+
+pub use crate::loc::{SourceMap, Span};
 
 // The field vocabulary (`HeaderField`, `NtField`) moved to `ht-ir`: the
 // compiled IR names the same fields the surface syntax sets, so the types
@@ -77,6 +89,24 @@ pub enum Value {
         /// Constant added to the captured value.
         offset: i64,
     },
+    /// A CIDR block literal (`10.1.0.0/20`).  The resolver expands it to
+    /// the [`Value::Range`] over the block's usable host addresses; it is
+    /// an error for a CIDR to survive into lowering.
+    Cidr {
+        /// Network address.
+        addr: u32,
+        /// Prefix length (0–32; ≤ 30 required for a non-empty host range).
+        prefix: u8,
+    },
+    /// A reference to a declared parameter (`param rate = 1us`) or a
+    /// template formal.  The resolver substitutes the bound value; an
+    /// unbound reference is a resolve error.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Where the reference appears.
+        span: Span,
+    },
 }
 
 /// One `set` statement: fields and their values, positionally paired when
@@ -87,6 +117,8 @@ pub struct SetStmt {
     pub fields: Vec<NtField>,
     /// Values, one per field.
     pub values: Vec<Value>,
+    /// Source location of the statement.
+    pub span: Span,
 }
 
 /// A packet stream trigger (Table 2's `trigger ::= T{.S}`).
@@ -99,6 +131,8 @@ pub struct TriggerDef {
     pub source_query: Option<String>,
     /// The `set` chain.
     pub sets: Vec<SetStmt>,
+    /// Source location of the definition (its name).
+    pub span: Span,
 }
 
 // Query-side vocabulary shared with the IR, re-exported from `ht-ir`.
@@ -131,6 +165,21 @@ pub enum QueryOp {
         /// Constant threshold.
         value: u64,
     },
+    /// A filter whose right-hand side is a parameter reference
+    /// (`filter(tcp_flag == flagmask)`).  Surface-only: the resolver
+    /// rewrites it to [`QueryOp::Filter`] / [`QueryOp::FilterResult`]
+    /// once the parameter is bound.
+    FilterParam {
+        /// Filtered header field; `None` filters the reduce result
+        /// (`count` / `result`).
+        target: Option<HeaderField>,
+        /// Operator.
+        cmp: CmpOp,
+        /// Parameter name on the right-hand side.
+        param: String,
+        /// Where the reference appears.
+        span: Span,
+    },
 }
 
 /// A packet stream query (Table 2's `query ::= Q{.(q | D)}`).
@@ -142,6 +191,168 @@ pub struct QueryDef {
     pub source: QuerySource,
     /// Operator chain.
     pub ops: Vec<QueryOp>,
+    /// Source location of the definition (its name).
+    pub span: Span,
+}
+
+/// An `import "path"` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportDecl {
+    /// The quoted path, resolved relative to the importing file then the
+    /// `-I` search path.
+    pub path: String,
+    /// Source location of the path string.
+    pub span: Span,
+}
+
+/// A `param name [= default]` declaration.  Parameters are bound by their
+/// default or by a `--param name=value` override, and referenced by bare
+/// name in value position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Default value, if any.
+    pub default: Option<Value>,
+    /// Source location of the declaration (its name).
+    pub span: Span,
+}
+
+/// The body of a `template` declaration: a trigger or query definition
+/// whose values may reference the template's formal parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateBody {
+    /// `template t(..) = trigger()...`
+    Trigger(TriggerDef),
+    /// `template t(..) = query()...`
+    Query(QueryDef),
+}
+
+/// A `template name(p1, p2) = trigger()... | query()...` declaration,
+/// instantiated by [`InstanceDecl`] bindings with const-evaluated named
+/// arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateDecl {
+    /// Template name.
+    pub name: String,
+    /// Formal parameter names (with their spans).
+    pub params: Vec<(String, Span)>,
+    /// The templated definition.
+    pub body: TemplateBody,
+    /// Source location of the declaration (its name).
+    pub span: Span,
+}
+
+/// One named argument of a template instantiation (`prefix=10.1.0.0/20`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Formal parameter name.
+    pub name: String,
+    /// Bound value.
+    pub value: Value,
+    /// Source location of the argument.
+    pub span: Span,
+}
+
+/// A template instantiation binding: `T1 = scan_sweep(prefix=…, rate=…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDecl {
+    /// Name the instantiated trigger/query is bound to.
+    pub name: String,
+    /// Template being instantiated.
+    pub template: String,
+    /// Named arguments.
+    pub args: Vec<Arg>,
+    /// Source location of the binding (its name).
+    pub span: Span,
+}
+
+/// One top-level item of a source file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `import "path"`
+    Import(ImportDecl),
+    /// `param name [= default]`
+    Param(ParamDecl),
+    /// `template name(params) = …`
+    Template(TemplateDecl),
+    /// `T1 = trigger()…`
+    Trigger(TriggerDef),
+    /// `Q1 = query()…`
+    Query(QueryDef),
+    /// `T1 = some_template(arg=…)`
+    Instance(InstanceDecl),
+}
+
+/// One parsed source file, before resolution: the items in declaration
+/// order.  [`crate::resolve`] flattens a unit (plus its imports) into a
+/// [`Program`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceUnit {
+    /// Top-level items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl SourceUnit {
+    /// Resets every span to [`Span::DUMMY`], for structural comparisons
+    /// that should ignore provenance (e.g. print → reparse round-trips).
+    pub fn strip_spans(&mut self) {
+        for item in &mut self.items {
+            match item {
+                Item::Import(d) => d.span = Span::DUMMY,
+                Item::Param(d) => {
+                    d.span = Span::DUMMY;
+                    if let Some(v) = &mut d.default {
+                        strip_value(v);
+                    }
+                }
+                Item::Template(d) => {
+                    d.span = Span::DUMMY;
+                    for (_, s) in &mut d.params {
+                        *s = Span::DUMMY;
+                    }
+                    match &mut d.body {
+                        TemplateBody::Trigger(t) => strip_trigger(t),
+                        TemplateBody::Query(q) => strip_query(q),
+                    }
+                }
+                Item::Trigger(t) => strip_trigger(t),
+                Item::Query(q) => strip_query(q),
+                Item::Instance(d) => {
+                    d.span = Span::DUMMY;
+                    for a in &mut d.args {
+                        a.span = Span::DUMMY;
+                        strip_value(&mut a.value);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn strip_value(v: &mut Value) {
+    if let Value::Param { span, .. } = v {
+        *span = Span::DUMMY;
+    }
+}
+
+fn strip_trigger(t: &mut TriggerDef) {
+    t.span = Span::DUMMY;
+    for s in &mut t.sets {
+        s.span = Span::DUMMY;
+        for v in &mut s.values {
+            strip_value(v);
+        }
+    }
+}
+
+fn strip_query(q: &mut QueryDef) {
+    q.span = Span::DUMMY;
+    for op in &mut q.ops {
+        if let QueryOp::FilterParam { span, .. } = op {
+            *span = Span::DUMMY;
+        }
+    }
 }
 
 /// A complete network testing task.
@@ -152,8 +363,12 @@ pub struct Program {
     /// Queries, in declaration order.
     pub queries: Vec<QueryDef>,
     /// NTAPI source text, when the program came from the DSL (for LoC
-    /// accounting à la Table 5).
+    /// accounting à la Table 5).  For multi-file programs this is the
+    /// entry file's text.
     pub source: Option<String>,
+    /// Every source file behind the program's spans (entry + imports),
+    /// when it came from the resolver.
+    pub sources: Option<Arc<SourceMap>>,
 }
 
 impl Program {
@@ -172,6 +387,18 @@ impl Program {
     /// programmatically (no source text).
     pub fn loc(&self) -> Option<usize> {
         self.source.as_ref().map(|s| crate::loc::count_loc(s))
+    }
+
+    /// Resets every span to [`Span::DUMMY`] and drops the source map, for
+    /// structural comparisons that should ignore provenance.
+    pub fn strip_spans(&mut self) {
+        for t in &mut self.triggers {
+            strip_trigger(t);
+        }
+        for q in &mut self.queries {
+            strip_query(q);
+        }
+        self.sources = None;
     }
 }
 
@@ -194,13 +421,20 @@ mod tests {
     #[test]
     fn program_lookup_by_name() {
         let p = Program {
-            triggers: vec![TriggerDef { name: "T1".into(), source_query: None, sets: vec![] }],
+            triggers: vec![TriggerDef {
+                name: "T1".into(),
+                source_query: None,
+                sets: vec![],
+                span: Span::DUMMY,
+            }],
             queries: vec![QueryDef {
                 name: "Q1".into(),
                 source: QuerySource::Received(None),
                 ops: vec![],
+                span: Span::DUMMY,
             }],
             source: None,
+            sources: None,
         };
         assert!(p.trigger("T1").is_some());
         assert!(p.trigger("T2").is_none());
@@ -213,5 +447,15 @@ mod tests {
         assert_eq!(interval_ps(10, "us"), Some(10_000_000));
         assert_eq!(interval_ps(640, "ns"), Some(640_000));
         assert_eq!(interval_ps(1, "weeks"), None);
+    }
+
+    #[test]
+    fn strip_spans_resets_provenance() {
+        let mut p = crate::parse::parse("T1 = trigger().set(dip, 1)").unwrap();
+        assert!(!p.triggers[0].span.is_dummy());
+        p.strip_spans();
+        assert!(p.triggers[0].span.is_dummy());
+        assert!(p.triggers[0].sets[0].span.is_dummy());
+        assert!(p.sources.is_none());
     }
 }

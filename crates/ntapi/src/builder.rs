@@ -19,20 +19,32 @@
 
 use crate::ast::{
     CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryDef, QueryOp, QuerySource,
-    ReduceFunc, SetStmt, TriggerDef, Value,
+    ReduceFunc, SetStmt, Span, TriggerDef, Value,
 };
 use ht_packet::tcp::TcpFlags;
 use ht_packet::Ipv4Address;
 
 /// Starts a trigger builder.
 pub fn trigger(name: &str) -> TriggerBuilder {
-    TriggerBuilder { def: TriggerDef { name: name.into(), source_query: None, sets: Vec::new() } }
+    TriggerBuilder {
+        def: TriggerDef {
+            name: name.into(),
+            source_query: None,
+            sets: Vec::new(),
+            span: Span::DUMMY,
+        },
+    }
 }
 
 /// Starts a query builder (source must be chosen via `received`/`on_trigger`).
 pub fn query(name: &str) -> QueryBuilder {
     QueryBuilder {
-        def: QueryDef { name: name.into(), source: QuerySource::Received(None), ops: Vec::new() },
+        def: QueryDef {
+            name: name.into(),
+            source: QuerySource::Received(None),
+            ops: Vec::new(),
+            span: Span::DUMMY,
+        },
     }
 }
 
@@ -45,6 +57,7 @@ pub fn program(
         triggers: triggers.into_iter().collect(),
         queries: queries.into_iter().collect(),
         source: None,
+        sources: None,
     }
 }
 
@@ -64,13 +77,13 @@ impl TriggerBuilder {
 
     /// Generic `set`: one field, one value.
     pub fn set(mut self, field: NtField, value: Value) -> Self {
-        self.def.sets.push(SetStmt { fields: vec![field], values: vec![value] });
+        self.def.sets.push(SetStmt { fields: vec![field], values: vec![value], span: Span::DUMMY });
         self
     }
 
     /// Generic `set` over several positionally paired fields/values.
     pub fn set_many(mut self, fields: Vec<NtField>, values: Vec<Value>) -> Self {
-        self.def.sets.push(SetStmt { fields, values });
+        self.def.sets.push(SetStmt { fields, values, span: Span::DUMMY });
         self
     }
 

@@ -105,6 +105,17 @@ pub enum NtapiError {
         /// Stages available.
         available: usize,
     },
+    /// A keyed/distinct query keys on `sport`/`dport` while its triggers
+    /// mix L4 protocols: the generic port fields resolve to one
+    /// protocol's header ([`crate::ast::HeaderField::Sport`] maps to a
+    /// single PHV field per task), so the other protocol's packets would
+    /// report key 0 — flows outside the injected set.
+    AmbiguousPortKey {
+        /// The offending query.
+        query: String,
+        /// The protocol-dependent key field.
+        field: String,
+    },
     /// A query's key space cannot be enumerated (too large).
     HeaderSpace(SpaceError),
     /// An RNG table exponent outside `1..=20`.
@@ -140,6 +151,11 @@ impl std::fmt::Display for NtapiError {
             NtapiError::StageOverflow { needed, available } => {
                 write!(f, "task needs {needed} logical stages, ASIC has {available}")
             }
+            NtapiError::AmbiguousPortKey { query, field } => write!(
+                f,
+                "query {query} keys on protocol-dependent field {field} \
+                 but its triggers mix TCP and UDP"
+            ),
             NtapiError::HeaderSpace(e) => write!(f, "{e}"),
             NtapiError::BadRandomBits(b) => write!(f, "random table exponent {b} out of 1..=20"),
             NtapiError::Lint(diags) => {
@@ -154,6 +170,58 @@ impl std::fmt::Display for NtapiError {
 }
 
 impl std::error::Error for NtapiError {}
+
+impl NtapiError {
+    /// Best-effort source attribution: the span of the program construct
+    /// this rejection most plausibly blames, resolved against the
+    /// program's retained [`crate::ast::SourceMap`].  `None` for
+    /// builder-constructed programs (no source) or errors with no natural
+    /// anchor.
+    pub fn blame_span(&self, program: &Program) -> Option<ht_ir::SourceSpan> {
+        let field_span = |name: &str| -> Option<crate::ast::Span> {
+            for t in &program.triggers {
+                for s in &t.sets {
+                    if s.fields.iter().any(|f| crate::printer::field_name(f) == name) {
+                        return Some(s.span);
+                    }
+                }
+            }
+            for q in &program.queries {
+                for op in &q.ops {
+                    if let QueryOp::Filter(p) = op {
+                        if p.field.name() == name {
+                            return Some(q.span);
+                        }
+                    }
+                }
+            }
+            None
+        };
+        let span = match self {
+            NtapiError::ValueOutOfRange { field, .. }
+            | NtapiError::BadRange { field }
+            | NtapiError::BadValueType { field, .. } => field_span(field),
+            NtapiError::UnknownQuery(q) => program
+                .triggers
+                .iter()
+                .find(|t| t.source_query.as_deref() == Some(q.as_str()))
+                .map(|t| t.span),
+            NtapiError::UnknownTrigger(t) => program
+                .queries
+                .iter()
+                .find(|qd| matches!(&qd.source, QuerySource::Trigger(n) if n == t))
+                .map(|q| q.span),
+            NtapiError::AmbiguousPortKey { query, .. } => {
+                program.queries.iter().find(|qd| &qd.name == query).map(|q| q.span)
+            }
+            NtapiError::FrameTooShort { .. }
+            | NtapiError::AcceleratorOverflow { .. }
+            | NtapiError::BadRandomBits(_) => program.triggers.first().map(|t| t.span),
+            _ => None,
+        };
+        span.and_then(|sp| source_span(program, sp))
+    }
+}
 
 impl From<SpaceError> for NtapiError {
     fn from(e: SpaceError) -> Self {
@@ -287,9 +355,49 @@ pub fn lower_with(
         pending: Vec::new(),
         explicit_lens: Vec::new(),
     };
+    st.module.provenance = module_provenance(program);
     let mut cx = PassCx::new();
     let trace = lowering_passes().run_until(&mut st, &mut cx, stop_after)?;
+    st.module.provenance.attach(&mut cx.diagnostics);
     Ok((st.module, trace, cx.diagnostics))
+}
+
+/// Resolves an AST span against the program's retained source map into
+/// the IR's provenance form (file, 1-based line/col, rendered snippet).
+fn source_span(program: &Program, span: crate::ast::Span) -> Option<ht_ir::SourceSpan> {
+    if span.is_dummy() {
+        return None;
+    }
+    let map = program.sources.as_ref()?;
+    let file = map.file(span.file)?;
+    Some(ht_ir::SourceSpan {
+        file: file.name.clone(),
+        line: span.line,
+        col: span.col,
+        snippet: map.snippet(span).unwrap_or_default(),
+    })
+}
+
+/// Builds the module's provenance table from the program's declaration
+/// spans.  Empty for builder-constructed programs.
+fn module_provenance(program: &Program) -> ht_ir::Provenance {
+    let mut p = ht_ir::Provenance::default();
+    if program.sources.is_some() {
+        // The entry file is always id 0 in the resolver's source map.
+        let entry = crate::ast::Span { file: 0, line: 1, col: 1, len: 1 };
+        p.task = source_span(program, entry);
+    }
+    for t in &program.triggers {
+        if let Some(s) = source_span(program, t.span) {
+            p.triggers.push((t.name.clone(), s));
+        }
+    }
+    for q in &program.queries {
+        if let Some(s) = source_span(program, q.span) {
+            p.queries.push((q.name.clone(), s));
+        }
+    }
+    p
 }
 
 /// Pass 1: triggers → template skeletons (constants, control fields,
@@ -450,7 +558,8 @@ impl Pass<Lowering, NtapiError> for TaskLint {
     }
 
     fn run(&self, st: &mut Lowering, cx: &mut PassCx) -> Result<(), NtapiError> {
-        let report = crate::lint::lint_task(&st.module.templates);
+        let mut report = crate::lint::lint_task(&st.module.templates);
+        st.module.provenance.attach(&mut report);
         if report.has_errors() {
             return Err(NtapiError::Lint(report.errors().cloned().collect()));
         }
@@ -677,6 +786,21 @@ fn extract_header_set(
                 found: "byte string".into(),
             })
         }
+        // The resolver expands CIDR blocks and substitutes parameters
+        // before lowering; reaching here means a hand-built program kept
+        // a surface-only value.
+        Value::Cidr { .. } => {
+            return Err(NtapiError::BadValueType {
+                field: field.name().into(),
+                found: "unresolved CIDR block".into(),
+            })
+        }
+        Value::Param { name, .. } => {
+            return Err(NtapiError::BadValueType {
+                field: field.name().into(),
+                found: format!("unbound parameter `{name}`"),
+            })
+        }
     }
     Ok(())
 }
@@ -845,6 +969,13 @@ fn compile_query(
                 out.kind = QueryKind::Distinct { keys: keys.clone() };
             }
             QueryOp::FilterResult { cmp, value } => out.result_filter = Some((*cmp, *value)),
+            // Resolver output never contains parameterized filters.
+            QueryOp::FilterParam { param, .. } => {
+                return Err(NtapiError::BadValueType {
+                    field: "filter".into(),
+                    found: format!("unbound parameter `{param}`"),
+                })
+            }
         }
     }
 
@@ -860,6 +991,22 @@ fn compile_query(
             }
             QuerySource::Received(_) => templates.to_vec(),
         };
+        // `sport`/`dport` resolve to one protocol's PHV field per task
+        // (`proto_hint`); with mixed TCP/UDP triggers the other
+        // protocol's packets would hash key 0 — flows the fuzz oracle's
+        // invariant D rightly calls rogue.  Reject statically.
+        if let Some(port_key) =
+            keys.iter().find(|k| matches!(k, HeaderField::Sport | HeaderField::Dport))
+        {
+            let udp = relevant.iter().any(|t| t.protocol == L4Proto::Udp);
+            let non_udp = relevant.iter().any(|t| t.protocol != L4Proto::Udp);
+            if udp && non_udp {
+                return Err(NtapiError::AmbiguousPortKey {
+                    query: q.name.clone(),
+                    field: port_key.name().into(),
+                });
+            }
+        }
         let mirror = matches!(out.source, QuerySource::Received(_));
         let space = global_space(&relevant, &keys, mirror)?;
         // The precompute works over the flat space and returns indices;
@@ -981,6 +1128,7 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
                 name: format!("T{i}"),
                 source_query: None,
                 sets: vec![],
+                span: crate::ast::Span::DUMMY,
             });
         }
         // 95 64-byte templates > capacity 89.

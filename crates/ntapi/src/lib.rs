@@ -4,9 +4,13 @@
 //! generate) and *packet stream queries* (what to measure), in the style of
 //! stream-processing frameworks.  This crate provides:
 //!
-//! * [`ast`] — the task AST (Tables 1 and 2).
+//! * [`ast`] — the task AST (Tables 1 and 2) plus the module-system
+//!   surface forms.
 //! * [`builder`] — a fluent Rust builder.
+//! * [`lexer`] — the spanned tokenizer.
 //! * [`mod@parse`] — the textual DSL (the paper's surface syntax).
+//! * [`mod@resolve`] — `import` modules, `param` bindings, and `template`
+//!   instantiation: surface units → a flat program.
 //! * [`mod@compile`] — pass-based lowering onto the typed pipeline IR
 //!   ([`ht_ir::Module`]) every backend consumes; mistaken tasks are
 //!   rejected (§6.1).
@@ -25,18 +29,22 @@ pub mod codegen;
 pub mod compile;
 pub mod fp;
 pub mod headerspace;
+pub mod lexer;
 pub mod lint;
 pub mod loc;
 pub mod parse;
 pub mod printer;
+pub mod resolve;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use ast::{HeaderField, NtField, Program, Value};
+pub use ast::{HeaderField, NtField, Program, SourceUnit, Value};
 pub use compile::{
     compile, compile_with, lower_with, pass_names, CompileOptions, CompiledTask, NtapiError,
 };
-pub use parse::parse;
+pub use loc::{SourceMap, Span};
+pub use parse::{parse, parse_unit};
+pub use resolve::{resolve_file, resolve_str, FsLoader, MemLoader, ModuleLoader, ResolveFailure};
 
 /// Commonly used NTAPI items: `use ht_ntapi::prelude::*;`.
 pub mod prelude {
@@ -46,4 +54,5 @@ pub mod prelude {
     pub use crate::builder::{program, query, trigger};
     pub use crate::compile::{compile, compile_with, CompileOptions, CompiledTask, NtapiError};
     pub use crate::parse::parse;
+    pub use crate::resolve::{resolve_file, resolve_str};
 }

@@ -1,6 +1,111 @@
-//! Lines-of-code counting, matching Table 5's methodology: "the counted
-//! lines of generated P4 code only include control flow, tables, and
-//! actions" — i.e. non-empty, non-comment code lines.
+//! Source locations and lines-of-code accounting.
+//!
+//! The front end threads a [`Span`] through every token and AST node so
+//! that resolve errors and lint diagnostics can point at the exact
+//! `file:line:col` (with a caret-underlined snippet) the user wrote.  The
+//! [`SourceMap`] owns the text of every file the resolver loaded — the
+//! entry task plus everything it `import`ed — and renders spans against
+//! it.
+//!
+//! The module also keeps Table 5's LoC methodology ([`count_loc`]): "the
+//! counted lines of generated P4 code only include control flow, tables,
+//! and actions" — i.e. non-empty, non-comment code lines.
+
+/// A half-open region of one source file: `len` characters starting at
+/// 1-based `line`/`col`.  `file` indexes into the [`SourceMap`] that
+/// lexed the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// File id in the owning [`SourceMap`]; `u32::MAX` for [`Span::DUMMY`].
+    pub file: u32,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based character column of the first character.
+    pub col: u32,
+    /// Length in characters (never spans lines; clamped when rendering).
+    pub len: u32,
+}
+
+impl Span {
+    /// The span of programmatically built nodes (no source location).
+    pub const DUMMY: Span = Span { file: u32::MAX, line: 0, col: 0, len: 0 };
+
+    /// Whether this is the placeholder span.
+    pub fn is_dummy(&self) -> bool {
+        self.file == u32::MAX
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::DUMMY
+    }
+}
+
+/// One loaded source file: display name plus full text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Display name (the path the user wrote or the resolver joined).
+    pub name: String,
+    /// Complete source text.
+    pub text: String,
+}
+
+/// Every source file behind one resolved program, addressed by the
+/// `file` field of a [`Span`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file, returning its id for spans.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> u32 {
+        self.files.push(SourceFile { name: name.into(), text: text.into() });
+        (self.files.len() - 1) as u32
+    }
+
+    /// Looks up a file by id.
+    pub fn file(&self, id: u32) -> Option<&SourceFile> {
+        self.files.get(id as usize)
+    }
+
+    /// Renders a span as `name:line:col` (or `<unknown>` for dummy spans).
+    pub fn render(&self, span: Span) -> String {
+        match self.file(span.file) {
+            Some(f) => format!("{}:{}:{}", f.name, span.line, span.col),
+            None => "<unknown>".into(),
+        }
+    }
+
+    /// Renders the caret-underlined source line of a span:
+    ///
+    /// ```text
+    ///    3 |     .set(dip, prefix)
+    ///      |               ^^^^^^
+    /// ```
+    ///
+    /// `None` when the span does not resolve to a line of a known file.
+    pub fn snippet(&self, span: Span) -> Option<String> {
+        let file = self.file(span.file)?;
+        let line = file.text.lines().nth(span.line.checked_sub(1)? as usize)?;
+        let col = (span.col.max(1) - 1) as usize;
+        let avail = line.chars().count().saturating_sub(col);
+        let caret = (span.len as usize).clamp(1, avail.max(1));
+        let gutter = format!("{:>4}", span.line);
+        Some(format!(
+            "{gutter} | {line}\n{blank} | {pad}{carets}",
+            blank = " ".repeat(gutter.len()),
+            pad = " ".repeat(col),
+            carets = "^".repeat(caret),
+        ))
+    }
+}
 
 /// Counts non-empty, non-comment lines.  Both `#`- and `//`-style comments
 /// are recognized (NTAPI uses `#`, generated P4 uses `//`).
@@ -26,5 +131,25 @@ mod tests {
     fn empty_source_is_zero() {
         assert_eq!(count_loc(""), 0);
         assert_eq!(count_loc("\n\n# only comments\n"), 0);
+    }
+
+    #[test]
+    fn spans_render_against_the_map() {
+        let mut map = SourceMap::new();
+        let f = map.add_file("tasks/x.nt", "T1 = trigger()\n    .set(dip, 1)\n");
+        let span = Span { file: f, line: 2, col: 10, len: 3 };
+        assert_eq!(map.render(span), "tasks/x.nt:2:10");
+        let snip = map.snippet(span).unwrap();
+        assert_eq!(snip, "   2 |     .set(dip, 1)\n     |          ^^^");
+        assert_eq!(map.render(Span::DUMMY), "<unknown>");
+        assert!(map.snippet(Span::DUMMY).is_none());
+    }
+
+    #[test]
+    fn snippet_clamps_past_end_of_line() {
+        let mut map = SourceMap::new();
+        let f = map.add_file("a.nt", "ab\n");
+        let snip = map.snippet(Span { file: f, line: 1, col: 2, len: 99 }).unwrap();
+        assert!(snip.ends_with("| ab\n     |  ^"), "{snip}");
     }
 }

@@ -1,4 +1,5 @@
-//! The textual NTAPI DSL, following the paper's surface syntax (Tables 2–4):
+//! The textual NTAPI DSL, following the paper's surface syntax (Tables 2–4)
+//! plus the module-system extensions:
 //!
 //! ```text
 //! # throughput testing (Table 3)
@@ -6,26 +7,42 @@
 //!     .set([dip, sip, proto, dport, sport], [10.0.0.2, 10.0.0.1, udp, 1, 1])
 //!     .set([loop, pkt_len], [0, 64])
 //! Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
-//! Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
+//!
+//! # modules, parameters, templates
+//! import "lib/common.nt"
+//! param rate = 1us
+//! template scan_sweep(prefix, rate) = trigger()
+//!     .set(dip, prefix).set(interval, rate)
+//! T2 = scan_sweep(prefix=10.1.0.0/20, rate=rate)
 //! ```
 //!
-//! Supported value forms: integers (decimal/hex), IPv4 literals, protocol
-//! names (`udp`, `tcp`), TCP flag names and sums (`SYN+ACK`), time literals
-//! for `interval` (`10us`, `640ns`), strings for `payload`,
-//! `range(start, end, step)`, `random(normal|exp|uniform, …)`, and
-//! query-field references with offsets (`Q1.seq_no + 1`) inside query-based
-//! triggers.
+//! Supported value forms: integers (decimal/hex), IPv4 literals, CIDR
+//! blocks (`10.1.0.0/20`), protocol names (`udp`, `tcp`), TCP flag names
+//! and sums (`SYN+ACK`), time literals for `interval` (`10us`, `640ns`),
+//! strings for `payload`, `range(start, end, step)`,
+//! `random(normal|exp|uniform, …)`, query-field references with offsets
+//! (`Q1.seq_no + 1`) inside query-based triggers, and bare parameter
+//! references (bound by the resolver).
+//!
+//! [`parse_unit`] produces the surface [`SourceUnit`]; the classic
+//! [`parse`] entry point resolves a single self-contained source (no
+//! imports allowed) straight to a [`Program`].
 
 use crate::ast::{
-    interval_ps, CmpOp, DistSpec, HeaderField, NtField, Predicate, Program, QueryDef, QueryOp,
-    QuerySource, ReduceFunc, SetStmt, TriggerDef, Value,
+    interval_ps, Arg, DistSpec, HeaderField, ImportDecl, InstanceDecl, Item, NtField, ParamDecl,
+    Predicate, Program, QueryDef, QueryOp, QuerySource, ReduceFunc, SetStmt, SourceUnit, Span,
+    TemplateBody, TemplateDecl, TriggerDef, Value,
 };
+use crate::lexer::{lex, Tok, Token};
 
-/// A parse error with 1-based line information.
+/// A parse error with 1-based line/column information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Line the offending token starts on.
     pub line: usize,
+    /// 1-based character column the offending token starts at (0 when the
+    /// position is unknown, e.g. at end of input).
+    pub col: usize,
     /// Human-readable description.
     pub msg: String,
 }
@@ -38,259 +55,7 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-#[derive(Debug, Clone, PartialEq)]
-enum Tok {
-    Ident(String),
-    Int(u64),
-    Ip(u32),
-    Time(u64, String),
-    Str(String),
-    LParen,
-    RParen,
-    LBracket,
-    RBracket,
-    Comma,
-    Dot,
-    Assign,
-    Plus,
-    Minus,
-    Arrow,
-    Cmp(CmpOp),
-}
-
-#[derive(Debug, Clone)]
-struct Spanned {
-    tok: Tok,
-    line: usize,
-}
-
-fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
-    let mut out = Vec::new();
-    let mut chars = src.char_indices().peekable();
-    let bytes = src.as_bytes();
-    let mut line = 1;
-
-    while let Some(&(i, c)) = chars.peek() {
-        match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
-            ' ' | '\t' | '\r' => {
-                chars.next();
-            }
-            '#' => {
-                // Comment to end of line.
-                for (_, c2) in chars.by_ref() {
-                    if c2 == '\n' {
-                        line += 1;
-                        break;
-                    }
-                }
-            }
-            '(' => {
-                out.push(Spanned { tok: Tok::LParen, line });
-                chars.next();
-            }
-            ')' => {
-                out.push(Spanned { tok: Tok::RParen, line });
-                chars.next();
-            }
-            '[' => {
-                out.push(Spanned { tok: Tok::LBracket, line });
-                chars.next();
-            }
-            ']' => {
-                out.push(Spanned { tok: Tok::RBracket, line });
-                chars.next();
-            }
-            ',' => {
-                out.push(Spanned { tok: Tok::Comma, line });
-                chars.next();
-            }
-            '.' => {
-                out.push(Spanned { tok: Tok::Dot, line });
-                chars.next();
-            }
-            '+' => {
-                out.push(Spanned { tok: Tok::Plus, line });
-                chars.next();
-            }
-            '-' => {
-                chars.next();
-                if chars.peek().map(|&(_, c2)| c2) == Some('>') {
-                    chars.next();
-                    out.push(Spanned { tok: Tok::Arrow, line });
-                } else {
-                    out.push(Spanned { tok: Tok::Minus, line });
-                }
-            }
-            '=' => {
-                chars.next();
-                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
-                    chars.next();
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Eq), line });
-                } else {
-                    out.push(Spanned { tok: Tok::Assign, line });
-                }
-            }
-            '!' => {
-                chars.next();
-                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
-                    chars.next();
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Ne), line });
-                } else {
-                    return Err(ParseError { line, msg: "stray '!'".into() });
-                }
-            }
-            '<' => {
-                chars.next();
-                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
-                    chars.next();
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Le), line });
-                } else {
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Lt), line });
-                }
-            }
-            '>' => {
-                chars.next();
-                if chars.peek().map(|&(_, c2)| c2) == Some('=') {
-                    chars.next();
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Ge), line });
-                } else {
-                    out.push(Spanned { tok: Tok::Cmp(CmpOp::Gt), line });
-                }
-            }
-            '"' => {
-                chars.next();
-                let start = i + 1;
-                let mut end = start;
-                let mut closed = false;
-                for (j, c2) in chars.by_ref() {
-                    if c2 == '"' {
-                        end = j;
-                        closed = true;
-                        break;
-                    }
-                    if c2 == '\n' {
-                        line += 1;
-                    }
-                }
-                if !closed {
-                    return Err(ParseError { line, msg: "unterminated string".into() });
-                }
-                out.push(Spanned {
-                    tok: Tok::Str(String::from_utf8_lossy(&bytes[start..end]).into_owned()),
-                    line,
-                });
-            }
-            c if c.is_ascii_digit() => {
-                // Number: integer, hex, IPv4 literal, or time literal.
-                let start = i;
-                let mut end = i;
-                let mut dots = 0;
-                let hex = src[i..].starts_with("0x") || src[i..].starts_with("0X");
-                if hex {
-                    chars.next();
-                    chars.next();
-                    end = i + 2;
-                    while let Some(&(j, c2)) = chars.peek() {
-                        if c2.is_ascii_hexdigit() {
-                            end = j + c2.len_utf8();
-                            chars.next();
-                        } else {
-                            break;
-                        }
-                    }
-                    let v = u64::from_str_radix(&src[start + 2..end], 16)
-                        .map_err(|e| ParseError { line, msg: format!("bad hex literal: {e}") })?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
-                    continue;
-                }
-                while let Some(&(j, c2)) = chars.peek() {
-                    if c2.is_ascii_digit() || c2 == '.' {
-                        // A dot only belongs to the number when followed by
-                        // a digit (so `1.set(...)` would not mislex — NTAPI
-                        // names cannot start with digits anyway).
-                        if c2 == '.' {
-                            let next_is_digit = src[j + 1..]
-                                .chars()
-                                .next()
-                                .map(|c3| c3.is_ascii_digit())
-                                .unwrap_or(false);
-                            if !next_is_digit {
-                                break;
-                            }
-                            dots += 1;
-                        }
-                        end = j + c2.len_utf8();
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                let text = &src[start..end];
-                // Unit suffix → time literal.
-                let mut unit = String::new();
-                while let Some(&(j, c2)) = chars.peek() {
-                    if c2.is_ascii_alphabetic() {
-                        unit.push(c2);
-                        let _ = j;
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                match (dots, unit.is_empty()) {
-                    (0, true) => {
-                        let v = text
-                            .parse::<u64>()
-                            .map_err(|e| ParseError { line, msg: format!("bad integer: {e}") })?;
-                        out.push(Spanned { tok: Tok::Int(v), line });
-                    }
-                    (0, false) => {
-                        let v = text
-                            .parse::<u64>()
-                            .map_err(|e| ParseError { line, msg: format!("bad integer: {e}") })?;
-                        out.push(Spanned { tok: Tok::Time(v, unit), line });
-                    }
-                    (3, true) => {
-                        let ip: ht_packet::Ipv4Address = text.parse().map_err(|_| ParseError {
-                            line,
-                            msg: format!("bad IPv4 literal {text}"),
-                        })?;
-                        out.push(Spanned { tok: Tok::Ip(ip.to_u32()), line });
-                    }
-                    _ => {
-                        return Err(ParseError {
-                            line,
-                            msg: format!("bad numeric literal {text}{unit}"),
-                        });
-                    }
-                }
-            }
-            c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
-                let mut end = i;
-                while let Some(&(j, c2)) = chars.peek() {
-                    if c2.is_ascii_alphanumeric() || c2 == '_' {
-                        end = j + c2.len_utf8();
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                out.push(Spanned { tok: Tok::Ident(src[start..end].to_string()), line });
-            }
-            other => {
-                return Err(ParseError { line, msg: format!("unexpected character {other:?}") });
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn header_field(name: &str) -> Option<HeaderField> {
+pub(crate) fn header_field(name: &str) -> Option<HeaderField> {
     Some(match name {
         "dip" => HeaderField::Dip,
         "sip" => HeaderField::Sip,
@@ -309,7 +74,7 @@ fn header_field(name: &str) -> Option<HeaderField> {
     })
 }
 
-fn nt_field(name: &str) -> Option<NtField> {
+pub(crate) fn nt_field(name: &str) -> Option<NtField> {
     Some(match name {
         "payload" => NtField::Payload,
         "pkt_len" | "length" | "len" => NtField::PktLen,
@@ -320,7 +85,7 @@ fn nt_field(name: &str) -> Option<NtField> {
     })
 }
 
-fn flag_value(name: &str) -> Option<u64> {
+pub(crate) fn flag_value(name: &str) -> Option<u64> {
     Some(match name {
         "SYN" => 0x02,
         "ACK" => 0x10,
@@ -335,7 +100,7 @@ fn flag_value(name: &str) -> Option<u64> {
 }
 
 struct Parser {
-    toks: Vec<Spanned>,
+    toks: Vec<Token>,
     pos: usize,
 }
 
@@ -344,12 +109,21 @@ impl Parser {
         self.toks.get(self.pos).map(|s| &s.tok)
     }
 
-    fn line(&self) -> usize {
-        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|s| s.line).unwrap_or(0)
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    /// Span of the current token (clamped to the last token at EOF).
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.span)
+            .unwrap_or(Span { file: 0, line: 0, col: 0, len: 0 })
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), msg: msg.into() })
+        let span = self.span();
+        Err(ParseError { line: span.line as usize, col: span.col as usize, msg: msg.into() })
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -368,9 +142,11 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    /// Consumes an identifier, returning it with its span.
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        let span = self.span();
         match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
+            Some(Tok::Ident(s)) => Ok((s, span)),
             other => {
                 self.pos = self.pos.saturating_sub(1);
                 self.err(format!("expected identifier, found {other:?}"))
@@ -378,32 +154,127 @@ impl Parser {
         }
     }
 
-    fn parse_program(&mut self) -> Result<Program, ParseError> {
-        let mut prog = Program::default();
+    fn parse_unit(&mut self) -> Result<SourceUnit, ParseError> {
+        let mut unit = SourceUnit::default();
         while self.peek().is_some() {
-            let name = self.ident()?;
-            self.expect(Tok::Assign)?;
-            let kind = self.ident()?;
-            match kind.as_str() {
-                "trigger" => {
-                    let t = self.parse_trigger(name)?;
-                    prog.triggers.push(t);
-                }
-                "query" => {
-                    let q = self.parse_query(name)?;
-                    prog.queries.push(q);
-                }
-                other => return self.err(format!("expected trigger/query, found {other}")),
-            }
+            unit.items.push(self.parse_item()?);
         }
-        Ok(prog)
+        Ok(unit)
     }
 
-    fn parse_trigger(&mut self, name: String) -> Result<TriggerDef, ParseError> {
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        // `import`, `param`, and `template` are contextual keywords: they
+        // introduce declarations only in their declaration shape, so a
+        // binding named `import` (`import = trigger()`) still parses.
+        if let Some(Tok::Ident(id)) = self.peek() {
+            match (id.as_str(), self.peek2()) {
+                ("import", Some(Tok::Str(_))) => return self.parse_import(),
+                ("param", Some(Tok::Ident(_))) => return self.parse_param_decl(),
+                ("template", Some(Tok::Ident(_))) => return self.parse_template(),
+                _ => {}
+            }
+        }
+        let (name, span) = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let kind_span = self.span();
+        let (kind, _) = self.ident()?;
+        match kind.as_str() {
+            "trigger" => Ok(Item::Trigger(self.parse_trigger(name, span)?)),
+            "query" => Ok(Item::Query(self.parse_query(name, span)?)),
+            _ if self.peek() == Some(&Tok::LParen) => {
+                let args = self.parse_instance_args()?;
+                Ok(Item::Instance(InstanceDecl { name, template: kind, args, span: kind_span }))
+            }
+            other => self.err(format!("expected trigger/query, found {other}")),
+        }
+    }
+
+    fn parse_import(&mut self) -> Result<Item, ParseError> {
+        self.ident()?; // `import`
+        let span = self.span();
+        match self.next() {
+            Some(Tok::Str(path)) => Ok(Item::Import(ImportDecl { path, span })),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("import expects a quoted path, found {other:?}"))
+            }
+        }
+    }
+
+    fn parse_param_decl(&mut self) -> Result<Item, ParseError> {
+        self.ident()?; // `param`
+        let (name, span) = self.ident()?;
+        let default = if self.peek() == Some(&Tok::Assign) {
+            self.next();
+            Some(self.parse_value()?)
+        } else {
+            None
+        };
+        Ok(Item::Param(ParamDecl { name, default, span }))
+    }
+
+    fn parse_template(&mut self) -> Result<Item, ParseError> {
+        self.ident()?; // `template`
+        let (name, span) = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return self.err(format!("expected ',' or ')', found {other:?}"));
+                    }
+                }
+            }
+        } else {
+            self.next();
+        }
+        self.expect(Tok::Assign)?;
+        let body_span = self.span();
+        let (kind, _) = self.ident()?;
+        let body = match kind.as_str() {
+            "trigger" => TemplateBody::Trigger(self.parse_trigger(name.clone(), body_span)?),
+            "query" => TemplateBody::Query(self.parse_query(name.clone(), body_span)?),
+            other => {
+                return self.err(format!("template body must be trigger/query, found {other}"))
+            }
+        };
+        Ok(Item::Template(TemplateDecl { name, params, body, span }))
+    }
+
+    fn parse_instance_args(&mut self) -> Result<Vec<Arg>, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.next();
+            return Ok(args);
+        }
+        loop {
+            let (name, span) = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let value = self.parse_value()?;
+            args.push(Arg { name, value, span });
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err(format!("expected ',' or ')', found {other:?}"));
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    fn parse_trigger(&mut self, name: String, span: Span) -> Result<TriggerDef, ParseError> {
         self.expect(Tok::LParen)?;
         let source_query = match self.peek() {
             Some(Tok::RParen) => None,
-            Some(Tok::Ident(_)) => Some(self.ident()?),
+            Some(Tok::Ident(_)) => Some(self.ident()?.0),
             other => return self.err(format!("expected query name or ')', found {other:?}")),
         };
         self.expect(Tok::RParen)?;
@@ -411,14 +282,14 @@ impl Parser {
         let mut sets = Vec::new();
         while self.peek() == Some(&Tok::Dot) {
             self.next();
-            let method = self.ident()?;
+            let (method, mspan) = self.ident()?;
             if method != "set" {
                 return self.err(format!("triggers only support .set, found .{method}"));
             }
             self.expect(Tok::LParen)?;
             let fields = self.parse_field_list()?;
             self.expect(Tok::Comma)?;
-            let mut values = self.parse_value_list(fields.len())?;
+            let mut values = self.parse_value_list()?;
             self.expect(Tok::RParen)?;
             // `set(port, [0, 1, 2, 3])`: one field with a bracketed *array
             // value* (Table 2's value list), as opposed to the positional
@@ -443,9 +314,9 @@ impl Parser {
                     values.len()
                 ));
             }
-            sets.push(SetStmt { fields, values });
+            sets.push(SetStmt { fields, values, span: mspan });
         }
-        Ok(TriggerDef { name, source_query, sets })
+        Ok(TriggerDef { name, source_query, sets, span })
     }
 
     fn parse_field_list(&mut self) -> Result<Vec<NtField>, ParseError> {
@@ -457,7 +328,10 @@ impl Parser {
                 match self.next() {
                     Some(Tok::Comma) => continue,
                     Some(Tok::RBracket) => break,
-                    other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return self.err(format!("expected ',' or ']', found {other:?}"));
+                    }
                 }
             }
         } else {
@@ -467,14 +341,17 @@ impl Parser {
     }
 
     fn parse_field(&mut self) -> Result<NtField, ParseError> {
-        let name = self.ident()?;
+        let (name, _) = self.ident()?;
         match nt_field(&name) {
             Some(f) => Ok(f),
-            None => self.err(format!("unknown NTAPI field {name}")),
+            None => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("unknown NTAPI field {name}"))
+            }
         }
     }
 
-    fn parse_value_list(&mut self, _hint: usize) -> Result<Vec<Value>, ParseError> {
+    fn parse_value_list(&mut self) -> Result<Vec<Value>, ParseError> {
         let mut values = Vec::new();
         if self.peek() == Some(&Tok::LBracket) {
             self.next();
@@ -483,7 +360,10 @@ impl Parser {
                 match self.next() {
                     Some(Tok::Comma) => continue,
                     Some(Tok::RBracket) => break,
-                    other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return self.err(format!("expected ',' or ']', found {other:?}"));
+                    }
                 }
             }
         } else {
@@ -523,16 +403,19 @@ impl Parser {
     }
 
     fn parse_value_primary(&mut self) -> Result<Value, ParseError> {
+        let span = self.span();
         match self.next() {
             Some(Tok::Int(v)) => Ok(Value::Const(v)),
             Some(Tok::Ip(v)) => Ok(Value::Const(u64::from(v))),
+            Some(Tok::Cidr(addr, prefix)) => Ok(Value::Cidr { addr, prefix }),
             Some(Tok::Time(v, unit)) => match interval_ps(v, &unit) {
                 Some(ps) => Ok(Value::Const(ps)),
                 None => self.err(format!("unknown time unit {unit}")),
             },
             Some(Tok::Str(s)) => Ok(Value::Bytes(s.into_bytes())),
             Some(Tok::Ident(id)) => {
-                // range(...) / random(...) / flags / qualified query ref.
+                // range(...) / random(...) / flags / qualified query ref /
+                // parameter reference.
                 match id.as_str() {
                     "range" => {
                         self.expect(Tok::LParen)?;
@@ -546,7 +429,7 @@ impl Parser {
                     }
                     "random" => {
                         self.expect(Tok::LParen)?;
-                        let alg = self.ident()?;
+                        let (alg, _) = self.ident()?;
                         self.expect(Tok::Comma)?;
                         let v = match alg.as_str() {
                             "normal" | "N" => {
@@ -583,7 +466,7 @@ impl Parser {
                         // Qualified query-field reference: `Q1.seq_no`.
                         if self.peek() == Some(&Tok::Dot) {
                             self.next();
-                            let fname = self.ident()?;
+                            let (fname, _) = self.ident()?;
                             match header_field(&fname) {
                                 Some(field) => {
                                     Ok(Value::QueryField { query: id, field, offset: 0 })
@@ -591,7 +474,9 @@ impl Parser {
                                 None => self.err(format!("unknown header field {fname}")),
                             }
                         } else {
-                            self.err(format!("unknown value identifier {id}"))
+                            // A bare identifier is a parameter reference,
+                            // bound (or rejected) by the resolver.
+                            Ok(Value::Param { name: id, span })
                         }
                     }
                 }
@@ -620,7 +505,7 @@ impl Parser {
         }
     }
 
-    fn parse_query(&mut self, name: String) -> Result<QueryDef, ParseError> {
+    fn parse_query(&mut self, name: String, span: Span) -> Result<QueryDef, ParseError> {
         self.expect(Tok::LParen)?;
         let source = match self.peek().cloned() {
             Some(Tok::RParen) => QuerySource::Received(None),
@@ -630,7 +515,7 @@ impl Parser {
                 let p = self.parse_scalar()?;
                 QuerySource::Received(Some(p as u16))
             }
-            Some(Tok::Ident(_)) => QuerySource::Trigger(self.ident()?),
+            Some(Tok::Ident(_)) => QuerySource::Trigger(self.ident()?.0),
             other => {
                 return self.err(format!("expected trigger name, port=, or ')', found {other:?}"))
             }
@@ -640,7 +525,7 @@ impl Parser {
         let mut ops = Vec::new();
         while self.peek() == Some(&Tok::Dot) {
             self.next();
-            let method = self.ident()?;
+            let (method, _) = self.ident()?;
             self.expect(Tok::LParen)?;
             match method.as_str() {
                 "filter" => ops.push(self.parse_filter()?),
@@ -651,11 +536,11 @@ impl Parser {
             }
             self.expect(Tok::RParen)?;
         }
-        Ok(QueryDef { name, source, ops })
+        Ok(QueryDef { name, source, ops, span })
     }
 
     fn parse_filter(&mut self) -> Result<QueryOp, ParseError> {
-        let field_name = self.ident()?;
+        let (field_name, fspan) = self.ident()?;
         let cmp = match self.next() {
             Some(Tok::Cmp(c)) => c,
             other => {
@@ -665,6 +550,21 @@ impl Parser {
         };
         let value = match self.parse_value()? {
             Value::Const(v) => v,
+            Value::Param { name, span } => {
+                // Parameterized filter threshold; resolved later.
+                let target = if field_name == "count" || field_name == "result" {
+                    None
+                } else {
+                    match header_field(&field_name) {
+                        Some(f) => Some(f),
+                        None => {
+                            let _ = fspan;
+                            return self.err(format!("unknown filter field {field_name}"));
+                        }
+                    }
+                };
+                return Ok(QueryOp::FilterParam { target, cmp, param: name, span });
+            }
             other => return self.err(format!("filter needs a constant, found {other:?}")),
         };
         if field_name == "count" || field_name == "result" {
@@ -703,12 +603,12 @@ impl Parser {
         let mut keys = Vec::new();
         let mut func = None;
         loop {
-            let kw = self.ident()?;
+            let (kw, _) = self.ident()?;
             self.expect(Tok::Assign)?;
             match kw.as_str() {
                 "keys" => keys = self.parse_key_list()?,
                 "func" => {
-                    let f = self.ident()?;
+                    let (f, _) = self.ident()?;
                     func = Some(match f.as_str() {
                         "sum" => ReduceFunc::Sum,
                         "count" => ReduceFunc::Count,
@@ -731,7 +631,7 @@ impl Parser {
     }
 
     fn parse_distinct(&mut self) -> Result<QueryOp, ParseError> {
-        let kw = self.ident()?;
+        let (kw, _) = self.ident()?;
         if kw != "keys" {
             return self.err("distinct requires keys=[...]");
         }
@@ -744,34 +644,68 @@ impl Parser {
         self.expect(Tok::LBracket)?;
         let mut keys = Vec::new();
         loop {
-            let name = self.ident()?;
+            let (name, _) = self.ident()?;
             match header_field(&name) {
                 Some(f) => keys.push(f),
-                None => return self.err(format!("unknown key field {name}")),
+                None => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err(format!("unknown key field {name}"));
+                }
             }
             match self.next() {
                 Some(Tok::Comma) => continue,
                 Some(Tok::RBracket) => break,
-                other => return self.err(format!("expected ',' or ']', found {other:?}")),
+                other => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err(format!("expected ',' or ']', found {other:?}"));
+                }
             }
         }
         Ok(keys)
     }
 }
 
-/// Parses NTAPI DSL source into a [`Program`] (with the source retained for
-/// LoC accounting).
-pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let toks = lex(src)?;
+/// Parses one source file into its surface [`SourceUnit`] (spans carry
+/// file id 0).  Use [`crate::resolve`] to flatten units — following
+/// imports, instantiating templates — into a [`Program`].
+pub fn parse_unit(src: &str) -> Result<SourceUnit, ParseError> {
+    parse_unit_in(src, 0)
+}
+
+/// Like [`parse_unit`], with an explicit file id for the produced spans.
+pub fn parse_unit_in(src: &str, file: u32) -> Result<SourceUnit, ParseError> {
+    let toks = lex(src, file)?;
     let mut p = Parser { toks, pos: 0 };
-    let mut prog = p.parse_program()?;
-    prog.source = Some(src.to_string());
-    Ok(prog)
+    p.parse_unit()
+}
+
+/// Parses a standalone value expression — the grammar of `set`'s right-hand
+/// side — as used by `--param NAME=VALUE` overrides.
+pub fn parse_value_str(src: &str) -> Result<Value, ParseError> {
+    let toks = lex(src, u32::MAX)?;
+    let mut p = Parser { toks, pos: 0 };
+    let v = p.parse_value()?;
+    if p.peek().is_some() {
+        return p.err("trailing input after value");
+    }
+    Ok(v)
+}
+
+/// Parses a single self-contained NTAPI source into a [`Program`] (with the
+/// source retained for LoC accounting).  Modules may use `param` defaults
+/// and `template` declarations, but `import` is rejected — use
+/// [`crate::resolve::resolve_file`] (or `htctl -I`) for multi-file tasks.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    crate::resolve::resolve_source(src).map_err(|f| {
+        let span = f.error.span;
+        ParseError { line: span.line as usize, col: span.col as usize, msg: f.error.message }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::CmpOp;
     use crate::testutil::must_parse;
 
     #[test]
@@ -911,5 +845,96 @@ T2 = trigger().set(sport, random(E, 128, 10))
     fn hex_literals() {
         let prog = must_parse("T1 = trigger().set(flag, 0x12)");
         assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(0x12));
+    }
+
+    #[test]
+    fn spans_point_at_definitions() {
+        let prog = must_parse("\nT1 = trigger()\n    .set(dip, 1)\nQ1 = query(T1)");
+        let t = &prog.triggers[0];
+        assert_eq!((t.span.line, t.span.col), (2, 1));
+        assert_eq!((t.sets[0].span.line, t.sets[0].span.col), (3, 6));
+        let q = &prog.queries[0];
+        assert_eq!((q.span.line, q.span.col), (4, 1));
+    }
+
+    #[test]
+    fn parses_module_surface_forms() {
+        let src = r#"
+import "lib/common.nt"
+param rate = 1us
+template sweep(prefix, rate) = trigger()
+    .set(dip, prefix)
+    .set(interval, rate)
+T1 = sweep(prefix=10.1.0.0/20, rate=rate)
+"#;
+        let unit = parse_unit(src).unwrap();
+        assert_eq!(unit.items.len(), 4);
+        match &unit.items[0] {
+            Item::Import(d) => assert_eq!(d.path, "lib/common.nt"),
+            other => panic!("{other:?}"),
+        }
+        match &unit.items[1] {
+            Item::Param(d) => {
+                assert_eq!(d.name, "rate");
+                assert_eq!(d.default, Some(Value::Const(1_000_000)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &unit.items[2] {
+            Item::Template(d) => {
+                assert_eq!(d.name, "sweep");
+                assert_eq!(d.params.len(), 2);
+                match &d.body {
+                    TemplateBody::Trigger(t) => {
+                        assert!(
+                            matches!(&t.sets[0].values[0], Value::Param { name, .. } if name == "prefix")
+                        );
+                        assert!(
+                            matches!(&t.sets[1].values[0], Value::Param { name, .. } if name == "rate")
+                        );
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        match &unit.items[3] {
+            Item::Instance(d) => {
+                assert_eq!(d.template, "sweep");
+                assert_eq!(d.args.len(), 2);
+                assert_eq!(d.args[0].name, "prefix");
+                assert_eq!(d.args[0].value, Value::Cidr { addr: 0x0a010000, prefix: 20 });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contextual_keywords_still_bind() {
+        // `import`/`param`/`template` only open declarations in declaration
+        // shape; as plain names they still work as binding targets.
+        let prog = must_parse("import = trigger()\nparam = trigger()\ntemplate = trigger()");
+        assert_eq!(prog.triggers.len(), 3);
+        assert_eq!(prog.triggers[0].name, "import");
+    }
+
+    #[test]
+    fn parameterized_filter_parses_to_filter_param() {
+        let src = "template t(mask) = query()\n    .filter(tcp_flag == mask)";
+        let unit = parse_unit(src).unwrap();
+        match &unit.items[0] {
+            Item::Template(d) => match &d.body {
+                TemplateBody::Query(q) => match &q.ops[0] {
+                    QueryOp::FilterParam { target, cmp, param, .. } => {
+                        assert_eq!(*target, Some(HeaderField::TcpFlags));
+                        assert_eq!(*cmp, CmpOp::Eq);
+                        assert_eq!(param, "mask");
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -1,38 +1,90 @@
-//! Pretty-printing a [`Program`] back to DSL text.
+//! Pretty-printing a [`Program`] or surface [`SourceUnit`] back to DSL
+//! text.
 //!
-//! Round-trips with [`crate::parse()`]: `parse(print(p)) == p` (modulo the
-//! retained source text).  Used by tooling to display builder-constructed
-//! programs and to give them a canonical LoC count.
+//! Round-trips with the parser: `parse(print_program(p))` yields `p` again
+//! and `parse_unit(print_unit(u))` yields `u` again, modulo spans and
+//! retained source text (compare via `strip_spans`).  Used by tooling to
+//! display builder-constructed programs and to give them a canonical LoC
+//! count.
 
 use crate::ast::{
-    DistSpec, HeaderField, NtField, Program, QueryOp, QuerySource, ReduceFunc, SetStmt, Value,
+    CmpOp, DistSpec, HeaderField, Item, NtField, Program, QueryDef, QueryOp, QuerySource,
+    ReduceFunc, SetStmt, SourceUnit, TemplateBody, TriggerDef, Value,
 };
 
 /// Renders a program in the paper's DSL syntax.
 pub fn print_program(p: &Program) -> String {
     let mut out = String::new();
     for t in &p.triggers {
-        let src = t.source_query.as_deref().unwrap_or("");
-        out.push_str(&format!("{} = trigger({src})\n", t.name));
-        for s in &t.sets {
-            out.push_str(&format!("    .{}\n", print_set(s)));
-        }
+        print_trigger_into(&mut out, t, None);
     }
     for q in &p.queries {
-        let src = match &q.source {
-            QuerySource::Received(None) => String::new(),
-            QuerySource::Received(Some(port)) => format!("port={port}"),
-            QuerySource::Trigger(t) => t.clone(),
-        };
-        out.push_str(&format!("{} = query({src})\n", q.name));
-        for op in &q.ops {
-            out.push_str(&format!("    .{}\n", print_op(op)));
+        print_query_into(&mut out, q, None);
+    }
+    out
+}
+
+/// Renders a surface unit — imports, params, templates, instantiations,
+/// and plain definitions — in declaration order.
+pub fn print_unit(u: &SourceUnit) -> String {
+    let mut out = String::new();
+    for item in &u.items {
+        match item {
+            Item::Import(d) => out.push_str(&format!("import \"{}\"\n", d.path)),
+            Item::Param(d) => match &d.default {
+                Some(v) => out.push_str(&format!("param {} = {}\n", d.name, print_value(v))),
+                None => out.push_str(&format!("param {}\n", d.name)),
+            },
+            Item::Template(d) => {
+                let params: Vec<&str> = d.params.iter().map(|(p, _)| p.as_str()).collect();
+                let head = format!("template {}({})", d.name, params.join(", "));
+                match &d.body {
+                    TemplateBody::Trigger(t) => print_trigger_into(&mut out, t, Some(&head)),
+                    TemplateBody::Query(q) => print_query_into(&mut out, q, Some(&head)),
+                }
+            }
+            Item::Trigger(t) => print_trigger_into(&mut out, t, None),
+            Item::Query(q) => print_query_into(&mut out, q, None),
+            Item::Instance(d) => {
+                let args: Vec<String> = d
+                    .args
+                    .iter()
+                    .map(|a| format!("{}={}", a.name, print_value(&a.value)))
+                    .collect();
+                out.push_str(&format!("{} = {}({})\n", d.name, d.template, args.join(", ")));
+            }
         }
     }
     out
 }
 
-fn field_name(f: &NtField) -> String {
+fn print_trigger_into(out: &mut String, t: &TriggerDef, template_head: Option<&str>) {
+    let src = t.source_query.as_deref().unwrap_or("");
+    match template_head {
+        Some(head) => out.push_str(&format!("{head} = trigger({src})\n")),
+        None => out.push_str(&format!("{} = trigger({src})\n", t.name)),
+    }
+    for s in &t.sets {
+        out.push_str(&format!("    .{}\n", print_set(s)));
+    }
+}
+
+fn print_query_into(out: &mut String, q: &QueryDef, template_head: Option<&str>) {
+    let src = match &q.source {
+        QuerySource::Received(None) => String::new(),
+        QuerySource::Received(Some(port)) => format!("port={port}"),
+        QuerySource::Trigger(t) => t.clone(),
+    };
+    match template_head {
+        Some(head) => out.push_str(&format!("{head} = query({src})\n")),
+        None => out.push_str(&format!("{} = query({src})\n", q.name)),
+    }
+    for op in &q.ops {
+        out.push_str(&format!("    .{}\n", print_op(op)));
+    }
+}
+
+pub(crate) fn field_name(f: &NtField) -> String {
     match f {
         NtField::Header(h) => header_name(*h).to_string(),
         NtField::Payload => "payload".into(),
@@ -85,6 +137,16 @@ fn print_value(v: &Value) -> String {
                 std::cmp::Ordering::Less => format!("{base} - {}", -offset),
             }
         }
+        Value::Cidr { addr, prefix } => {
+            format!(
+                "{}.{}.{}.{}/{prefix}",
+                (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff,
+                addr & 0xff
+            )
+        }
+        Value::Param { name, .. } => name.clone(),
     }
 }
 
@@ -98,18 +160,21 @@ fn print_set(s: &SetStmt) -> String {
     }
 }
 
+fn cmp_str(cmp: CmpOp) -> &'static str {
+    match cmp {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
 fn print_op(op: &QueryOp) -> String {
     match op {
         QueryOp::Filter(p) => {
-            let cmp = match p.cmp {
-                crate::ast::CmpOp::Eq => "==",
-                crate::ast::CmpOp::Ne => "!=",
-                crate::ast::CmpOp::Lt => "<",
-                crate::ast::CmpOp::Le => "<=",
-                crate::ast::CmpOp::Gt => ">",
-                crate::ast::CmpOp::Ge => ">=",
-            };
-            format!("filter({} {cmp} {})", header_name(p.field), p.value)
+            format!("filter({} {} {})", header_name(p.field), cmp_str(p.cmp), p.value)
         }
         QueryOp::Map(fields) => {
             let fs: Vec<String> = fields.iter().map(field_name).collect();
@@ -133,15 +198,14 @@ fn print_op(op: &QueryOp) -> String {
             }
         }
         QueryOp::FilterResult { cmp, value } => {
-            let c = match cmp {
-                crate::ast::CmpOp::Eq => "==",
-                crate::ast::CmpOp::Ne => "!=",
-                crate::ast::CmpOp::Lt => "<",
-                crate::ast::CmpOp::Le => "<=",
-                crate::ast::CmpOp::Gt => ">",
-                crate::ast::CmpOp::Ge => ">=",
+            format!("filter(count {} {value})", cmp_str(*cmp))
+        }
+        QueryOp::FilterParam { target, cmp, param, .. } => {
+            let lhs = match target {
+                Some(field) => header_name(*field),
+                None => "count",
             };
-            format!("filter(count {c} {value})")
+            format!("filter({lhs} {} {param})", cmp_str(*cmp))
         }
     }
 }
@@ -149,14 +213,16 @@ fn print_op(op: &QueryOp) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::parse;
+    use crate::parse::{parse, parse_unit};
     use crate::testutil::must_parse;
 
     fn round_trip(src: &str) {
-        let p1 = must_parse(src);
+        let mut p1 = must_parse(src);
         let printed = print_program(&p1);
         let mut p2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
-        // The retained source text necessarily differs.
+        // The retained source text and spans necessarily differ.
+        p1.strip_spans();
+        p2.strip_spans();
         p2.source = p1.source.clone();
         assert_eq!(p1, p2, "round trip changed the AST\n--- printed ---\n{printed}");
     }
@@ -195,5 +261,28 @@ Q4 = query().distinct(keys=[sip, dip, proto, sport, dport])
         let printed = print_program(&p);
         // One line for the trigger head, one per set.
         assert_eq!(crate::loc::count_loc(&printed), 3);
+    }
+
+    #[test]
+    fn units_round_trip_through_print_unit() {
+        let src = "\
+import \"lib/common.nt\"
+param rate = 1us
+template sweep(prefix, rate) = trigger()
+    .set(dip, prefix)
+    .set(interval, rate)
+template responders(mask) = query()
+    .filter(tcp_flag == mask)
+    .distinct(keys=[sip])
+T1 = sweep(prefix=10.1.0.0/20, rate=rate)
+Q1 = responders(mask=18)
+";
+        let mut u1 = parse_unit(src).unwrap();
+        let printed = print_unit(&u1);
+        let mut u2 =
+            parse_unit(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        u1.strip_spans();
+        u2.strip_spans();
+        assert_eq!(u1, u2, "unit round trip changed the AST\n--- printed ---\n{printed}");
     }
 }

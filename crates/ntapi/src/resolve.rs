@@ -1,0 +1,849 @@
+//! Module resolution: surface [`SourceUnit`]s → a flat [`Program`].
+//!
+//! [`SourceUnit`]: crate::ast::SourceUnit
+//! [`Program`]: crate::ast::Program
+//!
+//! The resolver is the middle layer of the front end (lex → parse →
+//! **resolve** → lower).  It walks a task's items in order and
+//!
+//! - follows `import "path"` declarations (include-once, cycle-detected,
+//!   resolved relative to the importing file then a `-I` search path),
+//! - binds `param name [= default]` declarations, applying `--param K=V`
+//!   overrides,
+//! - records `template name(params) = trigger()… | query()…` declarations
+//!   and instantiates them at `T1 = name(arg=value, …)` bindings with
+//!   const-evaluated, type-checked named arguments,
+//! - substitutes parameter references in value position and expands CIDR
+//!   literals (`10.1.0.0/20`) into the equivalent host-address ranges.
+//!
+//! Every failure is a [`ResolveFailure`]: a rule name, message, hint, and
+//! the exact [`Span`] it anchors to, rendered as `file:line:col` with a
+//! caret-underlined snippet from the owned [`SourceMap`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::ast::{
+    Item, NtField, Predicate, Program, QueryDef, QueryOp, SetStmt, SourceMap, Span, TemplateBody,
+    TemplateDecl, TriggerDef, Value,
+};
+use crate::parse::parse_unit_in;
+
+/// One resolve-time diagnostic: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    /// Stable rule name (`unknown-import`, `import-cycle`, `unbound-param`,
+    /// `template-arity`, `template-arg-type`, …).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested fix (may be empty).
+    pub hint: String,
+    /// Where the error anchors.
+    pub span: Span,
+}
+
+/// A failed resolution: the error plus the source map needed to render it.
+///
+/// `Display` produces the full rustc-style rendering:
+///
+/// ```text
+/// error[unknown-import] tasks/bad.nt:2:8: cannot import "nope.nt": …
+///    2 | import "nope.nt"
+///      |        ^^^^^^^^^
+///   hint: check the path or add a directory with -I
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolveFailure {
+    /// The diagnostic.
+    pub error: ResolveError,
+    /// Every file loaded before the failure (for span rendering).
+    pub sources: Arc<SourceMap>,
+}
+
+impl std::fmt::Display for ResolveFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let e = &self.error;
+        if self.sources.file(e.span.file).is_some() {
+            write!(f, "error[{}] {}: {}", e.rule, self.sources.render(e.span), e.message)?;
+            if let Some(snippet) = self.sources.snippet(e.span) {
+                write!(f, "\n{snippet}")?;
+            }
+        } else {
+            write!(f, "error[{}]: {}", e.rule, e.message)?;
+        }
+        if !e.hint.is_empty() {
+            write!(f, "\n  hint: {}", e.hint)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ResolveFailure {}
+
+/// A module the loader found: identity key (for include-once/cycle
+/// bookkeeping), display name (for spans), and text.
+#[derive(Debug, Clone)]
+pub struct LoadedModule {
+    /// Canonical identity of the file (same file ⇒ same key).
+    pub key: String,
+    /// Display name used in rendered diagnostics.
+    pub name: String,
+    /// Source text.
+    pub text: String,
+}
+
+/// Resolves `import "path"` declarations to module text.
+pub trait ModuleLoader {
+    /// Loads `path` as imported from the file displayed as `from`.
+    fn load(&self, from: &str, path: &str) -> Result<LoadedModule, String>;
+}
+
+/// Filesystem loader: resolves imports relative to the importing file's
+/// directory, then each `-I` search directory in order.
+#[derive(Debug, Clone, Default)]
+pub struct FsLoader {
+    /// Extra search directories (`htctl -I DIR`), tried in order.
+    pub search: Vec<PathBuf>,
+}
+
+impl ModuleLoader for FsLoader {
+    fn load(&self, from: &str, path: &str) -> Result<LoadedModule, String> {
+        let mut candidates = Vec::new();
+        if Path::new(path).is_absolute() {
+            candidates.push(PathBuf::from(path));
+        } else {
+            if let Some(dir) = Path::new(from).parent() {
+                candidates.push(dir.join(path));
+            }
+            for dir in &self.search {
+                candidates.push(dir.join(path));
+            }
+        }
+        for cand in &candidates {
+            if cand.is_file() {
+                let text = std::fs::read_to_string(cand)
+                    .map_err(|e| format!("cannot read {}: {e}", cand.display()))?;
+                let key = std::fs::canonicalize(cand)
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|_| cand.display().to_string());
+                return Ok(LoadedModule { key, name: cand.display().to_string(), text });
+            }
+        }
+        Err("no such file relative to the importing task or on the search path".into())
+    }
+}
+
+/// In-memory loader for tests and the fuzz harness: exact-name lookup in
+/// a fixed map.
+#[derive(Debug, Clone, Default)]
+pub struct MemLoader {
+    /// Module name → source text.
+    pub files: BTreeMap<String, String>,
+}
+
+impl ModuleLoader for MemLoader {
+    fn load(&self, _from: &str, path: &str) -> Result<LoadedModule, String> {
+        match self.files.get(path) {
+            Some(text) => {
+                Ok(LoadedModule { key: path.into(), name: path.into(), text: text.clone() })
+            }
+            None => Err("no such module in the in-memory set".into()),
+        }
+    }
+}
+
+/// Loader that rejects every import — used by the classic single-source
+/// [`crate::parse::parse`] entry point.
+struct DenyLoader;
+
+impl ModuleLoader for DenyLoader {
+    fn load(&self, _from: &str, _path: &str) -> Result<LoadedModule, String> {
+        Err("imports are not supported here; resolve through a file loader (htctl compile FILE \
+             or resolve_file)"
+            .into())
+    }
+}
+
+/// Resolves the task at `path` (reading it and everything it imports from
+/// the filesystem) into a flat [`Program`].  `search` is the `-I` path;
+/// `overrides` are `--param NAME=VALUE` pairs (the value text is parsed
+/// with the normal value grammar).
+pub fn resolve_file(
+    path: impl AsRef<Path>,
+    search: &[PathBuf],
+    overrides: &[(String, String)],
+) -> Result<Program, ResolveFailure> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| ResolveFailure {
+        error: ResolveError {
+            rule: "read-error",
+            message: format!("cannot read {}: {e}", path.display()),
+            hint: String::new(),
+            span: Span::DUMMY,
+        },
+        sources: Arc::new(SourceMap::new()),
+    })?;
+    let key = std::fs::canonicalize(path)
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|_| path.display().to_string());
+    let loader = FsLoader { search: search.to_vec() };
+    resolve_entry(&text, &path.display().to_string(), &key, &loader, overrides)
+}
+
+/// Resolves in-memory source text named `name`, loading imports through
+/// `loader`.  The main entry point for embedding (the fuzz harness uses it
+/// with a [`MemLoader`]).
+pub fn resolve_str(
+    src: &str,
+    name: &str,
+    loader: &dyn ModuleLoader,
+    overrides: &[(String, String)],
+) -> Result<Program, ResolveFailure> {
+    resolve_entry(src, name, name, loader, overrides)
+}
+
+/// Single-source resolution with imports rejected (legacy `parse`).
+pub(crate) fn resolve_source(src: &str) -> Result<Program, ResolveFailure> {
+    resolve_entry(src, "<input>", "<input>", &DenyLoader, &[])
+}
+
+fn resolve_entry(
+    text: &str,
+    name: &str,
+    key: &str,
+    loader: &dyn ModuleLoader,
+    overrides: &[(String, String)],
+) -> Result<Program, ResolveFailure> {
+    let mut cx = Ctx {
+        loader,
+        overrides,
+        map: SourceMap::new(),
+        loading: Vec::new(),
+        loaded: BTreeSet::new(),
+        params: BTreeMap::new(),
+        templates: BTreeMap::new(),
+        program: Program::default(),
+    };
+    let fid = cx.map.add_file(name, text);
+    let result = cx.process_file(fid, text, name, key).and_then(|()| cx.check_overrides());
+    match result {
+        Ok(()) => {
+            let mut program = cx.program;
+            program.source = Some(text.to_string());
+            program.sources = Some(Arc::new(cx.map));
+            Ok(program)
+        }
+        Err(error) => Err(ResolveFailure { error, sources: Arc::new(cx.map) }),
+    }
+}
+
+struct Ctx<'a> {
+    loader: &'a dyn ModuleLoader,
+    overrides: &'a [(String, String)],
+    map: SourceMap,
+    /// DFS stack of (canonical key, display name) for cycle detection.
+    loading: Vec<(String, String)>,
+    /// Canonical keys of completed files (include-once).
+    loaded: BTreeSet<String>,
+    /// Declared parameters: name → (bound value, declaration span).
+    params: BTreeMap<String, (Value, Span)>,
+    templates: BTreeMap<String, TemplateDecl>,
+    program: Program,
+}
+
+type Env = BTreeMap<String, (Value, Span)>;
+
+impl Ctx<'_> {
+    fn process_file(
+        &mut self,
+        fid: u32,
+        text: &str,
+        name: &str,
+        key: &str,
+    ) -> Result<(), ResolveError> {
+        let unit = parse_unit_in(text, fid).map_err(|e| ResolveError {
+            rule: "parse-error",
+            message: e.msg,
+            hint: String::new(),
+            span: Span { file: fid, line: e.line as u32, col: e.col.max(1) as u32, len: 1 },
+        })?;
+        self.loading.push((key.to_string(), name.to_string()));
+        for item in unit.items {
+            self.process_item(item, name)?;
+        }
+        self.loading.pop();
+        self.loaded.insert(key.to_string());
+        Ok(())
+    }
+
+    fn process_item(&mut self, item: Item, from: &str) -> Result<(), ResolveError> {
+        match item {
+            Item::Import(d) => {
+                let module = self.loader.load(from, &d.path).map_err(|e| ResolveError {
+                    rule: "unknown-import",
+                    message: format!("cannot import {:?}: {e}", d.path),
+                    hint: "check the path or add a directory with -I".into(),
+                    span: d.span,
+                })?;
+                if let Some(start) = self.loading.iter().position(|(k, _)| k == &module.key) {
+                    let chain: Vec<&str> =
+                        self.loading[start..].iter().map(|(_, n)| n.as_str()).collect();
+                    return Err(ResolveError {
+                        rule: "import-cycle",
+                        message: format!("import cycle: {} → {}", chain.join(" → "), module.name),
+                        hint: "break the cycle by moving shared definitions into a common module"
+                            .into(),
+                        span: d.span,
+                    });
+                }
+                if self.loaded.contains(&module.key) {
+                    return Ok(()); // include-once
+                }
+                let fid = self.map.add_file(module.name.clone(), module.text.clone());
+                self.process_file(fid, &module.text, &module.name, &module.key)
+            }
+            Item::Param(d) => {
+                if self.params.contains_key(&d.name) {
+                    return Err(ResolveError {
+                        rule: "duplicate-def",
+                        message: format!("parameter `{}` is declared twice", d.name),
+                        hint: "remove one of the declarations".into(),
+                        span: d.span,
+                    });
+                }
+                let value = match self.overrides.iter().rev().find(|(k, _)| k == &d.name) {
+                    Some((_, text)) => {
+                        crate::parse::parse_value_str(text).map_err(|e| ResolveError {
+                            rule: "bad-param-value",
+                            message: format!("--param {}={}: {}", d.name, text, e.msg),
+                            hint: "pass a value the DSL accepts in value position".into(),
+                            span: d.span,
+                        })?
+                    }
+                    None => match &d.default {
+                        Some(v) => v.clone(),
+                        None => {
+                            return Err(ResolveError {
+                                rule: "param-unset",
+                                message: format!(
+                                    "parameter `{}` has no default and no --param override",
+                                    d.name
+                                ),
+                                hint: format!(
+                                    "pass --param {}=<value> or give the declaration a default",
+                                    d.name
+                                ),
+                                span: d.span,
+                            })
+                        }
+                    },
+                };
+                // Defaults/overrides may reference previously declared
+                // parameters.
+                let value = self.subst_value(value, &Env::new())?;
+                self.params.insert(d.name, (value, d.span));
+                Ok(())
+            }
+            Item::Template(d) => {
+                if self.templates.contains_key(&d.name) {
+                    return Err(ResolveError {
+                        rule: "duplicate-def",
+                        message: format!("template `{}` is declared twice", d.name),
+                        hint: "remove or rename one of the declarations".into(),
+                        span: d.span,
+                    });
+                }
+                let mut seen = BTreeSet::new();
+                for (p, pspan) in &d.params {
+                    if !seen.insert(p.clone()) {
+                        return Err(ResolveError {
+                            rule: "duplicate-def",
+                            message: format!(
+                                "template `{}` declares parameter `{p}` twice",
+                                d.name
+                            ),
+                            hint: "rename one of the parameters".into(),
+                            span: *pspan,
+                        });
+                    }
+                }
+                self.templates.insert(d.name.clone(), d);
+                Ok(())
+            }
+            Item::Trigger(t) => {
+                let resolved = self.subst_trigger(t, &Env::new())?;
+                self.program.triggers.push(resolved);
+                Ok(())
+            }
+            Item::Query(q) => {
+                let resolved = self.subst_query(q, &Env::new())?;
+                self.program.queries.push(resolved);
+                Ok(())
+            }
+            Item::Instance(inst) => {
+                let tpl = match self.templates.get(&inst.template) {
+                    Some(t) => t.clone(),
+                    None => {
+                        return Err(ResolveError {
+                            rule: "unknown-template",
+                            message: format!("no template named `{}` in scope", inst.template),
+                            hint: "templates must be declared (or imported) before use".into(),
+                            span: inst.span,
+                        })
+                    }
+                };
+                let formals: Vec<&str> = tpl.params.iter().map(|(p, _)| p.as_str()).collect();
+                let signature = format!("{}({})", tpl.name, formals.join(", "));
+                let mut env = Env::new();
+                for arg in &inst.args {
+                    if !formals.contains(&arg.name.as_str()) {
+                        return Err(ResolveError {
+                            rule: "template-arity",
+                            message: format!(
+                                "template `{}` has no parameter `{}`",
+                                tpl.name, arg.name
+                            ),
+                            hint: format!("the template is declared as {signature}"),
+                            span: arg.span,
+                        });
+                    }
+                    if env.contains_key(&arg.name) {
+                        return Err(ResolveError {
+                            rule: "template-arity",
+                            message: format!("argument `{}` is given twice", arg.name),
+                            hint: format!("the template is declared as {signature}"),
+                            span: arg.span,
+                        });
+                    }
+                    // Argument values are evaluated in file scope (they may
+                    // reference file-level params).
+                    let value = self.subst_value(arg.value.clone(), &Env::new())?;
+                    env.insert(arg.name.clone(), (value, arg.span));
+                }
+                for (p, _) in &tpl.params {
+                    if !env.contains_key(p) {
+                        return Err(ResolveError {
+                            rule: "template-arity",
+                            message: format!(
+                                "instantiation of `{}` is missing argument `{p}`",
+                                tpl.name
+                            ),
+                            hint: format!("the template is declared as {signature}"),
+                            span: inst.span,
+                        });
+                    }
+                }
+                match tpl.body {
+                    TemplateBody::Trigger(ref t) => {
+                        let mut resolved = self.subst_trigger(t.clone(), &env)?;
+                        resolved.name = inst.name;
+                        resolved.span = inst.span;
+                        self.program.triggers.push(resolved);
+                    }
+                    TemplateBody::Query(ref q) => {
+                        let mut resolved = self.subst_query(q.clone(), &env)?;
+                        resolved.name = inst.name;
+                        resolved.span = inst.span;
+                        self.program.queries.push(resolved);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks a parameter up in the instantiation env, then file params.
+    fn lookup<'e>(&'e self, env: &'e Env, name: &str) -> Option<&'e (Value, Span)> {
+        env.get(name).or_else(|| self.params.get(name))
+    }
+
+    /// Substitutes parameter references in one value.  Returns the value
+    /// plus where it was bound (for type-error attribution).
+    fn subst_value_tracked(
+        &self,
+        value: Value,
+        env: &Env,
+    ) -> Result<(Value, Option<(String, Span)>), ResolveError> {
+        match value {
+            Value::Param { name, span } => match self.lookup(env, &name) {
+                Some((v, bind_span)) => Ok((v.clone(), Some((name, *bind_span)))),
+                None => Err(unbound_param(&name, span)),
+            },
+            other => Ok((other, None)),
+        }
+    }
+
+    fn subst_value(&self, value: Value, env: &Env) -> Result<Value, ResolveError> {
+        Ok(self.subst_value_tracked(value, env)?.0)
+    }
+
+    fn subst_trigger(&self, t: TriggerDef, env: &Env) -> Result<TriggerDef, ResolveError> {
+        let mut sets = Vec::with_capacity(t.sets.len());
+        for stmt in t.sets {
+            let mut values = Vec::with_capacity(stmt.values.len());
+            for (field, value) in stmt.fields.iter().zip(stmt.values) {
+                let (value, bound) = self.subst_value_tracked(value, env)?;
+                let value = finalize_field_value(field, value, &stmt.span, bound.as_ref())?;
+                values.push(value);
+            }
+            sets.push(SetStmt { fields: stmt.fields, values, span: stmt.span });
+        }
+        Ok(TriggerDef { name: t.name, source_query: t.source_query, sets, span: t.span })
+    }
+
+    fn subst_query(&self, q: QueryDef, env: &Env) -> Result<QueryDef, ResolveError> {
+        let mut ops = Vec::with_capacity(q.ops.len());
+        for op in q.ops {
+            match op {
+                QueryOp::FilterParam { target, cmp, param, span } => {
+                    let (value, bound) = match self.lookup(env, &param) {
+                        Some((v, s)) => (v.clone(), *s),
+                        None => return Err(unbound_param(&param, span)),
+                    };
+                    let value = match value {
+                        Value::Const(v) => v,
+                        other => {
+                            return Err(ResolveError {
+                                rule: "template-arg-type",
+                                message: format!(
+                                    "filter threshold `{param}` must be a constant, found a {} \
+                                     value",
+                                    value_kind(&other)
+                                ),
+                                hint: "bind the parameter to an integer, flag sum, IPv4, or time \
+                                       literal"
+                                    .into(),
+                                span: bound,
+                            })
+                        }
+                    };
+                    ops.push(match target {
+                        Some(field) => QueryOp::Filter(Predicate { field, cmp, value }),
+                        None => QueryOp::FilterResult { cmp, value },
+                    });
+                }
+                other => ops.push(other),
+            }
+        }
+        Ok(QueryDef { name: q.name, source: q.source, ops, span: q.span })
+    }
+
+    fn check_overrides(&self) -> Result<(), ResolveError> {
+        for (name, _) in self.overrides {
+            if !self.params.contains_key(name) {
+                return Err(ResolveError {
+                    rule: "unknown-param",
+                    message: format!("--param {name} does not match any `param` declaration"),
+                    hint: format!("declare `param {name}` in the task or drop the flag"),
+                    span: Span { file: 0, line: 1, col: 1, len: 1 },
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn unbound_param(name: &str, span: Span) -> ResolveError {
+    ResolveError {
+        rule: "unbound-param",
+        message: format!("unbound parameter `{name}`"),
+        hint: format!(
+            "declare `param {name} = …`, pass --param {name}=…, or add `{name}` to the \
+             template's parameter list"
+        ),
+        span,
+    }
+}
+
+/// Post-substitution per-field finishing: CIDR expansion plus (for values
+/// that came from a template argument) the same value-kind checks lowering
+/// enforces, reported at the argument with rule `template-arg-type`.
+fn finalize_field_value(
+    field: &NtField,
+    value: Value,
+    stmt_span: &Span,
+    bound: Option<&(String, Span)>,
+) -> Result<Value, ResolveError> {
+    let value = match value {
+        Value::Cidr { addr, prefix } => {
+            if !matches!(field, NtField::Header(_)) {
+                return Err(cidr_error(field, *stmt_span, bound));
+            }
+            if prefix > 30 {
+                let span = bound.map(|(_, s)| *s).unwrap_or(*stmt_span);
+                return Err(ResolveError {
+                    rule: "bad-cidr",
+                    message: format!("/{prefix} has no usable host addresses"),
+                    hint: "use a /30 or wider block (hosts exclude the network and broadcast \
+                           addresses)"
+                        .into(),
+                    span,
+                });
+            }
+            let hosts = u64::from(!0u32 >> prefix) - 1;
+            Value::Range { start: u64::from(addr) + 1, end: u64::from(addr) + hosts, step: 1 }
+        }
+        other => other,
+    };
+    if let Some((param, arg_span)) = bound {
+        if let Err(expected) = field_accepts(field, &value) {
+            return Err(ResolveError {
+                rule: "template-arg-type",
+                message: format!(
+                    "argument `{param}`: field `{}` cannot take a {} value",
+                    crate::printer::field_name(field),
+                    value_kind(&value)
+                ),
+                hint: format!("expected {expected}"),
+                span: *arg_span,
+            });
+        }
+    }
+    Ok(value)
+}
+
+fn cidr_error(field: &NtField, stmt_span: Span, bound: Option<&(String, Span)>) -> ResolveError {
+    match bound {
+        Some((param, arg_span)) => ResolveError {
+            rule: "template-arg-type",
+            message: format!(
+                "argument `{param}`: field `{}` cannot take a CIDR value",
+                crate::printer::field_name(field)
+            ),
+            hint: "CIDR blocks expand to ranges over header fields only".into(),
+            span: *arg_span,
+        },
+        None => ResolveError {
+            rule: "bad-cidr",
+            message: format!("a CIDR block cannot set `{}`", crate::printer::field_name(field)),
+            hint: "CIDR blocks expand to ranges over header fields only".into(),
+            span: stmt_span,
+        },
+    }
+}
+
+/// The value kinds each field accepts — mirrors lowering's checks so
+/// template-argument type errors surface at resolve time with spans.
+fn field_accepts(field: &NtField, value: &Value) -> Result<(), &'static str> {
+    let ok = match field {
+        NtField::Payload => matches!(value, Value::Bytes(_)),
+        NtField::PktLen | NtField::Loop => matches!(value, Value::Const(_)),
+        NtField::Interval => matches!(value, Value::Const(_) | Value::Random { .. }),
+        NtField::Port => matches!(value, Value::Const(_) | Value::List(_)),
+        NtField::Header(_) => matches!(
+            value,
+            Value::Const(_)
+                | Value::List(_)
+                | Value::Range { .. }
+                | Value::Random { .. }
+                | Value::QueryField { .. }
+        ),
+    };
+    if ok {
+        return Ok(());
+    }
+    Err(match field {
+        NtField::Payload => "a byte-string (quoted) value",
+        NtField::PktLen | NtField::Loop => "a constant",
+        NtField::Interval => "a constant time or random(...) value",
+        NtField::Port => "a constant or list of ports",
+        NtField::Header(_) => "a constant, list, range, random, or query-field value",
+    })
+}
+
+fn value_kind(value: &Value) -> &'static str {
+    match value {
+        Value::Const(_) => "constant",
+        Value::Bytes(_) => "byte-string",
+        Value::List(_) => "list",
+        Value::Range { .. } => "range",
+        Value::Random { .. } => "random",
+        Value::QueryField { .. } => "query-field",
+        Value::Cidr { .. } => "CIDR",
+        Value::Param { .. } => "parameter",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::HeaderField;
+
+    fn mem(files: &[(&str, &str)]) -> MemLoader {
+        MemLoader { files: files.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect() }
+    }
+
+    #[test]
+    fn imports_flatten_in_order() {
+        let loader = mem(&[("lib.nt", "T0 = trigger().set(dport, 80)")]);
+        let prog = resolve_str(
+            "import \"lib.nt\"\nT1 = trigger().set(dport, 81)",
+            "main.nt",
+            &loader,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(prog.triggers.len(), 2);
+        assert_eq!(prog.triggers[0].name, "T0");
+        assert_eq!(prog.triggers[1].name, "T1");
+        let sources = prog.sources.as_ref().unwrap();
+        assert!(sources.file(1).is_some(), "imported file registered");
+    }
+
+    #[test]
+    fn imports_are_include_once() {
+        let loader = mem(&[
+            ("a.nt", "import \"c.nt\""),
+            ("b.nt", "import \"c.nt\""),
+            ("c.nt", "T0 = trigger().set(dport, 80)"),
+        ]);
+        let prog =
+            resolve_str("import \"a.nt\"\nimport \"b.nt\"", "main.nt", &loader, &[]).unwrap();
+        assert_eq!(prog.triggers.len(), 1);
+    }
+
+    #[test]
+    fn import_cycles_are_detected() {
+        let loader = mem(&[("a.nt", "import \"b.nt\""), ("b.nt", "import \"a.nt\"")]);
+        let err = resolve_str("import \"a.nt\"", "main.nt", &loader, &[]).unwrap_err();
+        assert_eq!(err.error.rule, "import-cycle");
+        assert!(err.error.message.contains("a.nt → b.nt → a.nt"), "{}", err.error.message);
+    }
+
+    #[test]
+    fn unknown_imports_fail_with_span() {
+        let err = resolve_str("import \"nope.nt\"", "main.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "unknown-import");
+        assert_eq!((err.error.span.line, err.error.span.col), (1, 8));
+        let rendered = err.to_string();
+        assert!(rendered.contains("main.nt:1:8"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn params_bind_defaults_and_overrides() {
+        let src = "param rate = 1us\nT1 = trigger().set(interval, rate)";
+        let prog = resolve_str(src, "m.nt", &mem(&[]), &[]).unwrap();
+        assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(1_000_000));
+
+        let prog = resolve_str(src, "m.nt", &mem(&[]), &[("rate".into(), "2ms".into())]).unwrap();
+        assert_eq!(prog.triggers[0].sets[0].values[0], Value::Const(2_000_000_000));
+    }
+
+    #[test]
+    fn unset_and_unknown_params_fail() {
+        let err = resolve_str("param rate", "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "param-unset");
+
+        let err = resolve_str(
+            "T1 = trigger().set(dport, 80)",
+            "m.nt",
+            &mem(&[]),
+            &[("nope".into(), "1".into())],
+        )
+        .unwrap_err();
+        assert_eq!(err.error.rule, "unknown-param");
+    }
+
+    #[test]
+    fn unbound_parameter_reference_fails_at_the_reference() {
+        let err =
+            resolve_str("T1 = trigger().set(dport, missing)", "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "unbound-param");
+        assert_eq!((err.error.span.line, err.error.span.col), (1, 27));
+    }
+
+    #[test]
+    fn templates_instantiate_with_cidr_expansion() {
+        let src = "\
+template sweep(prefix, rate) = trigger()
+    .set(dip, prefix)
+    .set(interval, rate)
+T1 = sweep(prefix=10.1.0.0/20, rate=1us)";
+        let prog = resolve_str(src, "m.nt", &mem(&[]), &[]).unwrap();
+        assert_eq!(prog.triggers.len(), 1);
+        assert_eq!(prog.triggers[0].name, "T1");
+        assert_eq!(
+            prog.triggers[0].sets[0].values[0],
+            Value::Range {
+                start: u64::from(0x0a010001u32),
+                end: u64::from(0x0a010ffeu32),
+                step: 1
+            }
+        );
+        assert_eq!(prog.triggers[0].sets[1].values[0], Value::Const(1_000_000));
+    }
+
+    #[test]
+    fn template_query_filters_resolve_params() {
+        let src = "\
+template responders(flagmask) = query()
+    .filter(tcp_flag == flagmask)
+    .distinct(keys=[sip])
+Q1 = responders(flagmask=SYN+ACK)";
+        let prog = resolve_str(src, "m.nt", &mem(&[]), &[]).unwrap();
+        assert_eq!(
+            prog.queries[0].ops[0],
+            QueryOp::Filter(Predicate {
+                field: HeaderField::TcpFlags,
+                cmp: crate::ast::CmpOp::Eq,
+                value: 0x12
+            })
+        );
+    }
+
+    #[test]
+    fn arity_errors() {
+        let tpl = "template t(a, b) = trigger().set(dport, a).set(sport, b)\n";
+        let err = resolve_str(&format!("{tpl}T1 = t(a=1)"), "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "template-arity");
+        assert!(err.error.message.contains("missing argument `b`"), "{}", err.error.message);
+
+        let err = resolve_str(&format!("{tpl}T1 = t(a=1, b=2, c=3)"), "m.nt", &mem(&[]), &[])
+            .unwrap_err();
+        assert_eq!(err.error.rule, "template-arity");
+        assert!(err.error.message.contains("no parameter `c`"), "{}", err.error.message);
+
+        let err = resolve_str(&format!("{tpl}T1 = t(a=1, a=2, b=3)"), "m.nt", &mem(&[]), &[])
+            .unwrap_err();
+        assert_eq!(err.error.rule, "template-arity");
+
+        let err = resolve_str("T1 = nope(a=1)", "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "unknown-template");
+    }
+
+    #[test]
+    fn argument_type_mismatch_fails_at_the_argument() {
+        let src = "template t(x) = trigger().set(payload, x)\nT1 = t(x=80)";
+        let err = resolve_str(src, "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "template-arg-type");
+        assert_eq!(err.error.span.line, 2);
+        assert!(err.error.message.contains("payload"), "{}", err.error.message);
+    }
+
+    #[test]
+    fn bad_cidr_prefixes_fail() {
+        let err = resolve_str("T1 = trigger().set(dip, 10.0.0.0/31)", "m.nt", &mem(&[]), &[])
+            .unwrap_err();
+        assert_eq!(err.error.rule, "bad-cidr");
+        let err = resolve_str("T1 = trigger().set(interval, 10.0.0.0/24)", "m.nt", &mem(&[]), &[])
+            .unwrap_err();
+        assert_eq!(err.error.rule, "bad-cidr");
+    }
+
+    #[test]
+    fn duplicate_definitions_fail() {
+        let err = resolve_str("param a = 1\nparam a = 2", "m.nt", &mem(&[]), &[]).unwrap_err();
+        assert_eq!(err.error.rule, "duplicate-def");
+        let err = resolve_str(
+            "template t() = trigger()\ntemplate t() = trigger()",
+            "m.nt",
+            &mem(&[]),
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err.error.rule, "duplicate-def");
+    }
+}

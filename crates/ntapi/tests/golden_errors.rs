@@ -1,0 +1,63 @@
+//! Golden resolver diagnostics: every bad fixture under `tests/fixtures/`
+//! must fail with exactly the committed rendering — rule, message,
+//! resolved `file:line:col`, caret snippet, and hint.
+//!
+//! These pin the user-facing error surface of the module system the same
+//! way `ir_snapshots.rs` pins lowering.  Regenerate (only when an error
+//! rendering change is *intended*) with:
+//!
+//! ```text
+//! HT_REGEN_GOLDEN=1 cargo test -p ht-ntapi --test golden_errors
+//! ```
+//!
+//! The fixture paths are relative: cargo runs integration tests with the
+//! package root as the working directory, so the rendered spans carry the
+//! stable `tests/fixtures/…` names the goldens commit.
+
+use ht_ntapi::resolve_file;
+
+fn check(fixture: &str, rule: &str) {
+    let path = format!("tests/fixtures/{fixture}.nt");
+    let failure = resolve_file(&path, &[], &[])
+        .err()
+        .unwrap_or_else(|| panic!("fixture {fixture} must fail to resolve"));
+    assert_eq!(failure.error.rule, rule, "{fixture}: {failure}");
+    let got = format!("{failure}\n");
+    let golden = format!("tests/golden/{fixture}.txt");
+    if std::env::var("HT_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("committed golden {golden}: {e}"));
+    assert_eq!(
+        got, want,
+        "rendering for {fixture} drifted from the committed golden \
+         (if intended, regenerate with HT_REGEN_GOLDEN=1)"
+    );
+}
+
+#[test]
+fn unknown_import_renders_the_import_span() {
+    check("err_unknown_import", "unknown-import");
+}
+
+#[test]
+fn import_cycle_names_the_whole_chain() {
+    check("err_cycle_a", "import-cycle");
+}
+
+#[test]
+fn unbound_parameter_points_at_the_reference() {
+    check("err_unbound_param", "unbound-param");
+}
+
+#[test]
+fn missing_template_argument_is_an_arity_error() {
+    check("err_arity", "template-arity");
+}
+
+#[test]
+fn type_mismatched_argument_blames_the_argument() {
+    check("err_arg_type", "template-arg-type");
+}

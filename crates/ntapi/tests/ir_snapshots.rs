@@ -11,20 +11,23 @@
 //! HT_REGEN_GOLDEN=1 cargo test -p ht-ntapi --test ir_snapshots
 //! ```
 
-use ht_ntapi::{lower_with, parse, CompileOptions};
+use ht_ntapi::{lower_with, resolve_file, CompileOptions, Program};
 
-const TASKS: &[(&str, &str)] = &[
-    ("scan", include_str!("../../../tasks/scan.nt")),
-    ("syn_flood", include_str!("../../../tasks/syn_flood.nt")),
-    ("throughput", include_str!("../../../tasks/throughput.nt")),
-];
+const TASKS: &[&str] = &["scan", "syn_flood", "throughput"];
 
 fn golden_path(name: &str) -> String {
     format!("{}/tests/golden/ir_{name}.txt", env!("CARGO_MANIFEST_DIR"))
 }
 
-fn check_task(name: &str, src: &str) {
-    let prog = parse(src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+/// Loads a shipped task through the module resolver (the task files
+/// import `tasks/lib/common.nt`).
+fn load_task(name: &str) -> Program {
+    let path = format!("{}/../../tasks/{name}.nt", env!("CARGO_MANIFEST_DIR"));
+    resolve_file(&path, &[], &[]).unwrap_or_else(|e| panic!("resolve {name}: {e}"))
+}
+
+fn check_task(name: &str) {
+    let prog = load_task(name);
     let (module, trace, _) = lower_with(&prog, CompileOptions::default(), None)
         .unwrap_or_else(|e| panic!("lower {name}: {e}"));
     assert!(!trace.runs.is_empty(), "no passes ran for {name}");
@@ -45,28 +48,25 @@ fn check_task(name: &str, src: &str) {
 
 #[test]
 fn scan_ir_matches_snapshot() {
-    let (name, src) = TASKS[0];
-    check_task(name, src);
+    check_task(TASKS[0]);
 }
 
 #[test]
 fn syn_flood_ir_matches_snapshot() {
-    let (name, src) = TASKS[1];
-    check_task(name, src);
+    check_task(TASKS[1]);
 }
 
 #[test]
 fn throughput_ir_matches_snapshot() {
-    let (name, src) = TASKS[2];
-    check_task(name, src);
+    check_task(TASKS[2]);
 }
 
 /// The JSON dump must stay machine-parseable: balanced braces/brackets and
 /// the same template/query counts as the module.
 #[test]
 fn json_dump_is_well_formed_for_all_tasks() {
-    for (name, src) in TASKS {
-        let prog = parse(src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+    for name in TASKS {
+        let prog = load_task(name);
         let (module, _, _) = lower_with(&prog, CompileOptions::default(), None)
             .unwrap_or_else(|e| panic!("lower {name}: {e}"));
         let json = module.to_json();

@@ -167,10 +167,135 @@ proptest! {
             .reduce([HeaderField::Dip], ht_ntapi::ast::ReduceFunc::Sum)
             .filter_result(ht_ntapi::ast::CmpOp::Lt, 5)
             .build();
-        let p1 = ht_ntapi::builder::program([t], [q]);
+        let mut p1 = ht_ntapi::builder::program([t], [q]);
         let printed = ht_ntapi::printer::print_program(&p1);
         let mut p2 = parse(&printed).unwrap();
+        p1.strip_spans();
+        p2.strip_spans();
         p2.source = None;
         prop_assert_eq!(p1, p2, "printed:\n{}", printed);
+    }
+
+    /// print_unit → parse_unit round-trips the module surface — imports,
+    /// params, parameterized trigger/query templates, and instantiations
+    /// — structurally (modulo spans).
+    #[test]
+    fn unit_round_trip_with_modules_and_templates(
+        import_stem in "[a-z]{1,8}",
+        import_in_subdir in any::<bool>(),
+        suffix in "[a-z]{1,6}",
+        default_val in 0u64..100_000,
+        has_default in any::<bool>(),
+        dport in 0u64..65_536,
+        addr in any::<u32>(),
+        prefix in 8u8..=30,
+        rate_ps in 1u64..1_000_000,
+        mask in 0u64..256,
+    ) {
+        use ht_ntapi::ast::{
+            Arg, CmpOp, ImportDecl, InstanceDecl, Item, ParamDecl, QueryDef, QueryOp,
+            QuerySource, SetStmt, Span, TemplateBody, TemplateDecl, TriggerDef,
+        };
+        // `zz*` prefixes keep generated names clear of flags, protocol
+        // names, and value keywords (range/random), which bind differently
+        // in value position.
+        let import_path = if import_in_subdir {
+            format!("lib/{import_stem}.nt")
+        } else {
+            format!("{import_stem}.nt")
+        };
+        let pname = format!("zzp{suffix}");
+        let tname = format!("zzt{suffix}");
+        let qname = format!("zzq{suffix}");
+        let body = TriggerDef {
+            name: tname.clone(),
+            source_query: None,
+            sets: vec![
+                SetStmt {
+                    fields: vec![NtField::Header(HeaderField::Dport)],
+                    values: vec![Value::Const(dport)],
+                    span: Span::DUMMY,
+                },
+                SetStmt {
+                    fields: vec![NtField::Header(HeaderField::Dip)],
+                    values: vec![Value::Param { name: "zza".into(), span: Span::DUMMY }],
+                    span: Span::DUMMY,
+                },
+                SetStmt {
+                    fields: vec![NtField::Interval],
+                    values: vec![Value::Param { name: "zzb".into(), span: Span::DUMMY }],
+                    span: Span::DUMMY,
+                },
+            ],
+            span: Span::DUMMY,
+        };
+        let qbody = QueryDef {
+            name: qname.clone(),
+            source: QuerySource::Received(None),
+            ops: vec![
+                QueryOp::FilterParam {
+                    target: Some(HeaderField::TcpFlags),
+                    cmp: CmpOp::Eq,
+                    param: "zzm".into(),
+                    span: Span::DUMMY,
+                },
+                QueryOp::Distinct { keys: vec![HeaderField::Sip] },
+            ],
+            span: Span::DUMMY,
+        };
+        let mut u1 = ht_ntapi::SourceUnit {
+            items: vec![
+                Item::Import(ImportDecl { path: import_path, span: Span::DUMMY }),
+                Item::Param(ParamDecl {
+                    name: pname,
+                    default: has_default.then_some(Value::Const(default_val)),
+                    span: Span::DUMMY,
+                }),
+                Item::Template(TemplateDecl {
+                    name: tname.clone(),
+                    params: vec![("zza".into(), Span::DUMMY), ("zzb".into(), Span::DUMMY)],
+                    body: TemplateBody::Trigger(body),
+                    span: Span::DUMMY,
+                }),
+                Item::Template(TemplateDecl {
+                    name: qname.clone(),
+                    params: vec![("zzm".into(), Span::DUMMY)],
+                    body: TemplateBody::Query(qbody),
+                    span: Span::DUMMY,
+                }),
+                Item::Instance(InstanceDecl {
+                    name: "T1".into(),
+                    template: tname,
+                    args: vec![
+                        Arg {
+                            name: "zza".into(),
+                            value: Value::Cidr { addr, prefix },
+                            span: Span::DUMMY,
+                        },
+                        Arg {
+                            name: "zzb".into(),
+                            value: Value::Const(rate_ps),
+                            span: Span::DUMMY,
+                        },
+                    ],
+                    span: Span::DUMMY,
+                }),
+                Item::Instance(InstanceDecl {
+                    name: "Q1".into(),
+                    template: qname,
+                    args: vec![Arg {
+                        name: "zzm".into(),
+                        value: Value::Const(mask),
+                        span: Span::DUMMY,
+                    }],
+                    span: Span::DUMMY,
+                }),
+            ],
+        };
+        let printed = ht_ntapi::printer::print_unit(&u1);
+        let mut u2 = ht_ntapi::parse_unit(&printed).unwrap();
+        u1.strip_spans();
+        u2.strip_spans();
+        prop_assert_eq!(u1, u2, "printed:\n{}", printed);
     }
 }

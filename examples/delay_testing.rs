@@ -12,7 +12,7 @@
 use ht_packet::wire::gbps;
 use ht_stats::Summary;
 use hypertester::asic::time::{ms, to_ns_f64};
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::baseline::ratectl::{timestamp_error, TimestampMode};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::{Forwarder, Sink};
@@ -40,8 +40,8 @@ T1 = trigger().set([dip, sip, proto, dport, sport], [10.9.0.2, 10.9.0.1, udp, 7,
     let sw = world.add_device(Box::new(tester.switch));
     let dut = world.add_device(Box::new(Forwarder::new("dut", 600_000).route(0, 1, gbps(100))));
     let sink = world.add_device(Box::new(Sink::new("probe-rx").logging_arrivals()));
-    world.connect((sw, 0), (dut, 0), 0);
-    world.connect((dut, 1), (sink, 0), 0);
+    world.link((sw, 0), (dut, 0), LinkSpec::new());
+    world.link((dut, 1), (sink, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(10));
 

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example imix`
 
 use hypertester::asic::time::ms;
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, global_value, Gbps, TesterConfig};
@@ -49,7 +49,7 @@ Q3 = query(T3).map(p -> (pkt_len)).reduce(func=sum)
     let sink = world.add_device(Box::new(
         Sink::new("sink").capturing(vec![hypertester::asic::fields::PKT_LEN]),
     ));
-    world.connect((sw, 0), (sink, 0), 0);
+    world.link((sw, 0), (sink, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(100));
 

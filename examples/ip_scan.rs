@@ -12,7 +12,7 @@ use ht_packet::tcp::TcpFlags;
 use hypertester::asic::phv::fields;
 use hypertester::asic::sim::{Device, Outbox};
 use hypertester::asic::time::{ms, SimTime};
-use hypertester::asic::{SimPacket, Switch, World};
+use hypertester::asic::{LinkSpec, SimPacket, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::ht::{build, distinct_count, Gbps, TesterConfig};
 use hypertester::ntapi::{compile, parse};
@@ -79,7 +79,7 @@ Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys=[sip])
         answered: Default::default(),
         fields: hypertester::asic::FieldTable::new(),
     }));
-    world.connect((sw, 0), (hosts, 0), 1_000_000);
+    world.link((sw, 0), (hosts, 0), LinkSpec::new().delay(1_000_000));
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(20));
 

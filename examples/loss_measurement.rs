@@ -35,7 +35,7 @@ Q2 = query().reduce(func=count)
     let sw = world.add_device(Box::new(tester.switch));
     let dut = world.add_device(Box::new(Forwarder::new("dut", 500_000).route(0, 1, gbps(100))));
     world.link((sw, 0), (dut, 0), LinkSpec::new().loss(0.02));
-    world.connect((dut, 1), (sw, 1), 0);
+    world.link((dut, 1), (sw, 1), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(100));
 

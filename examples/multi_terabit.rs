@@ -10,7 +10,7 @@
 
 use ht_packet::wire::{gbps, line_rate_pps};
 use hypertester::asic::time::us;
-use hypertester::asic::World;
+use hypertester::asic::{LinkSpec, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, Gbps, TesterConfig};
@@ -40,7 +40,7 @@ fn main() {
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sinks")));
     for p in 0..PORTS {
-        world.connect((sw, p), (sink, p), 0);
+        world.link((sw, p), (sink, p), LinkSpec::new());
     }
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
 

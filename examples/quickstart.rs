@@ -6,7 +6,7 @@
 
 use ht_packet::wire::{gbps, line_rate_pps};
 use hypertester::asic::time::{ms, to_secs_f64};
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, global_value, Gbps, TesterConfig};
@@ -38,7 +38,7 @@ Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
     let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink")));
-    world.connect((sw, 0), (sink, 0), 0);
+    world.link((sw, 0), (sink, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
 
     // 5. Run 2 ms of simulated time; skip the injection ramp, then measure.

@@ -11,7 +11,7 @@
 use ht_stats::{max_diagonal_deviation, qq_points, Distribution, Ecdf, Summary};
 use hypertester::asic::fields;
 use hypertester::asic::time::ms;
-use hypertester::asic::World;
+use hypertester::asic::{LinkSpec, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, Gbps, TesterConfig};
@@ -27,7 +27,7 @@ fn run_case(name: &str, src: &str, dist: Distribution) {
     let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink").capturing(vec![fields::UDP_DPORT])));
-    world.connect((sw, 0), (sink, 0), 0);
+    world.link((sw, 0), (sink, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(2));
 

@@ -6,7 +6,7 @@
 
 use ht_packet::wire::gbps;
 use hypertester::asic::time::ms;
-use hypertester::asic::World;
+use hypertester::asic::{LinkSpec, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
 use hypertester::ht::{build, Gbps, TesterConfig};
@@ -38,7 +38,7 @@ T1 = trigger().set([dip, dport, proto, flag, window], [10.0.0.80, 80, tcp, SYN, 
         hypertester::asic::fields::TCP_FLAGS,
     ])));
     for p in 0..4 {
-        world.connect((sw, p), (victim, p), 0);
+        world.link((sw, p), (victim, p), LinkSpec::new());
     }
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
 

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example web_testing`
 
 use hypertester::asic::time::{ms, us};
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::TcpResponder;
 use hypertester::ht::{build, global_value, Gbps, TesterConfig};
@@ -51,7 +51,7 @@ Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=count)
     let mut world = World::builder().seed(1).build().unwrap();
     let sw = world.add_device(Box::new(tester.switch));
     let server = world.add_device(Box::new(TcpResponder::new("http-server", us(2))));
-    world.connect((sw, 0), (server, 0), us(1));
+    world.link((sw, 0), (server, 0), LinkSpec::new().delay(us(1)));
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
 
     world.run_until(ms(20));

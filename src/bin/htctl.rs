@@ -39,7 +39,7 @@
 //! to the simulation essentials).
 
 use hypertester::asic::time::ms;
-use hypertester::asic::{Switch, World};
+use hypertester::asic::{LinkSpec, Switch, World};
 use hypertester::bench::fuzz;
 use hypertester::cpu::SwitchCpu;
 use hypertester::dut::Sink;
@@ -50,14 +50,17 @@ use hypertester::lint::{
     FACT_PASSES,
 };
 use hypertester::ntapi::{
-    codegen, compile, loc, lower_with, parse, pass_names, CompileOptions, CompiledTask, NtapiError,
+    codegen, compile, loc, lower_with, pass_names, resolve_file, CompileOptions, CompiledTask,
+    NtapiError, Program, ResolveFailure,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  htctl compile [--json] [--dump-ir[=PASS]] <task.nt>\n  htctl lint [--json] <task.nt>\n  \
-         htctl analyze [--json] [--dump-facts=PASS] <task.nt>\n  \
+        "usage:\n  htctl compile [--json] [--dump-ir[=PASS]] [-I DIR] [--param K=V] <task.nt>\n  \
+         htctl lint [--json] [-I DIR] [--param K=V] <task.nt>\n  \
+         htctl analyze [--json] [--dump-facts=PASS] [-I DIR] [--param K=V] <task.nt>\n  \
          htctl fuzz [--cases N] [--seed S] [--corpus DIR] [--json]\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
          htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n              \
@@ -68,11 +71,80 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<(String, CompiledTask), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let prog = parse(&src).map_err(|e| e.to_string())?;
-    let task = compile(&prog).map_err(|e| format!("task rejected: {e}"))?;
-    Ok((src, task))
+/// The front-end configuration shared by every `.nt`-consuming
+/// subcommand: the `-I` module search path and `--param NAME=VALUE`
+/// overrides.
+#[derive(Default, Clone)]
+struct Fe {
+    search: Vec<PathBuf>,
+    params: Vec<(String, String)>,
+}
+
+impl Fe {
+    /// Resolves the task file (imports, params, templates) into a flat
+    /// program.  Resolve failures render with `file:line:col` and a
+    /// caret-underlined snippet.
+    fn load_program(&self, path: &str) -> Result<Program, String> {
+        resolve_file(path, &self.search, &self.params).map_err(|e| e.to_string())
+    }
+
+    fn load(&self, path: &str) -> Result<(String, CompiledTask), String> {
+        let prog = self.load_program(path)?;
+        let src = prog.source.clone().unwrap_or_default();
+        let task = compile(&prog).map_err(|e| render_reject(&prog, &e))?;
+        Ok((src, task))
+    }
+
+    /// Consumes a `-I`/`--param` flag with its value; `false` when the
+    /// flag is not a front-end flag or its value is malformed/missing.
+    fn take_flag(&mut self, flag: &str, val: Option<&String>) -> bool {
+        match (flag, val) {
+            ("-I", Some(dir)) => {
+                self.search.push(PathBuf::from(dir));
+                true
+            }
+            ("--param", Some(kv)) => match kv.split_once('=') {
+                Some((k, v)) if !k.is_empty() => {
+                    self.params.push((k.to_string(), v.to_string()));
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Renders a compile-time rejection, pointing at the blamed source span
+/// when the program retains one.
+fn render_reject(prog: &Program, e: &NtapiError) -> String {
+    match e.blame_span(prog) {
+        Some(sp) if sp.snippet.is_empty() => {
+            format!("task rejected: {e}\n  --> {}", sp.render())
+        }
+        Some(sp) => format!("task rejected: {e}\n  --> {}\n{}", sp.render(), sp.snippet),
+        None => format!("task rejected: {e}"),
+    }
+}
+
+/// A resolve failure as a uniform `LintReport` diagnostic (for `htctl
+/// lint`/`analyze`, whose outputs are diagnostic lists).
+fn resolve_diag(failure: &ResolveFailure) -> Diagnostic {
+    let mut d = Diagnostic::error(
+        failure.error.rule,
+        "task",
+        failure.error.message.clone(),
+        failure.error.hint.clone(),
+    );
+    if let Some(f) = failure.sources.file(failure.error.span.file) {
+        d = d.with_span(hypertester::ir::SourceSpan {
+            file: f.name.clone(),
+            line: failure.error.span.line,
+            col: failure.error.span.col,
+            snippet: failure.sources.snippet(failure.error.span).unwrap_or_default(),
+        });
+    }
+    d
 }
 
 fn template_kind(t: &hypertester::ntapi::compile::TemplateSpec) -> String {
@@ -84,8 +156,8 @@ fn template_kind(t: &hypertester::ntapi::compile::TemplateSpec) -> String {
     }
 }
 
-fn cmd_compile(path: &str, json: bool) -> Result<(), String> {
-    let (_, task) = load(path)?;
+fn cmd_compile(fe: &Fe, path: &str, json: bool) -> Result<(), String> {
+    let (_, task) = fe.load(path)?;
     if json {
         let templates: Vec<String> = task
             .templates
@@ -153,11 +225,10 @@ fn cmd_compile(path: &str, json: bool) -> Result<(), String> {
 
 /// Prints the IR module as lowered up to `stop_after` (all passes when
 /// `None`), as deterministic text or JSON.
-fn cmd_dump_ir(path: &str, json: bool, stop_after: Option<&str>) -> Result<(), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let prog = parse(&src).map_err(|e| e.to_string())?;
+fn cmd_dump_ir(fe: &Fe, path: &str, json: bool, stop_after: Option<&str>) -> Result<(), String> {
+    let prog = fe.load_program(path)?;
     let (module, trace, _) = lower_with(&prog, CompileOptions::default(), stop_after)
-        .map_err(|e| format!("task rejected: {e}"))?;
+        .map_err(|e| render_reject(&prog, &e))?;
     let last = trace.runs.last().map(|r| r.name).unwrap_or("");
     if json {
         println!(
@@ -177,13 +248,12 @@ fn cmd_dump_ir(path: &str, json: bool, stop_after: Option<&str>) -> Result<(), S
 /// compiler, plus the program-level passes over the built switch.  A
 /// compile or build failure that is *not* a lint rejection is reported as a
 /// single `compile-error` diagnostic so the output stays uniform.
-fn lint_findings(path: &str) -> Result<LintReport, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn lint_findings(fe: &Fe, path: &str) -> Result<LintReport, String> {
     let mut report = LintReport::new();
-    let prog = match parse(&src) {
+    let prog = match resolve_file(path, &fe.search, &fe.params) {
         Ok(p) => p,
-        Err(e) => {
-            report.push(Diagnostic::error("compile-error", path, e.to_string(), ""));
+        Err(failure) => {
+            report.push(resolve_diag(&failure));
             return Ok(report);
         }
     };
@@ -194,7 +264,11 @@ fn lint_findings(path: &str) -> Result<LintReport, String> {
             return Ok(report);
         }
         Err(e) => {
-            report.push(Diagnostic::error("compile-error", path, e.to_string(), ""));
+            let mut d = Diagnostic::error("compile-error", path, e.to_string(), "");
+            if let Some(sp) = e.blame_span(&prog) {
+                d = d.with_span(sp);
+            }
+            report.push(d);
             return Ok(report);
         }
     };
@@ -214,8 +288,8 @@ fn lint_findings(path: &str) -> Result<LintReport, String> {
     Ok(report)
 }
 
-fn cmd_lint(path: &str, json: bool) -> Result<bool, String> {
-    let report = lint_findings(path)?;
+fn cmd_lint(fe: &Fe, path: &str, json: bool) -> Result<bool, String> {
+    let report = lint_findings(fe, path)?;
     if json {
         println!("{}", report_json(path, &report));
     } else {
@@ -226,8 +300,8 @@ fn cmd_lint(path: &str, json: bool) -> Result<bool, String> {
 
 /// Builds the task's switch program, sized like [`lint_findings`], for the
 /// analysis-only views.
-fn build_switch(path: &str) -> Result<Switch, String> {
-    let (_, task) = load(path)?;
+fn build_switch(fe: &Fe, path: &str) -> Result<Switch, String> {
+    let (_, task) = fe.load(path)?;
     let ports =
         task.templates.iter().flat_map(|t| t.ports.iter().copied()).max().map_or(1, |p| p + 1);
     let config =
@@ -240,9 +314,9 @@ fn build_switch(path: &str) -> Result<Switch, String> {
 /// prints one deterministic fact table; otherwise prints fixpoint stats,
 /// certified no-wrap registers, and the full lint report (`--json` shares
 /// the `htctl lint --json` serializer).
-fn cmd_analyze(path: &str, json: bool, dump: Option<&str>) -> Result<bool, String> {
+fn cmd_analyze(fe: &Fe, path: &str, json: bool, dump: Option<&str>) -> Result<bool, String> {
     if let Some(pass) = dump {
-        let sw = build_switch(path)?;
+        let sw = build_switch(fe, path)?;
         return match dump_facts(&sw, pass) {
             Some(text) => {
                 print!("{text}");
@@ -254,13 +328,13 @@ fn cmd_analyze(path: &str, json: bool, dump: Option<&str>) -> Result<bool, Strin
             )),
         };
     }
-    let report = lint_findings(path)?;
+    let report = lint_findings(fe, path)?;
     if json {
         println!("{}", report_json(path, &report));
         return Ok(report.has_errors());
     }
     // On a build failure the diagnostics below already explain why.
-    if let Ok(sw) = build_switch(path) {
+    if let Ok(sw) = build_switch(fe, path) {
         match analyze_switch(&sw) {
             Some(a) => {
                 let (vi, li) = a.iterations();
@@ -344,13 +418,13 @@ fn cmd_fuzz(cases: u64, seed: u64, corpus: Option<&str>, json: bool) -> Result<b
 }
 
 fn cmd_p4(path: &str) -> Result<(), String> {
-    let (_, task) = load(path)?;
+    let (_, task) = Fe::default().load(path)?;
     print!("{}", codegen::generate_p4(&task));
     Ok(())
 }
 
 fn cmd_loc(path: &str) -> Result<(), String> {
-    let (src, task) = load(path)?;
+    let (src, task) = Fe::default().load(path)?;
     let p4 = codegen::generate_p4(&task);
     println!("NTAPI: {} LoC", loc::count_loc(&src));
     println!("P4   : {} LoC (generated)", loc::count_loc(&p4));
@@ -367,7 +441,7 @@ struct RunOpts {
 }
 
 fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
-    let (_, task) = load(path)?;
+    let (_, task) = Fe::default().load(path)?;
     let config = TesterConfig::builder()
         .ports(opts.ports)
         .speed(Gbps(opts.speed_gbps))
@@ -399,7 +473,7 @@ fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
     let sw = world.add_device(Box::new(tester.switch));
     let sink = world.add_device(Box::new(Sink::new("sink")));
     for p in 0..opts.ports {
-        world.connect((sw, p), (sink, p), 0);
+        world.link((sw, p), (sink, p), LinkSpec::new());
     }
     SwitchCpu::new().inject_templates(&mut world, sw, templates, 0);
     world.run_until(ms(opts.duration_ms));
@@ -523,15 +597,27 @@ fn main() -> ExitCode {
     }
 
     if cmd == "lint" {
-        let json = rest.iter().any(|a| a == "--json");
-        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
-        let [path] = paths[..] else {
+        let mut fe = Fe::default();
+        let mut json = false;
+        let mut path: Option<&String> = None;
+        let mut it = rest.iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--json" => json = true,
+                flag @ ("-I" | "--param") => {
+                    if !fe.take_flag(flag, it.next()) {
+                        return usage();
+                    }
+                }
+                other if other.starts_with('-') => return usage(),
+                _ if path.is_some() => return usage(),
+                _ => path = Some(tok),
+            }
+        }
+        let Some(path) = path else {
             return usage();
         };
-        if rest.iter().any(|a| a.starts_with("--") && a != "--json") {
-            return usage();
-        }
-        return match cmd_lint(path, json) {
+        return match cmd_lint(&fe, path, json) {
             Ok(false) => ExitCode::SUCCESS,
             Ok(true) => ExitCode::FAILURE,
             Err(e) => {
@@ -542,20 +628,31 @@ fn main() -> ExitCode {
     }
 
     if cmd == "analyze" {
-        let json = rest.iter().any(|a| a == "--json");
+        let mut fe = Fe::default();
+        let mut json = false;
         let mut dump: Option<String> = None;
-        for a in rest.iter().filter(|a| a.starts_with("--") && *a != "--json") {
-            if let Some(pass) = a.strip_prefix("--dump-facts=") {
-                dump = Some(pass.to_string());
-            } else {
-                return usage();
+        let mut path: Option<&String> = None;
+        let mut it = rest.iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--json" => json = true,
+                flag @ ("-I" | "--param") => {
+                    if !fe.take_flag(flag, it.next()) {
+                        return usage();
+                    }
+                }
+                other if other.starts_with("--dump-facts=") => {
+                    dump = Some(other["--dump-facts=".len()..].to_string());
+                }
+                other if other.starts_with('-') => return usage(),
+                _ if path.is_some() => return usage(),
+                _ => path = Some(tok),
             }
         }
-        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
-        let [path] = paths[..] else {
+        let Some(path) = path else {
             return usage();
         };
-        return match cmd_analyze(path, json, dump.as_deref()) {
+        return match cmd_analyze(&fe, path, json, dump.as_deref()) {
             Ok(false) => ExitCode::SUCCESS,
             Ok(true) => ExitCode::FAILURE,
             Err(e) => {
@@ -611,28 +708,42 @@ fn main() -> ExitCode {
     }
 
     if cmd == "compile" {
-        let json = rest.iter().any(|a| a == "--json");
+        let mut fe = Fe::default();
+        let mut json = false;
         let mut dump_ir: Option<Option<String>> = None;
-        for a in rest.iter().filter(|a| a.starts_with("--") && *a != "--json") {
-            if a == "--dump-ir" {
-                dump_ir = Some(None);
-            } else if let Some(pass) = a.strip_prefix("--dump-ir=") {
-                if !pass_names().contains(&pass) {
-                    eprintln!("unknown pass: {pass} (expected one of {})", pass_names().join(", "));
-                    return usage();
+        let mut path: Option<&String> = None;
+        let mut it = rest.iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--json" => json = true,
+                "--dump-ir" => dump_ir = Some(None),
+                flag @ ("-I" | "--param") => {
+                    if !fe.take_flag(flag, it.next()) {
+                        return usage();
+                    }
                 }
-                dump_ir = Some(Some(pass.to_string()));
-            } else {
-                return usage();
+                other if other.starts_with("--dump-ir=") => {
+                    let pass = &other["--dump-ir=".len()..];
+                    if !pass_names().contains(&pass) {
+                        eprintln!(
+                            "unknown pass: {pass} (expected one of {})",
+                            pass_names().join(", ")
+                        );
+                        return usage();
+                    }
+                    dump_ir = Some(Some(pass.to_string()));
+                }
+                other if other.starts_with('-') => return usage(),
+                _ if path.is_some() => return usage(),
+                _ => path = Some(tok),
             }
         }
-        let paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
-        let [path] = paths[..] else {
+        let Some(path) = path else {
             return usage();
         };
         return match dump_ir {
-            Some(stop) => finish(cmd_dump_ir(path, json, stop.as_deref()), path, json),
-            None => finish(cmd_compile(path, json), path, json),
+            Some(stop) => finish(cmd_dump_ir(&fe, path, json, stop.as_deref()), path, json),
+            None => finish(cmd_compile(&fe, path, json), path, json),
         };
     }
 

@@ -46,8 +46,8 @@ Q2 = query().map(p -> (pkt_len)).reduce(func=sum)
     let mut w = World::builder().seed(1).build().unwrap();
     let t = w.add_device(Box::new(tester.switch));
     let d = w.add_device(Box::new(dut));
-    w.connect((t, 0), (d, 0), 1_000_000); // 1 µs cable
-    w.connect((d, 1), (t, 1), 1_000_000);
+    w.link((t, 0), (d, 0), LinkSpec::new().delay(1_000_000)); // 1 µs cable
+    w.link((d, 1), (t, 1), LinkSpec::new().delay(1_000_000));
     SwitchCpu::new().inject_templates(&mut w, t, templates, 0);
     w.run_until(ms(5));
 
@@ -131,7 +131,7 @@ fn loopback_ports_extend_accelerator_capacity() {
     let mut w = World::builder().seed(1).build().unwrap();
     let t = w.add_device(Box::new(tester.switch));
     let sk = w.add_device(Box::new(Sink::new("sink")));
-    w.connect((t, 0), (sk, 0), 0);
+    w.link((t, 0), (sk, 0), LinkSpec::new());
     SwitchCpu::new().inject_templates(&mut w, t, templates, 0);
     w.run_until(ms(3));
     // All 120 triggers generate (100 µs interval → ≥1 packet each).

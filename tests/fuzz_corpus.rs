@@ -7,7 +7,7 @@
 //! change a single simulated byte.
 
 use hypertester::bench::fuzz::{differential_digest, replay_corpus, CaseOutcome};
-use hypertester::ntapi::parse;
+use hypertester::ntapi::resolve_file;
 use std::path::Path;
 
 fn corpus_dir() -> std::path::PathBuf {
@@ -40,9 +40,8 @@ fn seed_minimal_is_accepted_and_bad_dport_rejected() {
 
 #[test]
 fn analysis_annotation_preserves_recirculating_digest() {
-    let src = std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("tasks/scan.nt"))
-        .expect("shipped task");
-    let prog = parse(&src).expect("parse scan.nt");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tasks/scan.nt");
+    let prog = resolve_file(&path, &[], &[]).expect("resolve scan.nt");
     let d = differential_digest(&prog).expect("scan.nt builds on the fuzz testbed");
     assert!(
         d.recirculations >= 2,
