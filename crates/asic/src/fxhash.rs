@@ -1,0 +1,91 @@
+//! A multiply–xor hasher (FxHash-style) for hot-path hash maps.
+//!
+//! The simulator's inner loops key maps by small integers and short
+//! `u64` slices — table-entry keys, port numbers, device ids — where the
+//! default SipHash's per-lookup setup cost is measurable and its DoS
+//! resistance buys nothing (every key comes from the task spec or the
+//! topology, not from untrusted input).  This hasher folds each word
+//! with a rotate–xor–multiply round, the same scheme rustc uses
+//! internally.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The hasher state: one folded word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    /// Knuth's 2^64 golden-ratio constant, the multiplicative mixer.
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut m: FxHashMap<u16, u32> = FxHashMap::default();
+        for p in 0..256u16 {
+            m.insert(p, u32::from(p) + 1);
+        }
+        assert_eq!(m.len(), 256);
+        for p in 0..256u16 {
+            assert_eq!(m[&p], u32::from(p) + 1);
+        }
+    }
+
+    #[test]
+    fn slice_and_word_paths_agree_with_themselves() {
+        use std::hash::BuildHasher;
+        let b = FxBuild::default();
+        let h1 = b.hash_one([1u64, 2, 3].as_slice());
+        let h2 = b.hash_one([1u64, 2, 3].as_slice());
+        assert_eq!(h1, h2);
+    }
+}

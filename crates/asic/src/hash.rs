@@ -347,12 +347,12 @@ mod tests {
             }
 
             let mut c4 = Crc32FoldX4::castagnoli();
-            for i in 0..3 {
+            for (((a, b), c), d) in keys[0].iter().zip(&keys[1]).zip(&keys[2]).zip(&keys[3]) {
                 c4.fold8([
-                    keys[0][i].to_be_bytes(),
-                    keys[1][i].to_be_bytes(),
-                    keys[2][i].to_be_bytes(),
-                    keys[3][i].to_be_bytes(),
+                    a.to_be_bytes(),
+                    b.to_be_bytes(),
+                    c.to_be_bytes(),
+                    d.to_be_bytes(),
                 ]);
             }
             let batch_c = c4.finish();

@@ -18,6 +18,7 @@
 //! * [`register`] — register arrays and SALU programs.
 //! * [`action`] — primitive ops / compound actions.
 //! * [`table`] — exact/ternary/range/index match tables with gateways.
+//! * [`exec`] — the compiled (threaded-code) pipeline executor.
 //! * [`pipeline`] — stages, pipelines, and the [`pipeline::Extern`] hook.
 //! * [`tm`] — multicast group table.
 //! * [`mac`] — port MACs with line-rate serialization.
@@ -35,7 +36,9 @@
 pub mod action;
 pub mod arena;
 pub mod digest;
+pub mod exec;
 pub mod fingerprint;
+pub mod fxhash;
 pub mod hash;
 pub mod mac;
 pub mod packet;
@@ -53,6 +56,7 @@ pub mod timerwheel;
 pub mod timing;
 pub mod tm;
 
+pub use exec::ExecMode;
 pub use packet::SimPacket;
 pub use phv::{fields, FieldId, FieldTable, Phv};
 pub use sim::{

@@ -44,6 +44,26 @@ impl MacPort {
         (start, end)
     }
 
+    /// Serializes a run of frames back-to-back, none earlier than
+    /// `earliest`, writing each frame's `(start, end)` window into
+    /// `windows` (appended in order).  Equivalent to calling
+    /// [`transmit`](Self::transmit) once per frame with the same
+    /// `earliest`: after the first frame claims the wire, every later
+    /// frame in the run starts exactly at the previous frame's end, so a
+    /// single cursor update per frame suffices and same-instant ordering
+    /// ties resolve by position in `frames`.
+    pub fn transmit_batch(
+        &mut self,
+        frames: &[usize],
+        earliest: SimTime,
+        windows: &mut Vec<(SimTime, SimTime)>,
+    ) {
+        windows.reserve(frames.len());
+        for &len in frames {
+            windows.push(self.transmit(len, earliest));
+        }
+    }
+
     /// Achieved L2 throughput over an interval, in bits per second.
     pub fn l2_throughput_bps(&self, duration: SimTime) -> f64 {
         if duration == 0 {
@@ -92,5 +112,40 @@ mod tests {
     #[should_panic(expected = "speed must be positive")]
     fn zero_speed_rejected() {
         MacPort::new(0);
+    }
+
+    #[test]
+    fn batch_transmit_matches_serial_at_same_timestamp_ties() {
+        // A same-instant burst must serialize identically whether enqueued
+        // one frame at a time or as a batch: the first frame claims the
+        // wire, the rest follow back-to-back in submission order.
+        let frames = [64usize, 1500, 128, 64, 9000];
+        let mut serial = MacPort::new(gbps(40));
+        let expect: Vec<(SimTime, SimTime)> =
+            frames.iter().map(|&len| serial.transmit(len, 2_000)).collect();
+
+        let mut batched = MacPort::new(gbps(40));
+        let mut windows = Vec::new();
+        batched.transmit_batch(&frames, 2_000, &mut windows);
+        assert_eq!(windows, expect);
+        assert_eq!(batched.next_free, serial.next_free);
+        assert_eq!(batched.tx_frames, serial.tx_frames);
+        assert_eq!(batched.tx_bytes, serial.tx_bytes);
+        // Ties resolve by position: each window starts where the previous
+        // one ended.
+        for w in windows.windows(2) {
+            assert_eq!(w[1].0, w[0].1);
+        }
+    }
+
+    #[test]
+    fn batch_transmit_waits_for_a_busy_wire() {
+        let mut p = MacPort::new(gbps(100));
+        p.transmit(9000, 0); // book the wire well past t=0
+        let busy_until = p.next_free;
+        let mut windows = Vec::new();
+        p.transmit_batch(&[64, 64], 0, &mut windows);
+        assert_eq!(windows[0].0, busy_until, "batch head waits for the wire");
+        assert_eq!(windows[1].0, windows[0].1);
     }
 }

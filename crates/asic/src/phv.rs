@@ -274,6 +274,15 @@ impl Phv {
         self.set_masked(id, value, table.width(id));
     }
 
+    /// Writes a field **without masking**.  The caller promises the value
+    /// is already within the field's declared width — the compiled
+    /// executor ([`crate::exec`]) bakes every mask into its ops at
+    /// lowering time, so the decode loop stores raw words.
+    #[inline]
+    pub fn set_premasked(&mut self, id: FieldId, value: u64) {
+        self.values.0[id.0 as usize] = value;
+    }
+
     /// Writes several fields in one call.
     ///
     /// Semantically identical to calling [`set`](Self::set) per pair, but

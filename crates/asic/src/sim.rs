@@ -37,10 +37,18 @@ use std::collections::{BinaryHeap, HashMap};
 pub mod metrics {
     use std::cell::Cell;
 
+    /// Number of batch-size histogram buckets: 1, 2–3, 4–7, 8–15, 16+.
+    pub const BATCH_BUCKETS: usize = 5;
+    /// Number of [`super::DeviceKind`] values.
+    pub const KIND_COUNT: usize = 4;
+
     thread_local! {
         static EVENTS: Cell<u64> = const { Cell::new(0) };
         static PEAK_QUEUE: Cell<u64> = const { Cell::new(0) };
         static FP_KEYS: Cell<u64> = const { Cell::new(0) };
+        static OPS: Cell<u64> = const { Cell::new(0) };
+        static BATCH_HIST: Cell<[u64; BATCH_BUCKETS]> = const { Cell::new([0; BATCH_BUCKETS]) };
+        static BY_KIND: Cell<[u64; KIND_COUNT]> = const { Cell::new([0; KIND_COUNT]) };
     }
 
     /// Cumulative events processed by worlds on this thread (flushed when
@@ -66,22 +74,113 @@ pub mod metrics {
         FP_KEYS.with(|c| c.set(c.get() + n));
     }
 
+    /// Adds `n` to the thread's retired-op counter.  The compiled executor
+    /// ([`crate::exec`]) calls this once per pipeline pass with the number
+    /// of ops its decode loop retired.
+    pub fn record_ops(n: u64) {
+        OPS.with(|c| c.set(c.get() + n));
+    }
+
+    /// Cumulative profile counters of this thread, for `--profile`
+    /// reports.  Counters are cumulative across jobs; snapshot before and
+    /// after a run and subtract ([`ProfileSnapshot::delta_since`]).
+    ///
+    /// Partitioned runs accumulate retired ops on their engine threads, so
+    /// `ops_retired` is complete only for serial (`--workers`-level
+    /// parallel, `--sim-threads 1`) runs; events are folded back on world
+    /// drop either way.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct ProfileSnapshot {
+        /// Events processed (same counter as [`thread_events`]).
+        pub events: u64,
+        /// Ops retired by the compiled executor.
+        pub ops_retired: u64,
+        /// Batch-size histogram: number of dispatched batches of size 1,
+        /// 2–3, 4–7, 8–15, 16+.
+        pub batch_hist: [u64; BATCH_BUCKETS],
+        /// Events by target [`super::DeviceKind`], indexed by
+        /// [`super::DeviceKind::index`].
+        pub by_kind: [u64; KIND_COUNT],
+    }
+
+    impl ProfileSnapshot {
+        /// Adds another snapshot's counters into this one (merging shard
+        /// deltas of one experiment).
+        pub fn absorb(&mut self, other: &ProfileSnapshot) {
+            self.events += other.events;
+            self.ops_retired += other.ops_retired;
+            for (a, b) in self.batch_hist.iter_mut().zip(other.batch_hist) {
+                *a += b;
+            }
+            for (a, b) in self.by_kind.iter_mut().zip(other.by_kind) {
+                *a += b;
+            }
+        }
+
+        /// Counter deltas since an earlier snapshot.
+        pub fn delta_since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+            let mut d = *self;
+            d.events -= earlier.events;
+            d.ops_retired -= earlier.ops_retired;
+            for (a, b) in d.batch_hist.iter_mut().zip(earlier.batch_hist) {
+                *a -= b;
+            }
+            for (a, b) in d.by_kind.iter_mut().zip(earlier.by_kind) {
+                *a -= b;
+            }
+            d
+        }
+    }
+
+    /// The thread's cumulative profile counters.
+    pub fn profile_snapshot() -> ProfileSnapshot {
+        ProfileSnapshot {
+            events: EVENTS.with(Cell::get),
+            ops_retired: OPS.with(Cell::get),
+            batch_hist: BATCH_HIST.with(Cell::get),
+            by_kind: BY_KIND.with(Cell::get),
+        }
+    }
+
     pub(super) fn record(events: u64, peak_queue: u64) {
         EVENTS.with(|c| c.set(c.get() + events));
         PEAK_QUEUE.with(|c| c.set(c.get().max(peak_queue)));
+    }
+
+    pub(super) fn record_batches(hist: [u64; BATCH_BUCKETS], by_kind: [u64; KIND_COUNT]) {
+        BATCH_HIST.with(|c| {
+            let mut cur = c.get();
+            for (a, b) in cur.iter_mut().zip(hist) {
+                *a += b;
+            }
+            c.set(cur);
+        });
+        BY_KIND.with(|c| {
+            let mut cur = c.get();
+            for (a, b) in cur.iter_mut().zip(by_kind) {
+                *a += b;
+            }
+            c.set(cur);
+        });
     }
 }
 
 /// Index of a device within its world.
 pub type DeviceId = usize;
 
-/// Emissions and wake requests produced by one device handler invocation.
+/// Emissions and wake requests produced by one device handler invocation
+/// (or, with [`checkpoint`](Outbox::checkpoint) marks, by one *batch* of
+/// invocations).
 #[derive(Debug, Default)]
 pub struct Outbox {
     /// Packets leaving the device: `(source port, packet, departure time)`.
     pub emits: Vec<(u16, SimPacket, SimTime)>,
     /// Timer requests: `(opaque token, fire time)`.
     pub wakes: Vec<(u64, SimTime)>,
+    /// Segment boundaries `(wakes.len(), emits.len())` recorded between
+    /// batch items, so a single batched flush can reproduce the per-event
+    /// wakes-then-emits key-assignment order of the serial loop.
+    marks: Vec<(usize, usize)>,
 }
 
 impl Outbox {
@@ -94,6 +193,70 @@ impl Outbox {
     pub fn wake_at(&mut self, token: u64, at: SimTime) {
         self.wakes.push((token, at));
     }
+
+    /// Marks the end of one batch item's output.  The flush walks the
+    /// marked segments in order, issuing each segment's wakes before its
+    /// emissions — exactly the event keys a per-event flush would assign.
+    pub fn checkpoint(&mut self) {
+        self.marks.push((self.wakes.len(), self.emits.len()));
+    }
+}
+
+/// Coarse device classification for the `--profile` event breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceKind {
+    /// A programmable switch ([`crate::Switch`]).
+    Switch,
+    /// A device under test or traffic endpoint (servers, responders).
+    Host,
+    /// A terminal sink/collector.
+    Sink,
+    /// Anything unclassified.
+    #[default]
+    Other,
+}
+
+impl DeviceKind {
+    /// Index into [`metrics::ProfileSnapshot::by_kind`].
+    pub fn index(self) -> usize {
+        match self {
+            DeviceKind::Switch => 0,
+            DeviceKind::Host => 1,
+            DeviceKind::Sink => 2,
+            DeviceKind::Other => 3,
+        }
+    }
+
+    /// Stable lowercase name, for report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Switch => "switch",
+            DeviceKind::Host => "host",
+            DeviceKind::Sink => "sink",
+            DeviceKind::Other => "other",
+        }
+    }
+
+    /// All kinds, in [`DeviceKind::index`] order.
+    pub const ALL: [DeviceKind; 4] =
+        [DeviceKind::Switch, DeviceKind::Host, DeviceKind::Sink, DeviceKind::Other];
+}
+
+/// One event of a same-instant batch handed to [`Device::rx_batch`].
+#[derive(Debug)]
+pub enum BatchItem {
+    /// A packet delivery on `port`.
+    Deliver {
+        /// Arrival port.
+        port: u16,
+        /// The packet.
+        pkt: SimPacket,
+    },
+    /// A timer wake.
+    Wake {
+        /// The token passed to [`Outbox::wake_at`].
+        token: u64,
+    },
 }
 
 /// A network element participating in the simulation.
@@ -109,6 +272,29 @@ pub trait Device: Any + Send {
 
     /// Handles a timer previously requested via [`Outbox::wake_at`].
     fn wake(&mut self, _token: u64, _now: SimTime, _out: &mut Outbox) {}
+
+    /// Handles a batch of same-instant events, draining `items` in order.
+    ///
+    /// The world only batches events it has *proven* the serial loop would
+    /// process back-to-back (same instant, same device, ordered before
+    /// anything the batch itself can create), so an implementation must
+    /// process items strictly in order and call [`Outbox::checkpoint`]
+    /// after each one — the default does exactly that by delegating to
+    /// [`rx`](Device::rx)/[`wake`](Device::wake).
+    fn rx_batch(&mut self, items: &mut Vec<BatchItem>, now: SimTime, out: &mut Outbox) {
+        for item in items.drain(..) {
+            match item {
+                BatchItem::Deliver { port, pkt } => self.rx(port, pkt, now, out),
+                BatchItem::Wake { token } => self.wake(token, now, out),
+            }
+            out.checkpoint();
+        }
+    }
+
+    /// Coarse classification for the `--profile` event breakdown.
+    fn device_kind(&self) -> DeviceKind {
+        DeviceKind::Other
+    }
 
     /// Upcast for typed post-run access ([`World::device`]).
     fn as_any(&self) -> &dyn Any;
@@ -245,7 +431,10 @@ impl EventKind {
 pub(crate) struct Event {
     at: SimTime,
     key: EvKey,
-    kind: EventKind,
+    /// Index of the payload in the queue's slab.  Keeping the
+    /// [`EventKind`] out of line shrinks the entries the heap sifts (and
+    /// the wheel's slots shift) from ~88 to 40 bytes.
+    slot: u32,
 }
 
 impl PartialEq for Event {
@@ -285,7 +474,7 @@ pub struct WorldStats {
 /// heap is kept for A/B benchmarking against the seed implementation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum QueueKind {
-    /// The original `BinaryHeap<Reverse<Event>>` — `O(log n)` per event.
+    /// The seed discipline: a binary heap, `O(log n)` per event.
     Heap,
     /// The hierarchical timer wheel ([`TimerWheel`]) — amortized `O(1)`.
     #[default]
@@ -388,6 +577,7 @@ impl WorldBuilder {
         Ok(World {
             devices: Vec::new(),
             links: HashMap::new(),
+            link_table: Vec::new(),
             queue: EventQueue::new(self.queue),
             qkind: self.queue,
             scratch: Outbox::default(),
@@ -401,6 +591,9 @@ impl WorldBuilder {
             trace: Vec::new(),
             engine_peak: 0,
             stats: WorldStats::default(),
+            batch_scratch: Vec::new(),
+            batch_hist: [0; metrics::BATCH_BUCKETS],
+            by_kind: [0; metrics::KIND_COUNT],
         })
     }
 }
@@ -428,49 +621,114 @@ pub struct TraceEntry {
     pub kind: TraceKind,
 }
 
+/// The ordering structure of an [`EventQueue`]: entries are `(at, key,
+/// slab slot)` triples; payloads live in the owning queue's slab.
 #[derive(Debug)]
-pub(crate) enum EventQueue {
+enum QueueImpl {
     Heap { heap: BinaryHeap<Reverse<Event>>, peak: usize },
-    Wheel(TimerWheel<EventKind, EvKey>),
+    Wheel(TimerWheel<u32, EvKey>),
+}
+
+/// The discrete-event queue: a heap or timer-wheel ordering structure
+/// plus a slab holding the event payloads out of line, so ordering
+/// operations move 40-byte entries instead of full [`EventKind`]s.
+#[derive(Debug)]
+pub(crate) struct EventQueue {
+    q: QueueImpl,
+    /// Payload store; `None` marks a free slot.
+    slab: Vec<Option<EventKind>>,
+    /// Free-slot indices, reused LIFO.
+    free: Vec<u32>,
 }
 
 impl EventQueue {
     pub(crate) fn new(kind: QueueKind) -> Self {
-        match kind {
-            QueueKind::Heap => EventQueue::Heap { heap: BinaryHeap::new(), peak: 0 },
-            QueueKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+        let q = match kind {
+            QueueKind::Heap => QueueImpl::Heap { heap: BinaryHeap::new(), peak: 0 },
+            QueueKind::Wheel => QueueImpl::Wheel(TimerWheel::new()),
+        };
+        EventQueue { q, slab: Vec::new(), free: Vec::new() }
+    }
+
+    fn alloc(&mut self, kind: EventKind) -> u32 {
+        if let Some(s) = self.free.pop() {
+            self.slab[s as usize] = Some(kind);
+            s
+        } else {
+            self.slab.push(Some(kind));
+            (self.slab.len() - 1) as u32
         }
     }
 
+    fn take(&mut self, slot: u32) -> EventKind {
+        self.free.push(slot);
+        self.slab[slot as usize].take().expect("live slab slot")
+    }
+
     pub(crate) fn push(&mut self, at: SimTime, key: EvKey, kind: EventKind) {
-        match self {
-            EventQueue::Heap { heap, peak } => {
-                heap.push(Reverse(Event { at, key, kind }));
+        let slot = self.alloc(kind);
+        match &mut self.q {
+            QueueImpl::Heap { heap, peak } => {
+                heap.push(Reverse(Event { at, key, slot }));
                 *peak = (*peak).max(heap.len());
             }
-            EventQueue::Wheel(w) => w.push(at, key, kind),
+            QueueImpl::Wheel(w) => w.push(at, key, slot),
         }
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, EvKey, EventKind)> {
-        match self {
-            EventQueue::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.key, e.kind)),
-            EventQueue::Wheel(w) => w.pop(),
+        let (at, key, slot) = match &mut self.q {
+            QueueImpl::Heap { heap, .. } => heap.pop().map(|Reverse(e)| (e.at, e.key, e.slot))?,
+            QueueImpl::Wheel(w) => w.pop()?,
+        };
+        Some((at, key, self.take(slot)))
+    }
+
+    /// Pops the next event only when `take` approves its `(at, key,
+    /// kind)`; leaves the queue untouched otherwise.  The batching loop
+    /// uses this instead of pop-then-push-back, which costs two extra
+    /// heap sifts (or wheel inserts) every time a batch closes.
+    pub(crate) fn pop_if(
+        &mut self,
+        take: impl FnOnce(SimTime, EvKey, &EventKind) -> bool,
+    ) -> Option<(SimTime, EvKey, EventKind)> {
+        let (at, key, slot) = match &mut self.q {
+            QueueImpl::Heap { heap, .. } => {
+                let Reverse(e) = heap.peek()?;
+                (e.at, e.key, e.slot)
+            }
+            QueueImpl::Wheel(w) => {
+                let (at, key, slot) = w.peek()?;
+                (at, *key, *slot)
+            }
+        };
+        let kind = self.slab[slot as usize].as_ref().expect("live slab slot");
+        if !take(at, key, kind) {
+            return None;
         }
+        match &mut self.q {
+            QueueImpl::Heap { heap, .. } => {
+                heap.pop();
+            }
+            QueueImpl::Wheel(w) => {
+                w.pop();
+            }
+        }
+        Some((at, key, self.take(slot)))
     }
 
     /// Arrival time of the next event, without removing it.
     pub(crate) fn peek_min_at(&mut self) -> Option<SimTime> {
-        match self {
-            EventQueue::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.at),
-            EventQueue::Wheel(w) => w.peek_min_at(),
+        match &mut self.q {
+            QueueImpl::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.at),
+            QueueImpl::Wheel(w) => w.peek_min_at(),
         }
     }
 
     pub(crate) fn peak_len(&self) -> usize {
-        match self {
-            EventQueue::Heap { peak, .. } => *peak,
-            EventQueue::Wheel(w) => w.peak_len(),
+        match &self.q {
+            QueueImpl::Heap { peak, .. } => *peak,
+            QueueImpl::Wheel(w) => w.peak_len(),
         }
     }
 }
@@ -479,6 +737,12 @@ impl EventQueue {
 pub struct World {
     pub(crate) devices: Vec<Box<dyn Device>>,
     pub(crate) links: HashMap<(DeviceId, u16), Link>,
+    /// Flat `[device][port]` mirror of [`links`](Self::links): the serial
+    /// hot loop resolves one link per emission, and a direct index beats
+    /// hashing a `(DeviceId, u16)` tuple per event.  Rebuilt by
+    /// [`link`](Self::link); the map stays the source of truth for the
+    /// partitioned-engine splitter.
+    link_table: Vec<Vec<Option<Link>>>,
     pub(crate) queue: EventQueue,
     pub(crate) qkind: QueueKind,
     /// Scratch outbox reused across [`step`](Self::step) calls so the two
@@ -501,6 +765,13 @@ pub struct World {
     pub(crate) engine_peak: u64,
     /// Run statistics.
     pub stats: WorldStats,
+    /// Reused buffer for same-instant batches.
+    batch_scratch: Vec<BatchItem>,
+    /// Batch-size histogram of this world (folded into [`metrics`] on
+    /// drop).
+    batch_hist: [u64; metrics::BATCH_BUCKETS],
+    /// Events by target device kind (folded into [`metrics`] on drop).
+    by_kind: [u64; metrics::KIND_COUNT],
 }
 
 impl Drop for World {
@@ -508,6 +779,7 @@ impl Drop for World {
         // Fold this world's counters into the per-thread aggregate the
         // experiment harness reads (see [`metrics`]).
         metrics::record(self.stats.events, self.peak_queue_depth());
+        metrics::record_batches(self.batch_hist, self.by_kind);
     }
 }
 
@@ -551,6 +823,16 @@ impl World {
         };
         self.links.insert(a, mk(b));
         self.links.insert(b, mk(a));
+        for (dev, port) in [a, b] {
+            if self.link_table.len() <= dev {
+                self.link_table.resize_with(dev + 1, Vec::new);
+            }
+            let ports = &mut self.link_table[dev];
+            if ports.len() <= usize::from(port) {
+                ports.resize(usize::from(port) + 1, None);
+            }
+            ports[usize::from(port)] = self.links[&(dev, port)].clone().into();
+        }
     }
 
     /// Current simulation time.
@@ -637,47 +919,157 @@ impl World {
                 device
             }
         };
+        self.batch_hist[0] += 1;
+        self.by_kind[self.devices[device].device_kind().index()] += 1;
         self.flush_outbox(device, &mut out);
         self.scratch = out;
         true
     }
 
+    /// Processes the next ready event *and every immediately following
+    /// event it can prove the serial loop would run back-to-back on the
+    /// same device*: same instant, and ordered (by [`EvKey`]) before any
+    /// event this batch's own handlers can create.  Handlers can only
+    /// create keys at `(now, device, ctr ≥ ctr₀)` where `ctr₀` is the
+    /// device's counter when the batch starts, so any queued event below
+    /// that bound pops before them under serial execution no matter when
+    /// the handlers run.  At most `max` events (capped at 64) are taken;
+    /// a non-matching successor is never popped (peek-guarded), so the
+    /// queue is left exactly as a serial loop would.  Returns the number
+    /// of events processed (0 = queue empty).
+    fn step_batch(&mut self, max: u64) -> u64 {
+        let Some((at, key, kind)) = self.queue.pop() else {
+            return 0;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.started = true;
+        self.now = at;
+        let device = kind.device();
+        let bound = EvKey::device(at, device, self.ctrs[device]);
+        Self::record_trace(&mut self.trace, self.trace_depth, at, key, &kind);
+
+        let into_item = |kind: EventKind| match kind {
+            EventKind::Deliver { port, pkt, .. } => BatchItem::Deliver { port, pkt },
+            EventKind::Wake { token, .. } => BatchItem::Wake { token },
+        };
+
+        const MAX_BATCH: u64 = 64;
+        let cap = max.min(MAX_BATCH);
+        // Peek-guarded pop: a non-batchable successor (later instant,
+        // other device, or not provably ordered before this batch's own
+        // children) is never removed, so nothing is pushed back and
+        // global order is trivially unchanged.
+        let pop_follower = |queue: &mut EventQueue| {
+            queue.pop_if(|at2, key2, kind2| at2 == at && kind2.device() == device && key2 < bound)
+        };
+
+        let mut out = std::mem::take(&mut self.scratch);
+        let n;
+        let second = if cap > 1 { pop_follower(&mut self.queue) } else { None };
+        if let Some((at2, key2, kind2)) = second {
+            Self::record_trace(&mut self.trace, self.trace_depth, at2, key2, &kind2);
+            let mut batch = std::mem::take(&mut self.batch_scratch);
+            batch.clear();
+            batch.push(into_item(kind));
+            batch.push(into_item(kind2));
+            while (batch.len() as u64) < cap {
+                let Some((at2, key2, kind2)) = pop_follower(&mut self.queue) else { break };
+                Self::record_trace(&mut self.trace, self.trace_depth, at2, key2, &kind2);
+                batch.push(into_item(kind2));
+            }
+            n = batch.len() as u64;
+            self.devices[device].rx_batch(&mut batch, at, &mut out);
+            debug_assert!(batch.is_empty(), "rx_batch must drain its items");
+            batch.clear();
+            self.batch_scratch = batch;
+        } else {
+            // Single event (the common case): dispatch directly, skipping
+            // the batch buffer and checkpoint machinery entirely.
+            n = 1;
+            match kind {
+                EventKind::Deliver { port, pkt, .. } => {
+                    self.devices[device].rx(port, pkt, at, &mut out)
+                }
+                EventKind::Wake { token, .. } => self.devices[device].wake(token, at, &mut out),
+            }
+        }
+
+        self.stats.events += n;
+        let bucket = match n {
+            1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            _ => 4,
+        };
+        self.batch_hist[bucket] += 1;
+        self.by_kind[self.devices[device].device_kind().index()] += n;
+        self.flush_outbox(device, &mut out);
+        self.scratch = out;
+        n
+    }
+
     fn flush_outbox(&mut self, device: DeviceId, out: &mut Outbox) {
-        for (token, at) in out.wakes.drain(..) {
-            let key = EvKey::device(self.now, device, self.ctrs[device]);
-            self.ctrs[device] += 1;
-            self.queue.push(at.max(self.now), key, EventKind::Wake { device, token });
+        // Walk the checkpoint segments (one per batch item; the whole
+        // outbox when no checkpoints were recorded), issuing each
+        // segment's wakes before its emissions — the same key-assignment
+        // and fault-RNG order as flushing after every handler separately.
+        let mut wakes = std::mem::take(&mut out.wakes);
+        let mut emits = std::mem::take(&mut out.emits);
+        let marks = std::mem::take(&mut out.marks);
+        let mut wakes_it = wakes.drain(..);
+        let mut emits_it = emits.drain(..);
+        let (mut w0, mut e0) = (0usize, 0usize);
+        let final_mark = std::iter::once((wakes_it.len(), emits_it.len()));
+        for (w1, e1) in marks.iter().copied().chain(final_mark) {
+            for (token, at) in wakes_it.by_ref().take(w1 - w0) {
+                let key = EvKey::device(self.now, device, self.ctrs[device]);
+                self.ctrs[device] += 1;
+                self.queue.push(at.max(self.now), key, EventKind::Wake { device, token });
+            }
+            for (port, mut pkt, at) in emits_it.by_ref().take(e1 - e0) {
+                let slot =
+                    self.link_table.get(device).and_then(|ports| ports.get(usize::from(port)));
+                let Some(Some(link)) = slot else {
+                    self.stats.dangling_emits += 1;
+                    continue;
+                };
+                let link = link.clone();
+                if link.drop_chance > 0.0 && self.rng.gen_bool(link.drop_chance) {
+                    self.stats.link_drops += 1;
+                    continue;
+                }
+                if link.corrupt_chance > 0.0 && self.rng.gen_bool(link.corrupt_chance) {
+                    // Flip one random bit in a random standard header
+                    // field — the PHV-level analogue of a byte corruption
+                    // on the wire.
+                    let f = FieldId(self.rng.gen_range(0..fields::STANDARD_COUNT));
+                    let bit = self.rng.gen_range(0..16u32);
+                    let v = pkt.phv.get(f) ^ (1 << bit);
+                    pkt.phv.set_masked(f, v, 64);
+                    self.stats.link_corruptions += 1;
+                }
+                let mut delay = link.delay;
+                if link.jitter > 0 {
+                    delay += self.rng.gen_range(0..=link.jitter);
+                }
+                let key = EvKey::device(self.now, device, self.ctrs[device]);
+                self.ctrs[device] += 1;
+                self.queue.push(
+                    at.max(self.now) + delay,
+                    key,
+                    EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
+                );
+            }
+            (w0, e0) = (w1, e1);
         }
-        for (port, mut pkt, at) in out.emits.drain(..) {
-            let Some(link) = self.links.get(&(device, port)).cloned() else {
-                self.stats.dangling_emits += 1;
-                continue;
-            };
-            if link.drop_chance > 0.0 && self.rng.gen_bool(link.drop_chance) {
-                self.stats.link_drops += 1;
-                continue;
-            }
-            if link.corrupt_chance > 0.0 && self.rng.gen_bool(link.corrupt_chance) {
-                // Flip one random bit in a random standard header field —
-                // the PHV-level analogue of a byte corruption on the wire.
-                let f = FieldId(self.rng.gen_range(0..fields::STANDARD_COUNT));
-                let bit = self.rng.gen_range(0..16u32);
-                let v = pkt.phv.get(f) ^ (1 << bit);
-                pkt.phv.set_masked(f, v, 64);
-                self.stats.link_corruptions += 1;
-            }
-            let mut delay = link.delay;
-            if link.jitter > 0 {
-                delay += self.rng.gen_range(0..=link.jitter);
-            }
-            let key = EvKey::device(self.now, device, self.ctrs[device]);
-            self.ctrs[device] += 1;
-            self.queue.push(
-                at.max(self.now) + delay,
-                key,
-                EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
-            );
-        }
+        drop(wakes_it);
+        drop(emits_it);
+        // Hand the (now empty) buffers back so their capacity is reused.
+        out.wakes = wakes;
+        out.emits = emits;
+        out.marks = marks;
+        out.marks.clear();
     }
 
     /// Runs until the queue drains or simulated time exceeds `t_end`
@@ -698,8 +1090,9 @@ impl World {
             if at > t_end {
                 break;
             }
-            self.step();
-            n += 1;
+            // Every event a batch takes shares the popped event's instant,
+            // so the t_end boundary holds for the whole batch.
+            n += self.step_batch(u64::MAX);
         }
         self.now = self.now.max(t_end);
         n
@@ -710,8 +1103,12 @@ impl World {
     /// property no engine can observe locally.
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
-        while n < max_events && self.step() {
-            n += 1;
+        while n < max_events {
+            let k = self.step_batch(max_events - n);
+            if k == 0 {
+                break;
+            }
+            n += k;
         }
         n
     }
@@ -934,6 +1331,77 @@ mod tests {
         let t: Vec<SimTime> = w.trace().iter().map(|e| e.at).collect();
         assert_eq!(t, vec![170, 180, 190]);
         assert!(w.trace().iter().all(|e| e.kind == TraceKind::Wake && e.device == c));
+    }
+
+    #[test]
+    fn batched_run_matches_single_stepping() {
+        // Same-instant bursts exercise step_batch's gather path; the
+        // batched loop must leave devices, stats, the clock and the fault
+        // RNG exactly where the one-event-at-a-time loop does.
+        let script = |w: &mut World| {
+            let e = w.add_device(Box::new(Echo { rx_times: Vec::new() }));
+            let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+            w.link((e, 0), (c, 0), LinkSpec::new().delay(2_500).loss(0.2).jitter(300));
+            for i in 0..400u64 {
+                // Four same-instant deliveries per burst, with wakes mixed
+                // into some bursts.
+                w.schedule_rx(e, 0, blank_packet(), (i / 4) * 1_000);
+                if i % 3 == 0 {
+                    w.schedule_wake(c, i, (i / 4) * 1_000);
+                }
+            }
+            (e, c)
+        };
+
+        let mut serial = world(9);
+        let (e1, c1) = script(&mut serial);
+        let mut n_serial = 0u64;
+        while serial.step() {
+            n_serial += 1;
+        }
+
+        let mut batched = world(9);
+        let (e2, c2) = script(&mut batched);
+        let n_batched = batched.run_to_idle(u64::MAX);
+
+        assert_eq!(n_batched, n_serial);
+        assert_eq!(batched.device::<Echo>(e2).rx_times, serial.device::<Echo>(e1).rx_times);
+        assert_eq!(batched.device::<Counter>(c2).woken, serial.device::<Counter>(c1).woken);
+        assert_eq!(batched.device::<Counter>(c2).count, serial.device::<Counter>(c1).count);
+        assert_eq!(batched.stats, serial.stats);
+        assert_eq!(batched.now(), serial.now());
+    }
+
+    #[test]
+    fn batched_run_to_idle_respects_the_event_cap() {
+        // A burst bigger than the remaining budget must not overshoot.
+        let mut w = world(1);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        for token in 0..20 {
+            w.schedule_wake(c, token, 500);
+        }
+        assert_eq!(w.run_to_idle(7), 7);
+        assert_eq!(w.device::<Counter>(c).woken, (0..7).collect::<Vec<_>>());
+        assert_eq!(w.run_to_idle(100), 13);
+    }
+
+    #[test]
+    fn profile_counters_track_events_and_batches() {
+        let before = metrics::profile_snapshot();
+        let mut w = world(3);
+        let c = w.add_device(Box::new(Counter { count: 0, woken: Vec::new() }));
+        for token in 0..32 {
+            w.schedule_wake(c, token, 500);
+        }
+        w.run_to_idle(1_000);
+        drop(w); // folds the world's histograms into the thread-locals
+        let d = metrics::profile_snapshot().delta_since(&before);
+        assert_eq!(d.events, 32);
+        assert_eq!(d.by_kind.iter().sum::<u64>(), 32);
+        // 32 same-instant wakes for one plain device gather into one
+        // 16+-bucket batch.
+        assert_eq!(d.batch_hist, [0, 0, 0, 0, 1]);
+        assert_eq!(d.by_kind[DeviceKind::Other.index()], 32);
     }
 
     #[test]

@@ -14,20 +14,21 @@
 
 use crate::action::ExecCtx;
 use crate::digest::DigestRecord;
+use crate::exec::{self, ExecMode};
+use crate::fxhash::FxHashMap;
 use crate::mac::MacPort;
 use crate::packet::SimPacket;
 use crate::parser;
 use crate::phv::{fields, FieldTable, Phv};
 use crate::pipeline::Pipeline;
 use crate::register::RegisterFile;
-use crate::sim::{Device, Outbox};
+use crate::sim::{Device, DeviceKind, Outbox};
 use crate::time::SimTime;
 use crate::timing;
-use crate::tm::McastTable;
+use crate::tm::{McastMember, McastTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Sentinel for "no unicast egress chosen" in `meta.eg_port`.
 pub const PORT_UNSET: u64 = 0xffff;
@@ -116,12 +117,17 @@ pub struct Switch {
     pub trace: TraceConfig,
     /// Trace storage.
     pub log: TraceLog,
-    macs: HashMap<u16, MacPort>,
+    /// Fx-hashed: the per-port MAC resolves once per transmitted packet.
+    macs: FxHashMap<u16, MacPort>,
     recirc_next_free: SimTime,
     rng: StdRng,
     pending: Vec<Option<SimPacket>>,
     free_slots: Vec<usize>,
     uid_next: u64,
+    exec_mode: ExecMode,
+    compiled_ingress: Option<exec::CompiledPipeline>,
+    compiled_egress: Option<exec::CompiledPipeline>,
+    mcast_scratch: Vec<McastMember>,
 }
 
 impl std::fmt::Debug for Switch {
@@ -148,13 +154,52 @@ impl Switch {
             counters: SwitchCounters::default(),
             trace: TraceConfig::default(),
             log: TraceLog::default(),
-            macs: HashMap::new(),
+            macs: FxHashMap::default(),
             recirc_next_free: 0,
             rng: StdRng::seed_from_u64(seed),
             pending: Vec::new(),
             free_slots: Vec::new(),
             uid_next: 1,
+            exec_mode: ExecMode::Interp,
+            compiled_ingress: None,
+            compiled_egress: None,
+            mcast_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the pipeline executor.  [`ExecMode::Compiled`] lowers both
+    /// pipelines into threaded-code programs ([`crate::exec`]) and runs
+    /// packets through those; [`ExecMode::Interp`] discards the programs
+    /// and falls back to per-stage interpretation.
+    ///
+    /// Contract: the compiled programs snapshot table entries, gateways and
+    /// default actions at this call.  Installing or replacing entries after
+    /// switching to `Compiled` desynchronizes the program from the live
+    /// tables — finish populating the pipelines first (hit/miss counters
+    /// keep updating either way; they are mirrored into the live tables).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+        match mode {
+            ExecMode::Compiled => {
+                self.compiled_ingress = Some(exec::compile(&self.ingress, &self.fields));
+                self.compiled_egress = Some(exec::compile(&self.egress, &self.fields));
+            }
+            ExecMode::Interp => {
+                self.compiled_ingress = None;
+                self.compiled_egress = None;
+            }
+        }
+    }
+
+    /// The currently selected pipeline executor.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Lowering statistics of the compiled ingress/egress programs, when
+    /// compiled (`--profile` reporting).
+    pub fn compile_stats(&self) -> Option<(exec::CompileStats, exec::CompileStats)> {
+        Some((self.compiled_ingress.as_ref()?.stats(), self.compiled_egress.as_ref()?.stats()))
     }
 
     /// The switch name.
@@ -265,7 +310,12 @@ impl Switch {
                 digests: &mut self.digests,
                 now,
             };
-            self.ingress.execute(&mut pkt.phv, &mut ctx);
+            if let Some(prog) = &self.compiled_ingress {
+                let n = exec::run(prog, &mut self.ingress, &mut pkt.phv, &mut ctx);
+                crate::sim::metrics::record_ops(n);
+            } else {
+                self.ingress.execute(&mut pkt.phv, &mut ctx);
+            }
         }
         if pkt.phv.get(fields::DROP_FLAG) != 0 {
             self.counters.ingress_drops += 1;
@@ -276,9 +326,10 @@ impl Switch {
         // Multicast replication.
         let grp = pkt.phv.get(fields::MCAST_GRP) as u16;
         if grp != 0 {
-            let members = self.mcast.members(grp).to_vec();
+            let mut members = std::mem::take(&mut self.mcast_scratch);
+            self.mcast.members_into(grp, &mut members);
             let len = pkt.len();
-            for m in members {
+            for &m in &members {
                 let mut rep = pkt.clone();
                 rep.uid = self.alloc_uid();
                 rep.phv.set_batch(
@@ -298,6 +349,7 @@ impl Switch {
                 }
                 self.run_egress(rep, m.port, t_eg, out);
             }
+            self.mcast_scratch = members;
         }
 
         // Unicast / recirculation continuation of the original packet.
@@ -324,7 +376,12 @@ impl Switch {
                 digests: &mut self.digests,
                 now: t_start,
             };
-            self.egress.execute(&mut pkt.phv, &mut ctx);
+            if let Some(prog) = &self.compiled_egress {
+                let n = exec::run(prog, &mut self.egress, &mut pkt.phv, &mut ctx);
+                crate::sim::metrics::record_ops(n);
+            } else {
+                self.egress.execute(&mut pkt.phv, &mut ctx);
+            }
         }
         if pkt.phv.get(fields::DROP_FLAG) != 0 {
             self.counters.egress_drops += 1;
@@ -375,7 +432,12 @@ impl Switch {
                 digests: &mut self.digests,
                 now: t_start,
             };
-            self.egress.execute(&mut pkt.phv, &mut ctx);
+            if let Some(prog) = &self.compiled_egress {
+                let n = exec::run(prog, &mut self.egress, &mut pkt.phv, &mut ctx);
+                crate::sim::metrics::record_ops(n);
+            } else {
+                self.egress.execute(&mut pkt.phv, &mut ctx);
+            }
         }
         if pkt.phv.get(fields::DROP_FLAG) != 0 {
             self.counters.egress_drops += 1;
@@ -402,6 +464,10 @@ impl Device for Switch {
 
     fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox) {
         self.process(pkt, port, now, out);
+    }
+
+    fn device_kind(&self) -> DeviceKind {
+        DeviceKind::Switch
     }
 
     fn wake(&mut self, token: u64, now: SimTime, out: &mut Outbox) {
@@ -568,6 +634,59 @@ mod tests {
         let rtts: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64 / 1000.0).collect();
         let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
         assert!((mean - 570.0).abs() < 2.0, "mean RTT {mean} ns");
+    }
+
+    #[test]
+    fn compiled_and_interpreted_switch_traversals_are_identical() {
+        use crate::table::MatchKey;
+        // Mixes multicast replication (jittered, draws from the shared
+        // RNG), RngUniform (also draws), recirculation and plain unicast,
+        // so any executor divergence in op semantics or RNG draw order
+        // shows up in the compared state.
+        let run = |mode: ExecMode| {
+            let mut sw = Switch::new("sw", 7);
+            for p in 0..3 {
+                sw.add_port(p, gbps(100));
+            }
+            sw.mcast.set_group(
+                5,
+                (0..3).map(|p| crate::tm::McastMember { port: p, rid: p + 1 }).collect(),
+            );
+            let mut route = Table::new(
+                "route",
+                MatchKind::Exact,
+                vec![fields::IG_PORT],
+                8,
+                ActionSet::new("mc", vec![PrimitiveOp::SetMcastGroup(5)]),
+            );
+            route
+                .insert(
+                    MatchKey::Exact(vec![u64::from(CPU_PORT)]),
+                    ActionSet::new(
+                        "jitter_fwd",
+                        vec![
+                            PrimitiveOp::RngUniform { dst: fields::IPV4_IDENT, bits: 8, offset: 0 },
+                            PrimitiveOp::SetEgressPort(1),
+                        ],
+                    ),
+                    0,
+                )
+                .unwrap();
+            sw.ingress.push_table(route);
+            sw.trace.tx = true;
+            sw.set_exec_mode(mode);
+            assert_eq!(sw.exec_mode(), mode);
+            let mut out = Outbox::default();
+            for i in 0..8u64 {
+                let pkt = sw.make_packet(udp_frame(64 + i as usize * 10));
+                let port = if i % 2 == 0 { CPU_PORT } else { 2 };
+                sw.process(pkt, port, 1_000 * i, &mut out);
+            }
+            let emitted: Vec<(u16, u64, Phv, SimTime)> =
+                out.emits.iter().map(|e| (e.0, e.1.uid, e.1.phv.clone(), e.2)).collect();
+            (sw.counters, sw.log.tx.clone(), emitted)
+        };
+        assert_eq!(run(ExecMode::Interp), run(ExecMode::Compiled));
     }
 
     #[test]

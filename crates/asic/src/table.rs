@@ -201,6 +201,13 @@ impl Table {
         &self.default_action
     }
 
+    /// Whether range lookups take the sorted binary-search fast path
+    /// (single-key, equal-priority, appended in ascending order).  The
+    /// compiled executor mirrors the same split.
+    pub(crate) fn range_fast_path(&self) -> bool {
+        self.range_sorted
+    }
+
     /// Number of installed entries.
     pub fn entry_count(&self) -> usize {
         match self.kind {

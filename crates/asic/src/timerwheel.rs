@@ -155,6 +155,17 @@ impl<T, K: Ord> TimerWheel<T, K> {
         }
     }
 
+    /// The full `(at, key, item)` of the next entry [`pop`](Self::pop)
+    /// would return, without removing it.  (Advances internal cursors;
+    /// ordering is unaffected.)
+    pub fn peek(&mut self) -> Option<(u64, &K, &T)> {
+        if self.settle() {
+            self.near.last().map(|e| (e.at, &e.key, &e.item))
+        } else {
+            None
+        }
+    }
+
     fn tick_of(at: u64) -> u64 {
         at >> TICK_BITS
     }

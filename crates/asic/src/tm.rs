@@ -7,7 +7,7 @@
 //! once per member, stamping the member's RID so the egress editor can
 //! differentiate replicas.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// One member of a multicast group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +21,9 @@ pub struct McastMember {
 /// The multicast group table, populated by the control plane.
 #[derive(Debug, Clone, Default)]
 pub struct McastTable {
-    groups: HashMap<u16, Vec<McastMember>>,
+    /// Fx-hashed: [`members`](Self::members) runs once per replicated
+    /// packet on the hot path.
+    groups: FxHashMap<u16, Vec<McastMember>>,
 }
 
 impl McastTable {
@@ -41,6 +43,14 @@ impl McastTable {
     /// replicas of unconfigured groups).
     pub fn members(&self, group: u16) -> &[McastMember] {
         self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Copies a group's members into `buf` (cleared first).  The switch's
+    /// replication hot path reuses one scratch buffer across packets
+    /// instead of cloning the member list per replication.
+    pub fn members_into(&self, group: u16, buf: &mut Vec<McastMember>) {
+        buf.clear();
+        buf.extend_from_slice(self.members(group));
     }
 
     /// All configured groups, in unspecified order.
@@ -90,5 +100,20 @@ mod tests {
     #[should_panic(expected = "group 0 is reserved")]
     fn group_zero_rejected() {
         McastTable::new().set_group(0, vec![]);
+    }
+
+    #[test]
+    fn members_into_reuses_the_buffer() {
+        let mut t = McastTable::new();
+        t.set_group(1, vec![McastMember { port: 0, rid: 1 }, McastMember { port: 1, rid: 2 }]);
+        let mut buf = Vec::new();
+        t.members_into(1, &mut buf);
+        assert_eq!(buf, t.members(1));
+        let cap = buf.capacity();
+        t.members_into(9, &mut buf); // unknown group clears, keeps capacity
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        t.members_into(1, &mut buf);
+        assert_eq!(buf.len(), 2);
     }
 }

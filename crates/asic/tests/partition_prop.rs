@@ -44,7 +44,8 @@ impl Device for Hop {
     fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox) {
         self.count += 1;
         self.log = fnv(self.log, now ^ u64::from(port) ^ pkt.uid);
-        let dest = if self.taps_every > 0 && self.count % self.taps_every == 0 { 2 } else { 1 };
+        let dest =
+            if self.taps_every > 0 && self.count.is_multiple_of(self.taps_every) { 2 } else { 1 };
         out.emit(dest, pkt, now + self.proc);
     }
 

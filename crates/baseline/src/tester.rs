@@ -167,6 +167,10 @@ impl Device for MoonGen {
         out.wake_at(token, now + gap);
     }
 
+    fn device_kind(&self) -> ht_asic::sim::DeviceKind {
+        ht_asic::sim::DeviceKind::Host
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -667,6 +667,9 @@ pub fn fig18_state_based(dut_delay: SimTime, probes: usize) -> (f64, f64, usize)
     .with_gateway(Gateway { field: ht_asic::fields::TEMPLATE_ID, cmp: Cmp::Eq, value: 0 })
     .with_gateway(Gateway { field: ht_asic::fields::UDP_DPORT, cmp: Cmp::Eq, value: 7 });
     sw.ingress.push_table(lookup);
+    // The probe tables were added after `build()` snapshotted the compiled
+    // pipeline programs; re-snapshot so the executor sees them.
+    sw.set_exec_mode(sw.exec_mode());
     sw.trace.tx = true;
 
     let templates = built.template_copies(0, 8);

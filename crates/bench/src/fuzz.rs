@@ -22,6 +22,10 @@
 //!   can actually emit.  Keyed specs are simulated on a loop-back
 //!   testbed (egress wired into ingress) so the received-traffic query
 //!   genuinely observes the generated flows.
+//! * **E (executor differential)** — the flattened threaded-code
+//!   executor ([`ht_asic::exec`]) must be observationally identical to
+//!   the per-stage interpreter: same simulation digest, same register
+//!   wrap log, same reported/rogue query flows on the same task.
 //!
 //! The grammar covers the module system too: a spec may render
 //! *modularly* — each trigger becomes a parameterized `template` in an
@@ -42,7 +46,7 @@
 use ht_asic::register::RegId;
 use ht_asic::switch::Switch;
 use ht_asic::time::us;
-use ht_asic::{LinkSpec, World};
+use ht_asic::{ExecMode, LinkSpec, World};
 use ht_core::results::keyed_by_digest;
 use ht_core::{build, TesterConfig};
 use ht_cpu::SwitchCpu;
@@ -451,7 +455,7 @@ pub fn gen_spec(rng: &mut SplitMix64) -> TaskSpec {
 /// One invariant violation, with the evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which invariant broke: `"A"`, `"B"`, `"C"`, or `"D"`.
+    /// Which invariant broke: `"A"`, `"B"`, `"C"`, `"D"`, or `"E"`.
     pub invariant: &'static str,
     /// Human-readable evidence.
     pub detail: String,
@@ -487,6 +491,8 @@ impl Fnv {
 struct SimSummary {
     digest: u64,
     proven_wrap_events: usize,
+    /// Total register wrap events (invariant E compares full logs).
+    wrap_events: usize,
     recirculations: u64,
     /// Flows reported by keyed/distinct queries (resident + evicted
     /// digest pairs + nonzero exact counters).
@@ -510,7 +516,11 @@ enum SimResult {
 /// queries observe the generated flows; the summary then carries the
 /// invariant-D evidence (reported vs. rogue flows).  All other tasks keep
 /// the tester → sink wiring.
-fn simulate(task: &CompiledTask) -> SimResult {
+///
+/// `exec` picks the pipeline executor explicitly (overriding the
+/// process-wide default) so the invariant-E differential is independent
+/// of how the harness was launched.
+fn simulate(task: &CompiledTask, exec: ExecMode) -> SimResult {
     let cfg = TesterConfig::builder()
         .ports(SIM_PORTS)
         .speed_bps(ht_packet::wire::gbps(100))
@@ -531,6 +541,7 @@ fn simulate(task: &CompiledTask) -> SimResult {
     let loopback = !keyed.is_empty();
     let proven: HashSet<RegId> = proven_nowrap_regs(&built.switch).into_iter().collect();
     built.switch.regs.set_trace_wraps(true);
+    built.switch.set_exec_mode(exec);
 
     let mut templates = Vec::new();
     for i in 0..built.templates.len() {
@@ -610,6 +621,7 @@ fn simulate(task: &CompiledTask) -> SimResult {
     SimResult::Ran(SimSummary {
         digest: h.0,
         proven_wrap_events,
+        wrap_events: sw.regs.wrap_log().len(),
         recirculations: sw.counters.recirculations,
         reported_flows,
         rogue_flows,
@@ -641,11 +653,52 @@ pub fn differential_digest(prog: &Program) -> Option<DifferentialDigest> {
         options: task.options,
         warnings: Vec::new(),
     };
-    match (simulate(&task), simulate(&pre_task)) {
+    match (simulate(&task, ExecMode::Compiled), simulate(&pre_task, ExecMode::Compiled)) {
         (SimResult::Ran(f), SimResult::Ran(p)) => Some(DifferentialDigest {
             full: f.digest,
             prefix: p.digest,
             recirculations: f.recirculations,
+        }),
+        _ => None,
+    }
+}
+
+/// Both sides of the invariant-E executor differential for one program,
+/// simulated under identical testbeds.
+pub struct ExecDifferential {
+    /// Digest under the per-stage interpreter.
+    pub interp: u64,
+    /// Digest under the compiled threaded-code executor.
+    pub compiled: u64,
+    /// Register wrap events observed under `(interp, compiled)`.
+    pub wrap_events: (usize, usize),
+    /// `(reported, rogue)` keyed-query flow counts under the interpreter.
+    pub interp_flows: (usize, usize),
+    /// `(reported, rogue)` keyed-query flow counts under the compiled
+    /// executor.
+    pub compiled_flows: (usize, usize),
+}
+
+impl ExecDifferential {
+    /// Whether every compared observable is byte-identical.
+    pub fn agree(&self) -> bool {
+        self.interp == self.compiled
+            && self.wrap_events.0 == self.wrap_events.1
+            && self.interp_flows == self.compiled_flows
+    }
+}
+
+/// Runs the invariant-E probe on an explicit program: `None` when the
+/// static pipeline rejects it, otherwise both executors' evidence.
+pub fn exec_differential(prog: &Program) -> Option<ExecDifferential> {
+    let task = compile(prog).ok()?;
+    match (simulate(&task, ExecMode::Interp), simulate(&task, ExecMode::Compiled)) {
+        (SimResult::Ran(i), SimResult::Ran(c)) => Some(ExecDifferential {
+            interp: i.digest,
+            compiled: c.digest,
+            wrap_events: (i.wrap_events, c.wrap_events),
+            interp_flows: (i.reported_flows, i.rogue_flows),
+            compiled_flows: (c.reported_flows, c.rogue_flows),
         }),
         _ => None,
     }
@@ -678,8 +731,40 @@ fn check_spec_inner(spec: &TaskSpec) -> CaseOutcome {
         warnings: Vec::new(),
     };
 
-    let full = simulate(&task);
-    let prefix = simulate(&pre_task);
+    let full = simulate(&task, ExecMode::Compiled);
+    let prefix = simulate(&pre_task, ExecMode::Compiled);
+    // Invariant E: the compiled executor must be observationally
+    // identical to the interpreter on the fully lowered task.
+    let interp = simulate(&task, ExecMode::Interp);
+    match (&full, &interp) {
+        (SimResult::Ran(c), SimResult::Ran(i)) => {
+            if c.digest != i.digest
+                || c.wrap_events != i.wrap_events
+                || (c.reported_flows, c.rogue_flows) != (i.reported_flows, i.rogue_flows)
+            {
+                return CaseOutcome::Violated(Violation {
+                    invariant: "E",
+                    detail: format!(
+                        "executors diverged: compiled {:#018x}/{} wraps/{} flows vs \
+                         interp {:#018x}/{} wraps/{} flows",
+                        c.digest,
+                        c.wrap_events,
+                        c.reported_flows,
+                        i.digest,
+                        i.wrap_events,
+                        i.reported_flows
+                    ),
+                });
+            }
+        }
+        (SimResult::Rejected, SimResult::Rejected) => {}
+        _ => {
+            return CaseOutcome::Violated(Violation {
+                invariant: "E",
+                detail: "executor choice changed buildability".into(),
+            })
+        }
+    }
     match (full, prefix) {
         (SimResult::Rejected, SimResult::Rejected) => CaseOutcome::Rejected,
         (SimResult::Rejected, SimResult::Ran(_)) | (SimResult::Ran(_), SimResult::Rejected) => {
@@ -721,7 +806,7 @@ fn check_spec_inner(spec: &TaskSpec) -> CaseOutcome {
     }
 }
 
-/// Checks one spec against all four invariants.  A panic anywhere in
+/// Checks one spec against all five invariants.  A panic anywhere in
 /// resolve/compile/build/simulate is itself an invariant-A violation.
 pub fn check_spec(spec: &TaskSpec) -> CaseOutcome {
     match catch_unwind(AssertUnwindSafe(|| check_spec_inner(spec))) {
@@ -1051,6 +1136,24 @@ mod tests {
     }
 
     #[test]
+    fn executors_agree_on_a_stateful_keyed_spec() {
+        // Invariant E on a spec exercising ranges, random fields, and a
+        // keyed engine — the broadest op mix the grammar can produce.
+        let spec = TaskSpec {
+            triggers: vec![TriggerSpec {
+                sport_range: Some((3000, 3015, 1)),
+                rand_sip_bits: Some(12),
+                ..minimal_trigger()
+            }],
+            query: QuerySpec::KeyedSportCount,
+            modular: false,
+        };
+        let d = exec_differential(&spec.to_program()).expect("spec builds under both executors");
+        assert!(d.agree(), "compiled {:#018x} vs interp {:#018x}", d.compiled, d.interp);
+        assert!(d.interp_flows.0 > 0, "differential must observe flows to be non-vacuous");
+    }
+
+    #[test]
     fn keyed_query_reports_only_injected_flows() {
         // Invariant D must be non-vacuous: on the loop-back testbed the
         // distinct query observes the generated flows, and every
@@ -1061,7 +1164,7 @@ mod tests {
             modular: false,
         };
         let task = compile(&spec.to_program()).expect("keyed spec compiles");
-        match simulate(&task) {
+        match simulate(&task, ExecMode::Compiled) {
             SimResult::Ran(s) => {
                 assert!(s.reported_flows > 0, "loop-back testbed saw no flows");
                 assert_eq!(s.rogue_flows, 0, "reported flows outside the injected set");

@@ -65,6 +65,10 @@ impl Device for Forwarder {
         out.emit(to, pkt, end);
     }
 
+    fn device_kind(&self) -> ht_asic::sim::DeviceKind {
+        ht_asic::sim::DeviceKind::Host
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

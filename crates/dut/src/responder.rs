@@ -141,6 +141,10 @@ impl Device for TcpResponder {
         }
     }
 
+    fn device_kind(&self) -> ht_asic::sim::DeviceKind {
+        ht_asic::sim::DeviceKind::Host
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

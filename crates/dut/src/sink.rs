@@ -1,12 +1,12 @@
 //! Measurement sink: counts frames/bytes and records arrival timestamps
 //! and selected header fields per port.
 
+use ht_asic::fxhash::FxHashMap;
 use ht_asic::phv::FieldId;
 use ht_asic::sim::{Device, Outbox};
 use ht_asic::time::{to_secs_f64, SimTime};
 use ht_asic::SimPacket;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Per-port counters of a sink.
 #[derive(Debug, Clone, Default)]
@@ -46,12 +46,13 @@ impl PortStats {
 #[derive(Debug)]
 pub struct Sink {
     name: String,
-    /// Per-port statistics.
-    pub ports: HashMap<u16, PortStats>,
+    /// Per-port statistics.  (Fx-hashed: the map is touched once per
+    /// delivered packet, squarely on the hot path.)
+    pub ports: FxHashMap<u16, PortStats>,
     /// When set, every arrival time is logged per port.
     pub log_arrivals: bool,
     /// Arrival logs (only filled when `log_arrivals`).
-    pub arrivals: HashMap<u16, Vec<SimTime>>,
+    pub arrivals: FxHashMap<u16, Vec<SimTime>>,
     /// Header fields sampled per packet (empty = none).
     pub capture_fields: Vec<FieldId>,
     /// Captured samples: `(port, time, field values)`.
@@ -63,9 +64,9 @@ impl Sink {
     pub fn new(name: &str) -> Self {
         Sink {
             name: name.to_string(),
-            ports: HashMap::new(),
+            ports: FxHashMap::default(),
             log_arrivals: false,
-            arrivals: HashMap::new(),
+            arrivals: FxHashMap::default(),
             capture_fields: Vec::new(),
             captured: Vec::new(),
         }
@@ -129,6 +130,10 @@ impl Device for Sink {
             let vals = self.capture_fields.iter().map(|&f| pkt.phv.get(f)).collect();
             self.captured.push((port, now, vals));
         }
+    }
+
+    fn device_kind(&self) -> ht_asic::sim::DeviceKind {
+        ht_asic::sim::DeviceKind::Sink
     }
 
     fn as_any(&self) -> &dyn Any {

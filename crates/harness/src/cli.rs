@@ -37,6 +37,10 @@ pub struct BenchOpts {
     pub filter: Option<String>,
     /// List experiment names and exit.
     pub list: bool,
+    /// Pipeline executor for every experiment in the run.
+    pub exec: ht_asic::ExecMode,
+    /// Render per-experiment profile counters into the JSON report.
+    pub profile: bool,
 }
 
 impl Default for BenchOpts {
@@ -52,13 +56,16 @@ impl Default for BenchOpts {
             md: None,
             filter: None,
             list: false,
+            exec: ht_asic::ExecMode::default(),
+            profile: false,
         }
     }
 }
 
 /// Usage text for the `bench` subcommand.
 pub const BENCH_USAGE: &str = "usage: bench [--smoke] [--workers N] [--sim-threads N] [--json] \
-     [--out FILE] [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]";
+     [--out FILE] [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list] \
+     [--exec interp|compiled] [--profile]";
 
 /// Parses `bench` arguments.  Unknown flags are usage errors.
 pub fn parse_bench_args(args: &[String]) -> Result<BenchOpts, String> {
@@ -97,6 +104,12 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOpts, String> {
             }
             "--md" => o.md = Some(value(&mut it, "--md")?),
             "--filter" => o.filter = Some(value(&mut it, "--filter")?),
+            "--profile" => o.profile = true,
+            "--exec" => {
+                let v = value(&mut it, "--exec")?;
+                o.exec = ht_asic::ExecMode::parse(&v)
+                    .ok_or(format!("--exec must be `interp` or `compiled`, got `{v}`"))?;
+            }
             other => return Err(format!("unknown bench flag: {other}")),
         }
     }
@@ -165,6 +178,8 @@ pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
 
     // Fund the engine-token pool that `SimThreads::Auto` worlds draw from.
     ht_asic::parallel::budget::configure(opts.sim_threads.saturating_sub(1));
+    // Every switch built via `ht_core::build` picks this up.
+    ht_asic::exec::set_default_mode(opts.exec);
 
     // With --json on stdout, progress must not pollute the report.
     let progress_to_stderr = opts.json && opts.out.is_none();
@@ -189,6 +204,8 @@ pub fn bench_main(opts: &BenchOpts, suite: Vec<Box<dyn Experiment>>) -> i32 {
         workers: opts.workers,
         queue: "wheel".into(),
         pooling: ht_asic::arena::pooling(),
+        exec: opts.exec.as_str().into(),
+        profile: opts.profile,
         wall_ms_total: start.elapsed().as_secs_f64() * 1e3,
         results,
     };
@@ -290,17 +307,30 @@ mod tests {
 
     #[test]
     fn parse_accepts_the_documented_flags() {
-        let args: Vec<String> =
-            ["--smoke", "--workers", "4", "--sim-threads", "2", "--json", "--fail-threshold", "15"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--smoke",
+            "--workers",
+            "4",
+            "--sim-threads",
+            "2",
+            "--json",
+            "--fail-threshold",
+            "15",
+            "--exec",
+            "interp",
+            "--profile",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_bench_args(&args).unwrap();
         assert_eq!(o.scale, Scale::Smoke);
         assert_eq!(o.workers, 4);
         assert_eq!(o.sim_threads, 2);
         assert!(o.json);
         assert!((o.fail_threshold - 15.0).abs() < 1e-9);
+        assert_eq!(o.exec, ht_asic::ExecMode::Interp);
+        assert!(o.profile);
     }
 
     #[test]
@@ -308,6 +338,7 @@ mod tests {
         assert!(parse_bench_args(&["--bogus".to_string()]).is_err());
         assert!(parse_bench_args(&["--workers".to_string(), "zero".to_string()]).is_err());
         assert!(parse_bench_args(&["--sim-threads".to_string(), "0".to_string()]).is_err());
+        assert!(parse_bench_args(&["--exec".to_string(), "jit".to_string()]).is_err());
     }
 
     #[test]

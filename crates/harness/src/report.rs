@@ -21,6 +21,11 @@ pub struct BenchReport {
     pub queue: String,
     /// Whether PHV arena pooling was enabled.
     pub pooling: bool,
+    /// Pipeline executor label (`"compiled"` / `"interp"`).
+    pub exec: String,
+    /// Whether to render the per-experiment profile counters into the
+    /// JSON report (`--profile`).
+    pub profile: bool,
     /// Whole-suite wall clock in milliseconds.
     pub wall_ms_total: f64,
     /// Per-experiment results, in suite order.
@@ -62,6 +67,7 @@ impl BenchReport {
         s.push_str(&format!("  \"workers\": {},\n", self.workers));
         s.push_str(&format!("  \"queue\": \"{}\",\n", esc(&self.queue)));
         s.push_str(&format!("  \"pooling\": {},\n", self.pooling));
+        s.push_str(&format!("  \"exec\": \"{}\",\n", esc(&self.exec)));
         s.push_str(&format!("  \"wall_ms_total\": {},\n", num(self.wall_ms_total)));
         s.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -87,6 +93,19 @@ impl BenchReport {
             );
             if let Some(p) = &r.panicked {
                 line.push_str(&format!(",\"panicked\":\"{}\"", esc(p)));
+            }
+            if self.profile {
+                let p = &r.profile;
+                let hist = p.batch_hist.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                let kinds = ht_asic::sim::DeviceKind::ALL
+                    .iter()
+                    .map(|k| format!("\"{}\":{}", k.name(), p.by_kind[k.index()]))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                line.push_str(&format!(
+                    ",\"profile\":{{\"ops_retired\":{},\"batch_hist\":[{hist}],{kinds}}}",
+                    p.ops_retired,
+                ));
             }
             for (k, v) in &r.output.extras {
                 line.push_str(&format!(",\"{}\":{}", esc(k), v));
@@ -290,6 +309,7 @@ mod tests {
             shards: 0,
             digest: 0xabcd,
             output: RunOutput::default(),
+            profile: Default::default(),
         }
     }
 
@@ -299,6 +319,8 @@ mod tests {
             workers: 2,
             queue: "wheel".into(),
             pooling: true,
+            exec: "compiled".into(),
+            profile: false,
             wall_ms_total: 10.0,
             results: vec![result("a", eps)],
         }

@@ -57,6 +57,10 @@ pub struct JobResult {
     pub shards: usize,
     /// FNV-1a digest of the deterministic payload (lines + check verdicts).
     pub digest: u64,
+    /// Profile counter deltas around the job (ops retired by the compiled
+    /// executor, batch-size histogram, events by device kind) — rendered
+    /// into the JSON report under `--profile`.
+    pub profile: ht_asic::sim::metrics::ProfileSnapshot,
     /// The experiment's buffered output.
     pub output: RunOutput,
 }
@@ -86,6 +90,7 @@ struct Measured {
     peak_queue_depth: u64,
     arena_allocs: u64,
     arena_reuses: u64,
+    profile: ht_asic::sim::metrics::ProfileSnapshot,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -104,12 +109,14 @@ fn measure(f: impl FnOnce() -> RunOutput) -> Measured {
     let ev0 = metrics::thread_events();
     let _ = metrics::take_thread_peak_queue();
     let ar0 = ht_asic::arena::stats();
+    let prof0 = metrics::profile_snapshot();
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(f));
     let wall = start.elapsed();
     let events = metrics::thread_events() - ev0;
     let peak_queue_depth = metrics::take_thread_peak_queue();
     let ar = ht_asic::arena::stats();
+    let profile = metrics::profile_snapshot().delta_since(&prof0);
 
     let (output, panicked) = match outcome {
         Ok(out) => (Some(out), None),
@@ -123,6 +130,7 @@ fn measure(f: impl FnOnce() -> RunOutput) -> Measured {
         peak_queue_depth,
         arena_allocs: ar.allocs - ar0.allocs,
         arena_reuses: ar.reuses - ar0.reuses,
+        profile,
     }
 }
 
@@ -143,6 +151,7 @@ fn finish_job(exp: &dyn Experiment, shards: usize, m: Measured) -> JobResult {
         arena_reuses: m.arena_reuses,
         shards,
         digest: result_digest(&output),
+        profile: m.profile,
         output,
     }
 }
@@ -167,6 +176,7 @@ fn merge_job(exp: &dyn Experiment, scale: Scale, parts: Vec<Measured>) -> JobRes
         peak_queue_depth: 0,
         arena_allocs: 0,
         arena_reuses: 0,
+        profile: Default::default(),
     };
     let mut outputs = Vec::with_capacity(shards);
     for p in parts {
@@ -175,6 +185,7 @@ fn merge_job(exp: &dyn Experiment, scale: Scale, parts: Vec<Measured>) -> JobRes
         agg.peak_queue_depth = agg.peak_queue_depth.max(p.peak_queue_depth);
         agg.arena_allocs += p.arena_allocs;
         agg.arena_reuses += p.arena_reuses;
+        agg.profile.absorb(&p.profile);
         if agg.panicked.is_none() {
             if let Some(msg) = p.panicked {
                 agg.panicked = Some(msg);

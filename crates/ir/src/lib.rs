@@ -22,6 +22,9 @@
 //!   diagnostics and timing.
 //! * [`diag`] — diagnostics ([`Diagnostic`], [`LintReport`]).
 //! * [`render`] — deterministic text and JSON dumps of a [`Module`].
+//! * [`execplan`] — planned flattened editor programs for the compiled
+//!   pipeline executor (`ht_asic::exec`), filled by the `exec-lowering`
+//!   pass and never rendered into IR dumps.
 //! * [`dataflow`] — the abstract-interpretation engine (CFG, worklist
 //!   solver with widening, interval/known-bits and powerset domains) the
 //!   semantic verifier passes are built on.
@@ -31,6 +34,7 @@
 
 pub mod dataflow;
 pub mod diag;
+pub mod execplan;
 pub mod field;
 pub mod hashcfg;
 pub mod keyspace;
@@ -42,6 +46,7 @@ pub mod template;
 
 pub use dataflow::{AbstractDomain, BitSet, Cfg, EdgeKind, Env, Solution, Transfer, ValueFact};
 pub use diag::{json_escape, report_json, Diagnostic, LintReport, Severity, SourceSpan};
+pub use execplan::{EditorProgramPlan, ExecPlan, OpMixPlan};
 pub use field::{CmpOp, HeaderField, NtField, Predicate, QuerySource, ReduceFunc};
 pub use hashcfg::HashConfig;
 pub use keyspace::KeySpace;

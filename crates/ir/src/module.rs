@@ -102,6 +102,11 @@ pub struct PipelinePlan {
     /// Facts proven by the `analysis-annotation` pass (empty until it
     /// runs).
     pub analysis: AnalysisFacts,
+    /// Planned flattened editor programs, filled by the `exec-lowering`
+    /// pass.  Like [`Provenance`], deliberately *not* rendered by
+    /// [`Module::to_text`]/[`Module::to_json`] — golden IR snapshots are
+    /// unaffected by executor planning.
+    pub exec: crate::execplan::ExecPlan,
 }
 
 /// Source provenance of a lowered module: where each trigger and query

@@ -473,6 +473,7 @@ mod tests {
                 logical_stages: 8,
                 stage_budget: 24,
                 analysis: Default::default(),
+                exec: Default::default(),
             },
             provenance: Default::default(),
         }

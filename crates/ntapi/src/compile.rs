@@ -331,6 +331,7 @@ fn lowering_passes() -> PassManager<Lowering, NtapiError> {
     pm.register(ResourceAnnotation);
     pm.register(TaskLint);
     pm.register(AnalysisAnnotation);
+    pm.register(ExecLowering);
     pm
 }
 
@@ -646,6 +647,31 @@ impl Pass<Lowering, NtapiError> for AnalysisAnnotation {
             }
         }
         st.module.plan.analysis = facts;
+        Ok(())
+    }
+}
+
+/// Pass 9: IR-level exec lowering — plans the flattened threaded-code
+/// program each template's editor chain compiles to when the built switch
+/// runs under `ExecMode::Compiled` ([`ht_ir::execplan`]).  Pure
+/// annotation: the plan is never rendered into IR dumps, so golden
+/// snapshots are unaffected.
+struct ExecLowering;
+
+impl Pass<Lowering, NtapiError> for ExecLowering {
+    fn name(&self) -> &'static str {
+        "exec-lowering"
+    }
+
+    fn run(&self, st: &mut Lowering, _cx: &mut PassCx) -> Result<(), NtapiError> {
+        st.module.plan.exec = ht_ir::ExecPlan {
+            editors: st
+                .module
+                .templates
+                .iter()
+                .map(|t| ht_ir::execplan::plan_editor(t.id, &t.edits))
+                .collect(),
+        };
         Ok(())
     }
 }

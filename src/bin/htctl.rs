@@ -22,11 +22,12 @@
 //! htctl p4 <task.nt>                      emit the generated P4 program
 //! htctl loc <task.nt>                     NTAPI vs generated-P4 line counts
 //! htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS]
-//!           [--copies N] [--sim-threads N] run against a sink testbed and
+//!           [--copies N] [--sim-threads N] [--exec interp|compiled]
+//!                                         run against a sink testbed and
 //!                                         print throughput + query results
 //! htctl bench [--smoke] [--workers N] [--sim-threads N] [--json] [--out FILE]
 //!             [--baseline FILE] [--fail-threshold PCT] [--md FILE]
-//!             [--filter SUBSTR] [--list]
+//!             [--filter SUBSTR] [--list] [--exec interp|compiled] [--profile]
 //!                                         run the experiment suite on the
 //!                                         parallel harness; write BENCH.json
 //! ```
@@ -64,9 +65,10 @@ fn usage() -> ExitCode {
          htctl fuzz [--cases N] [--seed S] [--corpus DIR] [--json]\n  \
          htctl p4 <task.nt>\n  htctl loc <task.nt>\n  \
          htctl run [--json] <task.nt> [--ports N] [--speed GBPS] [--duration MS] [--copies N]\n              \
-         [--sim-threads N]\n  \
+         [--sim-threads N] [--exec interp|compiled]\n  \
          htctl bench [--smoke] [--workers N] [--sim-threads N] [--json] [--out FILE]\n              \
-         [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]"
+         [--baseline FILE] [--fail-threshold PCT] [--md FILE] [--filter SUBSTR] [--list]\n              \
+         [--exec interp|compiled] [--profile]"
     );
     ExitCode::from(2)
 }
@@ -437,10 +439,13 @@ struct RunOpts {
     duration_ms: u64,
     copies: Option<usize>,
     sim_threads: usize,
+    exec: hypertester::asic::ExecMode,
     json: bool,
 }
 
 fn cmd_run(path: &str, opts: RunOpts) -> Result<(), String> {
+    // `build()` compiles the pipelines when the process default says so.
+    hypertester::asic::exec::set_default_mode(opts.exec);
     let (_, task) = Fe::default().load(path)?;
     let config = TesterConfig::builder()
         .ports(opts.ports)
@@ -754,6 +759,7 @@ fn main() -> ExitCode {
             duration_ms: 2,
             copies: None,
             sim_threads: 1,
+            exec: hypertester::asic::ExecMode::default(),
             json: false,
         };
         let mut path: Option<&String> = None;
@@ -761,6 +767,14 @@ fn main() -> ExitCode {
         while let Some(tok) = it.next() {
             match tok.as_str() {
                 "--json" => opts.json = true,
+                "--exec" => {
+                    let val = it.next().map(String::as_str);
+                    let Some(m) = val.and_then(hypertester::asic::ExecMode::parse) else {
+                        eprintln!("bad flag/value: --exec {val:?} (expected interp|compiled)");
+                        return usage();
+                    };
+                    opts.exec = m;
+                }
                 flag @ ("--ports" | "--speed" | "--duration" | "--copies" | "--sim-threads") => {
                     let val = it.next().map(String::as_str);
                     let Some(v) = val.and_then(|v| v.parse::<u64>().ok()) else {
