@@ -37,8 +37,9 @@ use std::collections::{BinaryHeap, HashMap};
 pub mod metrics {
     use std::cell::Cell;
 
-    /// Number of batch-size histogram buckets: 1, 2–3, 4–7, 8–15, 16+.
-    pub const BATCH_BUCKETS: usize = 5;
+    /// Number of batch-occupancy histogram buckets: 1, 2–3, 4–7, 8–15,
+    /// 16–31, 32–63, 64–127, 128+.
+    pub const BATCH_BUCKETS: usize = 8;
     /// Number of [`super::DeviceKind`] values.
     pub const KIND_COUNT: usize = 4;
 
@@ -49,6 +50,8 @@ pub mod metrics {
         static OPS: Cell<u64> = const { Cell::new(0) };
         static BATCH_HIST: Cell<[u64; BATCH_BUCKETS]> = const { Cell::new([0; BATCH_BUCKETS]) };
         static BY_KIND: Cell<[u64; KIND_COUNT]> = const { Cell::new([0; KIND_COUNT]) };
+        static VEC_BATCHES: Cell<u64> = const { Cell::new(0) };
+        static VEC_LANES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// Cumulative events processed by worlds on this thread (flushed when
@@ -81,6 +84,13 @@ pub mod metrics {
         OPS.with(|c| c.set(c.get() + n));
     }
 
+    /// Records one vector-executor ingress dispatch of `lanes` PHV lanes
+    /// (the batch-occupancy signal of the `--exec vector` fast path).
+    pub fn record_vector_dispatch(lanes: u64) {
+        VEC_BATCHES.with(|c| c.set(c.get() + 1));
+        VEC_LANES.with(|c| c.set(c.get() + lanes));
+    }
+
     /// Cumulative profile counters of this thread, for `--profile`
     /// reports.  Counters are cumulative across jobs; snapshot before and
     /// after a run and subtract ([`ProfileSnapshot::delta_since`]).
@@ -95,12 +105,17 @@ pub mod metrics {
         pub events: u64,
         /// Ops retired by the compiled executor.
         pub ops_retired: u64,
-        /// Batch-size histogram: number of dispatched batches of size 1,
-        /// 2–3, 4–7, 8–15, 16+.
+        /// Batch-occupancy histogram: number of dispatched per-device
+        /// batches of size 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64–127, 128+.
         pub batch_hist: [u64; BATCH_BUCKETS],
         /// Events by target [`super::DeviceKind`], indexed by
         /// [`super::DeviceKind::index`].
         pub by_kind: [u64; KIND_COUNT],
+        /// Vector-executor ingress dispatches.
+        pub vector_batches: u64,
+        /// Total PHV lanes processed by those dispatches
+        /// (`vector_lanes / vector_batches` = mean occupancy).
+        pub vector_lanes: u64,
     }
 
     impl ProfileSnapshot {
@@ -115,6 +130,8 @@ pub mod metrics {
             for (a, b) in self.by_kind.iter_mut().zip(other.by_kind) {
                 *a += b;
             }
+            self.vector_batches += other.vector_batches;
+            self.vector_lanes += other.vector_lanes;
         }
 
         /// Counter deltas since an earlier snapshot.
@@ -128,6 +145,8 @@ pub mod metrics {
             for (a, b) in d.by_kind.iter_mut().zip(earlier.by_kind) {
                 *a -= b;
             }
+            d.vector_batches -= earlier.vector_batches;
+            d.vector_lanes -= earlier.vector_lanes;
             d
         }
     }
@@ -139,6 +158,8 @@ pub mod metrics {
             ops_retired: OPS.with(Cell::get),
             batch_hist: BATCH_HIST.with(Cell::get),
             by_kind: BY_KIND.with(Cell::get),
+            vector_batches: VEC_BATCHES.with(Cell::get),
+            vector_lanes: VEC_LANES.with(Cell::get),
         }
     }
 
@@ -242,7 +263,9 @@ impl DeviceKind {
         [DeviceKind::Switch, DeviceKind::Host, DeviceKind::Sink, DeviceKind::Other];
 }
 
-/// One event of a same-instant batch handed to [`Device::rx_batch`].
+/// One event of a batch handed to [`Device::rx_batch`].  Items of one
+/// batch share a device but — under lookahead windowing — not necessarily
+/// an instant, so each carries its own event time.
 #[derive(Debug)]
 pub enum BatchItem {
     /// A packet delivery on `port`.
@@ -251,12 +274,25 @@ pub enum BatchItem {
         port: u16,
         /// The packet.
         pkt: SimPacket,
+        /// Event time of this delivery.
+        at: SimTime,
     },
     /// A timer wake.
     Wake {
         /// The token passed to [`Outbox::wake_at`].
         token: u64,
+        /// Fire time of this wake.
+        at: SimTime,
     },
+}
+
+impl BatchItem {
+    /// The event time of this item.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            BatchItem::Deliver { at, .. } | BatchItem::Wake { at, .. } => at,
+        }
+    }
 }
 
 /// A network element participating in the simulation.
@@ -273,22 +309,39 @@ pub trait Device: Any + Send {
     /// Handles a timer previously requested via [`Outbox::wake_at`].
     fn wake(&mut self, _token: u64, _now: SimTime, _out: &mut Outbox) {}
 
-    /// Handles a batch of same-instant events, draining `items` in order.
+    /// Handles a batch of events, draining `items` in order.
     ///
     /// The world only batches events it has *proven* the serial loop would
-    /// process back-to-back (same instant, same device, ordered before
-    /// anything the batch itself can create), so an implementation must
-    /// process items strictly in order and call [`Outbox::checkpoint`]
-    /// after each one — the default does exactly that by delegating to
-    /// [`rx`](Device::rx)/[`wake`](Device::wake).
+    /// process back-to-back on this device (same instant, ordered before
+    /// anything the batch itself can create — or, for devices with a
+    /// nonzero [`lookahead`](Device::lookahead), a time window the
+    /// lookahead guarantees no batch-created event can land inside), so an
+    /// implementation must process items strictly in order at their own
+    /// [`BatchItem::at`] times and call [`Outbox::checkpoint`] after each
+    /// one — the default does exactly that by delegating to
+    /// [`rx`](Device::rx)/[`wake`](Device::wake).  `now` is the first
+    /// item's time.
     fn rx_batch(&mut self, items: &mut Vec<BatchItem>, now: SimTime, out: &mut Outbox) {
+        let _ = now;
         for item in items.drain(..) {
             match item {
-                BatchItem::Deliver { port, pkt } => self.rx(port, pkt, now, out),
-                BatchItem::Wake { token } => self.wake(token, now, out),
+                BatchItem::Deliver { port, pkt, at } => self.rx(port, pkt, at, out),
+                BatchItem::Wake { token, at } => self.wake(token, at, out),
             }
             out.checkpoint();
         }
+    }
+
+    /// Conservative lookahead: the minimum delta between an input event at
+    /// `t` and the earliest event (emission arrival or wake) any handler of
+    /// this device may create.  `0` (the default) promises nothing and
+    /// keeps the device on the same-instant batching rule; a nonzero value
+    /// lets the world widen batches across instants inside the lookahead
+    /// window (`World::step_batch`'s windowed mode).  A device returning
+    /// `t_la` here MUST never emit or wake earlier than `now + t_la` — the
+    /// ordering proof of the windowed batch depends on it.
+    fn lookahead(&self) -> SimTime {
+        0
     }
 
     /// Coarse classification for the `--profile` event breakdown.
@@ -594,6 +647,10 @@ impl WorldBuilder {
             batch_scratch: Vec::new(),
             batch_hist: [0; metrics::BATCH_BUCKETS],
             by_kind: [0; metrics::KIND_COUNT],
+            lookaheads: Vec::new(),
+            faulty_links: false,
+            window_groups: Vec::new(),
+            group_pool: Vec::new(),
         })
     }
 }
@@ -772,6 +829,27 @@ pub struct World {
     batch_hist: [u64; metrics::BATCH_BUCKETS],
     /// Events by target device kind (folded into [`metrics`] on drop).
     by_kind: [u64; metrics::KIND_COUNT],
+    /// Per-device conservative lookahead ([`Device::lookahead`]), cached
+    /// at [`add_device`](Self::add_device) time for the batching hot loop.
+    lookaheads: Vec<SimTime>,
+    /// Set when any link consumes the fault RNG (drop/corrupt/jitter).
+    /// The RNG stream is defined by global flush order, so a faulty world
+    /// must not reorder dispatch across devices — windowed batching is
+    /// disabled and the same-instant rule applies everywhere.
+    faulty_links: bool,
+    /// Reused per-device groups of the windowed batcher.
+    window_groups: Vec<WindowGroup>,
+    /// Spare `(items, times)` buffers for [`WindowGroup`]s.
+    group_pool: Vec<(Vec<BatchItem>, Vec<SimTime>)>,
+}
+
+/// One device's slice of a lookahead window: its items in pop order plus
+/// their event times (parallel vectors; `times[i]` keys the flush segment
+/// of `items[i]`).
+struct WindowGroup {
+    device: DeviceId,
+    items: Vec<BatchItem>,
+    times: Vec<SimTime>,
 }
 
 impl Drop for World {
@@ -802,6 +880,7 @@ impl World {
 
     /// Adds a device, returning its id.
     pub fn add_device(&mut self, dev: Box<dyn Device>) -> DeviceId {
+        self.lookaheads.push(dev.lookahead());
         self.devices.push(dev);
         self.ctrs.push(0);
         self.devices.len() - 1
@@ -823,6 +902,7 @@ impl World {
         };
         self.links.insert(a, mk(b));
         self.links.insert(b, mk(a));
+        self.faulty_links |= self.links[&a].has_faults();
         for (dev, port) in [a, b] {
             if self.link_table.len() <= dev {
                 self.link_table.resize_with(dev + 1, Vec::new);
@@ -926,18 +1006,42 @@ impl World {
         true
     }
 
+    /// Histogram bucket of a dispatched batch of `n` items.
+    fn batch_bucket(n: u64) -> usize {
+        match n {
+            1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            16..=31 => 4,
+            32..=63 => 5,
+            64..=127 => 6,
+            _ => 7,
+        }
+    }
+
     /// Processes the next ready event *and every immediately following
-    /// event it can prove the serial loop would run back-to-back on the
-    /// same device*: same instant, and ordered (by [`EvKey`]) before any
-    /// event this batch's own handlers can create.  Handlers can only
-    /// create keys at `(now, device, ctr ≥ ctr₀)` where `ctr₀` is the
-    /// device's counter when the batch starts, so any queued event below
-    /// that bound pops before them under serial execution no matter when
-    /// the handlers run.  At most `max` events (capped at 64) are taken;
-    /// a non-matching successor is never popped (peek-guarded), so the
-    /// queue is left exactly as a serial loop would.  Returns the number
-    /// of events processed (0 = queue empty).
-    fn step_batch(&mut self, max: u64) -> u64 {
+    /// event it can prove the serial loop would run in the same order*.
+    ///
+    /// Two proofs are in play, chosen by the first event's device:
+    ///
+    /// **Same-instant rule** (devices without a lookahead, or any world
+    /// with fault-consuming links): followers must share the instant and
+    /// the device, and be ordered (by [`EvKey`]) before any event this
+    /// batch's own handlers can create.  Handlers can only create keys at
+    /// `(now, device, ctr ≥ ctr₀)` where `ctr₀` is the device's counter
+    /// when the batch starts, so any queued event below that bound pops
+    /// before them under serial execution no matter when the handlers run.
+    ///
+    /// **Lookahead window** ([`step_window`](Self::step_window)): when the
+    /// first event's device declares a nonzero [`Device::lookahead`], the
+    /// batch may span instants and devices — see that method's proof.
+    ///
+    /// At most `max` events (capped at [`Self::MAX_BATCH`]) at or before
+    /// `t_bound` are taken; a non-matching successor is never popped
+    /// (peek-guarded), so the queue is left exactly as a serial loop
+    /// would.  Returns the number of events processed (0 = queue empty).
+    fn step_batch(&mut self, max: u64, t_bound: SimTime) -> u64 {
         let Some((at, key, kind)) = self.queue.pop() else {
             return 0;
         };
@@ -945,16 +1049,20 @@ impl World {
         self.started = true;
         self.now = at;
         let device = kind.device();
-        let bound = EvKey::device(at, device, self.ctrs[device]);
         Self::record_trace(&mut self.trace, self.trace_depth, at, key, &kind);
 
+        let la0 = self.lookaheads[device];
+        if la0 > 0 && !self.faulty_links && max > 1 {
+            return self.step_window(at, kind, la0, max, t_bound);
+        }
+
+        let bound = EvKey::device(at, device, self.ctrs[device]);
         let into_item = |kind: EventKind| match kind {
-            EventKind::Deliver { port, pkt, .. } => BatchItem::Deliver { port, pkt },
-            EventKind::Wake { token, .. } => BatchItem::Wake { token },
+            EventKind::Deliver { port, pkt, .. } => BatchItem::Deliver { port, pkt, at },
+            EventKind::Wake { token, .. } => BatchItem::Wake { token, at },
         };
 
-        const MAX_BATCH: u64 = 64;
-        let cap = max.min(MAX_BATCH);
+        let cap = max.min(Self::MAX_BATCH);
         // Peek-guarded pop: a non-batchable successor (later instant,
         // other device, or not provably ordered before this batch's own
         // children) is never removed, so nothing is pushed back and
@@ -995,21 +1103,147 @@ impl World {
         }
 
         self.stats.events += n;
-        let bucket = match n {
-            1 => 0,
-            2..=3 => 1,
-            4..=7 => 2,
-            8..=15 => 3,
-            _ => 4,
-        };
-        self.batch_hist[bucket] += 1;
+        self.batch_hist[Self::batch_bucket(n)] += 1;
         self.by_kind[self.devices[device].device_kind().index()] += n;
         self.flush_outbox(device, &mut out);
         self.scratch = out;
         n
     }
 
+    /// Largest batch one [`step_batch`](Self::step_batch) call dispatches.
+    const MAX_BATCH: u64 = 256;
+
+    /// Windowed batching across instants and devices, rooted at an event
+    /// of a device with conservative lookahead `la0`.
+    ///
+    /// The window is a *contiguous prefix* of the global `(at, key)` pop
+    /// order: each candidate is the queue's current minimum and is taken
+    /// only when (a) its time is `≤ t_bound`, (b) its time is strictly
+    /// below the window horizon, and (c) its device declares a nonzero
+    /// lookahead.  The horizon is `min` over member devices of
+    /// `first_occurrence_time + lookahead`; any event a member handler
+    /// creates from an item at `t` lands at `≥ t + lookahead ≥ horizon`,
+    /// strictly after every window item, so the serial loop would process
+    /// exactly these items in exactly this pop order before touching
+    /// anything the window creates.
+    ///
+    /// Items are then dispatched grouped per device (per-device pop order
+    /// preserved).  Cross-device dispatch reorder is invisible: devices
+    /// interact only through events (which all land past the horizon),
+    /// per-device [`EvKey`] counters advance in per-device order, and the
+    /// fault RNG is untouched (the window only forms in fault-free
+    /// worlds).  Created events take their creating item's time as key
+    /// birth and clamp, via per-segment flushing, so keys are identical
+    /// to the serial loop's.
+    fn step_window(
+        &mut self,
+        at: SimTime,
+        first: EventKind,
+        la0: SimTime,
+        max: u64,
+        t_bound: SimTime,
+    ) -> u64 {
+        let device = first.device();
+        let mut horizon = at.saturating_add(la0);
+        let cap = max.min(Self::MAX_BATCH);
+
+        let into_item = |kind: EventKind, at: SimTime| match kind {
+            EventKind::Deliver { port, pkt, .. } => BatchItem::Deliver { port, pkt, at },
+            EventKind::Wake { token, .. } => BatchItem::Wake { token, at },
+        };
+
+        let mut groups = std::mem::take(&mut self.window_groups);
+        debug_assert!(groups.is_empty());
+        let (items, times) = self.group_pool.pop().unwrap_or_default();
+        groups.push(WindowGroup { device, items, times });
+        groups[0].items.push(into_item(first, at));
+        groups[0].times.push(at);
+
+        let mut n: u64 = 1;
+        let mut last_at = at;
+        while n < cap {
+            let la = &self.lookaheads;
+            let popped = self.queue.pop_if(|at2, _key2, kind2| {
+                at2 <= t_bound && at2 < horizon && la[kind2.device()] > 0
+            });
+            let Some((at2, key2, kind2)) = popped else { break };
+            Self::record_trace(&mut self.trace, self.trace_depth, at2, key2, &kind2);
+            let d2 = kind2.device();
+            let mut gi = usize::MAX;
+            for (i, g) in groups.iter().enumerate() {
+                if g.device == d2 {
+                    gi = i;
+                    break;
+                }
+            }
+            if gi == usize::MAX {
+                // A joining device tightens the horizon; items already
+                // taken are at times ≤ at2 < at2 + lookahead, so they
+                // remain inside the tightened window.
+                horizon = horizon.min(at2.saturating_add(self.lookaheads[d2]));
+                let (items, times) = self.group_pool.pop().unwrap_or_default();
+                groups.push(WindowGroup { device: d2, items, times });
+                gi = groups.len() - 1;
+            }
+            groups[gi].items.push(into_item(kind2, at2));
+            groups[gi].times.push(at2);
+            last_at = at2;
+            n += 1;
+        }
+
+        // The window is fully collected before any handler runs, so
+        // advancing `now` to the last item keeps created-event clamping
+        // (`at.max(seg_time)`) and the backwards-queue debug check honest.
+        self.now = last_at;
+        self.stats.events += n;
+        let mut out = std::mem::take(&mut self.scratch);
+        for g in &mut groups {
+            let len = g.items.len() as u64;
+            let dev = g.device;
+            let base = g.times[0];
+            self.batch_hist[Self::batch_bucket(len)] += 1;
+            self.by_kind[self.devices[dev].device_kind().index()] += len;
+            if len == 1 {
+                let item = g.items.pop().expect("single-item group");
+                match item {
+                    BatchItem::Deliver { port, pkt, at } => {
+                        self.devices[dev].rx(port, pkt, at, &mut out)
+                    }
+                    BatchItem::Wake { token, at } => self.devices[dev].wake(token, at, &mut out),
+                }
+                let times = [base];
+                self.flush_segments(dev, &mut out, &times);
+            } else {
+                let mut items = std::mem::take(&mut g.items);
+                let times = std::mem::take(&mut g.times);
+                self.devices[dev].rx_batch(&mut items, base, &mut out);
+                debug_assert!(items.is_empty(), "rx_batch must drain its items");
+                self.flush_segments(dev, &mut out, &times);
+                g.items = items;
+                g.times = times;
+            }
+        }
+        self.scratch = out;
+        for mut g in groups.drain(..) {
+            g.items.clear();
+            g.times.clear();
+            self.group_pool.push((g.items, g.times));
+        }
+        self.window_groups = groups;
+        n
+    }
+
     fn flush_outbox(&mut self, device: DeviceId, out: &mut Outbox) {
+        self.flush_segments(device, out, &[]);
+    }
+
+    /// Flushes a batched outbox whose checkpoint segments carry their own
+    /// event times: segment `i` (one batch item's output) uses
+    /// `times[i]` — falling back to `self.now` past the end of `times` or
+    /// when no times were supplied (the same-instant paths) — as the
+    /// [`EvKey`] birth and the earliest-schedule clamp, exactly what a
+    /// serial flush after that item's handler would have used.
+    fn flush_segments(&mut self, device: DeviceId, out: &mut Outbox, times: &[SimTime]) {
         // Walk the checkpoint segments (one per batch item; the whole
         // outbox when no checkpoints were recorded), issuing each
         // segment's wakes before its emissions — the same key-assignment
@@ -1021,11 +1255,12 @@ impl World {
         let mut emits_it = emits.drain(..);
         let (mut w0, mut e0) = (0usize, 0usize);
         let final_mark = std::iter::once((wakes_it.len(), emits_it.len()));
-        for (w1, e1) in marks.iter().copied().chain(final_mark) {
+        for (seg, (w1, e1)) in marks.iter().copied().chain(final_mark).enumerate() {
+            let seg_now = times.get(seg).copied().unwrap_or(self.now);
             for (token, at) in wakes_it.by_ref().take(w1 - w0) {
-                let key = EvKey::device(self.now, device, self.ctrs[device]);
+                let key = EvKey::device(seg_now, device, self.ctrs[device]);
                 self.ctrs[device] += 1;
-                self.queue.push(at.max(self.now), key, EventKind::Wake { device, token });
+                self.queue.push(at.max(seg_now), key, EventKind::Wake { device, token });
             }
             for (port, mut pkt, at) in emits_it.by_ref().take(e1 - e0) {
                 let slot =
@@ -1053,10 +1288,10 @@ impl World {
                 if link.jitter > 0 {
                     delay += self.rng.gen_range(0..=link.jitter);
                 }
-                let key = EvKey::device(self.now, device, self.ctrs[device]);
+                let key = EvKey::device(seg_now, device, self.ctrs[device]);
                 self.ctrs[device] += 1;
                 self.queue.push(
-                    at.max(self.now) + delay,
+                    at.max(seg_now) + delay,
                     key,
                     EventKind::Deliver { device: link.peer.0, port: link.peer.1, pkt },
                 );
@@ -1090,9 +1325,10 @@ impl World {
             if at > t_end {
                 break;
             }
-            // Every event a batch takes shares the popped event's instant,
-            // so the t_end boundary holds for the whole batch.
-            n += self.step_batch(u64::MAX);
+            // Batches never take an event past `t_end`: same-instant
+            // batches share the popped event's instant, and windowed
+            // batches bound every follower by `t_bound`.
+            n += self.step_batch(u64::MAX, t_end);
         }
         self.now = self.now.max(t_end);
         n
@@ -1104,7 +1340,7 @@ impl World {
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events {
-            let k = self.step_batch(max_events - n);
+            let k = self.step_batch(max_events - n, SimTime::MAX);
             if k == 0 {
                 break;
             }
@@ -1372,6 +1608,142 @@ mod tests {
         assert_eq!(batched.now(), serial.now());
     }
 
+    /// Emits each packet back out exactly its declared lookahead later —
+    /// the minimal device exercising the windowed batcher.
+    struct Paced {
+        rx_times: Vec<SimTime>,
+        la: SimTime,
+    }
+
+    impl Device for Paced {
+        fn name(&self) -> &str {
+            "paced"
+        }
+
+        fn rx(&mut self, port: u16, pkt: SimPacket, now: SimTime, out: &mut Outbox) {
+            self.rx_times.push(now);
+            out.emit(port, pkt, now + self.la);
+        }
+
+        fn lookahead(&self) -> SimTime {
+            self.la
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Absorbs packets and promises it never creates events.
+    struct Absorb {
+        rx_times: Vec<SimTime>,
+    }
+
+    impl Device for Absorb {
+        fn name(&self) -> &str {
+            "absorb"
+        }
+
+        fn rx(&mut self, _port: u16, _pkt: SimPacket, now: SimTime, _out: &mut Outbox) {
+            self.rx_times.push(now);
+        }
+
+        fn lookahead(&self) -> SimTime {
+            SimTime::MAX
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn windowed_run_matches_single_stepping() {
+        // Dense cross-instant traffic through a lookahead device: the
+        // windowed batcher must reproduce the serial loop's per-device
+        // event times, stats and clock exactly, while actually forming
+        // multi-event windows (the same-instant rule would see only
+        // singletons here).
+        let script = |w: &mut World| {
+            let p = w.add_device(Box::new(Paced { rx_times: Vec::new(), la: 1_000 }));
+            let a = w.add_device(Box::new(Absorb { rx_times: Vec::new() }));
+            w.link((p, 0), (a, 0), LinkSpec::new());
+            w.link((p, 1), (a, 1), LinkSpec::new());
+            for i in 0..300u64 {
+                w.schedule_rx(p, (i % 2) as u16, blank_packet(), i * 100);
+            }
+            (p, a)
+        };
+
+        let mut serial = world(7);
+        let (p1, a1) = script(&mut serial);
+        let mut n_serial = 0u64;
+        while serial.queue.peek_min_at().is_some_and(|at| at <= 20_000) {
+            serial.step();
+            n_serial += 1;
+        }
+
+        let before = metrics::profile_snapshot();
+        let mut batched = world(7);
+        let (p2, a2) = script(&mut batched);
+        let n_batched = batched.run_until(20_000);
+
+        assert_eq!(n_batched, n_serial);
+        assert_eq!(batched.device::<Paced>(p2).rx_times, serial.device::<Paced>(p1).rx_times);
+        assert_eq!(batched.device::<Absorb>(a2).rx_times, serial.device::<Absorb>(a1).rx_times);
+        assert_eq!(batched.stats, serial.stats);
+
+        // Continuing past the bound still matches a full serial drain.
+        while serial.step() {
+            n_serial += 1;
+        }
+        let n2 = batched.run_to_idle(u64::MAX);
+        assert_eq!(n_batched + n2, n_serial);
+        assert_eq!(batched.device::<Absorb>(a2).rx_times, serial.device::<Absorb>(a1).rx_times);
+
+        drop(batched);
+        let d = metrics::profile_snapshot().delta_since(&before);
+        assert!(
+            d.batch_hist[0] < d.events,
+            "windows never formed: {:?} over {} events",
+            d.batch_hist,
+            d.events
+        );
+    }
+
+    #[test]
+    fn windowed_batches_disable_under_link_faults() {
+        // A fault-consuming link pins the world to the same-instant rule
+        // (dispatch reorder would shift the fault RNG stream), and the
+        // outcome still matches serial stepping.
+        let script = |w: &mut World| {
+            let p = w.add_device(Box::new(Paced { rx_times: Vec::new(), la: 1_000 }));
+            let a = w.add_device(Box::new(Absorb { rx_times: Vec::new() }));
+            w.link((p, 0), (a, 0), LinkSpec::new().loss(0.3));
+            for i in 0..100u64 {
+                w.schedule_rx(p, 0, blank_packet(), i * 100);
+            }
+            (p, a)
+        };
+        let mut serial = world(11);
+        let (_, a1) = script(&mut serial);
+        while serial.step() {}
+        let mut batched = world(11);
+        let (_, a2) = script(&mut batched);
+        batched.run_to_idle(u64::MAX);
+        assert_eq!(batched.device::<Absorb>(a2).rx_times, serial.device::<Absorb>(a1).rx_times);
+        assert_eq!(batched.stats, serial.stats);
+        assert!(batched.stats.link_drops > 0, "faults should have fired");
+    }
+
     #[test]
     fn batched_run_to_idle_respects_the_event_cap() {
         // A burst bigger than the remaining budget must not overshoot.
@@ -1399,8 +1771,8 @@ mod tests {
         assert_eq!(d.events, 32);
         assert_eq!(d.by_kind.iter().sum::<u64>(), 32);
         // 32 same-instant wakes for one plain device gather into one
-        // 16+-bucket batch.
-        assert_eq!(d.batch_hist, [0, 0, 0, 0, 1]);
+        // 32–63-bucket batch.
+        assert_eq!(d.batch_hist, [0, 0, 0, 0, 0, 1, 0, 0]);
         assert_eq!(d.by_kind[DeviceKind::Other.index()], 32);
     }
 

@@ -434,11 +434,13 @@ pub fn build(task: &CompiledTask, cfg: &TesterConfig) -> Result<BuiltTester, Bui
         return Err(BuildError::Lint(lint.errors().cloned().collect()));
     }
 
-    // All tables are populated and verified: compile the pipelines into
-    // threaded-code programs when the process-wide executor default says
-    // so.  Callers flipping modes later use `Switch::set_exec_mode`.
-    if ht_asic::exec::default_mode() == ht_asic::ExecMode::Compiled {
-        sw.set_exec_mode(ht_asic::ExecMode::Compiled);
+    // All tables are populated and verified: adopt the process-wide
+    // executor default (compiling the pipelines and, for `Vector`,
+    // running the vector-safety analysis).  Callers flipping modes later
+    // use `Switch::set_exec_mode`.
+    let mode = ht_asic::exec::default_mode();
+    if mode != ht_asic::ExecMode::Interp {
+        sw.set_exec_mode(mode);
     }
 
     Ok(BuiltTester {

@@ -69,6 +69,14 @@ impl Device for Forwarder {
         ht_asic::sim::DeviceKind::Host
     }
 
+    fn lookahead(&self) -> SimTime {
+        // Every forwarded frame leaves at `now + pipeline_delay` plus a
+        // strictly positive serialization time, so the pipeline delay is
+        // a safe emission floor.  (A zero-delay forwarder simply opts out
+        // of windowing.)
+        self.pipeline_delay
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -3,7 +3,7 @@
 
 use ht_asic::fxhash::FxHashMap;
 use ht_asic::phv::FieldId;
-use ht_asic::sim::{Device, Outbox};
+use ht_asic::sim::{BatchItem, Device, Outbox};
 use ht_asic::time::{to_secs_f64, SimTime};
 use ht_asic::SimPacket;
 use std::any::Any;
@@ -132,8 +132,40 @@ impl Device for Sink {
         }
     }
 
+    fn rx_batch(&mut self, items: &mut Vec<BatchItem>, now: SimTime, out: &mut Outbox) {
+        let _ = now;
+        // A sink absorbs everything and emits nothing, so the per-item
+        // checkpoint bookkeeping buys nothing: fold the whole batch into
+        // the statistics directly.
+        for item in items.drain(..) {
+            match item {
+                BatchItem::Deliver { port, pkt, at } => {
+                    let st = self.ports.entry(port).or_default();
+                    st.frames += 1;
+                    st.bytes += pkt.len() as u64;
+                    st.first.get_or_insert(at);
+                    st.last = Some(at);
+                    if self.log_arrivals {
+                        self.arrivals.entry(port).or_default().push(at);
+                    }
+                    if !self.capture_fields.is_empty() {
+                        let vals = self.capture_fields.iter().map(|&f| pkt.phv.get(f)).collect();
+                        self.captured.push((port, at, vals));
+                    }
+                }
+                BatchItem::Wake { token, at } => self.wake(token, at, out),
+            }
+        }
+    }
+
     fn device_kind(&self) -> ht_asic::sim::DeviceKind {
         ht_asic::sim::DeviceKind::Sink
+    }
+
+    fn lookahead(&self) -> SimTime {
+        // A sink only absorbs: it never emits or schedules wakes, so it
+        // places no bound on how far the event window may extend.
+        SimTime::MAX
     }
 
     fn as_any(&self) -> &dyn Any {

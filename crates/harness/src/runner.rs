@@ -136,7 +136,12 @@ fn measure(f: impl FnOnce() -> RunOutput) -> Measured {
 
 /// Assembles a [`JobResult`] from an experiment's aggregated measurement.
 fn finish_job(exp: &dyn Experiment, shards: usize, m: Measured) -> JobResult {
-    let output = m.output.unwrap_or_default();
+    let mut output = m.output.unwrap_or_default();
+    // Stamp the executor the run used: extras are reported, not digested,
+    // so this cannot perturb cross-mode digest comparisons.
+    output
+        .extras
+        .push(("exec_mode".into(), format!("\"{}\"", ht_asic::exec::default_mode().as_str())));
     JobResult {
         name: exp.name().to_string(),
         group: exp.group().to_string(),

@@ -7,7 +7,7 @@
 //! colliding key pairs with it.
 
 use crate::KeySpace;
-use ht_asic::hash::{crc32_words_x4, hash_words, Crc32Fold, HashAlgo};
+use ht_asic::hash::{crc32_words_x8, hash_words, Crc32Fold, HashAlgo};
 
 /// Hash configuration of one compiled query's cuckoo engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,36 +68,42 @@ impl HashConfig {
         (digest, h1, self.alt_bucket(h1, digest))
     }
 
-    /// [`triple`](Self::triple) over every key of a space, four keys at a
-    /// time through the interleaved CRC fold
-    /// ([`Crc32FoldX4`](ht_asic::hash::Crc32FoldX4)).
+    /// [`triple`](Self::triple) over every key of a space, eight keys at
+    /// a time through the interleaved CRC fold
+    /// ([`Crc32FoldX8`](ht_asic::hash::Crc32FoldX8)).
     ///
     /// Identical output to mapping `triple` over `space.iter()`; the
     /// false-positive precompute calls this on key spaces of tens of
-    /// millions of keys, where the four independent CRC chains roughly
-    /// halve the hashing wall time.
+    /// millions of keys, where the independent CRC chains roughly halve
+    /// the hashing wall time versus the scalar fold.  The FNV-1a digest
+    /// chains are interleaved the same way: eight accumulators advance in
+    /// lockstep per key word, so the digest multiply latency overlaps
+    /// across lanes instead of serialising per key.
     pub fn triple_batch(&self, space: &KeySpace) -> Vec<(u64, u64, u64)> {
         let n = space.len();
         let mut out = Vec::with_capacity(n);
         let digest_mask = (1u64 << self.digest_bits) - 1;
         let h1_mask = (1u64 << self.array_bits) - 1;
+        let width = space.width();
         let mut i = 0;
-        while i + 4 <= n {
-            let keys = [space.key(i), space.key(i + 1), space.key(i + 2), space.key(i + 3)];
-            let crcs = crc32_words_x4(keys);
-            for (lane, key) in keys.iter().enumerate() {
-                let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
-                for w in *key {
-                    for b in w.to_be_bytes() {
-                        fnv ^= u64::from(b);
-                        fnv = fnv.wrapping_mul(0x0000_0100_0000_01b3);
+        while i + 8 <= n {
+            let keys: [&[u64]; 8] = std::array::from_fn(|l| space.key(i + l));
+            let crcs = crc32_words_x8(keys);
+            let mut fnv = [0xcbf2_9ce4_8422_2325u64; 8];
+            for w in 0..width {
+                for (lane, key) in keys.iter().enumerate() {
+                    for b in key[w].to_be_bytes() {
+                        fnv[lane] ^= u64::from(b);
+                        fnv[lane] = fnv[lane].wrapping_mul(0x0000_0100_0000_01b3);
                     }
                 }
-                let digest = fnv & digest_mask;
+            }
+            for lane in 0..8 {
+                let digest = fnv[lane] & digest_mask;
                 let h1 = u64::from(crcs[lane]) & h1_mask;
                 out.push((digest, h1, self.alt_bucket(h1, digest)));
             }
-            i += 4;
+            i += 8;
         }
         for j in i..n {
             out.push(self.triple(space.key(j)));
@@ -173,10 +179,10 @@ mod tests {
 
     #[test]
     fn triple_batch_matches_scalar_triple() {
-        // 11 keys: two full x4 blocks plus a 3-key scalar tail.
+        // 19 keys: two full x8 blocks plus a 3-key scalar tail.
         for cfg in [HashConfig::default(), HashConfig { array_bits: 14, digest_bits: 10 }] {
             let mut space = KeySpace::new(2);
-            for i in 0..11u64 {
+            for i in 0..19u64 {
                 space.push(&[i.wrapping_mul(0x9e37_79b9_7f4a_7c15), 80 + i]);
             }
             let batch = cfg.triple_batch(&space);
@@ -188,7 +194,7 @@ mod tests {
     #[test]
     fn triple_batch_handles_tiny_spaces() {
         let cfg = HashConfig::default();
-        for n in 0..4u64 {
+        for n in 0..8u64 {
             let mut space = KeySpace::new(1);
             for i in 0..n {
                 space.push(&[i]);

@@ -12,7 +12,7 @@
 //!
 //! [`compute_fp_indices`] implements the precompute over a flat
 //! [`KeySpace`], hashing each key exactly once via
-//! `HashConfig::triple_batch` (four keys per iteration through the
+//! `HashConfig::triple_batch` (eight keys per iteration through the
 //! interleaved CRC fold) and grouping by digest with a counting sort (no
 //! hash map, no per-key allocation); [`compute_fp_entries`] is the
 //! row-cloning compatibility wrapper.  The Fig. 17 experiment measures the diverted-entry count
@@ -42,7 +42,7 @@ pub fn compute_fp_indices(space: &KeySpace, cfg: &HashConfig) -> Vec<usize> {
     let n = space.len();
     ht_asic::sim::metrics::record_fp_keys(n as u64);
 
-    // One fused pass: (digest, h1, h2) per key, four keys at a time
+    // One fused pass: (digest, h1, h2) per key, eight keys at a time
     // through the interleaved CRC fold.
     let trips: Vec<(u64, u64, u64)> = cfg.triple_batch(space);
 
